@@ -1,0 +1,105 @@
+//! Benches for the extension experiments: night ops, stability,
+//! congestion, QKD, purification, heralded link layer, fleet and
+//! sensitivity — each on a reduced workload, same code path as the
+//! `reproduce extensions` artifact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qntn_core::architecture::AirGround;
+use qntn_core::experiments::congestion::CongestionSweep;
+use qntn_core::experiments::fidelity::FidelityExperiment;
+use qntn_core::experiments::fleet::HapFleet;
+use qntn_core::experiments::purified_qkd;
+use qntn_core::experiments::qkd::QkdExperiment;
+use qntn_core::experiments::sensitivity::SensitivityTable;
+use qntn_core::experiments::stability::StabilitySweep;
+use qntn_core::scenario::Qntn;
+use qntn_net::{HeraldedLink, SimConfig};
+
+fn ext_stability(c: &mut Criterion) {
+    let q = Qntn::standard();
+    let mut g = c.benchmark_group("ext_stability");
+    g.sample_size(10);
+    g.bench_function("three_jitters_quick", |b| {
+        let exp = FidelityExperiment { sampled_steps: 2, requests_per_step: 10, ..FidelityExperiment::quick() };
+        b.iter(|| {
+            black_box(
+                StabilitySweep::run(&q, black_box(&[0.0, 4.0, 16.0]), exp)
+                    .points
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn ext_congestion(c: &mut Criterion) {
+    let q = Qntn::standard();
+    let mut g = c.benchmark_group("ext_congestion");
+    g.sample_size(10);
+    g.bench_function("rate_sweep_60req", |b| {
+        b.iter(|| {
+            black_box(
+                CongestionSweep::run(&q, black_box(&[0.1, 1.0, 10.0]), 60, 7)
+                    .points
+                    .len(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn ext_qkd(c: &mut Criterion) {
+    let q = Qntn::standard();
+    let air = AirGround::standard(&q);
+    let mut g = c.benchmark_group("ext_qkd");
+    g.sample_size(10);
+    g.bench_function("air_ground_quick", |b| {
+        let exp = QkdExperiment { sampled_steps: 3, requests_per_step: 15, seed: 7 };
+        b.iter(|| black_box(exp.run_air_ground(&air).mean_key_fraction))
+    });
+    g.bench_function("purification_pump_eta063", |b| {
+        b.iter(|| black_box(purified_qkd::pump_until_key(black_box(0.63), 8)))
+    });
+    g.finish();
+}
+
+fn ext_heralded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ext_heralded");
+    g.sample_size(10);
+    let link = HeraldedLink { eta_a: 0.8, eta_b: 0.7, attempt_rate_hz: 1000.0, memory_t1_s: 0.05 };
+    g.bench_function("simulate_200_deliveries", |b| {
+        b.iter(|| black_box(link.simulate(200, 42).mean_fidelity))
+    });
+    g.finish();
+}
+
+fn ext_fleet_and_sensitivity(c: &mut Criterion) {
+    let q = Qntn::standard();
+    let mut g = c.benchmark_group("ext_fleet_sensitivity");
+    g.sample_size(10);
+    g.bench_function("fleet_construction", |b| {
+        b.iter(|| {
+            black_box(
+                HapFleet::per_city(&q, 30_000.0, SimConfig::default())
+                    .hap_nodes()
+                    .len(),
+            )
+        })
+    });
+    g.bench_function("sensitivity_6sats", |b| {
+        b.iter(|| black_box(SensitivityTable::compute(&q, 6, 0.1).responses.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    extensions,
+    ext_stability,
+    ext_congestion,
+    ext_qkd,
+    ext_heralded,
+    ext_fleet_and_sensitivity
+);
+criterion_main!(extensions);

@@ -1,0 +1,131 @@
+//! Kernel microbenchmarks: the hot functions the experiments are built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qntn_channel::fso::{FsoChannel, FsoGeometry};
+use qntn_channel::params::FsoParams;
+use qntn_core::architecture::{AirGround, SpaceGround};
+use qntn_core::scenario::Qntn;
+use qntn_geo::{Epoch, Geodetic};
+use qntn_net::SimConfig;
+use qntn_orbit::{kepler, Keplerian, PerturbationModel, Propagator};
+use qntn_quantum::channels::amplitude_damping;
+use qntn_quantum::eigen::hermitian_eigen;
+use qntn_quantum::fidelity::{sqrt_fidelity, sqrt_fidelity_to_pure};
+use qntn_quantum::protocols::{entanglement_swap, purify_bbpssw, teleport_fidelity};
+use qntn_quantum::qkd::bbm92_key_fraction;
+use qntn_quantum::state::{bell_phi_plus, Ket};
+use qntn_routing::{bellman_ford, dijkstra, DistanceVectorRouter, RouteMetric};
+
+fn orbit_kernels(c: &mut Criterion) {
+    c.bench_function("kepler_solve_e0.3", |b| {
+        let mut m = 0.0;
+        b.iter(|| {
+            m += 0.1;
+            black_box(kepler::solve_kepler(black_box(m), 0.3))
+        })
+    });
+    let prop = Propagator::new(
+        Keplerian::circular(6_871_000.0, 0.925, 0.3, 1.0),
+        Epoch::J2000,
+        PerturbationModel::J2Secular,
+    );
+    c.bench_function("propagate_j2", |b| {
+        let mut t = 0.0;
+        b.iter(|| {
+            t += 30.0;
+            black_box(prop.propagate(black_box(t)).position)
+        })
+    });
+    c.bench_function("geodetic_from_ecef", |b| {
+        let ecef = Geodetic::from_deg(36.0, -85.0, 500_000.0).to_ecef_wgs84();
+        b.iter(|| black_box(Geodetic::from_ecef_wgs84(black_box(ecef))))
+    });
+}
+
+fn quantum_kernels(c: &mut Criterion) {
+    let bell = bell_phi_plus();
+    let damped = amplitude_damping(0.8).on_qubit(1, 2).apply(&bell.density());
+    c.bench_function("ad_channel_apply_2q", |b| {
+        let ch = amplitude_damping(0.8).on_qubit(1, 2);
+        let rho = bell.density();
+        b.iter(|| black_box(ch.apply(black_box(&rho))))
+    });
+    c.bench_function("fidelity_pure_shortcut", |b| {
+        b.iter(|| black_box(sqrt_fidelity_to_pure(black_box(&damped), &bell)))
+    });
+    c.bench_function("fidelity_full_uhlmann_4x4", |b| {
+        let sigma = bell.density();
+        b.iter(|| black_box(sqrt_fidelity(black_box(&damped), &sigma)))
+    });
+    c.bench_function("hermitian_eigen_4x4", |b| {
+        b.iter(|| black_box(hermitian_eigen(black_box(damped.matrix())).values[0]))
+    });
+}
+
+fn protocol_kernels(c: &mut Criterion) {
+    let bell = bell_phi_plus();
+    let damped = amplitude_damping(0.8).on_qubit(1, 2).apply(&bell.density());
+    c.bench_function("entanglement_swap_16x16", |b| {
+        b.iter(|| black_box(entanglement_swap(black_box(&damped), &damped)))
+    });
+    c.bench_function("purify_bbpssw_round", |b| {
+        b.iter(|| black_box(purify_bbpssw(black_box(&damped)).success_probability))
+    });
+    c.bench_function("teleport_fidelity_8x8", |b| {
+        let psi = Ket::plus();
+        b.iter(|| black_box(teleport_fidelity(black_box(&psi), &damped)))
+    });
+    c.bench_function("bbm92_key_fraction", |b| {
+        b.iter(|| black_box(bbm92_key_fraction(black_box(&damped))))
+    });
+}
+
+fn channel_kernels(c: &mut Criterion) {
+    let geom = FsoGeometry::downlink(1.2, 500_000.0, 1.2, 300.0, 900_000.0, 0.5);
+    let ch = FsoChannel::new(geom, FsoParams::ideal());
+    c.bench_function("fso_budget_exact_rytov", |b| {
+        b.iter(|| black_box(ch.budget().eta_total()))
+    });
+    c.bench_function("fso_budget_cached_rytov", |b| {
+        b.iter(|| black_box(ch.budget_with_rytov(Some(0.02)).eta_total()))
+    });
+}
+
+fn network_kernels(c: &mut Criterion) {
+    let scenario = Qntn::standard();
+    let air = AirGround::standard(&scenario);
+    let mut g = c.benchmark_group("network");
+    g.sample_size(20);
+    g.bench_function("graph_build_air_ground", |b| {
+        b.iter(|| black_box(air.sim().active_graph_at(black_box(100)).edge_count()))
+    });
+    let space = SpaceGround::new(&scenario, 36, SimConfig::default(), PerturbationModel::TwoBody);
+    g.bench_function("graph_build_space_36", |b| {
+        b.iter(|| black_box(space.sim().active_graph_at(black_box(100)).edge_count()))
+    });
+    let graph = air.sim().active_graph_at(0);
+    g.bench_function("bellman_ford_route", |b| {
+        b.iter(|| black_box(bellman_ford(&graph, 0, 16, RouteMetric::PaperInverseEta)))
+    });
+    g.bench_function("dijkstra_route", |b| {
+        b.iter(|| black_box(dijkstra(&graph, 0, 16, RouteMetric::PaperInverseEta)))
+    });
+    g.bench_function("algorithm1_full_tables", |b| {
+        b.iter(|| {
+            black_box(DistanceVectorRouter::build(&graph, RouteMetric::PaperInverseEta).cost(0, 16))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    microbench,
+    orbit_kernels,
+    quantum_kernels,
+    protocol_kernels,
+    channel_kernels,
+    network_kernels
+);
+criterion_main!(microbench);

@@ -1,0 +1,76 @@
+//! Benches for the paper's tables: scenario/constellation construction
+//! (Tables I–II) and the architecture comparison (Table III).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use qntn_core::architecture::{AirGround, SpaceGround};
+use qntn_core::compare::ComparisonReport;
+use qntn_core::experiments::fidelity::FidelityExperiment;
+use qntn_core::scenario::Qntn;
+use qntn_net::SimConfig;
+use qntn_orbit::{paper_constellation, walker::paper_slots, PerturbationModel};
+
+fn table1_scenario(c: &mut Criterion) {
+    c.bench_function("table1_scenario_build", |b| {
+        b.iter(|| {
+            let q = Qntn::standard();
+            black_box(q.node_count())
+        })
+    });
+}
+
+fn table2_constellation(c: &mut Criterion) {
+    c.bench_function("table2_slots_108", |b| {
+        b.iter(|| black_box(paper_slots().len()))
+    });
+    c.bench_function("table2_elements_108", |b| {
+        b.iter(|| black_box(paper_constellation(108).len()))
+    });
+}
+
+fn table3_comparison(c: &mut Criterion) {
+    let scenario = Qntn::standard();
+    let mut g = c.benchmark_group("table3_comparison");
+    g.sample_size(10);
+    g.bench_function("n12_quick", |b| {
+        b.iter(|| {
+            let r = ComparisonReport::run(
+                &scenario,
+                SimConfig::default(),
+                black_box(12),
+                FidelityExperiment::quick(),
+            );
+            black_box(r.fidelity_gain())
+        })
+    });
+    g.finish();
+}
+
+fn architecture_construction(c: &mut Criterion) {
+    let scenario = Qntn::standard();
+    let mut g = c.benchmark_group("architecture_construction");
+    g.sample_size(10);
+    g.bench_function("air_ground_full_day", |b| {
+        b.iter(|| {
+            let a = AirGround::standard(&scenario);
+            black_box(a.sim().hosts().len())
+        })
+    });
+    g.bench_function("space_ground_12sats_full_day", |b| {
+        b.iter(|| {
+            let s = SpaceGround::new(&scenario, 12, SimConfig::default(), PerturbationModel::TwoBody);
+            black_box(s.sim().hosts().len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    tables,
+    table1_scenario,
+    table2_constellation,
+    table3_comparison,
+    architecture_construction
+);
+criterion_main!(tables);

@@ -1,0 +1,476 @@
+//! `reproduce` — regenerate every table and figure of the QNTN paper.
+//!
+//! ```text
+//! reproduce [artifact] [--quick]
+//!
+//! artifacts:
+//!   fig5      transmissivity vs entanglement fidelity curve
+//!   fig6      coverage % vs number of satellites (full day)
+//!   fig7      served requests % vs number of satellites
+//!   fig8      average fidelity vs number of satellites
+//!   table1    ground-node coordinates (scenario dump)
+//!   table2    the 108 satellite orbital slots
+//!   table3    space-ground vs air-ground comparison
+//!   topology  link maps of both architectures (Figs. 1-4 data)
+//!   budgets   representative FSO link budgets
+//!   extensions  night-ops / HAP-jitter / congestion / QKD extensions
+//!   export    write CSV/DOT artifacts for every figure into ./out/
+//!   all       everything above except export (default)
+//!
+//! --quick shrinks the workloads (for smoke tests); the default reproduces
+//! the paper's full workload sizes.
+//! ```
+
+use qntn_channel::fso::{FsoChannel, FsoGeometry};
+use qntn_channel::params::FsoParams;
+use qntn_core::architecture::{AirGround, SpaceGround};
+use qntn_core::compare::ComparisonReport;
+use qntn_core::experiments::fidelity::FidelityExperiment;
+use qntn_core::experiments::fig5::FidelityCurve;
+use qntn_core::experiments::fig6::CoverageSweep;
+use qntn_core::experiments::fig7::ServedSeries;
+use qntn_core::experiments::fig8::FidelitySeries;
+use qntn_core::experiments::paper_constellation_sizes;
+use qntn_core::experiments::sweep::{ConstellationSweep, SweepSettings};
+use qntn_core::report;
+use qntn_core::scenario::Qntn;
+use qntn_net::SimConfig;
+use qntn_orbit::walker::paper_slots;
+use qntn_orbit::PerturbationModel;
+
+const USAGE: &str = "\
+reproduce [artifact] [--quick]
+
+artifacts:
+  fig5        transmissivity vs entanglement fidelity curve
+  fig6        coverage % vs number of satellites (full day)
+  fig7        served requests % vs number of satellites
+  fig8        average fidelity vs number of satellites
+  table1      ground-node coordinates (scenario dump)
+  table2      the 108 satellite orbital slots
+  table3      space-ground vs air-ground comparison
+  topology    link maps of both architectures (Figs. 1-4 data)
+  budgets     representative FSO link budgets
+  extensions  night-ops / jitter / congestion / QKD / survivability /
+              demand / heralded / sensitivity extensions
+  export      write CSV/DOT artifacts for every figure into ./out/
+  all         everything except export (default)
+
+flags:
+  --quick     reduced workloads (smoke test); default is the paper's sizes
+  --help      this text
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let artifact = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map_or("all", String::as_str);
+
+    let scenario = Qntn::standard();
+    let config = SimConfig::default();
+
+    let run = |name: &str| artifact == "all" || artifact == name;
+
+    if run("table1") {
+        table1(&scenario);
+    }
+    if run("table2") {
+        table2();
+    }
+    if run("fig5") {
+        fig5();
+    }
+    if run("budgets") {
+        budgets();
+    }
+    if run("topology") {
+        topology(&scenario, &config);
+    }
+    if run("fig6") {
+        fig6(&scenario, config, quick);
+    }
+    if run("fig7") || run("fig8") {
+        fig78(&scenario, config, quick, artifact);
+    }
+    if run("table3") {
+        table3(&scenario, config, quick);
+    }
+    if run("extensions") {
+        extensions(&scenario, config, quick);
+    }
+    if artifact == "export" {
+        export(&scenario, config, quick);
+    }
+}
+
+fn export(scenario: &Qntn, config: SimConfig, quick: bool) {
+    use qntn_core::report;
+    use std::fs;
+    let dir = std::path::Path::new("out");
+    fs::create_dir_all(dir).expect("create out/");
+    let write = |name: &str, contents: String| {
+        let path = dir.join(name);
+        fs::write(&path, contents).expect("write artifact");
+        println!("wrote {}", path.display());
+    };
+
+    write("fig5.csv", report::fig5_csv(&FidelityCurve::paper()));
+
+    let sizes = if quick { vec![6, 36, 108] } else { paper_constellation_sizes() };
+    let cov = CoverageSweep::run(scenario, config, &sizes, PerturbationModel::TwoBody);
+    write("fig6.csv", report::fig6_csv(&cov));
+
+    let settings = if quick {
+        SweepSettings { sampled_steps: 20, requests_per_step: 25, ..SweepSettings::paper() }
+    } else {
+        SweepSettings::paper()
+    };
+    let sweep = ConstellationSweep::run(scenario, config, &sizes, settings, PerturbationModel::TwoBody);
+    write("fig7_fig8.csv", report::sweep_csv(&sweep));
+
+    let experiment = if quick {
+        FidelityExperiment { sampled_steps: 20, requests_per_step: 25, ..FidelityExperiment::paper() }
+    } else {
+        FidelityExperiment::paper()
+    };
+    let cmp = ComparisonReport::run(scenario, config, *sizes.last().unwrap(), experiment);
+    write("table3.txt", report::table3(&cmp));
+
+    let air = AirGround::new(scenario, config);
+    let g = air.sim().active_graph_at(0);
+    write("topology_air_ground.dot", report::topology_dot(air.sim(), &g, "QNTN air-ground (t=0)"));
+    let space = SpaceGround::new(scenario, 36, config, PerturbationModel::TwoBody);
+    let g = space.sim().active_graph_at(0);
+    write(
+        "topology_space_ground_36.dot",
+        report::topology_dot(space.sim(), &g, "QNTN space-ground, 36 satellites (t=0)"),
+    );
+
+    // One satellite movement sheet, as the paper's STK workflow produced.
+    let eph = SpaceGround::ephemerides(1, PerturbationModel::TwoBody);
+    write("movement_sheet_sat000.csv", eph[0].to_csv());
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn table1(scenario: &Qntn) {
+    banner("Table I — ground node coordinates");
+    for lan in &scenario.lans {
+        println!("{} ({} nodes):", lan.name, lan.nodes.len());
+        for (k, n) in lan.nodes.iter().enumerate() {
+            println!("  {}-{k}: ({:.5}, {:.5})", lan.name, n.lat_deg(), n.lon_deg());
+        }
+    }
+    println!(
+        "HAP: ({:.4}, {:.4}) @ {:.0} km",
+        scenario.hap.lat_deg(),
+        scenario.hap.lon_deg(),
+        scenario.hap.alt_m / 1000.0
+    );
+}
+
+fn table2() {
+    banner("Table II — satellite orbital configurations (RAAN, true anomaly)");
+    let slots = paper_slots();
+    for (i, s) in slots.iter().enumerate() {
+        print!("({:>3.0},{:>3.0}) ", s.raan_deg, s.true_anomaly_deg);
+        if (i + 1) % 6 == 0 {
+            println!();
+        }
+    }
+    println!("total: {} satellites, a = 6871 km, i = 53 deg", slots.len());
+}
+
+fn fig5() {
+    banner("Fig. 5 — transmissivity vs entanglement fidelity");
+    let curve = FidelityCurve::paper();
+    print!("{}", report::fig5_csv(&curve));
+    let th = curve.threshold_for_fidelity(0.9).unwrap();
+    println!("# first eta with F >= 0.9: {th:.2} (paper threshold: 0.70)");
+}
+
+fn budgets() {
+    banner("Representative FSO link budgets");
+    let p = FsoParams::ideal();
+    let cases = [
+        (
+            "satellite zenith (500 km)",
+            FsoGeometry::downlink(1.2, 500e3, 1.2, 300.0, 500e3, 90f64.to_radians()),
+        ),
+        (
+            "satellite 45 deg (690 km)",
+            FsoGeometry::downlink(1.2, 500e3, 1.2, 300.0, 690e3, 45f64.to_radians()),
+        ),
+        (
+            "satellite 25 deg (1050 km)",
+            FsoGeometry::downlink(1.2, 500e3, 1.2, 300.0, 1050e3, 25f64.to_radians()),
+        ),
+        (
+            "satellite 20 deg (1220 km)",
+            FsoGeometry::downlink(1.2, 500e3, 1.2, 300.0, 1220e3, 20f64.to_radians()),
+        ),
+        (
+            "HAP->Cookeville (~78 km)",
+            FsoGeometry::downlink(0.3, 30e3, 1.2, 300.0, 78e3, 22f64.to_radians()),
+        ),
+        (
+            "ISL in-plane (6871 km)",
+            FsoGeometry::downlink(1.2, 500e3, 1.2, 500e3, 6.871e6, 0.0),
+        ),
+    ];
+    for (name, geom) in cases {
+        let b = FsoChannel::new(geom, p).budget();
+        println!("{name}:\n{b}\n");
+    }
+}
+
+fn topology(scenario: &Qntn, config: &SimConfig) {
+    use qntn_net::Snapshot;
+    banner("Topology (Figs. 1-4 data)");
+    let air = AirGround::new(scenario, *config);
+    println!("air-ground census:");
+    print!("{}", Snapshot::take(air.sim(), 0).render());
+    let hap = air.hap_node();
+    println!(
+        "HAP links {} ground nodes (threshold {})\n",
+        air.sim().active_graph_at(0).neighbors(hap).len(),
+        config.threshold
+    );
+
+    let space = SpaceGround::new(scenario, 36, *config, PerturbationModel::TwoBody);
+    println!("space-ground (36 sats) census:");
+    print!("{}", Snapshot::take(space.sim(), 0).render());
+}
+
+fn fig6(scenario: &Qntn, config: SimConfig, quick: bool) {
+    banner("Fig. 6 — coverage % vs number of satellites");
+    let sizes = if quick { vec![6, 36, 108] } else { paper_constellation_sizes() };
+    let sweep = CoverageSweep::run(scenario, config, &sizes, PerturbationModel::TwoBody);
+    print!("{}", report::fig6_table(&sweep));
+    println!(
+        "# paper: 108 satellites -> 55.17% coverage; measured: {:.2}%",
+        sweep.final_point().coverage_percent
+    );
+}
+
+fn fig78(scenario: &Qntn, config: SimConfig, quick: bool, artifact: &str) {
+    banner("Fig. 7/8 — served requests and fidelity vs number of satellites");
+    let sizes = if quick { vec![6, 36, 108] } else { paper_constellation_sizes() };
+    let settings = if quick {
+        SweepSettings { sampled_steps: 20, requests_per_step: 25, ..SweepSettings::paper() }
+    } else {
+        SweepSettings::paper()
+    };
+    let sweep =
+        ConstellationSweep::run(scenario, config, &sizes, settings, PerturbationModel::TwoBody);
+    print!("{}", report::sweep_table(&sweep));
+    let served = ServedSeries::from_sweep(&sweep);
+    let fid = FidelitySeries::from_sweep(&sweep);
+    if artifact == "fig7" || artifact == "all" {
+        println!(
+            "# paper Fig. 7: 108 satellites -> 57.75% served; measured: {:.2}%",
+            served.served_percent.last().unwrap()
+        );
+    }
+    if artifact == "fig8" || artifact == "all" {
+        println!(
+            "# paper Fig. 8: average fidelity 0.96; measured at 108: end-to-end {:.4}, per-link {:.4}",
+            fid.mean_fidelity.last().unwrap(),
+            fid.mean_link_fidelity.last().unwrap()
+        );
+    }
+}
+
+fn extensions(scenario: &Qntn, _config: SimConfig, quick: bool) {
+    use qntn_core::experiments::congestion::CongestionSweep;
+    use qntn_core::experiments::night::NightOps;
+    use qntn_core::experiments::stability::StabilitySweep;
+    use qntn_orbit::Twilight;
+
+    banner("Extension: darkness-gated quantum links (night ops)");
+    let night = NightOps {
+        twilight: Twilight::Astronomical,
+        satellites: if quick { 24 } else { 108 },
+    }
+    .run(scenario, SimConfig::default());
+    println!(
+        "all-cities-dark fraction (astronomical, July 1): {:.2}%",
+        night.dark_percent
+    );
+    println!(
+        "space-ground coverage: nominal {:.2}% -> night-gated {:.2}%",
+        night.space_nominal_percent, night.space_night_percent
+    );
+    println!(
+        "air-ground coverage:   nominal 100.00% -> night-gated {:.2}%",
+        night.air_night_percent
+    );
+
+    banner("Extension: HAP pointing jitter (stability)");
+    let experiment = if quick {
+        FidelityExperiment { sampled_steps: 2, requests_per_step: 20, ..FidelityExperiment::quick() }
+    } else {
+        FidelityExperiment { sampled_steps: 10, requests_per_step: 50, ..FidelityExperiment::paper() }
+    };
+    let sweep = StabilitySweep::run(scenario, &StabilitySweep::standard_jitters_urad(), experiment);
+    println!("{:>12} {:>9} {:>11} {:>9}", "jitter_urad", "served_%", "F_end2end", "mean_eta");
+    for p in &sweep.points {
+        println!(
+            "{:>12.1} {:>9.2} {:>11.4} {:>9.4}",
+            p.jitter_urad, p.report.served_percent, p.report.mean_fidelity, p.report.mean_eta
+        );
+    }
+    match sweep.tolerable_jitter_urad() {
+        Some(j) => println!("# largest jitter still serving 100%: {j:.1} urad"),
+        None => println!("# no tested jitter level served 100%"),
+    }
+
+    banner("Extension: finite pair rates (congestion)");
+    let rates = [0.05, 0.2, 1.0, 5.0, 20.0];
+    let sweep = CongestionSweep::run(scenario, &rates, 100, 2024);
+    println!("{:>10} {:>9} {:>13}", "rate_hz", "served_%", "congested_%");
+    for p in &sweep.points {
+        println!("{:>10.2} {:>9.2} {:>13.2}", p.attempt_rate_hz, p.served_percent, p.congestion_percent);
+    }
+    println!(
+        "# air-ground's 100% headline needs roughly {} pair-attempts/s per link at 100 simultaneous requests",
+        sweep.saturation_rate_hz().map_or("> tested".into(), |r| format!("{r:.1}"))
+    );
+
+    banner("Extension: QKD-grade service (BBM92 one-way key)");
+    use qntn_core::experiments::qkd::QkdExperiment;
+    let exp = if quick {
+        QkdExperiment { sampled_steps: 5, requests_per_step: 20, ..QkdExperiment::standard() }
+    } else {
+        QkdExperiment::standard()
+    };
+    let air = AirGround::new(scenario, SimConfig::default());
+    let ra = exp.run_air_ground(&air);
+    let space = SpaceGround::new(
+        scenario,
+        if quick { 24 } else { 108 },
+        SimConfig::default(),
+        PerturbationModel::TwoBody,
+    );
+    let rs = exp.run_space_ground(&space);
+    println!("{:>14} {:>8} {:>8} {:>12} {:>14}", "architecture", "served", "w/ key", "key-capable%", "mean key frac");
+    for (name, r) in [("space-ground", &rs), ("air-ground", &ra)] {
+        println!(
+            "{name:>14} {:>8} {:>8} {:>12.2} {:>14.4}",
+            r.served,
+            r.key_capable,
+            r.key_capable_percent(),
+            r.mean_key_fraction
+        );
+    }
+    println!("# at the paper's 0.7 threshold, 'entanglement served' is NOT 'QKD served'");
+
+    banner("Extension: purification-rescued QKD");
+    use qntn_core::experiments::purified_qkd;
+    println!(
+        "{:>9} {:>7} {:>10} {:>16} {:>16}",
+        "eta_path", "rounds", "key_frac", "raw_pairs/output", "key_bits/raw"
+    );
+    for (eta, outcome) in purified_qkd::sweep(&[0.55, 0.63, 0.70, 0.80, 0.92], 8) {
+        match outcome {
+            Some(o) => println!(
+                "{eta:>9.2} {:>7} {:>10.4} {:>16.1} {:>16.4}",
+                o.rounds, o.key_fraction, o.raw_pairs_per_output, o.key_per_raw_pair
+            ),
+            None => println!("{eta:>9.2} {:>7} {:>10} {:>16} {:>16}", "-", "dead", "-", "-"),
+        }
+    }
+    println!("# BBPSSW+twirl rescues satellite-path key at a multi-pair price");
+
+    banner("Extension: heralded link layer with quantum memories");
+    use qntn_net::HeraldedLink;
+    // Representative relays: HAP (strong links) vs satellite (threshold-ish).
+    let trials = if quick { 300 } else { 2_000 };
+    println!(
+        "{:>12} {:>7} {:>7} {:>10} {:>12} {:>11} {:>9}",
+        "relay", "eta_a", "eta_b", "T1_s", "latency_ms", "F_delivered", "F_ideal"
+    );
+    for (name, ea, eb, t1) in [
+        ("HAP", 0.96, 0.96, 0.05),
+        ("HAP", 0.96, 0.96, 0.005),
+        ("satellite", 0.75, 0.75, 0.05),
+        ("satellite", 0.75, 0.75, 0.005),
+    ] {
+        let link = HeraldedLink { eta_a: ea, eta_b: eb, attempt_rate_hz: 1000.0, memory_t1_s: t1 };
+        let stats = link.simulate(trials, 2024);
+        println!(
+            "{name:>12} {ea:>7.2} {eb:>7.2} {t1:>10.3} {:>12.3} {:>11.4} {:>9.4}",
+            stats.mean_latency_s * 1000.0,
+            stats.mean_fidelity,
+            stats.ideal_fidelity
+        );
+    }
+    println!("# the paper's instantaneous-distribution assumption = the T1 -> inf row");
+
+    banner("Extension: survivability (vertex-disjoint inter-city paths)");
+    use qntn_core::experiments::survivability::SurvivabilityExperiment;
+    let surv = if quick {
+        SurvivabilityExperiment { sampled_steps: 5, pairs_per_step: 10, ..SurvivabilityExperiment::standard() }
+    } else {
+        SurvivabilityExperiment::standard()
+    };
+    let air = AirGround::new(scenario, SimConfig::default());
+    let ra = surv.run_air_ground(&air);
+    let space = SpaceGround::new(
+        scenario,
+        if quick { 36 } else { 108 },
+        SimConfig::default(),
+        PerturbationModel::TwoBody,
+    );
+    let rs = surv.run_space_ground(&space);
+    println!(
+        "{:>14} {:>11} {:>11} {:>11} {:>8}",
+        "architecture", "connected%", "redundant%", "mean_paths", "max"
+    );
+    for (name, r) in [("space-ground", &rs), ("air-ground", &ra)] {
+        println!(
+            "{name:>14} {:>11.2} {:>11.2} {:>11.2} {:>8}",
+            r.connected_percent, r.redundant_percent, r.mean_disjoint_paths, r.max_disjoint_paths
+        );
+    }
+    println!("# neither architecture offers platform redundancy: the HAP is a single\n# point of failure by construction, and Walker spacing makes simultaneous\n# double-coverage of one city pair rare even at 108 satellites");
+
+    banner("Extension: demand alignment (business-hours weighting)");
+    use qntn_core::experiments::demand;
+    let r = demand::analyze(scenario, SimConfig::default(), if quick { 24 } else { 108 });
+    println!("space-ground coverage:            {:.2}% plain, {:.2}% demand-weighted", r.space_percent, r.space_weighted_percent);
+    println!("space-ground night-gated:         {:.2}% demand-weighted", r.space_night_weighted_percent);
+    println!("air-ground night-gated:           {:.2}% demand-weighted", r.air_night_weighted_percent);
+    println!("# darkness-gated quantum service is anti-correlated with demand");
+
+    banner("Extension: calibration sensitivity (coverage response)");
+    use qntn_core::experiments::sensitivity::SensitivityTable;
+    let n = if quick { 24 } else { 108 };
+    let table = SensitivityTable::compute(scenario, n, 0.1);
+    print!("{}", table.render());
+}
+
+fn table3(scenario: &Qntn, config: SimConfig, quick: bool) {
+    banner("Table III — architecture comparison");
+    let experiment = if quick {
+        FidelityExperiment {
+            sampled_steps: 20,
+            requests_per_step: 25,
+            ..FidelityExperiment::paper()
+        }
+    } else {
+        FidelityExperiment::paper()
+    };
+    let r = ComparisonReport::run(scenario, config, 108, experiment);
+    print!("{}", report::table3(&r));
+    println!("# paper: space 55.17%/57.75%/0.96, air 100%/100%/0.98");
+}

@@ -1,0 +1,6 @@
+//! # qntn-bench — benchmark harness for the QNTN reproduction
+//!
+//! Hosts the `reproduce` binary (regenerates every table and figure as
+//! text/CSV) and the Criterion benches (`figures`, `tables`, `ablations`,
+//! `extensions`, `microbench`). See EXPERIMENTS.md at the workspace root
+//! for the paper-vs-measured record.

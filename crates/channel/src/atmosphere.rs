@@ -1,0 +1,158 @@
+//! Atmospheric extinction (the η_atm factor of the paper's Eq. 2).
+//!
+//! We model clear-sky molecular/aerosol extinction with an exponential
+//! profile `α(h) = α₀·e^{−h/H}`. The optical depth of a slant path between
+//! altitudes `h_lo < h_hi` at zenith angle ζ is then closed-form:
+//!
+//! ```text
+//! τ = α₀·H·(e^{−h_lo/H} − e^{−h_hi/H})·sec ζ,      η_atm = e^{−τ}
+//! ```
+//!
+//! The flat-atmosphere secant approximation is accurate to a few percent up
+//! to ζ ≈ 75°, comfortably covering the paper's π/9 (70° zenith) elevation
+//! mask. The sea-level coefficient is part of the calibrated "ideal
+//! conditions" parameter set (see [`crate::params`]).
+
+use serde::{Deserialize, Serialize};
+
+/// An exponential clear-sky atmosphere.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Atmosphere {
+    /// Sea-level extinction coefficient, 1/m.
+    pub sea_level_extinction_per_m: f64,
+    /// Scale height, metres.
+    pub scale_height_m: f64,
+}
+
+impl Atmosphere {
+    /// Construct; panics on non-physical inputs.
+    pub fn new(sea_level_extinction_per_m: f64, scale_height_m: f64) -> Atmosphere {
+        assert!(sea_level_extinction_per_m >= 0.0, "extinction must be non-negative");
+        assert!(scale_height_m > 0.0, "scale height must be positive");
+        Atmosphere { sea_level_extinction_per_m, scale_height_m }
+    }
+
+    /// A vacuum (for inter-satellite links).
+    pub fn vacuum() -> Atmosphere {
+        Atmosphere { sea_level_extinction_per_m: 0.0, scale_height_m: 1.0 }
+    }
+
+    /// Extinction coefficient at altitude `h_m`, 1/m.
+    #[inline]
+    pub fn extinction_at(&self, h_m: f64) -> f64 {
+        self.sea_level_extinction_per_m * (-h_m.max(0.0) / self.scale_height_m).exp()
+    }
+
+    /// Zenith optical depth between two altitudes (order-insensitive).
+    pub fn zenith_optical_depth(&self, h_a: f64, h_b: f64) -> f64 {
+        let (lo, hi) = if h_a <= h_b { (h_a, h_b) } else { (h_b, h_a) };
+        let h = self.scale_height_m;
+        self.sea_level_extinction_per_m
+            * h
+            * ((-lo.max(0.0) / h).exp() - (-hi.max(0.0) / h).exp())
+    }
+
+    /// Slant-path optical depth at elevation `elev` (radians above horizon).
+    ///
+    /// Uses the flat-slab secant factor, clamped so grazing paths do not
+    /// produce unbounded depths (a 5° floor on the elevation — links that
+    /// low are far below the transmissivity threshold anyway).
+    pub fn slant_optical_depth(&self, h_a: f64, h_b: f64, elev: f64) -> f64 {
+        let clamped = elev.max(5.0_f64.to_radians());
+        self.zenith_optical_depth(h_a, h_b) / clamped.sin()
+    }
+
+    /// Transmissivity of a slant path: `e^{−τ}`.
+    pub fn transmissivity(&self, h_a: f64, h_b: f64, elev: f64) -> f64 {
+        (-self.slant_optical_depth(h_a, h_b, elev)).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn atm() -> Atmosphere {
+        Atmosphere::new(2.0e-6, 6_600.0)
+    }
+
+    #[test]
+    fn vacuum_is_transparent() {
+        let v = Atmosphere::vacuum();
+        assert_eq!(v.transmissivity(0.0, 500_000.0, 0.3), 1.0);
+    }
+
+    #[test]
+    fn zenith_depth_ground_to_space_is_alpha_h() {
+        let a = atm();
+        let tau = a.zenith_optical_depth(0.0, 1e9);
+        assert!((tau - 2.0e-6 * 6_600.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depth_is_order_insensitive_and_additive() {
+        let a = atm();
+        assert_eq!(
+            a.zenith_optical_depth(0.0, 30_000.0),
+            a.zenith_optical_depth(30_000.0, 0.0)
+        );
+        let whole = a.zenith_optical_depth(0.0, 500_000.0);
+        let split = a.zenith_optical_depth(0.0, 30_000.0) + a.zenith_optical_depth(30_000.0, 500_000.0);
+        assert!((whole - split).abs() < 1e-15);
+    }
+
+    #[test]
+    fn most_extinction_is_below_hap_altitude() {
+        // 30 km is ~4.5 scale heights: ≥98% of the zenith depth lies below.
+        let a = atm();
+        let below = a.zenith_optical_depth(0.0, 30_000.0);
+        let total = a.zenith_optical_depth(0.0, 1e9);
+        assert!(below / total > 0.98, "{}", below / total);
+    }
+
+    #[test]
+    fn secant_scaling() {
+        let a = atm();
+        let zenith = a.slant_optical_depth(0.0, 500_000.0, FRAC_PI_2);
+        let slant = a.slant_optical_depth(0.0, 500_000.0, std::f64::consts::PI / 6.0);
+        assert!((slant / zenith - 2.0).abs() < 1e-9, "sec(60°) = 2");
+    }
+
+    #[test]
+    fn grazing_clamp() {
+        let a = atm();
+        let t0 = a.transmissivity(0.0, 500_000.0, 0.0);
+        let t5 = a.transmissivity(0.0, 500_000.0, 5.0_f64.to_radians());
+        assert!(t0 > 0.0, "no blow-up at the horizon");
+        assert!((t0 - t5).abs() < 1e-12, "clamped to the 5° floor");
+    }
+
+    #[test]
+    fn transmissivity_monotone_in_elevation() {
+        let a = atm();
+        let mut prev = 0.0;
+        for deg in [5.0, 10.0, 20.0, 45.0, 90.0] {
+            let t = a.transmissivity(0.0, 500_000.0, f64::to_radians(deg));
+            assert!(t > prev, "elev {deg}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn high_altitude_paths_see_little_atmosphere() {
+        // 30 km -> 500 km slant: optically almost free.
+        let a = atm();
+        let t = a.transmissivity(30_000.0, 500_000.0, 0.5);
+        assert!(t > 0.999, "{t}");
+    }
+
+    #[test]
+    fn extinction_profile_decays() {
+        let a = atm();
+        assert!(a.extinction_at(0.0) > a.extinction_at(6_600.0));
+        assert!((a.extinction_at(6_600.0) / a.extinction_at(0.0) - (-1.0_f64).exp()).abs() < 1e-12);
+        // Negative altitudes clamp to sea level.
+        assert_eq!(a.extinction_at(-100.0), a.extinction_at(0.0));
+    }
+}

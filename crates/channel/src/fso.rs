@@ -1,0 +1,366 @@
+//! Free-space optical channels (the paper's Eq. 2: η = η_th·η_atm·η_eff).
+//!
+//! The beam model is a Gaussian beam launched from the *higher* endpoint
+//! (the entanglement source in both QNTN architectures is the airborne
+//! platform, Micius-style, so every atmospheric FSO link is a downlink):
+//!
+//! 1. **Diffraction**: waist `w₀ = ratio·a_tx` spreads to
+//!    `w_d = w₀·√(1 + (L/z_R)²)`, `z_R = πw₀²/λ`.
+//! 2. **Turbulence**: long-term spread `w_lt = w_d·√T` with `T` from the
+//!    Rytov variance of the slant path ([`TurbulenceProfile`](crate::turbulence::TurbulenceProfile)).
+//! 3. **Aperture coupling**: `η_th = 1 − e^{−2a_rx²/w_lt²}` — the power of a
+//!    Gaussian spot captured by the receiver aperture of radius `a_rx`.
+//! 4. **Extinction**: `η_atm` from the exponential atmosphere.
+//! 5. **Receiver efficiency**: `η_eff`, a constant.
+//!
+//! Inter-satellite links (both endpoints above 80 km) skip 2 and 4.
+
+use crate::budget::LinkBudget;
+use crate::params::{ElevationMode, FsoParams};
+use serde::{Deserialize, Serialize};
+
+/// Altitude above which a path endpoint counts as "in space" (no
+/// atmosphere/turbulence contribution on space-space paths).
+pub const SPACE_ALTITUDE_M: f64 = 80_000.0;
+
+/// The geometry of one FSO link at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FsoGeometry {
+    /// Transmit aperture **diameter**, metres (the higher endpoint).
+    pub tx_aperture_m: f64,
+    /// Receive aperture **diameter**, metres (the lower endpoint).
+    pub rx_aperture_m: f64,
+    /// Transmitter altitude, metres.
+    pub tx_alt_m: f64,
+    /// Receiver altitude, metres.
+    pub rx_alt_m: f64,
+    /// Slant range, metres.
+    pub range_m: f64,
+    /// Geometric elevation of the line of sight above the lower endpoint's
+    /// horizon, radians.
+    pub elevation_rad: f64,
+}
+
+impl FsoGeometry {
+    /// Normalize so the transmitter is the higher endpoint (entanglement
+    /// sources are airborne in QNTN; see module docs). Swaps apertures and
+    /// altitudes if needed.
+    pub fn downlink(
+        high_aperture_m: f64,
+        high_alt_m: f64,
+        low_aperture_m: f64,
+        low_alt_m: f64,
+        range_m: f64,
+        elevation_rad: f64,
+    ) -> FsoGeometry {
+        if high_alt_m >= low_alt_m {
+            FsoGeometry {
+                tx_aperture_m: high_aperture_m,
+                rx_aperture_m: low_aperture_m,
+                tx_alt_m: high_alt_m,
+                rx_alt_m: low_alt_m,
+                range_m,
+                elevation_rad,
+            }
+        } else {
+            FsoGeometry {
+                tx_aperture_m: low_aperture_m,
+                rx_aperture_m: high_aperture_m,
+                tx_alt_m: low_alt_m,
+                rx_alt_m: high_alt_m,
+                range_m,
+                elevation_rad,
+            }
+        }
+    }
+
+    /// True when both endpoints are above the sensible atmosphere.
+    #[inline]
+    pub fn is_space_only(&self) -> bool {
+        self.tx_alt_m.min(self.rx_alt_m) > SPACE_ALTITUDE_M
+    }
+}
+
+/// A free-space optical channel: geometry + calibrated parameters.
+///
+/// ```
+/// use qntn_channel::fso::{FsoChannel, FsoGeometry};
+/// use qntn_channel::params::FsoParams;
+///
+/// // A zenith satellite downlink: 500 km with the paper's 1.2 m apertures.
+/// let geom = FsoGeometry::downlink(1.2, 500_000.0, 1.2, 300.0, 500_000.0,
+///                                  std::f64::consts::FRAC_PI_2);
+/// let eta = FsoChannel::new(geom, FsoParams::ideal()).transmissivity();
+/// assert!(eta > 0.8 && eta < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FsoChannel {
+    pub geometry: FsoGeometry,
+    pub params: FsoParams,
+}
+
+impl FsoChannel {
+    /// Bind geometry to a parameter set.
+    pub fn new(geometry: FsoGeometry, params: FsoParams) -> FsoChannel {
+        assert!(geometry.range_m > 0.0, "range must be positive");
+        assert!(geometry.tx_aperture_m > 0.0 && geometry.rx_aperture_m > 0.0);
+        FsoChannel { geometry, params }
+    }
+
+    /// The elevation used by the attenuation formulas per the configured
+    /// [`ElevationMode`].
+    fn effective_elevation(&self) -> f64 {
+        match self.params.elevation_mode {
+            ElevationMode::Geometric => self.geometry.elevation_rad,
+            ElevationMode::Fixed(e) => e,
+        }
+    }
+
+    /// Full itemized link budget.
+    pub fn budget(&self) -> LinkBudget {
+        self.budget_with_rytov(None)
+    }
+
+    /// Link budget with an externally supplied Rytov variance (the network
+    /// simulator caches Rytov over an elevation grid because the Simpson
+    /// integral is by far the most expensive factor; `None` computes it
+    /// exactly). Space-only paths ignore the override.
+    pub fn budget_with_rytov(&self, rytov_override: Option<f64>) -> LinkBudget {
+        let g = &self.geometry;
+        let p = &self.params;
+        let k = p.wavenumber();
+        let elev = self.effective_elevation();
+
+        // 1. Diffraction.
+        let w0 = p.tx_waist_ratio * g.tx_aperture_m / 2.0;
+        let z_r = std::f64::consts::PI * w0 * w0 / p.wavelength_m;
+        let ratio = g.range_m / z_r;
+        let w_diff = w0 * (1.0 + ratio * ratio).sqrt();
+
+        // 2. Turbulence spread (atmospheric paths only; the receiver is the
+        //    lower endpoint by construction).
+        let (rytov, spread) = if g.is_space_only() {
+            (0.0, 1.0)
+        } else {
+            let r = rytov_override.unwrap_or_else(|| {
+                p.turbulence
+                    .rytov_variance_downlink(k, g.rx_alt_m, g.tx_alt_m, elev)
+            });
+            (r, p.turbulence.spread_factor(r, k, g.range_m, w_diff))
+        };
+        // Pointing jitter broadens the long-term spot: Gaussian-pointing
+        // averaging adds 2(σ_p·L)² to the spot variance.
+        let jitter_m = p.pointing_jitter_rad * g.range_m;
+        let w_lt = (w_diff * w_diff * spread + 2.0 * jitter_m * jitter_m).sqrt();
+
+        // 3. Aperture coupling.
+        let a_rx = g.rx_aperture_m / 2.0;
+        let eta_th = 1.0 - (-2.0 * a_rx * a_rx / (w_lt * w_lt)).exp();
+
+        // 4. Extinction.
+        let eta_atm = if g.is_space_only() {
+            1.0
+        } else {
+            p.atmosphere.transmissivity(g.rx_alt_m, g.tx_alt_m, elev)
+        };
+
+        LinkBudget {
+            range_m: g.range_m,
+            elevation_rad: elev,
+            beam_waist_m: w0,
+            diffraction_spot_m: w_diff,
+            rytov_variance: rytov,
+            turbulence_spread: spread,
+            long_term_spot_m: w_lt,
+            eta_th,
+            eta_atm,
+            eta_eff: p.receiver_efficiency,
+        }
+    }
+
+    /// Total transmissivity η = η_th·η_atm·η_eff (the paper's Eq. 2).
+    pub fn transmissivity(&self) -> f64 {
+        self.budget().eta_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::FsoParams;
+
+    /// A satellite downlink at the given slant range / elevation with the
+    /// paper's 1.2 m apertures.
+    fn sat_link(range_m: f64, elev_deg: f64) -> FsoChannel {
+        FsoChannel::new(
+            FsoGeometry::downlink(1.2, 500_000.0, 1.2, 300.0, range_m, elev_deg.to_radians()),
+            FsoParams::ideal(),
+        )
+    }
+
+    /// A HAP downlink: 30 cm transmit aperture at 30 km, 1.2 m ground.
+    fn hap_link(range_m: f64, elev_deg: f64) -> FsoChannel {
+        FsoChannel::new(
+            FsoGeometry::downlink(0.3, 30_000.0, 1.2, 300.0, range_m, elev_deg.to_radians()),
+            FsoParams::ideal(),
+        )
+    }
+
+    #[test]
+    fn downlink_normalization_swaps_endpoints() {
+        let g = FsoGeometry::downlink(1.2, 300.0, 0.3, 30_000.0, 78_000.0, 0.4);
+        assert_eq!(g.tx_alt_m, 30_000.0);
+        assert_eq!(g.tx_aperture_m, 0.3);
+        assert_eq!(g.rx_aperture_m, 1.2);
+    }
+
+    #[test]
+    fn transmissivity_in_unit_interval() {
+        for (l, e) in [(500e3, 90.0), (700e3, 45.0), (1220e3, 20.0), (78e3, 22.0)] {
+            let eta = sat_link(l, e).transmissivity();
+            assert!((0.0..=1.0).contains(&eta), "L={l} e={e}: {eta}");
+        }
+    }
+
+    #[test]
+    fn zenith_satellite_link_is_strong() {
+        // 500 km zenith pass with 1.2 m apertures: comfortably above 0.8.
+        let eta = sat_link(500e3, 90.0).transmissivity();
+        assert!(eta > 0.8, "{eta}");
+    }
+
+    #[test]
+    fn satellite_threshold_crossing_between_20_and_40_degrees() {
+        // The calibration that drives the paper's ~55% coverage: the 0.7
+        // threshold is crossed somewhere in the mid-elevations, so the
+        // effective mask is tighter than the geometric π/9.
+        let lo = sat_link(1220e3, 20.0).transmissivity();
+        let hi = sat_link(780e3, 40.0).transmissivity();
+        assert!(lo < 0.7, "at 20°: {lo}");
+        assert!(hi > 0.7, "at 40°: {hi}");
+    }
+
+    #[test]
+    fn hap_link_supports_high_fidelity() {
+        // ~78 km slant at ~22° elevation: η ≈ 0.95 ⇒ F ≈ 0.98.
+        let eta = hap_link(78e3, 22.0).transmissivity();
+        assert!(eta > 0.9, "{eta}");
+        let f = (1.0 + (eta * eta).sqrt()) / 2.0; // two-link path fidelity
+        assert!(f > 0.94, "{f}");
+    }
+
+    #[test]
+    fn hap_beats_satellite_at_matched_elevation() {
+        let hap = hap_link(78e3, 25.0).transmissivity();
+        let sat = sat_link(1050e3, 25.0).transmissivity();
+        assert!(hap > sat, "hap={hap} sat={sat}");
+    }
+
+    #[test]
+    fn isl_at_constellation_spacing_is_far_below_threshold() {
+        // Adjacent satellites in one plane are 2·a·sin(30°) = 6871 km apart;
+        // even 1.2 m apertures cannot close that with a diffracting beam.
+        let isl = FsoChannel::new(
+            FsoGeometry::downlink(1.2, 500_000.0, 1.2, 500_000.0, 6_871_000.0, 0.0),
+            FsoParams::ideal(),
+        );
+        let eta = isl.transmissivity();
+        assert!(eta < 0.2, "{eta}");
+        // And the budget confirms it's pure diffraction (vacuum path).
+        let b = isl.budget();
+        assert_eq!(b.eta_atm, 1.0);
+        assert_eq!(b.turbulence_spread, 1.0);
+    }
+
+    #[test]
+    fn short_isl_would_be_nearly_lossless() {
+        let isl = FsoChannel::new(
+            FsoGeometry::downlink(1.2, 500_000.0, 1.2, 500_000.0, 100_000.0, 0.0),
+            FsoParams::ideal(),
+        );
+        // Capped near 1 − e^{−2/ratio²} ≈ 0.937 by receiver truncation.
+        assert!(isl.transmissivity() > 0.92, "{}", isl.transmissivity());
+    }
+
+    #[test]
+    fn monotone_decreasing_in_range() {
+        let mut prev = 1.1;
+        for l_km in [300.0, 500.0, 700.0, 900.0, 1100.0, 1300.0] {
+            let eta = sat_link(l_km * 1000.0, 45.0).transmissivity();
+            assert!(eta < prev, "L={l_km}");
+            prev = eta;
+        }
+    }
+
+    #[test]
+    fn monotone_increasing_in_elevation_at_fixed_range() {
+        let mut prev = 0.0;
+        for e in [10.0, 20.0, 40.0, 70.0, 90.0] {
+            let eta = sat_link(700e3, e).transmissivity();
+            assert!(eta > prev, "e={e}");
+            prev = eta;
+        }
+    }
+
+    #[test]
+    fn fixed_elevation_mode_ignores_geometry() {
+        let params = FsoParams::ideal_fixed_elevation();
+        let a = FsoChannel::new(
+            FsoGeometry::downlink(1.2, 500e3, 1.2, 300.0, 700e3, 0.2),
+            params,
+        );
+        let b = FsoChannel::new(
+            FsoGeometry::downlink(1.2, 500e3, 1.2, 300.0, 700e3, 1.2),
+            params,
+        );
+        assert_eq!(a.transmissivity(), b.transmissivity());
+    }
+
+    #[test]
+    fn weather_degrades_links() {
+        let ideal = hap_link(78e3, 22.0).transmissivity();
+        let stormy = FsoChannel::new(
+            hap_link(78e3, 22.0).geometry,
+            FsoParams::ideal().with_weather(10.0),
+        )
+        .transmissivity();
+        assert!(stormy < ideal, "stormy={stormy} ideal={ideal}");
+    }
+
+    #[test]
+    fn budget_factors_multiply_to_total() {
+        let b = sat_link(900e3, 30.0).budget();
+        assert!((b.eta_total() - b.eta_th * b.eta_atm * b.eta_eff).abs() < 1e-15);
+        assert!(b.long_term_spot_m >= b.diffraction_spot_m);
+    }
+
+    #[test]
+    fn pointing_jitter_degrades_links() {
+        let geom = FsoGeometry::downlink(0.3, 30_000.0, 1.2, 300.0, 78_000.0, 0.4);
+        let clean = FsoChannel::new(geom, FsoParams::ideal()).transmissivity();
+        let mut prev = clean;
+        for sigma in [1e-6, 5e-6, 2e-5, 1e-4] {
+            let eta = FsoChannel::new(
+                geom,
+                FsoParams::ideal().with_pointing_jitter(sigma),
+            )
+            .transmissivity();
+            assert!(eta <= prev + 1e-12, "sigma {sigma}");
+            prev = eta;
+        }
+        // Microradian-class jitter is harmless; 100 urad over 78 km is not.
+        let tiny = FsoChannel::new(geom, FsoParams::ideal().with_pointing_jitter(1e-6))
+            .transmissivity();
+        assert!((tiny - clean).abs() < 1e-3);
+        assert!(prev < clean * 0.8, "100 urad should hurt: {prev} vs {clean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "range must be positive")]
+    fn rejects_zero_range() {
+        FsoChannel::new(
+            FsoGeometry::downlink(1.2, 500e3, 1.2, 0.0, 0.0, 0.5),
+            FsoParams::ideal(),
+        );
+    }
+}

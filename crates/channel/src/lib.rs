@@ -1,0 +1,41 @@
+//! # qntn-channel — optical channel transmissivity models
+//!
+//! Everything that turns geometry into a transmissivity η ∈ [0, 1], the
+//! quantity the paper feeds into its amplitude-damping channel and its
+//! routing metric:
+//!
+//! - [`fiber::FiberChannel`] — Beer–Lambert fiber loss (paper Eq. 1), with
+//!   the paper's 0.15 dB/km attenuation default.
+//! - [`fso::FsoChannel`] — free-space optical links
+//!   (paper Eq. 2, η = η_th · η_atm · η_eff): Gaussian-beam diffraction with
+//!   aperture truncation, Hufnagel–Valley turbulence-induced beam spread,
+//!   exponential-atmosphere extinction, and receiver efficiency. Supports
+//!   satellite–ground, HAP–ground and (vacuum) inter-satellite geometry.
+//! - [`atmosphere`] / [`turbulence`] — the two altitude-profile models
+//!   behind η_atm and the turbulence term of η_th.
+//! - [`params::FsoParams`] — the clear-sky calibration constants (the paper
+//!   assumes "perfect setup and ideal conditions"; these constants are the
+//!   documented substitution for the Ghalaii–Pirandola parameter set it
+//!   references).
+//! - [`budget::LinkBudget`] — an itemized per-factor report for one link.
+//!
+//! ## Units
+//! Lengths metres, angles radians, transmissivities linear in [0, 1].
+
+pub mod atmosphere;
+pub mod budget;
+pub mod fiber;
+pub mod fso;
+pub mod params;
+pub mod turbulence;
+pub mod units;
+pub mod weather;
+
+pub use atmosphere::Atmosphere;
+pub use budget::LinkBudget;
+pub use fiber::FiberChannel;
+pub use fso::{FsoChannel, FsoGeometry};
+pub use params::{ApertureSet, ElevationMode, FsoParams, PAPER_ELEVATION_RAD};
+pub use turbulence::TurbulenceProfile;
+pub use units::{db_to_linear, linear_to_db};
+pub use weather::{atmosphere_for_visibility, kim_extinction_per_m, WeatherCondition};

@@ -1,0 +1,203 @@
+//! Optical turbulence (the turbulence part of η_th in the paper's Eq. 2).
+//!
+//! The reference the paper takes its FSO parameters from (Ghalaii &
+//! Pirandola 2022) characterizes turbulence through the refractive-index
+//! structure parameter Cn². We implement the standard Hufnagel–Valley
+//! profile, the slant-path Rytov variance, and the turbulence-induced
+//! long-term beam-spread factor of Andrews & Phillips, and expose a single
+//! `spread factor` the beam model multiplies into its spot size.
+//!
+//! The paper's simulations assume "perfect setup and ideal conditions
+//! (stable weather)"; the `turbulence.scale` field of [`crate::params::FsoParams`] scales
+//! the HV-5/7 profile down for that regime (1.0 = nominal HV-5/7), and the
+//! weather-sensitivity ablation sweeps it back up.
+
+use serde::{Deserialize, Serialize};
+
+/// Hufnagel–Valley turbulence profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TurbulenceProfile {
+    /// Ground-level structure constant `A`, m^(−2/3) (HV-5/7: 1.7e-14).
+    pub cn2_ground: f64,
+    /// RMS upper-atmosphere wind speed, m/s (HV-5/7: 21).
+    pub wind_rms_m_s: f64,
+    /// Overall scale factor (1 = nominal profile, <1 = calmer than nominal).
+    pub scale: f64,
+}
+
+impl TurbulenceProfile {
+    /// The canonical HV-5/7 profile.
+    pub fn hv57() -> TurbulenceProfile {
+        TurbulenceProfile { cn2_ground: 1.7e-14, wind_rms_m_s: 21.0, scale: 1.0 }
+    }
+
+    /// The nominal profile scaled by `scale` (ideal-weather regimes use <1).
+    pub fn scaled(scale: f64) -> TurbulenceProfile {
+        assert!(scale >= 0.0, "scale must be non-negative");
+        TurbulenceProfile { scale, ..TurbulenceProfile::hv57() }
+    }
+
+    /// No turbulence at all (vacuum / space-only paths).
+    pub fn none() -> TurbulenceProfile {
+        TurbulenceProfile { cn2_ground: 0.0, wind_rms_m_s: 0.0, scale: 0.0 }
+    }
+
+    /// `Cn²(h)` in m^(−2/3) at altitude `h_m`.
+    pub fn cn2(&self, h_m: f64) -> f64 {
+        let h = h_m.max(0.0);
+        let w = self.wind_rms_m_s / 27.0;
+        let term1 = 0.005_94 * w * w * (1e-5 * h).powi(10) * (-h / 1000.0).exp();
+        let term2 = 2.7e-16 * (-h / 1500.0).exp();
+        let term3 = self.cn2_ground * (-h / 100.0).exp();
+        self.scale * (term1 + term2 + term3)
+    }
+
+    /// Slant-path Rytov variance for a **downlink** (receiver at
+    /// `rx_alt_m`, transmitter far above at `tx_alt_m`), wavenumber
+    /// `k = 2π/λ`, elevation `elev`:
+    ///
+    /// `σ_R² = 2.25·k^{7/6}·sec^{11/6}ζ · ∫ Cn²(h)·(h − h_rx)^{5/6} dh`
+    ///
+    /// Integrated by Simpson's rule up to min(tx_alt, 40 km) — Cn² is
+    /// negligible above.
+    pub fn rytov_variance_downlink(
+        &self,
+        k: f64,
+        rx_alt_m: f64,
+        tx_alt_m: f64,
+        elev: f64,
+    ) -> f64 {
+        if self.scale == 0.0 || tx_alt_m <= rx_alt_m {
+            return 0.0;
+        }
+        let zenith = std::f64::consts::FRAC_PI_2 - elev.max(5.0_f64.to_radians());
+        let sec = 1.0 / zenith.cos();
+        let h_top = tx_alt_m.min(40_000.0);
+        if h_top <= rx_alt_m {
+            return 0.0;
+        }
+        let integral = simpson(rx_alt_m, h_top, 400, |h| {
+            self.cn2(h) * (h - rx_alt_m).max(0.0).powf(5.0 / 6.0)
+        });
+        2.25 * k.powf(7.0 / 6.0) * sec.powf(11.0 / 6.0) * integral
+    }
+
+    /// Long-term turbulence beam-spread factor `T ≥ 1`: the long-term spot
+    /// size is `w_lt = w_d·√T` with
+    /// `T = 1 + 1.33·σ_R²·Λ^{5/6}`, `Λ = 2L/(k·w_d²)`
+    /// (Andrews & Phillips, weak-to-moderate fluctuation theory).
+    pub fn spread_factor(&self, rytov_var: f64, k: f64, path_m: f64, w_diff_m: f64) -> f64 {
+        if rytov_var <= 0.0 {
+            return 1.0;
+        }
+        let lambda_param = 2.0 * path_m / (k * w_diff_m * w_diff_m);
+        1.0 + 1.33 * rytov_var * lambda_param.powf(5.0 / 6.0)
+    }
+}
+
+/// Simpson's rule on `[a, b]` with `n` (even) panels.
+fn simpson(a: f64, b: f64, n: usize, f: impl Fn(f64) -> f64) -> f64 {
+    assert!(n >= 2 && n % 2 == 0, "Simpson needs an even panel count");
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for i in 1..n {
+        let x = a + h * i as f64;
+        acc += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    acc * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const K_810NM: f64 = 2.0 * std::f64::consts::PI / 810e-9;
+
+    #[test]
+    fn simpson_integrates_polynomials_exactly() {
+        // Simpson is exact for cubics.
+        let got = simpson(0.0, 2.0, 2, |x| x * x * x);
+        assert!((got - 4.0).abs() < 1e-12);
+        let got = simpson(-1.0, 3.0, 100, |x| 3.0 * x * x);
+        assert!((got - 28.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hv57_ground_value() {
+        let p = TurbulenceProfile::hv57();
+        // At h=0 the A-term dominates: Cn²(0) ≈ 1.7e-14 + 2.7e-16.
+        assert!((p.cn2(0.0) - 1.727e-14).abs() < 1e-16);
+    }
+
+    #[test]
+    fn cn2_decays_with_altitude() {
+        let p = TurbulenceProfile::hv57();
+        assert!(p.cn2(0.0) > p.cn2(1_000.0));
+        assert!(p.cn2(1_000.0) > p.cn2(10_000.0) / 10.0); // tropopause bump exists
+        assert!(p.cn2(30_000.0) < 1e-17, "{}", p.cn2(30_000.0));
+    }
+
+    #[test]
+    fn zero_scale_kills_everything() {
+        let p = TurbulenceProfile::none();
+        assert_eq!(p.cn2(0.0), 0.0);
+        assert_eq!(p.rytov_variance_downlink(K_810NM, 0.0, 500_000.0, 0.5), 0.0);
+        assert_eq!(p.spread_factor(0.0, K_810NM, 1e6, 0.5), 1.0);
+    }
+
+    #[test]
+    fn downlink_rytov_magnitude_is_weak() {
+        // Downlink scintillation at 810 nm, zenith: σ_R² well below 1
+        // (weak-fluctuation regime) for the nominal profile.
+        let p = TurbulenceProfile::hv57();
+        let r = p.rytov_variance_downlink(K_810NM, 0.0, 500_000.0, std::f64::consts::FRAC_PI_2);
+        assert!(r > 0.0 && r < 1.0, "{r}");
+    }
+
+    #[test]
+    fn rytov_grows_toward_the_horizon() {
+        let p = TurbulenceProfile::hv57();
+        let hi = p.rytov_variance_downlink(K_810NM, 0.0, 500_000.0, std::f64::consts::FRAC_PI_2);
+        let lo = p.rytov_variance_downlink(K_810NM, 0.0, 500_000.0, std::f64::consts::PI / 9.0);
+        assert!(lo > hi, "lo={lo} hi={hi}");
+        // sec^{11/6}(70°) ≈ 7.2.
+        assert!((lo / hi - (1.0 / 20.0_f64.to_radians().sin()).powf(11.0 / 6.0)).abs() / (lo / hi) < 0.01);
+    }
+
+    #[test]
+    fn elevated_receiver_sees_less_turbulence() {
+        // A receiver at 30 km (HAP) is above almost all Cn².
+        let p = TurbulenceProfile::hv57();
+        let ground = p.rytov_variance_downlink(K_810NM, 0.0, 500_000.0, 0.9);
+        let hap = p.rytov_variance_downlink(K_810NM, 30_000.0, 500_000.0, 0.9);
+        assert!(hap < ground * 1e-3, "hap={hap} ground={ground}");
+    }
+
+    #[test]
+    fn spread_factor_at_least_one_and_monotone() {
+        let p = TurbulenceProfile::hv57();
+        let mut prev = 1.0;
+        for r in [0.0, 0.01, 0.1, 0.5] {
+            let t = p.spread_factor(r, K_810NM, 700_000.0, 0.5);
+            assert!(t >= prev, "rytov {r}");
+            prev = t;
+        }
+        assert_eq!(p.spread_factor(0.0, K_810NM, 700_000.0, 0.5), 1.0);
+    }
+
+    #[test]
+    fn scaling_is_linear_in_cn2() {
+        let half = TurbulenceProfile::scaled(0.5);
+        let full = TurbulenceProfile::hv57();
+        let rh = half.rytov_variance_downlink(K_810NM, 0.0, 500_000.0, 0.8);
+        let rf = full.rytov_variance_downlink(K_810NM, 0.0, 500_000.0, 0.8);
+        assert!((rh * 2.0 - rf).abs() / rf < 1e-9);
+    }
+
+    #[test]
+    fn no_turbulence_above_the_transmitter() {
+        let p = TurbulenceProfile::hv57();
+        // tx below rx: treated as no turbulent path (handled by caller for uplinks).
+        assert_eq!(p.rytov_variance_downlink(K_810NM, 500_000.0, 30_000.0, 0.8), 0.0);
+    }
+}

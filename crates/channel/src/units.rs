@@ -1,0 +1,70 @@
+//! Decibel ↔ linear conversions.
+//!
+//! Losses in the optics literature mix conventions freely (the paper quotes
+//! fiber attenuation in dB/km but writes Eq. 1 with a natural-log
+//! coefficient); these helpers keep the workspace honest about which one a
+//! number is in.
+
+/// Convert a power ratio in dB to linear (`10^(dB/10)`).
+#[inline]
+pub fn db_to_linear(db: f64) -> f64 {
+    10.0_f64.powf(db / 10.0)
+}
+
+/// Convert a linear power ratio to dB (`10·log₁₀`).
+#[inline]
+pub fn linear_to_db(linear: f64) -> f64 {
+    10.0 * linear.log10()
+}
+
+/// Convert an attenuation coefficient in dB/km to nepers/m (the `α` of the
+/// paper's `η = e^{−αl}` with `l` in metres).
+#[inline]
+pub fn db_per_km_to_nepers_per_m(db_per_km: f64) -> f64 {
+    db_per_km / (1000.0 * 10.0 / std::f64::consts::LN_10)
+}
+
+/// Convert nepers/m to dB/km.
+#[inline]
+pub fn nepers_per_m_to_db_per_km(nepers_per_m: f64) -> f64 {
+    nepers_per_m * 1000.0 * 10.0 / std::f64::consts::LN_10
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn db_linear_roundtrip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 10.0] {
+            assert!((linear_to_db(db_to_linear(db)) - db).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        assert!((db_to_linear(-10.0) - 0.1).abs() < 1e-15);
+        assert!((db_to_linear(-3.0) - 0.501_187).abs() < 1e-6);
+        assert!((linear_to_db(0.5) + 3.0103).abs() < 1e-4);
+    }
+
+    #[test]
+    fn nepers_conversion_roundtrip() {
+        let alpha = db_per_km_to_nepers_per_m(0.15);
+        assert!((nepers_per_m_to_db_per_km(alpha) - 0.15).abs() < 1e-12);
+        // 0.15 dB/km ≈ 3.454e-5 nepers/m.
+        assert!((alpha - 3.4539e-5).abs() < 1e-8, "{alpha}");
+    }
+
+    #[test]
+    fn conversion_consistency() {
+        // exp(-α·L) must equal 10^(-dB·L/10) for matched coefficients.
+        let db_per_km = 0.15;
+        let alpha = db_per_km_to_nepers_per_m(db_per_km);
+        for l_km in [1.0, 10.0, 50.0, 111.0] {
+            let via_exp = (-alpha * l_km * 1000.0).exp();
+            let via_db = db_to_linear(-db_per_km * l_km);
+            assert!((via_exp - via_db).abs() < 1e-12, "L={l_km}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Weather-to-extinction mapping (Kim model).
+//!
+//! The weather extension sweeps need physical units: "visibility 10 km
+//! haze" means more than "extinction × 8". The Kim model (the standard FSO
+//! engineering form of Kruse's law) maps meteorological visibility `V` to
+//! the extinction coefficient at wavelength λ:
+//!
+//! ```text
+//! α = (3.912 / V) · (λ / 550 nm)^(−q),   q = q(V)
+//! ```
+//!
+//! with the piecewise size-distribution exponent
+//!
+//! ```text
+//! V > 50 km        q = 1.6
+//! 6 < V ≤ 50 km    q = 1.3
+//! 1 < V ≤ 6 km     q = 0.16·V + 0.34
+//! 0.5 < V ≤ 1 km   q = V − 0.5
+//! V ≤ 0.5 km       q = 0
+//! ```
+
+use crate::atmosphere::Atmosphere;
+use serde::{Deserialize, Serialize};
+
+/// Named weather conditions with their conventional visibility ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeatherCondition {
+    /// Exceptionally clear: V = 50 km.
+    ExceptionallyClear,
+    /// Clear: V = 20 km.
+    Clear,
+    /// Light haze: V = 6 km.
+    LightHaze,
+    /// Haze: V = 4 km.
+    Haze,
+    /// Mist: V = 2 km.
+    Mist,
+    /// Light fog: V = 0.8 km.
+    LightFog,
+    /// Moderate fog: V = 0.4 km.
+    ModerateFog,
+}
+
+impl WeatherCondition {
+    /// Conventional meteorological visibility, metres.
+    pub fn visibility_m(&self) -> f64 {
+        match self {
+            WeatherCondition::ExceptionallyClear => 50_000.0,
+            WeatherCondition::Clear => 20_000.0,
+            WeatherCondition::LightHaze => 6_000.0,
+            WeatherCondition::Haze => 4_000.0,
+            WeatherCondition::Mist => 2_000.0,
+            WeatherCondition::LightFog => 800.0,
+            WeatherCondition::ModerateFog => 400.0,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WeatherCondition::ExceptionallyClear => "exceptionally clear (V=50 km)",
+            WeatherCondition::Clear => "clear (V=20 km)",
+            WeatherCondition::LightHaze => "light haze (V=6 km)",
+            WeatherCondition::Haze => "haze (V=4 km)",
+            WeatherCondition::Mist => "mist (V=2 km)",
+            WeatherCondition::LightFog => "light fog (V=0.8 km)",
+            WeatherCondition::ModerateFog => "moderate fog (V=0.4 km)",
+        }
+    }
+}
+
+/// Kim's size-distribution exponent `q(V)`.
+pub fn kim_q(visibility_m: f64) -> f64 {
+    let v_km = visibility_m / 1000.0;
+    if v_km > 50.0 {
+        1.6
+    } else if v_km > 6.0 {
+        1.3
+    } else if v_km > 1.0 {
+        0.16 * v_km + 0.34
+    } else if v_km > 0.5 {
+        v_km - 0.5
+    } else {
+        0.0
+    }
+}
+
+/// Sea-level extinction coefficient (1/m) at `wavelength_m` for the given
+/// meteorological visibility (Kim model).
+pub fn kim_extinction_per_m(visibility_m: f64, wavelength_m: f64) -> f64 {
+    assert!(visibility_m > 0.0, "visibility must be positive");
+    assert!(wavelength_m > 0.0, "wavelength must be positive");
+    let q = kim_q(visibility_m);
+    (3.912 / visibility_m) * (wavelength_m / 550e-9).powf(-q)
+}
+
+/// An exponential atmosphere whose sea-level extinction follows the Kim
+/// model for the given visibility (scale height 6.6 km, like the clear-sky
+/// default — fog layers are shallower in reality, making this pessimistic
+/// for slant paths; documented conservatism).
+pub fn atmosphere_for_visibility(visibility_m: f64, wavelength_m: f64) -> Atmosphere {
+    Atmosphere::new(kim_extinction_per_m(visibility_m, wavelength_m), 6_600.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LAMBDA: f64 = 810e-9;
+
+    #[test]
+    fn q_is_piecewise_continuous_at_breakpoints() {
+        // At V = 6 km: 0.16*6 + 0.34 = 1.3 — continuous with the clear band.
+        assert!((kim_q(6_000.0) - 1.3).abs() < 1e-12);
+        assert!((kim_q(6_000.1) - 1.3).abs() < 1e-4);
+        // At V = 1 km: 0.16 + 0.34 = 0.5 — continuous with the fog band.
+        assert!((kim_q(1_000.0) - 0.5).abs() < 1e-12);
+        assert!((kim_q(999.9) - 0.4999).abs() < 1e-3);
+        // At V = 0.5 km both branches give 0.
+        assert!((kim_q(500.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extinction_increases_as_visibility_drops() {
+        let mut prev = 0.0;
+        for w in [
+            WeatherCondition::ExceptionallyClear,
+            WeatherCondition::Clear,
+            WeatherCondition::LightHaze,
+            WeatherCondition::Haze,
+            WeatherCondition::Mist,
+            WeatherCondition::LightFog,
+            WeatherCondition::ModerateFog,
+        ] {
+            let a = kim_extinction_per_m(w.visibility_m(), LAMBDA);
+            assert!(a > prev, "{}", w.label());
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn near_ir_beats_visible_in_haze() {
+        // q > 0: longer wavelengths scatter less.
+        let vis = 4_000.0;
+        let a_810 = kim_extinction_per_m(vis, 810e-9);
+        let a_550 = kim_extinction_per_m(vis, 550e-9);
+        assert!(a_810 < a_550);
+    }
+
+    #[test]
+    fn fog_is_wavelength_neutral() {
+        // q = 0 below 500 m visibility: geometry-dominated scattering.
+        let a_810 = kim_extinction_per_m(400.0, 810e-9);
+        let a_1550 = kim_extinction_per_m(400.0, 1550e-9);
+        assert!((a_810 - a_1550).abs() / a_810 < 1e-12);
+    }
+
+    #[test]
+    fn clear_sky_magnitude() {
+        // V = 50 km at 810 nm: ~0.047/km -> ~0.2 dB/km — consistent with
+        // clear-air FSO budgets.
+        let a = kim_extinction_per_m(50_000.0, LAMBDA);
+        let db_per_km = a * 1000.0 * 10.0 / std::f64::consts::LN_10;
+        assert!((0.1..0.5).contains(&db_per_km), "{db_per_km} dB/km");
+    }
+
+    #[test]
+    fn fog_kills_a_hap_link() {
+        // Moderate fog: ~9.8/km extinction; even 1 km of path is opaque.
+        let atm = atmosphere_for_visibility(400.0, LAMBDA);
+        let eta = atm.transmissivity(0.0, 30_000.0, 0.4);
+        assert!(eta < 1e-10, "{eta}");
+    }
+
+    #[test]
+    fn clear_atmosphere_supports_the_network() {
+        let atm = atmosphere_for_visibility(50_000.0, LAMBDA);
+        // Zenith ground-to-space transmissivity stays high.
+        let eta = atm.transmissivity(0.0, 500_000.0, std::f64::consts::FRAC_PI_2);
+        assert!(eta > 0.7, "{eta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "visibility must be positive")]
+    fn rejects_zero_visibility() {
+        kim_extinction_per_m(0.0, LAMBDA);
+    }
+}

@@ -1,0 +1,187 @@
+//! The two interconnection architectures as first-class values.
+
+use crate::scenario::Qntn;
+use qntn_channel::params::ApertureSet;
+use qntn_geo::Epoch;
+use qntn_net::{Host, QuantumNetworkSim, SimConfig};
+use qntn_orbit::ephemeris::{PAPER_DURATION_S, PAPER_STEP_S};
+use qntn_orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
+
+/// Default simulation epoch (arbitrary but fixed; the statistics are
+/// epoch-insensitive because the constellation precesses through all local
+/// times over its planes).
+pub fn default_epoch() -> Epoch {
+    Epoch::from_calendar(2024, 7, 1, 0, 0, 0.0)
+}
+
+/// Build the ground-station hosts common to both architectures.
+fn ground_hosts(scenario: &Qntn, apertures: &ApertureSet) -> Vec<Host> {
+    let mut hosts = Vec::with_capacity(scenario.node_count());
+    for (lan_id, lan) in scenario.lans.iter().enumerate() {
+        for (k, &pos) in lan.nodes.iter().enumerate() {
+            hosts.push(Host::ground(
+                format!("{}-{k}", lan.name),
+                lan_id,
+                pos,
+                apertures.ground_m,
+            ));
+        }
+    }
+    hosts
+}
+
+/// The space–ground architecture: N satellites of the paper's Table II
+/// constellation over the three LANs.
+#[derive(Debug, Clone)]
+pub struct SpaceGround {
+    sim: QuantumNetworkSim,
+    satellites: usize,
+}
+
+impl SpaceGround {
+    /// Build with `n` satellites (the paper's first-n prefix of Table II),
+    /// a full day at 30 s cadence, and the given config.
+    pub fn new(
+        scenario: &Qntn,
+        n: usize,
+        config: SimConfig,
+        model: PerturbationModel,
+    ) -> SpaceGround {
+        let ephemerides = Self::ephemerides(n, model);
+        Self::from_ephemerides(scenario, ephemerides, config)
+    }
+
+    /// The paper's headline configuration: 108 satellites, ideal config.
+    pub fn standard(scenario: &Qntn) -> SpaceGround {
+        Self::new(scenario, 108, SimConfig::default(), PerturbationModel::TwoBody)
+    }
+
+    /// Generate the movement sheets for the first `n` Table II satellites.
+    pub fn ephemerides(n: usize, model: PerturbationModel) -> Vec<Ephemeris> {
+        let epoch = default_epoch();
+        let props: Vec<Propagator> = paper_constellation(n)
+            .into_iter()
+            .map(|k| Propagator::new(k, epoch, model))
+            .collect();
+        Ephemeris::generate_many(&props, epoch, PAPER_STEP_S, PAPER_DURATION_S)
+    }
+
+    /// Build from pre-generated movement sheets (lets the constellation
+    /// sweep share one 108-satellite generation across all N).
+    pub fn from_ephemerides(
+        scenario: &Qntn,
+        ephemerides: Vec<Ephemeris>,
+        config: SimConfig,
+    ) -> SpaceGround {
+        let apertures = ApertureSet::paper();
+        let mut hosts = ground_hosts(scenario, &apertures);
+        let n = ephemerides.len();
+        for (i, eph) in ephemerides.into_iter().enumerate() {
+            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, apertures.satellite_m));
+        }
+        let steps = (PAPER_DURATION_S / PAPER_STEP_S) as usize;
+        SpaceGround {
+            sim: QuantumNetworkSim::new(hosts, config, steps, PAPER_STEP_S),
+            satellites: n,
+        }
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &QuantumNetworkSim {
+        &self.sim
+    }
+
+    /// Number of satellites.
+    pub fn satellites(&self) -> usize {
+        self.satellites
+    }
+}
+
+/// The air–ground architecture: one HAP at 30 km over (35.6692, −85.0662).
+#[derive(Debug, Clone)]
+pub struct AirGround {
+    sim: QuantumNetworkSim,
+}
+
+impl AirGround {
+    /// Build with the given config over the paper's one-day window.
+    pub fn new(scenario: &Qntn, config: SimConfig) -> AirGround {
+        let apertures = ApertureSet::paper();
+        let mut hosts = ground_hosts(scenario, &apertures);
+        hosts.push(Host::hap("HAP-1", scenario.hap, apertures.hap_m));
+        let steps = (PAPER_DURATION_S / PAPER_STEP_S) as usize;
+        AirGround { sim: QuantumNetworkSim::new(hosts, config, steps, PAPER_STEP_S) }
+    }
+
+    /// The paper's configuration.
+    pub fn standard(scenario: &Qntn) -> AirGround {
+        Self::new(scenario, SimConfig::default())
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &QuantumNetworkSim {
+        &self.sim
+    }
+
+    /// Node id of the HAP (always the last host).
+    pub fn hap_node(&self) -> usize {
+        self.sim.hosts().len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn air_ground_topology() {
+        let q = Qntn::standard();
+        let a = AirGround::standard(&q);
+        assert_eq!(a.sim().hosts().len(), 32, "31 ground + 1 HAP");
+        assert_eq!(a.sim().lan_count(), 3);
+        assert!(a.sim().hosts()[a.hap_node()].is_hap());
+        assert_eq!(a.sim().steps(), 2880);
+    }
+
+    #[test]
+    fn air_ground_interconnects_continuously() {
+        let q = Qntn::standard();
+        let a = AirGround::standard(&q);
+        for step in [0, 720, 1440, 2879] {
+            let g = a.sim().active_graph_at(step);
+            assert!(a.sim().lans_interconnected(&g), "step {step}");
+        }
+    }
+
+    #[test]
+    fn space_ground_small_constellation() {
+        let q = Qntn::standard();
+        let s = SpaceGround::new(&q, 6, SimConfig::default(), PerturbationModel::TwoBody);
+        assert_eq!(s.satellites(), 6);
+        assert_eq!(s.sim().hosts().len(), 37);
+        // Satellites are the last 6 hosts.
+        for h in &s.sim().hosts()[31..] {
+            assert!(h.is_satellite());
+            assert_eq!(h.aperture_m, 1.2);
+        }
+    }
+
+    #[test]
+    fn shared_ephemerides_match_direct_construction() {
+        let q = Qntn::standard();
+        let eph = SpaceGround::ephemerides(6, PerturbationModel::TwoBody);
+        let a = SpaceGround::from_ephemerides(&q, eph, SimConfig::default());
+        let b = SpaceGround::new(&q, 6, SimConfig::default(), PerturbationModel::TwoBody);
+        // Same link structure at a probe step.
+        let ga = a.sim().active_graph_at(1000);
+        let gb = b.sim().active_graph_at(1000);
+        assert_eq!(ga.edge_count(), gb.edge_count());
+    }
+
+    #[test]
+    fn hap_aperture_is_30cm() {
+        let q = Qntn::standard();
+        let a = AirGround::standard(&q);
+        assert_eq!(a.sim().hosts()[a.hap_node()].aperture_m, 0.3);
+    }
+}

@@ -1,0 +1,47 @@
+//! Fig. 7 — percentage of served entanglement-distribution requests vs the
+//! number of satellites. A thin projection of [`super::sweep`].
+
+use crate::experiments::sweep::ConstellationSweep;
+use serde::{Deserialize, Serialize};
+
+/// The served-requests series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServedSeries {
+    pub satellites: Vec<usize>,
+    pub served_percent: Vec<f64>,
+}
+
+impl ServedSeries {
+    /// Project the series out of a finished sweep.
+    pub fn from_sweep(sweep: &ConstellationSweep) -> ServedSeries {
+        ServedSeries {
+            satellites: sweep.points.iter().map(|p| p.satellites).collect(),
+            served_percent: sweep.points.iter().map(|p| p.stats.served_percent()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::sweep::{SweepSettings, ConstellationSweep};
+    use crate::scenario::Qntn;
+    use qntn_net::SimConfig;
+    use qntn_orbit::PerturbationModel;
+
+    #[test]
+    fn projection_matches_sweep() {
+        let sweep = ConstellationSweep::run(
+            &Qntn::standard(),
+            SimConfig::default(),
+            &[12],
+            SweepSettings::quick(),
+            PerturbationModel::TwoBody,
+        );
+        let s = ServedSeries::from_sweep(&sweep);
+        assert_eq!(s.satellites, vec![12]);
+        assert_eq!(s.served_percent.len(), 1);
+        assert!((s.served_percent[0] - sweep.points[0].stats.served_percent()).abs() < 1e-12);
+        assert!((0.0..=100.0).contains(&s.served_percent[0]));
+    }
+}

@@ -1,0 +1,93 @@
+//! The paper's future-work hybrid: a HAP **and** a satellite constellation.
+//!
+//! Section V: "we will investigate hybrid solutions that combine the
+//! strengths of both space-ground and air-ground architectures." This
+//! extension builds that network — the HAP provides the always-on floor,
+//! satellites add extra (sometimes shorter/stronger) paths — and evaluates
+//! it with the same experiment harness.
+
+use crate::architecture::{default_epoch, SpaceGround};
+use crate::scenario::Qntn;
+use qntn_channel::params::ApertureSet;
+use qntn_net::{Host, QuantumNetworkSim, SimConfig};
+use qntn_orbit::ephemeris::{PAPER_DURATION_S, PAPER_STEP_S};
+use qntn_orbit::PerturbationModel;
+
+/// The hybrid architecture: ground LANs + one HAP + N satellites.
+#[derive(Debug, Clone)]
+pub struct Hybrid {
+    sim: QuantumNetworkSim,
+    satellites: usize,
+}
+
+impl Hybrid {
+    /// Build with `n` satellites plus the standard HAP.
+    pub fn new(
+        scenario: &Qntn,
+        n: usize,
+        config: SimConfig,
+        model: PerturbationModel,
+    ) -> Hybrid {
+        let apertures = ApertureSet::paper();
+        let mut hosts = Vec::new();
+        for (lan_id, lan) in scenario.lans.iter().enumerate() {
+            for (k, &pos) in lan.nodes.iter().enumerate() {
+                hosts.push(Host::ground(
+                    format!("{}-{k}", lan.name),
+                    lan_id,
+                    pos,
+                    apertures.ground_m,
+                ));
+            }
+        }
+        hosts.push(Host::hap("HAP-1", scenario.hap, apertures.hap_m));
+        for (i, eph) in SpaceGround::ephemerides(n, model).into_iter().enumerate() {
+            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, apertures.satellite_m));
+        }
+        let steps = (PAPER_DURATION_S / PAPER_STEP_S) as usize;
+        let _ = default_epoch();
+        Hybrid { sim: QuantumNetworkSim::new(hosts, config, steps, PAPER_STEP_S), satellites: n }
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &QuantumNetworkSim {
+        &self.sim
+    }
+
+    /// Number of satellites (in addition to the HAP).
+    pub fn satellites(&self) -> usize {
+        self.satellites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::fidelity::FidelityExperiment;
+
+    #[test]
+    fn hybrid_keeps_full_coverage() {
+        let q = Qntn::standard();
+        let h = Hybrid::new(&q, 6, SimConfig::default(), PerturbationModel::TwoBody);
+        assert_eq!(h.satellites(), 6);
+        assert_eq!(h.sim().hosts().len(), 31 + 1 + 6);
+        let r = FidelityExperiment::quick().run(h.sim());
+        // The HAP floor guarantees the air-ground properties survive.
+        assert!((r.coverage_percent - 100.0).abs() < 1e-12);
+        assert!((r.served_percent - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hybrid_fidelity_at_least_air_ground() {
+        // Extra satellite paths can only help the routing optimum; with the
+        // paper's hop-biased metric they in practice leave fidelity within
+        // noise of the HAP-only value.
+        let q = Qntn::standard();
+        let h = Hybrid::new(&q, 6, SimConfig::default(), PerturbationModel::TwoBody);
+        let air = crate::architecture::AirGround::standard(&q);
+        let e = FidelityExperiment::quick();
+        let rh = e.run(h.sim());
+        let ra = e.run_air_ground(&air);
+        assert!(rh.mean_fidelity > ra.mean_fidelity - 0.05);
+    }
+}

@@ -1,0 +1,47 @@
+//! One module per artifact of the paper's evaluation section.
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig5`] | Fig. 5 — transmissivity vs entanglement fidelity |
+//! | [`visibility`] + [`fig6`] | Fig. 6 — coverage % vs number of satellites |
+//! | [`sweep`] + [`fig7`]/[`fig8`] | Fig. 7/8 — served % and fidelity vs N |
+//! | [`fidelity`] | the per-architecture fidelity/served experiment (Table III inputs) |
+//! | [`hybrid`] | the paper's future-work hybrid (HAP + constellation) |
+//!
+//! All experiments are deterministic for a fixed seed and parallel over
+//! their dominant axis (satellites or time steps).
+
+pub mod congestion;
+pub mod demand;
+pub mod fidelity;
+pub mod fig5;
+pub mod fleet;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod hybrid;
+pub mod night;
+pub mod purified_qkd;
+pub mod qkd;
+pub mod sensitivity;
+pub mod survivability;
+pub mod stability;
+pub mod sweep;
+pub mod visibility;
+
+/// The constellation sizes the paper sweeps: 6, 12, …, 108.
+pub fn paper_constellation_sizes() -> Vec<usize> {
+    (1..=18).map(|k| k * 6).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sizes_are_6_to_108() {
+        let s = super::paper_constellation_sizes();
+        assert_eq!(s.first(), Some(&6));
+        assert_eq!(s.last(), Some(&108));
+        assert_eq!(s.len(), 18);
+        assert!(s.windows(2).all(|w| w[1] - w[0] == 6));
+    }
+}

@@ -1,0 +1,26 @@
+//! # qntn-core — the QNTN scenario and the paper's experiments
+//!
+//! Ties the substrates together into the paper's study:
+//!
+//! - [`scenario::Qntn`] — the three Tennessee LANs with every Table I
+//!   coordinate, plus the HAP position and paper parameters.
+//! - [`architecture`] — the two contenders as first-class values:
+//!   [`architecture::SpaceGround`] (N satellites of the Table II
+//!   constellation driving a day-long simulation) and
+//!   [`architecture::AirGround`] (the single 30 km HAP).
+//! - [`experiments`] — one module per figure/table of the evaluation:
+//!   Fig. 5 (transmissivity→fidelity), Fig. 6 (coverage vs N), Fig. 7
+//!   (served requests vs N), Fig. 8 (fidelity vs N), Table III
+//!   (architecture comparison), plus the hybrid extension.
+//! - [`compare`] — Table III assembly from the experiment outputs.
+//! - [`report`] — text/CSV rendering used by the `reproduce` binary.
+
+pub mod architecture;
+pub mod compare;
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+
+pub use architecture::{AirGround, SpaceGround};
+pub use compare::{ArchitectureMetrics, ComparisonReport};
+pub use scenario::Qntn;

@@ -1,0 +1,217 @@
+//! Text and CSV rendering for the `reproduce` binary and the examples.
+
+use crate::compare::ComparisonReport;
+use crate::experiments::fig5::FidelityCurve;
+use crate::experiments::fig6::CoverageSweep;
+use crate::experiments::sweep::ConstellationSweep;
+use qntn_net::QuantumNetworkSim;
+use qntn_routing::Graph;
+
+/// Render the Fig. 5 curve as CSV (`eta,fidelity,fidelity_jozsa`).
+pub fn fig5_csv(curve: &FidelityCurve) -> String {
+    let mut out = String::from("eta,fidelity_sqrt,fidelity_jozsa\n");
+    for p in &curve.points {
+        out.push_str(&format!("{:.2},{:.6},{:.6}\n", p.eta, p.fidelity, p.fidelity_jozsa));
+    }
+    out
+}
+
+/// Render the Fig. 6 sweep as an aligned text table.
+pub fn fig6_table(sweep: &CoverageSweep) -> String {
+    let mut out = String::from("satellites  coverage_%  coverage_min  intervals\n");
+    for p in &sweep.points {
+        out.push_str(&format!(
+            "{:>10}  {:>10.2}  {:>12.1}  {:>9}\n",
+            p.satellites, p.coverage_percent, p.coverage_minutes, p.intervals
+        ));
+    }
+    out
+}
+
+/// Render the Fig. 7/8 sweep as an aligned text table.
+pub fn sweep_table(sweep: &ConstellationSweep) -> String {
+    let mut out = String::from(
+        "satellites  served_%  F_end2end  F_per_link  mean_eta  mean_hops\n",
+    );
+    for p in &sweep.points {
+        out.push_str(&format!(
+            "{:>10}  {:>8.2}  {:>9.4}  {:>10.4}  {:>8.4}  {:>9.2}\n",
+            p.satellites,
+            p.stats.served_percent(),
+            p.stats.mean_fidelity,
+            p.stats.mean_link_fidelity,
+            p.stats.mean_eta,
+            p.stats.mean_hops
+        ));
+    }
+    out
+}
+
+/// Render Table III.
+pub fn table3(report: &ComparisonReport) -> String {
+    let mut out = String::new();
+    out.push_str("Architecture              P_%     Serving_%  F_end2end  F_per_link\n");
+    for m in [&report.space_ground, &report.air_ground] {
+        out.push_str(&format!(
+            "{:<24}  {:>6.2}  {:>9.2}  {:>9.4}  {:>10.4}\n",
+            m.name, m.coverage_percent, m.served_percent, m.mean_fidelity, m.mean_link_fidelity
+        ));
+    }
+    out.push_str(&format!(
+        "gains (air - space): coverage {:+.2} pts, served {:+.2} pts, fidelity {:+.4}\n",
+        report.coverage_gain_points(),
+        report.served_gain_points(),
+        report.fidelity_gain()
+    ));
+    out
+}
+
+/// Render the Fig. 6 sweep as CSV.
+pub fn fig6_csv(sweep: &CoverageSweep) -> String {
+    let mut out = String::from("satellites,coverage_percent,coverage_minutes,intervals\n");
+    for p in &sweep.points {
+        out.push_str(&format!(
+            "{},{:.4},{:.2},{}\n",
+            p.satellites, p.coverage_percent, p.coverage_minutes, p.intervals
+        ));
+    }
+    out
+}
+
+/// Render the Fig. 7/8 sweep as CSV.
+pub fn sweep_csv(sweep: &ConstellationSweep) -> String {
+    let mut out = String::from(
+        "satellites,served_percent,fidelity_end2end,fidelity_per_link,mean_eta,mean_hops\n",
+    );
+    for p in &sweep.points {
+        out.push_str(&format!(
+            "{},{:.4},{:.6},{:.6},{:.6},{:.4}\n",
+            p.satellites,
+            p.stats.served_percent(),
+            p.stats.mean_fidelity,
+            p.stats.mean_link_fidelity,
+            p.stats.mean_eta,
+            p.stats.mean_hops
+        ));
+    }
+    out
+}
+
+/// Render one time step's active network as Graphviz DOT (the data behind
+/// the paper's Figs. 1, 3 and 4). Ground nodes are grouped by LAN;
+/// airborne platforms are boxes; edge labels carry transmissivities.
+pub fn topology_dot(sim: &QuantumNetworkSim, graph: &Graph, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph qntn {{\n  label=\"{title}\";\n  layout=neato;\n"));
+    for (i, h) in sim.hosts().iter().enumerate() {
+        let shape = if h.is_ground() { "circle" } else { "box" };
+        let g = h.geodetic_at(0);
+        out.push_str(&format!(
+            "  n{i} [label=\"{}\", shape={shape}, pos=\"{:.3},{:.3}!\"];\n",
+            h.name,
+            (g.lon_deg() + 86.0) * 20.0,
+            (g.lat_deg() - 35.0) * 20.0,
+        ));
+    }
+    for (u, v, eta) in graph.edges() {
+        let style = if sim.hosts()[u].is_ground() && sim.hosts()[v].is_ground() {
+            "solid" // fiber (the paper draws these red solid)
+        } else {
+            "dashed" // FSO (green dashed in the paper)
+        };
+        out.push_str(&format!(
+            "  n{u} -- n{v} [label=\"{eta:.2}\", style={style}];\n"
+        ));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::ArchitectureMetrics;
+    use crate::experiments::fig6::CoveragePoint;
+
+    #[test]
+    fn fig5_csv_shape() {
+        let csv = fig5_csv(&FidelityCurve::with_resolution(4));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].starts_with("eta,"));
+        assert!(lines[1].starts_with("0.00,0.5"));
+        assert!(lines[5].starts_with("1.00,1.0"));
+    }
+
+    #[test]
+    fn fig6_table_contains_rows() {
+        let sweep = CoverageSweep {
+            points: vec![CoveragePoint {
+                satellites: 108,
+                coverage_percent: 55.17,
+                coverage_minutes: 794.5,
+                intervals: 42,
+            }],
+        };
+        let t = fig6_table(&sweep);
+        assert!(t.contains("108"));
+        assert!(t.contains("55.17"));
+    }
+
+    #[test]
+    fn csv_renders_have_headers_and_rows() {
+        let sweep = CoverageSweep {
+            points: vec![CoveragePoint {
+                satellites: 6,
+                coverage_percent: 3.02,
+                coverage_minutes: 43.5,
+                intervals: 12,
+            }],
+        };
+        let csv = fig6_csv(&sweep);
+        assert!(csv.starts_with("satellites,"));
+        assert!(csv.contains("6,3.0200"));
+    }
+
+    #[test]
+    fn topology_dot_structure() {
+        use crate::architecture::AirGround;
+        use crate::scenario::Qntn;
+        let arch = AirGround::standard(&Qntn::standard());
+        let g = arch.sim().active_graph_at(0);
+        let dot = topology_dot(arch.sim(), &g, "air-ground");
+        assert!(dot.starts_with("graph qntn {"));
+        assert!(dot.contains("HAP-1"));
+        assert!(dot.contains("style=dashed"), "FSO links are dashed");
+        assert!(dot.contains("style=solid"), "fiber links are solid");
+        assert!(dot.trim_end().ends_with('}'));
+        // One node line per host.
+        assert_eq!(dot.matches("shape=").count(), arch.sim().hosts().len());
+    }
+
+    #[test]
+    fn table3_renders_both_rows_and_gains() {
+        let r = ComparisonReport {
+            space_ground: ArchitectureMetrics {
+                name: "Space-Ground (108 sats)".into(),
+                coverage_percent: 55.17,
+                served_percent: 57.75,
+                mean_fidelity: 0.96,
+                mean_link_fidelity: 0.96,
+            },
+            air_ground: ArchitectureMetrics {
+                name: "Air-Ground (1 HAP)".into(),
+                coverage_percent: 100.0,
+                served_percent: 100.0,
+                mean_fidelity: 0.98,
+                mean_link_fidelity: 0.98,
+            },
+        };
+        let t = table3(&r);
+        assert!(t.contains("Space-Ground"));
+        assert!(t.contains("Air-Ground"));
+        assert!(t.contains("+44.83"));
+        assert!(t.contains("+42.25"));
+        assert!(t.contains("+0.0200"));
+    }
+}

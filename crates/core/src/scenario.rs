@@ -1,0 +1,326 @@
+//! The QNTN scenario: every ground node of the paper's Table I, the HAP,
+//! and the paper's global parameters.
+
+use qntn_geo::Geodetic;
+use serde::{Deserialize, Serialize};
+
+/// Ground elevation assigned to each city's nodes (Table I gives no
+/// altitudes; these are the approximate terrain elevations).
+pub const TTU_GROUND_ALT_M: f64 = 300.0;
+pub const ORNL_GROUND_ALT_M: f64 = 250.0;
+pub const EPB_GROUND_ALT_M: f64 = 200.0;
+
+/// The HAP's position (paper Section II-C): (35.6692, −85.0662) at 30 km.
+pub const HAP_LAT_DEG: f64 = 35.6692;
+pub const HAP_LON_DEG: f64 = -85.0662;
+pub const HAP_ALT_M: f64 = 30_000.0;
+
+/// Table I — Tennessee Tech University (5 nodes, engineering quad).
+pub const TTU_NODES_DEG: [(f64, f64); 5] = [
+    (36.1757, -85.5066),
+    (36.1751, -85.5067),
+    (36.1754, -85.5074),
+    (36.1755, -85.5058),
+    (36.1756, -85.5080),
+];
+
+/// Table I — Oak Ridge National Laboratory (11 nodes).
+pub const ORNL_NODES_DEG: [(f64, f64); 11] = [
+    (35.91, -84.3),
+    (35.91, -84.303),
+    (35.918, -84.304),
+    (35.92, -84.321),
+    (35.927, -84.313),
+    (35.9238, -84.316),
+    (35.9285, -84.31283),
+    (35.9294, -84.3101),
+    (35.9293, -84.3106),
+    (35.9298, -84.3106),
+    (35.9309, -84.308),
+];
+
+/// Table I — EPB commercial quantum network, Chattanooga (15 nodes).
+pub const EPB_NODES_DEG: [(f64, f64); 15] = [
+    (35.04159, -85.2799),
+    (35.04169, -85.2801),
+    (35.04179, -85.2803),
+    (35.04189, -85.2805),
+    (35.04199, -85.2807),
+    (35.04051, -85.2806),
+    (35.04061, -85.2807),
+    (35.04071, -85.2808),
+    (35.04081, -85.2809),
+    (35.04091, -85.2810),
+    (35.03971, -85.2810),
+    (35.03981, -85.2811),
+    (35.03991, -85.2812),
+    (35.04001, -85.2813),
+    (35.04011, -85.2814),
+];
+
+/// One local-area network of the scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Lan {
+    /// Short name ("TTU", "ORNL", "EPB").
+    pub name: String,
+    /// Node positions.
+    pub nodes: Vec<Geodetic>,
+}
+
+/// The full QNTN scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Qntn {
+    /// The three LANs, in the paper's order: TTU (0), ORNL (1), EPB (2).
+    pub lans: Vec<Lan>,
+    /// The HAP position for the air-ground architecture.
+    pub hap: Geodetic,
+}
+
+impl Qntn {
+    /// The paper's scenario, verbatim from Table I and Section II-C.
+    pub fn standard() -> Qntn {
+        let lan = |name: &str, coords: &[(f64, f64)], alt: f64| Lan {
+            name: name.to_string(),
+            nodes: coords
+                .iter()
+                .map(|&(lat, lon)| Geodetic::from_deg(lat, lon, alt))
+                .collect(),
+        };
+        Qntn {
+            lans: vec![
+                lan("TTU", &TTU_NODES_DEG, TTU_GROUND_ALT_M),
+                lan("ORNL", &ORNL_NODES_DEG, ORNL_GROUND_ALT_M),
+                lan("EPB", &EPB_NODES_DEG, EPB_GROUND_ALT_M),
+            ],
+            hap: Geodetic::from_deg(HAP_LAT_DEG, HAP_LON_DEG, HAP_ALT_M),
+        }
+    }
+
+    /// Total ground node count (paper: 5 + 11 + 15 = 31).
+    pub fn node_count(&self) -> usize {
+        self.lans.iter().map(|l| l.nodes.len()).sum()
+    }
+
+    /// Geodetic centroid of one LAN (zero altitude).
+    pub fn lan_centroid(&self, lan: usize) -> Geodetic {
+        let nodes = &self.lans[lan].nodes;
+        let (mut lat, mut lon) = (0.0, 0.0);
+        for n in nodes {
+            lat += n.lat;
+            lon += n.lon;
+        }
+        Geodetic::new(lat / nodes.len() as f64, lon / nodes.len() as f64, 0.0)
+    }
+}
+
+/// Parameters for a synthetic multi-city scenario (the paper's stated goal
+/// is to "pave the way for other networks to be built based on our
+/// analysis"; this generator builds those other networks).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SyntheticRegion {
+    /// Centre of the region.
+    pub center_lat_deg: f64,
+    pub center_lon_deg: f64,
+    /// Radius within which city centres are placed, metres.
+    pub region_radius_m: f64,
+    /// Number of cities (LANs).
+    pub cities: usize,
+    /// Ground nodes per city.
+    pub nodes_per_city: usize,
+    /// Campus radius per city, metres (nodes scatter within it).
+    pub campus_radius_m: f64,
+    /// Ground altitude assigned to every node, metres.
+    pub ground_alt_m: f64,
+}
+
+impl SyntheticRegion {
+    /// A Tennessee-like default: 3 cities in a 100 km-radius region.
+    pub fn tennessee_like() -> SyntheticRegion {
+        SyntheticRegion {
+            center_lat_deg: 35.7,
+            center_lon_deg: -85.1,
+            region_radius_m: 100_000.0,
+            cities: 3,
+            nodes_per_city: 8,
+            campus_radius_m: 800.0,
+            ground_alt_m: 300.0,
+        }
+    }
+
+    /// Generate a scenario deterministically from `seed`. City centres are
+    /// spread on a ring plus jitter (guaranteeing regional separation);
+    /// nodes scatter uniformly inside each campus. The HAP is placed at the
+    /// cities' centroid at 30 km.
+    pub fn generate(&self, seed: u64) -> Qntn {
+        assert!(self.cities >= 2, "a regional network needs at least two cities");
+        assert!(self.nodes_per_city >= 1);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let center = Geodetic::from_deg(self.center_lat_deg, self.center_lon_deg, 0.0);
+
+        let mut lans = Vec::with_capacity(self.cities);
+        let mut centres = Vec::with_capacity(self.cities);
+        for c in 0..self.cities {
+            // Ring placement with radial jitter keeps cities apart.
+            let az = std::f64::consts::TAU * c as f64 / self.cities as f64
+                + 0.3 * (next() - 0.5);
+            let radius = self.region_radius_m * (0.6 + 0.4 * next());
+            let city = qntn_geo::destination(center, az, radius, &qntn_geo::WGS84);
+            centres.push(city);
+            let nodes = (0..self.nodes_per_city)
+                .map(|_| {
+                    let naz = std::f64::consts::TAU * next();
+                    let nr = self.campus_radius_m * next().sqrt();
+                    qntn_geo::destination(city, naz, nr, &qntn_geo::WGS84)
+                        .with_alt(self.ground_alt_m)
+                })
+                .collect();
+            lans.push(Lan { name: format!("CITY-{c}"), nodes });
+        }
+
+        // HAP over the centroid of the city centres.
+        let (mut lat, mut lon) = (0.0, 0.0);
+        for c in &centres {
+            lat += c.lat;
+            lon += c.lon;
+        }
+        let n = centres.len() as f64;
+        Qntn {
+            lans,
+            hap: Geodetic::new(lat / n, lon / n, HAP_ALT_M),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qntn_geo::{vincenty_m, WGS84};
+
+    #[test]
+    fn node_counts_match_table_i() {
+        let q = Qntn::standard();
+        assert_eq!(q.lans.len(), 3);
+        assert_eq!(q.lans[0].nodes.len(), 5, "TTU");
+        assert_eq!(q.lans[1].nodes.len(), 11, "ORNL");
+        assert_eq!(q.lans[2].nodes.len(), 15, "EPB");
+        assert_eq!(q.node_count(), 31);
+    }
+
+    #[test]
+    fn lan_names() {
+        let q = Qntn::standard();
+        assert_eq!(q.lans[0].name, "TTU");
+        assert_eq!(q.lans[1].name, "ORNL");
+        assert_eq!(q.lans[2].name, "EPB");
+    }
+
+    #[test]
+    fn lans_are_geographically_compact() {
+        // Every LAN spans under 3 km — campus/lab scale (ORNL's Table I
+        // nodes stretch ~2.2 km across the reservation).
+        let q = Qntn::standard();
+        for lan in &q.lans {
+            for a in &lan.nodes {
+                for b in &lan.nodes {
+                    let d = vincenty_m(*a, *b, &WGS84).unwrap();
+                    assert!(d < 3_000.0, "{}: {d}", lan.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cities_are_regionally_separated() {
+        let q = Qntn::standard();
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let d = vincenty_m(q.lan_centroid(i), q.lan_centroid(j), &WGS84).unwrap();
+                assert!(
+                    (90_000.0..160_000.0).contains(&d),
+                    "{}-{}: {d}",
+                    q.lans[i].name,
+                    q.lans[j].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hap_position_matches_paper() {
+        let q = Qntn::standard();
+        assert!((q.hap.lat_deg() - 35.6692).abs() < 1e-9);
+        assert!((q.hap.lon_deg() + 85.0662).abs() < 1e-9);
+        assert_eq!(q.hap.alt_m, 30_000.0);
+    }
+
+    #[test]
+    fn hap_is_roughly_central() {
+        // The HAP sits within ~100 km of every city — that's what lets one
+        // platform serve all three.
+        let q = Qntn::standard();
+        for lan in 0..3 {
+            let d = vincenty_m(q.hap.with_alt(0.0), q.lan_centroid(lan), &WGS84).unwrap();
+            assert!(d < 100_000.0, "LAN {lan}: {d}");
+        }
+    }
+
+    #[test]
+    fn synthetic_scenario_shape() {
+        let q = SyntheticRegion::tennessee_like().generate(7);
+        assert_eq!(q.lans.len(), 3);
+        assert_eq!(q.node_count(), 24);
+        // Cities regionally separated (tens of km), campuses compact.
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let d = qntn_geo::haversine_m(q.lan_centroid(i), q.lan_centroid(j), &qntn_geo::WGS84);
+                assert!(d > 30_000.0, "{i}-{j}: {d}");
+            }
+            for a in &q.lans[i].nodes {
+                let d = qntn_geo::haversine_m(*a, q.lan_centroid(i), &qntn_geo::WGS84);
+                assert!(d < 1_000.0, "campus spread {d}");
+            }
+        }
+        // HAP altitude matches the paper's platform.
+        assert_eq!(q.hap.alt_m, 30_000.0);
+        // Deterministic.
+        let q2 = SyntheticRegion::tennessee_like().generate(7);
+        assert_eq!(q.node_count(), q2.node_count());
+        assert!((q.hap.lat - q2.hap.lat).abs() < 1e-15);
+        // Different seeds differ.
+        let q3 = SyntheticRegion::tennessee_like().generate(8);
+        assert!((q.hap.lat - q3.hap.lat).abs() > 1e-9);
+    }
+
+    #[test]
+    fn synthetic_five_city_region_works_end_to_end() {
+        // The generalization the paper gestures at: a 5-city region served
+        // by the same architectures.
+        let region = SyntheticRegion {
+            cities: 5,
+            nodes_per_city: 4,
+            region_radius_m: 120_000.0,
+            ..SyntheticRegion::tennessee_like()
+        };
+        let q = region.generate(11);
+        assert_eq!(q.lans.len(), 5);
+        let air = crate::architecture::AirGround::standard(&q);
+        let r = crate::experiments::fidelity::FidelityExperiment::quick().run_air_ground(&air);
+        // One central HAP may or may not reach all five cities above
+        // threshold; the run must at least be structurally sound.
+        assert!(r.served_percent >= 0.0 && r.served_percent <= 100.0);
+        assert_eq!(air.sim().lan_count(), 5);
+    }
+
+    #[test]
+    fn first_table_entry_values() {
+        let q = Qntn::standard();
+        assert!((q.lans[0].nodes[0].lat_deg() - 36.1757).abs() < 1e-9);
+        assert!((q.lans[2].nodes[14].lon_deg() + 85.2814).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,217 @@
+//! Surface distances between geodetic points.
+//!
+//! Fiber runs between ground nodes follow (approximately) the geodesic, so
+//! fiber channel lengths use these rather than the 3-D chord. Haversine is
+//! the workhorse; Vincenty's inverse formula is provided for ellipsoidal
+//! accuracy and as a cross-check.
+
+use crate::ellipsoid::Ellipsoid;
+use crate::geodetic::Geodetic;
+
+/// Great-circle distance in metres on a sphere with the ellipsoid's mean
+/// radius (haversine formula; ~0.3% worst-case error vs the true geodesic).
+pub fn haversine_m(a: Geodetic, b: Geodetic, ell: &Ellipsoid) -> f64 {
+    let r = ell.mean_radius_m();
+    let dlat = b.lat - a.lat;
+    let dlon = b.lon - a.lon;
+    let h = (dlat / 2.0).sin().powi(2) + a.lat.cos() * b.lat.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * r * h.sqrt().min(1.0).asin()
+}
+
+/// Vincenty's inverse formula: geodesic distance in metres on the ellipsoid.
+///
+/// Returns `None` if the iteration fails to converge (nearly antipodal
+/// points); callers should fall back to [`haversine_m`] in that case.
+pub fn vincenty_m(a: Geodetic, b: Geodetic, ell: &Ellipsoid) -> Option<f64> {
+    let f = ell.flattening;
+    let aa = ell.semi_major_m;
+    let bb = ell.semi_minor_m();
+
+    if (a.lat - b.lat).abs() < 1e-15 && (a.lon - b.lon).abs() < 1e-15 {
+        return Some(0.0);
+    }
+
+    let u1 = ((1.0 - f) * a.lat.tan()).atan();
+    let u2 = ((1.0 - f) * b.lat.tan()).atan();
+    let l = b.lon - a.lon;
+    let (su1, cu1) = u1.sin_cos();
+    let (su2, cu2) = u2.sin_cos();
+
+    let mut lambda = l;
+    let mut iterations = 0;
+    let (mut cos2_alpha, mut sin_sigma, mut cos_sigma, mut sigma, mut cos_2sigma_m);
+    loop {
+        let (sl, cl) = lambda.sin_cos();
+        sin_sigma = ((cu2 * sl).powi(2) + (cu1 * su2 - su1 * cu2 * cl).powi(2)).sqrt();
+        if sin_sigma == 0.0 {
+            return Some(0.0); // coincident
+        }
+        cos_sigma = su1 * su2 + cu1 * cu2 * cl;
+        sigma = sin_sigma.atan2(cos_sigma);
+        let sin_alpha = cu1 * cu2 * sl / sin_sigma;
+        cos2_alpha = 1.0 - sin_alpha * sin_alpha;
+        cos_2sigma_m = if cos2_alpha.abs() < 1e-15 {
+            0.0 // equatorial line
+        } else {
+            cos_sigma - 2.0 * su1 * su2 / cos2_alpha
+        };
+        let c = f / 16.0 * cos2_alpha * (4.0 + f * (4.0 - 3.0 * cos2_alpha));
+        let lambda_new = l
+            + (1.0 - c)
+                * f
+                * sin_alpha
+                * (sigma
+                    + c * sin_sigma
+                        * (cos_2sigma_m + c * cos_sigma * (-1.0 + 2.0 * cos_2sigma_m.powi(2))));
+        let delta = (lambda_new - lambda).abs();
+        lambda = lambda_new;
+        iterations += 1;
+        if delta < 1e-12 {
+            break;
+        }
+        if iterations > 200 {
+            return None;
+        }
+    }
+
+    let u_sq = cos2_alpha * ell.ep2();
+    let big_a = 1.0 + u_sq / 16_384.0 * (4_096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq)));
+    let big_b = u_sq / 1_024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)));
+    let delta_sigma = big_b
+        * sin_sigma
+        * (cos_2sigma_m
+            + big_b / 4.0
+                * (cos_sigma * (-1.0 + 2.0 * cos_2sigma_m.powi(2))
+                    - big_b / 6.0
+                        * cos_2sigma_m
+                        * (-3.0 + 4.0 * sin_sigma.powi(2))
+                        * (-3.0 + 4.0 * cos_2sigma_m.powi(2))));
+    let _ = aa;
+    Some(bb * big_a * (sigma - delta_sigma))
+}
+
+/// The direct geodesic problem on the mean sphere: the point reached by
+/// travelling `distance_m` from `start` along initial bearing `azimuth`
+/// (radians clockwise from north). Good to the haversine model's accuracy;
+/// used by the synthetic-scenario generator.
+pub fn destination(start: Geodetic, azimuth: f64, distance_m: f64, ell: &Ellipsoid) -> Geodetic {
+    let r = ell.mean_radius_m();
+    let delta = distance_m / r;
+    let (sin_d, cos_d) = delta.sin_cos();
+    let (sin_lat, cos_lat) = start.lat.sin_cos();
+    let lat2 = (sin_lat * cos_d + cos_lat * sin_d * azimuth.cos()).asin();
+    let lon2 = start.lon
+        + (azimuth.sin() * sin_d * cos_lat).atan2(cos_d - sin_lat * lat2.sin());
+    Geodetic::new(lat2, crate::wrap_pi(lon2), start.alt_m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ellipsoid::{SPHERICAL_EARTH, WGS84};
+
+    #[test]
+    fn zero_distance() {
+        let g = Geodetic::from_deg(36.0, -85.0, 0.0);
+        assert_eq!(haversine_m(g, g, &WGS84), 0.0);
+        assert_eq!(vincenty_m(g, g, &WGS84), Some(0.0));
+    }
+
+    #[test]
+    fn one_degree_of_meridian() {
+        // One degree of latitude ~ 111.2 km (haversine on the mean sphere).
+        let a = Geodetic::from_deg(35.0, -85.0, 0.0);
+        let b = Geodetic::from_deg(36.0, -85.0, 0.0);
+        let d = haversine_m(a, b, &SPHERICAL_EARTH);
+        assert!((d - 111_194.9).abs() < 10.0, "{d}");
+    }
+
+    #[test]
+    fn vincenty_known_baseline() {
+        // Flinders Peak -> Buninyong, the canonical Vincenty test case:
+        // 54972.271 m on WGS-84 (coordinates from Geoscience Australia).
+        let a = Geodetic::from_deg(-37.951_033_416_66, 144.424_867_888_88, 0.0);
+        let b = Geodetic::from_deg(-37.652_821_138_88, 143.926_495_527_77, 0.0);
+        let d = vincenty_m(a, b, &WGS84).unwrap();
+        assert!((d - 54_972.271).abs() < 0.01, "{d}");
+    }
+
+    #[test]
+    fn haversine_vincenty_agree_regionally() {
+        // Over Tennessee-scale baselines they agree to ~0.5%.
+        let ttu = Geodetic::from_deg(36.1757, -85.5066, 0.0);
+        let ornl = Geodetic::from_deg(35.91, -84.3, 0.0);
+        let epb = Geodetic::from_deg(35.04159, -85.2799, 0.0);
+        for (a, b) in [(ttu, ornl), (ttu, epb), (ornl, epb)] {
+            let h = haversine_m(a, b, &WGS84);
+            let v = vincenty_m(a, b, &WGS84).unwrap();
+            assert!((h - v).abs() / v < 5e-3, "h={h} v={v}");
+        }
+    }
+
+    #[test]
+    fn qntn_city_separations() {
+        // The three QNTN cities are separated by roughly 110-135 km, which is
+        // what makes direct fiber interconnection infeasible (the paper's
+        // motivating observation).
+        let ttu = Geodetic::from_deg(36.1757, -85.5066, 0.0);
+        let ornl = Geodetic::from_deg(35.91, -84.3, 0.0);
+        let epb = Geodetic::from_deg(35.04159, -85.2799, 0.0);
+        let d1 = vincenty_m(ttu, ornl, &WGS84).unwrap() / 1000.0;
+        let d2 = vincenty_m(ttu, epb, &WGS84).unwrap() / 1000.0;
+        let d3 = vincenty_m(ornl, epb, &WGS84).unwrap() / 1000.0;
+        assert!((100.0..130.0).contains(&d1), "TTU-ORNL {d1} km");
+        assert!((115.0..140.0).contains(&d2), "TTU-EPB {d2} km");
+        assert!((120.0..145.0).contains(&d3), "ORNL-EPB {d3} km");
+    }
+
+    #[test]
+    fn equatorial_segment() {
+        // Along the equator Vincenty must handle cos²α = 0 gracefully.
+        let a = Geodetic::from_deg(0.0, 0.0, 0.0);
+        let b = Geodetic::from_deg(0.0, 1.0, 0.0);
+        let d = vincenty_m(a, b, &WGS84).unwrap();
+        // One degree of equatorial arc ~ 111.32 km.
+        assert!((d - 111_319.5).abs() < 5.0, "{d}");
+    }
+
+    #[test]
+    fn destination_inverts_distance() {
+        let start = Geodetic::from_deg(36.0, -85.0, 300.0);
+        for az_deg in [0.0, 45.0, 90.0, 180.0, 270.0] {
+            for km in [1.0, 50.0, 120.0, 500.0] {
+                let end = destination(start, f64::to_radians(az_deg), km * 1000.0, &WGS84);
+                let back = haversine_m(start, end, &WGS84);
+                assert!(
+                    (back - km * 1000.0).abs() < 1.0,
+                    "az {az_deg} km {km}: got {back}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn destination_cardinal_directions() {
+        let start = Geodetic::from_deg(36.0, -85.0, 0.0);
+        // Due north increases latitude, keeps longitude.
+        let north = destination(start, 0.0, 100_000.0, &WGS84);
+        assert!(north.lat_deg() > 36.5);
+        assert!((north.lon_deg() + 85.0).abs() < 1e-6);
+        // Due east keeps latitude (to first order), increases longitude.
+        let east = destination(start, std::f64::consts::FRAC_PI_2, 100_000.0, &WGS84);
+        assert!(east.lon_deg() > -85.0 + 0.5);
+        assert!((east.lat_deg() - 36.0).abs() < 0.05);
+        // Altitude carried through.
+        assert_eq!(north.alt_m, 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = Geodetic::from_deg(36.2, -85.5, 0.0);
+        let b = Geodetic::from_deg(35.0, -85.3, 0.0);
+        assert!((haversine_m(a, b, &WGS84) - haversine_m(b, a, &WGS84)).abs() < 1e-9);
+        let v1 = vincenty_m(a, b, &WGS84).unwrap();
+        let v2 = vincenty_m(b, a, &WGS84).unwrap();
+        assert!((v1 - v2).abs() < 1e-6);
+    }
+}

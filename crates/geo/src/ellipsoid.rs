@@ -1,0 +1,116 @@
+//! Reference ellipsoids.
+//!
+//! The QNTN experiments run on WGS-84 by default. A spherical-Earth model is
+//! provided for cross-checks (the paper's coverage math is insensitive to
+//! flattening at the ~100 km scales involved, and the sphere makes several
+//! closed-form sanity tests exact).
+
+use serde::{Deserialize, Serialize};
+
+/// A biaxial reference ellipsoid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ellipsoid {
+    /// Semi-major (equatorial) axis in metres.
+    pub semi_major_m: f64,
+    /// Flattening `f = (a - b) / a`. Zero for a sphere.
+    pub flattening: f64,
+}
+
+/// The WGS-84 ellipsoid (the one GPS and STK use).
+pub const WGS84: Ellipsoid = Ellipsoid {
+    semi_major_m: 6_378_137.0,
+    flattening: 1.0 / 298.257_223_563,
+};
+
+/// A spherical Earth with the IUGG mean radius.
+pub const SPHERICAL_EARTH: Ellipsoid = Ellipsoid {
+    semi_major_m: 6_371_000.0,
+    flattening: 0.0,
+};
+
+impl Ellipsoid {
+    /// Semi-minor (polar) axis in metres.
+    #[inline]
+    pub fn semi_minor_m(&self) -> f64 {
+        self.semi_major_m * (1.0 - self.flattening)
+    }
+
+    /// First eccentricity squared, `e² = f(2 - f)`.
+    #[inline]
+    pub fn e2(&self) -> f64 {
+        self.flattening * (2.0 - self.flattening)
+    }
+
+    /// Second eccentricity squared, `e'² = e²/(1-e²)`.
+    #[inline]
+    pub fn ep2(&self) -> f64 {
+        let e2 = self.e2();
+        e2 / (1.0 - e2)
+    }
+
+    /// Prime-vertical radius of curvature `N(φ)` at geodetic latitude `lat`.
+    #[inline]
+    pub fn prime_vertical_radius(&self, lat: f64) -> f64 {
+        let s = lat.sin();
+        self.semi_major_m / (1.0 - self.e2() * s * s).sqrt()
+    }
+
+    /// Meridional radius of curvature `M(φ)` at geodetic latitude `lat`.
+    #[inline]
+    pub fn meridional_radius(&self, lat: f64) -> f64 {
+        let s = lat.sin();
+        let w2 = 1.0 - self.e2() * s * s;
+        self.semi_major_m * (1.0 - self.e2()) / (w2 * w2.sqrt())
+    }
+
+    /// Mean radius `(2a + b)/3`.
+    #[inline]
+    pub fn mean_radius_m(&self) -> f64 {
+        (2.0 * self.semi_major_m + self.semi_minor_m()) / 3.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wgs84_constants() {
+        assert!((WGS84.semi_minor_m() - 6_356_752.314_245).abs() < 1e-3);
+        assert!((WGS84.e2() - 0.006_694_379_990_14).abs() < 1e-12);
+        assert!((WGS84.mean_radius_m() - 6_371_008.771).abs() < 1.0);
+    }
+
+    #[test]
+    fn sphere_has_constant_curvature() {
+        for lat in [-1.2, 0.0, 0.7, 1.5] {
+            assert!((SPHERICAL_EARTH.prime_vertical_radius(lat) - 6_371_000.0).abs() < 1e-6);
+            assert!((SPHERICAL_EARTH.meridional_radius(lat) - 6_371_000.0).abs() < 1e-6);
+        }
+        assert_eq!(SPHERICAL_EARTH.e2(), 0.0);
+    }
+
+    #[test]
+    fn curvature_radii_ordering() {
+        // On an oblate ellipsoid N(φ) ≥ M(φ) everywhere, equality only at poles.
+        for lat in [0.0, 0.3, 0.63, 1.0, 1.4] {
+            let n = WGS84.prime_vertical_radius(lat);
+            let m = WGS84.meridional_radius(lat);
+            assert!(n >= m, "N={n} should be >= M={m} at lat={lat}");
+        }
+        // At the equator: N = a, M = a(1-e²).
+        assert!((WGS84.prime_vertical_radius(0.0) - WGS84.semi_major_m).abs() < 1e-6);
+        assert!(
+            (WGS84.meridional_radius(0.0) - WGS84.semi_major_m * (1.0 - WGS84.e2())).abs() < 1e-6
+        );
+    }
+
+    #[test]
+    fn polar_radii() {
+        // At the poles: N = M = a/sqrt(1-e²).
+        let lat = std::f64::consts::FRAC_PI_2;
+        let expect = WGS84.semi_major_m / (1.0 - WGS84.e2()).sqrt();
+        assert!((WGS84.prime_vertical_radius(lat) - expect).abs() < 1e-6);
+        assert!((WGS84.meridional_radius(lat) - expect).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Coordinate frame transforms: ECI ⇄ ECEF and the local ENU frame.
+//!
+//! - **ECI** (Earth-centred inertial, true-equator mean-equinox of date in
+//!   our simplified model): the frame the Keplerian propagator outputs.
+//! - **ECEF** (Earth-centred Earth-fixed): rotates with the planet; ground
+//!   stations are fixed here.
+//! - **ENU** (East-North-Up): the local topocentric frame of an observer,
+//!   used for elevation/azimuth.
+//!
+//! The ECI→ECEF transform is a single rotation about +Z by GMST. Polar
+//! motion and nutation are microradian-level effects that are irrelevant to
+//! an optical link budget and are deliberately omitted (documented
+//! substitution for STK's higher-fidelity frames).
+
+use crate::ellipsoid::Ellipsoid;
+use crate::geodetic::Geodetic;
+use crate::time::Epoch;
+use crate::vec3::Vec3;
+
+/// Rotate an ECI position into ECEF at `epoch`.
+#[inline]
+pub fn eci_to_ecef(eci: Vec3, epoch: Epoch) -> Vec3 {
+    eci.rotate_z(-epoch.gmst())
+}
+
+/// Rotate an ECEF position into ECI at `epoch`.
+#[inline]
+pub fn ecef_to_eci(ecef: Vec3, epoch: Epoch) -> Vec3 {
+    ecef.rotate_z(epoch.gmst())
+}
+
+/// Velocity transform ECI → ECEF, accounting for frame rotation:
+/// `v_ecef = R(v_eci) - ω × r_ecef`.
+pub fn eci_to_ecef_velocity(r_eci: Vec3, v_eci: Vec3, epoch: Epoch) -> Vec3 {
+    let omega = Vec3::new(0.0, 0.0, crate::time::EARTH_ROTATION_RATE);
+    let r_ecef = eci_to_ecef(r_eci, epoch);
+    let v_rot = eci_to_ecef(v_eci, epoch);
+    v_rot - omega.cross(r_ecef)
+}
+
+/// The local East-North-Up topocentric frame anchored at an observer.
+#[derive(Debug, Clone, Copy)]
+pub struct Enu {
+    /// Observer position in ECEF, metres.
+    pub origin_ecef: Vec3,
+    east: Vec3,
+    north: Vec3,
+    up: Vec3,
+}
+
+impl Enu {
+    /// Build the ENU frame at a geodetic observer position.
+    pub fn at(observer: Geodetic, ell: &Ellipsoid) -> Enu {
+        let (slat, clat) = observer.lat.sin_cos();
+        let (slon, clon) = observer.lon.sin_cos();
+        Enu {
+            origin_ecef: observer.to_ecef(ell),
+            east: Vec3::new(-slon, clon, 0.0),
+            north: Vec3::new(-slat * clon, -slat * slon, clat),
+            up: Vec3::new(clat * clon, clat * slon, slat),
+        }
+    }
+
+    /// Express an ECEF point in this ENU frame (east, north, up) metres.
+    pub fn from_ecef(&self, point_ecef: Vec3) -> Vec3 {
+        let d = point_ecef - self.origin_ecef;
+        Vec3::new(d.dot(self.east), d.dot(self.north), d.dot(self.up))
+    }
+
+    /// Convert local ENU coordinates back to ECEF.
+    pub fn to_ecef(&self, enu: Vec3) -> Vec3 {
+        self.origin_ecef + self.east * enu.x + self.north * enu.y + self.up * enu.z
+    }
+
+    /// The local "up" direction in ECEF (unit vector).
+    #[inline]
+    pub fn up(&self) -> Vec3 {
+        self.up
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ellipsoid::WGS84;
+
+    #[test]
+    fn eci_ecef_roundtrip() {
+        let epoch = Epoch::from_calendar(2024, 7, 1, 3, 30, 0.0);
+        let r = Vec3::new(6_871_000.0, 123_456.0, -2_000_000.0);
+        let back = ecef_to_eci(eci_to_ecef(r, epoch), epoch);
+        assert!((back - r).norm() < 1e-6);
+    }
+
+    #[test]
+    fn eci_ecef_preserves_norm_and_z() {
+        let epoch = Epoch::J2000.plus_seconds(12_345.0);
+        let r = Vec3::new(1.0e6, 2.0e6, 3.0e6);
+        let e = eci_to_ecef(r, epoch);
+        assert!((e.norm() - r.norm()).abs() < 1e-6);
+        assert!((e.z - r.z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn enu_basis_is_orthonormal() {
+        let enu = Enu::at(Geodetic::from_deg(36.0, -85.0, 300.0), &WGS84);
+        assert!((enu.east.norm() - 1.0).abs() < 1e-12);
+        assert!((enu.north.norm() - 1.0).abs() < 1e-12);
+        assert!((enu.up.norm() - 1.0).abs() < 1e-12);
+        assert!(enu.east.dot(enu.north).abs() < 1e-12);
+        assert!(enu.east.dot(enu.up).abs() < 1e-12);
+        assert!(enu.north.dot(enu.up).abs() < 1e-12);
+        // Right-handed: east × north = up.
+        assert!((enu.east.cross(enu.north) - enu.up).norm() < 1e-12);
+    }
+
+    #[test]
+    fn point_straight_up_has_only_up_component() {
+        let obs = Geodetic::from_deg(36.0, -85.0, 0.0);
+        let enu = Enu::at(obs, &WGS84);
+        let above = obs.with_alt(10_000.0).to_ecef(&WGS84);
+        let local = enu.from_ecef(above);
+        assert!(local.x.abs() < 1e-6, "east {}", local.x);
+        assert!(local.y.abs() < 1e-6, "north {}", local.y);
+        assert!((local.z - 10_000.0).abs() < 1e-6, "up {}", local.z);
+    }
+
+    #[test]
+    fn enu_roundtrip() {
+        let enu = Enu::at(Geodetic::from_deg(35.0, -84.0, 100.0), &WGS84);
+        let p = Vec3::new(1_000.0, -2_500.0, 4_200.0);
+        let back = enu.from_ecef(enu.to_ecef(p));
+        assert!((back - p).norm() < 1e-6);
+    }
+
+    #[test]
+    fn north_points_toward_higher_latitude() {
+        let obs = Geodetic::from_deg(36.0, -85.0, 0.0);
+        let enu = Enu::at(obs, &WGS84);
+        let northward = Geodetic::from_deg(36.1, -85.0, 0.0).to_ecef(&WGS84);
+        let local = enu.from_ecef(northward);
+        assert!(local.y > 0.0);
+        assert!(local.x.abs() < local.y * 0.01);
+    }
+
+    #[test]
+    fn velocity_transform_cancels_rotation_for_geostationary_point() {
+        // A point fixed in ECEF moves in ECI with v = ω × r; transforming
+        // that velocity back to ECEF must give ~0.
+        let epoch = Epoch::J2000;
+        let r_ecef = Geodetic::from_deg(0.0, 10.0, 35_786_000.0).to_ecef(&WGS84);
+        let r_eci = ecef_to_eci(r_ecef, epoch);
+        let omega = Vec3::new(0.0, 0.0, crate::time::EARTH_ROTATION_RATE);
+        let v_eci = omega.cross(r_eci);
+        let v_ecef = eci_to_ecef_velocity(r_eci, v_eci, epoch);
+        assert!(v_ecef.norm() < 1e-6, "{}", v_ecef.norm());
+    }
+}

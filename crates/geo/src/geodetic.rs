@@ -1,0 +1,224 @@
+//! Geodetic positions and geodetic ⇄ ECEF conversions.
+//!
+//! Ground nodes in the QNTN scenario are specified as (latitude, longitude)
+//! pairs (Table I of the paper) plus an altitude; satellites and the HAP
+//! carry altitudes of 500 km and 30 km respectively. The forward conversion
+//! is the standard closed form; the inverse uses Bowring's method, which is
+//! accurate to sub-millimetre for altitudes within ±10,000 km.
+
+use crate::ellipsoid::{Ellipsoid, WGS84};
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A geodetic position: latitude/longitude in **radians**, altitude in
+/// metres above the ellipsoid.
+///
+/// ```
+/// use qntn_geo::{Geodetic, vincenty_m, WGS84};
+///
+/// // Tennessee Tech to Oak Ridge: roughly 110 km.
+/// let ttu = Geodetic::from_deg(36.1757, -85.5066, 300.0);
+/// let ornl = Geodetic::from_deg(35.91, -84.3, 250.0);
+/// let km = vincenty_m(ttu, ornl, &WGS84).unwrap() / 1000.0;
+/// assert!((100.0..120.0).contains(&km));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Geodetic {
+    pub lat: f64,
+    pub lon: f64,
+    pub alt_m: f64,
+}
+
+impl Geodetic {
+    /// Construct from radians.
+    #[inline]
+    pub const fn new(lat: f64, lon: f64, alt_m: f64) -> Self {
+        Geodetic { lat, lon, alt_m }
+    }
+
+    /// Construct from degrees (how the paper's Table I lists coordinates).
+    #[inline]
+    pub fn from_deg(lat_deg: f64, lon_deg: f64, alt_m: f64) -> Self {
+        Geodetic {
+            lat: lat_deg.to_radians(),
+            lon: lon_deg.to_radians(),
+            alt_m,
+        }
+    }
+
+    /// Latitude in degrees.
+    #[inline]
+    pub fn lat_deg(&self) -> f64 {
+        self.lat.to_degrees()
+    }
+
+    /// Longitude in degrees.
+    #[inline]
+    pub fn lon_deg(&self) -> f64 {
+        self.lon.to_degrees()
+    }
+
+    /// Geodetic → ECEF (Earth-centred, Earth-fixed) Cartesian coordinates.
+    pub fn to_ecef(&self, ell: &Ellipsoid) -> Vec3 {
+        let (slat, clat) = self.lat.sin_cos();
+        let (slon, clon) = self.lon.sin_cos();
+        let n = ell.prime_vertical_radius(self.lat);
+        Vec3 {
+            x: (n + self.alt_m) * clat * clon,
+            y: (n + self.alt_m) * clat * slon,
+            z: (n * (1.0 - ell.e2()) + self.alt_m) * slat,
+        }
+    }
+
+    /// Geodetic → ECEF on WGS-84.
+    #[inline]
+    pub fn to_ecef_wgs84(&self) -> Vec3 {
+        self.to_ecef(&WGS84)
+    }
+
+    /// ECEF → geodetic using Bowring's method (one Newton-like refinement of
+    /// the parametric latitude, then the closed-form geodetic latitude).
+    pub fn from_ecef(ecef: Vec3, ell: &Ellipsoid) -> Geodetic {
+        let a = ell.semi_major_m;
+        let b = ell.semi_minor_m();
+        let e2 = ell.e2();
+        let ep2 = ell.ep2();
+
+        let p = (ecef.x * ecef.x + ecef.y * ecef.y).sqrt();
+        let lon = ecef.y.atan2(ecef.x);
+
+        if p < 1e-9 {
+            // On the polar axis: latitude is ±90°, altitude measured from pole.
+            let lat = if ecef.z >= 0.0 {
+                std::f64::consts::FRAC_PI_2
+            } else {
+                -std::f64::consts::FRAC_PI_2
+            };
+            return Geodetic::new(lat, lon, ecef.z.abs() - b);
+        }
+
+        // Bowring's initial parametric latitude, then fixed-point refinement
+        // (needed for sub-nanoradian accuracy at satellite altitudes).
+        let theta = (ecef.z * a).atan2(p * b);
+        let (st, ct) = theta.sin_cos();
+        let mut lat = (ecef.z + ep2 * b * st * st * st).atan2(p - e2 * a * ct * ct * ct);
+        for _ in 0..5 {
+            let n = ell.prime_vertical_radius(lat);
+            let alt = p / lat.cos() - n;
+            let new_lat = (ecef.z / (p * (1.0 - e2 * n / (n + alt)))).atan();
+            if (new_lat - lat).abs() < 1e-14 {
+                lat = new_lat;
+                break;
+            }
+            lat = new_lat;
+        }
+        let n = ell.prime_vertical_radius(lat);
+        // Altitude: use the more stable of the two expressions depending on
+        // how close we are to the poles.
+        let alt = if lat.abs() < 1.3 {
+            p / lat.cos() - n
+        } else {
+            ecef.z / lat.sin() - n * (1.0 - e2)
+        };
+        Geodetic::new(lat, lon, alt)
+    }
+
+    /// ECEF → geodetic on WGS-84.
+    #[inline]
+    pub fn from_ecef_wgs84(ecef: Vec3) -> Geodetic {
+        Self::from_ecef(ecef, &WGS84)
+    }
+
+    /// A copy of this position with a different altitude.
+    #[inline]
+    pub fn with_alt(&self, alt_m: f64) -> Geodetic {
+        Geodetic { alt_m, ..*self }
+    }
+}
+
+impl std::fmt::Display for Geodetic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({:.5}°, {:.5}°, {:.1} m)",
+            self.lat_deg(),
+            self.lon_deg(),
+            self.alt_m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ellipsoid::SPHERICAL_EARTH;
+
+    #[test]
+    fn equator_prime_meridian() {
+        let g = Geodetic::from_deg(0.0, 0.0, 0.0);
+        let e = g.to_ecef_wgs84();
+        assert!((e.x - WGS84.semi_major_m).abs() < 1e-6);
+        assert!(e.y.abs() < 1e-6 && e.z.abs() < 1e-6);
+    }
+
+    #[test]
+    fn north_pole() {
+        let g = Geodetic::from_deg(90.0, 0.0, 0.0);
+        let e = g.to_ecef_wgs84();
+        assert!(e.x.abs() < 1e-6 && e.y.abs() < 1e-6);
+        assert!((e.z - WGS84.semi_minor_m()).abs() < 1e-6);
+        // Round-trip through the polar-axis special case.
+        let back = Geodetic::from_ecef_wgs84(e);
+        assert!((back.lat_deg() - 90.0).abs() < 1e-9);
+        assert!(back.alt_m.abs() < 1e-6);
+    }
+
+    #[test]
+    fn roundtrip_tennessee_nodes() {
+        // Representative nodes from Table I plus the HAP and a satellite.
+        let cases = [
+            (36.1757, -85.5066, 300.0),
+            (35.04159, -85.2799, 200.0),
+            (35.91, -84.3, 250.0),
+            (35.6692, -85.0662, 30_000.0),
+            (36.0, -85.0, 500_000.0),
+        ];
+        for (lat, lon, alt) in cases {
+            let g = Geodetic::from_deg(lat, lon, alt);
+            let back = Geodetic::from_ecef_wgs84(g.to_ecef_wgs84());
+            assert!((back.lat_deg() - lat).abs() < 1e-9, "lat {lat}");
+            assert!((back.lon_deg() - lon).abs() < 1e-9, "lon {lon}");
+            assert!((back.alt_m - alt).abs() < 1e-4, "alt {alt}: {}", back.alt_m);
+        }
+    }
+
+    #[test]
+    fn sphere_roundtrip() {
+        let g = Geodetic::from_deg(-33.5, 151.2, 12_345.0);
+        let e = g.to_ecef(&SPHERICAL_EARTH);
+        assert!((e.norm() - (6_371_000.0 + 12_345.0)).abs() < 1e-6);
+        let back = Geodetic::from_ecef(e, &SPHERICAL_EARTH);
+        assert!((back.lat_deg() - g.lat_deg()).abs() < 1e-9);
+        assert!((back.lon_deg() - g.lon_deg()).abs() < 1e-9);
+        assert!((back.alt_m - g.alt_m).abs() < 1e-5);
+    }
+
+    #[test]
+    fn southern_western_hemispheres() {
+        let g = Geodetic::from_deg(-45.0, -120.0, 1000.0);
+        let e = g.to_ecef_wgs84();
+        assert!(e.z < 0.0);
+        assert!(e.x < 0.0 && e.y < 0.0);
+        let back = Geodetic::from_ecef_wgs84(e);
+        assert!((back.lat_deg() + 45.0).abs() < 1e-9);
+        assert!((back.lon_deg() + 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats_degrees() {
+        let g = Geodetic::from_deg(36.1757, -85.5066, 0.0);
+        let s = format!("{g}");
+        assert!(s.contains("36.17570"), "{s}");
+        assert!(s.contains("-85.50660"), "{s}");
+    }
+}

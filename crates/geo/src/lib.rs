@@ -1,0 +1,99 @@
+//! # qntn-geo — geodesy and coordinate frames
+//!
+//! Foundation crate for the QNTN reproduction. Everything that turns
+//! "a satellite at Keplerian elements X at time t" or "a ground node at
+//! latitude/longitude Y" into distances, elevations and slant ranges lives
+//! here:
+//!
+//! - [`vec3::Vec3`] — minimal 3-vector used throughout the workspace.
+//! - [`ellipsoid`] — WGS-84 constants and a spherical-Earth fallback.
+//! - [`geodetic::Geodetic`] — latitude/longitude/altitude positions and the
+//!   geodetic ⇄ ECEF conversions (Bowring's method for the inverse).
+//! - [`time`] — epoch handling and Greenwich Mean Sidereal Time (GMST),
+//!   which defines the ECI ⇄ ECEF rotation.
+//! - [`frames`] — ECI ⇄ ECEF rotation and the local East-North-Up (ENU)
+//!   topocentric frame.
+//! - [`look`] — look angles (elevation, azimuth) and slant range between an
+//!   observer and a target; the FSO link budget is driven by these.
+//! - [`distance`] — great-circle (haversine) and Vincenty geodesic
+//!   distances used for fiber runs between ground nodes.
+//!
+//! All angles are radians and all lengths are metres unless a name says
+//! otherwise (`_deg`, `_km`).
+
+pub mod distance;
+pub mod ellipsoid;
+pub mod frames;
+pub mod geodetic;
+pub mod look;
+pub mod time;
+pub mod vec3;
+
+pub use distance::{destination, haversine_m, vincenty_m};
+pub use ellipsoid::{Ellipsoid, SPHERICAL_EARTH, WGS84};
+pub use frames::{ecef_to_eci, eci_to_ecef, Enu};
+pub use geodetic::Geodetic;
+pub use look::{look_angles, LookAngles};
+pub use time::{gmst_rad, Epoch};
+pub use vec3::Vec3;
+
+/// Convenience: degrees → radians.
+#[inline]
+pub fn deg2rad(deg: f64) -> f64 {
+    deg.to_radians()
+}
+
+/// Convenience: radians → degrees.
+#[inline]
+pub fn rad2deg(rad: f64) -> f64 {
+    rad.to_degrees()
+}
+
+/// Wrap an angle into `[0, 2π)`.
+#[inline]
+pub fn wrap_two_pi(angle: f64) -> f64 {
+    let two_pi = std::f64::consts::TAU;
+    let mut a = angle % two_pi;
+    if a < 0.0 {
+        a += two_pi;
+    }
+    a
+}
+
+/// Wrap an angle into `(-π, π]`.
+#[inline]
+pub fn wrap_pi(angle: f64) -> f64 {
+    let mut a = wrap_two_pi(angle);
+    if a > std::f64::consts::PI {
+        a -= std::f64::consts::TAU;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_two_pi_basics() {
+        assert!((wrap_two_pi(0.0) - 0.0).abs() < 1e-15);
+        assert!((wrap_two_pi(std::f64::consts::TAU) - 0.0).abs() < 1e-12);
+        assert!((wrap_two_pi(-0.1) - (std::f64::consts::TAU - 0.1)).abs() < 1e-12);
+        assert!((wrap_two_pi(7.0) - (7.0 - std::f64::consts::TAU)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrap_pi_basics() {
+        assert!((wrap_pi(std::f64::consts::PI) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((wrap_pi(-std::f64::consts::PI) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((wrap_pi(0.5) - 0.5).abs() < 1e-15);
+        assert!((wrap_pi(-0.5) + 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn deg_rad_roundtrip() {
+        for d in [-180.0, -90.0, 0.0, 36.17, 90.0, 180.0, 360.0] {
+            assert!((rad2deg(deg2rad(d)) - d).abs() < 1e-12);
+        }
+    }
+}

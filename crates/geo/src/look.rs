@@ -1,0 +1,166 @@
+//! Look angles and slant range between an observer and a target.
+//!
+//! These drive the FSO link budget: the slant range sets diffraction and
+//! turbulence losses, and the elevation angle sets the atmospheric path
+//! length (and the paper's π/9 elevation mask).
+
+use crate::ellipsoid::Ellipsoid;
+use crate::frames::Enu;
+use crate::geodetic::Geodetic;
+use crate::vec3::Vec3;
+
+/// Elevation/azimuth/range of a target as seen by an observer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LookAngles {
+    /// Elevation above the local horizon, radians in `[-π/2, π/2]`.
+    pub elevation: f64,
+    /// Azimuth clockwise from north, radians in `[0, 2π)`.
+    pub azimuth: f64,
+    /// Straight-line (slant) range, metres.
+    pub range_m: f64,
+}
+
+impl LookAngles {
+    /// Zenith angle (complement of elevation).
+    #[inline]
+    pub fn zenith(&self) -> f64 {
+        std::f64::consts::FRAC_PI_2 - self.elevation
+    }
+
+    /// True when the target is above `mask` radians of elevation.
+    #[inline]
+    pub fn visible_above(&self, mask: f64) -> bool {
+        self.elevation >= mask
+    }
+}
+
+/// Compute look angles from `observer` to a target given in ECEF.
+pub fn look_angles_ecef(observer: Geodetic, target_ecef: Vec3, ell: &Ellipsoid) -> LookAngles {
+    let enu = Enu::at(observer, ell);
+    let local = enu.from_ecef(target_ecef);
+    let horiz = (local.x * local.x + local.y * local.y).sqrt();
+    let elevation = local.z.atan2(horiz);
+    let azimuth = crate::wrap_two_pi(local.x.atan2(local.y));
+    LookAngles { elevation, azimuth, range_m: local.norm() }
+}
+
+/// Compute look angles between two geodetic positions.
+pub fn look_angles(observer: Geodetic, target: Geodetic, ell: &Ellipsoid) -> LookAngles {
+    look_angles_ecef(observer, target.to_ecef(ell), ell)
+}
+
+/// Slant range from a ground observer to a target at altitude `h` seen at
+/// elevation `elev`, on a spherical Earth of radius `r` (closed form).
+///
+/// `L = sqrt(r² sin²ε + 2 r h + h²) − r sinε`. Used as an analytic
+/// cross-check for the full geometry and by the channel-model sweeps.
+pub fn slant_range_spherical(r: f64, h: f64, elev: f64) -> f64 {
+    let rs = r * elev.sin();
+    (rs * rs + 2.0 * r * h + h * h).sqrt() - rs
+}
+
+/// Maximum Earth-central angle at which a satellite at altitude `h` is seen
+/// above elevation `elev` from the ground (spherical Earth of radius `r`).
+///
+/// `ψ = acos( r cosε / (r+h) ) − ε`. The instantaneous coverage cap of one
+/// satellite subtends this half-angle.
+pub fn coverage_half_angle(r: f64, h: f64, elev: f64) -> f64 {
+    ((r * elev.cos()) / (r + h)).acos() - elev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ellipsoid::{SPHERICAL_EARTH, WGS84};
+
+    #[test]
+    fn target_at_zenith() {
+        let obs = Geodetic::from_deg(36.0, -85.0, 0.0);
+        let tgt = obs.with_alt(500_000.0);
+        let la = look_angles(obs, tgt, &WGS84);
+        assert!((la.elevation.to_degrees() - 90.0).abs() < 1e-6);
+        assert!((la.range_m - 500_000.0).abs() < 1e-3);
+        assert!((la.zenith()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn target_due_north_on_horizon_plane() {
+        let obs = Geodetic::from_deg(36.0, -85.0, 0.0);
+        let tgt = Geodetic::from_deg(36.5, -85.0, 0.0);
+        let la = look_angles(obs, tgt, &WGS84);
+        // Azimuth ~0 (north); elevation slightly negative (Earth curvature).
+        assert!(la.azimuth.to_degrees() < 1.0 || la.azimuth.to_degrees() > 359.0);
+        assert!(la.elevation < 0.0);
+    }
+
+    #[test]
+    fn azimuth_quadrants() {
+        let obs = Geodetic::from_deg(36.0, -85.0, 0.0);
+        let east = look_angles(obs, Geodetic::from_deg(36.0, -84.5, 0.0), &WGS84);
+        assert!((east.azimuth.to_degrees() - 90.0).abs() < 1.0, "{}", east.azimuth.to_degrees());
+        let south = look_angles(obs, Geodetic::from_deg(35.5, -85.0, 0.0), &WGS84);
+        assert!((south.azimuth.to_degrees() - 180.0).abs() < 1.0);
+        let west = look_angles(obs, Geodetic::from_deg(36.0, -85.5, 0.0), &WGS84);
+        assert!((west.azimuth.to_degrees() - 270.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn slant_range_closed_form_limits() {
+        let r = 6_371_000.0;
+        let h = 500_000.0;
+        // At zenith the slant range is the altitude.
+        assert!((slant_range_spherical(r, h, std::f64::consts::FRAC_PI_2) - h).abs() < 1e-6);
+        // At zero elevation it's sqrt(2rh + h²).
+        let expect = (2.0 * r * h + h * h).sqrt();
+        assert!((slant_range_spherical(r, h, 0.0) - expect).abs() < 1e-6);
+        // Monotone decreasing in elevation.
+        let mut prev = f64::INFINITY;
+        for k in 0..=18 {
+            let e = f64::from(k) * 5.0_f64.to_radians();
+            let l = slant_range_spherical(r, h, e);
+            assert!(l <= prev + 1e-9);
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn geometry_matches_closed_form_on_sphere() {
+        // Place a satellite at a known central angle and compare the look
+        // geometry with the closed-form slant range.
+        let r = SPHERICAL_EARTH.semi_major_m;
+        let h = 500_000.0;
+        let obs = Geodetic::from_deg(0.0, 0.0, 0.0);
+        for psi_deg in [1.0, 3.0, 5.0, 8.0] {
+            let tgt = Geodetic::from_deg(0.0, psi_deg, h);
+            let la = look_angles(obs, tgt, &SPHERICAL_EARTH);
+            let closed = slant_range_spherical(r, h, la.elevation);
+            assert!(
+                (la.range_m - closed).abs() < 1.0,
+                "psi={psi_deg}: {} vs {}",
+                la.range_m,
+                closed
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_half_angle_limits() {
+        let r = 6_371_000.0;
+        let h = 500_000.0;
+        // At 90° elevation coverage shrinks to zero.
+        assert!(coverage_half_angle(r, h, std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        // At 0° elevation: acos(r/(r+h)).
+        let expect = (r / (r + h)).acos();
+        assert!((coverage_half_angle(r, h, 0.0) - expect).abs() < 1e-12);
+        // Paper's π/9 mask at 500 km is about 9.4 degrees of central angle.
+        let psi = coverage_half_angle(r, h, std::f64::consts::PI / 9.0);
+        assert!((psi.to_degrees() - 9.43).abs() < 0.1, "{}", psi.to_degrees());
+    }
+
+    #[test]
+    fn visible_above_mask() {
+        let la = LookAngles { elevation: 0.4, azimuth: 0.0, range_m: 1.0 };
+        assert!(la.visible_above(0.35));
+        assert!(!la.visible_above(0.45));
+    }
+}

@@ -1,0 +1,176 @@
+//! Simulation epochs and Greenwich Mean Sidereal Time.
+//!
+//! The orbit propagator works in an inertial frame (ECI); ground stations
+//! live in the rotating Earth-fixed frame (ECEF). The rotation between the
+//! two at any instant is the Greenwich Mean Sidereal Time angle. We use the
+//! IAU 1982 GMST polynomial, which is what STK's "J2 analytic" propagator
+//! setup effectively uses and is far more precise than anything the link
+//! budget can resolve.
+
+use serde::{Deserialize, Serialize};
+
+/// Seconds in a Julian day.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+/// Earth's rotation rate, rad/s (IAU: 7.2921150e-5).
+pub const EARTH_ROTATION_RATE: f64 = 7.292_115_0e-5;
+
+/// Julian date of the J2000.0 epoch (2000-01-01 12:00 TT).
+pub const JD_J2000: f64 = 2_451_545.0;
+
+/// A simulation epoch expressed as a Julian date plus an offset in seconds.
+///
+/// Keeping the offset separate from the (large) Julian date preserves
+/// sub-microsecond resolution over a day of 30-second steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Epoch {
+    /// Julian date of the reference instant (UT1 ≈ UTC for our purposes).
+    pub jd: f64,
+    /// Seconds elapsed since `jd`.
+    pub offset_s: f64,
+}
+
+impl Epoch {
+    /// The J2000.0 epoch.
+    pub const J2000: Epoch = Epoch { jd: JD_J2000, offset_s: 0.0 };
+
+    /// An epoch at Julian date `jd`.
+    #[inline]
+    pub const fn from_jd(jd: f64) -> Epoch {
+        Epoch { jd, offset_s: 0.0 }
+    }
+
+    /// Construct from a calendar date (proleptic Gregorian, UT).
+    ///
+    /// Uses the Fliegel–Van Flandern day-number algorithm. Valid for all
+    /// dates of interest (year > 1582).
+    pub fn from_calendar(year: i32, month: u32, day: u32, hour: u32, min: u32, sec: f64) -> Epoch {
+        let y = year as i64;
+        let m = month as i64;
+        let d = day as i64;
+        let jdn = (1461 * (y + 4800 + (m - 14) / 12)) / 4
+            + (367 * (m - 2 - 12 * ((m - 14) / 12))) / 12
+            - (3 * ((y + 4900 + (m - 14) / 12) / 100)) / 4
+            + d
+            - 32075;
+        // JDN is the Julian day number at *noon*; midnight is JDN - 0.5.
+        let jd = jdn as f64 - 0.5;
+        let frac = f64::from(hour) * 3600.0 + f64::from(min) * 60.0 + sec;
+        Epoch { jd, offset_s: frac }
+    }
+
+    /// This epoch advanced by `seconds`.
+    #[inline]
+    pub fn plus_seconds(&self, seconds: f64) -> Epoch {
+        Epoch { jd: self.jd, offset_s: self.offset_s + seconds }
+    }
+
+    /// Julian date including the offset.
+    #[inline]
+    pub fn as_jd(&self) -> f64 {
+        self.jd + self.offset_s / SECONDS_PER_DAY
+    }
+
+    /// Julian centuries since J2000.0.
+    #[inline]
+    pub fn centuries_since_j2000(&self) -> f64 {
+        (self.as_jd() - JD_J2000) / 36_525.0
+    }
+
+    /// Seconds elapsed between two epochs (`self - other`).
+    #[inline]
+    pub fn seconds_since(&self, other: &Epoch) -> f64 {
+        (self.jd - other.jd) * SECONDS_PER_DAY + (self.offset_s - other.offset_s)
+    }
+
+    /// Greenwich Mean Sidereal Time at this epoch, radians in `[0, 2π)`.
+    #[inline]
+    pub fn gmst(&self) -> f64 {
+        gmst_rad(*self)
+    }
+}
+
+/// IAU 1982 GMST model. Returns the sidereal angle in radians `[0, 2π)`.
+pub fn gmst_rad(epoch: Epoch) -> f64 {
+    // Split the Julian date into the 0h part and the UT seconds-of-day part
+    // to keep precision (the classic Meeus formulation).
+    let jd = epoch.as_jd();
+    let jd0 = (jd - 0.5).floor() + 0.5; // previous midnight
+    let h = (jd - jd0) * 24.0; // UT hours since midnight
+    let t = (jd0 - JD_J2000) / 36_525.0;
+    // GMST at 0h UT, seconds of sidereal time.
+    let gmst0 = 24_110.548_41 + 8_640_184.812_866 * t + 0.093_104 * t * t - 6.2e-6 * t * t * t;
+    // Advance by the UT elapsed since midnight at the sidereal rate.
+    let gmst_sec = gmst0 + 3_600.0 * h * 1.002_737_909_350_795;
+    let frac = gmst_sec.rem_euclid(SECONDS_PER_DAY);
+    frac / SECONDS_PER_DAY * std::f64::consts::TAU
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn j2000_julian_date() {
+        let e = Epoch::from_calendar(2000, 1, 1, 12, 0, 0.0);
+        assert!((e.as_jd() - JD_J2000).abs() < 1e-9);
+    }
+
+    #[test]
+    fn known_julian_dates() {
+        // 1987-04-10 00:00 UT -> JD 2446895.5 (Meeus, "Astronomical Algorithms").
+        let e = Epoch::from_calendar(1987, 4, 10, 0, 0, 0.0);
+        assert!((e.as_jd() - 2_446_895.5).abs() < 1e-9);
+        // 2024-11-17 12:00 UT -> JD 2460632.0.
+        let e = Epoch::from_calendar(2024, 11, 17, 12, 0, 0.0);
+        assert!((e.as_jd() - 2_460_632.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gmst_meeus_example() {
+        // Meeus example 12.b: 1987-04-10 19:21:00 UT -> GMST = 8h 34m 57.0896s.
+        let e = Epoch::from_calendar(1987, 4, 10, 19, 21, 0.0);
+        let gmst = gmst_rad(e);
+        let expect_hours = 8.0 + 34.0 / 60.0 + 57.0896 / 3600.0;
+        let got_hours = gmst / std::f64::consts::TAU * 24.0;
+        assert!(
+            (got_hours - expect_hours).abs() < 1e-4,
+            "got {got_hours} expected {expect_hours}"
+        );
+    }
+
+    #[test]
+    fn gmst_advances_at_sidereal_rate() {
+        let e0 = Epoch::from_calendar(2024, 6, 1, 0, 0, 0.0);
+        let e1 = e0.plus_seconds(3600.0);
+        let d = (gmst_rad(e1) - gmst_rad(e0)).rem_euclid(std::f64::consts::TAU);
+        // One sidereal hour ≈ 15.041 degrees.
+        assert!((d.to_degrees() - 15.041).abs() < 1e-3, "{}", d.to_degrees());
+    }
+
+    #[test]
+    fn plus_seconds_and_difference() {
+        let e0 = Epoch::J2000;
+        let e1 = e0.plus_seconds(86_400.0 + 30.0);
+        assert!((e1.seconds_since(&e0) - 86_430.0).abs() < 1e-9);
+        assert!((e1.as_jd() - (JD_J2000 + 1.000_347_222)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gmst_is_in_range() {
+        for k in 0..100 {
+            let e = Epoch::J2000.plus_seconds(k as f64 * 12_345.678);
+            let g = gmst_rad(e);
+            assert!((0.0..std::f64::consts::TAU).contains(&g));
+        }
+    }
+
+    #[test]
+    fn earth_rotation_rate_consistency() {
+        // GMST rate should match EARTH_ROTATION_RATE to ~1e-9 rad/s.
+        let e0 = Epoch::from_calendar(2024, 3, 20, 6, 0, 0.0);
+        let dt = 100.0;
+        let rate = (gmst_rad(e0.plus_seconds(dt)) - gmst_rad(e0)).rem_euclid(std::f64::consts::TAU) / dt;
+        assert!((rate - EARTH_ROTATION_RATE).abs() < 1e-9, "{rate}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Minimal 3-component vector used throughout the workspace.
+//!
+//! We deliberately implement this from scratch instead of pulling a linear
+//! algebra crate: the workspace only needs a handful of operations
+//! (dot/cross/norm/rotations) on `f64` triples, and keeping the type local
+//! lets every crate share it without version coupling.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-vector of `f64` components. Units are context-dependent (metres for
+/// positions, metres/second for velocities).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Euclidean dot product.
+    #[inline]
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product `self × other` (right-handed).
+    #[inline]
+    pub fn cross(self, other: Vec3) -> Vec3 {
+        Vec3 {
+            x: self.y * other.z - self.z * other.y,
+            y: self.z * other.x - self.x * other.z,
+            z: self.x * other.y - self.y * other.x,
+        }
+    }
+
+    /// Squared Euclidean norm. Prefer this over `norm()*norm()` in hot loops.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in the direction of `self`.
+    ///
+    /// Returns `None` for (near-)zero vectors rather than producing NaNs.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Distance between two points.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Angle between two vectors in `[0, π]`, robust near 0 and π.
+    ///
+    /// Uses the `atan2(|a×b|, a·b)` form, which is numerically better than
+    /// `acos` of a clamped cosine for nearly (anti-)parallel vectors.
+    #[inline]
+    pub fn angle_to(self, other: Vec3) -> f64 {
+        let cross = self.cross(other).norm();
+        let dot = self.dot(other);
+        cross.atan2(dot)
+    }
+
+    /// Rotate `self` by `angle` radians about the +Z axis (right-handed).
+    #[inline]
+    pub fn rotate_z(self, angle: f64) -> Vec3 {
+        let (s, c) = angle.sin_cos();
+        Vec3 {
+            x: c * self.x - s * self.y,
+            y: s * self.x + c * self.y,
+            z: self.z,
+        }
+    }
+
+    /// Rotate `self` by `angle` radians about the +X axis (right-handed).
+    #[inline]
+    pub fn rotate_x(self, angle: f64) -> Vec3 {
+        let (s, c) = angle.sin_cos();
+        Vec3 {
+            x: self.x,
+            y: c * self.y - s * self.z,
+            z: s * self.y + c * self.z,
+        }
+    }
+
+    /// Rotate `self` by `angle` radians about the +Y axis (right-handed).
+    #[inline]
+    pub fn rotate_y(self, angle: f64) -> Vec3 {
+        let (s, c) = angle.sin_cos();
+        Vec3 {
+            x: c * self.x + s * self.z,
+            y: self.y,
+            z: -s * self.x + c * self.z,
+        }
+    }
+
+    /// Rodrigues rotation of `self` about an arbitrary unit `axis`.
+    pub fn rotate_about(self, axis: Vec3, angle: f64) -> Vec3 {
+        let k = axis.normalized().unwrap_or(Vec3::Z);
+        let (s, c) = angle.sin_cos();
+        self * c + k.cross(self) * s + k * (k.dot(self) * (1.0 - c))
+    }
+
+    /// Component-wise linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// True when all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn approx(a: Vec3, b: Vec3, tol: f64) -> bool {
+        (a - b).norm() < tol
+    }
+
+    #[test]
+    fn dot_and_cross_orthogonality() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 5.0, 0.5);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_handedness() {
+        assert!(approx(Vec3::X.cross(Vec3::Y), Vec3::Z, 1e-15));
+        assert!(approx(Vec3::Y.cross(Vec3::Z), Vec3::X, 1e-15));
+        assert!(approx(Vec3::Z.cross(Vec3::X), Vec3::Y, 1e-15));
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert!((Vec3::new(3.0, 4.0, 0.0).norm() - 5.0).abs() < 1e-15);
+        assert!((Vec3::new(2.0, 3.0, 6.0).norm() - 7.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normalized_zero_is_none() {
+        assert!(Vec3::ZERO.normalized().is_none());
+        let n = Vec3::new(0.0, 0.0, 2.0).normalized().unwrap();
+        assert!(approx(n, Vec3::Z, 1e-15));
+    }
+
+    #[test]
+    fn angle_to_cases() {
+        assert!((Vec3::X.angle_to(Vec3::Y) - FRAC_PI_2).abs() < 1e-12);
+        assert!((Vec3::X.angle_to(Vec3::X)).abs() < 1e-12);
+        assert!((Vec3::X.angle_to(-Vec3::X) - PI).abs() < 1e-12);
+        // Nearly parallel vectors should not blow up.
+        let a = Vec3::new(1.0, 1e-9, 0.0);
+        let angle = Vec3::X.angle_to(a);
+        assert!(angle > 0.0 && angle < 1e-8);
+    }
+
+    #[test]
+    fn rotate_z_quarter_turn() {
+        let r = Vec3::X.rotate_z(FRAC_PI_2);
+        assert!(approx(r, Vec3::Y, 1e-12));
+    }
+
+    #[test]
+    fn rotate_x_quarter_turn() {
+        let r = Vec3::Y.rotate_x(FRAC_PI_2);
+        assert!(approx(r, Vec3::Z, 1e-12));
+    }
+
+    #[test]
+    fn rotate_y_quarter_turn() {
+        let r = Vec3::Z.rotate_y(FRAC_PI_2);
+        assert!(approx(r, Vec3::X, 1e-12));
+    }
+
+    #[test]
+    fn rodrigues_matches_axis_rotations() {
+        let v = Vec3::new(0.3, -1.2, 2.5);
+        for angle in [0.1, 1.0, -2.3] {
+            assert!(approx(v.rotate_about(Vec3::Z, angle), v.rotate_z(angle), 1e-12));
+            assert!(approx(v.rotate_about(Vec3::X, angle), v.rotate_x(angle), 1e-12));
+            assert!(approx(v.rotate_about(Vec3::Y, angle), v.rotate_y(angle), 1e-12));
+        }
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let r = v.rotate_about(Vec3::new(1.0, 1.0, 1.0), 0.7);
+        assert!((r.norm() - v.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert!(approx(a.lerp(b, 0.0), a, 1e-15));
+        assert!(approx(a.lerp(b, 1.0), b, 1e-15));
+        assert!(approx(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0), 1e-15));
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert!(approx(a + b, Vec3::new(5.0, 7.0, 9.0), 1e-15));
+        assert!(approx(b - a, Vec3::new(3.0, 3.0, 3.0), 1e-15));
+        assert!(approx(a * 2.0, Vec3::new(2.0, 4.0, 6.0), 1e-15));
+        assert!(approx(2.0 * a, Vec3::new(2.0, 4.0, 6.0), 1e-15));
+        assert!(approx(a / 2.0, Vec3::new(0.5, 1.0, 1.5), 1e-15));
+        assert!(approx(-a, Vec3::new(-1.0, -2.0, -3.0), 1e-15));
+        let mut c = a;
+        c += b;
+        c -= a;
+        assert!(approx(c, b, 1e-15));
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the geodesy substrate.
+
+use proptest::prelude::*;
+use qntn_geo::{
+    haversine_m, look_angles, vincenty_m, wrap_pi, wrap_two_pi, Enu, Geodetic, Vec3, WGS84,
+};
+
+fn lat_strategy() -> impl Strategy<Value = f64> {
+    -89.0..89.0f64
+}
+
+fn lon_strategy() -> impl Strategy<Value = f64> {
+    -180.0..180.0f64
+}
+
+proptest! {
+    #[test]
+    fn geodetic_ecef_roundtrip(lat in lat_strategy(), lon in lon_strategy(), alt in -5_000.0..1_000_000.0f64) {
+        let g = Geodetic::from_deg(lat, lon, alt);
+        let back = Geodetic::from_ecef_wgs84(g.to_ecef_wgs84());
+        prop_assert!((back.lat_deg() - lat).abs() < 1e-8, "lat {} vs {}", back.lat_deg(), lat);
+        prop_assert!((back.lon_deg() - lon).abs() < 1e-8);
+        prop_assert!((back.alt_m - alt).abs() < 1e-3, "alt {} vs {}", back.alt_m, alt);
+    }
+
+    #[test]
+    fn ecef_radius_bounds(lat in lat_strategy(), lon in lon_strategy()) {
+        // Surface points lie between the polar and equatorial radii.
+        let r = Geodetic::from_deg(lat, lon, 0.0).to_ecef_wgs84().norm();
+        prop_assert!(r >= WGS84.semi_minor_m() - 1.0);
+        prop_assert!(r <= WGS84.semi_major_m + 1.0);
+    }
+
+    #[test]
+    fn haversine_is_symmetric_and_bounded(
+        lat1 in lat_strategy(), lon1 in lon_strategy(),
+        lat2 in lat_strategy(), lon2 in lon_strategy(),
+    ) {
+        let a = Geodetic::from_deg(lat1, lon1, 0.0);
+        let b = Geodetic::from_deg(lat2, lon2, 0.0);
+        let d_ab = haversine_m(a, b, &WGS84);
+        let d_ba = haversine_m(b, a, &WGS84);
+        prop_assert!((d_ab - d_ba).abs() < 1e-6);
+        // No two surface points are farther than half the circumference.
+        prop_assert!(d_ab <= std::f64::consts::PI * WGS84.mean_radius_m() + 1.0);
+        prop_assert!(d_ab >= 0.0);
+    }
+
+    #[test]
+    fn haversine_triangle_inequality(
+        lat1 in lat_strategy(), lon1 in lon_strategy(),
+        lat2 in lat_strategy(), lon2 in lon_strategy(),
+        lat3 in lat_strategy(), lon3 in lon_strategy(),
+    ) {
+        let a = Geodetic::from_deg(lat1, lon1, 0.0);
+        let b = Geodetic::from_deg(lat2, lon2, 0.0);
+        let c = Geodetic::from_deg(lat3, lon3, 0.0);
+        let ab = haversine_m(a, b, &WGS84);
+        let bc = haversine_m(b, c, &WGS84);
+        let ac = haversine_m(a, c, &WGS84);
+        prop_assert!(ac <= ab + bc + 1e-6);
+    }
+
+    #[test]
+    fn vincenty_close_to_haversine_regionally(
+        lat1 in 34.0..37.0f64, lon1 in -86.0..-84.0f64,
+        lat2 in 34.0..37.0f64, lon2 in -86.0..-84.0f64,
+    ) {
+        // Over Tennessee-scale baselines, the two distance models agree to
+        // 0.5% (the fiber budget cannot resolve less).
+        let a = Geodetic::from_deg(lat1, lon1, 0.0);
+        let b = Geodetic::from_deg(lat2, lon2, 0.0);
+        if let Some(v) = vincenty_m(a, b, &WGS84) {
+            let h = haversine_m(a, b, &WGS84);
+            if v > 1.0 {
+                prop_assert!((h - v).abs() / v < 5e-3, "h {h} v {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_functions_land_in_range(x in -100.0..100.0f64) {
+        let w2 = wrap_two_pi(x);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&w2));
+        let wp = wrap_pi(x);
+        prop_assert!(wp > -std::f64::consts::PI - 1e-12 && wp <= std::f64::consts::PI + 1e-12);
+        // Both preserve the angle modulo 2π.
+        prop_assert!(((x - w2) / std::f64::consts::TAU).rem_euclid(1.0) < 1e-9
+            || ((x - w2) / std::f64::consts::TAU).rem_euclid(1.0) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn enu_roundtrip(
+        lat in lat_strategy(), lon in lon_strategy(),
+        e in -50_000.0..50_000.0f64, n in -50_000.0..50_000.0f64, u in -1_000.0..500_000.0f64,
+    ) {
+        let frame = Enu::at(Geodetic::from_deg(lat, lon, 100.0), &WGS84);
+        let p = Vec3::new(e, n, u);
+        let back = frame.from_ecef(frame.to_ecef(p));
+        prop_assert!((back - p).norm() < 1e-6);
+    }
+
+    #[test]
+    fn look_angles_ranges(
+        lat in lat_strategy(), lon in lon_strategy(),
+        dlat in -5.0..5.0f64, dlon in -5.0..5.0f64, alt in 1_000.0..2_000_000.0f64,
+    ) {
+        let obs = Geodetic::from_deg(lat, lon, 0.0);
+        let tgt = Geodetic::from_deg(
+            (lat + dlat).clamp(-89.0, 89.0),
+            lon + dlon,
+            alt,
+        );
+        let la = look_angles(obs, tgt, &WGS84);
+        prop_assert!(la.elevation.abs() <= std::f64::consts::FRAC_PI_2 + 1e-9);
+        prop_assert!((0.0..std::f64::consts::TAU).contains(&la.azimuth));
+        prop_assert!(la.range_m > 0.0);
+        // Slant range at least the altitude difference.
+        prop_assert!(la.range_m >= (alt - 0.0) - 1.0 || la.range_m >= 0.0);
+        // Zenith is the complement of elevation.
+        prop_assert!((la.zenith() + la.elevation - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec3_rotation_preserves_norm(
+        x in -1e6..1e6f64, y in -1e6..1e6f64, z in -1e6..1e6f64, angle in -10.0..10.0f64,
+    ) {
+        let v = Vec3::new(x, y, z);
+        for r in [v.rotate_x(angle), v.rotate_y(angle), v.rotate_z(angle)] {
+            prop_assert!((r.norm() - v.norm()).abs() < 1e-6 * v.norm().max(1.0));
+        }
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal(
+        ax in -10.0..10.0f64, ay in -10.0..10.0f64, az in -10.0..10.0f64,
+        bx in -10.0..10.0f64, by in -10.0..10.0f64, bz in -10.0..10.0f64,
+    ) {
+        let a = Vec3::new(ax, ay, az);
+        let b = Vec3::new(bx, by, bz);
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() < 1e-9 * (a.norm() * b.norm()).max(1.0));
+        prop_assert!(c.dot(b).abs() < 1e-9 * (a.norm() * b.norm()).max(1.0));
+        // Lagrange identity: |a×b|² + (a·b)² = |a|²|b|².
+        let lhs = c.norm_sq() + a.dot(b).powi(2);
+        let rhs = a.norm_sq() * b.norm_sq();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.max(1.0));
+    }
+}

@@ -1,0 +1,207 @@
+//! Link-state timelines and per-link statistics.
+//!
+//! The paper's simulator "dynamically updates" satellite links as the
+//! constellation moves; this module records those transitions — when each
+//! link came up, went down, and how good it was while up — for the
+//! operational analyses (duty cycles, handover rates) the examples print.
+
+use crate::simulator::QuantumNetworkSim;
+use qntn_orbit::{merge_intervals, Interval};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A link up/down transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkEvent {
+    /// Simulation time, seconds.
+    pub t_s: f64,
+    /// Link endpoints (host indices, ordered).
+    pub link: (usize, usize),
+    /// True for link-up, false for link-down.
+    pub up: bool,
+}
+
+/// Per-link aggregate over a scan window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LinkStats {
+    /// Time above threshold, seconds.
+    pub up_time_s: f64,
+    /// Number of distinct up intervals (passes).
+    pub passes: usize,
+    /// Best transmissivity observed while up.
+    pub best_eta: f64,
+    /// Mean transmissivity over up samples.
+    pub mean_eta: f64,
+}
+
+/// Timeline of link activity over a step range.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinkTimeline {
+    /// All transitions, time-ordered.
+    pub events: Vec<LinkEvent>,
+    /// Aggregates per link.
+    pub stats: HashMap<(usize, usize), LinkStats>,
+    /// Window covered, seconds.
+    pub window_s: f64,
+}
+
+impl LinkTimeline {
+    /// Scan `sim` over `[start_step, end_step)` and record every threshold
+    /// crossing of every link.
+    pub fn scan(sim: &QuantumNetworkSim, start_step: usize, end_step: usize) -> LinkTimeline {
+        assert!(start_step < end_step && end_step <= sim.steps());
+        let step_s = sim.step_s();
+        let mut events = Vec::new();
+        let mut up_since: HashMap<(usize, usize), f64> = HashMap::new();
+        let mut eta_sums: HashMap<(usize, usize), (f64, f64, usize)> = HashMap::new(); // (sum, best, n)
+        let mut intervals: HashMap<(usize, usize), Vec<Interval>> = HashMap::new();
+
+        let mut prev: HashMap<(usize, usize), f64> = HashMap::new();
+        for step in start_step..end_step {
+            let t = step as f64 * step_s;
+            let graph = sim.active_graph_at(step);
+            let mut current: HashMap<(usize, usize), f64> = HashMap::new();
+            for (u, v, eta) in graph.edges() {
+                current.insert((u, v), eta);
+            }
+            // Ups: in current, not in prev.
+            for (&link, &eta) in &current {
+                let entry = eta_sums.entry(link).or_insert((0.0, 0.0, 0));
+                entry.0 += eta;
+                entry.1 = entry.1.max(eta);
+                entry.2 += 1;
+                if !prev.contains_key(&link) {
+                    events.push(LinkEvent { t_s: t, link, up: true });
+                    up_since.insert(link, t);
+                }
+            }
+            // Downs: in prev, not in current.
+            for &link in prev.keys() {
+                if !current.contains_key(&link) {
+                    events.push(LinkEvent { t_s: t, link, up: false });
+                    if let Some(since) = up_since.remove(&link) {
+                        intervals.entry(link).or_default().push(Interval::new(since, t));
+                    }
+                }
+            }
+            prev = current;
+        }
+        // Close any links still up at the end of the window.
+        let t_end = end_step as f64 * step_s;
+        for (link, since) in up_since {
+            intervals.entry(link).or_default().push(Interval::new(since, t_end));
+        }
+
+        let stats = intervals
+            .into_iter()
+            .map(|(link, ivs)| {
+                let merged = merge_intervals(ivs);
+                let up_time: f64 = merged.iter().map(Interval::duration_s).sum();
+                let (sum, best, n) = eta_sums.get(&link).copied().unwrap_or((0.0, 0.0, 0));
+                (
+                    link,
+                    LinkStats {
+                        up_time_s: up_time,
+                        passes: merged.len(),
+                        best_eta: best,
+                        mean_eta: if n > 0 { sum / n as f64 } else { 0.0 },
+                    },
+                )
+            })
+            .collect();
+
+        LinkTimeline {
+            events,
+            stats,
+            window_s: (end_step - start_step) as f64 * step_s,
+        }
+    }
+
+    /// Duty cycle of one link (fraction of the window it was up).
+    pub fn duty_cycle(&self, link: (usize, usize)) -> f64 {
+        self.stats
+            .get(&link)
+            .map_or(0.0, |s| s.up_time_s / self.window_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Host;
+    use crate::linkeval::SimConfig;
+    use qntn_geo::{Epoch, Geodetic};
+    use qntn_orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
+
+    fn hap_sim(steps: usize) -> QuantumNetworkSim {
+        let hosts = vec![
+            Host::ground("A", 0, Geodetic::from_deg(36.1757, -85.5066, 300.0), 1.2),
+            Host::ground("B", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+            Host::hap("HAP", Geodetic::from_deg(35.6692, -85.0662, 30_000.0), 0.3),
+        ];
+        QuantumNetworkSim::new(hosts, SimConfig::default(), steps, 30.0)
+    }
+
+    #[test]
+    fn static_hap_links_have_full_duty_cycle() {
+        let sim = hap_sim(20);
+        let tl = LinkTimeline::scan(&sim, 0, 20);
+        for link in [(0usize, 2usize), (1, 2)] {
+            assert!((tl.duty_cycle(link) - 1.0).abs() < 1e-12, "{link:?}");
+            let s = &tl.stats[&link];
+            assert_eq!(s.passes, 1);
+            assert!(s.best_eta >= s.mean_eta);
+        }
+        // Only the two up events at t=0; nothing ever goes down.
+        assert_eq!(tl.events.iter().filter(|e| e.up).count(), 2);
+        assert_eq!(tl.events.iter().filter(|e| !e.up).count(), 0);
+    }
+
+    #[test]
+    fn satellite_links_produce_transitions() {
+        let props: Vec<Propagator> = paper_constellation(6)
+            .into_iter()
+            .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+            .collect();
+        let ephs = Ephemeris::generate_many(&props, Epoch::J2000, 30.0, 86_400.0);
+        let mut hosts = vec![Host::ground(
+            "G",
+            0,
+            Geodetic::from_deg(36.0, -85.0, 300.0),
+            1.2,
+        )];
+        for (i, e) in ephs.into_iter().enumerate() {
+            hosts.push(Host::satellite(format!("S{i}"), e, 1.2));
+        }
+        let sim = QuantumNetworkSim::new(hosts, SimConfig::default(), 2880, 30.0);
+        let tl = LinkTimeline::scan(&sim, 0, 2880);
+        // Over a day, some satellite-ground passes must occur, each with a
+        // matched up (and possibly trailing) structure.
+        assert!(!tl.events.is_empty(), "no link events in a whole day");
+        let ups = tl.events.iter().filter(|e| e.up).count();
+        let downs = tl.events.iter().filter(|e| !e.up).count();
+        assert!(ups >= downs && ups <= downs + 6);
+        // Duty cycles are small for LEO links.
+        for (link, s) in &tl.stats {
+            let duty = s.up_time_s / tl.window_s;
+            assert!(duty < 0.05, "{link:?}: {duty}");
+            assert!(s.best_eta >= 0.7, "up requires threshold");
+        }
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let sim = hap_sim(10);
+        let tl = LinkTimeline::scan(&sim, 0, 10);
+        for w in tl.events.windows(2) {
+            assert!(w[0].t_s <= w[1].t_s);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "start_step < end_step")]
+    fn rejects_empty_window() {
+        let sim = hap_sim(10);
+        LinkTimeline::scan(&sim, 5, 5);
+    }
+}

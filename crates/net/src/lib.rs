@@ -1,0 +1,49 @@
+//! # qntn-net — the quantum network simulator
+//!
+//! The discrete-time simulator that replaces the paper's upgraded QuNetSim:
+//!
+//! - [`host::Host`] — network nodes: ground stations (members of one of the
+//!   three LANs), satellites (driven by an [`qntn_orbit::Ephemeris`]
+//!   movement sheet, exactly as the paper replayed STK output), and HAPs
+//!   (hovering at a fixed geodetic position).
+//! - [`linkeval::LinkEvaluator`] — turns pairwise geometry into
+//!   transmissivities each time step: static fiber for intra-LAN pairs,
+//!   FSO for satellite–ground / HAP–ground / satellite–satellite pairs,
+//!   with a cached Rytov table so a full day × constellation sweep stays
+//!   fast.
+//! - [`simulator::QuantumNetworkSim`] — assembles the time-varying
+//!   transmissivity graph and applies the paper's threshold gating.
+//! - [`coverage`] — the coverage period T_c and percentage P (paper
+//!   Eq. 6–7): the fraction of the day during which all three LANs are
+//!   pairwise interconnected.
+//! - [`requests`] — random inter-LAN entanglement request workloads and the
+//!   served-percentage statistic (paper Fig. 7).
+//! - [`entanglement`] — end-to-end distribution: route (paper's
+//!   Bellman–Ford), compose the per-link amplitude-damping channels
+//!   (η multiplies), damp one half of `|Φ+⟩`, report fidelity (paper
+//!   Fig. 8; square-root convention, see `qntn-quantum`).
+//!
+//! Determinism: given one seed, every statistic is bit-reproducible; the
+//! rayon-parallel sweeps chunk by time step and merge in index order.
+
+pub mod capacity;
+pub mod coverage;
+pub mod entanglement;
+pub mod events;
+pub mod heralded;
+pub mod host;
+pub mod linkeval;
+pub mod requests;
+pub mod simulator;
+pub mod snapshot;
+
+pub use capacity::{serve_with_capacity, BlockReason, CapacityModel};
+pub use coverage::{CoverageAnalyzer, CoverageReport};
+pub use events::{LinkEvent, LinkStats, LinkTimeline};
+pub use heralded::{Delivery, HeraldedLink, HeraldedStats};
+pub use entanglement::{distribute, Distribution};
+pub use host::{Host, HostKind, LanId};
+pub use linkeval::{LinkEvaluator, SimConfig};
+pub use requests::{Request, RequestOutcome, RequestWorkload};
+pub use simulator::QuantumNetworkSim;
+pub use snapshot::{LinkClass, Snapshot};

@@ -1,0 +1,269 @@
+//! Entanglement-request workloads (paper Fig. 7 / Fig. 8).
+//!
+//! The paper generates 100 random requests whose source and destination lie
+//! in *different* LANs, counts how many can be served at each of 100 time
+//! steps of satellite movement, and averages. `RequestWorkload` reproduces
+//! that: seeded generation (deterministic), per-step evaluation on the
+//! threshold-gated graph, rayon-parallel sweeps over steps.
+
+use crate::entanglement::{distribute, Distribution};
+use crate::simulator::QuantumNetworkSim;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+use qntn_routing::{NodeId, RouteMetric};
+use serde::{Deserialize, Serialize};
+
+/// One entanglement-distribution request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    pub src: NodeId,
+    pub dst: NodeId,
+}
+
+/// Outcome of attempting one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// Routed and distributed with this result.
+    Served(Distribution),
+    /// No path above threshold existed.
+    Unserved,
+}
+
+/// A batch of inter-LAN requests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RequestWorkload {
+    pub requests: Vec<Request>,
+}
+
+impl RequestWorkload {
+    /// Draw `n` random requests between ground nodes of *different* LANs,
+    /// deterministically from `seed`.
+    ///
+    /// # Panics
+    /// Panics when the simulator has fewer than two LANs with members.
+    pub fn generate(sim: &QuantumNetworkSim, n: usize, seed: u64) -> RequestWorkload {
+        let lans: Vec<&[usize]> =
+            (0..sim.lan_count()).map(|l| sim.lan_members(l)).filter(|m| !m.is_empty()).collect();
+        assert!(lans.len() >= 2, "need at least two populated LANs");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let requests = (0..n)
+            .map(|_| {
+                let a = rng.random_range(0..lans.len());
+                let b = loop {
+                    let b = rng.random_range(0..lans.len());
+                    if b != a {
+                        break b;
+                    }
+                };
+                let src = lans[a][rng.random_range(0..lans[a].len())];
+                let dst = lans[b][rng.random_range(0..lans[b].len())];
+                Request { src, dst }
+            })
+            .collect();
+        RequestWorkload { requests }
+    }
+
+    /// Evaluate every request against the thresholded graph at `step`.
+    pub fn evaluate_at(
+        &self,
+        sim: &QuantumNetworkSim,
+        step: usize,
+        metric: RouteMetric,
+    ) -> Vec<RequestOutcome> {
+        let graph = sim.active_graph_at(step);
+        self.requests
+            .iter()
+            .map(|r| match distribute(&graph, r.src, r.dst, metric) {
+                Some(d) => RequestOutcome::Served(d),
+                None => RequestOutcome::Unserved,
+            })
+            .collect()
+    }
+}
+
+/// Aggregate statistics over a (steps × requests) sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Total requests attempted.
+    pub attempted: usize,
+    /// Requests served.
+    pub served: usize,
+    /// Mean end-to-end square-root fidelity over *served* requests
+    /// (NaN-free: 0 when nothing was served).
+    pub mean_fidelity: f64,
+    /// Mean per-link square-root fidelity over served requests (the
+    /// accounting the paper's Table III numbers imply; see qntn-net docs).
+    pub mean_link_fidelity: f64,
+    /// Mean end-to-end transmissivity over served requests.
+    pub mean_eta: f64,
+    /// Mean hop count over served requests.
+    pub mean_hops: f64,
+}
+
+impl SweepStats {
+    /// Served percentage (the paper's Fig. 7 y-axis).
+    pub fn served_percent(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            100.0 * self.served as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// The paper's experiment: at each of `steps`, draw a fresh batch of
+/// `requests_per_step` random inter-LAN requests (seeded per step), attempt
+/// them on that step's graph, and aggregate. Parallel over steps,
+/// deterministic for a given `seed`.
+pub fn sweep(
+    sim: &QuantumNetworkSim,
+    steps: &[usize],
+    requests_per_step: usize,
+    seed: u64,
+    metric: RouteMetric,
+) -> SweepStats {
+    let per_step: Vec<Vec<RequestOutcome>> = steps
+        .par_iter()
+        .map(|&step| {
+            let workload =
+                RequestWorkload::generate(sim, requests_per_step, seed ^ (step as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            workload.evaluate_at(sim, step, metric)
+        })
+        .collect();
+
+    let mut stats = SweepStats {
+        attempted: 0,
+        served: 0,
+        mean_fidelity: 0.0,
+        mean_link_fidelity: 0.0,
+        mean_eta: 0.0,
+        mean_hops: 0.0,
+    };
+    let (mut f_sum, mut fl_sum, mut eta_sum, mut hop_sum) = (0.0, 0.0, 0.0, 0.0);
+    for outcomes in &per_step {
+        for o in outcomes {
+            stats.attempted += 1;
+            if let RequestOutcome::Served(d) = o {
+                stats.served += 1;
+                f_sum += d.fidelity;
+                fl_sum += d.mean_link_fidelity;
+                eta_sum += d.eta;
+                hop_sum += (d.path.len() - 1) as f64;
+            }
+        }
+    }
+    if stats.served > 0 {
+        stats.mean_fidelity = f_sum / stats.served as f64;
+        stats.mean_link_fidelity = fl_sum / stats.served as f64;
+        stats.mean_eta = eta_sum / stats.served as f64;
+        stats.mean_hops = hop_sum / stats.served as f64;
+    }
+    stats
+}
+
+/// Evenly spaced sample of `count` step indices across `total` steps —
+/// how the experiments pick their "100 time steps of satellite movement".
+pub fn sample_steps(total: usize, count: usize) -> Vec<usize> {
+    assert!(total > 0 && count > 0);
+    if count >= total {
+        return (0..total).collect();
+    }
+    (0..count).map(|i| i * total / count).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Host;
+    use crate::linkeval::SimConfig;
+    use qntn_geo::Geodetic;
+
+    fn hap_sim() -> QuantumNetworkSim {
+        let hosts = vec![
+            Host::ground("A-0", 0, Geodetic::from_deg(36.1757, -85.5066, 300.0), 1.2),
+            Host::ground("A-1", 0, Geodetic::from_deg(36.1751, -85.5067, 300.0), 1.2),
+            Host::ground("B-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+            Host::ground("C-0", 2, Geodetic::from_deg(35.04159, -85.2799, 200.0), 1.2),
+            Host::hap("HAP", Geodetic::from_deg(35.6692, -85.0662, 30_000.0), 0.3),
+        ];
+        QuantumNetworkSim::new(hosts, SimConfig::default(), 5, 30.0)
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_inter_lan() {
+        let sim = hap_sim();
+        let w1 = RequestWorkload::generate(&sim, 100, 7);
+        let w2 = RequestWorkload::generate(&sim, 100, 7);
+        assert_eq!(w1.requests, w2.requests);
+        let w3 = RequestWorkload::generate(&sim, 100, 8);
+        assert_ne!(w1.requests, w3.requests);
+        for r in &w1.requests {
+            let src_lan = sim.hosts()[r.src].lan().unwrap();
+            let dst_lan = sim.hosts()[r.dst].lan().unwrap();
+            assert_ne!(src_lan, dst_lan, "source and destination must differ in LAN");
+        }
+    }
+
+    #[test]
+    fn hap_serves_everything() {
+        let sim = hap_sim();
+        let stats = sweep(&sim, &[0, 1, 2, 3, 4], 50, 42, RouteMetric::PaperInverseEta);
+        assert_eq!(stats.attempted, 250);
+        assert_eq!(stats.served, 250);
+        assert!((stats.served_percent() - 100.0).abs() < 1e-12);
+        // Two FSO hops via the HAP (plus maybe a campus fiber hop).
+        assert!(stats.mean_hops >= 2.0);
+        assert!(stats.mean_fidelity > 0.9, "{}", stats.mean_fidelity);
+    }
+
+    #[test]
+    fn outcomes_match_graph_connectivity() {
+        let sim = hap_sim();
+        let w = RequestWorkload::generate(&sim, 20, 3);
+        let outcomes = w.evaluate_at(&sim, 0, RouteMetric::PaperInverseEta);
+        let g = sim.active_graph_at(0);
+        for (r, o) in w.requests.iter().zip(&outcomes) {
+            match o {
+                RequestOutcome::Served(d) => {
+                    assert!(g.connected(r.src, r.dst));
+                    assert_eq!(d.path[0], r.src);
+                    assert_eq!(*d.path.last().unwrap(), r.dst);
+                }
+                RequestOutcome::Unserved => assert!(!g.connected(r.src, r.dst)),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sweep_is_zeroed() {
+        let stats = SweepStats {
+            attempted: 0,
+            served: 0,
+            mean_fidelity: 0.0,
+            mean_link_fidelity: 0.0,
+            mean_eta: 0.0,
+            mean_hops: 0.0,
+        };
+        assert_eq!(stats.served_percent(), 0.0);
+    }
+
+    #[test]
+    fn sample_steps_spacing() {
+        let s = sample_steps(2880, 100);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[0], 0);
+        assert!(s.windows(2).all(|w| w[1] > w[0]));
+        assert!(*s.last().unwrap() < 2880);
+        // Short totals return everything.
+        assert_eq!(sample_steps(5, 100), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sweep_deterministic_across_runs() {
+        let sim = hap_sim();
+        let a = sweep(&sim, &[0, 2, 4], 30, 9, RouteMetric::PaperInverseEta);
+        let b = sweep(&sim, &[0, 2, 4], 30, 9, RouteMetric::PaperInverseEta);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-step network census: what the topology looks like at one instant.
+//!
+//! Used by the `reproduce topology` artifact and by operators of the
+//! simulator to sanity-check a configuration: how many links of each class
+//! are active, and how good they are.
+
+use crate::host::Host;
+use crate::simulator::QuantumNetworkSim;
+use qntn_routing::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Which physical class a link belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkClass {
+    /// Ground–ground fiber.
+    Fiber,
+    /// Ground–satellite FSO.
+    SatGround,
+    /// Ground–HAP FSO.
+    HapGround,
+    /// Satellite–satellite FSO.
+    Isl,
+    /// HAP–HAP or HAP–satellite FSO.
+    AerialBackbone,
+}
+
+/// Classify one edge by its endpoint host kinds.
+pub fn classify(a: &Host, b: &Host) -> LinkClass {
+    match (a.is_ground(), b.is_ground(), a.is_satellite(), b.is_satellite()) {
+        (true, true, _, _) => LinkClass::Fiber,
+        (_, _, true, true) => LinkClass::Isl,
+        (true, _, _, true) | (_, true, true, _) => LinkClass::SatGround,
+        (true, _, _, _) | (_, true, _, _) => LinkClass::HapGround,
+        _ => LinkClass::AerialBackbone,
+    }
+}
+
+/// Census of one link class at one step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassCensus {
+    pub count: usize,
+    pub min_eta: f64,
+    pub max_eta: f64,
+    pub mean_eta: f64,
+}
+
+/// The full snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    pub step: usize,
+    pub nodes: usize,
+    pub active_links: usize,
+    pub classes: Vec<(LinkClass, ClassCensus)>,
+    /// Are all LANs interconnected at this step?
+    pub interconnected: bool,
+}
+
+impl Snapshot {
+    /// Take a census of the threshold-gated graph at `step`.
+    pub fn take(sim: &QuantumNetworkSim, step: usize) -> Snapshot {
+        let graph = sim.active_graph_at(step);
+        Self::from_graph(sim, step, &graph)
+    }
+
+    /// Census an already-built graph (lets callers reuse the graph).
+    pub fn from_graph(sim: &QuantumNetworkSim, step: usize, graph: &Graph) -> Snapshot {
+        use std::collections::HashMap;
+        let mut acc: HashMap<LinkClass, (usize, f64, f64, f64)> = HashMap::new();
+        for (u, v, eta) in graph.edges() {
+            let class = classify(&sim.hosts()[u], &sim.hosts()[v]);
+            let e = acc.entry(class).or_insert((0, f64::INFINITY, 0.0, 0.0));
+            e.0 += 1;
+            e.1 = e.1.min(eta);
+            e.2 = e.2.max(eta);
+            e.3 += eta;
+        }
+        let mut classes: Vec<(LinkClass, ClassCensus)> = acc
+            .into_iter()
+            .map(|(class, (count, min, max, sum))| {
+                (
+                    class,
+                    ClassCensus {
+                        count,
+                        min_eta: min,
+                        max_eta: max,
+                        mean_eta: sum / count as f64,
+                    },
+                )
+            })
+            .collect();
+        classes.sort_by_key(|(class, _)| format!("{class:?}"));
+        Snapshot {
+            step,
+            nodes: graph.node_count(),
+            active_links: graph.edge_count(),
+            classes,
+            interconnected: sim.lans_interconnected(graph),
+        }
+    }
+
+    /// The census for one class, if any links of it are active.
+    pub fn class(&self, class: LinkClass) -> Option<&ClassCensus> {
+        self.classes.iter().find(|(c, _)| *c == class).map(|(_, s)| s)
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "step {}: {} nodes, {} active links, interconnected: {}\n{:<16} {:>6} {:>8} {:>8} {:>8}\n",
+            self.step, self.nodes, self.active_links, self.interconnected,
+            "class", "count", "min_eta", "mean_eta", "max_eta"
+        );
+        for (class, s) in &self.classes {
+            out.push_str(&format!(
+                "{:<16} {:>6} {:>8.4} {:>8.4} {:>8.4}\n",
+                format!("{class:?}"),
+                s.count,
+                s.min_eta,
+                s.mean_eta,
+                s.max_eta
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linkeval::SimConfig;
+    use qntn_geo::Geodetic;
+
+    fn sim() -> QuantumNetworkSim {
+        let hosts = vec![
+            Host::ground("A-0", 0, Geodetic::from_deg(36.1757, -85.5066, 300.0), 1.2),
+            Host::ground("A-1", 0, Geodetic::from_deg(36.1751, -85.5067, 300.0), 1.2),
+            Host::ground("B-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+            Host::hap("HAP", Geodetic::from_deg(35.6692, -85.0662, 30_000.0), 0.3),
+        ];
+        QuantumNetworkSim::new(hosts, SimConfig::default(), 2, 30.0)
+    }
+
+    #[test]
+    fn census_counts_by_class() {
+        let s = Snapshot::take(&sim(), 0);
+        assert_eq!(s.nodes, 4);
+        // 1 fiber (A-0—A-1) + 3 HAP links.
+        assert_eq!(s.class(LinkClass::Fiber).unwrap().count, 1);
+        assert_eq!(s.class(LinkClass::HapGround).unwrap().count, 3);
+        assert!(s.class(LinkClass::Isl).is_none());
+        assert_eq!(s.active_links, 4);
+        assert!(s.interconnected);
+    }
+
+    #[test]
+    fn census_eta_statistics_are_consistent() {
+        let s = Snapshot::take(&sim(), 0);
+        for (_, c) in &s.classes {
+            assert!(c.min_eta <= c.mean_eta && c.mean_eta <= c.max_eta);
+            assert!(c.min_eta >= 0.7, "only above-threshold links in the census");
+            assert!(c.max_eta <= 1.0);
+        }
+    }
+
+    #[test]
+    fn classify_covers_all_pairs() {
+        let g = Host::ground("g", 0, Geodetic::from_deg(36.0, -85.0, 0.0), 1.2);
+        let h = Host::hap("h", Geodetic::from_deg(35.7, -85.0, 30_000.0), 0.3);
+        assert_eq!(classify(&g, &g), LinkClass::Fiber);
+        assert_eq!(classify(&g, &h), LinkClass::HapGround);
+        assert_eq!(classify(&h, &g), LinkClass::HapGround);
+        assert_eq!(classify(&h, &h), LinkClass::AerialBackbone);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let text = Snapshot::take(&sim(), 1).render();
+        assert!(text.contains("Fiber"));
+        assert!(text.contains("HapGround"));
+        assert!(text.contains("interconnected: true"));
+    }
+}

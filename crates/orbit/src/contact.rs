@@ -1,0 +1,161 @@
+//! Contact plans: the operations view of a constellation over a site.
+//!
+//! Mission planning wants "who can I talk to, when, for how long, and how
+//! long are the gaps" — the per-satellite pass lists of
+//! [`crate::visibility::PassPredictor`] merged into one timeline. The gap
+//! statistics are the operational face of the paper's coverage percentage:
+//! 55 % coverage sounds serviceable until the gap histogram shows the
+//! outages are tens of minutes long.
+
+use crate::ephemeris::Ephemeris;
+use crate::visibility::{merge_intervals, Interval, PassPredictor};
+use qntn_geo::Geodetic;
+use serde::{Deserialize, Serialize};
+
+/// One scheduled contact.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Contact {
+    /// Which satellite (index into the ephemeris list).
+    pub satellite: usize,
+    /// The pass interval on the simulation timeline.
+    pub window: Interval,
+}
+
+/// A site's merged contact plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContactPlan {
+    /// Every per-satellite contact, sorted by start time.
+    pub contacts: Vec<Contact>,
+    /// The union of all contact windows (any-satellite availability).
+    pub availability: Vec<Interval>,
+    /// Total planned duration, seconds.
+    pub span_s: f64,
+}
+
+impl ContactPlan {
+    /// Build the plan for `site` over `ephemerides` with elevation `mask`.
+    pub fn build(site: Geodetic, ephemerides: &[Ephemeris], mask: f64) -> ContactPlan {
+        let predictor = PassPredictor::new(site, mask);
+        let mut contacts = Vec::new();
+        let mut all = Vec::new();
+        let mut span_s = 0.0f64;
+        for (idx, eph) in ephemerides.iter().enumerate() {
+            span_s = span_s.max(eph.len() as f64 * eph.step_s());
+            for window in predictor.passes(eph) {
+                contacts.push(Contact { satellite: idx, window });
+                all.push(window);
+            }
+        }
+        contacts.sort_by(|a, b| a.window.start_s.total_cmp(&b.window.start_s));
+        ContactPlan { contacts, availability: merge_intervals(all), span_s }
+    }
+
+    /// Fraction of the span with at least one satellite in contact.
+    pub fn availability_fraction(&self) -> f64 {
+        if self.span_s == 0.0 {
+            return 0.0;
+        }
+        self.availability.iter().map(Interval::duration_s).sum::<f64>() / self.span_s
+    }
+
+    /// The gaps between availability windows (and the leading/trailing
+    /// gaps against the span boundaries).
+    pub fn gaps(&self) -> Vec<Interval> {
+        let mut gaps = Vec::new();
+        let mut cursor = 0.0;
+        for w in &self.availability {
+            if w.start_s > cursor {
+                gaps.push(Interval::new(cursor, w.start_s));
+            }
+            cursor = cursor.max(w.end_s);
+        }
+        if cursor < self.span_s {
+            gaps.push(Interval::new(cursor, self.span_s));
+        }
+        gaps
+    }
+
+    /// The longest outage, seconds (0 when always available).
+    pub fn max_gap_s(&self) -> f64 {
+        self.gaps().iter().map(Interval::duration_s).fold(0.0, f64::max)
+    }
+
+    /// Mean contact duration, seconds.
+    pub fn mean_contact_s(&self) -> f64 {
+        if self.contacts.is_empty() {
+            return 0.0;
+        }
+        self.contacts.iter().map(|c| c.window.duration_s()).sum::<f64>()
+            / self.contacts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagator::{PerturbationModel, Propagator};
+    use crate::walker::paper_constellation;
+    use qntn_geo::Epoch;
+
+    fn ephemerides(n: usize) -> Vec<Ephemeris> {
+        let props: Vec<Propagator> = paper_constellation(n)
+            .into_iter()
+            .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+            .collect();
+        Ephemeris::generate_many(&props, Epoch::J2000, 30.0, 86_400.0)
+    }
+
+    fn cookeville() -> Geodetic {
+        Geodetic::from_deg(36.1757, -85.5066, 300.0)
+    }
+
+    #[test]
+    fn plan_is_sorted_and_bounded() {
+        let plan = ContactPlan::build(cookeville(), &ephemerides(12), std::f64::consts::PI / 9.0);
+        assert!(!plan.contacts.is_empty(), "12 satellites must yield passes");
+        for w in plan.contacts.windows(2) {
+            assert!(w[0].window.start_s <= w[1].window.start_s);
+        }
+        for c in &plan.contacts {
+            assert!(c.satellite < 12);
+            assert!(c.window.end_s <= plan.span_s + 1e-9);
+        }
+        assert_eq!(plan.span_s, 86_400.0);
+    }
+
+    #[test]
+    fn availability_grows_with_constellation() {
+        let site = cookeville();
+        let mask = std::f64::consts::PI / 9.0;
+        let small = ContactPlan::build(site, &ephemerides(6), mask);
+        let large = ContactPlan::build(site, &ephemerides(24), mask);
+        assert!(large.availability_fraction() >= small.availability_fraction());
+        assert!(large.contacts.len() > small.contacts.len());
+    }
+
+    #[test]
+    fn gaps_partition_the_span() {
+        let plan = ContactPlan::build(cookeville(), &ephemerides(12), std::f64::consts::PI / 9.0);
+        let up: f64 = plan.availability.iter().map(Interval::duration_s).sum();
+        let down: f64 = plan.gaps().iter().map(Interval::duration_s).sum();
+        assert!((up + down - plan.span_s).abs() < 1e-6, "{up} + {down} != {}", plan.span_s);
+        // Sparse LEO coverage: long outages.
+        assert!(plan.max_gap_s() > 1_800.0, "{}", plan.max_gap_s());
+    }
+
+    #[test]
+    fn pass_durations_are_leo_scale() {
+        let plan = ContactPlan::build(cookeville(), &ephemerides(12), std::f64::consts::PI / 9.0);
+        let mean = plan.mean_contact_s();
+        assert!((30.0..400.0).contains(&mean), "{mean}");
+    }
+
+    #[test]
+    fn empty_constellation_has_full_gap() {
+        let plan = ContactPlan::build(cookeville(), &[], 0.3);
+        assert!(plan.contacts.is_empty());
+        assert_eq!(plan.availability_fraction(), 0.0);
+        assert_eq!(plan.mean_contact_s(), 0.0);
+        assert_eq!(plan.max_gap_s(), 0.0, "zero span has no gaps");
+    }
+}

@@ -1,0 +1,151 @@
+//! Classical (Keplerian) orbital elements.
+
+use serde::{Deserialize, Serialize};
+
+/// Earth's gravitational parameter μ = GM, m³/s² (WGS-84 value).
+pub const EARTH_MU: f64 = 3.986_004_418e14;
+
+/// Earth's J2 zonal harmonic coefficient (oblateness).
+pub const EARTH_J2: f64 = 1.082_626_68e-3;
+
+/// Earth's equatorial radius used in the J2 model, metres.
+pub const EARTH_RADIUS_EQ_M: f64 = 6_378_137.0;
+
+/// Classical orbital elements. Angles in **radians**.
+///
+/// For the circular orbits the paper uses (e = 0), the argument of perigee
+/// is degenerate; we keep it at 0 and fold the satellite's position into the
+/// anomaly, matching how Table II specifies satellites by (RAAN, true
+/// anomaly) alone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Keplerian {
+    /// Semi-major axis, metres.
+    pub semi_major_m: f64,
+    /// Eccentricity (0 ≤ e < 1 supported by the propagator).
+    pub eccentricity: f64,
+    /// Inclination, radians.
+    pub inclination: f64,
+    /// Right ascension of the ascending node, radians.
+    pub raan: f64,
+    /// Argument of perigee, radians.
+    pub arg_perigee: f64,
+    /// True anomaly at epoch, radians.
+    pub true_anomaly: f64,
+}
+
+impl Keplerian {
+    /// A circular orbit: only altitude-driven semi-major axis, inclination,
+    /// RAAN and true anomaly, as in the paper's Table II.
+    pub fn circular(semi_major_m: f64, inclination: f64, raan: f64, true_anomaly: f64) -> Self {
+        Keplerian {
+            semi_major_m,
+            eccentricity: 0.0,
+            inclination,
+            raan,
+            arg_perigee: 0.0,
+            true_anomaly,
+        }
+    }
+
+    /// Mean motion n = sqrt(μ/a³), rad/s.
+    #[inline]
+    pub fn mean_motion(&self) -> f64 {
+        (EARTH_MU / self.semi_major_m.powi(3)).sqrt()
+    }
+
+    /// Orbital period, seconds.
+    #[inline]
+    pub fn period_s(&self) -> f64 {
+        std::f64::consts::TAU / self.mean_motion()
+    }
+
+    /// Perigee radius, metres.
+    #[inline]
+    pub fn perigee_radius_m(&self) -> f64 {
+        self.semi_major_m * (1.0 - self.eccentricity)
+    }
+
+    /// Apogee radius, metres.
+    #[inline]
+    pub fn apogee_radius_m(&self) -> f64 {
+        self.semi_major_m * (1.0 + self.eccentricity)
+    }
+
+    /// Specific orbital energy, J/kg (negative for bound orbits).
+    #[inline]
+    pub fn specific_energy(&self) -> f64 {
+        -EARTH_MU / (2.0 * self.semi_major_m)
+    }
+
+    /// Specific angular momentum magnitude, m²/s.
+    #[inline]
+    pub fn specific_angular_momentum(&self) -> f64 {
+        (EARTH_MU * self.semi_major_m * (1.0 - self.eccentricity * self.eccentricity)).sqrt()
+    }
+
+    /// Mean anomaly at epoch (converted from the stored true anomaly).
+    pub fn mean_anomaly(&self) -> f64 {
+        let e_anom = crate::kepler::true_to_eccentric(self.true_anomaly, self.eccentricity);
+        crate::kepler::eccentric_to_mean(e_anom, self.eccentricity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_orbit() -> Keplerian {
+        Keplerian::circular(6_871_000.0, 53.0_f64.to_radians(), 0.0, 0.0)
+    }
+
+    #[test]
+    fn leo_period_is_about_95_minutes() {
+        // a = 6871 km (500 km altitude): T = 2π sqrt(a³/μ) ≈ 5675 s.
+        let t = paper_orbit().period_s();
+        assert!((t - 5_675.0).abs() < 10.0, "{t}");
+    }
+
+    #[test]
+    fn mean_motion_period_consistency() {
+        let k = paper_orbit();
+        assert!((k.mean_motion() * k.period_s() - std::f64::consts::TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circular_orbit_radii() {
+        let k = paper_orbit();
+        assert_eq!(k.perigee_radius_m(), k.semi_major_m);
+        assert_eq!(k.apogee_radius_m(), k.semi_major_m);
+    }
+
+    #[test]
+    fn eccentric_orbit_radii() {
+        let k = Keplerian {
+            eccentricity: 0.1,
+            ..paper_orbit()
+        };
+        assert!((k.perigee_radius_m() - 6_871_000.0 * 0.9).abs() < 1e-6);
+        assert!((k.apogee_radius_m() - 6_871_000.0 * 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_orbit_energy_negative() {
+        assert!(paper_orbit().specific_energy() < 0.0);
+    }
+
+    #[test]
+    fn circular_mean_anomaly_equals_true_anomaly() {
+        for nu in [0.0, 1.0, 3.0, 6.0] {
+            let k = Keplerian::circular(6_871_000.0, 0.9, 0.0, nu);
+            assert!((k.mean_anomaly() - nu).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn angular_momentum_vis_viva_consistency() {
+        // For a circular orbit h = r * v_circ = sqrt(μ a).
+        let k = paper_orbit();
+        let expect = (EARTH_MU * k.semi_major_m).sqrt();
+        assert!((k.specific_angular_momentum() - expect).abs() < 1e-3);
+    }
+}

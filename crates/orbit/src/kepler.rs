@@ -1,0 +1,161 @@
+//! Kepler's equation and anomaly conversions.
+//!
+//! The propagator advances the *mean* anomaly linearly in time and then
+//! needs the *eccentric* (and from it the *true*) anomaly, which requires
+//! solving Kepler's transcendental equation `M = E − e sinE`. We use a
+//! Newton–Raphson iteration seeded with a third-order initial guess; for the
+//! near-circular orbits in QNTN it converges in one or two steps, and for
+//! e up to 0.97 within the iteration cap (tested).
+
+/// Solve Kepler's equation `M = E - e*sin(E)` for the eccentric anomaly E.
+///
+/// `mean_anomaly` may be any real; the result is congruent mod 2π.
+/// Panics in debug builds if `ecc` is outside `[0, 1)`.
+pub fn solve_kepler(mean_anomaly: f64, ecc: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&ecc), "elliptic solver needs 0 <= e < 1");
+    if ecc == 0.0 {
+        return mean_anomaly;
+    }
+    let m = normalize_pi(mean_anomaly);
+
+    // Third-order initial guess (Danby): good even at high eccentricity.
+    let mut e_anom = m + 0.85 * ecc * m.sin().signum().max(-1.0);
+    if e_anom == m {
+        // sin(m) == 0 exactly: nudge so Newton doesn't stall at e.g. m = 0.
+        e_anom = m + 0.85 * ecc;
+    }
+
+    for _ in 0..50 {
+        let (s, c) = e_anom.sin_cos();
+        let f = e_anom - ecc * s - m;
+        let fp = 1.0 - ecc * c;
+        let delta = f / fp;
+        e_anom -= delta;
+        if delta.abs() < 1e-14 {
+            break;
+        }
+    }
+    // Return congruent to the caller's branch.
+    e_anom + (mean_anomaly - m)
+}
+
+/// Eccentric anomaly → mean anomaly (Kepler's equation, forward direction).
+#[inline]
+pub fn eccentric_to_mean(e_anom: f64, ecc: f64) -> f64 {
+    e_anom - ecc * e_anom.sin()
+}
+
+/// Eccentric anomaly → true anomaly.
+pub fn eccentric_to_true(e_anom: f64, ecc: f64) -> f64 {
+    let beta = (1.0 - ecc * ecc).sqrt();
+    // atan2 form is branch-safe for all quadrants.
+    let nu = (beta * e_anom.sin()).atan2(e_anom.cos() - ecc);
+    // Keep the same 2π branch as the input.
+    nu + (e_anom - normalize_pi(e_anom))
+}
+
+/// True anomaly → eccentric anomaly.
+pub fn true_to_eccentric(nu: f64, ecc: f64) -> f64 {
+    let beta = (1.0 - ecc * ecc).sqrt();
+    let e_anom = (beta * nu.sin()).atan2(ecc + nu.cos());
+    e_anom + (nu - normalize_pi(nu))
+}
+
+/// Mean anomaly → true anomaly (solve Kepler, then convert).
+#[inline]
+pub fn mean_to_true(mean_anomaly: f64, ecc: f64) -> f64 {
+    eccentric_to_true(solve_kepler(mean_anomaly, ecc), ecc)
+}
+
+/// True anomaly → mean anomaly.
+#[inline]
+pub fn true_to_mean(nu: f64, ecc: f64) -> f64 {
+    eccentric_to_mean(true_to_eccentric(nu, ecc), ecc)
+}
+
+/// Wrap an angle into `(-π, π]` (keeps Newton well-conditioned).
+fn normalize_pi(angle: f64) -> f64 {
+    let a = angle.rem_euclid(std::f64::consts::TAU);
+    if a > std::f64::consts::PI {
+        a - std::f64::consts::TAU
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circular_orbit_identity() {
+        for m in [-3.0, 0.0, 0.5, 2.0, 10.0] {
+            assert_eq!(solve_kepler(m, 0.0), m);
+            assert!((mean_to_true(m, 0.0) - m).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kepler_residual_is_tiny() {
+        for &ecc in &[0.001, 0.1, 0.5, 0.9, 0.97] {
+            for k in 0..=20 {
+                let m = f64::from(k) * 0.3 - 3.0;
+                let e_anom = solve_kepler(m, ecc);
+                let resid = e_anom - ecc * e_anom.sin() - m;
+                assert!(resid.abs() < 1e-12, "e={ecc} M={m}: residual {resid}");
+            }
+        }
+    }
+
+    #[test]
+    fn anomaly_roundtrip_true_eccentric() {
+        for &ecc in &[0.0, 0.2, 0.7] {
+            for k in 0..=12 {
+                let nu = f64::from(k) * 0.5;
+                let back = eccentric_to_true(true_to_eccentric(nu, ecc), ecc);
+                assert!((back - nu).abs() < 1e-12, "e={ecc} nu={nu} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn anomaly_roundtrip_mean_true() {
+        for &ecc in &[0.0, 0.3, 0.8] {
+            for k in 0..=12 {
+                let m = f64::from(k) * 0.5;
+                let back = true_to_mean(mean_to_true(m, ecc), ecc);
+                assert!((back - m).abs() < 1e-11, "e={ecc} M={m} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn quadrant_agreement_at_small_eccentricity() {
+        // For small e, ν ≈ M + 2e sin M (equation of centre, first order).
+        let ecc = 0.01;
+        for k in 1..12 {
+            let m = f64::from(k) * 0.5;
+            let nu = mean_to_true(m, ecc);
+            let approx = m + 2.0 * ecc * m.sin();
+            assert!((nu - approx).abs() < 3.0 * ecc * ecc, "M={m}");
+        }
+    }
+
+    #[test]
+    fn known_textbook_case() {
+        // Vallado example 2-1: M = 235.4°, e = 0.4 -> E = 220.512074°.
+        let m = 235.4_f64.to_radians();
+        let e_anom = solve_kepler(m, 0.4);
+        assert!((e_anom.to_degrees() - 220.512_074).abs() < 1e-4, "{}", e_anom.to_degrees());
+    }
+
+    #[test]
+    fn preserves_branch() {
+        // Inputs beyond 2π should come back on the same branch.
+        let m = 3.0 * std::f64::consts::TAU + 1.0;
+        let e_anom = solve_kepler(m, 0.3);
+        assert!((e_anom - m).abs() < 1.0);
+        let resid = e_anom - 0.3 * e_anom.sin() - m;
+        assert!(resid.abs() < 1e-12);
+    }
+}

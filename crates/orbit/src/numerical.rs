@@ -1,0 +1,201 @@
+//! Numerical orbit propagation (RK4) with the full J2 acceleration.
+//!
+//! The analytic propagators in [`crate::propagator`] are what the
+//! experiments use; this integrator exists to *validate* them, the standard
+//! astrodynamics cross-check: two-body RK4 must track the Kepler solution
+//! to metres over a day, and the full-J2 RK4 must reproduce the secular
+//! nodal drift the analytic J2 model applies. The ablation bench also uses
+//! it to bound the error of the 30-second movement-sheet cadence.
+
+use crate::elements::{EARTH_J2, EARTH_MU, EARTH_RADIUS_EQ_M};
+use qntn_geo::Vec3;
+
+/// Force models for the numerical integrator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForceModel {
+    /// Point-mass Earth.
+    TwoBody,
+    /// Point mass + the full (osculating) J2 acceleration.
+    J2Full,
+}
+
+/// Gravitational acceleration at ECI position `r` under the force model.
+pub fn acceleration(r: Vec3, model: ForceModel) -> Vec3 {
+    let rn = r.norm();
+    let mut a = r * (-EARTH_MU / (rn * rn * rn));
+    if model == ForceModel::J2Full {
+        // Standard J2 acceleration in Cartesian ECI coordinates.
+        let factor = -1.5 * EARTH_J2 * EARTH_MU * EARTH_RADIUS_EQ_M * EARTH_RADIUS_EQ_M
+            / rn.powi(5);
+        let z2_r2 = (r.z * r.z) / (rn * rn);
+        a += Vec3::new(
+            factor * r.x * (1.0 - 5.0 * z2_r2),
+            factor * r.y * (1.0 - 5.0 * z2_r2),
+            factor * r.z * (3.0 - 5.0 * z2_r2),
+        );
+    }
+    a
+}
+
+/// A position/velocity state for the integrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct State {
+    pub position: Vec3,
+    pub velocity: Vec3,
+}
+
+/// One classical RK4 step of size `dt` seconds.
+pub fn rk4_step(state: State, dt: f64, model: ForceModel) -> State {
+    let deriv = |s: State| (s.velocity, acceleration(s.position, model));
+
+    let (k1r, k1v) = deriv(state);
+    let (k2r, k2v) = deriv(State {
+        position: state.position + k1r * (dt / 2.0),
+        velocity: state.velocity + k1v * (dt / 2.0),
+    });
+    let (k3r, k3v) = deriv(State {
+        position: state.position + k2r * (dt / 2.0),
+        velocity: state.velocity + k2v * (dt / 2.0),
+    });
+    let (k4r, k4v) = deriv(State {
+        position: state.position + k3r * dt,
+        velocity: state.velocity + k3v * dt,
+    });
+    State {
+        position: state.position + (k1r + k2r * 2.0 + k3r * 2.0 + k4r) * (dt / 6.0),
+        velocity: state.velocity + (k1v + k2v * 2.0 + k3v * 2.0 + k4v) * (dt / 6.0),
+    }
+}
+
+/// Integrate for `duration_s` with fixed step `dt`, returning the final
+/// state (callers wanting a trajectory step manually).
+pub fn propagate_numerical(
+    initial: State,
+    duration_s: f64,
+    dt: f64,
+    model: ForceModel,
+) -> State {
+    assert!(dt > 0.0, "step must be positive");
+    let n = (duration_s / dt).round() as usize;
+    let mut s = initial;
+    for _ in 0..n {
+        s = rk4_step(s, dt, model);
+    }
+    // Fractional remainder step to land exactly on duration_s.
+    let rem = duration_s - n as f64 * dt;
+    if rem.abs() > 1e-9 {
+        s = rk4_step(s, rem, model);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Keplerian;
+    use crate::propagator::{PerturbationModel, Propagator};
+    use qntn_geo::Epoch;
+
+    fn leo_initial() -> (Keplerian, State) {
+        let k = Keplerian::circular(6_871_000.0, 53f64.to_radians(), 0.7, 0.2);
+        let p = Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody);
+        let s0 = p.propagate(0.0);
+        (k, State { position: s0.position, velocity: s0.velocity })
+    }
+
+    #[test]
+    fn two_body_rk4_matches_kepler_over_an_orbit() {
+        let (k, s0) = leo_initial();
+        let p = Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody);
+        let t = k.period_s();
+        let numeric = propagate_numerical(s0, t, 10.0, ForceModel::TwoBody);
+        let analytic = p.propagate(t);
+        let err = (numeric.position - analytic.position).norm();
+        assert!(err < 1.0, "RK4 vs Kepler after one period: {err} m");
+    }
+
+    #[test]
+    fn two_body_rk4_matches_kepler_over_a_day() {
+        let (k, s0) = leo_initial();
+        let p = Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody);
+        let numeric = propagate_numerical(s0, 86_400.0, 10.0, ForceModel::TwoBody);
+        let analytic = p.propagate(86_400.0);
+        let err = (numeric.position - analytic.position).norm();
+        assert!(err < 100.0, "RK4 vs Kepler after a day: {err} m");
+    }
+
+    #[test]
+    fn rk4_conserves_two_body_energy() {
+        let (_, s0) = leo_initial();
+        let energy = |s: &State| s.velocity.norm_sq() / 2.0 - EARTH_MU / s.position.norm();
+        let e0 = energy(&s0);
+        // RK4 is not symplectic; the secular energy drift at dt = 30 s over
+        // a full day stays below a part in 10^6 — far finer than the link
+        // budget resolves.
+        let s = propagate_numerical(s0, 86_400.0, 30.0, ForceModel::TwoBody);
+        assert!(((energy(&s) - e0) / e0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn j2_acceleration_reduces_to_two_body_at_equator_scaling() {
+        // On the equatorial plane (z = 0) the J2 term is purely radial and
+        // outward-reducing; check magnitude ratio ~ 1.5·J2·(Re/r)².
+        let r = Vec3::new(6_871_000.0, 0.0, 0.0);
+        let a2 = acceleration(r, ForceModel::TwoBody);
+        let aj = acceleration(r, ForceModel::J2Full);
+        let delta = (aj - a2).norm() / a2.norm();
+        let expect = 1.5 * EARTH_J2 * (EARTH_RADIUS_EQ_M / 6_871_000.0_f64).powi(2);
+        assert!((delta - expect).abs() / expect < 1e-9, "{delta} vs {expect}");
+    }
+
+    #[test]
+    fn full_j2_reproduces_secular_nodal_drift() {
+        // Integrate a day with full J2 and measure the RAAN drift from the
+        // orbit normal; it must match the analytic secular rate to a few %.
+        let (k, s0) = leo_initial();
+        let analytic_rate = Propagator::new(k, Epoch::J2000, PerturbationModel::J2Secular)
+            .raan_rate();
+
+        let node_angle = |s: &State| {
+            let h = s.position.cross(s.velocity);
+            // Ascending node direction = z × h.
+            let n = Vec3::Z.cross(h);
+            n.y.atan2(n.x)
+        };
+        let day = 86_400.0;
+        let s1 = propagate_numerical(s0, day, 10.0, ForceModel::J2Full);
+        let mut drift = node_angle(&s1) - node_angle(&s0);
+        while drift > std::f64::consts::PI {
+            drift -= std::f64::consts::TAU;
+        }
+        while drift < -std::f64::consts::PI {
+            drift += std::f64::consts::TAU;
+        }
+        let numeric_rate = drift / day;
+        assert!(
+            (numeric_rate - analytic_rate).abs() / analytic_rate.abs() < 0.05,
+            "numeric {numeric_rate:e} vs analytic {analytic_rate:e}"
+        );
+    }
+
+    #[test]
+    fn step_size_convergence() {
+        // Halving the step should shrink the error ~16x (4th order); just
+        // check it shrinks substantially.
+        let (k, s0) = leo_initial();
+        let p = Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody);
+        let t = 3_000.0;
+        let truth = p.propagate(t).position;
+        let coarse = (propagate_numerical(s0, t, 60.0, ForceModel::TwoBody).position - truth).norm();
+        let fine = (propagate_numerical(s0, t, 15.0, ForceModel::TwoBody).position - truth).norm();
+        assert!(fine < coarse / 8.0, "coarse {coarse} fine {fine}");
+    }
+
+    #[test]
+    fn fractional_final_step_lands_exactly() {
+        let (_, s0) = leo_initial();
+        let a = propagate_numerical(s0, 100.0, 30.0, ForceModel::TwoBody);
+        let b = propagate_numerical(s0, 100.0, 10.0, ForceModel::TwoBody);
+        assert!((a.position - b.position).norm() < 0.1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Solar position and day/night gating.
+//!
+//! Free-space *quantum* links are photon-starved: in practice (Micius, all
+//! QKD downlink demonstrations) they only operate when the ground station is
+//! in darkness, because daytime sky radiance swamps the single-photon
+//! detectors. The paper's ideal-conditions model ignores this; the
+//! `night-ops` extension experiment applies it and shows how much of the
+//! nominal coverage survives.
+//!
+//! The solar ephemeris is the standard low-precision model (Meeus / the
+//! Astronomical Almanac), good to ~0.01°, which is orders of magnitude finer
+//! than the day/night boundary needs.
+
+use qntn_geo::look::look_angles_ecef;
+use qntn_geo::{eci_to_ecef, Epoch, Geodetic, Vec3, WGS84};
+
+/// One astronomical unit, metres.
+pub const AU_M: f64 = 1.495_978_707e11;
+
+/// Sun position in the ECI (mean-equator-of-date) frame at `epoch`, metres.
+///
+/// Low-precision series: mean longitude + equation-of-centre (two terms),
+/// obliquity of the ecliptic, then spherical→Cartesian.
+pub fn sun_position_eci(epoch: Epoch) -> Vec3 {
+    let t = epoch.centuries_since_j2000();
+    // Mean longitude and mean anomaly of the Sun, degrees.
+    let l0 = 280.460 + 36_000.771 * t;
+    let m = (357.529_109_2 + 35_999.050_29 * t).to_radians();
+    // Ecliptic longitude with the equation of centre.
+    let lambda =
+        (l0 + 1.914_666_471 * m.sin() + 0.019_994_643 * (2.0 * m).sin()).to_radians();
+    // Distance in AU.
+    let r_au = 1.000_140_612 - 0.016_708_617 * m.cos() - 0.000_139_589 * (2.0 * m).cos();
+    // Obliquity of the ecliptic.
+    let eps = (23.439_291 - 0.013_004_2 * t).to_radians();
+    let (sl, cl) = lambda.sin_cos();
+    let (se, ce) = eps.sin_cos();
+    Vec3::new(cl, ce * sl, se * sl) * (r_au * AU_M)
+}
+
+/// Sun elevation above the local horizon at a ground site, radians.
+pub fn sun_elevation(site: Geodetic, epoch: Epoch) -> f64 {
+    let sun_ecef = eci_to_ecef(sun_position_eci(epoch), epoch);
+    look_angles_ecef(site, sun_ecef, &WGS84).elevation
+}
+
+/// Twilight conventions for "dark enough for quantum links".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Twilight {
+    /// Sun below the horizon (0°).
+    Horizon,
+    /// Civil twilight: sun below −6°.
+    Civil,
+    /// Nautical twilight: sun below −12°.
+    Nautical,
+    /// Astronomical twilight: sun below −18° (what single-photon links want).
+    Astronomical,
+}
+
+impl Twilight {
+    /// The sun-elevation ceiling for this convention, radians.
+    pub fn threshold(&self) -> f64 {
+        match self {
+            Twilight::Horizon => 0.0,
+            Twilight::Civil => (-6.0_f64).to_radians(),
+            Twilight::Nautical => (-12.0_f64).to_radians(),
+            Twilight::Astronomical => (-18.0_f64).to_radians(),
+        }
+    }
+
+    /// True when `site` is dark at `epoch` under this convention.
+    pub fn is_dark(&self, site: Geodetic, epoch: Epoch) -> bool {
+        sun_elevation(site, epoch) <= self.threshold()
+    }
+}
+
+/// Is a satellite at `sat_eci` sunlit at `epoch`? Cylindrical Earth-shadow
+/// model: eclipsed when behind the terminator plane and inside the shadow
+/// cylinder of radius R⊕.
+pub fn is_sunlit(sat_eci: Vec3, epoch: Epoch) -> bool {
+    let sun_dir = match sun_position_eci(epoch).normalized() {
+        Some(d) => d,
+        None => return true,
+    };
+    let along = sat_eci.dot(sun_dir);
+    if along >= 0.0 {
+        return true; // on the day side
+    }
+    let perp = (sat_eci - sun_dir * along).norm();
+    perp > 6_371_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noon_utc_over_greenwich_summer() -> Epoch {
+        Epoch::from_calendar(2024, 6, 21, 12, 0, 0.0)
+    }
+
+    #[test]
+    fn sun_distance_is_about_one_au() {
+        for (y, m, d) in [(2024, 1, 3), (2024, 7, 4), (2025, 3, 20)] {
+            let r = sun_position_eci(Epoch::from_calendar(y, m, d, 0, 0, 0.0)).norm();
+            assert!((0.98 * AU_M..1.02 * AU_M).contains(&r), "{y}-{m}-{d}: {r}");
+        }
+        // Perihelion (early Jan) closer than aphelion (early Jul).
+        let jan = sun_position_eci(Epoch::from_calendar(2024, 1, 3, 0, 0, 0.0)).norm();
+        let jul = sun_position_eci(Epoch::from_calendar(2024, 7, 4, 0, 0, 0.0)).norm();
+        assert!(jan < jul);
+    }
+
+    #[test]
+    fn solstice_declination() {
+        // At the June solstice the Sun's declination is ~ +23.44°.
+        let s = sun_position_eci(noon_utc_over_greenwich_summer());
+        let dec = (s.z / s.norm()).asin().to_degrees();
+        assert!((dec - 23.44).abs() < 0.1, "{dec}");
+        // December solstice: ~ -23.44°.
+        let s = sun_position_eci(Epoch::from_calendar(2024, 12, 21, 12, 0, 0.0));
+        let dec = (s.z / s.norm()).asin().to_degrees();
+        assert!((dec + 23.44).abs() < 0.1, "{dec}");
+    }
+
+    #[test]
+    fn equinox_sun_near_equatorial_plane() {
+        let s = sun_position_eci(Epoch::from_calendar(2024, 3, 20, 4, 0, 0.0));
+        let dec = (s.z / s.norm()).asin().to_degrees();
+        assert!(dec.abs() < 0.5, "{dec}");
+    }
+
+    #[test]
+    fn noon_is_day_midnight_is_night_in_tennessee() {
+        let cookeville = Geodetic::from_deg(36.1757, -85.5066, 300.0);
+        // Local noon ≈ 17:40 UTC; local midnight ≈ 05:40 UTC.
+        let noon = Epoch::from_calendar(2024, 7, 1, 17, 40, 0.0);
+        let midnight = Epoch::from_calendar(2024, 7, 1, 5, 40, 0.0);
+        assert!(sun_elevation(cookeville, noon) > 60.0_f64.to_radians());
+        assert!(sun_elevation(cookeville, midnight) < -20.0_f64.to_radians());
+        assert!(!Twilight::Horizon.is_dark(cookeville, noon));
+        assert!(Twilight::Astronomical.is_dark(cookeville, midnight));
+    }
+
+    #[test]
+    fn twilight_thresholds_are_ordered() {
+        let order = [
+            Twilight::Horizon,
+            Twilight::Civil,
+            Twilight::Nautical,
+            Twilight::Astronomical,
+        ];
+        for w in order.windows(2) {
+            assert!(w[0].threshold() > w[1].threshold());
+        }
+    }
+
+    #[test]
+    fn dark_fraction_of_a_summer_day_is_plausible() {
+        // Cookeville at 36°N around the June solstice: astronomical darkness
+        // for roughly 5-7 hours of the 24.
+        let site = Geodetic::from_deg(36.1757, -85.5066, 300.0);
+        let start = Epoch::from_calendar(2024, 6, 21, 0, 0, 0.0);
+        let dark = (0..288)
+            .filter(|k| Twilight::Astronomical.is_dark(site, start.plus_seconds(f64::from(*k) * 300.0)))
+            .count();
+        let hours = dark as f64 * 300.0 / 3600.0;
+        assert!((3.0..9.0).contains(&hours), "{hours} h dark");
+    }
+
+    #[test]
+    fn satellite_day_night_cycle() {
+        // A satellite directly between Earth and Sun is lit; directly behind
+        // is eclipsed; off-axis at > R_earth lateral offset is lit.
+        let epoch = noon_utc_over_greenwich_summer();
+        let sun_dir = sun_position_eci(epoch).normalized().unwrap();
+        assert!(is_sunlit(sun_dir * 6_871_000.0, epoch));
+        assert!(!is_sunlit(-sun_dir * 6_871_000.0, epoch));
+        // Behind but outside the shadow cylinder.
+        let perp = sun_dir.cross(Vec3::Z).normalized().unwrap();
+        assert!(is_sunlit(-sun_dir * 6_871_000.0 + perp * 7_000_000.0, epoch));
+    }
+
+    #[test]
+    fn leo_satellite_spends_about_a_third_in_eclipse() {
+        // Generic LEO: eclipse fraction ~30-40% per orbit.
+        use crate::{Keplerian, PerturbationModel, Propagator};
+        let epoch = Epoch::from_calendar(2024, 7, 1, 0, 0, 0.0);
+        let prop = Propagator::new(
+            Keplerian::circular(6_871_000.0, 53f64.to_radians(), 0.0, 0.0),
+            epoch,
+            PerturbationModel::TwoBody,
+        );
+        let period = 5_675.0;
+        let n = 200;
+        let eclipsed = (0..n)
+            .filter(|k| {
+                let t = f64::from(*k) * period / f64::from(n);
+                !is_sunlit(prop.propagate(t).position, epoch.plus_seconds(t))
+            })
+            .count();
+        let frac = eclipsed as f64 / f64::from(n);
+        assert!((0.2..0.5).contains(&frac), "eclipse fraction {frac}");
+    }
+}

@@ -1,0 +1,265 @@
+//! Pass prediction and interval algebra.
+//!
+//! The paper's coverage period (Eq. 6) is the union of time intervals during
+//! which connectivity holds, and its percentage of the day (Eq. 7). This
+//! module provides:
+//!
+//! - [`Interval`] and [`merge_intervals`]/[`total_duration`] — the interval
+//!   algebra behind Eq. 6.
+//! - [`PassPredictor`] — elevation-mask visibility of an [`Ephemeris`] from
+//!   a ground site, yielding passes as intervals.
+
+use crate::ephemeris::Ephemeris;
+use qntn_geo::look::look_angles_ecef;
+use qntn_geo::{Geodetic, WGS84};
+use serde::{Deserialize, Serialize};
+
+/// A half-open time interval `[start_s, end_s)` in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interval {
+    pub start_s: f64,
+    pub end_s: f64,
+}
+
+impl Interval {
+    /// Construct; panics if `end < start`.
+    pub fn new(start_s: f64, end_s: f64) -> Self {
+        assert!(end_s >= start_s, "interval end before start");
+        Interval { start_s, end_s }
+    }
+
+    /// Duration in seconds.
+    #[inline]
+    pub fn duration_s(&self) -> f64 {
+        self.end_s - self.start_s
+    }
+
+    /// True when `t` lies inside the interval.
+    #[inline]
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start_s && t < self.end_s
+    }
+
+    /// True when two intervals overlap or touch.
+    #[inline]
+    pub fn touches(&self, other: &Interval) -> bool {
+        self.start_s <= other.end_s && other.start_s <= self.end_s
+    }
+}
+
+/// Merge overlapping/touching intervals into a sorted disjoint set.
+pub fn merge_intervals(mut intervals: Vec<Interval>) -> Vec<Interval> {
+    if intervals.is_empty() {
+        return intervals;
+    }
+    intervals.sort_by(|a, b| a.start_s.total_cmp(&b.start_s));
+    let mut merged = Vec::with_capacity(intervals.len());
+    let mut current = intervals[0];
+    for iv in intervals.into_iter().skip(1) {
+        if iv.start_s <= current.end_s {
+            current.end_s = current.end_s.max(iv.end_s);
+        } else {
+            merged.push(current);
+            current = iv;
+        }
+    }
+    merged.push(current);
+    merged
+}
+
+/// Total covered duration of a set of (possibly overlapping) intervals —
+/// the paper's `T_c = Σ (t_end,k − t_start,k)` after merging.
+pub fn total_duration(intervals: Vec<Interval>) -> f64 {
+    merge_intervals(intervals).iter().map(Interval::duration_s).sum()
+}
+
+/// Intersect two sorted disjoint interval sets.
+pub fn intersect_intervals(a: &[Interval], b: &[Interval]) -> Vec<Interval> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].start_s.max(b[j].start_s);
+        let hi = a[i].end_s.min(b[j].end_s);
+        if lo < hi {
+            out.push(Interval::new(lo, hi));
+        }
+        if a[i].end_s < b[j].end_s {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// Predicts passes of a sampled trajectory over a ground site.
+#[derive(Debug, Clone)]
+pub struct PassPredictor {
+    site: Geodetic,
+    /// Minimum elevation, radians.
+    pub mask: f64,
+}
+
+impl PassPredictor {
+    /// A predictor for `site` with elevation mask `mask` radians.
+    pub fn new(site: Geodetic, mask: f64) -> Self {
+        PassPredictor { site, mask }
+    }
+
+    /// Elevation (radians) of each ephemeris sample as seen from the site.
+    pub fn elevations(&self, eph: &Ephemeris) -> Vec<f64> {
+        eph.samples()
+            .iter()
+            .map(|s| look_angles_ecef(self.site, s.ecef, &WGS84).elevation)
+            .collect()
+    }
+
+    /// Visibility passes as intervals on the ephemeris' own timeline. A pass
+    /// spans the contiguous run of samples above the mask; boundaries are at
+    /// sample resolution (the paper's 30 s cadence).
+    pub fn passes(&self, eph: &Ephemeris) -> Vec<Interval> {
+        let elevations = self.elevations(eph);
+        let step = eph.step_s();
+        let mut passes = Vec::new();
+        let mut start: Option<f64> = None;
+        for (k, &el) in elevations.iter().enumerate() {
+            let t = k as f64 * step;
+            if el >= self.mask {
+                if start.is_none() {
+                    start = Some(t);
+                }
+            } else if let Some(s) = start.take() {
+                passes.push(Interval::new(s, t));
+            }
+        }
+        if let Some(s) = start {
+            passes.push(Interval::new(s, elevations.len() as f64 * step));
+        }
+        passes
+    }
+
+    /// Fraction of the ephemeris duration with the satellite above the mask.
+    pub fn visibility_fraction(&self, eph: &Ephemeris) -> f64 {
+        let covered: f64 = self.passes(eph).iter().map(Interval::duration_s).sum();
+        covered / (eph.len() as f64 * eph.step_s())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Keplerian;
+    use crate::propagator::{PerturbationModel, Propagator};
+    use qntn_geo::Epoch;
+
+    fn iv(a: f64, b: f64) -> Interval {
+        Interval::new(a, b)
+    }
+
+    #[test]
+    fn merge_disjoint_kept() {
+        let m = merge_intervals(vec![iv(10.0, 20.0), iv(30.0, 40.0)]);
+        assert_eq!(m, vec![iv(10.0, 20.0), iv(30.0, 40.0)]);
+    }
+
+    #[test]
+    fn merge_overlapping_and_touching() {
+        let m = merge_intervals(vec![iv(0.0, 10.0), iv(5.0, 15.0), iv(15.0, 20.0)]);
+        assert_eq!(m, vec![iv(0.0, 20.0)]);
+    }
+
+    #[test]
+    fn merge_unsorted_input() {
+        let m = merge_intervals(vec![iv(50.0, 60.0), iv(0.0, 10.0), iv(8.0, 12.0)]);
+        assert_eq!(m, vec![iv(0.0, 12.0), iv(50.0, 60.0)]);
+    }
+
+    #[test]
+    fn total_duration_counts_overlap_once() {
+        let d = total_duration(vec![iv(0.0, 100.0), iv(50.0, 150.0), iv(400.0, 500.0)]);
+        assert_eq!(d, 250.0);
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = vec![iv(0.0, 10.0), iv(20.0, 30.0)];
+        let b = vec![iv(5.0, 25.0)];
+        assert_eq!(intersect_intervals(&a, &b), vec![iv(5.0, 10.0), iv(20.0, 25.0)]);
+    }
+
+    #[test]
+    fn intersect_empty() {
+        let a = vec![iv(0.0, 10.0)];
+        let b = vec![iv(10.0, 20.0)];
+        assert!(intersect_intervals(&a, &b).is_empty());
+        assert!(intersect_intervals(&a, &[]).is_empty());
+    }
+
+    #[test]
+    fn interval_contains_and_touches() {
+        let a = iv(0.0, 10.0);
+        assert!(a.contains(0.0));
+        assert!(!a.contains(10.0));
+        assert!(a.touches(&iv(10.0, 20.0)));
+        assert!(!a.touches(&iv(10.1, 20.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn interval_rejects_negative_span() {
+        iv(10.0, 0.0);
+    }
+
+    fn tennessee_site() -> Geodetic {
+        Geodetic::from_deg(36.0, -85.0, 300.0)
+    }
+
+    fn leo_ephemeris() -> Ephemeris {
+        let prop = Propagator::new(
+            Keplerian::circular(6_871_000.0, 53.0_f64.to_radians(), 4.0, 0.0),
+            Epoch::J2000,
+            PerturbationModel::TwoBody,
+        );
+        Ephemeris::generate(&prop, Epoch::J2000, 30.0, 86_400.0)
+    }
+
+    #[test]
+    fn leo_passes_over_tennessee_look_sane() {
+        let eph = leo_ephemeris();
+        let pred = PassPredictor::new(tennessee_site(), std::f64::consts::PI / 9.0);
+        let passes = pred.passes(&eph);
+        // A 53°-inclined LEO should pass over a 36°N site at least once a
+        // day above 20° elevation, and a pass above 20° at 500 km lasts at
+        // most ~5 minutes.
+        assert!(!passes.is_empty(), "expected at least one pass");
+        for p in &passes {
+            assert!(p.duration_s() <= 360.0, "pass too long: {} s", p.duration_s());
+            assert!(p.duration_s() >= 30.0);
+        }
+        let frac = pred.visibility_fraction(&eph);
+        assert!(frac < 0.02, "single-sat visibility should be rare: {frac}");
+    }
+
+    #[test]
+    fn zero_mask_sees_more_than_high_mask() {
+        let eph = leo_ephemeris();
+        let low = PassPredictor::new(tennessee_site(), 0.0).visibility_fraction(&eph);
+        let high =
+            PassPredictor::new(tennessee_site(), 60f64.to_radians()).visibility_fraction(&eph);
+        assert!(low > high);
+    }
+
+    #[test]
+    fn elevations_match_pass_boundaries() {
+        let eph = leo_ephemeris();
+        let pred = PassPredictor::new(tennessee_site(), std::f64::consts::PI / 9.0);
+        let els = pred.elevations(&eph);
+        for p in pred.passes(&eph) {
+            let k = (p.start_s / 30.0) as usize;
+            assert!(els[k] >= pred.mask);
+            if k > 0 {
+                assert!(els[k - 1] < pred.mask);
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Walker-Delta constellations and the paper's exact Table II layout.
+//!
+//! The paper grows the constellation from 6 to 108 satellites in steps of 6:
+//!
+//! - The **first 36** satellites fill a 6-plane Walker Delta (planes at RAAN
+//!   0°,60°,…,300°, inclination 53°). Table II orders them by true-anomaly
+//!   shell: first one satellite per plane at ν = 0°, then a second per plane
+//!   at ν = 60°, and so on — so at N = 6 there are six planes with one
+//!   satellite each.
+//! - Satellites **37–108** add 12 in-between planes (RAAN 20°,40°,80°,100°,
+//!   140°,160°,200°,220°,260°,280°,320°,340°), each filled with all six
+//!   satellites (ν = 0°…300°) at once, in Table II's column order.
+//!
+//! [`paper_constellation`] reproduces that exact 108-row sequence; a unit
+//! test checks every row against the published table. [`WalkerDelta`] is the
+//! generic `i : t/p/f` builder for ablations.
+
+use crate::elements::Keplerian;
+use serde::{Deserialize, Serialize};
+
+/// Paper's satellite altitude: 500 km.
+pub const PAPER_ALTITUDE_M: f64 = 500_000.0;
+
+/// Paper's semi-major axis: 6871 km ("corresponding to an altitude of 500 km").
+pub const PAPER_SEMI_MAJOR_AXIS_M: f64 = 6_871_000.0;
+
+/// Paper's inclination: 53 degrees.
+pub const PAPER_INCLINATION_DEG: f64 = 53.0;
+
+/// One row of Table II: a satellite slot identified by RAAN and true anomaly.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Slot {
+    pub raan_deg: f64,
+    pub true_anomaly_deg: f64,
+}
+
+/// The Table II sequence: the order in which the paper adds satellites as the
+/// constellation grows from 6 to 108.
+pub fn paper_slots() -> Vec<Slot> {
+    let base_raans = [0.0, 60.0, 120.0, 180.0, 240.0, 300.0];
+    let anomalies = [0.0, 60.0, 120.0, 180.0, 240.0, 300.0];
+    let extra_raans = [
+        20.0, 40.0, 80.0, 100.0, 140.0, 160.0, 200.0, 220.0, 260.0, 280.0, 320.0, 340.0,
+    ];
+
+    let mut slots = Vec::with_capacity(108);
+    // First 36: anomaly-major over the six base planes.
+    for &ta in &anomalies {
+        for &raan in &base_raans {
+            slots.push(Slot { raan_deg: raan, true_anomaly_deg: ta });
+        }
+    }
+    // Remaining 72: plane-major over the twelve gap-filling planes.
+    for &raan in &extra_raans {
+        for &ta in &anomalies {
+            slots.push(Slot { raan_deg: raan, true_anomaly_deg: ta });
+        }
+    }
+    slots
+}
+
+/// The first `n` satellites of the paper's incremental constellation as
+/// Keplerian element sets (circular, 53°, a = 6871 km).
+///
+/// ```
+/// use qntn_orbit::paper_constellation;
+///
+/// let sats = paper_constellation(108);
+/// assert_eq!(sats.len(), 108);
+/// // ~95-minute LEO period at the paper's 6871 km semi-major axis:
+/// assert!((sats[0].period_s() / 60.0 - 94.6).abs() < 0.5);
+/// ```
+///
+/// # Panics
+/// Panics if `n > 108` (the paper's table stops there).
+pub fn paper_constellation(n: usize) -> Vec<Keplerian> {
+    assert!(n <= 108, "the paper's Table II defines at most 108 satellites");
+    paper_slots()
+        .into_iter()
+        .take(n)
+        .map(|s| {
+            Keplerian::circular(
+                PAPER_SEMI_MAJOR_AXIS_M,
+                PAPER_INCLINATION_DEG.to_radians(),
+                s.raan_deg.to_radians(),
+                s.true_anomaly_deg.to_radians(),
+            )
+        })
+        .collect()
+}
+
+/// A generic Walker-Delta constellation `i : t/p/f`.
+///
+/// `t` satellites in `p` evenly-spaced planes, `f` the phasing factor: the
+/// in-plane anomaly offset between adjacent planes is `f · 360°/t`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WalkerDelta {
+    /// Inclination, radians.
+    pub inclination: f64,
+    /// Total number of satellites `t`.
+    pub total: usize,
+    /// Number of orbital planes `p` (must divide `t`).
+    pub planes: usize,
+    /// Phasing factor `f` in `0..p`.
+    pub phasing: usize,
+    /// Semi-major axis, metres.
+    pub semi_major_m: f64,
+}
+
+impl WalkerDelta {
+    /// The paper's base 36-satellite shell as a standard Walker Delta
+    /// (53°: 36/6/0 at a = 6871 km).
+    pub fn paper_base() -> Self {
+        WalkerDelta {
+            inclination: PAPER_INCLINATION_DEG.to_radians(),
+            total: 36,
+            planes: 6,
+            phasing: 0,
+            semi_major_m: PAPER_SEMI_MAJOR_AXIS_M,
+        }
+    }
+
+    /// Generate the element sets.
+    ///
+    /// # Panics
+    /// Panics if `planes` is zero or does not divide `total`.
+    pub fn elements(&self) -> Vec<Keplerian> {
+        assert!(self.planes > 0, "need at least one plane");
+        assert_eq!(
+            self.total % self.planes,
+            0,
+            "satellites ({}) must divide evenly into planes ({})",
+            self.total,
+            self.planes
+        );
+        let per_plane = self.total / self.planes;
+        let mut out = Vec::with_capacity(self.total);
+        for plane in 0..self.planes {
+            let raan = std::f64::consts::TAU * plane as f64 / self.planes as f64;
+            let phase_offset =
+                std::f64::consts::TAU * (self.phasing * plane) as f64 / self.total as f64;
+            for k in 0..per_plane {
+                let nu = std::f64::consts::TAU * k as f64 / per_plane as f64 + phase_offset;
+                out.push(Keplerian::circular(self.semi_major_m, self.inclination, raan, nu));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every (RAAN, anomaly) pair from the paper's Table II, in reading order
+    /// of its three column pairs.
+    fn table_ii_rows() -> Vec<(f64, f64)> {
+        let mut rows = Vec::new();
+        // Column 1: the 36 base-plane rows (anomaly-major).
+        for ta in [0.0, 60.0, 120.0, 180.0, 240.0, 300.0] {
+            for raan in [0.0, 60.0, 120.0, 180.0, 240.0, 300.0] {
+                rows.push((raan, ta));
+            }
+        }
+        // Columns 2 and 3: plane-major extra planes.
+        for raan in [
+            20.0, 40.0, 80.0, 100.0, 140.0, 160.0, 200.0, 220.0, 260.0, 280.0, 320.0, 340.0,
+        ] {
+            for ta in [0.0, 60.0, 120.0, 180.0, 240.0, 300.0] {
+                rows.push((raan, ta));
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn slots_match_table_ii_exactly() {
+        let slots = paper_slots();
+        let expect = table_ii_rows();
+        assert_eq!(slots.len(), 108);
+        for (i, (slot, (raan, ta))) in slots.iter().zip(expect).enumerate() {
+            assert_eq!(slot.raan_deg, raan, "row {i} raan");
+            assert_eq!(slot.true_anomaly_deg, ta, "row {i} anomaly");
+        }
+    }
+
+    #[test]
+    fn all_108_slots_are_distinct() {
+        let slots = paper_slots();
+        for i in 0..slots.len() {
+            for j in (i + 1)..slots.len() {
+                assert!(
+                    slots[i] != slots[j],
+                    "duplicate slot at {i} and {j}: {:?}",
+                    slots[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eighteen_planes_spaced_20_degrees() {
+        let mut raans: Vec<f64> = paper_slots().iter().map(|s| s.raan_deg).collect();
+        raans.sort_by(f64::total_cmp);
+        raans.dedup();
+        assert_eq!(raans.len(), 18);
+        for (k, r) in raans.iter().enumerate() {
+            assert_eq!(*r, k as f64 * 20.0, "plane {k}");
+        }
+    }
+
+    #[test]
+    fn first_36_cover_base_planes_one_anomaly_at_a_time() {
+        let slots = paper_slots();
+        // Satellites 0..6 are one per base plane, all at anomaly 0.
+        for s in &slots[..6] {
+            assert_eq!(s.true_anomaly_deg, 0.0);
+        }
+        // Satellites 6..12 all at anomaly 60.
+        for s in &slots[6..12] {
+            assert_eq!(s.true_anomaly_deg, 60.0);
+        }
+    }
+
+    #[test]
+    fn constellation_elements_use_paper_orbit() {
+        for k in paper_constellation(108) {
+            assert_eq!(k.semi_major_m, PAPER_SEMI_MAJOR_AXIS_M);
+            assert_eq!(k.eccentricity, 0.0);
+            assert!((k.inclination.to_degrees() - 53.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn prefix_property() {
+        // Growing the constellation never moves already-deployed satellites.
+        let full = paper_constellation(108);
+        for n in (6..=108).step_by(6) {
+            let partial = paper_constellation(n);
+            assert_eq!(partial.len(), n);
+            assert_eq!(&full[..n], &partial[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 108")]
+    fn constellation_capped_at_108() {
+        paper_constellation(109);
+    }
+
+    #[test]
+    fn generic_walker_counts() {
+        let w = WalkerDelta::paper_base();
+        let els = w.elements();
+        assert_eq!(els.len(), 36);
+        let mut raans: Vec<f64> = els.iter().map(|e| e.raan.to_degrees()).collect();
+        raans.sort_by(f64::total_cmp);
+        raans.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        assert_eq!(raans.len(), 6);
+    }
+
+    #[test]
+    fn walker_phasing_offsets_anomalies() {
+        let w = WalkerDelta {
+            inclination: 1.0,
+            total: 12,
+            planes: 4,
+            phasing: 1,
+            semi_major_m: 7_000_000.0,
+        };
+        let els = w.elements();
+        // First satellite of plane 1 is offset by f*360/t = 30 degrees.
+        let plane1_first = els[3];
+        assert!((plane1_first.true_anomaly.to_degrees() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn walker_rejects_uneven_split() {
+        WalkerDelta {
+            inclination: 1.0,
+            total: 10,
+            planes: 4,
+            phasing: 0,
+            semi_major_m: 7e6,
+        }
+        .elements();
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the orbital mechanics substrate.
+
+use proptest::prelude::*;
+use qntn_geo::Epoch;
+use qntn_orbit::kepler::{
+    eccentric_to_mean, eccentric_to_true, mean_to_true, solve_kepler, true_to_eccentric,
+    true_to_mean,
+};
+use qntn_orbit::visibility::{intersect_intervals, merge_intervals, total_duration, Interval};
+use qntn_orbit::{Keplerian, PerturbationModel, Propagator, EARTH_MU};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kepler_residual_vanishes(m in -20.0..20.0f64, e in 0.0..0.95f64) {
+        let e_anom = solve_kepler(m, e);
+        let resid = e_anom - e * e_anom.sin() - m;
+        prop_assert!(resid.abs() < 1e-10, "M={m} e={e}: {resid}");
+    }
+
+    #[test]
+    fn anomaly_roundtrips(nu in -6.0..6.0f64, e in 0.0..0.9f64) {
+        let back = eccentric_to_true(true_to_eccentric(nu, e), e);
+        prop_assert!((back - nu).abs() < 1e-10);
+        let m = true_to_mean(nu, e);
+        let back2 = mean_to_true(m, e);
+        prop_assert!((back2 - nu).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mean_anomaly_monotone_in_eccentric(e in 0.0..0.95f64, e1 in -3.0..3.0f64, d in 0.001..1.0f64) {
+        // M(E) = E - e sinE is strictly increasing for e < 1.
+        let m1 = eccentric_to_mean(e1, e);
+        let m2 = eccentric_to_mean(e1 + d, e);
+        prop_assert!(m2 > m1);
+    }
+
+    #[test]
+    fn two_body_invariants(
+        alt_km in 300.0..2_000.0f64,
+        ecc in 0.0..0.3f64,
+        incl in 0.0..1.5f64,
+        raan in 0.0..6.28f64,
+        nu in 0.0..6.28f64,
+        t in 0.0..20_000.0f64,
+    ) {
+        let a = (6_371.0 + alt_km) * 1000.0 / (1.0 - ecc); // keep perigee above ground
+        let k = Keplerian {
+            semi_major_m: a,
+            eccentricity: ecc,
+            inclination: incl,
+            raan,
+            arg_perigee: 0.7,
+            true_anomaly: nu,
+        };
+        let p = Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody);
+        let s = p.propagate(t);
+        // Energy conservation.
+        let energy = s.velocity.norm_sq() / 2.0 - EARTH_MU / s.position.norm();
+        let expect = k.specific_energy();
+        prop_assert!((energy - expect).abs() / expect.abs() < 1e-8);
+        // Angular momentum conservation.
+        let h = s.position.cross(s.velocity).norm();
+        prop_assert!((h - k.specific_angular_momentum()).abs() / h < 1e-8);
+        // Radius within perigee/apogee bounds.
+        let r = s.position.norm();
+        prop_assert!(r >= k.perigee_radius_m() - 1.0);
+        prop_assert!(r <= k.apogee_radius_m() + 1.0);
+        // Latitude extent bounded by inclination (|sin lat| <= sin i).
+        let sin_lat = s.position.z / r;
+        prop_assert!(sin_lat.abs() <= incl.sin() + 1e-9);
+    }
+
+    #[test]
+    fn periodicity(alt_km in 300.0..1_500.0f64, nu in 0.0..6.28f64) {
+        let k = Keplerian::circular((6_371.0 + alt_km) * 1000.0, 0.9, 1.0, nu);
+        let p = Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody);
+        let s0 = p.propagate(0.0);
+        let s1 = p.propagate(k.period_s());
+        prop_assert!((s1.position - s0.position).norm() < 10.0);
+    }
+
+    #[test]
+    fn j2_conserves_energy_for_circular(alt_km in 400.0..1_200.0f64, t in 0.0..86_400.0f64) {
+        // Our J2 model is secular-only: it precesses the plane but keeps
+        // the orbit circular, so radius and speed stay fixed.
+        let k = Keplerian::circular((6_371.0 + alt_km) * 1000.0, 0.92, 0.3, 1.0);
+        let p = Propagator::new(k, Epoch::J2000, PerturbationModel::J2Secular);
+        let s = p.propagate(t);
+        prop_assert!((s.position.norm() - k.semi_major_m).abs() < 1e-2);
+    }
+
+    #[test]
+    fn merge_intervals_invariants(
+        raw in prop::collection::vec((0.0..1_000.0f64, 0.0..100.0f64), 0..20),
+    ) {
+        let intervals: Vec<Interval> =
+            raw.iter().map(|&(s, d)| Interval::new(s, s + d)).collect();
+        let merged = merge_intervals(intervals.clone());
+        // Sorted, disjoint.
+        for w in merged.windows(2) {
+            prop_assert!(w[0].end_s < w[1].start_s);
+        }
+        // Union preserved: every original point set is inside the merge.
+        for iv in &intervals {
+            prop_assert!(merged.iter().any(|m| m.start_s <= iv.start_s && iv.end_s <= m.end_s));
+        }
+        // Total duration <= sum of raw durations, >= max raw duration.
+        let total = total_duration(intervals.clone());
+        let sum: f64 = intervals.iter().map(Interval::duration_s).sum();
+        let max = intervals.iter().map(Interval::duration_s).fold(0.0, f64::max);
+        prop_assert!(total <= sum + 1e-9);
+        prop_assert!(total >= max - 1e-9);
+    }
+
+    #[test]
+    fn intersection_is_subset(
+        raw_a in prop::collection::vec((0.0..1_000.0f64, 1.0..100.0f64), 0..10),
+        raw_b in prop::collection::vec((0.0..1_000.0f64, 1.0..100.0f64), 0..10),
+    ) {
+        let a = merge_intervals(raw_a.iter().map(|&(s, d)| Interval::new(s, s + d)).collect());
+        let b = merge_intervals(raw_b.iter().map(|&(s, d)| Interval::new(s, s + d)).collect());
+        let inter = intersect_intervals(&a, &b);
+        let dur_i: f64 = inter.iter().map(Interval::duration_s).sum();
+        let dur_a: f64 = a.iter().map(Interval::duration_s).sum();
+        let dur_b: f64 = b.iter().map(Interval::duration_s).sum();
+        prop_assert!(dur_i <= dur_a + 1e-9);
+        prop_assert!(dur_i <= dur_b + 1e-9);
+        // Every intersection interval lies inside one of each.
+        for iv in &inter {
+            prop_assert!(a.iter().any(|x| x.start_s <= iv.start_s && iv.end_s <= x.end_s));
+            prop_assert!(b.iter().any(|x| x.start_s <= iv.start_s && iv.end_s <= x.end_s));
+        }
+    }
+}

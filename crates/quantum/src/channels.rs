@@ -1,0 +1,371 @@
+//! Kraus-operator quantum channels.
+//!
+//! The paper models every optical link as an **amplitude damping channel**
+//! whose damping is set by the link transmissivity η (its Eq. 3):
+//!
+//! ```text
+//! K₀ = [[1, 0], [0, √η]]        K₁ = [[0, √(1−η)], [0, 0]]
+//! ```
+//!
+//! applied as `ρ' = K₀ρK₀† + K₁ρK₁†` (Eq. 4). We implement that channel
+//! plus the other standard single-qubit channels used by the extension
+//! benches, a CPTP validity check, lifting onto one qubit of a register,
+//! and channel composition.
+
+use crate::matrix::{pauli, Matrix};
+use crate::state::DensityMatrix;
+
+/// A quantum channel in Kraus form.
+#[derive(Debug, Clone)]
+pub struct KrausChannel {
+    name: String,
+    kraus: Vec<Matrix>,
+}
+
+impl KrausChannel {
+    /// Build from Kraus operators. All operators must share one square shape.
+    pub fn new(name: impl Into<String>, kraus: Vec<Matrix>) -> KrausChannel {
+        assert!(!kraus.is_empty(), "a channel needs at least one Kraus operator");
+        let d = kraus[0].rows();
+        for k in &kraus {
+            assert!(k.is_square() && k.rows() == d, "Kraus operators must share one square shape");
+        }
+        KrausChannel { name: name.into(), kraus }
+    }
+
+    /// The channel's label (for reports).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The Kraus operators.
+    #[inline]
+    pub fn kraus(&self) -> &[Matrix] {
+        &self.kraus
+    }
+
+    /// Input/output dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.kraus[0].rows()
+    }
+
+    /// Trace-preservation check: `Σ K†K = I` within `tol`.
+    pub fn is_trace_preserving(&self, tol: f64) -> bool {
+        let d = self.dim();
+        let mut acc = Matrix::zeros(d, d);
+        for k in &self.kraus {
+            acc = &acc + &(&k.dagger() * k);
+        }
+        acc.approx_eq(&Matrix::identity(d), tol)
+    }
+
+    /// Apply the channel: `ρ' = Σᵢ Kᵢ ρ Kᵢ†` (the paper's Eq. 4).
+    pub fn apply(&self, rho: &DensityMatrix) -> DensityMatrix {
+        assert_eq!(rho.dim(), self.dim(), "state/channel dimension mismatch");
+        let d = self.dim();
+        let mut out = Matrix::zeros(d, d);
+        for k in &self.kraus {
+            out = &out + &(&(k * rho.matrix()) * &k.dagger());
+        }
+        DensityMatrix::new(out)
+    }
+
+    /// Lift a single-qubit channel onto qubit `target` of an `n`-qubit
+    /// register (qubit 0 is the leftmost tensor factor).
+    pub fn on_qubit(&self, target: usize, n: usize) -> KrausChannel {
+        assert_eq!(self.dim(), 2, "lifting is defined for single-qubit channels");
+        assert!(target < n, "target qubit out of range");
+        let lifted = self
+            .kraus
+            .iter()
+            .map(|k| {
+                let mut acc = if target == 0 { k.clone() } else { Matrix::identity(2) };
+                for q in 1..n {
+                    let factor = if q == target { k.clone() } else { Matrix::identity(2) };
+                    acc = acc.kron(&factor);
+                }
+                acc
+            })
+            .collect();
+        KrausChannel::new(format!("{}@q{target}", self.name), lifted)
+    }
+
+    /// Compose: apply `self` after `first` (`self ∘ first`). The Kraus set of
+    /// the composite is all products `Kᵢ·Lⱼ`.
+    pub fn compose_after(&self, first: &KrausChannel) -> KrausChannel {
+        assert_eq!(self.dim(), first.dim(), "composition dimension mismatch");
+        let mut kraus = Vec::with_capacity(self.kraus.len() * first.kraus.len());
+        for k in &self.kraus {
+            for l in &first.kraus {
+                kraus.push(k * l);
+            }
+        }
+        KrausChannel::new(format!("{}∘{}", self.name, first.name), kraus)
+    }
+}
+
+/// The paper's amplitude damping channel with transmissivity `eta` (Eq. 3).
+///
+/// `eta = 1` is the identity (lossless); `eta = 0` decays everything to `|0⟩`.
+///
+/// ```
+/// use qntn_quantum::channels::amplitude_damping;
+/// use qntn_quantum::state::bell_phi_plus;
+/// use qntn_quantum::fidelity::sqrt_fidelity_to_pure;
+///
+/// // One half of a Bell pair through a link at the paper's 0.7 threshold:
+/// let bell = bell_phi_plus();
+/// let damped = amplitude_damping(0.7).on_qubit(1, 2).apply(&bell.density());
+/// let fidelity = sqrt_fidelity_to_pure(&damped, &bell);
+/// assert!(fidelity > 0.9); // the paper's Fig. 5 calibration point
+/// ```
+///
+/// # Panics
+/// Panics if `eta` is outside `[0, 1]`.
+pub fn amplitude_damping(eta: f64) -> KrausChannel {
+    assert!((0.0..=1.0).contains(&eta), "transmissivity must be in [0,1], got {eta}");
+    let k0 = Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, eta.sqrt()]);
+    let k1 = Matrix::from_real(2, 2, &[0.0, (1.0 - eta).sqrt(), 0.0, 0.0]);
+    KrausChannel::new(format!("AD({eta:.4})"), vec![k0, k1])
+}
+
+/// Amplitude damping accumulated over a storage time `t` in a memory with
+/// relaxation time `t1`: retention `η = e^{−t/T1}`. This is how a stored
+/// Bell-pair half decays while a repeater waits for its partner link.
+pub fn amplitude_damping_after(t_s: f64, t1_s: f64) -> KrausChannel {
+    assert!(t_s >= 0.0, "storage time must be non-negative");
+    assert!(t1_s > 0.0, "T1 must be positive");
+    amplitude_damping((-t_s / t1_s).exp())
+}
+
+/// Phase damping accumulated over a storage time `t` with dephasing time
+/// `t2`: retention `e^{−t/T2}`.
+pub fn phase_damping_after(t_s: f64, t2_s: f64) -> KrausChannel {
+    assert!(t_s >= 0.0, "storage time must be non-negative");
+    assert!(t2_s > 0.0, "T2 must be positive");
+    phase_damping((-t_s / t2_s).exp())
+}
+
+/// Phase damping with retention `eta` (dephasing strength `1−eta`).
+pub fn phase_damping(eta: f64) -> KrausChannel {
+    assert!((0.0..=1.0).contains(&eta), "retention must be in [0,1]");
+    let k0 = Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, eta.sqrt()]);
+    let k1 = Matrix::from_real(2, 2, &[0.0, 0.0, 0.0, (1.0 - eta).sqrt()]);
+    KrausChannel::new(format!("PD({eta:.4})"), vec![k0, k1])
+}
+
+/// Depolarizing channel with error probability `p`:
+/// `ρ → (1−p)ρ + (p/3)(XρX + YρY + ZρZ)`.
+pub fn depolarizing(p: f64) -> KrausChannel {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    let k0 = Matrix::identity(2).scale_real((1.0 - p).sqrt());
+    let kx = pauli::x().scale_real((p / 3.0).sqrt());
+    let ky = pauli::y().scale_real((p / 3.0).sqrt());
+    let kz = pauli::z().scale_real((p / 3.0).sqrt());
+    KrausChannel::new(format!("Dep({p:.4})"), vec![k0, kx, ky, kz])
+}
+
+/// Bit-flip channel: applies X with probability `p`.
+pub fn bit_flip(p: f64) -> KrausChannel {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    KrausChannel::new(
+        format!("BF({p:.4})"),
+        vec![
+            Matrix::identity(2).scale_real((1.0 - p).sqrt()),
+            pauli::x().scale_real(p.sqrt()),
+        ],
+    )
+}
+
+/// Phase-flip channel: applies Z with probability `p`.
+pub fn phase_flip(p: f64) -> KrausChannel {
+    assert!((0.0..=1.0).contains(&p), "probability must be in [0,1]");
+    KrausChannel::new(
+        format!("PF({p:.4})"),
+        vec![
+            Matrix::identity(2).scale_real((1.0 - p).sqrt()),
+            pauli::z().scale_real(p.sqrt()),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{bell_phi_plus, DensityMatrix, Ket};
+
+    #[test]
+    fn all_channels_are_cptp() {
+        for eta in [0.0, 0.3, 0.7, 1.0] {
+            assert!(amplitude_damping(eta).is_trace_preserving(1e-12), "AD({eta})");
+            assert!(phase_damping(eta).is_trace_preserving(1e-12), "PD({eta})");
+        }
+        for p in [0.0, 0.1, 0.75, 1.0] {
+            assert!(depolarizing(p).is_trace_preserving(1e-12), "Dep({p})");
+            assert!(bit_flip(p).is_trace_preserving(1e-12));
+            assert!(phase_flip(p).is_trace_preserving(1e-12));
+        }
+    }
+
+    #[test]
+    fn identity_channel_at_eta_one() {
+        let rho = Ket::plus().density();
+        let out = amplitude_damping(1.0).apply(&rho);
+        assert!(out.matrix().approx_eq(rho.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn full_damping_sends_everything_to_ground() {
+        let rho = Ket::basis(1, 1).density();
+        let out = amplitude_damping(0.0).apply(&rho);
+        let ground = Ket::basis(1, 0).density();
+        assert!(out.matrix().approx_eq(ground.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn damping_excited_population_scales_with_eta() {
+        // ⟨1|ρ'|1⟩ = η for input |1⟩⟨1|.
+        for eta in [0.1, 0.5, 0.9] {
+            let out = amplitude_damping(eta).apply(&Ket::basis(1, 1).density());
+            assert!((out.matrix()[(1, 1)].re - eta).abs() < 1e-12);
+            assert!((out.matrix()[(0, 0)].re - (1.0 - eta)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn damping_preserves_trace_and_positivity() {
+        let rho = Ket::plus().density();
+        for eta in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let out = amplitude_damping(eta).apply(&rho);
+            assert!((out.matrix().trace().re - 1.0).abs() < 1e-12);
+            assert!(out.is_valid(1e-10), "eta={eta}");
+        }
+    }
+
+    #[test]
+    fn bell_pair_through_one_sided_damping() {
+        // One half of |Φ+⟩ through AD(η): ⟨Φ+|ρ'|Φ+⟩ = (1+√η)²/4.
+        let bell = bell_phi_plus();
+        for eta in [0.0, 0.3, 0.7, 1.0] {
+            let lifted = amplitude_damping(eta).on_qubit(1, 2);
+            let out = lifted.apply(&bell.density());
+            let expect = (1.0 + eta.sqrt()).powi(2) / 4.0;
+            assert!(
+                (out.expectation(&bell) - expect).abs() < 1e-12,
+                "eta={eta}: {} vs {expect}",
+                out.expectation(&bell)
+            );
+        }
+    }
+
+    #[test]
+    fn lifting_on_either_qubit_is_symmetric_for_bell() {
+        let bell = bell_phi_plus().density();
+        let eta = 0.6;
+        let a = amplitude_damping(eta).on_qubit(0, 2).apply(&bell);
+        let b = amplitude_damping(eta).on_qubit(1, 2).apply(&bell);
+        // |Φ+⟩ is symmetric under qubit exchange, so the fidelities agree.
+        assert!((a.expectation(&bell_phi_plus()) - b.expectation(&bell_phi_plus())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_multiplies_transmissivities() {
+        // AD(η₁) ∘ AD(η₂) = AD(η₁η₂) — the reason path transmissivity is the
+        // product of link transmissivities.
+        let (e1, e2) = (0.8, 0.6);
+        let composed = amplitude_damping(e1).compose_after(&amplitude_damping(e2));
+        let direct = amplitude_damping(e1 * e2);
+        let rho = Ket::plus().density();
+        let a = composed.apply(&rho);
+        let b = direct.apply(&rho);
+        assert!(a.matrix().approx_eq(b.matrix(), 1e-12));
+        assert!(composed.is_trace_preserving(1e-12));
+    }
+
+    #[test]
+    fn depolarizing_drives_to_maximally_mixed() {
+        let rho = Ket::basis(1, 0).density();
+        let out = depolarizing(0.75).apply(&rho);
+        assert!(out
+            .matrix()
+            .approx_eq(DensityMatrix::maximally_mixed(1).matrix(), 1e-12));
+    }
+
+    #[test]
+    fn phase_damping_kills_coherences_only() {
+        let rho = Ket::plus().density();
+        let out = phase_damping(0.0).apply(&rho);
+        // Populations intact, off-diagonals gone.
+        assert!((out.matrix()[(0, 0)].re - 0.5).abs() < 1e-12);
+        assert!((out.matrix()[(1, 1)].re - 0.5).abs() < 1e-12);
+        assert!(out.matrix()[(0, 1)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn bit_flip_swaps_populations() {
+        let out = bit_flip(1.0).apply(&Ket::basis(1, 0).density());
+        assert!((out.matrix()[(1, 1)].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_degrades_entanglement_monotonically() {
+        let bell = bell_phi_plus().density();
+        let mut prev = 1.1;
+        for k in 0..=10 {
+            let eta = 1.0 - f64::from(k) * 0.1;
+            let out = amplitude_damping(eta).on_qubit(1, 2).apply(&bell);
+            let conc = out.concurrence();
+            assert!(conc <= prev + 1e-9, "eta={eta}");
+            prev = conc;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "transmissivity must be in [0,1]")]
+    fn rejects_eta_above_one() {
+        amplitude_damping(1.5);
+    }
+
+    #[test]
+    fn memory_decay_semigroup() {
+        // Storing for t then t' equals storing for t + t' (both channels).
+        let rho = Ket::plus().density();
+        let t1 = 2.0;
+        let a = amplitude_damping_after(0.7, t1)
+            .compose_after(&amplitude_damping_after(0.4, t1))
+            .apply(&rho);
+        let b = amplitude_damping_after(1.1, t1).apply(&rho);
+        assert!(a.matrix().approx_eq(b.matrix(), 1e-12));
+        let c = phase_damping_after(0.7, t1)
+            .compose_after(&phase_damping_after(0.4, t1))
+            .apply(&rho);
+        let d = phase_damping_after(1.1, t1).apply(&rho);
+        assert!(c.matrix().approx_eq(d.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn zero_storage_is_identity() {
+        let rho = Ket::plus().density();
+        let out = amplitude_damping_after(0.0, 1.0).apply(&rho);
+        assert!(out.matrix().approx_eq(rho.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn long_storage_decays_fully() {
+        let rho = Ket::basis(1, 1).density();
+        let out = amplitude_damping_after(100.0, 1.0).apply(&rho);
+        assert!((out.matrix()[(0, 0)].re - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn channel_kraus_metadata() {
+        let ch = amplitude_damping(0.5);
+        assert_eq!(ch.kraus().len(), 2);
+        assert_eq!(ch.dim(), 2);
+        assert!(ch.name().starts_with("AD"));
+        let lifted = ch.on_qubit(0, 2);
+        assert_eq!(lifted.dim(), 4);
+    }
+}

@@ -1,0 +1,196 @@
+//! Choi–Jamiołkowski representations and channel diagnostics.
+//!
+//! A production quantum library needs a way to *verify* that an object
+//! claiming to be a channel actually is one. The Choi matrix
+//! `J(Φ) = (Φ ⊗ I)(|Ω⟩⟨Ω|)` (with `|Ω⟩ = Σᵢ|ii⟩`, unnormalized) makes the
+//! two defining properties checkable by linear algebra:
+//!
+//! - complete positivity  ⇔  `J(Φ) ⪰ 0`;
+//! - trace preservation   ⇔  `Tr_out J(Φ) = I_in`.
+//!
+//! It also yields the average-input channel fidelity used by the
+//! diagnostics below.
+
+use crate::channels::KrausChannel;
+use crate::complex::Complex;
+use crate::eigen::hermitian_eigen;
+use crate::matrix::Matrix;
+
+/// The Choi matrix of a channel with input/output dimension `d`:
+/// `J = Σᵢⱼ Φ(|i⟩⟨j|) ⊗ |i⟩⟨j|`, a `d² × d²` Hermitian matrix with
+/// trace `d` for trace-preserving channels.
+pub fn choi_matrix(channel: &KrausChannel) -> Matrix {
+    let d = channel.dim();
+    // J = Σ_k (K_k ⊗ I) |Ω⟩⟨Ω| (K_k ⊗ I)† with |Ω⟩ = Σ_i |i⟩|i⟩.
+    let mut j = Matrix::zeros(d * d, d * d);
+    for k in channel.kraus() {
+        // v_k = (K ⊗ I)|Ω⟩ has amplitudes v[(a,b)] = K[a][b] at index a*d+b.
+        let mut v = vec![Complex::ZERO; d * d];
+        for a in 0..d {
+            for b in 0..d {
+                v[a * d + b] = k[(a, b)];
+            }
+        }
+        for r in 0..d * d {
+            for c in 0..d * d {
+                j[(r, c)] += v[r] * v[c].conj();
+            }
+        }
+    }
+    j
+}
+
+/// Diagnostics extracted from a channel's Choi matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelDiagnostics {
+    /// Smallest Choi eigenvalue (≥ 0 ⇔ completely positive).
+    pub min_choi_eigenvalue: f64,
+    /// Entrywise deviation of `Tr_out J` from identity (0 ⇔ trace
+    /// preserving).
+    pub trace_preservation_error: f64,
+    /// Entanglement fidelity with the identity channel:
+    /// `F_e = ⟨Ω|J|Ω⟩ / d²` — 1 only for the identity.
+    pub entanglement_fidelity: f64,
+    /// Average input-state fidelity `F_avg = (d·F_e + 1)/(d + 1)`
+    /// (the Horodecki–Nielsen relation).
+    pub average_fidelity: f64,
+}
+
+/// Run the diagnostics on a channel.
+pub fn diagnose(channel: &KrausChannel) -> ChannelDiagnostics {
+    let d = channel.dim();
+    let j = choi_matrix(channel);
+
+    let min_eig = hermitian_eigen(&j)
+        .values
+        .first()
+        .copied()
+        .unwrap_or(f64::NAN);
+
+    // Tr_out: contract the first (output) factor of J ∈ (out ⊗ in).
+    let mut reduced = Matrix::zeros(d, d);
+    for i in 0..d {
+        for jdx in 0..d {
+            let mut acc = Complex::ZERO;
+            for a in 0..d {
+                acc += j[(a * d + i, a * d + jdx)];
+            }
+            reduced[(i, jdx)] = acc;
+        }
+    }
+    let mut tp_err = 0.0f64;
+    for i in 0..d {
+        for jdx in 0..d {
+            let expect = if i == jdx { Complex::ONE } else { Complex::ZERO };
+            tp_err = tp_err.max((reduced[(i, jdx)] - expect).abs());
+        }
+    }
+
+    // ⟨Ω|J|Ω⟩ = Σ_{i,j} J[(i,i),(j,j)].
+    let mut omega = Complex::ZERO;
+    for i in 0..d {
+        for jdx in 0..d {
+            omega += j[(i * d + i, jdx * d + jdx)];
+        }
+    }
+    let f_e = omega.re / (d * d) as f64;
+    let f_avg = ((d as f64) * f_e + 1.0) / (d as f64 + 1.0);
+
+    ChannelDiagnostics {
+        min_choi_eigenvalue: min_eig,
+        trace_preservation_error: tp_err,
+        entanglement_fidelity: f_e,
+        average_fidelity: f_avg,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::{amplitude_damping, depolarizing, phase_damping, KrausChannel};
+    use crate::matrix::pauli;
+
+    #[test]
+    fn identity_channel_diagnostics() {
+        let id = KrausChannel::new("id", vec![Matrix::identity(2)]);
+        let d = diagnose(&id);
+        assert!(d.min_choi_eigenvalue > -1e-10);
+        assert!(d.trace_preservation_error < 1e-12);
+        assert!((d.entanglement_fidelity - 1.0).abs() < 1e-12);
+        assert!((d.average_fidelity - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn choi_trace_equals_dimension() {
+        for ch in [amplitude_damping(0.6), phase_damping(0.3), depolarizing(0.2)] {
+            let j = choi_matrix(&ch);
+            assert!((j.trace().re - 2.0).abs() < 1e-12, "{}", ch.name());
+            assert!(j.is_hermitian(1e-12));
+        }
+    }
+
+    #[test]
+    fn physical_channels_are_cp_and_tp() {
+        for eta in [0.0, 0.35, 0.7, 1.0] {
+            let d = diagnose(&amplitude_damping(eta));
+            assert!(d.min_choi_eigenvalue > -1e-10, "eta {eta}: {}", d.min_choi_eigenvalue);
+            assert!(d.trace_preservation_error < 1e-10);
+        }
+    }
+
+    #[test]
+    fn transpose_map_is_not_cp() {
+        // The canonical non-CP positive map: K-decomposition of transpose
+        // does not exist; emulate by feeding "Kraus" operators that encode
+        // ρ → ρ^T − which cannot be CP. We fake it with a non-physical
+        // operator set and confirm the Choi test catches it.
+        // ρ → XρᵀX as a "channel" via K = X·(transposition trick) is not
+        // expressible; instead directly test a known non-CP Choi: the swap
+        // matrix has eigenvalue −1.
+        let mut swap = Matrix::zeros(4, 4);
+        swap[(0, 0)] = Complex::ONE;
+        swap[(3, 3)] = Complex::ONE;
+        swap[(1, 2)] = Complex::ONE;
+        swap[(2, 1)] = Complex::ONE;
+        let eig = hermitian_eigen(&swap);
+        assert!(eig.values[0] < -0.99, "swap (= Choi of transpose) has a negative eigenvalue");
+    }
+
+    #[test]
+    fn depolarizing_average_fidelity_closed_form() {
+        // F_avg of Dep(p) = 1 − p/2 ... derive: F_e = 1 − p + p/4 ... check
+        // against the Horodecki relation with the measured F_e.
+        for p in [0.0, 0.25, 0.6, 1.0] {
+            let d = diagnose(&depolarizing(p));
+            // Entanglement fidelity of Dep(p): (1−p) + p/4... the Choi
+            // overlap of the X/Y/Z terms with |Ω⟩ is 0 except Z? Compute
+            // expected F_e directly: |⟨Ω|(K⊗I)|Ω⟩|²/d² summed.
+            // K0 = sqrt(1-p) I -> contributes (1-p)·d²/d² ... = (1-p)
+            // KX,KY: trace 0 -> 0; KZ: trace 0 -> 0.
+            let expect_fe = 1.0 - p;
+            assert!((d.entanglement_fidelity - expect_fe).abs() < 1e-10, "p {p}");
+            let expect_avg = (2.0 * expect_fe + 1.0) / 3.0;
+            assert!((d.average_fidelity - expect_avg).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ad_entanglement_fidelity_closed_form() {
+        // F_e of AD(η): |Tr K0|²/4 + |Tr K1|²/4 = (1+√η)²/4.
+        for eta in [0.0, 0.4, 0.81, 1.0] {
+            let d = diagnose(&amplitude_damping(eta));
+            let expect = (1.0 + eta.sqrt()).powi(2) / 4.0;
+            assert!((d.entanglement_fidelity - expect).abs() < 1e-10, "eta {eta}");
+        }
+    }
+
+    #[test]
+    fn unitary_channels_have_rank_one_choi() {
+        let u = KrausChannel::new("X", vec![pauli::x()]);
+        let j = choi_matrix(&u);
+        let eig = hermitian_eigen(&j);
+        let nonzero = eig.values.iter().filter(|v| v.abs() > 1e-9).count();
+        assert_eq!(nonzero, 1, "unitary Choi rank");
+        assert!((eig.values.last().unwrap() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,305 @@
+//! Complex arithmetic, implemented from scratch.
+//!
+//! The workspace's whitelist has no complex-number crate, and the quantum
+//! substrate only needs a small, predictable surface: field operations,
+//! conjugation, modulus, and a principal square root. Everything is `f64`.
+
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number `re + i·im`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+/// Shorthand constructor.
+#[inline]
+pub const fn c(re: f64, im: f64) -> Complex {
+    Complex { re, im }
+}
+
+impl Complex {
+    pub const ZERO: Complex = c(0.0, 0.0);
+    pub const ONE: Complex = c(1.0, 0.0);
+    pub const I: Complex = c(0.0, 1.0);
+
+    /// A purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> Complex {
+        c(re, 0.0)
+    }
+
+    /// From polar form `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Complex {
+        let (s, cth) = theta.sin_cos();
+        c(r * cth, r * s)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Complex {
+        c(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`, overflow-safe via `hypot`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Principal argument in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    #[inline]
+    pub fn inv(self) -> Complex {
+        let d = self.norm_sq();
+        c(self.re / d, -self.im / d)
+    }
+
+    /// Principal square root (branch cut on the negative real axis).
+    pub fn sqrt(self) -> Complex {
+        if self.im == 0.0 {
+            if self.re >= 0.0 {
+                return c(self.re.sqrt(), 0.0);
+            }
+            return c(0.0, (-self.re).sqrt());
+        }
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).sqrt();
+        let im = ((r - self.re) / 2.0).sqrt() * self.im.signum();
+        c(re, im)
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Complex {
+        Complex::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Scale by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Complex {
+        c(self.re * k, self.im * k)
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// True when `|self - other|` is within `tol`.
+    #[inline]
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self - other).abs() <= tol
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    #[inline]
+    fn add(self, rhs: Complex) -> Complex {
+        c(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    #[inline]
+    fn sub(self, rhs: Complex) -> Complex {
+        c(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        c(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    #[inline]
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.inv()
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex {
+        c(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    #[inline]
+    fn neg(self) -> Complex {
+        c(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    #[inline]
+    fn from(re: f64) -> Complex {
+        Complex::real(re)
+    }
+}
+
+impl std::fmt::Display for Complex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.6}+{:.6}i", self.re, self.im)
+        } else {
+            write!(f, "{:.6}-{:.6}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_operations() {
+        let a = c(1.0, 2.0);
+        let b = c(3.0, -1.0);
+        assert_eq!(a + b, c(4.0, 1.0));
+        assert_eq!(a - b, c(-2.0, 3.0));
+        assert_eq!(a * b, c(5.0, 5.0)); // (1+2i)(3-i) = 3 - i + 6i + 2 = 5+5i
+        let q = a / b;
+        assert!((q * b).approx_eq(a, 1e-14));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex::I * Complex::I, c(-1.0, 0.0));
+    }
+
+    #[test]
+    fn conjugate_and_modulus() {
+        let z = c(3.0, 4.0);
+        assert_eq!(z.conj(), c(3.0, -4.0));
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sq(), 25.0);
+        assert!((z * z.conj()).approx_eq(c(25.0, 0.0), 1e-14));
+    }
+
+    #[test]
+    fn inverse() {
+        let z = c(2.0, -3.0);
+        assert!((z * z.inv()).approx_eq(Complex::ONE, 1e-14));
+    }
+
+    #[test]
+    fn sqrt_branches() {
+        assert_eq!(c(4.0, 0.0).sqrt(), c(2.0, 0.0));
+        assert_eq!(c(-4.0, 0.0).sqrt(), c(0.0, 2.0));
+        // sqrt(i) = (1+i)/sqrt(2)
+        let s = Complex::I.sqrt();
+        let e = 1.0 / 2.0_f64.sqrt();
+        assert!(s.approx_eq(c(e, e), 1e-14));
+        // General: sqrt(z)² = z for points in every quadrant.
+        for z in [c(1.0, 1.0), c(-1.0, 1.0), c(-1.0, -1.0), c(1.0, -1.0), c(0.3, -2.7)] {
+            let s = z.sqrt();
+            assert!((s * s).approx_eq(z, 1e-12), "{z}");
+            assert!(s.re >= 0.0, "principal branch has non-negative real part");
+        }
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-14);
+        assert!((z.arg() - 0.7).abs() < 1e-14);
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = c(0.0, std::f64::consts::PI).exp();
+        assert!(z.approx_eq(c(-1.0, 0.0), 1e-14));
+    }
+
+    #[test]
+    fn real_scaling_and_division() {
+        let z = c(1.0, -2.0);
+        assert_eq!(z * 2.0, c(2.0, -4.0));
+        assert_eq!(2.0 * z, c(2.0, -4.0));
+        assert_eq!(z / 2.0, c(0.5, -1.0));
+        assert_eq!(-z, c(-1.0, 2.0));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", c(1.0, 2.0)), "1.000000+2.000000i");
+        assert_eq!(format!("{}", c(1.0, -2.0)), "1.000000-2.000000i");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut z = c(1.0, 1.0);
+        z += c(1.0, 0.0);
+        assert_eq!(z, c(2.0, 1.0));
+        z -= c(0.0, 1.0);
+        assert_eq!(z, c(2.0, 0.0));
+        z *= c(0.0, 1.0);
+        assert_eq!(z, c(0.0, 2.0));
+    }
+}

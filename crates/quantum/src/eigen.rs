@@ -1,0 +1,252 @@
+//! Complex Hermitian eigendecomposition via cyclic Jacobi rotations.
+//!
+//! Uhlmann fidelity needs the square root of a positive semi-definite
+//! matrix, which we get from the spectral decomposition `A = VΛV†`.
+//! Matrices here are at most 8×8 (three qubits), where Jacobi is simple,
+//! numerically excellent and plenty fast.
+//!
+//! The complex rotation zeroing `a_pq = m·e^{iφ}` uses
+//! `tan(2θ) = 2m / (a_pp − a_qq)` with the unitary
+//!
+//! ```text
+//! R_pp = cosθ    R_pq = −sinθ·e^{iφ}
+//! R_qp = sinθ·e^{−iφ}    R_qq = cosθ
+//! ```
+//!
+//! so that `A ← R†AR` kills the (p,q) element while preserving hermiticity.
+
+use crate::complex::Complex;
+use crate::matrix::Matrix;
+
+/// Result of a Hermitian eigendecomposition: `a = vectors · diag(values) · vectors†`.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues in ascending order (real, since the input is Hermitian).
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the matching eigenvectors.
+    pub vectors: Matrix,
+}
+
+/// Eigendecompose a Hermitian matrix.
+///
+/// # Panics
+/// Panics if `a` is not square or departs from hermiticity by more than
+/// `1e-9` entrywise (catching accidental misuse early).
+pub fn hermitian_eigen(a: &Matrix) -> Eigen {
+    assert!(a.is_square(), "eigendecomposition needs a square matrix");
+    assert!(a.is_hermitian(1e-9), "matrix is not Hermitian");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let scale = m.frobenius_norm().max(1e-300);
+    let tol = 1e-14 * scale;
+    const MAX_SWEEPS: usize = 100;
+
+    for _ in 0..MAX_SWEEPS {
+        if m.max_off_diagonal() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                let mag = apq.abs();
+                if mag <= tol {
+                    continue;
+                }
+                let phi = apq.arg();
+                let app = m[(p, p)].re;
+                let aqq = m[(q, q)].re;
+                let theta = 0.5 * (2.0 * mag).atan2(app - aqq);
+                let (s, c_) = theta.sin_cos();
+                let e_pos = Complex::from_polar(1.0, phi); // e^{+iφ}
+                let e_neg = e_pos.conj();
+
+                // A ← A·R (update columns p and q).
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = akp * c_ + akq * (e_neg * s);
+                    m[(k, q)] = akq * c_ - akp * (e_pos * s);
+                }
+                // A ← R†·A (update rows p and q).
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = apk * c_ + aqk * (e_pos * s);
+                    m[(q, k)] = aqk * c_ - apk * (e_neg * s);
+                }
+                // V ← V·R.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * c_ + vkq * (e_neg * s);
+                    v[(k, q)] = vkq * c_ - vkp * (e_pos * s);
+                }
+            }
+        }
+    }
+
+    // Extract and sort eigenpairs ascending.
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[(i, i)].re, i)).collect();
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut vectors = Matrix::zeros(n, n);
+    let mut values = Vec::with_capacity(n);
+    for (col, (val, src)) in pairs.into_iter().enumerate() {
+        values.push(val);
+        for k in 0..n {
+            vectors[(k, col)] = v[(k, src)];
+        }
+    }
+    Eigen { values, vectors }
+}
+
+/// Apply a real function to a Hermitian matrix through its spectrum:
+/// `f(A) = V·diag(f(λ))·V†`.
+pub fn hermitian_function(a: &Matrix, f: impl Fn(f64) -> f64) -> Matrix {
+    let eig = hermitian_eigen(a);
+    let n = a.rows();
+    let mut lam = Matrix::zeros(n, n);
+    for (i, &val) in eig.values.iter().enumerate() {
+        lam[(i, i)] = Complex::real(f(val));
+    }
+    &(&eig.vectors * &lam) * &eig.vectors.dagger()
+}
+
+/// Principal square root of a positive semi-definite Hermitian matrix.
+///
+/// Eigenvalues slightly below zero (numerical noise from channel
+/// applications) are clamped to zero rather than producing NaNs.
+pub fn psd_sqrt(a: &Matrix) -> Matrix {
+    hermitian_function(a, |lam| lam.max(0.0).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c;
+    use crate::matrix::pauli;
+
+    fn reconstruct(e: &Eigen) -> Matrix {
+        let n = e.values.len();
+        let mut lam = Matrix::zeros(n, n);
+        for (i, &v) in e.values.iter().enumerate() {
+            lam[(i, i)] = Complex::real(v);
+        }
+        &(&e.vectors * &lam) * &e.vectors.dagger()
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let a = Matrix::from_real(3, 3, &[3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = hermitian_eigen(&a);
+        assert_eq!(e.values.len(), 3);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 2.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pauli_x_spectrum() {
+        let e = hermitian_eigen(&pauli::x());
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!(reconstruct(&e).approx_eq(&pauli::x(), 1e-10));
+    }
+
+    #[test]
+    fn pauli_y_spectrum_complex_entries() {
+        let e = hermitian_eigen(&pauli::y());
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!(e.vectors.is_unitary(1e-10));
+        assert!(reconstruct(&e).approx_eq(&pauli::y(), 1e-10));
+    }
+
+    #[test]
+    fn known_2x2_hermitian() {
+        // [[2, 1+i], [1-i, 3]]: eigenvalues (5 ± sqrt(9))/2 = { (5-3)/2=1, 4 }.
+        let a = Matrix::from_rows(2, 2, &[c(2.0, 0.0), c(1.0, 1.0), c(1.0, -1.0), c(3.0, 0.0)]);
+        let e = hermitian_eigen(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-10, "{:?}", e.values);
+        assert!((e.values[1] - 4.0).abs() < 1e-10, "{:?}", e.values);
+        assert!(reconstruct(&e).approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn random_hermitian_reconstruction() {
+        // Deterministic pseudo-random Hermitian matrices of sizes 2..8.
+        let mut seed = 0x9e3779b9_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        for n in 2..=8 {
+            let mut a = Matrix::zeros(n, n);
+            for i in 0..n {
+                a[(i, i)] = Complex::real(next());
+                for j in (i + 1)..n {
+                    let z = c(next(), next());
+                    a[(i, j)] = z;
+                    a[(j, i)] = z.conj();
+                }
+            }
+            let e = hermitian_eigen(&a);
+            assert!(e.vectors.is_unitary(1e-9), "n={n}");
+            assert!(reconstruct(&e).approx_eq(&a, 1e-9), "n={n}");
+            // Eigenvalues ascending.
+            for w in e.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+            // Trace preserved.
+            let tr: f64 = e.values.iter().sum();
+            assert!((tr - a.trace().re).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let a = Matrix::from_rows(2, 2, &[c(1.0, 0.0), c(0.0, -2.0), c(0.0, 2.0), c(1.0, 0.0)]);
+        let e = hermitian_eigen(&a);
+        for (i, &lam) in e.values.iter().enumerate() {
+            let v: Vec<Complex> = (0..2).map(|k| e.vectors[(k, i)]).collect();
+            let av = a.mul_vec(&v);
+            for k in 0..2 {
+                assert!(av[k].approx_eq(v[k] * lam, 1e-10), "pair {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        // A PSD matrix: B†B for random B.
+        let b = Matrix::from_rows(2, 2, &[c(1.0, 0.5), c(0.2, -0.3), c(0.0, 1.0), c(0.7, 0.1)]);
+        let a = &b.dagger() * &b;
+        let s = psd_sqrt(&a);
+        assert!(s.is_hermitian(1e-10));
+        assert!((&s * &s).approx_eq(&a, 1e-9));
+    }
+
+    #[test]
+    fn sqrt_clamps_tiny_negatives() {
+        let a = Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1e-15]);
+        let s = psd_sqrt(&a);
+        assert!(s[(1, 1)].re.abs() < 1e-7);
+        assert!(s[(0, 0)].re > 0.999_999);
+    }
+
+    #[test]
+    fn hermitian_function_exponential() {
+        // exp of diag(0, ln 2) = diag(1, 2).
+        let a = Matrix::from_real(2, 2, &[0.0, 0.0, 0.0, std::f64::consts::LN_2]);
+        let e = hermitian_function(&a, f64::exp);
+        assert!((e[(0, 0)].re - 1.0).abs() < 1e-12);
+        assert!((e[(1, 1)].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "not Hermitian")]
+    fn rejects_non_hermitian() {
+        hermitian_eigen(&Matrix::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0]));
+    }
+}

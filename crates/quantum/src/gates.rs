@@ -1,0 +1,131 @@
+//! Unitary gates on multi-qubit registers.
+//!
+//! The repeater protocols (entanglement swapping, purification,
+//! teleportation) need a handful of gates applied to specific qubits of a
+//! 2–4 qubit register. Registers are tiny, so gates are materialized as full
+//! `2^n × 2^n` matrices; qubit 0 is the leftmost tensor factor, matching
+//! [`crate::state::Ket::tensor`].
+
+use crate::complex::Complex;
+use crate::matrix::{pauli, Matrix};
+use crate::state::DensityMatrix;
+
+/// Lift a single-qubit unitary onto qubit `target` of an `n`-qubit register.
+pub fn lift_single(u: &Matrix, target: usize, n: usize) -> Matrix {
+    assert_eq!(u.rows(), 2, "lift_single expects a single-qubit operator");
+    assert!(target < n, "target out of range");
+    let mut acc = if target == 0 { u.clone() } else { Matrix::identity(2) };
+    for q in 1..n {
+        let f = if q == target { u.clone() } else { Matrix::identity(2) };
+        acc = acc.kron(&f);
+    }
+    acc
+}
+
+/// CNOT with the given control and target qubits on an `n`-qubit register,
+/// built as a basis permutation.
+pub fn cnot(control: usize, target: usize, n: usize) -> Matrix {
+    assert!(control < n && target < n && control != target);
+    let dim = 1 << n;
+    let c_bit = n - 1 - control; // bit position from LSB
+    let t_bit = n - 1 - target;
+    let mut m = Matrix::zeros(dim, dim);
+    for x in 0..dim {
+        let y = if (x >> c_bit) & 1 == 1 { x ^ (1 << t_bit) } else { x };
+        m[(y, x)] = Complex::ONE;
+    }
+    m
+}
+
+/// Hadamard on one qubit of an `n`-qubit register.
+pub fn hadamard(target: usize, n: usize) -> Matrix {
+    lift_single(&pauli::h(), target, n)
+}
+
+/// Pauli-X on one qubit of a register.
+pub fn x_on(target: usize, n: usize) -> Matrix {
+    lift_single(&pauli::x(), target, n)
+}
+
+/// Pauli-Z on one qubit of a register.
+pub fn z_on(target: usize, n: usize) -> Matrix {
+    lift_single(&pauli::z(), target, n)
+}
+
+/// Conjugate a density matrix by a unitary: `ρ → UρU†`.
+pub fn apply_unitary(rho: &DensityMatrix, u: &Matrix) -> DensityMatrix {
+    assert_eq!(u.rows(), rho.dim(), "unitary/state dimension mismatch");
+    debug_assert!(u.is_unitary(1e-9), "operator is not unitary");
+    DensityMatrix::new(&(u * rho.matrix()) * &u.dagger())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{bell_phi_plus, Ket};
+
+    #[test]
+    fn lifted_gates_are_unitary() {
+        for n in 1..=4 {
+            for t in 0..n {
+                assert!(hadamard(t, n).is_unitary(1e-12), "H@{t}/{n}");
+                assert!(x_on(t, n).is_unitary(1e-12));
+                assert!(z_on(t, n).is_unitary(1e-12));
+            }
+        }
+        assert!(cnot(0, 1, 2).is_unitary(1e-12));
+        assert!(cnot(2, 0, 3).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn cnot_truth_table() {
+        let g = cnot(0, 1, 2);
+        // |00> -> |00>, |01> -> |01>, |10> -> |11>, |11> -> |10>.
+        for (input, expect) in [(0usize, 0usize), (1, 1), (2, 3), (3, 2)] {
+            let v = g.mul_vec(Ket::basis(2, input).amps());
+            assert!(v[expect].approx_eq(Complex::ONE, 1e-12), "{input}->{expect}");
+        }
+    }
+
+    #[test]
+    fn cnot_reversed_control() {
+        let g = cnot(1, 0, 2);
+        // |01> -> |11>, |11> -> |01>.
+        let v = g.mul_vec(Ket::basis(2, 0b01).amps());
+        assert!(v[0b11].approx_eq(Complex::ONE, 1e-12));
+    }
+
+    #[test]
+    fn h_then_cnot_makes_bell_state() {
+        // The canonical circuit: H on qubit 0 of |00>, then CNOT(0->1).
+        let circuit = &cnot(0, 1, 2) * &hadamard(0, 2);
+        let out = circuit.mul_vec(Ket::basis(2, 0).amps());
+        let bell = bell_phi_plus();
+        let overlap = out
+            .iter()
+            .zip(bell.amps())
+            .fold(Complex::ZERO, |acc, (a, b)| acc + b.conj() * *a);
+        assert!((overlap.abs() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_unitary_preserves_state_validity() {
+        let rho = bell_phi_plus().density();
+        let out = apply_unitary(&rho, &cnot(0, 1, 2));
+        assert!((out.matrix().trace().re - 1.0).abs() < 1e-12);
+        assert!((out.purity() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_on_flips_population() {
+        let rho = Ket::basis(2, 0).density();
+        let out = apply_unitary(&rho, &x_on(1, 2));
+        assert!((out.matrix()[(1, 1)].re - 1.0).abs() < 1e-12, "|00> -> |01>");
+    }
+
+    #[test]
+    #[should_panic(expected = "control != target")]
+    fn cnot_rejects_same_qubit() {
+        cnot(1, 1, 2);
+    }
+}

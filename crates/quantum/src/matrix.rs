@@ -1,0 +1,451 @@
+//! Dense complex matrices.
+//!
+//! Row-major storage over [`Complex`]. Sizes in this workspace are tiny
+//! (2×2 Kraus operators, 4×4 two-qubit density matrices, occasionally 8×8
+//! for three-qubit extension tests), so clarity beats blocking; the only
+//! performance-sensitive consumer is the Jacobi eigensolver, which works
+//! in-place.
+
+use crate::complex::{c, Complex};
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense row-major complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Build from a row-major slice of complex entries.
+    pub fn from_rows(rows: usize, cols: usize, data: &[Complex]) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Matrix { rows, cols, data: data.to_vec() }
+    }
+
+    /// Build from a row-major slice of real entries.
+    pub fn from_real(rows: usize, cols: usize, data: &[f64]) -> Matrix {
+        assert_eq!(data.len(), rows * cols, "data length must match shape");
+        Matrix {
+            rows,
+            cols,
+            data: data.iter().map(|&x| Complex::real(x)).collect(),
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True for square matrices.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[Complex] {
+        &self.data
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn dagger(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Plain transpose (no conjugation).
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Trace of a square matrix.
+    pub fn trace(&self) -> Complex {
+        assert!(self.is_square(), "trace needs a square matrix");
+        (0..self.rows).fold(Complex::ZERO, |acc, i| acc + self[(i, i)])
+    }
+
+    /// Scale every entry by a complex factor.
+    pub fn scale(&self, k: Complex) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Scale every entry by a real factor.
+    pub fn scale_real(&self, k: f64) -> Matrix {
+        self.scale(Complex::real(k))
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows * other.rows, self.cols * other.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for k in 0..other.rows {
+                    for l in 0..other.cols {
+                        out[(i * other.rows + k, j * other.cols + l)] = a * other[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm `sqrt(Σ|a_ij|²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sq()).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute off-diagonal magnitude (square matrices).
+    pub fn max_off_diagonal(&self) -> f64 {
+        assert!(self.is_square());
+        let mut m = 0.0_f64;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    m = m.max(self[(i, j)].abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// True when `‖A − A†‖∞ ≤ tol` entrywise.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in i..self.cols {
+                if !(self[(i, j)].conj()).approx_eq(self[(j, i)], tol) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True when `‖A†A − I‖ ≤ tol` entrywise.
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let p = self.dagger() * self.clone();
+        let id = Matrix::identity(self.rows);
+        p.approx_eq(&id, tol)
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &Matrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Matrix-vector product.
+    pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
+        assert_eq!(self.cols, v.len(), "shape mismatch in mat-vec product");
+        let mut out = vec![Complex::ZERO; self.rows];
+        for i in 0..self.rows {
+            let mut acc = Complex::ZERO;
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (a, &x) in row.iter().zip(v) {
+                acc += *a * x;
+            }
+            out[i] = acc;
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = Complex;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: Matrix) -> Matrix {
+        &self + &rhs
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
+        }
+    }
+}
+
+impl Sub for Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: Matrix) -> Matrix {
+        &self - &rhs
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect(),
+        }
+    }
+}
+
+impl Mul for Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: Matrix) -> Matrix {
+        &self * &rhs
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "shape mismatch in matmul");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: stride-1 access on both `rhs` and `out`.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The Pauli matrices and friends, used across tests and channels.
+pub mod pauli {
+    use super::*;
+
+    /// Pauli X.
+    pub fn x() -> Matrix {
+        Matrix::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0])
+    }
+
+    /// Pauli Y.
+    pub fn y() -> Matrix {
+        Matrix::from_rows(2, 2, &[Complex::ZERO, c(0.0, -1.0), c(0.0, 1.0), Complex::ZERO])
+    }
+
+    /// Pauli Z.
+    pub fn z() -> Matrix {
+        Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0])
+    }
+
+    /// Hadamard.
+    pub fn h() -> Matrix {
+        let s = 1.0 / 2.0_f64.sqrt();
+        Matrix::from_real(2, 2, &[s, s, s, -s])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Matrix::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let id = Matrix::identity(2);
+        assert!((&a * &id).approx_eq(&a, 1e-15));
+        assert!((&id * &a).approx_eq(&a, 1e-15));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_real(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_real(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let p = &a * &b;
+        let expect = Matrix::from_real(2, 2, &[58.0, 64.0, 139.0, 154.0]);
+        assert!(p.approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn complex_matmul() {
+        // (iI)·(iI) = -I
+        let i_mat = Matrix::identity(2).scale(Complex::I);
+        let p = &i_mat * &i_mat;
+        assert!(p.approx_eq(&Matrix::identity(2).scale_real(-1.0), 1e-15));
+    }
+
+    #[test]
+    fn dagger_involution_and_antihomomorphism() {
+        let a = Matrix::from_rows(2, 2, &[c(1.0, 1.0), c(0.0, 2.0), c(3.0, 0.0), c(1.0, -1.0)]);
+        let b = Matrix::from_rows(2, 2, &[c(0.5, 0.0), c(1.0, 1.0), c(0.0, -1.0), c(2.0, 2.0)]);
+        assert!(a.dagger().dagger().approx_eq(&a, 1e-15));
+        // (AB)† = B†A†
+        let lhs = (&a * &b).dagger();
+        let rhs = &b.dagger() * &a.dagger();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn trace_linearity_and_cyclicity() {
+        let a = Matrix::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::from_real(2, 2, &[0.0, 1.0, -1.0, 2.0]);
+        let tr_ab = (&a * &b).trace();
+        let tr_ba = (&b * &a).trace();
+        assert!(tr_ab.approx_eq(tr_ba, 1e-12));
+        let tr_sum = (&a + &b).trace();
+        assert!(tr_sum.approx_eq(a.trace() + b.trace(), 1e-12));
+    }
+
+    #[test]
+    fn kron_shapes_and_values() {
+        let a = Matrix::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let id = Matrix::identity(2);
+        let k = a.kron(&id);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k[(0, 0)], c(1.0, 0.0));
+        assert_eq!(k[(1, 1)], c(1.0, 0.0));
+        assert_eq!(k[(0, 2)], c(2.0, 0.0));
+        assert_eq!(k[(2, 0)], c(3.0, 0.0));
+        assert_eq!(k[(2, 2)], c(4.0, 0.0));
+        assert_eq!(k[(0, 1)], Complex::ZERO);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A⊗B)(C⊗D) = (AC)⊗(BD)
+        let a = Matrix::from_real(2, 2, &[1.0, 0.5, -1.0, 2.0]);
+        let b = pauli::x();
+        let c_m = pauli::z();
+        let d = pauli::h();
+        let lhs = &a.kron(&b) * &c_m.kron(&d);
+        let rhs = (&a * &c_m).kron(&(&b * &d));
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn pauli_algebra() {
+        let (x, y, z) = (pauli::x(), pauli::y(), pauli::z());
+        // X² = Y² = Z² = I
+        for p in [&x, &y, &z] {
+            assert!((p * p).approx_eq(&Matrix::identity(2), 1e-15));
+            assert!(p.is_hermitian(1e-15));
+            assert!(p.is_unitary(1e-15));
+        }
+        // XY = iZ
+        assert!((&x * &y).approx_eq(&z.scale(Complex::I), 1e-15));
+        // Tr(X) = 0
+        assert!(x.trace().approx_eq(Complex::ZERO, 1e-15));
+    }
+
+    #[test]
+    fn hadamard_diagonalizes_x() {
+        let h = pauli::h();
+        let hxh = &(&h * &pauli::x()) * &h;
+        assert!(hxh.approx_eq(&pauli::z(), 1e-12));
+    }
+
+    #[test]
+    fn hermitian_and_unitary_checks() {
+        let herm = Matrix::from_rows(2, 2, &[c(1.0, 0.0), c(0.0, 1.0), c(0.0, -1.0), c(2.0, 0.0)]);
+        assert!(herm.is_hermitian(1e-15));
+        let not_herm = Matrix::from_rows(2, 2, &[c(1.0, 0.1), Complex::ZERO, Complex::ZERO, Complex::ONE]);
+        assert!(!not_herm.is_hermitian(1e-15));
+        assert!(!Matrix::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0]).is_unitary(1e-12));
+    }
+
+    #[test]
+    fn mul_vec_matches_matmul() {
+        let a = Matrix::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let v = [c(1.0, 0.0), c(0.0, 1.0)];
+        let got = a.mul_vec(&v);
+        assert!(got[0].approx_eq(c(1.0, 2.0), 1e-15));
+        assert!(got[1].approx_eq(c(3.0, 4.0), 1e-15));
+    }
+
+    #[test]
+    fn frobenius_norm_value() {
+        let a = Matrix::from_real(2, 2, &[3.0, 0.0, 0.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch in matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+
+    #[test]
+    fn max_off_diagonal_value() {
+        let a = Matrix::from_real(2, 2, &[5.0, -3.0, 2.0, 7.0]);
+        assert_eq!(a.max_off_diagonal(), 3.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! CHSH nonlocality of distributed pairs.
+//!
+//! Whether a distributed pair can violate the CHSH inequality is the
+//! operational test behind device-independent protocols — and a second,
+//! stricter notion of "useful entanglement" than fidelity. The
+//! Horodecki criterion gives the maximum CHSH value of a two-qubit state in
+//! closed form: with the correlation matrix `T_ij = Tr(ρ·σᵢ⊗σⱼ)`,
+//!
+//! ```text
+//! S_max = 2·√(t₁ + t₂)
+//! ```
+//!
+//! where `t₁ ≥ t₂` are the two largest eigenvalues of `TᵀT`. `S_max > 2`
+//! means the state violates CHSH with optimally chosen settings.
+
+use crate::eigen::hermitian_eigen;
+use crate::matrix::{pauli, Matrix};
+use crate::state::DensityMatrix;
+
+/// The 3×3 correlation matrix `T_ij = Tr(ρ·σᵢ⊗σⱼ)` of a two-qubit state.
+pub fn correlation_matrix(rho: &DensityMatrix) -> [[f64; 3]; 3] {
+    assert_eq!(rho.dim(), 4, "correlation matrix needs a two-qubit state");
+    let sigmas = [pauli::x(), pauli::y(), pauli::z()];
+    let mut t = [[0.0; 3]; 3];
+    for (i, si) in sigmas.iter().enumerate() {
+        for (j, sj) in sigmas.iter().enumerate() {
+            let op = si.kron(sj);
+            t[i][j] = (&op * rho.matrix()).trace().re;
+        }
+    }
+    t
+}
+
+/// Maximum CHSH value `S_max` over all measurement settings (Horodecki).
+pub fn chsh_max(rho: &DensityMatrix) -> f64 {
+    let t = correlation_matrix(rho);
+    // M = TᵀT, symmetric 3×3; reuse the complex Hermitian eigensolver.
+    let mut m = Matrix::zeros(3, 3);
+    for i in 0..3 {
+        for j in 0..3 {
+            let mut acc = 0.0;
+            for k in 0..3 {
+                acc += t[k][i] * t[k][j];
+            }
+            m[(i, j)] = crate::complex::Complex::real(acc);
+        }
+    }
+    let eig = hermitian_eigen(&m);
+    let n = eig.values.len();
+    let (t1, t2) = (eig.values[n - 1].max(0.0), eig.values[n - 2].max(0.0));
+    2.0 * (t1 + t2).sqrt()
+}
+
+/// True when the state can violate CHSH (`S_max > 2`).
+pub fn violates_chsh(rho: &DensityMatrix) -> bool {
+    chsh_max(rho) > 2.0 + 1e-12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channels::amplitude_damping;
+    use crate::state::{bell_phi_plus, DensityMatrix};
+
+    fn damped(eta: f64) -> DensityMatrix {
+        amplitude_damping(eta).on_qubit(1, 2).apply(&bell_phi_plus().density())
+    }
+
+    #[test]
+    fn bell_state_reaches_tsirelson() {
+        // |Φ+⟩: S_max = 2√2 (the Tsirelson bound).
+        let s = chsh_max(&bell_phi_plus().density());
+        assert!((s - 2.0 * 2.0_f64.sqrt()).abs() < 1e-9, "{s}");
+        assert!(violates_chsh(&bell_phi_plus().density()));
+    }
+
+    #[test]
+    fn bell_correlation_matrix_is_diag_1_m1_1() {
+        // T(|Φ+⟩) = diag(1, −1, 1).
+        let t = correlation_matrix(&bell_phi_plus().density());
+        assert!((t[0][0] - 1.0).abs() < 1e-12);
+        assert!((t[1][1] + 1.0).abs() < 1e-12);
+        assert!((t[2][2] - 1.0).abs() < 1e-12);
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    assert!(t[i][j].abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn maximally_mixed_has_zero_correlations() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        let s = chsh_max(&rho);
+        assert!(s < 1e-9, "{s}");
+        assert!(!violates_chsh(&rho));
+    }
+
+    #[test]
+    fn product_state_never_violates() {
+        use crate::state::Ket;
+        let rho = Ket::plus().density().tensor(&Ket::basis(1, 0).density());
+        let s = chsh_max(&rho);
+        assert!(s <= 2.0 + 1e-9, "{s}");
+    }
+
+    #[test]
+    fn damped_pair_chsh_closed_form() {
+        // One-sided AD(η) on |Φ+⟩: T = diag(√η, −√η, η) (plus a local z
+        // offset that doesn't enter T's singular values beyond these).
+        // TᵀT eigenvalues: {η, η, η²}; the two largest are η and η, so
+        // S_max = 2√(2η).
+        for eta in [0.1, 0.4, 0.7, 0.9, 1.0] {
+            let s = chsh_max(&damped(eta));
+            let expect = 2.0 * (2.0 * eta).sqrt();
+            assert!((s - expect).abs() < 1e-9, "eta {eta}: {s} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn chsh_violation_threshold_is_eta_half() {
+        // S_max = 2√(2η) > 2 ⇔ η > 1/2 — so every above-threshold QNTN
+        // *link* (η ≥ 0.7) violates CHSH…
+        assert!(violates_chsh(&damped(0.51)));
+        assert!(!violates_chsh(&damped(0.49)));
+        assert!(violates_chsh(&damped(0.7)));
+        // …but a two-hop satellite relay path (η ≈ 0.5·…) sits right at the
+        // classical boundary: nonlocality dies before fidelity looks bad.
+        assert!(!violates_chsh(&damped(0.45)));
+    }
+
+    #[test]
+    fn chsh_monotone_under_damping() {
+        let mut prev = 3.0;
+        for eta in [1.0, 0.8, 0.6, 0.4, 0.2] {
+            let s = chsh_max(&damped(eta));
+            assert!(s < prev + 1e-12);
+            prev = s;
+        }
+    }
+}

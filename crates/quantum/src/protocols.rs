@@ -1,0 +1,408 @@
+//! Entanglement-manipulation protocols: swapping, purification,
+//! teleportation.
+//!
+//! These are the building blocks of the quantum-repeater extension (the
+//! paper's network distributes raw pairs only; its future-work section
+//! points at longer chains, which need exactly these primitives):
+//!
+//! - [`entanglement_swap`] — Bell-state measurement on the middle qubits of
+//!   two pairs, with Pauli corrections, leaving the outer qubits entangled.
+//! - [`purify_bbpssw`] — one round of BBPSSW purification: two noisy pairs
+//!   are consumed to (probabilistically) produce one better pair.
+//! - [`teleport_fidelity`] — fidelity of teleporting an arbitrary qubit
+//!   through a (possibly degraded) resource pair.
+//!
+//! Everything works on exact density matrices (up to 16×16), so the tests
+//! can pin the textbook closed forms.
+
+use crate::complex::Complex;
+use crate::gates::{apply_unitary, cnot, lift_single};
+use crate::matrix::{pauli, Matrix};
+use crate::state::{bell_phi_plus, DensityMatrix, Ket};
+
+/// The four Bell-state projectors on two qubits, with the Pauli correction
+/// (applied to the *second* remaining qubit) that maps each outcome back to
+/// the |Φ+⟩ frame: (projector, correction).
+fn bell_outcomes() -> Vec<(Matrix, Matrix)> {
+    let s = 1.0 / 2.0_f64.sqrt();
+    let phi_plus = Ket::new(vec![
+        Complex::real(s),
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::real(s),
+    ]);
+    let phi_minus = Ket::new(vec![
+        Complex::real(s),
+        Complex::ZERO,
+        Complex::ZERO,
+        Complex::real(-s),
+    ]);
+    let psi_plus = Ket::new(vec![
+        Complex::ZERO,
+        Complex::real(s),
+        Complex::real(s),
+        Complex::ZERO,
+    ]);
+    let psi_minus = Ket::new(vec![
+        Complex::ZERO,
+        Complex::real(s),
+        Complex::real(-s),
+        Complex::ZERO,
+    ]);
+    let proj = |k: &Ket| {
+        let d = k.dim();
+        let mut m = Matrix::zeros(d, d);
+        for i in 0..d {
+            for j in 0..d {
+                m[(i, j)] = k.amps()[i] * k.amps()[j].conj();
+            }
+        }
+        m
+    };
+    vec![
+        (proj(&phi_plus), Matrix::identity(2)),
+        (proj(&phi_minus), pauli::z()),
+        (proj(&psi_plus), pauli::x()),
+        (proj(&psi_minus), &pauli::x() * &pauli::z()),
+    ]
+}
+
+/// Partial trace over qubits 1 and 2 of a 4-qubit state, leaving (0, 3).
+fn trace_out_middle(rho: &DensityMatrix) -> DensityMatrix {
+    // Trace qubit 1 first (register shrinks), then what was qubit 2 is now
+    // qubit 1 of the 3-qubit register.
+    rho.partial_trace(1).partial_trace(1)
+}
+
+/// Entanglement swapping: given pair ρ_AB (qubits A,B) and pair ρ_CD
+/// (qubits C,D), perform a Bell-state measurement on (B,C) and apply the
+/// outcome's Pauli correction on D. Returns the averaged post-swap state of
+/// (A,D) — deterministic, since all four outcomes are corrected.
+///
+/// ```
+/// use qntn_quantum::protocols::entanglement_swap;
+/// use qntn_quantum::state::bell_phi_plus;
+/// use qntn_quantum::fidelity::fidelity_to_pure;
+///
+/// // Swapping two perfect pairs yields a perfect pair.
+/// let bell = bell_phi_plus().density();
+/// let out = entanglement_swap(&bell, &bell);
+/// assert!((fidelity_to_pure(&out, &bell_phi_plus()) - 1.0).abs() < 1e-9);
+/// ```
+pub fn entanglement_swap(rho_ab: &DensityMatrix, rho_cd: &DensityMatrix) -> DensityMatrix {
+    assert_eq!(rho_ab.dim(), 4, "swap expects two-qubit pairs");
+    assert_eq!(rho_cd.dim(), 4, "swap expects two-qubit pairs");
+    let joint = rho_ab.tensor(rho_cd); // qubit order A,B,C,D
+
+    let id2 = Matrix::identity(2);
+    let mut out = Matrix::zeros(4, 4);
+    for (projector, correction) in bell_outcomes() {
+        // M = I_A ⊗ P_BC ⊗ I_D.
+        let m = id2.kron(&projector).kron(&id2);
+        let collapsed = &(&m * joint.matrix()) * &m.dagger();
+        let p = collapsed.trace().re;
+        if p < 1e-15 {
+            continue;
+        }
+        // Trace out B,C without normalizing (weights carry the probability),
+        // then correct D.
+        let collapsed_dm = DensityMatrix::new(collapsed.scale_real(1.0 / p));
+        let reduced = trace_out_middle(&collapsed_dm);
+        let u = lift_single(&correction, 1, 2);
+        let corrected = &(&u * reduced.matrix()) * &u.dagger();
+        out = &out + &corrected.scale_real(p);
+    }
+    DensityMatrix::new(out)
+}
+
+/// Outcome of one purification round.
+#[derive(Debug, Clone)]
+pub struct PurifyOutcome {
+    /// The surviving pair, conditioned on success.
+    pub state: DensityMatrix,
+    /// Probability that the round succeeds (measurements agree).
+    pub success_probability: f64,
+}
+
+/// One round of BBPSSW purification on two copies of `rho` (qubit order per
+/// copy: Alice, Bob). Alice and Bob each apply a CNOT from their qubit of
+/// pair 1 onto their qubit of pair 2, measure pair 2 in the computational
+/// basis, and keep pair 1 when the outcomes agree.
+pub fn purify_bbpssw(rho: &DensityMatrix) -> PurifyOutcome {
+    assert_eq!(rho.dim(), 4, "purification expects a two-qubit pair");
+    // Register: (A1, B1, A2, B2) = qubits (0, 1, 2, 3).
+    let joint = rho.tensor(rho);
+    let stepped = apply_unitary(&joint, &cnot(0, 2, 4)); // Alice
+    let stepped = apply_unitary(&stepped, &cnot(1, 3, 4)); // Bob
+
+    // Projectors onto agreeing outcomes of qubits (2,3): |00⟩ and |11⟩.
+    let dim = 16;
+    let mut keep = Matrix::zeros(4, 4);
+    let mut p_success = 0.0;
+    for outcome in [0b00usize, 0b11usize] {
+        let mut proj = Matrix::zeros(dim, dim);
+        for x in 0..dim {
+            if x & 0b11 == outcome {
+                proj[(x, x)] = Complex::ONE;
+            }
+        }
+        let collapsed = &(&proj * stepped.matrix()) * &proj;
+        let p = collapsed.trace().re;
+        if p < 1e-15 {
+            continue;
+        }
+        p_success += p;
+        // Trace out the measured pair (qubits 2,3 of 4).
+        let dm = DensityMatrix::new(collapsed.scale_real(1.0 / p));
+        let reduced = dm.partial_trace(3).partial_trace(2);
+        keep = &keep + &reduced.matrix().scale_real(p);
+    }
+    assert!(p_success > 1e-12, "purification round cannot succeed on this state");
+    PurifyOutcome {
+        state: DensityMatrix::new(keep.scale_real(1.0 / p_success)),
+        success_probability: p_success,
+    }
+}
+
+/// Fidelity of standard teleportation of the pure qubit `psi` through the
+/// resource pair `resource` (with perfect local operations): averaged over
+/// the four BSM outcomes with their Pauli corrections.
+pub fn teleport_fidelity(psi: &Ket, resource: &DensityMatrix) -> f64 {
+    assert_eq!(psi.dim(), 2, "teleporting one qubit");
+    assert_eq!(resource.dim(), 4, "resource is a two-qubit pair");
+    // Register: (S, A, B) = the state qubit, Alice's half, Bob's half.
+    let joint = psi.density().tensor(resource);
+    let id2 = Matrix::identity(2);
+    let mut fidelity = 0.0;
+    for (projector, correction) in bell_outcomes() {
+        // BSM on (S, A): M = P_SA ⊗ I_B.
+        let m = projector.kron(&id2);
+        let collapsed = &(&m * joint.matrix()) * &m.dagger();
+        let p = collapsed.trace().re;
+        if p < 1e-15 {
+            continue;
+        }
+        let dm = DensityMatrix::new(collapsed.scale_real(1.0 / p));
+        // Bob's qubit after tracing out S and A (qubits 0 and 1 of 3).
+        let bob = dm.partial_trace(0).partial_trace(0);
+        let u = correction.clone();
+        let corrected = DensityMatrix::new(&(&u * bob.matrix()) * &u.dagger());
+        fidelity += p * corrected.expectation(psi);
+    }
+    fidelity
+}
+
+/// Twirl a two-qubit state to the Werner form with the same |Φ+⟩ fidelity:
+/// `ρ → F·|Φ+⟩⟨Φ+| + (1−F)·(I − |Φ+⟩⟨Φ+|)/3`.
+///
+/// Full BBPSSW prescribes this (implemented physically as random bilateral
+/// rotations) between purification rounds; without it, iterating the raw
+/// CNOT-and-measure step on non-Werner states can *reduce* fidelity — a
+/// behaviour the `repeater_chain` example demonstrates.
+pub fn twirl_to_werner(rho: &DensityMatrix) -> DensityMatrix {
+    assert_eq!(rho.dim(), 4, "twirling is defined for two-qubit states");
+    let bell = bell_phi_plus();
+    let f = rho.expectation(&bell);
+    let proj = bell.density();
+    let rest = Matrix::identity(4) - proj.matrix().clone();
+    DensityMatrix::new(proj.matrix().scale_real(f) + rest.scale_real((1.0 - f) / 3.0))
+}
+
+/// Convenience: the fully-degraded-link workflow — swap two pairs that each
+/// traversed an amplitude-damping link, as a repeater node would.
+pub fn swap_damped_bell_pairs(eta1: f64, eta2: f64) -> DensityMatrix {
+    let bell = bell_phi_plus().density();
+    let p1 = crate::channels::amplitude_damping(eta1).on_qubit(1, 2).apply(&bell);
+    let p2 = crate::channels::amplitude_damping(eta2).on_qubit(1, 2).apply(&bell);
+    entanglement_swap(&p1, &p2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::{fidelity_to_pure, sqrt_fidelity_to_pure};
+
+    #[test]
+    fn swapping_perfect_pairs_gives_perfect_pair() {
+        let bell = bell_phi_plus().density();
+        let out = entanglement_swap(&bell, &bell);
+        assert!(
+            (fidelity_to_pure(&out, &bell_phi_plus()) - 1.0).abs() < 1e-9,
+            "F = {}",
+            fidelity_to_pure(&out, &bell_phi_plus())
+        );
+    }
+
+    #[test]
+    fn swap_output_is_valid_state() {
+        let out = swap_damped_bell_pairs(0.8, 0.6);
+        assert!((out.matrix().trace().re - 1.0).abs() < 1e-9);
+        assert!(out.is_valid(1e-8));
+    }
+
+    #[test]
+    fn swap_is_symmetric_in_inputs() {
+        let a = swap_damped_bell_pairs(0.9, 0.5);
+        let b = swap_damped_bell_pairs(0.5, 0.9);
+        let fa = fidelity_to_pure(&a, &bell_phi_plus());
+        let fb = fidelity_to_pure(&b, &bell_phi_plus());
+        assert!((fa - fb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_fidelity_decreases_with_damping() {
+        let mut prev = 1.1;
+        for eta in [1.0, 0.9, 0.7, 0.5, 0.3] {
+            let f = fidelity_to_pure(&swap_damped_bell_pairs(eta, eta), &bell_phi_plus());
+            assert!(f < prev + 1e-12, "eta {eta}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn swap_never_beats_direct_transmission() {
+        // Repeater without purification cannot beat the direct AD(η1η2)
+        // channel's fidelity for these states.
+        for (e1, e2) in [(0.9, 0.9), (0.8, 0.6), (0.95, 0.7)] {
+            let swapped = swap_damped_bell_pairs(e1, e2);
+            let f_swap = sqrt_fidelity_to_pure(&swapped, &bell_phi_plus());
+            let f_direct = crate::fidelity::bell_ad_sqrt_fidelity(e1 * e2);
+            assert!(
+                f_swap <= f_direct + 1e-9,
+                "({e1},{e2}): swap {f_swap} direct {f_direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn purifying_perfect_pairs_is_a_noop() {
+        let bell = bell_phi_plus().density();
+        let out = purify_bbpssw(&bell);
+        assert!((out.success_probability - 1.0).abs() < 1e-9);
+        assert!((fidelity_to_pure(&out.state, &bell_phi_plus()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn purification_improves_werner_states() {
+        // BBPSSW's textbook domain: Werner states with F > 1/2 improve.
+        let bell = bell_phi_plus().density();
+        let mixed = DensityMatrix::maximally_mixed(2);
+        for f_in in [0.6, 0.7, 0.85] {
+            let p = (4.0 * f_in - 1.0) / 3.0;
+            let rho = DensityMatrix::new(
+                bell.matrix().scale_real(p) + mixed.matrix().scale_real(1.0 - p),
+            );
+            let before = fidelity_to_pure(&rho, &bell_phi_plus());
+            let out = purify_bbpssw(&rho);
+            let after = fidelity_to_pure(&out.state, &bell_phi_plus());
+            assert!(
+                after > before + 1e-6,
+                "F_in {before}: F_out {after} (p_succ {})",
+                out.success_probability
+            );
+            // Known closed form for the success probability:
+            // p = F² + 2F(1-F)/3 + 5((1-F)/3)².
+            let f = before;
+            let expect_p = f * f + 2.0 * f * (1.0 - f) / 3.0 + 5.0 * ((1.0 - f) / 3.0).powi(2);
+            assert!(
+                (out.success_probability - expect_p).abs() < 1e-9,
+                "p {} vs {expect_p}",
+                out.success_probability
+            );
+        }
+    }
+
+    #[test]
+    fn purification_output_closed_form() {
+        // BBPSSW output fidelity: F' = (F² + ((1-F)/3)²) / p_success.
+        let bell = bell_phi_plus().density();
+        let mixed = DensityMatrix::maximally_mixed(2);
+        let f_in = 0.75;
+        let p = (4.0 * f_in - 1.0) / 3.0;
+        let rho =
+            DensityMatrix::new(bell.matrix().scale_real(p) + mixed.matrix().scale_real(1.0 - p));
+        let out = purify_bbpssw(&rho);
+        let f = f_in;
+        let p_succ = f * f + 2.0 * f * (1.0 - f) / 3.0 + 5.0 * ((1.0 - f) / 3.0).powi(2);
+        let expect_f = (f * f + ((1.0 - f) / 3.0).powi(2)) / p_succ;
+        let got = fidelity_to_pure(&out.state, &bell_phi_plus());
+        assert!((got - expect_f).abs() < 1e-9, "{got} vs {expect_f}");
+    }
+
+    #[test]
+    fn twirl_preserves_bell_fidelity_and_yields_werner() {
+        let rho = crate::channels::amplitude_damping(0.6)
+            .on_qubit(1, 2)
+            .apply(&bell_phi_plus().density());
+        let w = twirl_to_werner(&rho);
+        let f_before = fidelity_to_pure(&rho, &bell_phi_plus());
+        let f_after = fidelity_to_pure(&w, &bell_phi_plus());
+        assert!((f_before - f_after).abs() < 1e-12);
+        assert!(w.is_valid(1e-9));
+        // Werner form: the three non-Phi+ Bell diagonal weights are equal.
+        let pm = crate::state::bell_phi_minus();
+        let pp = crate::state::bell_psi_plus();
+        let a = w.expectation(&pm);
+        let b = w.expectation(&pp);
+        assert!((a - b).abs() < 1e-10);
+    }
+
+    #[test]
+    fn iterated_purification_with_twirl_converges_upward() {
+        // The textbook recurrence: with twirling, F > 1/2 pumps toward 1.
+        let bell = bell_phi_plus().density();
+        let mixed = DensityMatrix::maximally_mixed(2);
+        let f0 = 0.65;
+        let p = (4.0 * f0 - 1.0) / 3.0;
+        let mut rho = DensityMatrix::new(
+            bell.matrix().scale_real(p) + mixed.matrix().scale_real(1.0 - p),
+        );
+        let mut prev = f0;
+        for round in 0..6 {
+            let out = purify_bbpssw(&twirl_to_werner(&rho));
+            rho = out.state;
+            let f = fidelity_to_pure(&rho, &bell_phi_plus());
+            assert!(f > prev - 1e-9, "round {round}: {f} < {prev}");
+            prev = f;
+        }
+        assert!(prev > 0.85, "after 6 rounds: {prev}");
+    }
+
+    #[test]
+    fn teleportation_through_perfect_pair_is_exact() {
+        let bell = bell_phi_plus().density();
+        for psi in [
+            Ket::basis(1, 0),
+            Ket::basis(1, 1),
+            Ket::plus(),
+            Ket::new(vec![
+                Complex::real(0.6),
+                crate::complex::c(0.0, 0.8),
+            ]),
+        ] {
+            let f = teleport_fidelity(&psi, &bell);
+            assert!((f - 1.0).abs() < 1e-9, "{f}");
+        }
+    }
+
+    #[test]
+    fn teleportation_through_mixed_pair_is_classical() {
+        // Resource I/4: teleportation output is maximally mixed -> F = 1/2.
+        let mixed = DensityMatrix::maximally_mixed(2);
+        let f = teleport_fidelity(&Ket::plus(), &mixed);
+        assert!((f - 0.5).abs() < 1e-9, "{f}");
+    }
+
+    #[test]
+    fn teleportation_quality_tracks_resource_quality() {
+        let bell = bell_phi_plus().density();
+        let mut prev = 1.1;
+        for eta in [1.0, 0.8, 0.5, 0.2] {
+            let resource =
+                crate::channels::amplitude_damping(eta).on_qubit(1, 2).apply(&bell);
+            let f = teleport_fidelity(&Ket::plus(), &resource);
+            assert!(f < prev + 1e-12, "eta {eta}: {f}");
+            prev = f;
+        }
+    }
+}

@@ -1,0 +1,423 @@
+//! Kets, density matrices and entanglement measures.
+
+use crate::complex::{c, Complex};
+use crate::eigen::hermitian_eigen;
+use crate::matrix::{pauli, Matrix};
+
+/// A pure state vector over `2^n` amplitudes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ket {
+    amps: Vec<Complex>,
+}
+
+impl Ket {
+    /// Build from amplitudes (length must be a power of two).
+    pub fn new(amps: Vec<Complex>) -> Ket {
+        assert!(amps.len().is_power_of_two(), "amplitude count must be 2^n");
+        Ket { amps }
+    }
+
+    /// The computational basis state `|index⟩` over `qubits` qubits.
+    pub fn basis(qubits: usize, index: usize) -> Ket {
+        let dim = 1 << qubits;
+        assert!(index < dim, "basis index out of range");
+        let mut amps = vec![Complex::ZERO; dim];
+        amps[index] = Complex::ONE;
+        Ket { amps }
+    }
+
+    /// `|+⟩ = (|0⟩+|1⟩)/√2`.
+    pub fn plus() -> Ket {
+        let s = 1.0 / 2.0_f64.sqrt();
+        Ket::new(vec![c(s, 0.0), c(s, 0.0)])
+    }
+
+    /// Hilbert-space dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn qubits(&self) -> usize {
+        self.amps.len().trailing_zeros() as usize
+    }
+
+    /// Amplitudes.
+    #[inline]
+    pub fn amps(&self) -> &[Complex] {
+        &self.amps
+    }
+
+    /// Squared norm `⟨ψ|ψ⟩`.
+    pub fn norm_sq(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sq()).sum()
+    }
+
+    /// Normalize to unit norm (no-op for the zero vector).
+    pub fn normalized(&self) -> Ket {
+        let n = self.norm_sq().sqrt();
+        if n < 1e-300 {
+            return self.clone();
+        }
+        Ket { amps: self.amps.iter().map(|&a| a / n).collect() }
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &Ket) -> Complex {
+        assert_eq!(self.dim(), other.dim(), "dimension mismatch");
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .fold(Complex::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+    }
+
+    /// Tensor product `self ⊗ other`.
+    pub fn tensor(&self, other: &Ket) -> Ket {
+        let mut amps = Vec::with_capacity(self.dim() * other.dim());
+        for &a in &self.amps {
+            for &b in &other.amps {
+                amps.push(a * b);
+            }
+        }
+        Ket { amps }
+    }
+
+    /// The projector `|ψ⟩⟨ψ|` as a density matrix.
+    pub fn density(&self) -> DensityMatrix {
+        let d = self.dim();
+        let mut m = Matrix::zeros(d, d);
+        for i in 0..d {
+            for j in 0..d {
+                m[(i, j)] = self.amps[i] * self.amps[j].conj();
+            }
+        }
+        DensityMatrix::new(m)
+    }
+}
+
+/// The Bell state `|Φ+⟩ = (|00⟩ + |11⟩)/√2` — the paper's ideal entangled
+/// state `|ψ⟩` in Eq. 5.
+pub fn bell_phi_plus() -> Ket {
+    let s = 1.0 / 2.0_f64.sqrt();
+    Ket::new(vec![c(s, 0.0), Complex::ZERO, Complex::ZERO, c(s, 0.0)])
+}
+
+/// The Bell state `|Φ−⟩ = (|00⟩ − |11⟩)/√2`.
+pub fn bell_phi_minus() -> Ket {
+    let s = 1.0 / 2.0_f64.sqrt();
+    Ket::new(vec![c(s, 0.0), Complex::ZERO, Complex::ZERO, c(-s, 0.0)])
+}
+
+/// The Bell state `|Ψ+⟩ = (|01⟩ + |10⟩)/√2`.
+pub fn bell_psi_plus() -> Ket {
+    let s = 1.0 / 2.0_f64.sqrt();
+    Ket::new(vec![Complex::ZERO, c(s, 0.0), c(s, 0.0), Complex::ZERO])
+}
+
+/// A density matrix: Hermitian, positive semi-definite, unit trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMatrix {
+    m: Matrix,
+}
+
+impl DensityMatrix {
+    /// Wrap a matrix, checking hermiticity and (approximate) unit trace.
+    ///
+    /// # Panics
+    /// Panics when the matrix is visibly not a density operator; positive
+    /// semidefiniteness is only validated on demand by [`Self::is_valid`]
+    /// (it needs an eigendecomposition).
+    pub fn new(m: Matrix) -> DensityMatrix {
+        assert!(m.is_square(), "density matrix must be square");
+        assert!(m.is_hermitian(1e-9), "density matrix must be Hermitian");
+        let tr = m.trace();
+        assert!(
+            (tr.re - 1.0).abs() < 1e-6 && tr.im.abs() < 1e-9,
+            "density matrix must have unit trace, got {tr}"
+        );
+        DensityMatrix { m }
+    }
+
+    /// The maximally mixed state `I/d` over `qubits` qubits.
+    pub fn maximally_mixed(qubits: usize) -> DensityMatrix {
+        let d = 1 << qubits;
+        DensityMatrix { m: Matrix::identity(d).scale_real(1.0 / d as f64) }
+    }
+
+    /// The underlying matrix.
+    #[inline]
+    pub fn matrix(&self) -> &Matrix {
+        &self.m
+    }
+
+    /// Hilbert-space dimension.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.m.rows()
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn qubits(&self) -> usize {
+        self.m.rows().trailing_zeros() as usize
+    }
+
+    /// Purity `Tr(ρ²)`; 1 for pure states, `1/d` for maximally mixed.
+    pub fn purity(&self) -> f64 {
+        (&self.m * &self.m).trace().re
+    }
+
+    /// Full validity check including positive semidefiniteness.
+    pub fn is_valid(&self, tol: f64) -> bool {
+        let eig = hermitian_eigen(&self.m);
+        eig.values.iter().all(|&v| v > -tol)
+    }
+
+    /// Expectation value `⟨ψ|ρ|ψ⟩` — the fidelity to a pure state.
+    pub fn expectation(&self, psi: &Ket) -> f64 {
+        let v = self.m.mul_vec(psi.amps());
+        psi.amps()
+            .iter()
+            .zip(&v)
+            .fold(Complex::ZERO, |acc, (a, b)| acc + a.conj() * *b)
+            .re
+    }
+
+    /// Tensor product of two density operators.
+    pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
+        DensityMatrix { m: self.m.kron(&other.m) }
+    }
+
+    /// Partial trace over one qubit of a register (qubit 0 is the most
+    /// significant / leftmost factor, matching [`Ket::tensor`] order).
+    pub fn partial_trace(&self, traced_qubit: usize) -> DensityMatrix {
+        let n = self.qubits();
+        assert!(traced_qubit < n, "qubit index out of range");
+        let keep = n - 1;
+        let dim_out = 1 << keep;
+        let mut out = Matrix::zeros(dim_out, dim_out);
+        // Map a (kept-index, traced-bit) pair onto a full index.
+        let insert_bit = |kept: usize, bit: usize| -> usize {
+            let pos = n - 1 - traced_qubit; // bit position from LSB
+            let high = (kept >> pos) << (pos + 1);
+            let low = kept & ((1 << pos) - 1);
+            high | (bit << pos) | low
+        };
+        for i in 0..dim_out {
+            for j in 0..dim_out {
+                let mut acc = Complex::ZERO;
+                for b in 0..2 {
+                    acc += self.m[(insert_bit(i, b), insert_bit(j, b))];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        DensityMatrix { m: out }
+    }
+
+    /// Von Neumann entropy `−Tr(ρ log₂ ρ)` in bits.
+    pub fn von_neumann_entropy(&self) -> f64 {
+        hermitian_eigen(&self.m)
+            .values
+            .iter()
+            .filter(|&&v| v > 1e-12)
+            .map(|&v| -v * v.log2())
+            .sum()
+    }
+
+    /// Wootters concurrence of a two-qubit state: an entanglement monotone
+    /// in `[0, 1]`, 1 for Bell states, 0 for separable states.
+    pub fn concurrence(&self) -> f64 {
+        assert_eq!(self.dim(), 4, "concurrence is defined for two qubits");
+        let yy = pauli::y().kron(&pauli::y());
+        // ρ̃ = (Y⊗Y) ρ* (Y⊗Y), with ρ* entrywise conjugation.
+        let mut conj = Matrix::zeros(4, 4);
+        for i in 0..4 {
+            for j in 0..4 {
+                conj[(i, j)] = self.m[(i, j)].conj();
+            }
+        }
+        let rho_tilde = &(&yy * &conj) * &yy;
+        let product = &self.m * &rho_tilde;
+        // Eigenvalues of ρρ̃ are real non-negative; C = max(0, √λ1−√λ2−√λ3−√λ4).
+        // ρρ̃ is not Hermitian in general, but it is similar to the Hermitian
+        // √ρ ρ̃ √ρ, so we eigendecompose that instead.
+        let sqrt_rho = crate::eigen::psd_sqrt(&self.m);
+        let herm = &(&sqrt_rho * &rho_tilde) * &sqrt_rho;
+        let _ = product;
+        let mut lambdas: Vec<f64> = hermitian_eigen(&herm)
+            .values
+            .iter()
+            .map(|&v| v.max(0.0).sqrt())
+            .collect();
+        lambdas.sort_by(|a, b| b.total_cmp(a));
+        (lambdas[0] - lambdas[1] - lambdas[2] - lambdas[3]).max(0.0)
+    }
+
+    /// Negativity of a two-qubit state: `(‖ρ^{T_B}‖₁ − 1)/2`, an
+    /// entanglement monotone that is 0.5 for Bell states.
+    pub fn negativity(&self) -> f64 {
+        assert_eq!(self.dim(), 4, "negativity implemented for two qubits");
+        // Partial transpose over the second qubit.
+        let mut pt = Matrix::zeros(4, 4);
+        for i0 in 0..2 {
+            for i1 in 0..2 {
+                for j0 in 0..2 {
+                    for j1 in 0..2 {
+                        // (i0 i1),(j0 j1) -> (i0 j1),(j0 i1)
+                        pt[(i0 * 2 + j1, j0 * 2 + i1)] = self.m[(i0 * 2 + i1, j0 * 2 + j1)];
+                    }
+                }
+            }
+        }
+        let trace_norm: f64 = hermitian_eigen(&pt).values.iter().map(|v| v.abs()).sum();
+        ((trace_norm - 1.0) / 2.0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_states() {
+        let k = Ket::basis(2, 3);
+        assert_eq!(k.dim(), 4);
+        assert_eq!(k.qubits(), 2);
+        assert_eq!(k.amps()[3], Complex::ONE);
+        assert!((k.norm_sq() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bell_state_is_normalized_and_entangled() {
+        let bell = bell_phi_plus();
+        assert!((bell.norm_sq() - 1.0).abs() < 1e-15);
+        let rho = bell.density();
+        assert!((rho.purity() - 1.0).abs() < 1e-12);
+        assert!((rho.concurrence() - 1.0).abs() < 1e-9);
+        assert!((rho.negativity() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bell_states_are_orthogonal() {
+        assert!(bell_phi_plus().inner(&bell_phi_minus()).abs() < 1e-15);
+        assert!(bell_phi_plus().inner(&bell_psi_plus()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn product_state_has_zero_entanglement() {
+        let k = Ket::basis(1, 0).tensor(&Ket::plus());
+        let rho = k.density();
+        assert!(rho.concurrence() < 1e-9);
+        assert!(rho.negativity() < 1e-9);
+    }
+
+    #[test]
+    fn tensor_dimensions_and_amplitudes() {
+        let a = Ket::plus();
+        let b = Ket::basis(1, 1);
+        let t = a.tensor(&b);
+        assert_eq!(t.dim(), 4);
+        // (|0⟩+|1⟩)/√2 ⊗ |1⟩ = (|01⟩ + |11⟩)/√2.
+        let s = 1.0 / 2.0_f64.sqrt();
+        assert!(t.amps()[1].approx_eq(c(s, 0.0), 1e-15));
+        assert!(t.amps()[3].approx_eq(c(s, 0.0), 1e-15));
+        assert_eq!(t.amps()[0], Complex::ZERO);
+    }
+
+    #[test]
+    fn density_of_pure_state_is_projector() {
+        let rho = Ket::plus().density();
+        let m = rho.matrix();
+        assert!((m * m).approx_eq(m, 1e-12), "projector: ρ² = ρ");
+        assert!(rho.is_valid(1e-12));
+    }
+
+    #[test]
+    fn maximally_mixed_properties() {
+        let rho = DensityMatrix::maximally_mixed(2);
+        assert!((rho.purity() - 0.25).abs() < 1e-12);
+        assert!((rho.von_neumann_entropy() - 2.0).abs() < 1e-9);
+        assert!(rho.concurrence() < 1e-9);
+    }
+
+    #[test]
+    fn expectation_against_pure_states() {
+        let bell = bell_phi_plus();
+        let rho = bell.density();
+        assert!((rho.expectation(&bell) - 1.0).abs() < 1e-12);
+        assert!(rho.expectation(&bell_phi_minus()).abs() < 1e-12);
+        // Mixed state: ⟨ψ|I/4|ψ⟩ = 1/4.
+        let mixed = DensityMatrix::maximally_mixed(2);
+        assert!((mixed.expectation(&bell) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_trace_of_bell_is_maximally_mixed() {
+        let rho = bell_phi_plus().density();
+        for q in 0..2 {
+            let reduced = rho.partial_trace(q);
+            assert_eq!(reduced.dim(), 2);
+            assert!(reduced.matrix().approx_eq(
+                &Matrix::identity(2).scale_real(0.5),
+                1e-12
+            ), "tracing qubit {q}");
+        }
+    }
+
+    #[test]
+    fn partial_trace_of_product_recovers_factor() {
+        let a = Ket::plus().density();
+        let b = Ket::basis(1, 1).density();
+        let joint = a.tensor(&b);
+        // Trace out qubit 1 (the second factor) -> recover a.
+        let ra = joint.partial_trace(1);
+        assert!(ra.matrix().approx_eq(a.matrix(), 1e-12));
+        // Trace out qubit 0 -> recover b.
+        let rb = joint.partial_trace(0);
+        assert!(rb.matrix().approx_eq(b.matrix(), 1e-12));
+    }
+
+    #[test]
+    fn entropy_of_pure_state_is_zero() {
+        assert!(bell_phi_plus().density().von_neumann_entropy() < 1e-9);
+    }
+
+    #[test]
+    fn entanglement_entropy_of_bell_half_is_one_bit() {
+        let reduced = bell_phi_plus().density().partial_trace(0);
+        assert!((reduced.von_neumann_entropy() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn werner_state_concurrence() {
+        // Werner state p|Φ+⟩⟨Φ+| + (1-p) I/4: concurrence = max(0, (3p-1)/2).
+        let bell = bell_phi_plus().density();
+        let mixed = DensityMatrix::maximally_mixed(2);
+        for p in [0.0, 0.2, 1.0 / 3.0, 0.5, 0.8, 1.0] {
+            let m = bell.matrix().scale_real(p) + mixed.matrix().scale_real(1.0 - p);
+            let rho = DensityMatrix::new(m);
+            let expect = ((3.0 * p - 1.0) / 2.0_f64).max(0.0);
+            assert!(
+                (rho.concurrence() - expect).abs() < 1e-8,
+                "p={p}: {} vs {expect}",
+                rho.concurrence()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unit trace")]
+    fn rejects_wrong_trace() {
+        DensityMatrix::new(Matrix::identity(2));
+    }
+
+    #[test]
+    fn normalized_ket() {
+        let k = Ket::new(vec![c(3.0, 0.0), c(4.0, 0.0)]).normalized();
+        assert!((k.norm_sq() - 1.0).abs() < 1e-15);
+        assert!((k.amps()[0].re - 0.6).abs() < 1e-15);
+    }
+}

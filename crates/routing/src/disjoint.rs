@@ -1,0 +1,224 @@
+//! Disjoint path sets — the survivability view of the network.
+//!
+//! The air-ground architecture routes *everything* through one HAP: a
+//! single platform failure (or one cloud) severs the region. Two measures:
+//!
+//! - **edge-disjoint** paths ([`edge_disjoint_routes`]): no shared link —
+//!   the right notion for link-level outages. Note it can still funnel
+//!   every path through one relay node (the HAP star has many edge-disjoint
+//!   inter-city paths, one per ground-station uplink).
+//! - **vertex-disjoint** paths ([`vertex_disjoint_routes`]): no shared
+//!   intermediate *node* — the platform-failure measure, and what
+//!   [`survivability`] reports. The HAP star scores exactly 1.
+//!
+//! Both are computed greedily: repeatedly take the metric-shortest path and
+//! delete its edges (resp. interior nodes). Greedy is a lower bound on the
+//! max-flow optimum (tests exercise both the exact cases and the caveat).
+
+use crate::dijkstra::dijkstra;
+use crate::graph::{Graph, NodeId};
+use crate::metrics::RouteMetric;
+use crate::Route;
+
+/// Up to `max_k` mutually edge-disjoint routes from `src` to `dst`, best
+/// (by `metric`) first. Returns fewer when the graph runs out of capacity.
+pub fn edge_disjoint_routes(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    metric: RouteMetric,
+    max_k: usize,
+) -> Vec<Route> {
+    let mut work = graph.clone();
+    let mut routes = Vec::new();
+    while routes.len() < max_k {
+        let Some(route) = dijkstra(&work, src, dst, metric) else {
+            break;
+        };
+        if route.hops() == 0 {
+            break; // src == dst: no meaningful disjoint set
+        }
+        for w in route.nodes.windows(2) {
+            work.remove_edge(w[0], w[1]);
+        }
+        routes.push(route);
+    }
+    routes
+}
+
+/// Up to `max_k` mutually vertex-disjoint routes (no shared intermediate
+/// node), best first. The platform-failure redundancy measure.
+pub fn vertex_disjoint_routes(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    metric: RouteMetric,
+    max_k: usize,
+) -> Vec<Route> {
+    let mut work = graph.clone();
+    let mut routes = Vec::new();
+    while routes.len() < max_k {
+        let Some(route) = dijkstra(&work, src, dst, metric) else {
+            break;
+        };
+        if route.hops() == 0 {
+            break;
+        }
+        // Delete every interior node (all its edges) plus the endpoints'
+        // used edges, so later paths share nothing but src/dst.
+        for w in route.nodes.windows(2) {
+            work.remove_edge(w[0], w[1]);
+        }
+        for &n in &route.nodes[1..route.nodes.len() - 1] {
+            let neighbours: Vec<NodeId> = work.neighbors(n).iter().map(|a| a.to).collect();
+            for m in neighbours {
+                work.remove_edge(n, m);
+            }
+        }
+        routes.push(route);
+    }
+    routes
+}
+
+/// The number of vertex-disjoint routes between `src` and `dst` found by
+/// the greedy construction — a lower bound on the true vertex connectivity,
+/// and the "how many platform failures can this pair survive" figure.
+///
+/// ```
+/// use qntn_routing::{survivability, Graph};
+///
+/// // A hub-and-spoke network (the air-ground shape): leaves have exactly
+/// // one vertex-disjoint path between them.
+/// let mut g = Graph::with_nodes(3);
+/// g.set_edge(0, 1, 0.9); // hub - leaf
+/// g.set_edge(0, 2, 0.9); // hub - leaf
+/// assert_eq!(survivability(&g, 1, 2), 1);
+/// ```
+pub fn survivability(graph: &Graph, src: NodeId, dst: NodeId) -> usize {
+    vertex_disjoint_routes(graph, src, dst, RouteMetric::HopCount, usize::MAX).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint 2-hop routes between 0 and 3 (a diamond).
+    fn diamond() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.set_edge(0, 1, 0.9);
+        g.set_edge(1, 3, 0.9);
+        g.set_edge(0, 2, 0.8);
+        g.set_edge(2, 3, 0.8);
+        g
+    }
+
+    #[test]
+    fn diamond_has_two_disjoint_routes() {
+        let g = diamond();
+        let routes = edge_disjoint_routes(&g, 0, 3, RouteMetric::PaperInverseEta, 10);
+        assert_eq!(routes.len(), 2);
+        // Best first.
+        assert!(routes[0].cost <= routes[1].cost);
+        // Disjointness: no shared undirected edge.
+        let edges = |r: &Route| -> Vec<(usize, usize)> {
+            r.nodes.windows(2).map(|w| (w[0].min(w[1]), w[0].max(w[1]))).collect()
+        };
+        let e0 = edges(&routes[0]);
+        for e in edges(&routes[1]) {
+            assert!(!e0.contains(&e), "shared edge {e:?}");
+        }
+        assert_eq!(survivability(&g, 0, 3), 2);
+    }
+
+    #[test]
+    fn star_hub_is_a_single_point_of_failure() {
+        // Leaves of a star have exactly one vertex-disjoint route between
+        // them — the air-ground architecture's shape.
+        let mut g = Graph::with_nodes(4);
+        for leaf in 1..4 {
+            g.set_edge(0, leaf, 0.9);
+        }
+        assert_eq!(survivability(&g, 1, 2), 1);
+        let routes = vertex_disjoint_routes(&g, 1, 2, RouteMetric::PaperInverseEta, 5);
+        assert_eq!(routes.len(), 1);
+        assert_eq!(routes[0].nodes, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn edge_disjoint_can_exceed_vertex_disjoint_through_a_hub() {
+        // The air-ground subtlety this module exists to expose: add fiber
+        // mates to the leaves and the hub admits many *edge*-disjoint
+        // routes, but still exactly one *vertex*-disjoint route.
+        let mut g = Graph::with_nodes(6);
+        // Hub 0; city A = {1, 2} fibered; city B = {3, 4} fibered; 5 spare.
+        g.set_edge(1, 2, 0.99);
+        g.set_edge(3, 4, 0.99);
+        for n in 1..5 {
+            g.set_edge(0, n, 0.9);
+        }
+        let edge_k = edge_disjoint_routes(&g, 1, 3, RouteMetric::HopCount, 10).len();
+        assert!(edge_k >= 2, "{edge_k}");
+        assert_eq!(survivability(&g, 1, 3), 1, "all paths share the hub node");
+    }
+
+    #[test]
+    fn disconnected_pair_has_zero() {
+        let mut g = diamond();
+        let iso = g.add_node();
+        assert_eq!(survivability(&g, 0, iso), 0);
+        assert!(edge_disjoint_routes(&g, 0, iso, RouteMetric::HopCount, 3).is_empty());
+    }
+
+    #[test]
+    fn max_k_truncates() {
+        let g = diamond();
+        let routes = edge_disjoint_routes(&g, 0, 3, RouteMetric::HopCount, 1);
+        assert_eq!(routes.len(), 1);
+    }
+
+    #[test]
+    fn parallel_relays_count() {
+        // k relays between two LAN gateways -> k vertex-disjoint routes:
+        // the space-ground architecture when k satellites are visible.
+        for k in 1..=4 {
+            let mut g = Graph::with_nodes(2 + k);
+            for relay in 0..k {
+                g.set_edge(0, 2 + relay, 0.8);
+                g.set_edge(1, 2 + relay, 0.8);
+            }
+            assert_eq!(survivability(&g, 0, 1), k, "k = {k}");
+            assert_eq!(
+                vertex_disjoint_routes(&g, 0, 1, RouteMetric::HopCount, 10).len(),
+                k
+            );
+        }
+    }
+
+    #[test]
+    fn direct_edge_plus_detour() {
+        let mut g = Graph::with_nodes(3);
+        g.set_edge(0, 1, 0.9);
+        g.set_edge(0, 2, 0.9);
+        g.set_edge(2, 1, 0.9);
+        assert_eq!(survivability(&g, 0, 1), 2);
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_never_overcounts() {
+        // A known trap graph: the shortest path uses the only bridge both
+        // disjoint paths would need split between them. Greedy may find 1
+        // where max-flow finds 2 — assert the lower-bound property only.
+        let mut g = Graph::with_nodes(6);
+        // Two outer paths 0-1-3-5 and 0-2-4-5, plus a middle shortcut
+        // 0-1-4-5 competing for edges.
+        g.set_edge(0, 1, 0.99);
+        g.set_edge(1, 3, 0.5);
+        g.set_edge(3, 5, 0.99);
+        g.set_edge(0, 2, 0.5);
+        g.set_edge(2, 4, 0.5);
+        g.set_edge(4, 5, 0.99);
+        g.set_edge(1, 4, 0.99);
+        let found = survivability(&g, 0, 5);
+        assert!(found >= 1 && found <= 2, "{found}");
+    }
+}

@@ -1,0 +1,253 @@
+//! Undirected transmissivity-weighted graphs.
+
+/// Node identifier: a dense index into the graph's adjacency table.
+pub type NodeId = usize;
+
+/// One adjacency entry: the neighbour and the link transmissivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Adjacency {
+    pub to: NodeId,
+    pub eta: f64,
+}
+
+/// An undirected graph whose edges carry transmissivities η ∈ [0, 1].
+///
+/// Edges are stored in both directions; adding an edge twice replaces the
+/// transmissivity (links in the simulator are re-evaluated every time step).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<Adjacency>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An empty graph with `n` nodes.
+    pub fn with_nodes(n: usize) -> Graph {
+        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Add one more node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Insert (or update) the undirected edge `u — v` with transmissivity
+    /// `eta`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes, self-loops, or `eta` outside [0, 1].
+    pub fn set_edge(&mut self, u: NodeId, v: NodeId, eta: f64) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert_ne!(u, v, "self-loops are not meaningful here");
+        assert!((0.0..=1.0).contains(&eta), "transmissivity must be in [0,1], got {eta}");
+        let mut inserted = false;
+        for half in [(u, v), (v, u)] {
+            let (a, b) = half;
+            match self.adj[a].iter_mut().find(|e| e.to == b) {
+                Some(e) => e.eta = eta,
+                None => {
+                    self.adj[a].push(Adjacency { to: b, eta });
+                    inserted = true;
+                }
+            }
+        }
+        if inserted {
+            self.edge_count += 1;
+        }
+    }
+
+    /// Remove the undirected edge `u — v` if present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        let before = self.adj[u].len();
+        self.adj[u].retain(|e| e.to != v);
+        self.adj[v].retain(|e| e.to != u);
+        if self.adj[u].len() != before {
+            self.edge_count -= 1;
+        }
+    }
+
+    /// The neighbours of `u`.
+    #[inline]
+    pub fn neighbors(&self, u: NodeId) -> &[Adjacency] {
+        &self.adj[u]
+    }
+
+    /// Transmissivity of edge `u — v`, if it exists.
+    pub fn eta(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.adj[u].iter().find(|e| e.to == v).map(|e| e.eta)
+    }
+
+    /// True when the edge exists.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.eta(u, v).is_some()
+    }
+
+    /// Iterate every undirected edge once as `(u, v, eta)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, f64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, list)| {
+            list.iter()
+                .filter(move |e| u < e.to)
+                .map(move |e| (u, e.to, e.eta))
+        })
+    }
+
+    /// A copy retaining only edges with `eta >= threshold` — how the
+    /// simulator applies the paper's transmissivity threshold.
+    pub fn thresholded(&self, threshold: f64) -> Graph {
+        let mut g = Graph::with_nodes(self.node_count());
+        for (u, v, eta) in self.edges() {
+            if eta >= threshold {
+                g.set_edge(u, v, eta);
+            }
+        }
+        g
+    }
+
+    /// Connected-component label for every node (BFS).
+    pub fn components(&self) -> Vec<usize> {
+        let n = self.node_count();
+        let mut label = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            label[start] = next;
+            queue.push_back(start);
+            while let Some(u) = queue.pop_front() {
+                for e in &self.adj[u] {
+                    if label[e.to] == usize::MAX {
+                        label[e.to] = next;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            next += 1;
+        }
+        label
+    }
+
+    /// True when `a` and `b` are in one connected component.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        let labels = self.components();
+        labels[a] == labels[b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::with_nodes(3);
+        g.set_edge(0, 1, 0.9);
+        g.set_edge(1, 2, 0.8);
+        g.set_edge(0, 2, 0.5);
+        g
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.neighbors(1).len(), 2);
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let g = triangle();
+        assert_eq!(g.eta(0, 1), Some(0.9));
+        assert_eq!(g.eta(1, 0), Some(0.9));
+        assert!(g.has_edge(2, 0));
+        assert_eq!(g.eta(0, 0), None);
+    }
+
+    #[test]
+    fn set_edge_updates_in_place() {
+        let mut g = triangle();
+        g.set_edge(0, 1, 0.4);
+        assert_eq!(g.edge_count(), 3, "update must not duplicate");
+        assert_eq!(g.eta(1, 0), Some(0.4));
+    }
+
+    #[test]
+    fn remove_edge() {
+        let mut g = triangle();
+        g.remove_edge(0, 2);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(0, 2));
+        // Removing again is a no-op.
+        g.remove_edge(0, 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_visits_each_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v, _) in edges {
+            assert!(u < v);
+        }
+    }
+
+    #[test]
+    fn thresholding_drops_weak_links() {
+        let g = triangle().thresholded(0.7);
+        assert_eq!(g.edge_count(), 2);
+        assert!(!g.has_edge(0, 2));
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = Graph::with_nodes(5);
+        g.set_edge(0, 1, 1.0);
+        g.set_edge(1, 2, 1.0);
+        g.set_edge(3, 4, 1.0);
+        let labels = g.components();
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert!(g.connected(0, 2));
+        assert!(!g.connected(2, 4));
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = triangle();
+        let id = g.add_node();
+        assert_eq!(id, 3);
+        assert_eq!(g.node_count(), 4);
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = Graph::with_nodes(2);
+        g.set_edge(1, 1, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "transmissivity must be in [0,1]")]
+    fn rejects_bad_eta() {
+        let mut g = Graph::with_nodes(2);
+        g.set_edge(0, 1, 1.5);
+    }
+}

@@ -1,0 +1,58 @@
+//! # qntn-routing — entanglement routing
+//!
+//! The paper routes entanglement with Bellman–Ford over the additive cost
+//! `1/(η + ε)` per link (its Algorithm 1, a distance-vector formulation
+//! with per-node routing tables). This crate implements:
+//!
+//! - [`graph::Graph`] — an undirected graph whose edges carry
+//!   transmissivities.
+//! - [`metrics::RouteMetric`] — the paper's cost, plus two baselines: the
+//!   max-product metric `−ln η` (which *exactly* maximizes end-to-end
+//!   transmissivity and hence fidelity) and plain hop count. Ablation A1
+//!   quantifies how far the paper's additive metric falls from optimal.
+//! - [`table`] — the paper's Algorithm 1, faithfully: INITIALIZE per node,
+//!   N−1 rounds of table exchange, UPDATE via neighbours' tables, and
+//!   next-hop path extraction.
+//! - [`bellman_ford()`] — classic single-source edge-relaxation Bellman–Ford
+//!   (what Algorithm 1 converges to; equivalence is tested).
+//! - [`dijkstra()`] — a binary-heap Dijkstra baseline (all costs here are
+//!   positive, so it must agree with Bellman–Ford; tested, including by
+//!   proptest in the crate's property suite).
+//!
+//! All routers return a [`Route`] carrying the node path, the accumulated
+//! metric cost and the end-to-end transmissivity product (what the
+//! amplitude-damping composition law says the path's effective η is).
+
+pub mod bellman_ford;
+pub mod dijkstra;
+pub mod disjoint;
+pub mod graph;
+pub mod metrics;
+pub mod table;
+
+pub use bellman_ford::bellman_ford;
+pub use dijkstra::dijkstra;
+pub use disjoint::{edge_disjoint_routes, survivability, vertex_disjoint_routes};
+pub use graph::{Graph, NodeId};
+pub use metrics::{RouteMetric, PAPER_EPSILON};
+pub use table::DistanceVectorRouter;
+
+/// A routed path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Node sequence from source to destination (inclusive).
+    pub nodes: Vec<NodeId>,
+    /// Total metric cost along the path.
+    pub cost: f64,
+    /// Product of link transmissivities along the path — the effective η of
+    /// the end-to-end amplitude-damping channel.
+    pub eta_product: f64,
+}
+
+impl Route {
+    /// Number of links in the path.
+    #[inline]
+    pub fn hops(&self) -> usize {
+        self.nodes.len().saturating_sub(1)
+    }
+}

@@ -1,0 +1,117 @@
+//! Routing cost metrics.
+//!
+//! The paper routes on the additive cost `1/(η + ε)` per link, with a small
+//! ε guarding against division by zero. That cost prefers high-η links but
+//! does **not** maximize the end-to-end transmissivity product (which is
+//! what fidelity actually depends on through AD-channel composition) — the
+//! max-product metric `−ln η` does. Both are provided, plus hop count;
+//! ablation A1 measures the gap.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's ε in `1/(η + ε)`.
+pub const PAPER_EPSILON: f64 = 1e-9;
+
+/// A per-link cost function over transmissivity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RouteMetric {
+    /// The paper's metric: `cost = 1/(η + ε)` (additive).
+    #[default]
+    PaperInverseEta,
+    /// Max-product metric: `cost = −ln(η)`; minimizing the sum maximizes
+    /// `Π η`, i.e. end-to-end fidelity.
+    NegLogEta,
+    /// Plain hop count: every link costs 1.
+    HopCount,
+}
+
+impl RouteMetric {
+    /// Cost of one link of transmissivity `eta`.
+    pub fn edge_cost(&self, eta: f64) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&eta));
+        match self {
+            RouteMetric::PaperInverseEta => 1.0 / (eta + PAPER_EPSILON),
+            // Clamp so η = 0 yields a huge-but-finite cost rather than ∞
+            // (mirrors the role of ε in the paper's metric).
+            RouteMetric::NegLogEta => -(eta.max(1e-12)).ln(),
+            RouteMetric::HopCount => 1.0,
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteMetric::PaperInverseEta => "1/(eta+eps) (paper)",
+            RouteMetric::NegLogEta => "-ln(eta) (max-product)",
+            RouteMetric::HopCount => "hop count",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_metric_values() {
+        let m = RouteMetric::PaperInverseEta;
+        assert!((m.edge_cost(1.0) - 1.0).abs() < 1e-6);
+        assert!((m.edge_cost(0.5) - 2.0).abs() < 1e-6);
+        // η = 0 guarded by ε.
+        assert!(m.edge_cost(0.0).is_finite());
+        assert!(m.edge_cost(0.0) > 1e8);
+    }
+
+    #[test]
+    fn metrics_decrease_with_eta() {
+        for m in [RouteMetric::PaperInverseEta, RouteMetric::NegLogEta] {
+            let mut prev = f64::INFINITY;
+            for eta in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+                let c = m.edge_cost(eta);
+                assert!(c < prev, "{m:?} at {eta}");
+                assert!(c >= 0.0);
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn neg_log_is_additive_over_products() {
+        let m = RouteMetric::NegLogEta;
+        let a = 0.8;
+        let b = 0.6;
+        assert!((m.edge_cost(a) + m.edge_cost(b) - m.edge_cost(a * b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_count_ignores_eta() {
+        let m = RouteMetric::HopCount;
+        assert_eq!(m.edge_cost(0.1), 1.0);
+        assert_eq!(m.edge_cost(0.99), 1.0);
+    }
+
+    #[test]
+    fn the_metrics_can_disagree() {
+        // Two links at 0.71 (product 0.5041) vs one at 0.5:
+        // - paper metric: 2/0.71 = 2.82 > 1/0.5 = 2.0 -> picks the single weak hop;
+        // - max-product: prefers the two-hop path (0.5041 > 0.5).
+        let paper = RouteMetric::PaperInverseEta;
+        let neglog = RouteMetric::NegLogEta;
+        let two_hops_paper = 2.0 * paper.edge_cost(0.71);
+        let one_hop_paper = paper.edge_cost(0.5);
+        assert!(two_hops_paper > one_hop_paper);
+        let two_hops_log = 2.0 * neglog.edge_cost(0.71);
+        let one_hop_log = neglog.edge_cost(0.5);
+        assert!(two_hops_log < one_hop_log);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            RouteMetric::PaperInverseEta.label(),
+            RouteMetric::NegLogEta.label(),
+            RouteMetric::HopCount.label(),
+        ];
+        assert_eq!(labels.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+    }
+}

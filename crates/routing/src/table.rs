@@ -1,0 +1,288 @@
+//! The paper's Algorithm 1: distance-vector Bellman–Ford with per-node
+//! routing tables.
+//!
+//! Faithful to the pseudocode:
+//!
+//! - `INITIALIZE(G, node)`: cost to self 0, cost to adjacent nodes
+//!   `1/(η+ε)` via the neighbour itself, ∞ elsewhere;
+//! - `UPDATE(G, node)`: for every edge `(u, v)`, relax
+//!   `node.R[u] > node.R[v] + v.R[u]` — note the use of *v's own table*,
+//!   the distance-vector exchange;
+//! - `BELLMANFORD`: initialize all nodes, then N−1 rounds of updates.
+//!
+//! Tables are read in place within a round ("step 2 is omitted because the
+//! simulation is carried out on the same machine and routing tables of
+//! other nodes are accessible", Section III-B). The `via` stored by an
+//! update is a *waypoint*, not necessarily a neighbour; path extraction
+//! resolves waypoints recursively. Convergence to the classic
+//! single-source answer is tested against [`crate::bellman_ford()`] and
+//! [`crate::dijkstra()`].
+
+use crate::graph::{Graph, NodeId};
+use crate::metrics::RouteMetric;
+use crate::Route;
+
+/// One routing-table entry: the cost to a destination and the waypoint to
+/// route through (`None` = unreachable; `via == dest` = directly adjacent).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableEntry {
+    pub cost: f64,
+    pub via: Option<NodeId>,
+}
+
+/// All nodes' routing tables after running Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct DistanceVectorRouter {
+    metric: RouteMetric,
+    /// `tables[node][dest]`.
+    tables: Vec<Vec<TableEntry>>,
+}
+
+impl DistanceVectorRouter {
+    /// Run the paper's BELLMANFORD over the whole graph.
+    pub fn build(graph: &Graph, metric: RouteMetric) -> DistanceVectorRouter {
+        let n = graph.node_count();
+        let mut tables: Vec<Vec<TableEntry>> = (0..n)
+            .map(|node| {
+                // INITIALIZE(G, node)
+                (0..n)
+                    .map(|i| {
+                        if i == node {
+                            TableEntry { cost: 0.0, via: Some(node) }
+                        } else if let Some(eta) = graph.eta(node, i) {
+                            TableEntry { cost: metric.edge_cost(eta), via: Some(i) }
+                        } else {
+                            TableEntry { cost: f64::INFINITY, via: None }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // N−1 rounds of UPDATE over every node.
+        for _round in 0..n.saturating_sub(1) {
+            let mut changed = false;
+            for node in 0..n {
+                for (eu, ev, _eta) in graph.edges() {
+                    // The pseudocode's edge set is undirected; relax both
+                    // orientations of (u, v).
+                    for (u, v) in [(eu, ev), (ev, eu)] {
+                        let via_cost = tables[node][v].cost + tables[v][u].cost;
+                        if tables[node][u].cost > via_cost {
+                            tables[node][u] = TableEntry { cost: via_cost, via: Some(v) };
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        DistanceVectorRouter { metric, tables }
+    }
+
+    /// The converged cost from `source` to `dest` (∞ when unreachable).
+    pub fn cost(&self, source: NodeId, dest: NodeId) -> f64 {
+        self.tables[source][dest].cost
+    }
+
+    /// One node's full table (for inspection / the quickstart example).
+    pub fn table(&self, node: NodeId) -> &[TableEntry] {
+        &self.tables[node]
+    }
+
+    /// Resolve the node sequence from `source` to `dest` by recursively
+    /// expanding waypoints, or `None` when unreachable.
+    pub fn path(&self, source: NodeId, dest: NodeId) -> Option<Vec<NodeId>> {
+        if source == dest {
+            return Some(vec![source]);
+        }
+        if !self.tables[source][dest].cost.is_finite() {
+            return None;
+        }
+        let mut path = vec![source];
+        let budget = self.tables.len() * self.tables.len();
+        self.expand(source, dest, &mut path, budget)?;
+        Some(path)
+    }
+
+    /// Append the nodes after `source` on the route to `dest`.
+    /// Returns the remaining recursion budget, or `None` on a corrupt table.
+    fn expand(&self, source: NodeId, dest: NodeId, path: &mut Vec<NodeId>, budget: usize) -> Option<usize> {
+        if budget == 0 {
+            return None;
+        }
+        let via = self.tables[source][dest].via?;
+        if via == dest {
+            // Direct entry from INITIALIZE: dest is adjacent.
+            path.push(dest);
+            return Some(budget - 1);
+        }
+        // Route source -> via -> dest; the second leg follows via's table.
+        let budget = self.expand(source, via, path, budget - 1)?;
+        self.expand(via, dest, path, budget)
+    }
+
+    /// Full [`Route`] (path + cost + η product) from `source` to `dest`.
+    pub fn route(&self, graph: &Graph, source: NodeId, dest: NodeId) -> Option<Route> {
+        let nodes = self.path(source, dest)?;
+        let mut eta_product = 1.0;
+        let mut cost = 0.0;
+        for w in nodes.windows(2) {
+            let eta = graph.eta(w[0], w[1])?;
+            eta_product *= eta;
+            cost += self.metric.edge_cost(eta);
+        }
+        Some(Route { nodes, cost, eta_product })
+    }
+
+    /// The metric the tables were built with.
+    pub fn metric(&self) -> RouteMetric {
+        self.metric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bellman_ford::bellman_ford_all;
+    use crate::dijkstra::dijkstra_all;
+
+    fn sample() -> Graph {
+        let mut g = Graph::with_nodes(6);
+        g.set_edge(0, 1, 0.9);
+        g.set_edge(1, 2, 0.8);
+        g.set_edge(2, 3, 0.95);
+        g.set_edge(0, 4, 0.7);
+        g.set_edge(4, 3, 0.7);
+        g.set_edge(1, 5, 0.99);
+        g
+    }
+
+    #[test]
+    fn self_cost_is_zero() {
+        let r = DistanceVectorRouter::build(&sample(), RouteMetric::PaperInverseEta);
+        for i in 0..6 {
+            assert_eq!(r.cost(i, i), 0.0);
+            assert_eq!(r.path(i, i), Some(vec![i]));
+        }
+    }
+
+    #[test]
+    fn adjacent_cost_matches_metric() {
+        let m = RouteMetric::PaperInverseEta;
+        let r = DistanceVectorRouter::build(&sample(), m);
+        assert!((r.cost(0, 1) - m.edge_cost(0.9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_classic_bellman_ford() {
+        let g = sample();
+        for metric in [
+            RouteMetric::PaperInverseEta,
+            RouteMetric::NegLogEta,
+            RouteMetric::HopCount,
+        ] {
+            let dv = DistanceVectorRouter::build(&g, metric);
+            for s in 0..6 {
+                let bf = bellman_ford_all(&g, s, metric);
+                let dj = dijkstra_all(&g, s, metric);
+                for d in 0..6 {
+                    assert!(
+                        (dv.cost(s, d) - bf.cost[d]).abs() < 1e-9,
+                        "{metric:?} {s}->{d}: dv {} bf {}",
+                        dv.cost(s, d),
+                        bf.cost[d]
+                    );
+                    assert!((dv.cost(s, d) - dj.cost[d]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_cost_consistency() {
+        let g = sample();
+        let m = RouteMetric::PaperInverseEta;
+        let dv = DistanceVectorRouter::build(&g, m);
+        for s in 0..6 {
+            for d in 0..6 {
+                let route = dv.route(&g, s, d).expect("connected graph");
+                assert!(
+                    (route.cost - dv.cost(s, d)).abs() < 1e-9,
+                    "{s}->{d}: extracted {} table {}",
+                    route.cost,
+                    dv.cost(s, d)
+                );
+                // Path endpoints are right and edges exist.
+                assert_eq!(*route.nodes.first().unwrap(), s);
+                assert_eq!(*route.nodes.last().unwrap(), d);
+                for w in route.nodes.windows(2) {
+                    assert!(g.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut g = sample();
+        let iso = g.add_node();
+        let dv = DistanceVectorRouter::build(&g, RouteMetric::PaperInverseEta);
+        assert!(dv.cost(0, iso).is_infinite());
+        assert!(dv.path(0, iso).is_none());
+        assert!(dv.route(&g, 0, iso).is_none());
+    }
+
+    #[test]
+    fn waypoint_expansion_handles_multi_hop() {
+        // A pure chain forces the via chain to be non-trivial.
+        let mut g = Graph::with_nodes(5);
+        for i in 0..4 {
+            g.set_edge(i, i + 1, 0.9);
+        }
+        let dv = DistanceVectorRouter::build(&g, RouteMetric::PaperInverseEta);
+        assert_eq!(dv.path(0, 4), Some(vec![0, 1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn tables_expose_entries() {
+        let dv = DistanceVectorRouter::build(&sample(), RouteMetric::PaperInverseEta);
+        let t = dv.table(0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t[0].via, Some(0));
+        assert_eq!(t[1].via, Some(1), "adjacent destination routes directly");
+        assert_eq!(dv.metric(), RouteMetric::PaperInverseEta);
+    }
+
+    #[test]
+    fn random_graph_equivalence() {
+        // Deterministic pseudo-random graph, 12 nodes, ~55% edge density.
+        let n = 12;
+        let mut g = Graph::with_nodes(n);
+        let mut seed = 42_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if next() < 0.55 {
+                    g.set_edge(u, v, 0.2 + 0.8 * next());
+                }
+            }
+        }
+        let m = RouteMetric::PaperInverseEta;
+        let dv = DistanceVectorRouter::build(&g, m);
+        for s in 0..n {
+            let bf = bellman_ford_all(&g, s, m);
+            for d in 0..n {
+                let (a, b) = (dv.cost(s, d), bf.cost[d]);
+                if a.is_finite() || b.is_finite() {
+                    assert!((a - b).abs() < 1e-9, "{s}->{d}: {a} vs {b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests: all three routers agree, and routes satisfy their
+//! structural invariants, over random graphs.
+
+use proptest::prelude::*;
+use qntn_routing::bellman_ford::bellman_ford_all;
+use qntn_routing::dijkstra::dijkstra_all;
+use qntn_routing::{bellman_ford, dijkstra, DistanceVectorRouter, Graph, RouteMetric};
+
+/// A random undirected graph: `n` nodes, edge probability `p`, etas in
+/// [0.05, 1.0].
+fn random_graph(max_nodes: usize) -> impl Strategy<Value = Graph> {
+    (2..max_nodes, 0.05..0.9f64, any::<u64>()).prop_map(|(n, p, seed)| {
+        let mut g = Graph::with_nodes(n);
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if next() < p {
+                    g.set_edge(u, v, 0.05 + 0.95 * next());
+                }
+            }
+        }
+        g
+    })
+}
+
+fn all_metrics() -> [RouteMetric; 3] {
+    [
+        RouteMetric::PaperInverseEta,
+        RouteMetric::NegLogEta,
+        RouteMetric::HopCount,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn three_routers_agree(g in random_graph(14)) {
+        for metric in all_metrics() {
+            let dv = DistanceVectorRouter::build(&g, metric);
+            for s in 0..g.node_count() {
+                let bf = bellman_ford_all(&g, s, metric);
+                let dj = dijkstra_all(&g, s, metric);
+                for d in 0..g.node_count() {
+                    let (a, b, c) = (bf.cost[d], dj.cost[d], dv.cost(s, d));
+                    if a.is_finite() {
+                        prop_assert!((a - b).abs() < 1e-9, "{s}->{d}: bf {a} dj {b}");
+                        prop_assert!((a - c).abs() < 1e-9, "{s}->{d}: bf {a} dv {c}");
+                    } else {
+                        prop_assert!(b.is_infinite() && c.is_infinite());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_structure_invariants(g in random_graph(14)) {
+        for metric in all_metrics() {
+            for s in 0..g.node_count() {
+                for d in 0..g.node_count() {
+                    let Some(r) = bellman_ford(&g, s, d, metric) else { continue };
+                    // Endpoints and edge existence.
+                    prop_assert_eq!(r.nodes[0], s);
+                    prop_assert_eq!(*r.nodes.last().unwrap(), d);
+                    let mut product = 1.0;
+                    let mut cost = 0.0;
+                    for w in r.nodes.windows(2) {
+                        let eta = g.eta(w[0], w[1]).expect("edge on path");
+                        product *= eta;
+                        cost += metric.edge_cost(eta);
+                    }
+                    prop_assert!((product - r.eta_product).abs() < 1e-9);
+                    prop_assert!((cost - r.cost).abs() < 1e-9);
+                    // Simple path: no repeated nodes.
+                    let mut sorted = r.nodes.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    prop_assert_eq!(sorted.len(), r.nodes.len(), "path revisits a node");
+                    // Eta product bounded by the best single edge... no:
+                    // bounded by 1 and by each edge's eta.
+                    prop_assert!(r.eta_product <= 1.0 + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neg_log_maximizes_eta_product(g in random_graph(10)) {
+        // The max-product route is at least as good (in eta) as the routes
+        // the other metrics find.
+        for s in 0..g.node_count() {
+            for d in 0..g.node_count() {
+                if s == d { continue }
+                let best = dijkstra(&g, s, d, RouteMetric::NegLogEta);
+                for metric in [RouteMetric::PaperInverseEta, RouteMetric::HopCount] {
+                    if let (Some(b), Some(r)) = (&best, dijkstra(&g, s, d, metric)) {
+                        prop_assert!(
+                            b.eta_product >= r.eta_product - 1e-9,
+                            "{s}->{d}: neglog {} vs {:?} {}",
+                            b.eta_product, metric, r.eta_product
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thresholding_is_monotone(g in random_graph(14), t1 in 0.0..1.0f64, t2 in 0.0..1.0f64) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let g_lo = g.thresholded(lo);
+        let g_hi = g.thresholded(hi);
+        prop_assert!(g_hi.edge_count() <= g_lo.edge_count());
+        // Every edge surviving the high threshold survives the low one.
+        for (u, v, eta) in g_hi.edges() {
+            prop_assert!(g_lo.has_edge(u, v));
+            prop_assert!(eta >= hi);
+        }
+        // Connectivity can only degrade as the threshold rises.
+        for s in 0..g.node_count() {
+            for d in 0..g.node_count() {
+                if g_hi.connected(s, d) {
+                    prop_assert!(g_lo.connected(s, d));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_nodes(g in random_graph(16)) {
+        let labels = g.components();
+        prop_assert_eq!(labels.len(), g.node_count());
+        // Edge endpoints share a label.
+        for (u, v, _) in g.edges() {
+            prop_assert_eq!(labels[u], labels[v]);
+        }
+        // Labels are dense from 0.
+        let max = labels.iter().copied().max().unwrap_or(0);
+        for l in 0..=max {
+            prop_assert!(labels.contains(&l));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Entanglement routing walkthrough: run the paper's Algorithm 1
+//! (distance-vector Bellman–Ford on cost 1/(η+ε)) on the live air-ground
+//! network, inspect a routing table, distribute a Bell pair end-to-end, and
+//! compare routing metrics.
+//!
+//! ```text
+//! cargo run --release --example entanglement_routing
+//! ```
+
+use qntn::core::architecture::AirGround;
+use qntn::core::scenario::Qntn;
+use qntn::net::entanglement::distribute;
+use qntn::net::SimConfig;
+use qntn::routing::{DistanceVectorRouter, RouteMetric};
+
+fn main() {
+    let scenario = Qntn::standard();
+    let air = AirGround::new(&scenario, SimConfig::default());
+    let sim = air.sim();
+    let graph = sim.active_graph_at(0);
+    println!(
+        "air-ground network: {} nodes, {} links above threshold",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // The paper's Algorithm 1: per-node routing tables, N-1 exchange rounds.
+    let router = DistanceVectorRouter::build(&graph, RouteMetric::PaperInverseEta);
+
+    // Inspect TTU-0's routing table entries toward a few destinations.
+    let ttu0 = sim.lan_members(0)[0];
+    let ornl0 = sim.lan_members(1)[0];
+    let epb0 = sim.lan_members(2)[0];
+    let hap = air.hap_node();
+    println!("\nrouting table of {} (node {ttu0}):", sim.hosts()[ttu0].name);
+    for &dest in &[ttu0, sim.lan_members(0)[1], hap, ornl0, epb0] {
+        let entry = router.table(ttu0)[dest];
+        println!(
+            "  -> {:<8} cost {:>10.4}  via {:?}",
+            sim.hosts()[dest].name,
+            entry.cost,
+            entry.via.map(|v| sim.hosts()[v].name.clone())
+        );
+    }
+
+    // Distribute a Bell pair TTU-0 -> EPB-0.
+    let d = distribute(&graph, ttu0, epb0, RouteMetric::PaperInverseEta)
+        .expect("air-ground always routes");
+    let names: Vec<&str> = d.path.iter().map(|&n| sim.hosts()[n].name.as_str()).collect();
+    println!("\nTTU-0 -> EPB-0 via {}", names.join(" -> "));
+    println!("  end-to-end transmissivity: {:.4}", d.eta);
+    println!("  entanglement fidelity:     {:.4} (sqrt convention)", d.fidelity);
+    println!("  Jozsa fidelity:            {:.4}", d.fidelity_jozsa);
+    println!("  mean per-link fidelity:    {:.4}", d.mean_link_fidelity);
+
+    // The Algorithm 1 route agrees with the classic formulations.
+    let table_route = router.route(&graph, ttu0, epb0).unwrap();
+    assert_eq!(table_route.nodes, d.path, "Algorithm 1 and classic BF agree");
+
+    // Metric comparison (ablation A1): the paper metric vs max-product.
+    println!("\nrouting-metric comparison for TTU-0 -> ORNL-0:");
+    for metric in [RouteMetric::PaperInverseEta, RouteMetric::NegLogEta, RouteMetric::HopCount] {
+        let d = distribute(&graph, ttu0, ornl0, metric).unwrap();
+        println!(
+            "  {:<24} hops {}  eta {:.4}  fidelity {:.4}",
+            metric.label(),
+            d.path.len() - 1,
+            d.eta,
+            d.fidelity
+        );
+    }
+    println!(
+        "\non the HAP star topology every metric finds the same 2-hop relay;\n\
+         the metrics diverge on satellite graphs with several candidates\n\
+         (see the `ablations` bench)."
+    );
+}

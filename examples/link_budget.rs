@@ -1,0 +1,77 @@
+//! Link-budget explorer: itemized transmissivity budgets for every link
+//! class in QNTN — fiber, HAP downlinks, satellite downlinks across the
+//! elevation range, and inter-satellite links.
+//!
+//! ```text
+//! cargo run --release --example link_budget
+//! ```
+
+use qntn::channel::fiber::FiberChannel;
+use qntn::channel::fso::{FsoChannel, FsoGeometry};
+use qntn::channel::params::FsoParams;
+use qntn::geo::look::slant_range_spherical;
+use qntn::net::linkeval::PAPER_THRESHOLD;
+
+fn main() {
+    let params = FsoParams::ideal();
+
+    println!("== Fiber (0.15 dB/km, the paper's Eq. 1) ==");
+    println!("{:>10} {:>10} {:>9}", "length_km", "loss_dB", "eta");
+    for km in [0.3, 1.0, 5.0, 10.0, 20.0, 50.0, 111.0, 134.0] {
+        let f = FiberChannel::paper(km * 1000.0);
+        let marker = if f.transmissivity() >= PAPER_THRESHOLD { "" } else { "   < threshold" };
+        println!("{km:>10.1} {:>10.2} {:>9.4}{marker}", f.loss_db(), f.transmissivity());
+    }
+    let reach = FiberChannel::max_length_for_threshold(0.15, PAPER_THRESHOLD) / 1000.0;
+    println!("fiber reach at eta >= 0.7: {reach:.1} km — direct inter-city fiber (~110-135 km) is hopeless\n");
+
+    println!("== Satellite downlink (500 km, 1.2 m apertures) vs elevation ==");
+    println!(
+        "{:>9} {:>9} {:>8} {:>8} {:>8} {:>8}  link?",
+        "elev_deg", "range_km", "eta_th", "eta_atm", "eta_eff", "eta"
+    );
+    let r_earth = 6_371_000.0;
+    for elev_deg in [10.0, 15.0, 20.0, 25.0, 30.0, 40.0, 50.0, 70.0, 90.0] {
+        let elev = f64::to_radians(elev_deg);
+        let range = slant_range_spherical(r_earth, 500_000.0, elev);
+        let geom = FsoGeometry::downlink(1.2, 500_000.0, 1.2, 300.0, range, elev);
+        let b = FsoChannel::new(geom, params).budget();
+        let up = if b.eta_total() >= PAPER_THRESHOLD { "yes" } else { "no" };
+        println!(
+            "{elev_deg:>9.0} {:>9.0} {:>8.4} {:>8.4} {:>8.4} {:>8.4}  {up}",
+            range / 1000.0,
+            b.eta_th,
+            b.eta_atm,
+            b.eta_eff,
+            b.eta_total()
+        );
+    }
+    println!("the 0.7 threshold is crossed in the mid-20s of elevation — the\neffective mask behind the paper's ~55% coverage at 108 satellites\n");
+
+    println!("== HAP downlink (30 km, 0.3 m transmit aperture) to the three cities ==");
+    for (city, range_km, elev_deg) in [
+        ("Cookeville (TTU)", 78.0, 22.5),
+        ("Oak Ridge (ORNL)", 80.0, 22.0),
+        ("Chattanooga (EPB)", 77.0, 22.8),
+    ] {
+        let geom = FsoGeometry::downlink(
+            0.3,
+            30_000.0,
+            1.2,
+            300.0,
+            range_km * 1000.0,
+            f64::to_radians(elev_deg),
+        );
+        let b = FsoChannel::new(geom, params).budget();
+        println!("{city}:\n{b}\n");
+    }
+
+    println!("== Inter-satellite links (vacuum) ==");
+    for (label, km) in [("cross-plane close approach", 500.0), ("adjacent planes", 2400.0), ("in-plane neighbours", 6871.0)] {
+        let geom = FsoGeometry::downlink(1.2, 500_000.0, 1.2, 500_000.0, km * 1000.0, 0.0);
+        let eta = FsoChannel::new(geom, params).transmissivity();
+        let up = if eta >= PAPER_THRESHOLD { "yes" } else { "no" };
+        println!("{label:<28} {km:>7.0} km  eta = {eta:.4}  link? {up}");
+    }
+    println!("\nISLs at the paper's spacing never qualify — every space-ground\npath is a single-satellite relay, which is why coverage needs 108 satellites.");
+}

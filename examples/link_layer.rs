@@ -1,0 +1,65 @@
+//! Link-layer extension: heralded entanglement generation with quantum
+//! memories — what "serving a request" costs once the paper's
+//! instantaneous-distribution assumption is dropped.
+//!
+//! ```text
+//! cargo run --release --example link_layer
+//! ```
+
+use qntn::net::HeraldedLink;
+
+fn main() {
+    println!(
+        "heralded relay: each link attempts pairs at 1 kHz, succeeds w.p. eta;\n\
+         the first pair waits in a T1 memory until the second link succeeds.\n"
+    );
+
+    // The two QNTN relay classes.
+    let cases = [
+        ("HAP relay (eta 0.96/0.96)", 0.96, 0.96),
+        ("satellite relay (eta 0.85/0.75)", 0.85, 0.75),
+        ("threshold-grade relay (0.70/0.70)", 0.70, 0.70),
+    ];
+
+    println!(
+        "{:<36} {:>12} {:>11} {:>10}",
+        "relay", "latency_ms", "storage_ms", "F_ideal"
+    );
+    for (name, ea, eb) in cases {
+        let link = HeraldedLink {
+            eta_a: ea,
+            eta_b: eb,
+            attempt_rate_hz: 1000.0,
+            memory_t1_s: 1e9, // effectively perfect memory
+        };
+        let s = link.simulate(3_000, 1);
+        println!(
+            "{name:<36} {:>12.3} {:>11.3} {:>10.4}",
+            s.mean_latency_s * 1000.0,
+            s.mean_storage_s * 1000.0,
+            s.ideal_fidelity
+        );
+    }
+
+    println!("\nmemory quality needed (satellite relay, 0.85/0.75 links):");
+    println!("{:>10} {:>13} {:>9} {:>9}", "T1_ms", "F_delivered", "F_ideal", "penalty");
+    let base = HeraldedLink { eta_a: 0.85, eta_b: 0.75, attempt_rate_hz: 1000.0, memory_t1_s: 1.0 };
+    for t1_ms in [100.0, 30.0, 10.0, 3.0, 1.0] {
+        let link = HeraldedLink { memory_t1_s: t1_ms / 1000.0, ..base };
+        let s = link.simulate(3_000, 2);
+        println!(
+            "{t1_ms:>10.0} {:>13.4} {:>9.4} {:>9.4}",
+            s.mean_fidelity,
+            s.ideal_fidelity,
+            s.ideal_fidelity - s.mean_fidelity
+        );
+    }
+
+    println!(
+        "\nat 1 kHz attempts the storage wait is ~1 ms, so T1 >= 30 ms keeps the\n\
+         memory penalty invisible; millisecond-class memories (early solid-state\n\
+         demos) already cost several points of fidelity. Slower sources scale\n\
+         the requirement linearly — the latency/memory budget, not the optics,\n\
+         is where the paper's instantaneous model is most optimistic."
+    );
+}

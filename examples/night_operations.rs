@@ -1,0 +1,61 @@
+//! Night-operations extension: what happens to both architectures when
+//! quantum links only work in darkness (as in every FSO quantum-link
+//! demonstration to date, Micius included).
+//!
+//! ```text
+//! cargo run --release --example night_operations
+//! ```
+
+use qntn::core::architecture::default_epoch;
+use qntn::core::experiments::night::NightOps;
+use qntn::core::scenario::Qntn;
+use qntn::net::SimConfig;
+use qntn::orbit::{sun_elevation, Twilight};
+
+fn main() {
+    let scenario = Qntn::standard();
+    let epoch = default_epoch();
+
+    // The sun over Cookeville across the simulated day.
+    println!("sun elevation over Cookeville (July 1, every 3 h):");
+    let site = scenario.lan_centroid(0).with_alt(300.0);
+    for k in 0..8 {
+        let at = epoch.plus_seconds(f64::from(k) * 10_800.0);
+        let el = sun_elevation(site, at).to_degrees();
+        let phase = if el > 0.0 {
+            "day"
+        } else if el > -18.0 {
+            "twilight"
+        } else {
+            "astronomical night"
+        };
+        println!("  t = {:>2} h UTC: {:>6.1}°  ({phase})", k * 3, el);
+    }
+
+    println!("\ncoverage under darkness gating (108 satellites vs 1 HAP):");
+    println!(
+        "{:<16} {:>7} | {:>13} {:>13} {:>13}",
+        "twilight", "dark_%", "space_nominal", "space_gated", "air_gated"
+    );
+    for (name, twilight) in [
+        ("horizon (0°)", Twilight::Horizon),
+        ("civil (−6°)", Twilight::Civil),
+        ("nautical (−12°)", Twilight::Nautical),
+        ("astro (−18°)", Twilight::Astronomical),
+    ] {
+        let r = NightOps { twilight, satellites: 108 }.run(&scenario, SimConfig::default());
+        println!(
+            "{name:<16} {:>7.2} | {:>13.2} {:>13.2} {:>13.2}",
+            r.dark_percent, r.space_nominal_percent, r.space_night_percent, r.air_night_percent
+        );
+    }
+
+    println!(
+        "\ndarkness gating caps *any* FSO architecture at the dark fraction of\n\
+         the day (~24% in a Tennessee summer under the astronomical rule):\n\
+         the air-ground architecture's 100% headline becomes ~24%, and the\n\
+         space-ground 55% becomes ~13%. The ordering survives, the factors\n\
+         don't — the strongest argument for the fiber/VBG alternatives the\n\
+         paper's introduction discusses."
+    );
+}

@@ -1,0 +1,84 @@
+//! Beyond Tennessee: the paper's stated goal is to "pave the way for other
+//! networks to be built based on our analysis". This example generates
+//! synthetic multi-city regions and asks how both architectures scale with
+//! region size and city count.
+//!
+//! ```text
+//! cargo run --release --example other_regions
+//! ```
+
+use qntn::core::architecture::{AirGround, SpaceGround};
+use qntn::core::experiments::fidelity::FidelityExperiment;
+use qntn::core::scenario::SyntheticRegion;
+use qntn::net::SimConfig;
+use qntn::orbit::PerturbationModel;
+
+fn main() {
+    let experiment = FidelityExperiment {
+        sampled_steps: 8,
+        requests_per_step: 30,
+        ..FidelityExperiment::quick()
+    };
+
+    println!("== one central HAP vs region radius (3 cities, seed 42) ==");
+    println!(
+        "{:>10} | {:>8} {:>9} | {:>8} {:>9}",
+        "radius_km", "air_srv%", "air_F", "spc_srv%", "spc_F"
+    );
+    for radius_km in [60.0, 100.0, 150.0, 220.0, 300.0, 400.0, 550.0] {
+        let region = SyntheticRegion {
+            region_radius_m: radius_km * 1000.0,
+            ..SyntheticRegion::tennessee_like()
+        };
+        let q = region.generate(42);
+        let air = AirGround::standard(&q);
+        let ra = experiment.run_air_ground(&air);
+        let space = SpaceGround::new(&q, 36, SimConfig::default(), PerturbationModel::TwoBody);
+        let rs = experiment.run_space_ground(&space);
+        println!(
+            "{radius_km:>10.0} | {:>8.1} {:>9.4} | {:>8.1} {:>9.4}",
+            ra.served_percent, ra.mean_fidelity, rs.served_percent, rs.mean_fidelity
+        );
+    }
+    println!(
+        "(the HAP's 1.2 m ground receivers keep its links above threshold to\n\
+         surprisingly long slants; what decays first is fidelity — from 0.99\n\
+         at 60 km to ~0.9 by a 300 km radius — and the served fraction only\n\
+         collapses once slant elevations sink into the thick atmosphere at\n\
+         several hundred km. The satellite numbers barely move: LEO coverage\n\
+         is regional by construction. Tennessee sits deep inside the HAP's\n\
+         comfort zone, which is exactly why the paper's comparison lands the\n\
+         way it does.)"
+    );
+
+    println!("\n== city count at fixed 100 km radius ==");
+    println!(
+        "{:>7} {:>7} | {:>8} {:>9} | {:>8}",
+        "cities", "nodes", "air_srv%", "air_F", "spc_srv%"
+    );
+    for cities in [2usize, 3, 4, 6] {
+        let region = SyntheticRegion {
+            cities,
+            nodes_per_city: 6,
+            ..SyntheticRegion::tennessee_like()
+        };
+        let q = region.generate(7);
+        let air = AirGround::standard(&q);
+        let ra = experiment.run_air_ground(&air);
+        let space = SpaceGround::new(&q, 36, SimConfig::default(), PerturbationModel::TwoBody);
+        let rs = experiment.run_space_ground(&space);
+        println!(
+            "{cities:>7} {:>7} | {:>8.1} {:>9.4} | {:>8.1}",
+            q.node_count(),
+            ra.served_percent,
+            ra.mean_fidelity,
+            rs.served_percent
+        );
+    }
+    println!(
+        "\nmore cities inside the same footprint cost the HAP nothing (star\n\
+         topology) and the constellation little (any relay covers the whole\n\
+         region at once) — the binding constraint is region *radius*, not\n\
+         city count."
+    );
+}

@@ -1,0 +1,52 @@
+//! Quickstart: build the QNTN scenario, evaluate both architectures with a
+//! light workload, and print a Table-III-style comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use qntn::core::architecture::{AirGround, SpaceGround};
+use qntn::core::experiments::fidelity::FidelityExperiment;
+use qntn::core::scenario::Qntn;
+use qntn::net::SimConfig;
+use qntn::orbit::PerturbationModel;
+
+fn main() {
+    // 1. The scenario: three Tennessee LANs (TTU, ORNL, EPB) + HAP position.
+    let scenario = Qntn::standard();
+    println!("QNTN scenario: {} ground nodes in {} LANs", scenario.node_count(), scenario.lans.len());
+    for (i, lan) in scenario.lans.iter().enumerate() {
+        let c = scenario.lan_centroid(i);
+        println!("  {}: {} nodes near ({:.3}, {:.3})", lan.name, lan.nodes.len(), c.lat_deg(), c.lon_deg());
+    }
+
+    // 2. Both architectures over one simulated day (30 s steps).
+    let config = SimConfig::default();
+    println!("\nbuilding air-ground architecture (1 HAP @ 30 km)...");
+    let air = AirGround::new(&scenario, config);
+    println!("building space-ground architecture (36 satellites @ 500 km)...");
+    let space = SpaceGround::new(&scenario, 36, config, PerturbationModel::TwoBody);
+
+    // 3. A light request workload (the full paper workload lives in the
+    //    `reproduce` binary: 100 requests x 100 time steps).
+    let experiment = FidelityExperiment {
+        sampled_steps: 12,
+        requests_per_step: 50,
+        ..FidelityExperiment::quick()
+    };
+    let air_report = experiment.run_air_ground(&air);
+    let space_report = experiment.run_space_ground(&space);
+
+    println!("\n{:<22} {:>10} {:>10} {:>11} {:>11}", "architecture", "coverage%", "served%", "F(end2end)", "F(per-link)");
+    for (name, r) in [("space-ground (36)", &space_report), ("air-ground (HAP)", &air_report)] {
+        println!(
+            "{:<22} {:>10.2} {:>10.2} {:>11.4} {:>11.4}",
+            name, r.coverage_percent, r.served_percent, r.mean_fidelity, r.mean_link_fidelity
+        );
+    }
+
+    println!(
+        "\nair-ground wins on all three metrics, as in the paper's Table III \
+         (run `reproduce table3` for the full 108-satellite workload)."
+    );
+}

@@ -1,0 +1,92 @@
+//! Repeater-chain extension: what the QNTN network would need to go beyond
+//! single-relay distances.
+//!
+//! The paper distributes raw pairs over one satellite/HAP bounce. For
+//! longer chains (e.g. a future multi-hop Tennessee→elsewhere backbone),
+//! repeaters swap entanglement at intermediate nodes and purify the
+//! degraded pairs. This example quantifies both primitives on the exact
+//! density-matrix machinery:
+//!
+//! ```text
+//! cargo run --release --example repeater_chain
+//! ```
+
+use qntn::quantum::channels::amplitude_damping;
+use qntn::quantum::fidelity::{bell_ad_sqrt_fidelity, fidelity_to_pure, sqrt_fidelity_to_pure};
+use qntn::quantum::protocols::{entanglement_swap, purify_bbpssw, teleport_fidelity, twirl_to_werner};
+use qntn::quantum::state::{bell_phi_plus, DensityMatrix, Ket};
+
+fn damped_pair(eta: f64) -> DensityMatrix {
+    amplitude_damping(eta)
+        .on_qubit(1, 2)
+        .apply(&bell_phi_plus().density())
+}
+
+fn main() {
+    let bell = bell_phi_plus();
+
+    println!("== Entanglement swapping: chain of equal links ==");
+    println!("{:>6} {:>12} {:>12} {:>12}", "links", "eta_per_link", "F_swapchain", "F_direct");
+    for eta in [0.95, 0.9, 0.85] {
+        let mut chain = damped_pair(eta);
+        let mut links = 1;
+        for _ in 0..3 {
+            chain = entanglement_swap(&chain, &damped_pair(eta));
+            links += 1;
+            let f_chain = sqrt_fidelity_to_pure(&chain, &bell);
+            let f_direct = bell_ad_sqrt_fidelity(eta.powi(links));
+            println!("{links:>6} {eta:>12.2} {f_chain:>12.4} {f_direct:>12.4}");
+        }
+    }
+    println!("(without purification, swapping tracks — never beats — the direct channel)");
+
+    println!("\n== BBPSSW purification of Werner pairs ==");
+    println!("{:>8} {:>10} {:>10} {:>8}", "F_in", "F_out", "p_succ", "gain");
+    let mixed = DensityMatrix::maximally_mixed(2);
+    for f_in in [0.55, 0.65, 0.75, 0.85, 0.95] {
+        let p = (4.0 * f_in - 1.0) / 3.0;
+        let rho = DensityMatrix::new(
+            bell.density().matrix().scale_real(p) + mixed.matrix().scale_real(1.0 - p),
+        );
+        let out = purify_bbpssw(&rho);
+        let f_out = fidelity_to_pure(&out.state, &bell);
+        println!(
+            "{f_in:>8.2} {f_out:>10.4} {:>10.4} {:>+8.4}",
+            out.success_probability,
+            f_out - f_in
+        );
+    }
+
+    println!("\n== Iterated purification (with Werner twirl, as BBPSSW prescribes) ==");
+    let p = (4.0 * 0.65 - 1.0) / 3.0;
+    let mut rho = DensityMatrix::new(
+        bell.density().matrix().scale_real(p) + mixed.matrix().scale_real(1.0 - p),
+    );
+    let mut total_pairs = 1.0;
+    for round in 1..=6 {
+        let out = purify_bbpssw(&twirl_to_werner(&rho));
+        total_pairs = total_pairs * 2.0 / out.success_probability;
+        rho = out.state;
+        println!(
+            "round {round}: F = {:.4}, ~{:.1} raw pairs consumed per output pair",
+            fidelity_to_pure(&rho, &bell),
+            total_pairs
+        );
+    }
+    println!("(omitting the twirl makes iteration *degrade* after one round — try it)");
+
+    println!("\n== Teleportation quality over QNTN resource pairs ==");
+    let psi = Ket::plus();
+    for (label, eta) in [
+        ("HAP 2-hop pair (eta 0.92)", 0.92),
+        ("satellite 2-hop pair (eta 0.63)", 0.63),
+        ("threshold-grade link (eta 0.70)", 0.70),
+    ] {
+        let f = teleport_fidelity(&psi, &damped_pair(eta));
+        println!("  {label:<34} teleport F = {f:.4}");
+    }
+    println!(
+        "\nteleporting at >0.90 fidelity (the 44-km record the paper cites)\n\
+         needs resource pairs at roughly eta >= 0.8 under this noise model."
+    );
+}

@@ -1,0 +1,107 @@
+//! Weather-sensitivity extension (the paper's future work, Section V):
+//! evaluate both architectures under named meteorological conditions (Kim
+//! visibility model) and under an abstract degradation multiplier, and
+//! watch the clear-sky headline numbers collapse.
+//!
+//! ```text
+//! cargo run --release --example weather_sensitivity
+//! ```
+
+use qntn::channel::fso::{FsoChannel, FsoGeometry};
+use qntn::channel::params::FsoParams;
+use qntn::channel::weather::{atmosphere_for_visibility, WeatherCondition};
+use qntn::core::architecture::{AirGround, SpaceGround};
+use qntn::core::experiments::fidelity::FidelityExperiment;
+use qntn::core::scenario::Qntn;
+use qntn::net::SimConfig;
+use qntn::orbit::PerturbationModel;
+
+fn main() {
+    let scenario = Qntn::standard();
+    let experiment = FidelityExperiment {
+        sampled_steps: 8,
+        requests_per_step: 40,
+        ..FidelityExperiment::quick()
+    };
+
+    println!("== named conditions (Kim visibility model, 810 nm) ==");
+    // Representative HAP downlink for the per-link column.
+    let hap_geom = FsoGeometry::downlink(0.3, 30_000.0, 1.2, 300.0, 78_000.0, 0.39);
+    let hap_eta = |fso: FsoParams| FsoChannel::new(hap_geom, fso).transmissivity();
+    println!(
+        "{:<32} {:>8} | {:>8} {:>9} | {:>8}",
+        "condition", "hap_eta", "air_srv%", "air_F", "spc_srv%"
+    );
+    let ideal = FsoParams::ideal();
+    let mut rows: Vec<(String, FsoParams)> =
+        vec![("paper ideal (calibrated)".into(), ideal)];
+    for condition in [
+        WeatherCondition::ExceptionallyClear,
+        WeatherCondition::Clear,
+        WeatherCondition::LightHaze,
+        WeatherCondition::Haze,
+        WeatherCondition::Mist,
+        WeatherCondition::LightFog,
+    ] {
+        rows.push((
+            condition.label().to_string(),
+            FsoParams {
+                atmosphere: atmosphere_for_visibility(condition.visibility_m(), ideal.wavelength_m),
+                ..ideal
+            },
+        ));
+    }
+    for (label, fso) in rows {
+        let config = SimConfig { fso, ..SimConfig::default() };
+        let air = AirGround::new(&scenario, config);
+        let ra = experiment.run_air_ground(&air);
+        let space = SpaceGround::new(&scenario, 36, config, PerturbationModel::TwoBody);
+        let rs = experiment.run_space_ground(&space);
+        println!(
+            "{:<32} {:>8.4} | {:>8.1} {:>9.4} | {:>8.1}",
+            label,
+            hap_eta(fso),
+            ra.served_percent,
+            ra.mean_fidelity,
+            rs.served_percent
+        );
+    }
+    println!(
+        "(real-sky extinction at 810 nm — even 'exceptionally clear' — sinks\n\
+         every link below the 0.7 threshold at these slant angles: the\n\
+         paper's 'ideal conditions' is the single strongest assumption in\n\
+         the study, stronger than the HAP stability it discusses)"
+    );
+
+    println!("\n== abstract degradation multiplier (extinction + HV-5/7 turbulence) ==");
+    println!(
+        "{:>8} | {:>9} {:>8} {:>9} | {:>9} {:>8} {:>9}",
+        "weather", "air_cov%", "air_srv%", "air_F", "spc_cov%", "spc_srv%", "spc_F"
+    );
+    for weather in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0] {
+        let config = SimConfig {
+            fso: FsoParams::ideal().with_weather(weather),
+            ..SimConfig::default()
+        };
+        let air = AirGround::new(&scenario, config);
+        let ra = experiment.run_air_ground(&air);
+        let space = SpaceGround::new(&scenario, 36, config, PerturbationModel::TwoBody);
+        let rs = experiment.run_space_ground(&space);
+        println!(
+            "{:>8.0} | {:>9.1} {:>8.1} {:>9.4} | {:>9.1} {:>8.1} {:>9.4}",
+            weather,
+            ra.coverage_percent,
+            ra.served_percent,
+            ra.mean_fidelity,
+            rs.coverage_percent,
+            rs.served_percent,
+            rs.mean_fidelity
+        );
+    }
+
+    println!(
+        "\nweather = 1 is the paper's 'perfect setup and ideal conditions';\n\
+         the air-ground architecture's advantage is contingent on clear\n\
+         skies — exactly the limitation its discussion (Section IV-D) flags."
+    );
+}

@@ -1,0 +1,44 @@
+//! # QNTN — a regional quantum network for Tennessee
+//!
+//! Umbrella crate for the QNTN reproduction. Re-exports every workspace
+//! crate under a stable prefix so examples and downstream users can write
+//! `use qntn::core::...` etc.
+//!
+//! The system reproduces the SC 2024 paper *"QNTN: Establishing a Regional
+//! Quantum Network in Tennessee"*: it compares a **space–ground**
+//! architecture (a LEO Walker-Delta constellation of 6–108 satellites) with
+//! an **air–ground** architecture (a single high-altitude platform at 30 km)
+//! for distributing entanglement between three metropolitan quantum LANs
+//! (Tennessee Tech, ORNL, and the EPB network in Chattanooga).
+//!
+//! ## Crate map
+//!
+//! - [`geo`] — geodesy: WGS-84, ECEF/ECI/ENU frames, elevation & slant range.
+//! - [`orbit`] — Keplerian propagation, Walker-Delta constellations,
+//!   ephemerides ("movement sheets"), visibility passes.
+//! - [`quantum`] — density matrices, Kraus channels, entanglement fidelity.
+//! - [`channel`] — fiber and free-space-optical transmissivity models.
+//! - [`routing`] — the paper's Bellman–Ford entanglement routing + baselines.
+//! - [`net`] — the discrete-time quantum network simulator.
+//! - [`core`] — the QNTN scenario, both architectures, and every experiment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qntn::core::scenario::Qntn;
+//! use qntn::core::architecture::AirGround;
+//! use qntn::core::experiments::fidelity::FidelityExperiment;
+//!
+//! let scenario = Qntn::standard();
+//! let arch = AirGround::standard(&scenario);
+//! let report = FidelityExperiment::quick().run_air_ground(&arch);
+//! assert!(report.mean_fidelity > 0.9);
+//! ```
+
+pub use qntn_channel as channel;
+pub use qntn_core as core;
+pub use qntn_geo as geo;
+pub use qntn_net as net;
+pub use qntn_orbit as orbit;
+pub use qntn_quantum as quantum;
+pub use qntn_routing as routing;

@@ -1,0 +1,69 @@
+//! Reproducibility: every experiment must be bit-stable across runs and
+//! across the rayon-parallel execution paths.
+
+use qntn::core::architecture::{AirGround, SpaceGround};
+use qntn::core::experiments::fidelity::FidelityExperiment;
+use qntn::core::experiments::fig5::FidelityCurve;
+use qntn::core::experiments::fig6::CoverageSweep;
+use qntn::core::scenario::Qntn;
+use qntn::net::requests::RequestWorkload;
+use qntn::net::SimConfig;
+use qntn::orbit::ephemeris::PAPER_STEP_S;
+use qntn::orbit::{Ephemeris, PerturbationModel};
+use qntn::geo::Epoch;
+
+#[test]
+fn fig5_curve_is_pure() {
+    let a = FidelityCurve::paper();
+    let b = FidelityCurve::paper();
+    assert_eq!(a.points.len(), b.points.len());
+    for (x, y) in a.points.iter().zip(&b.points) {
+        assert_eq!(x.fidelity, y.fidelity);
+    }
+}
+
+#[test]
+fn coverage_sweep_is_deterministic() {
+    let q = Qntn::standard();
+    let run = || {
+        CoverageSweep::run(&q, SimConfig::default(), &[12], PerturbationModel::TwoBody)
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.points[0].coverage_percent, b.points[0].coverage_percent);
+    assert_eq!(a.points[0].intervals, b.points[0].intervals);
+}
+
+#[test]
+fn parallel_ephemeris_generation_is_bitwise_stable() {
+    let props: Vec<_> = qntn::orbit::paper_constellation(8)
+        .into_iter()
+        .map(|k| qntn::orbit::Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+        .collect();
+    let a = Ephemeris::generate_many(&props, Epoch::J2000, PAPER_STEP_S, 3600.0);
+    let b = Ephemeris::generate_many(&props, Epoch::J2000, PAPER_STEP_S, 3600.0);
+    for (x, y) in a.iter().zip(&b) {
+        for (s, t) in x.samples().iter().zip(y.samples()) {
+            assert_eq!(s.ecef, t.ecef);
+        }
+    }
+}
+
+#[test]
+fn workloads_depend_only_on_seed() {
+    let q = Qntn::standard();
+    let air = AirGround::new(&q, SimConfig::default());
+    let w1 = RequestWorkload::generate(air.sim(), 50, 123);
+    let w2 = RequestWorkload::generate(air.sim(), 50, 123);
+    assert_eq!(w1.requests, w2.requests);
+}
+
+#[test]
+fn full_experiment_reports_are_stable() {
+    let q = Qntn::standard();
+    let e = FidelityExperiment::quick();
+    let arch = SpaceGround::new(&q, 12, SimConfig::default(), PerturbationModel::TwoBody);
+    let a = e.run_space_ground(&arch);
+    let b = e.run_space_ground(&arch);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.coverage_percent, b.coverage_percent);
+}

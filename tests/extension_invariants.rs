@@ -1,0 +1,93 @@
+//! Cross-checks *between* the extension experiments: each extension is
+//! tested in isolation in its own module; these tests assert the relations
+//! that must hold when they are combined.
+
+use qntn::core::architecture::AirGround;
+use qntn::core::experiments::congestion::CongestionSweep;
+use qntn::core::experiments::fidelity::FidelityExperiment;
+use qntn::core::experiments::night::NightOps;
+use qntn::core::experiments::purified_qkd;
+use qntn::core::experiments::stability::StabilitySweep;
+use qntn::core::scenario::Qntn;
+use qntn::net::SimConfig;
+use qntn::orbit::Twilight;
+use qntn::quantum::channels::amplitude_damping;
+use qntn::quantum::qkd::bbm92_key_fraction;
+use qntn::quantum::state::bell_phi_plus;
+
+/// Night-gated coverage can exceed neither the nominal coverage nor the
+/// dark fraction, under every twilight convention.
+#[test]
+fn night_gating_is_an_intersection() {
+    let q = Qntn::standard();
+    for twilight in [Twilight::Horizon, Twilight::Astronomical] {
+        let r = NightOps { twilight, satellites: 12 }.run(&q, SimConfig::default());
+        assert!(r.space_night_percent <= r.space_nominal_percent + 1e-9);
+        assert!(r.space_night_percent <= r.dark_percent + 1e-9);
+        assert!(r.air_night_percent <= r.dark_percent + 1e-9);
+    }
+}
+
+/// The stability sweep's zero-jitter point must agree with the plain
+/// air-ground experiment (same seed, same workload).
+#[test]
+fn zero_jitter_equals_baseline() {
+    let q = Qntn::standard();
+    let experiment = FidelityExperiment::quick();
+    let sweep = StabilitySweep::run(&q, &[0.0], experiment);
+    let baseline = experiment.run_air_ground(&AirGround::standard(&q));
+    let at_zero = &sweep.points[0].report;
+    assert_eq!(at_zero.stats, baseline.stats, "zero jitter must be the identity");
+}
+
+/// The congestion sweep's saturation point must reproduce the ideal model's
+/// 100 % service (the "infinite queue capacity" limit).
+#[test]
+fn congestion_limit_recovers_ideal_model() {
+    let q = Qntn::standard();
+    let sweep = CongestionSweep::run(&q, &[1e6], 80, 3);
+    assert!((sweep.points[0].served_percent - 100.0).abs() < 1e-9);
+    assert_eq!(sweep.points[0].congestion_percent, 0.0);
+}
+
+/// The purified-QKD pump's round-zero key fractions must agree with the
+/// QKD module evaluated directly on the same state.
+#[test]
+fn purified_qkd_round_zero_matches_qkd_module() {
+    for eta in [0.85, 0.92, 0.99] {
+        let out = purified_qkd::pump_until_key(eta, 0).expect("strong pairs carry raw key");
+        assert_eq!(out.rounds, 0);
+        let rho = amplitude_damping(eta).on_qubit(1, 2).apply(&bell_phi_plus().density());
+        let direct = bbm92_key_fraction(&rho);
+        assert!((out.key_fraction - direct).abs() < 1e-12, "eta {eta}");
+    }
+}
+
+/// Key-per-raw-pair can never exceed the raw key fraction of a perfect
+/// pair, and pumping strictly costs pairs.
+#[test]
+fn purification_economics_are_conservative() {
+    for eta in [0.55, 0.65, 0.75] {
+        if let Some(out) = purified_qkd::pump_until_key(eta, 8) {
+            assert!(out.key_per_raw_pair <= 1.0);
+            if out.rounds > 0 {
+                assert!(out.raw_pairs_per_output > 1.9, "{out:?}");
+                assert!(out.key_per_raw_pair < out.key_fraction);
+            }
+        }
+    }
+}
+
+/// Darkness fractions are ordered by twilight convention everywhere the
+/// night experiment reports them.
+#[test]
+fn twilight_ordering_in_reports() {
+    let q = Qntn::standard();
+    let config = SimConfig::default();
+    let horizon = NightOps { twilight: Twilight::Horizon, satellites: 6 }.run(&q, config);
+    let civil = NightOps { twilight: Twilight::Civil, satellites: 6 }.run(&q, config);
+    let astro = NightOps { twilight: Twilight::Astronomical, satellites: 6 }.run(&q, config);
+    assert!(horizon.dark_percent >= civil.dark_percent);
+    assert!(civil.dark_percent >= astro.dark_percent);
+    assert!(horizon.space_night_percent >= astro.space_night_percent);
+}

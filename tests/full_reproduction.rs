@@ -1,0 +1,107 @@
+//! Full paper-workload reproduction tests.
+//!
+//! These pin the headline numbers of EXPERIMENTS.md at the paper's full
+//! workload sizes. They take tens of seconds in debug builds, so they are
+//! `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release --test full_reproduction -- --ignored
+//! ```
+
+use qntn::core::architecture::{AirGround, SpaceGround};
+use qntn::core::experiments::fidelity::FidelityExperiment;
+use qntn::core::experiments::fig6::CoverageSweep;
+use qntn::core::experiments::sweep::{ConstellationSweep, SweepSettings};
+use qntn::core::scenario::Qntn;
+use qntn::net::SimConfig;
+use qntn::orbit::PerturbationModel;
+
+/// Fig. 6 at 108 satellites: the calibrated coverage within a point of the
+/// paper's 55.17 %.
+#[test]
+#[ignore = "full paper workload (~1 min in debug); run with --ignored"]
+fn full_coverage_sweep_matches_paper() {
+    let q = Qntn::standard();
+    let sweep = CoverageSweep::run(&q, SimConfig::default(), &[108], PerturbationModel::TwoBody);
+    let p = sweep.final_point().coverage_percent;
+    assert!(
+        (p - 55.17).abs() < 1.0,
+        "coverage at 108 satellites: {p}% (paper 55.17%)"
+    );
+    // Fragmented coverage: hundreds of distinct intervals across the day.
+    assert!(sweep.final_point().intervals > 100);
+}
+
+/// Fig. 6 shape: near-linear growth with constellation size.
+#[test]
+#[ignore = "full paper workload; run with --ignored"]
+fn full_coverage_shape_is_monotone_and_near_linear() {
+    let q = Qntn::standard();
+    let sizes = [6usize, 36, 72, 108];
+    let sweep = CoverageSweep::run(&q, SimConfig::default(), &sizes, PerturbationModel::TwoBody);
+    let pts: Vec<f64> = sweep.points.iter().map(|p| p.coverage_percent).collect();
+    assert!(pts.windows(2).all(|w| w[1] > w[0]), "{pts:?}");
+    // Per-satellite efficiency stays within a factor ~2 across the sweep
+    // (the paper's figure is close to a straight line through the origin).
+    let slope_lo = pts[0] / 6.0;
+    let slope_hi = pts[3] / 108.0;
+    assert!(slope_hi / slope_lo > 0.5 && slope_hi / slope_lo < 2.0, "{pts:?}");
+}
+
+/// Fig. 7/8 at 108 satellites: served within a few points of 57.75 %,
+/// fidelity conventions bracketing the paper's 0.96.
+#[test]
+#[ignore = "full paper workload (~1 min in debug); run with --ignored"]
+fn full_request_sweep_matches_paper() {
+    let q = Qntn::standard();
+    let sweep = ConstellationSweep::run(
+        &q,
+        SimConfig::default(),
+        &[108],
+        SweepSettings::paper(),
+        PerturbationModel::TwoBody,
+    );
+    let s = &sweep.final_point().stats;
+    assert!(
+        (s.served_percent() - 57.75).abs() < 5.0,
+        "served: {}% (paper 57.75%)",
+        s.served_percent()
+    );
+    assert!(
+        s.mean_fidelity < 0.96 && s.mean_link_fidelity > 0.90,
+        "fidelity conventions should bracket ~0.96: end2end {} per-link {}",
+        s.mean_fidelity,
+        s.mean_link_fidelity
+    );
+}
+
+/// Table III air-ground column: 100 % / 100 % / ≈0.98.
+#[test]
+#[ignore = "full paper workload; run with --ignored"]
+fn full_air_ground_matches_paper() {
+    let q = Qntn::standard();
+    let arch = AirGround::standard(&q);
+    let r = FidelityExperiment::paper().run_air_ground(&arch);
+    assert!((r.coverage_percent - 100.0).abs() < 1e-9);
+    assert!((r.served_percent - 100.0).abs() < 1e-9);
+    assert!((r.mean_fidelity - 0.98).abs() < 0.01, "fidelity {}", r.mean_fidelity);
+}
+
+/// The full Table III ordering at the paper's workload.
+#[test]
+#[ignore = "full paper workload (several minutes in debug); run with --ignored"]
+fn full_table3_ordering() {
+    let q = Qntn::standard();
+    let config = SimConfig::default();
+    let experiment = FidelityExperiment::paper();
+    let air = experiment.run_air_ground(&AirGround::new(&q, config));
+    let space = experiment.run_space_ground(&SpaceGround::new(
+        &q,
+        108,
+        config,
+        PerturbationModel::TwoBody,
+    ));
+    assert!(air.served_percent > space.served_percent + 30.0);
+    assert!(air.mean_fidelity > space.mean_fidelity);
+    assert!(air.mean_link_fidelity > space.mean_link_fidelity);
+}

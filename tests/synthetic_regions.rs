@@ -1,0 +1,76 @@
+//! Property tests over the synthetic-region generator: every generated
+//! scenario must satisfy the structural invariants the architectures rely
+//! on, for any seed and any sane parameterization.
+
+use proptest::prelude::*;
+use qntn::core::scenario::SyntheticRegion;
+use qntn::geo::{haversine_m, WGS84};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_regions_are_structurally_sound(
+        seed in any::<u64>(),
+        cities in 2usize..6,
+        nodes in 1usize..10,
+        radius_km in 40.0..250.0f64,
+    ) {
+        let region = SyntheticRegion {
+            cities,
+            nodes_per_city: nodes,
+            region_radius_m: radius_km * 1000.0,
+            ..SyntheticRegion::tennessee_like()
+        };
+        let q = region.generate(seed);
+
+        prop_assert_eq!(q.lans.len(), cities);
+        prop_assert_eq!(q.node_count(), cities * nodes);
+
+        let center = qntn::geo::Geodetic::from_deg(
+            region.center_lat_deg,
+            region.center_lon_deg,
+            0.0,
+        );
+        for (i, lan) in q.lans.iter().enumerate() {
+            // Campus compactness: nodes lie within the campus radius of the
+            // city centre, so within 2R of the node centroid.
+            let c = q.lan_centroid(i);
+            for n in &lan.nodes {
+                let d = haversine_m(*n, c, &WGS84);
+                prop_assert!(d <= 2.0 * region.campus_radius_m + 50.0, "campus spread {d}");
+                prop_assert!((n.alt_m - region.ground_alt_m).abs() < 1e-9);
+            }
+            // City inside the region (ring radius <= region radius + campus).
+            let dc = haversine_m(c, center, &WGS84);
+            prop_assert!(dc <= region.region_radius_m + region.campus_radius_m + 100.0);
+        }
+
+        // Cities mutually separated (ring placement guarantees it for
+        // sane parameters: minimum arc at 0.6*radius and >= 2 cities).
+        for i in 0..cities {
+            for j in (i + 1)..cities {
+                let d = haversine_m(q.lan_centroid(i), q.lan_centroid(j), &WGS84);
+                prop_assert!(d > 5_000.0, "{i}-{j} too close: {d}");
+            }
+        }
+
+        // HAP over the centroid, inside the region, at 30 km.
+        prop_assert!((q.hap.alt_m - 30_000.0).abs() < 1e-9);
+        let dh = haversine_m(q.hap.with_alt(0.0), center, &WGS84);
+        prop_assert!(dh <= region.region_radius_m + 1_000.0);
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in any::<u64>()) {
+        let region = SyntheticRegion::tennessee_like();
+        let a = region.generate(seed);
+        let b = region.generate(seed);
+        for (la, lb) in a.lans.iter().zip(&b.lans) {
+            for (na, nb) in la.nodes.iter().zip(&lb.nodes) {
+                prop_assert_eq!(na.lat, nb.lat);
+                prop_assert_eq!(na.lon, nb.lon);
+            }
+        }
+    }
+}
