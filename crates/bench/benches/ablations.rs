@@ -26,13 +26,22 @@ use qntn_routing::RouteMetric;
 
 fn ablation_routing_metric(c: &mut Criterion) {
     let scenario = Qntn::standard();
-    let arch = SpaceGround::new(&scenario, 36, SimConfig::default(), PerturbationModel::TwoBody);
+    let arch = SpaceGround::new(
+        &scenario,
+        36,
+        SimConfig::default(),
+        PerturbationModel::TwoBody,
+    );
     let steps = sample_steps(arch.sim().steps(), 12);
 
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         eprintln!("\n[A1 routing metric @ 36 sats, 12 steps x 40 req]");
-        for metric in [RouteMetric::PaperInverseEta, RouteMetric::NegLogEta, RouteMetric::HopCount] {
+        for metric in [
+            RouteMetric::PaperInverseEta,
+            RouteMetric::NegLogEta,
+            RouteMetric::HopCount,
+        ] {
             let s = sweep(arch.sim(), &steps, 40, 2024, metric);
             eprintln!(
                 "  {:<24} served {:>5.1}%  F_end2end {:.4}  eta {:.4}  hops {:.2}",
@@ -47,7 +56,11 @@ fn ablation_routing_metric(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_routing_metric");
     g.sample_size(10);
-    for metric in [RouteMetric::PaperInverseEta, RouteMetric::NegLogEta, RouteMetric::HopCount] {
+    for metric in [
+        RouteMetric::PaperInverseEta,
+        RouteMetric::NegLogEta,
+        RouteMetric::HopCount,
+    ] {
         g.bench_function(metric.label(), |b| {
             b.iter(|| black_box(sweep(arch.sim(), &steps, 40, 2024, metric).served))
         });
@@ -58,14 +71,24 @@ fn ablation_routing_metric(c: &mut Criterion) {
 fn ablation_elevation_mode(c: &mut Criterion) {
     let scenario = Qntn::standard();
     let geometric = SimConfig::default();
-    let fixed = SimConfig { fso: FsoParams::ideal_fixed_elevation(), ..SimConfig::default() };
+    let fixed = SimConfig {
+        fso: FsoParams::ideal_fixed_elevation(),
+        ..SimConfig::default()
+    };
 
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         eprintln!("\n[A2 elevation mode @ 12 sats, full-day coverage]");
-        for (name, cfg) in [("geometric", geometric), ("fixed pi/9 (paper's parameter)", fixed)] {
+        for (name, cfg) in [
+            ("geometric", geometric),
+            ("fixed pi/9 (paper's parameter)", fixed),
+        ] {
             let sweep = CoverageSweep::run(&scenario, cfg, &[12], PerturbationModel::TwoBody);
-            eprintln!("  {:<32} coverage {:>5.2}%", name, sweep.final_point().coverage_percent);
+            eprintln!(
+                "  {:<32} coverage {:>5.2}%",
+                name,
+                sweep.final_point().coverage_percent
+            );
         }
     });
 
@@ -103,7 +126,11 @@ fn ablation_propagation(c: &mut Criterion) {
             ("J2 secular", PerturbationModel::J2Secular),
         ] {
             let sweep = CoverageSweep::run(&scenario, SimConfig::default(), &[12], model);
-            eprintln!("  {:<12} coverage {:>5.2}%", name, sweep.final_point().coverage_percent);
+            eprintln!(
+                "  {:<12} coverage {:>5.2}%",
+                name,
+                sweep.final_point().coverage_percent
+            );
         }
     });
 
@@ -122,14 +149,20 @@ fn ablation_propagation(c: &mut Criterion) {
 
 fn ablation_weather(c: &mut Criterion) {
     let scenario = Qntn::standard();
-    let experiment =
-        FidelityExperiment { sampled_steps: 6, requests_per_step: 25, ..FidelityExperiment::quick() };
+    let experiment = FidelityExperiment {
+        sampled_steps: 6,
+        requests_per_step: 25,
+        ..FidelityExperiment::quick()
+    };
 
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         eprintln!("\n[weather sensitivity @ air-ground]");
         for w in [1.0, 4.0, 16.0] {
-            let cfg = SimConfig { fso: FsoParams::ideal().with_weather(w), ..SimConfig::default() };
+            let cfg = SimConfig {
+                fso: FsoParams::ideal().with_weather(w),
+                ..SimConfig::default()
+            };
             let air = qntn_core::architecture::AirGround::new(&scenario, cfg);
             let r = experiment.run_air_ground(&air);
             eprintln!(
@@ -142,7 +175,10 @@ fn ablation_weather(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_weather");
     g.sample_size(10);
     for w in [1.0_f64, 16.0] {
-        let cfg = SimConfig { fso: FsoParams::ideal().with_weather(w), ..SimConfig::default() };
+        let cfg = SimConfig {
+            fso: FsoParams::ideal().with_weather(w),
+            ..SimConfig::default()
+        };
         g.bench_function(format!("weather_x{w}"), |b| {
             let air = qntn_core::architecture::AirGround::new(&scenario, cfg);
             b.iter(|| black_box(experiment.run_air_ground(&air).served_percent))
@@ -159,8 +195,11 @@ fn ablation_night_ops(c: &mut Criterion) {
     static ONCE: Once = Once::new();
     ONCE.call_once(|| {
         eprintln!("\n[night ops @ 24 sats]");
-        let r = NightOps { twilight: Twilight::Astronomical, satellites: 24 }
-            .run(&scenario, SimConfig::default());
+        let r = NightOps {
+            twilight: Twilight::Astronomical,
+            satellites: 24,
+        }
+        .run(&scenario, SimConfig::default());
         eprintln!(
             "  dark {:.1}%  space nominal {:.2}% -> gated {:.2}%  air gated {:.2}%",
             r.dark_percent, r.space_nominal_percent, r.space_night_percent, r.air_night_percent
@@ -172,9 +211,12 @@ fn ablation_night_ops(c: &mut Criterion) {
     g.bench_function("astro_12sats", |b| {
         b.iter(|| {
             black_box(
-                NightOps { twilight: Twilight::Astronomical, satellites: 12 }
-                    .run(&scenario, SimConfig::default())
-                    .space_night_percent,
+                NightOps {
+                    twilight: Twilight::Astronomical,
+                    satellites: 12,
+                }
+                .run(&scenario, SimConfig::default())
+                .space_night_percent,
             )
         })
     });

@@ -22,7 +22,11 @@ fn ext_stability(c: &mut Criterion) {
     let mut g = c.benchmark_group("ext_stability");
     g.sample_size(10);
     g.bench_function("three_jitters_quick", |b| {
-        let exp = FidelityExperiment { sampled_steps: 2, requests_per_step: 10, ..FidelityExperiment::quick() };
+        let exp = FidelityExperiment {
+            sampled_steps: 2,
+            requests_per_step: 10,
+            ..FidelityExperiment::quick()
+        };
         b.iter(|| {
             black_box(
                 StabilitySweep::run(&q, black_box(&[0.0, 4.0, 16.0]), exp)
@@ -56,7 +60,11 @@ fn ext_qkd(c: &mut Criterion) {
     let mut g = c.benchmark_group("ext_qkd");
     g.sample_size(10);
     g.bench_function("air_ground_quick", |b| {
-        let exp = QkdExperiment { sampled_steps: 3, requests_per_step: 15, seed: 7 };
+        let exp = QkdExperiment {
+            sampled_steps: 3,
+            requests_per_step: 15,
+            seed: 7,
+        };
         b.iter(|| black_box(exp.run_air_ground(&air).mean_key_fraction))
     });
     g.bench_function("purification_pump_eta063", |b| {
@@ -68,7 +76,12 @@ fn ext_qkd(c: &mut Criterion) {
 fn ext_heralded(c: &mut Criterion) {
     let mut g = c.benchmark_group("ext_heralded");
     g.sample_size(10);
-    let link = HeraldedLink { eta_a: 0.8, eta_b: 0.7, attempt_rate_hz: 1000.0, memory_t1_s: 0.05 };
+    let link = HeraldedLink {
+        eta_a: 0.8,
+        eta_b: 0.7,
+        attempt_rate_hz: 1000.0,
+        memory_t1_s: 0.05,
+    };
     g.bench_function("simulate_200_deliveries", |b| {
         b.iter(|| black_box(link.simulate(200, 42).mean_fidelity))
     });

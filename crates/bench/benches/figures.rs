@@ -65,8 +65,11 @@ fn fig8_fidelity_sweep(c: &mut Criterion) {
     // plus the sweep's routing-heavy inner loop on a denser step sample.
     let mut g = c.benchmark_group("fig8_fidelity_sweep");
     g.sample_size(10);
-    let settings =
-        SweepSettings { sampled_steps: 16, requests_per_step: 25, ..SweepSettings::quick() };
+    let settings = SweepSettings {
+        sampled_steps: 16,
+        requests_per_step: 25,
+        ..SweepSettings::quick()
+    };
     g.bench_function("n18_16steps_25req", |b| {
         b.iter(|| {
             let sweep = ConstellationSweep::run(

@@ -8,7 +8,7 @@ use qntn_channel::params::FsoParams;
 use qntn_core::architecture::{AirGround, SpaceGround};
 use qntn_core::scenario::Qntn;
 use qntn_geo::{Epoch, Geodetic};
-use qntn_net::SimConfig;
+use qntn_net::{SimConfig, SweepEngine};
 use qntn_orbit::{kepler, Keplerian, PerturbationModel, Propagator};
 use qntn_quantum::channels::amplitude_damping;
 use qntn_quantum::eigen::hermitian_eigen;
@@ -101,7 +101,12 @@ fn network_kernels(c: &mut Criterion) {
     g.bench_function("graph_build_air_ground", |b| {
         b.iter(|| black_box(air.sim().active_graph_at(black_box(100)).edge_count()))
     });
-    let space = SpaceGround::new(&scenario, 36, SimConfig::default(), PerturbationModel::TwoBody);
+    let space = SpaceGround::new(
+        &scenario,
+        36,
+        SimConfig::default(),
+        PerturbationModel::TwoBody,
+    );
     g.bench_function("graph_build_space_36", |b| {
         b.iter(|| black_box(space.sim().active_graph_at(black_box(100)).edge_count()))
     });
@@ -120,12 +125,43 @@ fn network_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+fn sweep_engine_kernels(c: &mut Criterion) {
+    // The tentpole benchmark: a full day (2880 steps) of LAN-connectivity
+    // flags for the paper's 108-satellite constellation. `naive` rebuilds
+    // and re-evaluates every host pair at every step; `engine` is the
+    // contact-window-pruned, scratch-reusing SweepEngine path (its timing
+    // includes the window precompute). The engine must win by >= 2x even
+    // on one core, because the pruning — not the thread fan-out — carries
+    // the speedup.
+    let scenario = Qntn::standard();
+    let space = SpaceGround::standard(&scenario);
+    let sim = space.sim();
+    let mut g = c.benchmark_group("sweep_day_108");
+    g.sample_size(10);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            let flags: Vec<bool> = (0..sim.steps())
+                .map(|t| sim.lans_interconnected(&sim.active_graph_at(t)))
+                .collect();
+            black_box(flags.iter().filter(|&&f| f).count())
+        })
+    });
+    g.bench_function("engine", |b| {
+        b.iter(|| {
+            let flags = SweepEngine::new(sim).connectivity_flags();
+            black_box(flags.iter().filter(|&&f| f).count())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     microbench,
     orbit_kernels,
     quantum_kernels,
     protocol_kernels,
     channel_kernels,
-    network_kernels
+    network_kernels,
+    sweep_engine_kernels
 );
 criterion_main!(microbench);

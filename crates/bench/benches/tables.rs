@@ -59,7 +59,12 @@ fn architecture_construction(c: &mut Criterion) {
     });
     g.bench_function("space_ground_12sats_full_day", |b| {
         b.iter(|| {
-            let s = SpaceGround::new(&scenario, 12, SimConfig::default(), PerturbationModel::TwoBody);
+            let s = SpaceGround::new(
+                &scenario,
+                12,
+                SimConfig::default(),
+                PerturbationModel::TwoBody,
+            );
             black_box(s.sim().hosts().len())
         })
     });

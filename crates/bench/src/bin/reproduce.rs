@@ -57,8 +57,10 @@ artifacts:
   all         everything except export (default)
 
 flags:
-  --quick     reduced workloads (smoke test); default is the paper's sizes
-  --help      this text
+  --quick       reduced workloads (smoke test); default is the paper's sizes
+  --no-parallel run the daily sweeps on the sequential engine path
+                (bit-identical results; for debugging / single-core runs)
+  --help        this text
 ";
 
 fn main() {
@@ -67,11 +69,39 @@ fn main() {
         print!("{USAGE}");
         return;
     }
+    if let Some(flag) = args
+        .iter()
+        .find(|a| a.starts_with("--") && *a != "--quick" && *a != "--no-parallel")
+    {
+        eprintln!("error: unknown flag `{flag}`\n");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
     let quick = args.iter().any(|a| a == "--quick");
+    let parallel = !args.iter().any(|a| a == "--no-parallel");
     let artifact = args
         .iter()
         .find(|a| !a.starts_with("--"))
         .map_or("all", String::as_str);
+    const ARTIFACTS: [&str; 12] = [
+        "all",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "table1",
+        "table2",
+        "table3",
+        "topology",
+        "budgets",
+        "extensions",
+        "export",
+    ];
+    if !ARTIFACTS.contains(&artifact) {
+        eprintln!("error: unknown artifact `{artifact}`\n");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
 
     let scenario = Qntn::standard();
     let config = SimConfig::default();
@@ -94,10 +124,10 @@ fn main() {
         topology(&scenario, &config);
     }
     if run("fig6") {
-        fig6(&scenario, config, quick);
+        fig6(&scenario, config, quick, parallel);
     }
     if run("fig7") || run("fig8") {
-        fig78(&scenario, config, quick, artifact);
+        fig78(&scenario, config, quick, parallel, artifact);
     }
     if run("table3") {
         table3(&scenario, config, quick);
@@ -106,11 +136,11 @@ fn main() {
         extensions(&scenario, config, quick);
     }
     if artifact == "export" {
-        export(&scenario, config, quick);
+        export(&scenario, config, quick, parallel);
     }
 }
 
-fn export(scenario: &Qntn, config: SimConfig, quick: bool) {
+fn export(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
     use qntn_core::report;
     use std::fs;
     let dir = std::path::Path::new("out");
@@ -123,20 +153,45 @@ fn export(scenario: &Qntn, config: SimConfig, quick: bool) {
 
     write("fig5.csv", report::fig5_csv(&FidelityCurve::paper()));
 
-    let sizes = if quick { vec![6, 36, 108] } else { paper_constellation_sizes() };
-    let cov = CoverageSweep::run(scenario, config, &sizes, PerturbationModel::TwoBody);
+    let sizes = if quick {
+        vec![6, 36, 108]
+    } else {
+        paper_constellation_sizes()
+    };
+    let cov = CoverageSweep::run_with_options(
+        scenario,
+        config,
+        &sizes,
+        PerturbationModel::TwoBody,
+        parallel,
+    );
     write("fig6.csv", report::fig6_csv(&cov));
 
     let settings = if quick {
-        SweepSettings { sampled_steps: 20, requests_per_step: 25, ..SweepSettings::paper() }
+        SweepSettings {
+            sampled_steps: 20,
+            requests_per_step: 25,
+            ..SweepSettings::paper()
+        }
     } else {
         SweepSettings::paper()
     };
-    let sweep = ConstellationSweep::run(scenario, config, &sizes, settings, PerturbationModel::TwoBody);
+    let sweep = ConstellationSweep::run_with_options(
+        scenario,
+        config,
+        &sizes,
+        settings,
+        PerturbationModel::TwoBody,
+        parallel,
+    );
     write("fig7_fig8.csv", report::sweep_csv(&sweep));
 
     let experiment = if quick {
-        FidelityExperiment { sampled_steps: 20, requests_per_step: 25, ..FidelityExperiment::paper() }
+        FidelityExperiment {
+            sampled_steps: 20,
+            requests_per_step: 25,
+            ..FidelityExperiment::paper()
+        }
     } else {
         FidelityExperiment::paper()
     };
@@ -145,7 +200,10 @@ fn export(scenario: &Qntn, config: SimConfig, quick: bool) {
 
     let air = AirGround::new(scenario, config);
     let g = air.sim().active_graph_at(0);
-    write("topology_air_ground.dot", report::topology_dot(air.sim(), &g, "QNTN air-ground (t=0)"));
+    write(
+        "topology_air_ground.dot",
+        report::topology_dot(air.sim(), &g, "QNTN air-ground (t=0)"),
+    );
     let space = SpaceGround::new(scenario, 36, config, PerturbationModel::TwoBody);
     let g = space.sim().active_graph_at(0);
     write(
@@ -167,7 +225,12 @@ fn table1(scenario: &Qntn) {
     for lan in &scenario.lans {
         println!("{} ({} nodes):", lan.name, lan.nodes.len());
         for (k, n) in lan.nodes.iter().enumerate() {
-            println!("  {}-{k}: ({:.5}, {:.5})", lan.name, n.lat_deg(), n.lon_deg());
+            println!(
+                "  {}-{k}: ({:.5}, {:.5})",
+                lan.name,
+                n.lat_deg(),
+                n.lon_deg()
+            );
         }
     }
     println!(
@@ -251,10 +314,20 @@ fn topology(scenario: &Qntn, config: &SimConfig) {
     print!("{}", Snapshot::take(space.sim(), 0).render());
 }
 
-fn fig6(scenario: &Qntn, config: SimConfig, quick: bool) {
+fn fig6(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
     banner("Fig. 6 — coverage % vs number of satellites");
-    let sizes = if quick { vec![6, 36, 108] } else { paper_constellation_sizes() };
-    let sweep = CoverageSweep::run(scenario, config, &sizes, PerturbationModel::TwoBody);
+    let sizes = if quick {
+        vec![6, 36, 108]
+    } else {
+        paper_constellation_sizes()
+    };
+    let sweep = CoverageSweep::run_with_options(
+        scenario,
+        config,
+        &sizes,
+        PerturbationModel::TwoBody,
+        parallel,
+    );
     print!("{}", report::fig6_table(&sweep));
     println!(
         "# paper: 108 satellites -> 55.17% coverage; measured: {:.2}%",
@@ -262,16 +335,30 @@ fn fig6(scenario: &Qntn, config: SimConfig, quick: bool) {
     );
 }
 
-fn fig78(scenario: &Qntn, config: SimConfig, quick: bool, artifact: &str) {
+fn fig78(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool, artifact: &str) {
     banner("Fig. 7/8 — served requests and fidelity vs number of satellites");
-    let sizes = if quick { vec![6, 36, 108] } else { paper_constellation_sizes() };
+    let sizes = if quick {
+        vec![6, 36, 108]
+    } else {
+        paper_constellation_sizes()
+    };
     let settings = if quick {
-        SweepSettings { sampled_steps: 20, requests_per_step: 25, ..SweepSettings::paper() }
+        SweepSettings {
+            sampled_steps: 20,
+            requests_per_step: 25,
+            ..SweepSettings::paper()
+        }
     } else {
         SweepSettings::paper()
     };
-    let sweep =
-        ConstellationSweep::run(scenario, config, &sizes, settings, PerturbationModel::TwoBody);
+    let sweep = ConstellationSweep::run_with_options(
+        scenario,
+        config,
+        &sizes,
+        settings,
+        PerturbationModel::TwoBody,
+        parallel,
+    );
     print!("{}", report::sweep_table(&sweep));
     let served = ServedSeries::from_sweep(&sweep);
     let fid = FidelitySeries::from_sweep(&sweep);
@@ -317,12 +404,27 @@ fn extensions(scenario: &Qntn, _config: SimConfig, quick: bool) {
 
     banner("Extension: HAP pointing jitter (stability)");
     let experiment = if quick {
-        FidelityExperiment { sampled_steps: 2, requests_per_step: 20, ..FidelityExperiment::quick() }
+        FidelityExperiment {
+            sampled_steps: 2,
+            requests_per_step: 20,
+            ..FidelityExperiment::quick()
+        }
     } else {
-        FidelityExperiment { sampled_steps: 10, requests_per_step: 50, ..FidelityExperiment::paper() }
+        FidelityExperiment {
+            sampled_steps: 10,
+            requests_per_step: 50,
+            ..FidelityExperiment::paper()
+        }
     };
-    let sweep = StabilitySweep::run(scenario, &StabilitySweep::standard_jitters_urad(), experiment);
-    println!("{:>12} {:>9} {:>11} {:>9}", "jitter_urad", "served_%", "F_end2end", "mean_eta");
+    let sweep = StabilitySweep::run(
+        scenario,
+        &StabilitySweep::standard_jitters_urad(),
+        experiment,
+    );
+    println!(
+        "{:>12} {:>9} {:>11} {:>9}",
+        "jitter_urad", "served_%", "F_end2end", "mean_eta"
+    );
     for p in &sweep.points {
         println!(
             "{:>12.1} {:>9.2} {:>11.4} {:>9.4}",
@@ -339,7 +441,10 @@ fn extensions(scenario: &Qntn, _config: SimConfig, quick: bool) {
     let sweep = CongestionSweep::run(scenario, &rates, 100, 2024);
     println!("{:>10} {:>9} {:>13}", "rate_hz", "served_%", "congested_%");
     for p in &sweep.points {
-        println!("{:>10.2} {:>9.2} {:>13.2}", p.attempt_rate_hz, p.served_percent, p.congestion_percent);
+        println!(
+            "{:>10.2} {:>9.2} {:>13.2}",
+            p.attempt_rate_hz, p.served_percent, p.congestion_percent
+        );
     }
     println!(
         "# air-ground's 100% headline needs roughly {} pair-attempts/s per link at 100 simultaneous requests",
@@ -349,7 +454,11 @@ fn extensions(scenario: &Qntn, _config: SimConfig, quick: bool) {
     banner("Extension: QKD-grade service (BBM92 one-way key)");
     use qntn_core::experiments::qkd::QkdExperiment;
     let exp = if quick {
-        QkdExperiment { sampled_steps: 5, requests_per_step: 20, ..QkdExperiment::standard() }
+        QkdExperiment {
+            sampled_steps: 5,
+            requests_per_step: 20,
+            ..QkdExperiment::standard()
+        }
     } else {
         QkdExperiment::standard()
     };
@@ -362,7 +471,10 @@ fn extensions(scenario: &Qntn, _config: SimConfig, quick: bool) {
         PerturbationModel::TwoBody,
     );
     let rs = exp.run_space_ground(&space);
-    println!("{:>14} {:>8} {:>8} {:>12} {:>14}", "architecture", "served", "w/ key", "key-capable%", "mean key frac");
+    println!(
+        "{:>14} {:>8} {:>8} {:>12} {:>14}",
+        "architecture", "served", "w/ key", "key-capable%", "mean key frac"
+    );
     for (name, r) in [("space-ground", &rs), ("air-ground", &ra)] {
         println!(
             "{name:>14} {:>8} {:>8} {:>12.2} {:>14.4}",
@@ -386,7 +498,10 @@ fn extensions(scenario: &Qntn, _config: SimConfig, quick: bool) {
                 "{eta:>9.2} {:>7} {:>10.4} {:>16.1} {:>16.4}",
                 o.rounds, o.key_fraction, o.raw_pairs_per_output, o.key_per_raw_pair
             ),
-            None => println!("{eta:>9.2} {:>7} {:>10} {:>16} {:>16}", "-", "dead", "-", "-"),
+            None => println!(
+                "{eta:>9.2} {:>7} {:>10} {:>16} {:>16}",
+                "-", "dead", "-", "-"
+            ),
         }
     }
     println!("# BBPSSW+twirl rescues satellite-path key at a multi-pair price");
@@ -405,7 +520,12 @@ fn extensions(scenario: &Qntn, _config: SimConfig, quick: bool) {
         ("satellite", 0.75, 0.75, 0.05),
         ("satellite", 0.75, 0.75, 0.005),
     ] {
-        let link = HeraldedLink { eta_a: ea, eta_b: eb, attempt_rate_hz: 1000.0, memory_t1_s: t1 };
+        let link = HeraldedLink {
+            eta_a: ea,
+            eta_b: eb,
+            attempt_rate_hz: 1000.0,
+            memory_t1_s: t1,
+        };
         let stats = link.simulate(trials, 2024);
         println!(
             "{name:>12} {ea:>7.2} {eb:>7.2} {t1:>10.3} {:>12.3} {:>11.4} {:>9.4}",
@@ -419,7 +539,11 @@ fn extensions(scenario: &Qntn, _config: SimConfig, quick: bool) {
     banner("Extension: survivability (vertex-disjoint inter-city paths)");
     use qntn_core::experiments::survivability::SurvivabilityExperiment;
     let surv = if quick {
-        SurvivabilityExperiment { sampled_steps: 5, pairs_per_step: 10, ..SurvivabilityExperiment::standard() }
+        SurvivabilityExperiment {
+            sampled_steps: 5,
+            pairs_per_step: 10,
+            ..SurvivabilityExperiment::standard()
+        }
     } else {
         SurvivabilityExperiment::standard()
     };
@@ -447,9 +571,18 @@ fn extensions(scenario: &Qntn, _config: SimConfig, quick: bool) {
     banner("Extension: demand alignment (business-hours weighting)");
     use qntn_core::experiments::demand;
     let r = demand::analyze(scenario, SimConfig::default(), if quick { 24 } else { 108 });
-    println!("space-ground coverage:            {:.2}% plain, {:.2}% demand-weighted", r.space_percent, r.space_weighted_percent);
-    println!("space-ground night-gated:         {:.2}% demand-weighted", r.space_night_weighted_percent);
-    println!("air-ground night-gated:           {:.2}% demand-weighted", r.air_night_weighted_percent);
+    println!(
+        "space-ground coverage:            {:.2}% plain, {:.2}% demand-weighted",
+        r.space_percent, r.space_weighted_percent
+    );
+    println!(
+        "space-ground night-gated:         {:.2}% demand-weighted",
+        r.space_night_weighted_percent
+    );
+    println!(
+        "air-ground night-gated:           {:.2}% demand-weighted",
+        r.air_night_weighted_percent
+    );
     println!("# darkness-gated quantum service is anti-correlated with demand");
 
     banner("Extension: calibration sensitivity (coverage response)");

@@ -27,14 +27,23 @@ pub struct Atmosphere {
 impl Atmosphere {
     /// Construct; panics on non-physical inputs.
     pub fn new(sea_level_extinction_per_m: f64, scale_height_m: f64) -> Atmosphere {
-        assert!(sea_level_extinction_per_m >= 0.0, "extinction must be non-negative");
+        assert!(
+            sea_level_extinction_per_m >= 0.0,
+            "extinction must be non-negative"
+        );
         assert!(scale_height_m > 0.0, "scale height must be positive");
-        Atmosphere { sea_level_extinction_per_m, scale_height_m }
+        Atmosphere {
+            sea_level_extinction_per_m,
+            scale_height_m,
+        }
     }
 
     /// A vacuum (for inter-satellite links).
     pub fn vacuum() -> Atmosphere {
-        Atmosphere { sea_level_extinction_per_m: 0.0, scale_height_m: 1.0 }
+        Atmosphere {
+            sea_level_extinction_per_m: 0.0,
+            scale_height_m: 1.0,
+        }
     }
 
     /// Extinction coefficient at altitude `h_m`, 1/m.
@@ -47,9 +56,7 @@ impl Atmosphere {
     pub fn zenith_optical_depth(&self, h_a: f64, h_b: f64) -> f64 {
         let (lo, hi) = if h_a <= h_b { (h_a, h_b) } else { (h_b, h_a) };
         let h = self.scale_height_m;
-        self.sea_level_extinction_per_m
-            * h
-            * ((-lo.max(0.0) / h).exp() - (-hi.max(0.0) / h).exp())
+        self.sea_level_extinction_per_m * h * ((-lo.max(0.0) / h).exp() - (-hi.max(0.0) / h).exp())
     }
 
     /// Slant-path optical depth at elevation `elev` (radians above horizon).
@@ -98,7 +105,8 @@ mod tests {
             a.zenith_optical_depth(30_000.0, 0.0)
         );
         let whole = a.zenith_optical_depth(0.0, 500_000.0);
-        let split = a.zenith_optical_depth(0.0, 30_000.0) + a.zenith_optical_depth(30_000.0, 500_000.0);
+        let split =
+            a.zenith_optical_depth(0.0, 30_000.0) + a.zenith_optical_depth(30_000.0, 500_000.0);
         assert!((whole - split).abs() < 1e-15);
     }
 

@@ -53,7 +53,10 @@ impl std::fmt::Display for LinkBudget {
         writeln!(
             f,
             "  beam: w0 = {:.3} m -> diffraction spot {:.3} m, turbulence x{:.3} -> {:.3} m",
-            self.beam_waist_m, self.diffraction_spot_m, self.turbulence_spread, self.long_term_spot_m
+            self.beam_waist_m,
+            self.diffraction_spot_m,
+            self.turbulence_spread,
+            self.long_term_spot_m
         )?;
         writeln!(
             f,

@@ -42,8 +42,14 @@ impl FiberChannel {
     /// A fiber with an explicit attenuation.
     pub fn new(length_m: f64, attenuation_db_per_km: f64) -> FiberChannel {
         assert!(length_m >= 0.0, "length must be non-negative");
-        assert!(attenuation_db_per_km >= 0.0, "attenuation must be non-negative");
-        FiberChannel { length_m, attenuation_db_per_km }
+        assert!(
+            attenuation_db_per_km >= 0.0,
+            "attenuation must be non-negative"
+        );
+        FiberChannel {
+            length_m,
+            attenuation_db_per_km,
+        }
     }
 
     /// Transmissivity `η = e^{−αl}` (paper Eq. 1).

@@ -340,19 +340,19 @@ mod tests {
         let clean = FsoChannel::new(geom, FsoParams::ideal()).transmissivity();
         let mut prev = clean;
         for sigma in [1e-6, 5e-6, 2e-5, 1e-4] {
-            let eta = FsoChannel::new(
-                geom,
-                FsoParams::ideal().with_pointing_jitter(sigma),
-            )
-            .transmissivity();
+            let eta = FsoChannel::new(geom, FsoParams::ideal().with_pointing_jitter(sigma))
+                .transmissivity();
             assert!(eta <= prev + 1e-12, "sigma {sigma}");
             prev = eta;
         }
         // Microradian-class jitter is harmless; 100 urad over 78 km is not.
-        let tiny = FsoChannel::new(geom, FsoParams::ideal().with_pointing_jitter(1e-6))
-            .transmissivity();
+        let tiny =
+            FsoChannel::new(geom, FsoParams::ideal().with_pointing_jitter(1e-6)).transmissivity();
         assert!((tiny - clean).abs() < 1e-3);
-        assert!(prev < clean * 0.8, "100 urad should hurt: {prev} vs {clean}");
+        assert!(
+            prev < clean * 0.8,
+            "100 urad should hurt: {prev} vs {clean}"
+        );
     }
 
     #[test]

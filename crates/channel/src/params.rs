@@ -52,7 +52,11 @@ pub struct ApertureSet {
 impl ApertureSet {
     /// The paper's values: 120 cm satellites & ground, 30 cm HAPs.
     pub fn paper() -> ApertureSet {
-        ApertureSet { satellite_m: 1.2, ground_m: 1.2, hap_m: 0.3 }
+        ApertureSet {
+            satellite_m: 1.2,
+            ground_m: 1.2,
+            hap_m: 0.3,
+        }
     }
 }
 
@@ -100,7 +104,10 @@ impl FsoParams {
     /// station-keeping error), for the stability extension.
     pub fn with_pointing_jitter(self, sigma_rad: f64) -> FsoParams {
         assert!(sigma_rad >= 0.0, "jitter must be non-negative");
-        FsoParams { pointing_jitter_rad: sigma_rad, ..self }
+        FsoParams {
+            pointing_jitter_rad: sigma_rad,
+            ..self
+        }
     }
 
     /// The ideal set but with the paper's fixed π/9 elevation convention.
@@ -157,7 +164,10 @@ mod tests {
     fn ideal_params_sane() {
         let p = FsoParams::ideal();
         assert!(p.receiver_efficiency > 0.9 && p.receiver_efficiency <= 1.0);
-        assert!(p.turbulence.scale < 1.0, "ideal weather is calmer than HV-5/7");
+        assert!(
+            p.turbulence.scale < 1.0,
+            "ideal weather is calmer than HV-5/7"
+        );
         assert!((p.wavenumber() - std::f64::consts::TAU / 810e-9).abs() < 1.0);
         assert_eq!(p.elevation_mode, ElevationMode::Geometric);
     }
@@ -175,10 +185,12 @@ mod tests {
     fn weather_scaling() {
         let p = FsoParams::ideal().with_weather(3.0);
         let base = FsoParams::ideal();
-        assert!((p.atmosphere.sea_level_extinction_per_m
-            - 3.0 * base.atmosphere.sea_level_extinction_per_m)
-            .abs()
-            < 1e-18);
+        assert!(
+            (p.atmosphere.sea_level_extinction_per_m
+                - 3.0 * base.atmosphere.sea_level_extinction_per_m)
+                .abs()
+                < 1e-18
+        );
         assert!((p.turbulence.scale - 0.3).abs() < 1e-12);
     }
 

@@ -28,18 +28,29 @@ pub struct TurbulenceProfile {
 impl TurbulenceProfile {
     /// The canonical HV-5/7 profile.
     pub fn hv57() -> TurbulenceProfile {
-        TurbulenceProfile { cn2_ground: 1.7e-14, wind_rms_m_s: 21.0, scale: 1.0 }
+        TurbulenceProfile {
+            cn2_ground: 1.7e-14,
+            wind_rms_m_s: 21.0,
+            scale: 1.0,
+        }
     }
 
     /// The nominal profile scaled by `scale` (ideal-weather regimes use <1).
     pub fn scaled(scale: f64) -> TurbulenceProfile {
         assert!(scale >= 0.0, "scale must be non-negative");
-        TurbulenceProfile { scale, ..TurbulenceProfile::hv57() }
+        TurbulenceProfile {
+            scale,
+            ..TurbulenceProfile::hv57()
+        }
     }
 
     /// No turbulence at all (vacuum / space-only paths).
     pub fn none() -> TurbulenceProfile {
-        TurbulenceProfile { cn2_ground: 0.0, wind_rms_m_s: 0.0, scale: 0.0 }
+        TurbulenceProfile {
+            cn2_ground: 0.0,
+            wind_rms_m_s: 0.0,
+            scale: 0.0,
+        }
     }
 
     /// `Cn²(h)` in m^(−2/3) at altitude `h_m`.
@@ -60,13 +71,7 @@ impl TurbulenceProfile {
     ///
     /// Integrated by Simpson's rule up to min(tx_alt, 40 km) — Cn² is
     /// negligible above.
-    pub fn rytov_variance_downlink(
-        &self,
-        k: f64,
-        rx_alt_m: f64,
-        tx_alt_m: f64,
-        elev: f64,
-    ) -> f64 {
+    pub fn rytov_variance_downlink(&self, k: f64, rx_alt_m: f64, tx_alt_m: f64, elev: f64) -> f64 {
         if self.scale == 0.0 || tx_alt_m <= rx_alt_m {
             return 0.0;
         }
@@ -97,7 +102,10 @@ impl TurbulenceProfile {
 
 /// Simpson's rule on `[a, b]` with `n` (even) panels.
 fn simpson(a: f64, b: f64, n: usize, f: impl Fn(f64) -> f64) -> f64 {
-    assert!(n >= 2 && n % 2 == 0, "Simpson needs an even panel count");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "Simpson needs an even panel count"
+    );
     let h = (b - a) / n as f64;
     let mut acc = f(a) + f(b);
     for i in 1..n {
@@ -161,7 +169,10 @@ mod tests {
         let lo = p.rytov_variance_downlink(K_810NM, 0.0, 500_000.0, std::f64::consts::PI / 9.0);
         assert!(lo > hi, "lo={lo} hi={hi}");
         // sec^{11/6}(70°) ≈ 7.2.
-        assert!((lo / hi - (1.0 / 20.0_f64.to_radians().sin()).powf(11.0 / 6.0)).abs() / (lo / hi) < 0.01);
+        assert!(
+            (lo / hi - (1.0 / 20.0_f64.to_radians().sin()).powf(11.0 / 6.0)).abs() / (lo / hi)
+                < 0.01
+        );
     }
 
     #[test]
@@ -198,6 +209,9 @@ mod tests {
     fn no_turbulence_above_the_transmitter() {
         let p = TurbulenceProfile::hv57();
         // tx below rx: treated as no turbulent path (handled by caller for uplinks).
-        assert_eq!(p.rytov_variance_downlink(K_810NM, 500_000.0, 30_000.0, 0.8), 0.0);
+        assert_eq!(
+            p.rytov_variance_downlink(K_810NM, 500_000.0, 30_000.0, 0.8),
+            0.0
+        );
     }
 }

@@ -53,7 +53,12 @@ impl SpaceGround {
 
     /// The paper's headline configuration: 108 satellites, ideal config.
     pub fn standard(scenario: &Qntn) -> SpaceGround {
-        Self::new(scenario, 108, SimConfig::default(), PerturbationModel::TwoBody)
+        Self::new(
+            scenario,
+            108,
+            SimConfig::default(),
+            PerturbationModel::TwoBody,
+        )
     }
 
     /// Generate the movement sheets for the first `n` Table II satellites.
@@ -77,7 +82,11 @@ impl SpaceGround {
         let mut hosts = ground_hosts(scenario, &apertures);
         let n = ephemerides.len();
         for (i, eph) in ephemerides.into_iter().enumerate() {
-            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, apertures.satellite_m));
+            hosts.push(Host::satellite(
+                format!("SAT-{i:03}"),
+                eph,
+                apertures.satellite_m,
+            ));
         }
         let steps = (PAPER_DURATION_S / PAPER_STEP_S) as usize;
         SpaceGround {
@@ -110,7 +119,9 @@ impl AirGround {
         let mut hosts = ground_hosts(scenario, &apertures);
         hosts.push(Host::hap("HAP-1", scenario.hap, apertures.hap_m));
         let steps = (PAPER_DURATION_S / PAPER_STEP_S) as usize;
-        AirGround { sim: QuantumNetworkSim::new(hosts, config, steps, PAPER_STEP_S) }
+        AirGround {
+            sim: QuantumNetworkSim::new(hosts, config, steps, PAPER_STEP_S),
+        }
     }
 
     /// The paper's configuration.

@@ -44,12 +44,7 @@ impl ComparisonReport {
         experiment: FidelityExperiment,
     ) -> ComparisonReport {
         // Space-ground.
-        let coverage = CoverageSweep::run(
-            scenario,
-            config,
-            &[n],
-            PerturbationModel::TwoBody,
-        );
+        let coverage = CoverageSweep::run(scenario, config, &[n], PerturbationModel::TwoBody);
         let space_arch = SpaceGround::new(scenario, n, config, PerturbationModel::TwoBody);
         let space_run = experiment.run_space_ground(&space_arch);
         let space_ground = ArchitectureMetrics {
@@ -71,7 +66,10 @@ impl ComparisonReport {
             mean_link_fidelity: air_run.mean_link_fidelity,
         };
 
-        ComparisonReport { space_ground, air_ground }
+        ComparisonReport {
+            space_ground,
+            air_ground,
+        }
     }
 
     /// Coverage improvement of air over space, percentage points (the paper
@@ -106,7 +104,11 @@ mod tests {
         assert!((r.air_ground.served_percent - 100.0).abs() < 1e-9);
         assert!(r.coverage_gain_points() > 0.0, "{:?}", r);
         assert!(r.served_gain_points() > 0.0);
-        assert!(r.fidelity_gain() > -0.02, "space should not beat air: {:?}", r);
+        assert!(
+            r.fidelity_gain() > -0.02,
+            "space should not beat air: {:?}",
+            r
+        );
         assert!(r.air_ground.mean_fidelity > 0.95);
     }
 }

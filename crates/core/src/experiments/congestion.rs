@@ -37,19 +37,17 @@ pub struct CongestionSweep {
 impl CongestionSweep {
     /// Run: `load` simultaneous requests against the air-ground network at
     /// each attempt rate, one 30 s window, seeded.
-    pub fn run(
-        scenario: &Qntn,
-        rates_hz: &[f64],
-        load: usize,
-        seed: u64,
-    ) -> CongestionSweep {
+    pub fn run(scenario: &Qntn, rates_hz: &[f64], load: usize, seed: u64) -> CongestionSweep {
         let arch = AirGround::new(scenario, SimConfig::default());
         let graph = arch.sim().active_graph_at(0);
         let workload = RequestWorkload::generate(arch.sim(), load, seed);
         let points = rates_hz
             .iter()
             .map(|&rate| {
-                let model = CapacityModel { attempt_rate_hz: rate, window_s: 30.0 };
+                let model = CapacityModel {
+                    attempt_rate_hz: rate,
+                    window_s: 30.0,
+                };
                 let out = serve_with_capacity(
                     &graph,
                     &workload.requests,
@@ -105,7 +103,11 @@ mod tests {
     fn starved_network_serves_little() {
         let q = Qntn::standard();
         let sweep = CongestionSweep::run(&q, &[0.001], 60, 7);
-        assert!(sweep.points[0].served_percent < 20.0, "{}", sweep.points[0].served_percent);
+        assert!(
+            sweep.points[0].served_percent < 20.0,
+            "{}",
+            sweep.points[0].served_percent
+        );
         assert_eq!(sweep.saturation_rate_hz(), None);
     }
 

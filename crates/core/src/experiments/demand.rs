@@ -74,8 +74,9 @@ pub fn analyze(scenario: &Qntn, config: SimConfig, satellites: usize) -> DemandR
     let dark: Vec<bool> = (0..steps)
         .map(|k| {
             let at = epoch.plus_seconds(k as f64 * PAPER_STEP_S);
-            (0..scenario.lans.len())
-                .all(|lan| Twilight::Astronomical.is_dark(scenario.lan_centroid(lan).with_alt(300.0), at))
+            (0..scenario.lans.len()).all(|lan| {
+                Twilight::Astronomical.is_dark(scenario.lan_centroid(lan).with_alt(300.0), at)
+            })
         })
         .collect();
     let gated: Vec<bool> = flags.iter().zip(&dark).map(|(&c, &d)| c && d).collect();
@@ -122,10 +123,7 @@ mod tests {
         let dark: Vec<bool> = (0..steps)
             .map(|k| {
                 let at = epoch.plus_seconds(k as f64 * 30.0);
-                Twilight::Astronomical.is_dark(
-                    qntn_geo::Geodetic::from_deg(36.0, -85.0, 300.0),
-                    at,
-                )
+                Twilight::Astronomical.is_dark(qntn_geo::Geodetic::from_deg(36.0, -85.0, 300.0), at)
             })
             .collect();
         let unweighted = 100.0 * dark.iter().filter(|&&d| d).count() as f64 / steps as f64;

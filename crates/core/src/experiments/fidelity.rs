@@ -3,8 +3,8 @@
 //! of the air-ground numbers quoted in Section IV-C.
 
 use crate::architecture::{AirGround, SpaceGround};
-use qntn_net::requests::{sample_steps, sweep, SweepStats};
-use qntn_net::QuantumNetworkSim;
+use qntn_net::requests::{sample_steps, SweepStats};
+use qntn_net::{QuantumNetworkSim, SweepEngine};
 use qntn_routing::RouteMetric;
 use serde::{Deserialize, Serialize};
 
@@ -61,13 +61,26 @@ impl FidelityExperiment {
         }
     }
 
-    /// Evaluate any simulator.
+    /// Evaluate any simulator (parallel over time steps).
     pub fn run(&self, sim: &QuantumNetworkSim) -> ArchReport {
+        self.run_with_options(sim, true)
+    }
+
+    /// [`FidelityExperiment::run`] with explicit parallelism control
+    /// (`parallel: false` is the reproduce binary's `--no-parallel` path;
+    /// results are bit-identical either way). One contact-window-pruned
+    /// engine serves both the request sweep and the connectivity census.
+    pub fn run_with_options(&self, sim: &QuantumNetworkSim, parallel: bool) -> ArchReport {
         let steps = sample_steps(sim.steps(), self.sampled_steps);
-        let stats = sweep(sim, &steps, self.requests_per_step, self.seed, self.metric);
-        let connected = steps
-            .iter()
-            .filter(|&&s| sim.lans_interconnected(&sim.active_graph_at(s)))
+        let engine = SweepEngine::for_steps(sim, &steps).with_parallel(parallel);
+        let stats = engine.sweep(&steps, self.requests_per_step, self.seed, self.metric);
+        let connected = engine
+            .map_steps(&steps, |scratch, step| {
+                engine.active_graph_into(step, scratch);
+                sim.lans_interconnected(&scratch.active)
+            })
+            .into_iter()
+            .filter(|&c| c)
             .count();
         ArchReport {
             coverage_percent: 100.0 * connected as f64 / steps.len() as f64,
@@ -105,7 +118,11 @@ mod tests {
         let r = FidelityExperiment::quick().run_air_ground(&arch);
         assert!((r.coverage_percent - 100.0).abs() < 1e-12);
         assert!((r.served_percent - 100.0).abs() < 1e-12);
-        assert!(r.mean_fidelity > 0.95, "air-ground fidelity: {}", r.mean_fidelity);
+        assert!(
+            r.mean_fidelity > 0.95,
+            "air-ground fidelity: {}",
+            r.mean_fidelity
+        );
         assert!(r.mean_hops >= 2.0, "requests cross via the HAP");
     }
 

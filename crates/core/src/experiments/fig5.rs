@@ -8,9 +8,9 @@
 //! figure exercises the same code path as the network experiments.
 
 use qntn_quantum::channels::amplitude_damping;
-use qntn_quantum::fidelity::{fidelity_to_pure, sqrt_fidelity_to_pure};
 #[cfg(test)]
 use qntn_quantum::fidelity::bell_ad_sqrt_fidelity;
+use qntn_quantum::fidelity::{fidelity_to_pure, sqrt_fidelity_to_pure};
 use qntn_quantum::state::bell_phi_plus;
 use serde::{Deserialize, Serialize};
 
@@ -57,7 +57,10 @@ impl FidelityCurve {
     /// The smallest η whose fidelity is at least `target` — how the paper
     /// picked its 0.7 threshold for F > 0.9.
     pub fn threshold_for_fidelity(&self, target: f64) -> Option<f64> {
-        self.points.iter().find(|p| p.fidelity >= target).map(|p| p.eta)
+        self.points
+            .iter()
+            .find(|p| p.fidelity >= target)
+            .map(|p| p.eta)
     }
 }
 
@@ -95,7 +98,11 @@ mod tests {
     fn paper_threshold_point() {
         let c = FidelityCurve::paper();
         // At η = 0.7 the fidelity exceeds 0.9 …
-        let at_07 = c.points.iter().find(|p| (p.eta - 0.7).abs() < 1e-9).unwrap();
+        let at_07 = c
+            .points
+            .iter()
+            .find(|p| (p.eta - 0.7).abs() < 1e-9)
+            .unwrap();
         assert!(at_07.fidelity > 0.9);
         // … and 0.7 is (approximately) where 0.9 is first reached.
         let th = c.threshold_for_fidelity(0.9).unwrap();

@@ -27,7 +27,12 @@ pub struct CoverageSweep {
 impl CoverageSweep {
     /// Run the paper's sweep (6..108 step 6, one day at 30 s cadence).
     pub fn paper(scenario: &Qntn, config: SimConfig) -> CoverageSweep {
-        Self::run(scenario, config, &paper_constellation_sizes(), PerturbationModel::TwoBody)
+        Self::run(
+            scenario,
+            config,
+            &paper_constellation_sizes(),
+            PerturbationModel::TwoBody,
+        )
     }
 
     /// Run for arbitrary sizes / force model. One 108-satellite ephemeris
@@ -39,9 +44,22 @@ impl CoverageSweep {
         sizes: &[usize],
         model: PerturbationModel,
     ) -> CoverageSweep {
+        Self::run_with_options(scenario, config, sizes, model, true)
+    }
+
+    /// [`CoverageSweep::run`] with explicit parallelism control
+    /// (`parallel: false` is the reproduce binary's `--no-parallel` path;
+    /// results are bit-identical either way).
+    pub fn run_with_options(
+        scenario: &Qntn,
+        config: SimConfig,
+        sizes: &[usize],
+        model: PerturbationModel,
+        parallel: bool,
+    ) -> CoverageSweep {
         let max_n = sizes.iter().copied().max().unwrap_or(0);
         let ephemerides = crate::architecture::SpaceGround::ephemerides(max_n, model);
-        let cube = LanVisibility::compute(scenario, config, &ephemerides);
+        let cube = LanVisibility::compute_with_options(scenario, config, &ephemerides, parallel);
         let points = sizes
             .iter()
             .map(|&n| {
@@ -99,7 +117,11 @@ mod tests {
             );
         }
         // Small constellations cover only a small slice of the day.
-        assert!(s.points[0].coverage_percent < 30.0, "{}", s.points[0].coverage_percent);
+        assert!(
+            s.points[0].coverage_percent < 30.0,
+            "{}",
+            s.points[0].coverage_percent
+        );
     }
 
     #[test]

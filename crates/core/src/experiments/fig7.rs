@@ -16,7 +16,11 @@ impl ServedSeries {
     pub fn from_sweep(sweep: &ConstellationSweep) -> ServedSeries {
         ServedSeries {
             satellites: sweep.points.iter().map(|p| p.satellites).collect(),
-            served_percent: sweep.points.iter().map(|p| p.stats.served_percent()).collect(),
+            served_percent: sweep
+                .points
+                .iter()
+                .map(|p| p.stats.served_percent())
+                .collect(),
         }
     }
 }
@@ -24,7 +28,7 @@ impl ServedSeries {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::sweep::{SweepSettings, ConstellationSweep};
+    use crate::experiments::sweep::{ConstellationSweep, SweepSettings};
     use crate::scenario::Qntn;
     use qntn_net::SimConfig;
     use qntn_orbit::PerturbationModel;

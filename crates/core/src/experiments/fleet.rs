@@ -37,11 +37,7 @@ impl HapFleet {
     }
 
     /// A fleet at explicit positions.
-    pub fn at_positions(
-        scenario: &Qntn,
-        positions: &[Geodetic],
-        config: SimConfig,
-    ) -> HapFleet {
+    pub fn at_positions(scenario: &Qntn, positions: &[Geodetic], config: SimConfig) -> HapFleet {
         assert!(!positions.is_empty(), "a fleet needs at least one HAP");
         let apertures = ApertureSet::paper();
         let mut hosts = Vec::new();
@@ -90,7 +86,11 @@ mod tests {
     use qntn_routing::RouteMetric;
 
     fn quick() -> FidelityExperiment {
-        FidelityExperiment { sampled_steps: 2, requests_per_step: 20, ..FidelityExperiment::quick() }
+        FidelityExperiment {
+            sampled_steps: 2,
+            requests_per_step: 20,
+            ..FidelityExperiment::quick()
+        }
     }
 
     #[test]
@@ -131,7 +131,10 @@ mod tests {
         let g = fleet.sim().active_graph_at(0);
         let hap0 = fleet.hap_nodes()[0]; // over TTU
         let remote = fleet.sim().lan_members(2)[0]; // an EPB node
-        assert!(g.has_edge(hap0, remote), "HAP-0 should reach Chattanooga ground");
+        assert!(
+            g.has_edge(hap0, remote),
+            "HAP-0 should reach Chattanooga ground"
+        );
     }
 
     #[test]
@@ -155,7 +158,10 @@ mod tests {
         let single = AirGround::new(&q, config);
 
         let best_eta = |g: &qntn_routing::Graph, hap: usize| {
-            g.neighbors(hap).iter().map(|a| a.eta).fold(0.0f64, f64::max)
+            g.neighbors(hap)
+                .iter()
+                .map(|a| a.eta)
+                .fold(0.0f64, f64::max)
         };
         let gf = fleet.sim().active_graph_at(0);
         let gs = single.sim().active_graph_at(0);

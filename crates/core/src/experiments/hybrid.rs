@@ -22,12 +22,7 @@ pub struct Hybrid {
 
 impl Hybrid {
     /// Build with `n` satellites plus the standard HAP.
-    pub fn new(
-        scenario: &Qntn,
-        n: usize,
-        config: SimConfig,
-        model: PerturbationModel,
-    ) -> Hybrid {
+    pub fn new(scenario: &Qntn, n: usize, config: SimConfig, model: PerturbationModel) -> Hybrid {
         let apertures = ApertureSet::paper();
         let mut hosts = Vec::new();
         for (lan_id, lan) in scenario.lans.iter().enumerate() {
@@ -42,11 +37,18 @@ impl Hybrid {
         }
         hosts.push(Host::hap("HAP-1", scenario.hap, apertures.hap_m));
         for (i, eph) in SpaceGround::ephemerides(n, model).into_iter().enumerate() {
-            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, apertures.satellite_m));
+            hosts.push(Host::satellite(
+                format!("SAT-{i:03}"),
+                eph,
+                apertures.satellite_m,
+            ));
         }
         let steps = (PAPER_DURATION_S / PAPER_STEP_S) as usize;
         let _ = default_epoch();
-        Hybrid { sim: QuantumNetworkSim::new(hosts, config, steps, PAPER_STEP_S), satellites: n }
+        Hybrid {
+            sim: QuantumNetworkSim::new(hosts, config, steps, PAPER_STEP_S),
+            satellites: n,
+        }
     }
 
     /// The underlying simulator.

@@ -15,17 +15,17 @@ pub mod congestion;
 pub mod demand;
 pub mod fidelity;
 pub mod fig5;
-pub mod fleet;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod fleet;
 pub mod hybrid;
 pub mod night;
 pub mod purified_qkd;
 pub mod qkd;
 pub mod sensitivity;
-pub mod survivability;
 pub mod stability;
+pub mod survivability;
 pub mod sweep;
 pub mod visibility;
 

@@ -45,7 +45,10 @@ pub struct NightOps {
 impl NightOps {
     /// The default extension setup: astronomical darkness, 108 satellites.
     pub fn standard() -> NightOps {
-        NightOps { twilight: Twilight::Astronomical, satellites: 108 }
+        NightOps {
+            twilight: Twilight::Astronomical,
+            satellites: 108,
+        }
     }
 
     /// Run over the paper's one-day window.
@@ -59,7 +62,8 @@ impl NightOps {
             .map(|k| {
                 let at = epoch.plus_seconds(k as f64 * PAPER_STEP_S);
                 (0..scenario.lans.len()).all(|lan| {
-                    self.twilight.is_dark(scenario.lan_centroid(lan).with_alt(300.0), at)
+                    self.twilight
+                        .is_dark(scenario.lan_centroid(lan).with_alt(300.0), at)
                 })
             })
             .collect();
@@ -69,8 +73,11 @@ impl NightOps {
         let eph = SpaceGround::ephemerides(self.satellites, PerturbationModel::TwoBody);
         let cube = LanVisibility::compute(scenario, config, &eph);
         let nominal_flags = cube.coverage_flags(self.satellites);
-        let gated_flags: Vec<bool> =
-            nominal_flags.iter().zip(&dark).map(|(&c, &d)| c && d).collect();
+        let gated_flags: Vec<bool> = nominal_flags
+            .iter()
+            .zip(&dark)
+            .map(|(&c, &d)| c && d)
+            .collect();
 
         let nominal = CoverageAnalyzer::from_flags(nominal_flags, PAPER_STEP_S);
         let gated = CoverageAnalyzer::from_flags(gated_flags, PAPER_STEP_S);
@@ -95,8 +102,11 @@ mod tests {
     #[test]
     fn darkness_gating_only_reduces_coverage() {
         let q = Qntn::standard();
-        let report = NightOps { twilight: Twilight::Civil, satellites: 12 }
-            .run(&q, SimConfig::default());
+        let report = NightOps {
+            twilight: Twilight::Civil,
+            satellites: 12,
+        }
+        .run(&q, SimConfig::default());
         assert!(report.space_night_percent <= report.space_nominal_percent + 1e-9);
         assert!(report.space_night_percent <= report.dark_percent + 1e-9);
         assert!(report.air_night_percent <= 100.0);
@@ -109,8 +119,11 @@ mod tests {
         // default_epoch is July 1: astronomical darkness for roughly
         // 4.5-8.5 hours -> 19-35% of the day.
         let q = Qntn::standard();
-        let report = NightOps { twilight: Twilight::Astronomical, satellites: 6 }
-            .run(&q, SimConfig::default());
+        let report = NightOps {
+            twilight: Twilight::Astronomical,
+            satellites: 6,
+        }
+        .run(&q, SimConfig::default());
         assert!(
             (15.0..40.0).contains(&report.dark_percent),
             "dark {}%",
@@ -123,9 +136,16 @@ mod tests {
     fn stricter_twilight_means_less_darkness() {
         let q = Qntn::standard();
         let config = SimConfig::default();
-        let civil = NightOps { twilight: Twilight::Civil, satellites: 6 }.run(&q, config);
-        let astro =
-            NightOps { twilight: Twilight::Astronomical, satellites: 6 }.run(&q, config);
+        let civil = NightOps {
+            twilight: Twilight::Civil,
+            satellites: 6,
+        }
+        .run(&q, config);
+        let astro = NightOps {
+            twilight: Twilight::Astronomical,
+            satellites: 6,
+        }
+        .run(&q, config);
         assert!(astro.dark_percent < civil.dark_percent);
     }
 }

@@ -60,7 +60,9 @@ pub fn pump_until_key(eta: f64, max_rounds: usize) -> Option<PumpOutcome> {
 
 /// The sweep over path transmissivities (the reproduce artifact).
 pub fn sweep(etas: &[f64], max_rounds: usize) -> Vec<(f64, Option<PumpOutcome>)> {
-    etas.iter().map(|&eta| (eta, pump_until_key(eta, max_rounds))).collect()
+    etas.iter()
+        .map(|&eta| (eta, pump_until_key(eta, max_rounds)))
+        .collect()
 }
 
 #[cfg(test)]

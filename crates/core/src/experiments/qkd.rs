@@ -54,7 +54,11 @@ impl QkdExperiment {
     /// A light default (the key fractions are deterministic given the
     /// routes; sampling density only affects the satellite geometry mix).
     pub fn standard() -> QkdExperiment {
-        QkdExperiment { sampled_steps: 20, requests_per_step: 50, seed: 2024 }
+        QkdExperiment {
+            sampled_steps: 20,
+            requests_per_step: 50,
+            seed: 2024,
+        }
     }
 
     /// Evaluate a simulator.
@@ -112,7 +116,11 @@ mod tests {
     use qntn_orbit::PerturbationModel;
 
     fn quick() -> QkdExperiment {
-        QkdExperiment { sampled_steps: 3, requests_per_step: 15, seed: 7 }
+        QkdExperiment {
+            sampled_steps: 3,
+            requests_per_step: 15,
+            seed: 7,
+        }
     }
 
     #[test]
@@ -131,10 +139,13 @@ mod tests {
         // Satellite 2-hop paths (η ≈ 0.63) sit *below* the one-way key
         // cliff: served ≠ key-capable, the experiment's headline.
         let q = Qntn::standard();
-        let arch =
-            SpaceGround::new(&q, 36, SimConfig::default(), PerturbationModel::TwoBody);
-        let r = QkdExperiment { sampled_steps: 20, requests_per_step: 25, seed: 7 }
-            .run_space_ground(&arch);
+        let arch = SpaceGround::new(&q, 36, SimConfig::default(), PerturbationModel::TwoBody);
+        let r = QkdExperiment {
+            sampled_steps: 20,
+            requests_per_step: 25,
+            seed: 7,
+        }
+        .run_space_ground(&arch);
         if r.served > 0 {
             assert!(
                 r.key_capable < r.served / 2,

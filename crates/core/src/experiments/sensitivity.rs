@@ -60,7 +60,10 @@ impl Knob {
         let mut config = SimConfig::default();
         match self {
             Knob::WaistRatio => {
-                config.fso = FsoParams { tx_waist_ratio: base.tx_waist_ratio * factor, ..base };
+                config.fso = FsoParams {
+                    tx_waist_ratio: base.tx_waist_ratio * factor,
+                    ..base
+                };
             }
             Knob::ReceiverEfficiency => {
                 config.fso = FsoParams {
@@ -142,7 +145,11 @@ impl SensitivityTable {
                 plus_percent: coverage(knob.scaled(1.0 + step), &ephemerides),
             })
             .collect();
-        SensitivityTable { step, satellites, responses }
+        SensitivityTable {
+            step,
+            satellites,
+            responses,
+        }
     }
 
     /// Render as an aligned text table.

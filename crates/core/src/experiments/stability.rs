@@ -50,7 +50,10 @@ impl StabilitySweep {
                     ..SimConfig::default()
                 };
                 let arch = AirGround::new(scenario, config);
-                StabilityPoint { jitter_urad: urad, report: experiment.run_air_ground(&arch) }
+                StabilityPoint {
+                    jitter_urad: urad,
+                    report: experiment.run_air_ground(&arch),
+                }
             })
             .collect();
         StabilitySweep { points }
@@ -74,7 +77,11 @@ mod tests {
         StabilitySweep::run(
             &Qntn::standard(),
             jitters,
-            FidelityExperiment { sampled_steps: 2, requests_per_step: 15, ..FidelityExperiment::quick() },
+            FidelityExperiment {
+                sampled_steps: 2,
+                requests_per_step: 15,
+                ..FidelityExperiment::quick()
+            },
         )
     }
 

@@ -40,7 +40,11 @@ pub struct SurvivabilityExperiment {
 impl SurvivabilityExperiment {
     /// Default sampling.
     pub fn standard() -> SurvivabilityExperiment {
-        SurvivabilityExperiment { sampled_steps: 20, pairs_per_step: 20, seed: 2024 }
+        SurvivabilityExperiment {
+            sampled_steps: 20,
+            pairs_per_step: 20,
+            seed: 2024,
+        }
     }
 
     /// Evaluate a simulator.
@@ -102,7 +106,11 @@ mod tests {
     use qntn_orbit::PerturbationModel;
 
     fn quick() -> SurvivabilityExperiment {
-        SurvivabilityExperiment { sampled_steps: 3, pairs_per_step: 10, seed: 5 }
+        SurvivabilityExperiment {
+            sampled_steps: 3,
+            pairs_per_step: 10,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -124,10 +132,13 @@ mod tests {
         // even at 108 satellites (measured: < 5 % of connected instants).
         // Assert the structural facts that always hold.
         let q = Qntn::standard();
-        let arch =
-            SpaceGround::new(&q, 36, SimConfig::default(), PerturbationModel::TwoBody);
-        let r = SurvivabilityExperiment { sampled_steps: 12, pairs_per_step: 12, seed: 5 }
-            .run_space_ground(&arch);
+        let arch = SpaceGround::new(&q, 36, SimConfig::default(), PerturbationModel::TwoBody);
+        let r = SurvivabilityExperiment {
+            sampled_steps: 12,
+            pairs_per_step: 12,
+            seed: 5,
+        }
+        .run_space_ground(&arch);
         assert!(r.connected_percent <= 100.0);
         assert!(r.redundant_percent <= r.connected_percent);
         if r.max_disjoint_paths >= 2 {

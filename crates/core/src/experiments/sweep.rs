@@ -9,8 +9,8 @@
 use crate::architecture::SpaceGround;
 use crate::experiments::paper_constellation_sizes;
 use crate::scenario::Qntn;
-use qntn_net::requests::{sample_steps, sweep, SweepStats};
-use qntn_net::SimConfig;
+use qntn_net::requests::{sample_steps, SweepStats};
+use qntn_net::{ContactWindows, SimConfig, SweepEngine};
 use qntn_orbit::PerturbationModel;
 use qntn_routing::RouteMetric;
 use serde::{Deserialize, Serialize};
@@ -76,7 +76,7 @@ impl ConstellationSweep {
         )
     }
 
-    /// Run for arbitrary sizes and settings.
+    /// Run for arbitrary sizes and settings (parallel over time steps).
     pub fn run(
         scenario: &Qntn,
         config: SimConfig,
@@ -84,25 +84,43 @@ impl ConstellationSweep {
         settings: SweepSettings,
         model: PerturbationModel,
     ) -> ConstellationSweep {
+        Self::run_with_options(scenario, config, sizes, settings, model, true)
+    }
+
+    /// [`ConstellationSweep::run`] with explicit parallelism control
+    /// (`parallel: false` is the reproduce binary's `--no-parallel` path;
+    /// results are bit-identical either way). One full-constellation
+    /// contact-window precompute is shared across every prefix size.
+    pub fn run_with_options(
+        scenario: &Qntn,
+        config: SimConfig,
+        sizes: &[usize],
+        settings: SweepSettings,
+        model: PerturbationModel,
+        parallel: bool,
+    ) -> ConstellationSweep {
         let max_n = sizes.iter().copied().max().unwrap_or(0);
         let ephemerides = SpaceGround::ephemerides(max_n, model);
+        let max_arch = SpaceGround::from_ephemerides(scenario, ephemerides.clone(), config);
+        let steps = sample_steps(max_arch.sim().steps(), settings.sampled_steps);
+        let windows = ContactWindows::for_sim_steps(max_arch.sim(), &steps);
         let points = sizes
             .iter()
             .map(|&n| {
-                let arch = SpaceGround::from_ephemerides(
-                    scenario,
-                    ephemerides[..n].to_vec(),
-                    config,
-                );
-                let steps = sample_steps(arch.sim().steps(), settings.sampled_steps);
-                let stats = sweep(
-                    arch.sim(),
+                let arch =
+                    SpaceGround::from_ephemerides(scenario, ephemerides[..n].to_vec(), config);
+                let engine = SweepEngine::with_windows(arch.sim(), windows.prefix(n))
+                    .with_parallel(parallel);
+                let stats = engine.sweep(
                     &steps,
                     settings.requests_per_step,
                     settings.seed,
                     settings.metric,
                 );
-                SweepPoint { satellites: n, stats }
+                SweepPoint {
+                    satellites: n,
+                    stats,
+                }
             })
             .collect();
         ConstellationSweep { settings, points }
@@ -138,7 +156,12 @@ mod tests {
         // its fidelity exceeds ~0.84 even over two hops; averages sit higher.
         for p in &s.points {
             if p.stats.served > 0 {
-                assert!(p.stats.mean_fidelity > 0.85, "N={}: {}", p.satellites, p.stats.mean_fidelity);
+                assert!(
+                    p.stats.mean_fidelity > 0.85,
+                    "N={}: {}",
+                    p.satellites,
+                    p.stats.mean_fidelity
+                );
                 assert!(p.stats.mean_fidelity <= 1.0);
             }
         }

@@ -19,7 +19,8 @@
 //! integration tests).
 
 use crate::scenario::Qntn;
-use qntn_net::{Host, LinkEvaluator, SimConfig};
+use qntn_geo::Geodetic;
+use qntn_net::{ContactWindows, Host, LinkEvaluator, SimConfig};
 use qntn_orbit::Ephemeris;
 use rayon::prelude::*;
 
@@ -34,8 +35,21 @@ pub struct LanVisibility {
 }
 
 impl LanVisibility {
-    /// Compute the cube for `ephemerides` against the scenario's LANs.
+    /// Compute the cube for `ephemerides` against the scenario's LANs
+    /// (parallel over satellites).
     pub fn compute(scenario: &Qntn, config: SimConfig, ephemerides: &[Ephemeris]) -> LanVisibility {
+        Self::compute_with_options(scenario, config, ephemerides, true)
+    }
+
+    /// [`LanVisibility::compute`] with explicit parallelism control
+    /// (`parallel: false` is the reproduce binary's `--no-parallel` path;
+    /// results are bit-identical either way).
+    pub fn compute_with_options(
+        scenario: &Qntn,
+        config: SimConfig,
+        ephemerides: &[Ephemeris],
+        parallel: bool,
+    ) -> LanVisibility {
         let n_lans = scenario.lans.len();
         let n_sats = ephemerides.len();
         let n_steps = ephemerides.first().map_or(0, Ephemeris::len);
@@ -54,29 +68,70 @@ impl LanVisibility {
             })
             .collect();
 
-        let qualifies: Vec<bool> = ephemerides
-            .par_iter()
-            .flat_map_iter(|eph| {
-                let evaluator = LinkEvaluator::new(config);
-                let sat = Host::satellite("s", eph.clone(), 1.2);
-                let mut flags = Vec::with_capacity(n_steps * n_lans);
-                for step in 0..n_steps {
-                    for members in &ground {
-                        // A LAN spans < 2 km; if the first member can't
-                        // qualify, nor can the rest — but the evaluator is
-                        // cheap enough that we only gate on the any-member
-                        // check directly.
-                        let hit = members.iter().any(|g| {
-                            evaluator.fso_eta(g, &sat, step).is_some_and(|eta| eta >= threshold)
-                        });
-                        flags.push(hit);
-                    }
-                }
-                flags
+        // Contact windows over the flattened ground set: a satellite below a
+        // site's horizon can never qualify, so the evaluator call is skipped
+        // there (the windows' elevation ≥ 0 flags are a proven superset of
+        // the evaluator's elevation > 0 requirement).
+        let sites: Vec<Geodetic> = scenario
+            .lans
+            .iter()
+            .flat_map(|lan| lan.nodes.iter().copied())
+            .collect();
+        let lan_base: Vec<usize> = scenario
+            .lans
+            .iter()
+            .scan(0, |acc, lan| {
+                let base = *acc;
+                *acc += lan.nodes.len();
+                Some(base)
             })
             .collect();
+        let eph_refs: Vec<&Ephemeris> = ephemerides.iter().collect();
+        let windows = ContactWindows::compute(&sites, &eph_refs, n_steps);
 
-        LanVisibility { n_sats, n_steps, n_lans, qualifies }
+        // One evaluator derived from the same host set the full simulator
+        // uses, so the Rytov altitude classes match `graph_at` exactly.
+        let all_hosts: Vec<Host> = ground
+            .iter()
+            .flatten()
+            .cloned()
+            .chain(
+                ephemerides
+                    .iter()
+                    .map(|e| Host::satellite("s", e.clone(), 1.2)),
+            )
+            .collect();
+        let evaluator = LinkEvaluator::for_hosts(config, &all_hosts);
+
+        let per_sat = |sat_idx: usize| {
+            let sat = Host::satellite("s", ephemerides[sat_idx].clone(), 1.2);
+            let mut flags = Vec::with_capacity(n_steps * n_lans);
+            for step in 0..n_steps {
+                for (lan, members) in ground.iter().enumerate() {
+                    let base = lan_base[lan];
+                    let hit = members.iter().enumerate().any(|(k, g)| {
+                        windows.visible(sat_idx, step, base + k)
+                            && evaluator
+                                .fso_eta(g, &sat, step)
+                                .is_some_and(|eta| eta >= threshold)
+                    });
+                    flags.push(hit);
+                }
+            }
+            flags
+        };
+        let qualifies: Vec<bool> = if parallel {
+            (0..n_sats).into_par_iter().flat_map_iter(per_sat).collect()
+        } else {
+            (0..n_sats).flat_map(per_sat).collect()
+        };
+
+        LanVisibility {
+            n_sats,
+            n_steps,
+            n_lans,
+            qualifies,
+        }
     }
 
     /// Does satellite `sat` qualify to LAN `lan` at `step`?
@@ -158,7 +213,10 @@ mod tests {
         let f6 = cube.coverage_flags(6);
         let f12 = cube.coverage_flags(12);
         for (step, (a, b)) in f6.iter().zip(&f12).enumerate() {
-            assert!(!a || *b, "coverage lost when adding satellites at step {step}");
+            assert!(
+                !a || *b,
+                "coverage lost when adding satellites at step {step}"
+            );
         }
     }
 
@@ -188,15 +246,27 @@ mod tests {
         // Construct a synthetic cube: sat0 sees LANs {0,1}, sat1 sees {1,2}.
         // No satellite sees all three, but the LAN graph is connected via
         // LAN 1.
-        let mut qualifies = vec![false; 2 * 1 * 3];
+        // 2 sats × 1 step × 3 LANs.
+        let mut qualifies = vec![false; 2 * 3];
         // sat0, step0: lans 0 and 1
         qualifies[0] = true;
         qualifies[1] = true;
         // sat1, step0: lans 1 and 2
         qualifies[3 + 1] = true;
         qualifies[3 + 2] = true;
-        let cube = LanVisibility { n_sats: 2, n_steps: 1, n_lans: 3, qualifies };
-        assert!(cube.coverage_flags(2)[0], "multi-bounce connectivity must count");
-        assert!(!cube.coverage_flags(1)[0], "one satellite alone is not enough");
+        let cube = LanVisibility {
+            n_sats: 2,
+            n_steps: 1,
+            n_lans: 3,
+            qualifies,
+        };
+        assert!(
+            cube.coverage_flags(2)[0],
+            "multi-bounce connectivity must count"
+        );
+        assert!(
+            !cube.coverage_flags(1)[0],
+            "one satellite alone is not enough"
+        );
     }
 }

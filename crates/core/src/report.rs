@@ -11,7 +11,10 @@ use qntn_routing::Graph;
 pub fn fig5_csv(curve: &FidelityCurve) -> String {
     let mut out = String::from("eta,fidelity_sqrt,fidelity_jozsa\n");
     for p in &curve.points {
-        out.push_str(&format!("{:.2},{:.6},{:.6}\n", p.eta, p.fidelity, p.fidelity_jozsa));
+        out.push_str(&format!(
+            "{:.2},{:.6},{:.6}\n",
+            p.eta, p.fidelity, p.fidelity_jozsa
+        ));
     }
     out
 }
@@ -30,9 +33,8 @@ pub fn fig6_table(sweep: &CoverageSweep) -> String {
 
 /// Render the Fig. 7/8 sweep as an aligned text table.
 pub fn sweep_table(sweep: &ConstellationSweep) -> String {
-    let mut out = String::from(
-        "satellites  served_%  F_end2end  F_per_link  mean_eta  mean_hops\n",
-    );
+    let mut out =
+        String::from("satellites  served_%  F_end2end  F_per_link  mean_eta  mean_hops\n");
     for p in &sweep.points {
         out.push_str(&format!(
             "{:>10}  {:>8.2}  {:>9.4}  {:>10.4}  {:>8.4}  {:>9.2}\n",
@@ -102,7 +104,9 @@ pub fn sweep_csv(sweep: &ConstellationSweep) -> String {
 /// airborne platforms are boxes; edge labels carry transmissivities.
 pub fn topology_dot(sim: &QuantumNetworkSim, graph: &Graph, title: &str) -> String {
     let mut out = String::new();
-    out.push_str(&format!("graph qntn {{\n  label=\"{title}\";\n  layout=neato;\n"));
+    out.push_str(&format!(
+        "graph qntn {{\n  label=\"{title}\";\n  layout=neato;\n"
+    ));
     for (i, h) in sim.hosts().iter().enumerate() {
         let shape = if h.is_ground() { "circle" } else { "box" };
         let g = h.geodetic_at(0);

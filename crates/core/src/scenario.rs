@@ -152,7 +152,10 @@ impl SyntheticRegion {
     /// nodes scatter uniformly inside each campus. The HAP is placed at the
     /// cities' centroid at 30 km.
     pub fn generate(&self, seed: u64) -> Qntn {
-        assert!(self.cities >= 2, "a regional network needs at least two cities");
+        assert!(
+            self.cities >= 2,
+            "a regional network needs at least two cities"
+        );
         assert!(self.nodes_per_city >= 1);
         let mut state = seed | 1;
         let mut next = move || {
@@ -167,8 +170,7 @@ impl SyntheticRegion {
         let mut centres = Vec::with_capacity(self.cities);
         for c in 0..self.cities {
             // Ring placement with radial jitter keeps cities apart.
-            let az = std::f64::consts::TAU * c as f64 / self.cities as f64
-                + 0.3 * (next() - 0.5);
+            let az = std::f64::consts::TAU * c as f64 / self.cities as f64 + 0.3 * (next() - 0.5);
             let radius = self.region_radius_m * (0.6 + 0.4 * next());
             let city = qntn_geo::destination(center, az, radius, &qntn_geo::WGS84);
             centres.push(city);
@@ -180,7 +182,10 @@ impl SyntheticRegion {
                         .with_alt(self.ground_alt_m)
                 })
                 .collect();
-            lans.push(Lan { name: format!("CITY-{c}"), nodes });
+            lans.push(Lan {
+                name: format!("CITY-{c}"),
+                nodes,
+            });
         }
 
         // HAP over the centroid of the city centres.
@@ -278,7 +283,8 @@ mod tests {
         // Cities regionally separated (tens of km), campuses compact.
         for i in 0..3 {
             for j in (i + 1)..3 {
-                let d = qntn_geo::haversine_m(q.lan_centroid(i), q.lan_centroid(j), &qntn_geo::WGS84);
+                let d =
+                    qntn_geo::haversine_m(q.lan_centroid(i), q.lan_centroid(j), &qntn_geo::WGS84);
                 assert!(d > 30_000.0, "{i}-{j}: {d}");
             }
             for a in &q.lans[i].nodes {

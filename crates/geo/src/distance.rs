@@ -100,8 +100,7 @@ pub fn destination(start: Geodetic, azimuth: f64, distance_m: f64, ell: &Ellipso
     let (sin_d, cos_d) = delta.sin_cos();
     let (sin_lat, cos_lat) = start.lat.sin_cos();
     let lat2 = (sin_lat * cos_d + cos_lat * sin_d * azimuth.cos()).asin();
-    let lon2 = start.lon
-        + (azimuth.sin() * sin_d * cos_lat).atan2(cos_d - sin_lat * lat2.sin());
+    let lon2 = start.lon + (azimuth.sin() * sin_d * cos_lat).atan2(cos_d - sin_lat * lat2.sin());
     Geodetic::new(lat2, crate::wrap_pi(lon2), start.alt_m)
 }
 

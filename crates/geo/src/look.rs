@@ -41,7 +41,11 @@ pub fn look_angles_ecef(observer: Geodetic, target_ecef: Vec3, ell: &Ellipsoid) 
     let horiz = (local.x * local.x + local.y * local.y).sqrt();
     let elevation = local.z.atan2(horiz);
     let azimuth = crate::wrap_two_pi(local.x.atan2(local.y));
-    LookAngles { elevation, azimuth, range_m: local.norm() }
+    LookAngles {
+        elevation,
+        azimuth,
+        range_m: local.norm(),
+    }
 }
 
 /// Compute look angles between two geodetic positions.
@@ -97,7 +101,11 @@ mod tests {
     fn azimuth_quadrants() {
         let obs = Geodetic::from_deg(36.0, -85.0, 0.0);
         let east = look_angles(obs, Geodetic::from_deg(36.0, -84.5, 0.0), &WGS84);
-        assert!((east.azimuth.to_degrees() - 90.0).abs() < 1.0, "{}", east.azimuth.to_degrees());
+        assert!(
+            (east.azimuth.to_degrees() - 90.0).abs() < 1.0,
+            "{}",
+            east.azimuth.to_degrees()
+        );
         let south = look_angles(obs, Geodetic::from_deg(35.5, -85.0, 0.0), &WGS84);
         assert!((south.azimuth.to_degrees() - 180.0).abs() < 1.0);
         let west = look_angles(obs, Geodetic::from_deg(36.0, -85.5, 0.0), &WGS84);
@@ -154,12 +162,20 @@ mod tests {
         assert!((coverage_half_angle(r, h, 0.0) - expect).abs() < 1e-12);
         // Paper's π/9 mask at 500 km is about 9.4 degrees of central angle.
         let psi = coverage_half_angle(r, h, std::f64::consts::PI / 9.0);
-        assert!((psi.to_degrees() - 9.43).abs() < 0.1, "{}", psi.to_degrees());
+        assert!(
+            (psi.to_degrees() - 9.43).abs() < 0.1,
+            "{}",
+            psi.to_degrees()
+        );
     }
 
     #[test]
     fn visible_above_mask() {
-        let la = LookAngles { elevation: 0.4, azimuth: 0.0, range_m: 1.0 };
+        let la = LookAngles {
+            elevation: 0.4,
+            azimuth: 0.0,
+            range_m: 1.0,
+        };
         assert!(la.visible_above(0.35));
         assert!(!la.visible_above(0.45));
     }

@@ -32,7 +32,10 @@ pub struct Epoch {
 
 impl Epoch {
     /// The J2000.0 epoch.
-    pub const J2000: Epoch = Epoch { jd: JD_J2000, offset_s: 0.0 };
+    pub const J2000: Epoch = Epoch {
+        jd: JD_J2000,
+        offset_s: 0.0,
+    };
 
     /// An epoch at Julian date `jd`.
     #[inline]
@@ -62,7 +65,10 @@ impl Epoch {
     /// This epoch advanced by `seconds`.
     #[inline]
     pub fn plus_seconds(&self, seconds: f64) -> Epoch {
-        Epoch { jd: self.jd, offset_s: self.offset_s + seconds }
+        Epoch {
+            jd: self.jd,
+            offset_s: self.offset_s + seconds,
+        }
     }
 
     /// Julian date including the offset.
@@ -170,7 +176,8 @@ mod tests {
         // GMST rate should match EARTH_ROTATION_RATE to ~1e-9 rad/s.
         let e0 = Epoch::from_calendar(2024, 3, 20, 6, 0, 0.0);
         let dt = 100.0;
-        let rate = (gmst_rad(e0.plus_seconds(dt)) - gmst_rad(e0)).rem_euclid(std::f64::consts::TAU) / dt;
+        let rate =
+            (gmst_rad(e0.plus_seconds(dt)) - gmst_rad(e0)).rem_euclid(std::f64::consts::TAU) / dt;
         assert!((rate - EARTH_ROTATION_RATE).abs() < 1e-9, "{rate}");
     }
 }

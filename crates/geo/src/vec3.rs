@@ -18,10 +18,26 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     #[inline]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -272,9 +288,21 @@ mod tests {
     fn rodrigues_matches_axis_rotations() {
         let v = Vec3::new(0.3, -1.2, 2.5);
         for angle in [0.1, 1.0, -2.3] {
-            assert!(approx(v.rotate_about(Vec3::Z, angle), v.rotate_z(angle), 1e-12));
-            assert!(approx(v.rotate_about(Vec3::X, angle), v.rotate_x(angle), 1e-12));
-            assert!(approx(v.rotate_about(Vec3::Y, angle), v.rotate_y(angle), 1e-12));
+            assert!(approx(
+                v.rotate_about(Vec3::Z, angle),
+                v.rotate_z(angle),
+                1e-12
+            ));
+            assert!(approx(
+                v.rotate_about(Vec3::X, angle),
+                v.rotate_x(angle),
+                1e-12
+            ));
+            assert!(approx(
+                v.rotate_about(Vec3::Y, angle),
+                v.rotate_y(angle),
+                1e-12
+            ));
         }
     }
 

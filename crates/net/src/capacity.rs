@@ -90,7 +90,9 @@ pub fn serve_with_capacity(
                     .windows(2)
                     .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
                     .collect();
-                let ok = keys.iter().all(|k| budget.get(k).copied().unwrap_or(0.0) >= 1.0);
+                let ok = keys
+                    .iter()
+                    .all(|k| budget.get(k).copied().unwrap_or(0.0) >= 1.0);
                 if ok {
                     for k in &keys {
                         *budget.get_mut(k).expect("budget key") -= 1.0;
@@ -121,12 +123,18 @@ mod tests {
     }
 
     fn reqs(pairs: &[(usize, usize)]) -> Vec<Request> {
-        pairs.iter().map(|&(src, dst)| Request { src, dst }).collect()
+        pairs
+            .iter()
+            .map(|&(src, dst)| Request { src, dst })
+            .collect()
     }
 
     #[test]
     fn budget_formula() {
-        let m = CapacityModel { attempt_rate_hz: 10.0, window_s: 30.0 };
+        let m = CapacityModel {
+            attempt_rate_hz: 10.0,
+            window_s: 30.0,
+        };
         assert!((m.link_budget(0.5) - 150.0).abs() < 1e-12);
         assert_eq!(m.link_budget(0.0), 0.0);
     }
@@ -134,8 +142,16 @@ mod tests {
     #[test]
     fn ample_capacity_serves_everything() {
         let g = star(0.9);
-        let m = CapacityModel { attempt_rate_hz: 1000.0, window_s: 30.0 };
-        let out = serve_with_capacity(&g, &reqs(&[(1, 2), (3, 4), (1, 4)]), RouteMetric::PaperInverseEta, m);
+        let m = CapacityModel {
+            attempt_rate_hz: 1000.0,
+            window_s: 30.0,
+        };
+        let out = serve_with_capacity(
+            &g,
+            &reqs(&[(1, 2), (3, 4), (1, 4)]),
+            RouteMetric::PaperInverseEta,
+            m,
+        );
         assert_eq!(out.served_count(), 3);
         assert!(out.blocked.is_empty());
     }
@@ -143,8 +159,16 @@ mod tests {
     #[test]
     fn zero_capacity_blocks_everything_with_reason() {
         let g = star(0.9);
-        let m = CapacityModel { attempt_rate_hz: 0.0, window_s: 30.0 };
-        let out = serve_with_capacity(&g, &reqs(&[(1, 2), (3, 4)]), RouteMetric::PaperInverseEta, m);
+        let m = CapacityModel {
+            attempt_rate_hz: 0.0,
+            window_s: 30.0,
+        };
+        let out = serve_with_capacity(
+            &g,
+            &reqs(&[(1, 2), (3, 4)]),
+            RouteMetric::PaperInverseEta,
+            m,
+        );
         assert_eq!(out.served_count(), 0);
         assert_eq!(out.blocked_count(BlockReason::Congestion), 2);
         assert_eq!(out.blocked_count(BlockReason::NoRoute), 0);
@@ -154,7 +178,10 @@ mod tests {
     fn no_route_is_distinguished_from_congestion() {
         let mut g = star(0.9);
         let isolated = g.add_node();
-        let m = CapacityModel { attempt_rate_hz: 1000.0, window_s: 30.0 };
+        let m = CapacityModel {
+            attempt_rate_hz: 1000.0,
+            window_s: 30.0,
+        };
         let out = serve_with_capacity(
             &g,
             &reqs(&[(1, isolated), (1, 2)]),
@@ -170,7 +197,10 @@ mod tests {
         // Budget per link: exactly 2 pairs. Requests 1-2, 1-3, 1-4 each use
         // the hub-1 link; the third must be blocked.
         let g = star(1.0);
-        let m = CapacityModel { attempt_rate_hz: 2.0, window_s: 1.0 };
+        let m = CapacityModel {
+            attempt_rate_hz: 2.0,
+            window_s: 1.0,
+        };
         let out = serve_with_capacity(
             &g,
             &reqs(&[(1, 2), (1, 3), (1, 4)]),
@@ -187,7 +217,10 @@ mod tests {
     fn budget_scales_with_eta() {
         // Weak links run out first: eta 0.5 halves the budget.
         let g = star(0.5);
-        let m = CapacityModel { attempt_rate_hz: 2.0, window_s: 1.0 }; // 1 pair/link
+        let m = CapacityModel {
+            attempt_rate_hz: 2.0,
+            window_s: 1.0,
+        }; // 1 pair/link
         let out = serve_with_capacity(
             &g,
             &reqs(&[(1, 2), (1, 3)]),
@@ -200,7 +233,10 @@ mod tests {
     #[test]
     fn served_distributions_carry_fidelity() {
         let g = star(0.81);
-        let m = CapacityModel { attempt_rate_hz: 100.0, window_s: 1.0 };
+        let m = CapacityModel {
+            attempt_rate_hz: 100.0,
+            window_s: 1.0,
+        };
         let out = serve_with_capacity(&g, &reqs(&[(1, 2)]), RouteMetric::PaperInverseEta, m);
         let d = out.served[0].as_ref().unwrap();
         assert!((d.eta - 0.81 * 0.81).abs() < 1e-12);

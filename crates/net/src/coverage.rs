@@ -8,7 +8,6 @@
 
 use crate::simulator::QuantumNetworkSim;
 use qntn_orbit::{merge_intervals, Interval};
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Result of a coverage analysis.
@@ -48,16 +47,11 @@ impl CoverageReport {
 pub struct CoverageAnalyzer;
 
 impl CoverageAnalyzer {
-    /// Full-window coverage of `sim` (parallel over time steps).
+    /// Full-window coverage of `sim`, via the contact-window-pruned
+    /// [`crate::sweep_engine::SweepEngine`] (parallel over time steps;
+    /// construct the engine directly to control parallelism).
     pub fn analyze(sim: &QuantumNetworkSim) -> CoverageReport {
-        let connected: Vec<bool> = (0..sim.steps())
-            .into_par_iter()
-            .map(|step| {
-                let g = sim.active_graph_at(step);
-                sim.lans_interconnected(&g)
-            })
-            .collect();
-        Self::from_flags(connected, sim.step_s())
+        crate::sweep_engine::SweepEngine::new(sim).coverage()
     }
 
     /// Build a report from precomputed flags (used by the sweep experiments
@@ -78,7 +72,11 @@ impl CoverageAnalyzer {
         if let Some(s) = start {
             raw.push(Interval::new(s, connected.len() as f64 * step_s));
         }
-        CoverageReport { step_s, connected, intervals: merge_intervals(raw) }
+        CoverageReport {
+            step_s,
+            connected,
+            intervals: merge_intervals(raw),
+        }
     }
 }
 

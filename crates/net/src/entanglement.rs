@@ -18,7 +18,7 @@
 use qntn_quantum::channels::amplitude_damping;
 use qntn_quantum::fidelity::{fidelity_to_pure, sqrt_fidelity_to_pure};
 use qntn_quantum::state::bell_phi_plus;
-use qntn_routing::{bellman_ford, Graph, NodeId, Route, RouteMetric};
+use qntn_routing::{bellman_ford_into, Graph, NodeId, Route, RouteMetric, SsspTable};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one successful entanglement distribution.
@@ -43,8 +43,25 @@ pub struct Distribution {
 
 /// Attempt to distribute a Bell pair from `src` to `dst` over `graph`
 /// (already threshold-gated). Returns `None` when no route exists.
-pub fn distribute(graph: &Graph, src: NodeId, dst: NodeId, metric: RouteMetric) -> Option<Distribution> {
-    let route = bellman_ford(graph, src, dst, metric)?;
+pub fn distribute(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    metric: RouteMetric,
+) -> Option<Distribution> {
+    distribute_with(graph, src, dst, metric, &mut SsspTable::default())
+}
+
+/// [`distribute`] with caller-provided routing scratch — the sweep engine's
+/// per-worker reuse path. Identical result, no per-request table allocation.
+pub fn distribute_with(
+    graph: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    metric: RouteMetric,
+    scratch: &mut SsspTable,
+) -> Option<Distribution> {
+    let route = bellman_ford_into(graph, src, dst, metric, scratch)?;
     let link_etas: Vec<f64> = route
         .nodes
         .windows(2)

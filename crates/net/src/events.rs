@@ -71,16 +71,27 @@ impl LinkTimeline {
                 entry.1 = entry.1.max(eta);
                 entry.2 += 1;
                 if !prev.contains_key(&link) {
-                    events.push(LinkEvent { t_s: t, link, up: true });
+                    events.push(LinkEvent {
+                        t_s: t,
+                        link,
+                        up: true,
+                    });
                     up_since.insert(link, t);
                 }
             }
             // Downs: in prev, not in current.
             for &link in prev.keys() {
                 if !current.contains_key(&link) {
-                    events.push(LinkEvent { t_s: t, link, up: false });
+                    events.push(LinkEvent {
+                        t_s: t,
+                        link,
+                        up: false,
+                    });
                     if let Some(since) = up_since.remove(&link) {
-                        intervals.entry(link).or_default().push(Interval::new(since, t));
+                        intervals
+                            .entry(link)
+                            .or_default()
+                            .push(Interval::new(since, t));
                     }
                 }
             }
@@ -89,7 +100,10 @@ impl LinkTimeline {
         // Close any links still up at the end of the window.
         let t_end = end_step as f64 * step_s;
         for (link, since) in up_since {
-            intervals.entry(link).or_default().push(Interval::new(since, t_end));
+            intervals
+                .entry(link)
+                .or_default()
+                .push(Interval::new(since, t_end));
         }
 
         let stats = intervals

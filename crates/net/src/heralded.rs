@@ -97,7 +97,10 @@ impl HeraldedLink {
     /// Sample just the timing of one delivery: `(t_a, t_b)` in seconds.
     /// Cheap (no density matrices); [`Self::deliver`] builds on it.
     pub fn sample_times(&self, rng: &mut StdRng) -> (f64, f64) {
-        assert!(self.eta_a > 0.0 && self.eta_b > 0.0, "links must have eta > 0");
+        assert!(
+            self.eta_a > 0.0 && self.eta_b > 0.0,
+            "links must have eta > 0"
+        );
         let slot = 1.0 / self.attempt_rate_hz;
         let n_a = Self::attempts_until_success(rng, self.eta_a);
         let n_b = Self::attempts_until_success(rng, self.eta_b);
@@ -173,7 +176,12 @@ mod tests {
     use super::*;
 
     fn link(eta_a: f64, eta_b: f64) -> HeraldedLink {
-        HeraldedLink { eta_a, eta_b, attempt_rate_hz: 1000.0, memory_t1_s: 0.1 }
+        HeraldedLink {
+            eta_a,
+            eta_b,
+            attempt_rate_hz: 1000.0,
+            memory_t1_s: 0.1,
+        }
     }
 
     #[test]
@@ -228,7 +236,12 @@ mod tests {
     #[test]
     fn memory_decay_costs_fidelity() {
         // Slow attempts + short T1: the waiting pair decoheres.
-        let slow = HeraldedLink { eta_a: 0.3, eta_b: 0.3, attempt_rate_hz: 10.0, memory_t1_s: 0.2 };
+        let slow = HeraldedLink {
+            eta_a: 0.3,
+            eta_b: 0.3,
+            attempt_rate_hz: 10.0,
+            memory_t1_s: 0.2,
+        };
         let stats = slow.simulate(400, 9);
         assert!(
             stats.mean_fidelity < stats.ideal_fidelity - 0.01,
@@ -237,7 +250,10 @@ mod tests {
             stats.ideal_fidelity
         );
         // Long memories recover the ideal value.
-        let good = HeraldedLink { memory_t1_s: 1e6, ..slow };
+        let good = HeraldedLink {
+            memory_t1_s: 1e6,
+            ..slow
+        };
         let stats = good.simulate(400, 9);
         assert!((stats.mean_fidelity - stats.ideal_fidelity).abs() < 1e-6);
     }

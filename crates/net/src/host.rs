@@ -37,18 +37,35 @@ pub struct Host {
 
 impl Host {
     /// A ground station.
-    pub fn ground(name: impl Into<String>, lan: LanId, position: Geodetic, aperture_m: f64) -> Host {
-        Host { name: name.into(), kind: HostKind::Ground { lan, position }, aperture_m }
+    pub fn ground(
+        name: impl Into<String>,
+        lan: LanId,
+        position: Geodetic,
+        aperture_m: f64,
+    ) -> Host {
+        Host {
+            name: name.into(),
+            kind: HostKind::Ground { lan, position },
+            aperture_m,
+        }
     }
 
     /// A HAP.
     pub fn hap(name: impl Into<String>, position: Geodetic, aperture_m: f64) -> Host {
-        Host { name: name.into(), kind: HostKind::Hap { position }, aperture_m }
+        Host {
+            name: name.into(),
+            kind: HostKind::Hap { position },
+            aperture_m,
+        }
     }
 
     /// A satellite bound to its movement sheet.
     pub fn satellite(name: impl Into<String>, ephemeris: Ephemeris, aperture_m: f64) -> Host {
-        Host { name: name.into(), kind: HostKind::Satellite { ephemeris }, aperture_m }
+        Host {
+            name: name.into(),
+            kind: HostKind::Satellite { ephemeris },
+            aperture_m,
+        }
     }
 
     /// The LAN this host belongs to, if it is a ground station.
@@ -117,7 +134,12 @@ mod tests {
 
     #[test]
     fn ground_host_is_static() {
-        let g = Host::ground("TTU-0", 0, Geodetic::from_deg(36.1757, -85.5066, 300.0), 1.2);
+        let g = Host::ground(
+            "TTU-0",
+            0,
+            Geodetic::from_deg(36.1757, -85.5066, 300.0),
+            1.2,
+        );
         assert!(g.is_ground());
         assert_eq!(g.lan(), Some(0));
         assert_eq!(g.geodetic_at(0), g.geodetic_at(100));
@@ -126,7 +148,11 @@ mod tests {
 
     #[test]
     fn hap_host_is_static_and_lanless() {
-        let h = Host::hap("HAP-1", Geodetic::from_deg(35.6692, -85.0662, 30_000.0), 0.3);
+        let h = Host::hap(
+            "HAP-1",
+            Geodetic::from_deg(35.6692, -85.0662, 30_000.0),
+            0.3,
+        );
         assert!(h.is_hap());
         assert_eq!(h.lan(), None);
         assert!((h.altitude_at(77) - 30_000.0).abs() < 1e-9);

@@ -36,14 +36,16 @@ pub mod linkeval;
 pub mod requests;
 pub mod simulator;
 pub mod snapshot;
+pub mod sweep_engine;
 
 pub use capacity::{serve_with_capacity, BlockReason, CapacityModel};
 pub use coverage::{CoverageAnalyzer, CoverageReport};
+pub use entanglement::{distribute, distribute_with, Distribution};
 pub use events::{LinkEvent, LinkStats, LinkTimeline};
 pub use heralded::{Delivery, HeraldedLink, HeraldedStats};
-pub use entanglement::{distribute, Distribution};
 pub use host::{Host, HostKind, LanId};
 pub use linkeval::{LinkEvaluator, SimConfig};
 pub use requests::{Request, RequestOutcome, RequestWorkload};
 pub use simulator::QuantumNetworkSim;
 pub use snapshot::{LinkClass, Snapshot};
+pub use sweep_engine::{ContactWindows, SweepEngine, SweepScratch};

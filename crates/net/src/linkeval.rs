@@ -12,9 +12,12 @@
 //!
 //! The Rytov variance integral is the expensive factor, and for a fixed
 //! altitude pair it depends only on elevation, so [`RytovTable`]
-//! precomputes it on a 0.25° elevation grid per altitude class (satellite→
-//! ground, HAP→ground) and interpolates. The cache-vs-exact error is far
-//! below anything the threshold test can resolve (tested).
+//! precomputes it on a 0.25° elevation grid per (receiver, transmitter)
+//! altitude class and interpolates. Tables are keyed by the altitude
+//! classes of the actual host set ([`LinkEvaluator::for_hosts`]); a pair
+//! whose altitudes match no table falls back to exact evaluation instead
+//! of silently using a wrong-altitude table. The cache-vs-exact error is
+//! far below anything the threshold test can resolve (tested).
 
 use crate::host::Host;
 use qntn_channel::fiber::FiberChannel;
@@ -56,9 +59,82 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Check every parameter for physical sense, returning the first
+    /// offending field. A silent NaN or non-positive threshold here would
+    /// otherwise propagate into every coverage and fidelity statistic, so
+    /// [`crate::QuantumNetworkSim::new`] refuses invalid configurations
+    /// loudly.
+    pub fn validate(&self) -> Result<(), String> {
+        fn positive_finite(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be positive and finite, got {v}"))
+            }
+        }
+        if !(self.threshold.is_finite() && self.threshold > 0.0 && self.threshold <= 1.0) {
+            return Err(format!(
+                "threshold must be in (0, 1], got {}",
+                self.threshold
+            ));
+        }
+        positive_finite(
+            "fiber_attenuation_db_per_km",
+            self.fiber_attenuation_db_per_km,
+        )?;
+        positive_finite("isl_max_range_m", self.isl_max_range_m)?;
+        positive_finite("fso.wavelength_m", self.fso.wavelength_m)?;
+        positive_finite("fso.tx_waist_ratio", self.fso.tx_waist_ratio)?;
+        if !(self.fso.receiver_efficiency.is_finite()
+            && self.fso.receiver_efficiency > 0.0
+            && self.fso.receiver_efficiency <= 1.0)
+        {
+            return Err(format!(
+                "fso.receiver_efficiency must be in (0, 1], got {}",
+                self.fso.receiver_efficiency
+            ));
+        }
+        if !(self.fso.pointing_jitter_rad.is_finite() && self.fso.pointing_jitter_rad >= 0.0) {
+            return Err(format!(
+                "fso.pointing_jitter_rad must be non-negative and finite, got {}",
+                self.fso.pointing_jitter_rad
+            ));
+        }
+        if let ElevationMode::Fixed(e) = self.fso.elevation_mode {
+            if !e.is_finite() {
+                return Err(format!(
+                    "fso.elevation_mode fixed elevation must be finite, got {e}"
+                ));
+            }
+        }
+        let atm = &self.fso.atmosphere;
+        if !(atm.sea_level_extinction_per_m.is_finite() && atm.sea_level_extinction_per_m >= 0.0) {
+            return Err(format!(
+                "fso.atmosphere.sea_level_extinction_per_m must be non-negative and finite, got {}",
+                atm.sea_level_extinction_per_m
+            ));
+        }
+        positive_finite("fso.atmosphere.scale_height_m", atm.scale_height_m)?;
+        let turb = &self.fso.turbulence;
+        for (name, v) in [
+            ("fso.turbulence.cn2_ground", turb.cn2_ground),
+            ("fso.turbulence.wind_rms_m_s", turb.wind_rms_m_s),
+            ("fso.turbulence.scale", turb.scale),
+        ] {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(format!("{name} must be non-negative and finite, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Precomputed Rytov variance vs elevation for one (rx_alt, tx_alt) class.
 #[derive(Debug, Clone)]
 pub struct RytovTable {
+    rx_alt_m: f64,
+    tx_alt_m: f64,
     min_elev: f64,
     step: f64,
     values: Vec<f64>,
@@ -82,7 +158,25 @@ impl RytovTable {
                     .rytov_variance_downlink(k, rx_alt_m, tx_alt_m, elev)
             })
             .collect();
-        RytovTable { min_elev, step: Self::STEP_RAD, values }
+        RytovTable {
+            rx_alt_m,
+            tx_alt_m,
+            min_elev,
+            step: Self::STEP_RAD,
+            values,
+        }
+    }
+
+    /// Receiver altitude class the table was built for, metres.
+    #[inline]
+    pub fn rx_alt_m(&self) -> f64 {
+        self.rx_alt_m
+    }
+
+    /// Transmitter altitude class the table was built for, metres.
+    #[inline]
+    pub fn tx_alt_m(&self) -> f64 {
+        self.tx_alt_m
     }
 
     /// Linear interpolation, clamped to the grid.
@@ -103,7 +197,11 @@ impl RytovTable {
 fn ray_min_altitude_m(p1: qntn_geo::Vec3, p2: qntn_geo::Vec3) -> f64 {
     let d = p2 - p1;
     let denom = d.norm_sq();
-    let t = if denom < 1e-9 { 0.0 } else { (-p1.dot(d) / denom).clamp(0.0, 1.0) };
+    let t = if denom < 1e-9 {
+        0.0
+    } else {
+        (-p1.dot(d) / denom).clamp(0.0, 1.0)
+    };
     (p1 + d * t).norm() - 6_371_000.0
 }
 
@@ -111,20 +209,124 @@ fn ray_min_altitude_m(p1: qntn_geo::Vec3, p2: qntn_geo::Vec3) -> f64 {
 #[derive(Debug, Clone)]
 pub struct LinkEvaluator {
     config: SimConfig,
-    sat_ground_rytov: RytovTable,
-    hap_ground_rytov: RytovTable,
+    /// Rytov tables, one per (rx, tx) altitude class, sorted by class so
+    /// two evaluators built from the same classes behave identically.
+    rytov_tables: Vec<RytovTable>,
 }
 
 impl LinkEvaluator {
-    /// Build the evaluator, precomputing the Rytov tables for the two
-    /// atmospheric altitude classes (ground≈0.3 km → 500 km satellites,
-    /// ground → 30 km HAPs).
+    /// Receiver altitudes are binned to 100 m for table keying; a lookup
+    /// must sit within this distance of a table's class to use the cache.
+    const RX_TOL_M: f64 = 60.0;
+    /// Transmitter class granularity switches at this altitude: 5 km bins
+    /// below (HAPs), 50 km bins above (satellites — wide enough to absorb
+    /// the ellipsoidal altitude variation of a circular orbit, ~21 km,
+    /// where the Rytov integral is flat because all turbulence lies below
+    /// ~30 km).
+    const TX_SPLIT_M: f64 = 100_000.0;
+    /// Cap on precomputed tables; pairs beyond the cap fall back to exact
+    /// evaluation (correct, just slower).
+    const MAX_TABLES: usize = 12;
+
+    /// Build the evaluator with the two legacy altitude classes
+    /// (300 m ground → 500 km satellites, 300 m ground → 30 km HAPs).
+    /// Prefer [`LinkEvaluator::for_hosts`], which derives the classes from
+    /// the actual host set; any pair outside these classes silently takes
+    /// the exact (slower) path rather than a wrong-altitude table.
     pub fn new(config: SimConfig) -> LinkEvaluator {
-        LinkEvaluator {
-            sat_ground_rytov: RytovTable::build(&config.fso, 300.0, 500_000.0),
-            hap_ground_rytov: RytovTable::build(&config.fso, 300.0, 30_000.0),
-            config,
+        Self::from_classes(config, &[(300.0, 30_000.0), (300.0, 500_000.0)])
+    }
+
+    /// Build the evaluator with Rytov tables keyed by the altitude classes
+    /// actually present in `hosts`: one receiver class per 100 m ground
+    /// bin × one transmitter class per satellite/HAP altitude bin.
+    pub fn for_hosts(config: SimConfig, hosts: &[Host]) -> LinkEvaluator {
+        let mut rx: Vec<f64> = hosts
+            .iter()
+            .filter(|h| h.is_ground())
+            .map(|h| Self::rx_class_m(h.altitude_at(0)))
+            .collect();
+        let mut tx: Vec<f64> = hosts
+            .iter()
+            .filter(|h| !h.is_ground())
+            .map(|h| Self::tx_class_m(h.altitude_at(0)))
+            .collect();
+        for v in [&mut rx, &mut tx] {
+            v.sort_by(f64::total_cmp);
+            v.dedup();
         }
+        let classes: Vec<(f64, f64)> = rx
+            .iter()
+            .flat_map(|&r| tx.iter().map(move |&t| (r, t)))
+            .take(Self::MAX_TABLES)
+            .collect();
+        Self::from_classes(config, &classes)
+    }
+
+    /// Build with explicit (rx_alt, tx_alt) table classes.
+    pub fn from_classes(config: SimConfig, classes: &[(f64, f64)]) -> LinkEvaluator {
+        let mut classes: Vec<(f64, f64)> = classes.to_vec();
+        classes.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        classes.dedup();
+        let rytov_tables = classes
+            .iter()
+            .map(|&(rx_alt, tx_alt)| RytovTable::build(&config.fso, rx_alt, tx_alt))
+            .collect();
+        LinkEvaluator {
+            config,
+            rytov_tables,
+        }
+    }
+
+    /// Canonical receiver (ground) altitude class: 100 m bins.
+    fn rx_class_m(alt_m: f64) -> f64 {
+        (alt_m / 100.0).round() * 100.0
+    }
+
+    /// Canonical transmitter (satellite/HAP) altitude class: 5 km bins in
+    /// the stratosphere, 50 km bins for orbital altitudes.
+    fn tx_class_m(alt_m: f64) -> f64 {
+        if alt_m < Self::TX_SPLIT_M {
+            (alt_m / 5_000.0).round() * 5_000.0
+        } else {
+            (alt_m / 50_000.0).round() * 50_000.0
+        }
+    }
+
+    /// The (rx_alt, tx_alt) classes of the precomputed Rytov tables.
+    pub fn rytov_classes(&self) -> Vec<(f64, f64)> {
+        self.rytov_tables
+            .iter()
+            .map(|t| (t.rx_alt_m(), t.tx_alt_m()))
+            .collect()
+    }
+
+    /// The nearest precomputed table matching this (receiver, transmitter)
+    /// altitude pair within the class tolerances, or `None` when the pair
+    /// has no matching class and must be evaluated exactly.
+    fn rytov_table_for(&self, rx_alt_m: f64, tx_alt_m: f64) -> Option<&RytovTable> {
+        let tx_tol = |tx_class: f64| {
+            if tx_class < Self::TX_SPLIT_M {
+                2_500.0
+            } else {
+                50_000.0
+            }
+        };
+        self.rytov_tables
+            .iter()
+            .filter(|t| {
+                (rx_alt_m - t.rx_alt_m()).abs() <= Self::RX_TOL_M
+                    && (tx_alt_m - t.tx_alt_m()).abs() <= tx_tol(t.tx_alt_m())
+            })
+            .min_by(|a, b| {
+                let ta = (tx_alt_m - a.tx_alt_m()).abs();
+                let tb = (tx_alt_m - b.tx_alt_m()).abs();
+                ta.total_cmp(&tb).then(
+                    (rx_alt_m - a.rx_alt_m())
+                        .abs()
+                        .total_cmp(&(rx_alt_m - b.rx_alt_m()).abs()),
+                )
+            })
     }
 
     /// The configuration in use.
@@ -134,8 +336,7 @@ impl LinkEvaluator {
 
     /// Fiber transmissivity between two static ground positions.
     pub fn fiber_eta(&self, a: Geodetic, b: Geodetic) -> f64 {
-        let dist =
-            vincenty_m(a, b, &WGS84).unwrap_or_else(|| qntn_geo::haversine_m(a, b, &WGS84));
+        let dist = vincenty_m(a, b, &WGS84).unwrap_or_else(|| qntn_geo::haversine_m(a, b, &WGS84));
         FiberChannel::new(dist, self.config.fiber_attenuation_db_per_km).transmissivity()
     }
 
@@ -172,7 +373,11 @@ impl LinkEvaluator {
 
         // Ground–satellite, ground–HAP, HAP–HAP or HAP–satellite: order by
         // altitude.
-        let (low, high) = if a.altitude_at(step) <= b.altitude_at(step) { (a, b) } else { (b, a) };
+        let (low, high) = if a.altitude_at(step) <= b.altitude_at(step) {
+            (a, b)
+        } else {
+            (b, a)
+        };
         let low_pos = low.geodetic_at(step);
         let look = look_angles_ecef(low_pos, high.ecef_at(step), &WGS84);
         // Visibility: a ground endpoint needs positive elevation; between
@@ -195,15 +400,15 @@ impl LinkEvaluator {
             look.elevation,
         );
         let channel = FsoChannel::new(geom, self.config.fso);
-        // Cached Rytov for the two common downlink classes; exact elsewhere.
-        let rytov = if matches!(self.config.fso.elevation_mode, ElevationMode::Geometric) {
-            if high.is_satellite() && low.is_ground() {
-                Some(self.sat_ground_rytov.lookup(look.elevation))
-            } else if high.is_hap() && low.is_ground() {
-                Some(self.hap_ground_rytov.lookup(look.elevation))
-            } else {
-                None
-            }
+        // Cached Rytov when a table matches this pair's altitude classes;
+        // exact evaluation otherwise (a mismatched-altitude table would be
+        // silently wrong, the bug this keying exists to prevent).
+        let rytov = if matches!(self.config.fso.elevation_mode, ElevationMode::Geometric)
+            && low.is_ground()
+            && (high.is_satellite() || high.is_hap())
+        {
+            self.rytov_table_for(low_pos.alt_m, high.altitude_at(step))
+                .map(|t| t.lookup(look.elevation))
         } else {
             None
         };
@@ -237,7 +442,11 @@ mod tests {
             Epoch::J2000,
             PerturbationModel::TwoBody,
         );
-        Host::satellite("S", Ephemeris::generate(&prop, Epoch::J2000, 30.0, 86_400.0), 1.2)
+        Host::satellite(
+            "S",
+            Ephemeris::generate(&prop, Epoch::J2000, 30.0, 86_400.0),
+            1.2,
+        )
     }
 
     fn eval() -> LinkEvaluator {
@@ -267,7 +476,9 @@ mod tests {
     #[test]
     fn ground_to_ground_has_no_fso() {
         let e = eval();
-        assert!(e.fso_eta(&ground(36.0, -85.0), &ground(35.5, -85.2), 0).is_none());
+        assert!(e
+            .fso_eta(&ground(36.0, -85.0), &ground(35.5, -85.2), 0)
+            .is_none());
     }
 
     #[test]
@@ -318,10 +529,19 @@ mod tests {
         let g = ground(36.0, -85.0);
         let s = satellite(0.0, 0.0);
         for step in (0..2880).step_by(97) {
-            let Some(eta_cached) = e.fso_eta(&g, &s, step) else { continue };
+            let Some(eta_cached) = e.fso_eta(&g, &s, step) else {
+                continue;
+            };
             // Exact: rebuild the channel without the cache.
             let look = look_angles_ecef(g.geodetic_at(step), s.ecef_at(step), &WGS84);
-            let geom = FsoGeometry::downlink(1.2, s.altitude_at(step), 1.2, 300.0, look.range_m, look.elevation);
+            let geom = FsoGeometry::downlink(
+                1.2,
+                s.altitude_at(step),
+                1.2,
+                300.0,
+                look.range_m,
+                look.elevation,
+            );
             let exact = FsoChannel::new(geom, cfg.fso).transmissivity();
             assert!(
                 (eta_cached - exact).abs() < 1e-4,
@@ -330,10 +550,149 @@ mod tests {
         }
     }
 
+    fn satellite_at(sma_m: f64, raan_deg: f64, ta_deg: f64) -> Host {
+        let prop = Propagator::new(
+            Keplerian::circular(
+                sma_m,
+                53f64.to_radians(),
+                raan_deg.to_radians(),
+                ta_deg.to_radians(),
+            ),
+            Epoch::J2000,
+            PerturbationModel::TwoBody,
+        );
+        Host::satellite(
+            "S",
+            Ephemeris::generate(&prop, Epoch::J2000, 30.0, 86_400.0),
+            1.2,
+        )
+    }
+
+    #[test]
+    fn rytov_cache_keys_by_altitude_class() {
+        // Regression for the hardcoded 500 km / 300 m tables: an 800 km
+        // constellation over a 600 m ground site must get tables built for
+        // *its* altitudes, and the cached path must still track the exact
+        // evaluation.
+        let cfg = SimConfig::default();
+        let g = Host::ground("G", 0, Geodetic::from_deg(36.0, -85.0, 600.0), 1.2);
+        let s = satellite_at(7_171_000.0, 0.0, 0.0); // ~800 km altitude
+        let e = LinkEvaluator::for_hosts(cfg, &[g.clone(), s.clone()]);
+        let classes = e.rytov_classes();
+        assert_eq!(classes.len(), 1, "{classes:?}");
+        assert!((classes[0].0 - 600.0).abs() < 1e-9, "{classes:?}");
+        assert!((classes[0].1 - 800_000.0).abs() < 50_000.0, "{classes:?}");
+        let mut checked = 0;
+        for step in (0..2880).step_by(97) {
+            let Some(eta_cached) = e.fso_eta(&g, &s, step) else {
+                continue;
+            };
+            let look = look_angles_ecef(g.geodetic_at(step), s.ecef_at(step), &WGS84);
+            let geom = FsoGeometry::downlink(
+                1.2,
+                s.altitude_at(step),
+                1.2,
+                600.0,
+                look.range_m,
+                look.elevation,
+            );
+            let exact = FsoChannel::new(geom, cfg.fso).transmissivity();
+            assert!(
+                (eta_cached - exact).abs() < 1e-4,
+                "step {step}: cached {eta_cached} vs exact {exact}"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0, "satellite never visible; test is vacuous");
+    }
+
+    #[test]
+    fn unmatched_altitude_class_falls_back_to_exact() {
+        // The legacy evaluator only carries 300 m-ground classes; a mountain
+        // site at 1500 m matches no table, so the evaluator must take the
+        // exact path (bit-identical to a by-hand exact budget) instead of
+        // reusing the 300 m table as the old code did.
+        let cfg = SimConfig::default();
+        let e = LinkEvaluator::new(cfg);
+        let g = Host::ground("G", 0, Geodetic::from_deg(36.0, -85.0, 1_500.0), 1.2);
+        assert!(e.rytov_table_for(1_500.0, 500_000.0).is_none());
+        let s = satellite_at(6_871_000.0, 0.0, 0.0);
+        let mut checked = 0;
+        for step in (0..2880).step_by(53) {
+            let Some(eta) = e.fso_eta(&g, &s, step) else {
+                continue;
+            };
+            let look = look_angles_ecef(g.geodetic_at(step), s.ecef_at(step), &WGS84);
+            let geom = FsoGeometry::downlink(
+                1.2,
+                s.altitude_at(step),
+                1.2,
+                1_500.0,
+                look.range_m,
+                look.elevation,
+            );
+            let exact = FsoChannel::new(geom, cfg.fso).transmissivity();
+            assert!((eta - exact).abs() < 1e-15, "step {step}: {eta} vs {exact}");
+            checked += 1;
+        }
+        assert!(checked > 0, "satellite never visible; test is vacuous");
+    }
+
+    #[test]
+    fn for_hosts_derives_classes_from_host_set() {
+        let cfg = SimConfig::default();
+        let hosts = vec![
+            Host::ground("G1", 0, Geodetic::from_deg(36.0, -85.0, 300.0), 1.2),
+            Host::ground("G2", 1, Geodetic::from_deg(35.9, -84.3, 250.0), 1.2),
+            Host::ground("G3", 2, Geodetic::from_deg(35.0, -85.3, 200.0), 1.2),
+            hap(),
+            satellite_at(6_871_000.0, 0.0, 0.0),
+        ];
+        let e = LinkEvaluator::for_hosts(cfg, &hosts);
+        let classes = e.rytov_classes();
+        // rx bins {200, 300} (250 rounds up) × tx bins {30 km, 500 km}.
+        assert_eq!(classes.len(), 4, "{classes:?}");
+        for rx in [200.0, 300.0] {
+            for tx in [30_000.0, 500_000.0] {
+                assert!(
+                    classes
+                        .iter()
+                        .any(|&(r, t)| r == rx && (t - tx).abs() <= 50_000.0),
+                    "missing class ({rx}, {tx}): {classes:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn validate_accepts_default_and_rejects_nonsense() {
+        assert!(SimConfig::default().validate().is_ok());
+        let bad = |f: &dyn Fn(&mut SimConfig)| {
+            let mut c = SimConfig::default();
+            f(&mut c);
+            c.validate()
+        };
+        assert!(bad(&|c| c.threshold = 0.0).is_err());
+        assert!(bad(&|c| c.threshold = 1.5).is_err());
+        assert!(bad(&|c| c.threshold = f64::NAN).is_err());
+        assert!(bad(&|c| c.fiber_attenuation_db_per_km = -0.1).is_err());
+        assert!(bad(&|c| c.fiber_attenuation_db_per_km = f64::INFINITY).is_err());
+        assert!(bad(&|c| c.isl_max_range_m = 0.0).is_err());
+        assert!(bad(&|c| c.fso.wavelength_m = f64::NAN).is_err());
+        assert!(bad(&|c| c.fso.receiver_efficiency = 0.0).is_err());
+        assert!(bad(&|c| c.fso.receiver_efficiency = 1.2).is_err());
+        assert!(bad(&|c| c.fso.pointing_jitter_rad = -1e-6).is_err());
+        assert!(bad(&|c| c.fso.turbulence.scale = f64::NAN).is_err());
+        assert!(bad(&|c| c.fso.atmosphere.scale_height_m = 0.0).is_err());
+        assert!(bad(&|c| c.fso.elevation_mode = ElevationMode::Fixed(f64::NAN)).is_err());
+    }
+
     #[test]
     fn isl_respects_range_cutoff() {
-        let mut cfg = SimConfig::default();
-        cfg.isl_max_range_m = 1_000.0; // absurdly small: nothing qualifies
+        let cfg = SimConfig {
+            isl_max_range_m: 1_000.0, // absurdly small: nothing qualifies
+            ..SimConfig::default()
+        };
         let e = LinkEvaluator::new(cfg);
         let s1 = satellite(0.0, 0.0);
         let s2 = satellite(0.0, 60.0);
@@ -342,7 +701,10 @@ mod tests {
 
     #[test]
     fn isl_disabled_gives_none() {
-        let cfg = SimConfig { enable_isl: false, ..SimConfig::default() };
+        let cfg = SimConfig {
+            enable_isl: false,
+            ..SimConfig::default()
+        };
         let e = LinkEvaluator::new(cfg);
         let s1 = satellite(0.0, 0.0);
         let s2 = satellite(0.0, 60.0);
@@ -353,7 +715,10 @@ mod tests {
     fn in_plane_neighbours_are_below_threshold() {
         // Adjacent satellites in one plane: 60° apart at a = 6871 km is a
         // 6871 km chord — way beyond any FSO budget here.
-        let cfg = SimConfig { isl_max_range_m: 1e7, ..SimConfig::default() };
+        let cfg = SimConfig {
+            isl_max_range_m: 1e7,
+            ..SimConfig::default()
+        };
         let e = LinkEvaluator::new(cfg);
         let s1 = satellite(0.0, 0.0);
         let s2 = satellite(0.0, 60.0);
@@ -388,7 +753,9 @@ mod tests {
         let e = eval();
         let h1 = Host::hap("H1", Geodetic::from_deg(36.00, -85.00, 30_000.0), 0.3);
         let near = Host::hap("H2", Geodetic::from_deg(36.00, -84.56, 30_000.0), 0.3);
-        let eta = e.fso_eta(&h1, &near, 0).expect("stratospheric path is clear");
+        let eta = e
+            .fso_eta(&h1, &near, 0)
+            .expect("stratospheric path is clear");
         assert!(eta >= PAPER_THRESHOLD, "40 km hop: {eta}");
         let far = Host::hap("H3", Geodetic::from_deg(35.90, -83.80, 30_000.0), 0.3);
         let eta_far = e.fso_eta(&h1, &far, 0).expect("path is clear, just lossy");

@@ -8,10 +8,10 @@
 
 use crate::entanglement::{distribute, Distribution};
 use crate::simulator::QuantumNetworkSim;
+use crate::sweep_engine::SweepEngine;
+use qntn_routing::{NodeId, RouteMetric};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use rayon::prelude::*;
-use qntn_routing::{NodeId, RouteMetric};
 use serde::{Deserialize, Serialize};
 
 /// One entanglement-distribution request.
@@ -43,8 +43,10 @@ impl RequestWorkload {
     /// # Panics
     /// Panics when the simulator has fewer than two LANs with members.
     pub fn generate(sim: &QuantumNetworkSim, n: usize, seed: u64) -> RequestWorkload {
-        let lans: Vec<&[usize]> =
-            (0..sim.lan_count()).map(|l| sim.lan_members(l)).filter(|m| !m.is_empty()).collect();
+        let lans: Vec<&[usize]> = (0..sim.lan_count())
+            .map(|l| sim.lan_members(l))
+            .filter(|m| !m.is_empty())
+            .collect();
         assert!(lans.len() >= 2, "need at least two populated LANs");
         let mut rng = StdRng::seed_from_u64(seed);
         let requests = (0..n)
@@ -114,8 +116,10 @@ impl SweepStats {
 
 /// The paper's experiment: at each of `steps`, draw a fresh batch of
 /// `requests_per_step` random inter-LAN requests (seeded per step), attempt
-/// them on that step's graph, and aggregate. Parallel over steps,
-/// deterministic for a given `seed`.
+/// them on that step's graph, and aggregate. Runs on the window-pruned
+/// [`SweepEngine`] (parallel over steps, deterministic for a given `seed`);
+/// construct an engine directly via [`SweepEngine::sweep`] to control
+/// parallelism or share contact windows.
 pub fn sweep(
     sim: &QuantumNetworkSim,
     steps: &[usize],
@@ -123,15 +127,11 @@ pub fn sweep(
     seed: u64,
     metric: RouteMetric,
 ) -> SweepStats {
-    let per_step: Vec<Vec<RequestOutcome>> = steps
-        .par_iter()
-        .map(|&step| {
-            let workload =
-                RequestWorkload::generate(sim, requests_per_step, seed ^ (step as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
-            workload.evaluate_at(sim, step, metric)
-        })
-        .collect();
+    SweepEngine::for_steps(sim, steps).sweep(steps, requests_per_step, seed, metric)
+}
 
+/// Fold per-step request outcomes into [`SweepStats`], in step order.
+pub fn aggregate_outcomes(per_step: &[Vec<RequestOutcome>]) -> SweepStats {
     let mut stats = SweepStats {
         attempted: 0,
         served: 0,
@@ -141,7 +141,7 @@ pub fn sweep(
         mean_hops: 0.0,
     };
     let (mut f_sum, mut fl_sum, mut eta_sum, mut hop_sum) = (0.0, 0.0, 0.0, 0.0);
-    for outcomes in &per_step {
+    for outcomes in per_step {
         for o in outcomes {
             stats.attempted += 1;
             if let RequestOutcome::Served(d) = o {
@@ -201,7 +201,10 @@ mod tests {
         for r in &w1.requests {
             let src_lan = sim.hosts()[r.src].lan().unwrap();
             let dst_lan = sim.hosts()[r.dst].lan().unwrap();
-            assert_ne!(src_lan, dst_lan, "source and destination must differ in LAN");
+            assert_ne!(
+                src_lan, dst_lan,
+                "source and destination must differ in LAN"
+            );
         }
     }
 

@@ -29,9 +29,13 @@ impl QuantumNetworkSim {
     /// `steps` × `step_s` is the simulated window (the paper: 2880 × 30 s).
     ///
     /// # Panics
-    /// Panics when a satellite's movement sheet is shorter than `steps` or
-    /// uses a different cadence.
+    /// Panics when `config` fails [`SimConfig::validate`], or when a
+    /// satellite's movement sheet is shorter than `steps` or uses a
+    /// different cadence.
     pub fn new(hosts: Vec<Host>, config: SimConfig, steps: usize, step_s: f64) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
         assert!(steps > 0, "need at least one time step");
         for h in &hosts {
             if let HostKind::Satellite { ephemeris } = &h.kind {
@@ -49,10 +53,14 @@ impl QuantumNetworkSim {
                 );
             }
         }
-        let evaluator = LinkEvaluator::new(config);
+        let evaluator = LinkEvaluator::for_hosts(config, &hosts);
 
         // LAN membership map.
-        let max_lan = hosts.iter().filter_map(Host::lan).max().map_or(0, |m| m + 1);
+        let max_lan = hosts
+            .iter()
+            .filter_map(Host::lan)
+            .max()
+            .map_or(0, |m| m + 1);
         let mut lans: Vec<Vec<usize>> = vec![Vec::new(); max_lan];
         for (i, h) in hosts.iter().enumerate() {
             if let Some(lan) = h.lan() {
@@ -65,14 +73,20 @@ impl QuantumNetworkSim {
         for members in &lans {
             for (a_idx, &a) in members.iter().enumerate() {
                 for &b in &members[a_idx + 1..] {
-                    let eta =
-                        evaluator.fiber_eta(hosts[a].geodetic_at(0), hosts[b].geodetic_at(0));
+                    let eta = evaluator.fiber_eta(hosts[a].geodetic_at(0), hosts[b].geodetic_at(0));
                     fiber_edges.push((a, b, eta));
                 }
             }
         }
 
-        QuantumNetworkSim { hosts, evaluator, fiber_edges, lans, steps, step_s }
+        QuantumNetworkSim {
+            hosts,
+            evaluator,
+            fiber_edges,
+            lans,
+            steps,
+            step_s,
+        }
     }
 
     /// All hosts (graph node id = index).
@@ -111,6 +125,13 @@ impl QuantumNetworkSim {
         &self.evaluator
     }
 
+    /// The precomputed static fiber mesh as `(a, b, eta)` triples, in the
+    /// insertion order [`QuantumNetworkSim::graph_at`] uses.
+    #[inline]
+    pub fn fiber_edges(&self) -> &[(usize, usize, f64)] {
+        &self.fiber_edges
+    }
+
     /// The full transmissivity graph at a time step (no threshold applied).
     pub fn graph_at(&self, step: usize) -> Graph {
         assert!(step < self.steps, "step out of range");
@@ -137,7 +158,8 @@ impl QuantumNetworkSim {
     /// The threshold-gated graph at a time step — the network the paper's
     /// routing actually sees.
     pub fn active_graph_at(&self, step: usize) -> Graph {
-        self.graph_at(step).thresholded(self.evaluator.config().threshold)
+        self.graph_at(step)
+            .thresholded(self.evaluator.config().threshold)
     }
 
     /// True when every pair of LANs is connected in `graph` (via any path).
@@ -145,9 +167,9 @@ impl QuantumNetworkSim {
         let labels = graph.components();
         for i in 0..self.lans.len() {
             for j in (i + 1)..self.lans.len() {
-                let pair_connected = self.lans[i].iter().any(|&a| {
-                    self.lans[j].iter().any(|&b| labels[a] == labels[b])
-                });
+                let pair_connected = self.lans[i]
+                    .iter()
+                    .any(|&a| self.lans[j].iter().any(|&b| labels[a] == labels[b]));
                 if !pair_connected {
                     return false;
                 }
@@ -182,9 +204,19 @@ mod tests {
             .collect();
         let ephs = Ephemeris::generate_many(&props, Epoch::J2000, 30.0, steps as f64 * 30.0);
         let mut hosts = vec![
-            Host::ground("TTU-0", 0, Geodetic::from_deg(36.1757, -85.5066, 300.0), 1.2),
+            Host::ground(
+                "TTU-0",
+                0,
+                Geodetic::from_deg(36.1757, -85.5066, 300.0),
+                1.2,
+            ),
             Host::ground("ORNL-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
-            Host::ground("EPB-0", 2, Geodetic::from_deg(35.04159, -85.2799, 200.0), 1.2),
+            Host::ground(
+                "EPB-0",
+                2,
+                Geodetic::from_deg(35.04159, -85.2799, 200.0),
+                1.2,
+            ),
         ];
         for (i, eph) in ephs.into_iter().enumerate() {
             hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
@@ -198,7 +230,10 @@ mod tests {
         let g = sim.graph_at(0);
         assert!(g.has_edge(0, 1), "A-LAN internal fiber");
         assert!(g.has_edge(2, 3), "B-LAN internal fiber");
-        assert!(!g.has_edge(0, 2), "no inter-LAN fiber, no ground-ground FSO");
+        assert!(
+            !g.has_edge(0, 2),
+            "no inter-LAN fiber, no ground-ground FSO"
+        );
     }
 
     #[test]
@@ -247,13 +282,35 @@ mod tests {
     #[test]
     fn without_satellites_lans_are_disconnected() {
         let sim = sat_sim(6, 2);
-        // Drop all FSO edges by thresholding at 1.1 equivalent: build a
-        // graph with fiber only (satellites below threshold or absent is
-        // equivalent to no qualifying satellite links).
-        let mut g = Graph::with_nodes(sim.hosts().len());
-        // fiber only: single-node LANs have no edges at all
-        assert!(!sim.lans_interconnected(&g.thresholded(0.0)) || sim.lan_count() < 2);
-        let _ = &mut g;
+        assert_eq!(sim.lan_count(), 3);
+        // Strip every edge touching a satellite from the simulator's actual
+        // thresholded graph; the remaining terrestrial (fiber-only) network
+        // must leave the three LANs mutually disconnected.
+        let full = sim.active_graph_at(0);
+        let mut terrestrial = Graph::with_nodes(sim.hosts().len());
+        for (u, v, eta) in full.edges() {
+            if sim.hosts()[u].is_ground() && sim.hosts()[v].is_ground() {
+                terrestrial.set_edge(u, v, eta);
+            }
+        }
+        assert!(
+            !sim.lans_interconnected(&terrestrial),
+            "LANs must not interconnect without the space segment"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimConfig")]
+    fn rejects_invalid_config() {
+        let hosts = vec![
+            Host::ground("A", 0, Geodetic::from_deg(36.0, -85.0, 300.0), 1.2),
+            Host::ground("B", 1, Geodetic::from_deg(35.9, -84.3, 250.0), 1.2),
+        ];
+        let config = SimConfig {
+            threshold: f64::NAN,
+            ..SimConfig::default()
+        };
+        QuantumNetworkSim::new(hosts, config, 10, 30.0);
     }
 
     #[test]

@@ -26,7 +26,12 @@ pub enum LinkClass {
 
 /// Classify one edge by its endpoint host kinds.
 pub fn classify(a: &Host, b: &Host) -> LinkClass {
-    match (a.is_ground(), b.is_ground(), a.is_satellite(), b.is_satellite()) {
+    match (
+        a.is_ground(),
+        b.is_ground(),
+        a.is_satellite(),
+        b.is_satellite(),
+    ) {
         (true, true, _, _) => LinkClass::Fiber,
         (_, _, true, true) => LinkClass::Isl,
         (true, _, _, true) | (_, true, true, _) => LinkClass::SatGround,
@@ -100,7 +105,10 @@ impl Snapshot {
 
     /// The census for one class, if any links of it are active.
     pub fn class(&self, class: LinkClass) -> Option<&ClassCensus> {
-        self.classes.iter().find(|(c, _)| *c == class).map(|(_, s)| s)
+        self.classes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, s)| s)
     }
 
     /// Render as an aligned text table.

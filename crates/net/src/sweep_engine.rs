@@ -1,0 +1,719 @@
+//! The sweep engine: fast, deterministic evaluation of the daily time loop.
+//!
+//! Every headline number of the paper (Figs. 6–8, Table III) is a function
+//! of the thresholded link graph at up to 2880 time steps. The naive loop
+//! re-evaluates every host pair at every step — O(N²) full FSO budgets per
+//! step, although a 500 km satellite is above a Tennessee site's horizon
+//! only a few percent of the day. [`SweepEngine`] removes that waste in
+//! three layers:
+//!
+//! 1. **Contact-window pruning** ([`ContactWindows`]): per (ground,
+//!    satellite) pair, the zero-elevation-mask visibility windows are
+//!    precomputed from the movement sheets with `qntn-orbit`'s pass
+//!    machinery (one dot product per sample). Outside a window the link
+//!    evaluator is provably `None` (it requires strictly positive
+//!    elevation, the windows include elevation ≥ 0), so the engine skips
+//!    the FSO budget entirely. Inside a window the evaluator runs
+//!    unchanged — pruning is exact, not approximate.
+//! 2. **Step parallelism**: time steps are independent, so sweeps fan them
+//!    across rayon workers and reassemble results in step order. A
+//!    `--no-parallel` escape hatch ([`SweepEngine::with_parallel`]) runs
+//!    the same closures on one thread; both paths are bit-identical
+//!    because no result depends on worker assignment.
+//! 3. **Scratch reuse** ([`SweepScratch`]): each worker keeps one full-
+//!    graph buffer, one thresholded-graph buffer and one Bellman–Ford
+//!    table, reset (not reallocated) per step via `Graph::reset` /
+//!    `SsspTable::reset`.
+//!
+//! **Determinism guarantee**: for any step, the engine's graphs are
+//! bit-identical — including adjacency-list order, which routing
+//! tie-breaking depends on — to `QuantumNetworkSim::graph_at` /
+//! `active_graph_at`. The full graph replicates the naive insertion order
+//! (fiber mesh first, then host pairs in ascending `(a, b)` order) and the
+//! thresholded graph is derived from it by the same `thresholded` filter.
+//! Tests assert naive == sequential == parallel down to the adjacency
+//! lists.
+
+use crate::coverage::{CoverageAnalyzer, CoverageReport};
+use crate::entanglement::distribute_with;
+use crate::host::HostKind;
+use crate::requests::{aggregate_outcomes, RequestOutcome, RequestWorkload, SweepStats};
+use crate::simulator::QuantumNetworkSim;
+use qntn_geo::{Enu, Geodetic, Vec3, WGS84};
+use qntn_orbit::{Ephemeris, PassPredictor};
+use qntn_routing::{Graph, RouteMetric, SsspTable};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Per-(satellite, step) bitmasks of which ground sites a satellite is at
+/// or above the horizon of (elevation ≥ 0, the conservative superset of
+/// the link evaluator's `elevation > 0` requirement).
+///
+/// Ground sites map to bit slots in host order; per-satellite step vectors
+/// are `Arc`-shared so [`ContactWindows::prefix`] reuses one full-
+/// constellation precompute across every constellation size of a sweep.
+/// With more than 64 ground sites (not the paper's 31) the windows
+/// degrade to "always visible" — correct, merely unpruned.
+#[derive(Debug, Clone)]
+pub struct ContactWindows {
+    n_steps: usize,
+    n_lows: usize,
+    /// One mask vector per satellite; an empty vector means "no data,
+    /// treat everything as visible".
+    masks: Vec<Arc<Vec<u64>>>,
+}
+
+impl ContactWindows {
+    /// Most ground slots a mask word can hold.
+    const MAX_LOWS: usize = 64;
+
+    /// Precompute windows for every step of every `(low, satellite)` pair.
+    pub fn compute(lows: &[Geodetic], ephemerides: &[&Ephemeris], n_steps: usize) -> Self {
+        let n_lows = lows.len();
+        if n_lows > Self::MAX_LOWS {
+            return Self::all_visible(n_steps, n_lows, ephemerides.len());
+        }
+        let predictors: Vec<PassPredictor> = lows
+            .iter()
+            .map(|&site| PassPredictor::new(site, 0.0))
+            .collect();
+        let masks = ephemerides
+            .par_iter()
+            .map(|eph| {
+                let mut mask = vec![0u64; n_steps];
+                for (slot, pred) in predictors.iter().enumerate() {
+                    let flags = pred.above_horizon_flags(eph);
+                    for (k, word) in mask.iter_mut().enumerate() {
+                        if flags.get(k).copied().unwrap_or(false) {
+                            *word |= 1 << slot;
+                        }
+                    }
+                }
+                Arc::new(mask)
+            })
+            .collect();
+        ContactWindows {
+            n_steps,
+            n_lows,
+            masks,
+        }
+    }
+
+    /// Precompute windows only at `steps` (e.g. the 100 sampled steps of a
+    /// request sweep); every other step defaults to all-visible, so the
+    /// result is exact wherever it is consulted and merely unpruned
+    /// elsewhere.
+    pub fn compute_for_steps(
+        lows: &[Geodetic],
+        ephemerides: &[&Ephemeris],
+        n_steps: usize,
+        steps: &[usize],
+    ) -> Self {
+        let n_lows = lows.len();
+        if n_lows > Self::MAX_LOWS {
+            return Self::all_visible(n_steps, n_lows, ephemerides.len());
+        }
+        // The same above-horizon predicate as `PassPredictor::
+        // above_horizon_flags`, evaluated pointwise.
+        let sites: Vec<(Vec3, Vec3)> = lows
+            .iter()
+            .map(|&site| (site.to_ecef(&WGS84), Enu::at(site, &WGS84).up()))
+            .collect();
+        let masks = ephemerides
+            .par_iter()
+            .map(|eph| {
+                let mut mask = vec![u64::MAX; n_steps];
+                for &step in steps {
+                    let ecef = eph.at_step(step).ecef;
+                    let mut word = 0u64;
+                    for (slot, &(site_ecef, up)) in sites.iter().enumerate() {
+                        if (ecef - site_ecef).dot(up) >= 0.0 {
+                            word |= 1 << slot;
+                        }
+                    }
+                    mask[step] = word;
+                }
+                Arc::new(mask)
+            })
+            .collect();
+        ContactWindows {
+            n_steps,
+            n_lows,
+            masks,
+        }
+    }
+
+    /// Windows for every (ground, satellite) pair of `sim`, all steps.
+    pub fn for_sim(sim: &QuantumNetworkSim) -> Self {
+        let (lows, ephs) = Self::sim_geometry(sim);
+        Self::compute(&lows, &ephs, sim.steps())
+    }
+
+    /// Windows for `sim` computed only at `steps`.
+    pub fn for_sim_steps(sim: &QuantumNetworkSim, steps: &[usize]) -> Self {
+        let (lows, ephs) = Self::sim_geometry(sim);
+        Self::compute_for_steps(&lows, &ephs, sim.steps(), steps)
+    }
+
+    fn sim_geometry(sim: &QuantumNetworkSim) -> (Vec<Geodetic>, Vec<&Ephemeris>) {
+        let lows = sim
+            .hosts()
+            .iter()
+            .filter(|h| h.is_ground())
+            .map(|h| h.geodetic_at(0))
+            .collect();
+        let ephs = sim
+            .hosts()
+            .iter()
+            .filter_map(|h| match &h.kind {
+                HostKind::Satellite { ephemeris } => Some(ephemeris),
+                _ => None,
+            })
+            .collect();
+        (lows, ephs)
+    }
+
+    fn all_visible(n_steps: usize, n_lows: usize, n_sats: usize) -> Self {
+        ContactWindows {
+            n_steps,
+            n_lows,
+            masks: (0..n_sats).map(|_| Arc::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Windows restricted to the first `n` satellites — the paper's
+    /// constellation prefixes (Table II) at zero recompute cost.
+    pub fn prefix(&self, n: usize) -> Self {
+        assert!(
+            n <= self.masks.len(),
+            "prefix larger than the computed constellation"
+        );
+        ContactWindows {
+            n_steps: self.n_steps,
+            n_lows: self.n_lows,
+            masks: self.masks[..n].to_vec(),
+        }
+    }
+
+    /// Number of time steps covered.
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// Number of ground slots.
+    #[inline]
+    pub fn lows(&self) -> usize {
+        self.n_lows
+    }
+
+    /// Number of satellites covered.
+    #[inline]
+    pub fn satellites(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Is satellite `sat` at/above the horizon of ground slot `low` at
+    /// `step`? Conservative: `true` whenever no window data exists.
+    #[inline]
+    pub fn visible(&self, sat: usize, step: usize, low: usize) -> bool {
+        let mask = &self.masks[sat];
+        if mask.is_empty() {
+            return true;
+        }
+        (mask[step] >> low) & 1 == 1
+    }
+}
+
+/// How the engine treats one host pair of the O(N²) loop.
+#[derive(Debug, Clone, Copy)]
+enum PairKind {
+    /// Neither endpoint moves: evaluated once at construction.
+    Static { a: usize, b: usize, eta: f64 },
+    /// Ground–satellite: evaluated only inside the contact window.
+    GroundSat {
+        a: usize,
+        b: usize,
+        sat: usize,
+        low: usize,
+    },
+    /// Anything else time-varying (ISLs, HAP–satellite): evaluated every
+    /// step.
+    Dynamic { a: usize, b: usize },
+}
+
+/// Per-worker reusable buffers for a sweep (one full graph, one
+/// thresholded graph, one Bellman–Ford table).
+#[derive(Debug, Default)]
+pub struct SweepScratch {
+    /// The unthresholded graph of the last [`SweepEngine::active_graph_into`].
+    pub full: Graph,
+    /// The thresholded graph of the last [`SweepEngine::active_graph_into`].
+    pub active: Graph,
+    /// Routing scratch for [`distribute_with`].
+    pub sssp: SsspTable,
+}
+
+/// The window-pruned, step-parallel, buffer-reusing sweep evaluator. See
+/// the module docs for the design and the determinism guarantee.
+#[derive(Debug, Clone)]
+pub struct SweepEngine<'a> {
+    sim: &'a QuantumNetworkSim,
+    windows: ContactWindows,
+    pairs: Vec<PairKind>,
+    parallel: bool,
+}
+
+impl<'a> SweepEngine<'a> {
+    /// An engine with full-day contact windows (the right choice when most
+    /// steps will be visited, e.g. coverage analysis).
+    pub fn new(sim: &'a QuantumNetworkSim) -> Self {
+        Self::with_windows(sim, ContactWindows::for_sim(sim))
+    }
+
+    /// An engine with windows computed only at `steps` (the right choice
+    /// for sampled-step request sweeps).
+    pub fn for_steps(sim: &'a QuantumNetworkSim, steps: &[usize]) -> Self {
+        Self::with_windows(sim, ContactWindows::for_sim_steps(sim, steps))
+    }
+
+    /// An engine reusing precomputed windows — e.g. a
+    /// [`ContactWindows::prefix`] of one full-constellation precompute
+    /// shared across every size of a constellation sweep.
+    ///
+    /// # Panics
+    /// Panics when the windows' shape does not match the simulator's
+    /// ground/satellite counts or step count.
+    pub fn with_windows(sim: &'a QuantumNetworkSim, windows: ContactWindows) -> Self {
+        let hosts = sim.hosts();
+        let n = hosts.len();
+        // Slot maps: ground index -> window bit, satellite index -> window row.
+        let mut ground_slot = vec![usize::MAX; n];
+        let mut sat_slot = vec![usize::MAX; n];
+        let (mut n_ground, mut n_sat) = (0, 0);
+        for (i, h) in hosts.iter().enumerate() {
+            if h.is_ground() {
+                ground_slot[i] = n_ground;
+                n_ground += 1;
+            } else if h.is_satellite() {
+                sat_slot[i] = n_sat;
+                n_sat += 1;
+            }
+        }
+        assert_eq!(
+            windows.lows(),
+            n_ground,
+            "windows built for a different ground set"
+        );
+        assert_eq!(
+            windows.satellites(),
+            n_sat,
+            "windows built for a different constellation"
+        );
+        assert_eq!(
+            windows.steps(),
+            sim.steps(),
+            "windows built for a different time span"
+        );
+
+        let evaluator = sim.evaluator();
+        let enable_isl = evaluator.config().enable_isl;
+        let mut pairs = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (ha, hb) = (&hosts[a], &hosts[b]);
+                if ha.is_ground() && hb.is_ground() {
+                    continue; // fiber mesh handles these; no FSO class
+                }
+                if !ha.is_satellite() && !hb.is_satellite() {
+                    // Static geometry: the evaluation is time-invariant.
+                    if let Some(eta) = evaluator.fso_eta(ha, hb, 0) {
+                        pairs.push(PairKind::Static { a, b, eta });
+                    }
+                    continue;
+                }
+                if ha.is_satellite() && hb.is_satellite() {
+                    if enable_isl {
+                        pairs.push(PairKind::Dynamic { a, b });
+                    }
+                    continue;
+                }
+                // Exactly one satellite. Window-prune only the ordinary
+                // case where the other endpoint is a ground site and the
+                // satellite is unambiguously the high endpoint; anything
+                // exotic stays on the always-evaluate path.
+                let (sat_idx, other) = if ha.is_satellite() { (a, b) } else { (b, a) };
+                if hosts[other].is_ground() && hosts[sat_idx].altitude_at(0) >= 20_000.0 {
+                    pairs.push(PairKind::GroundSat {
+                        a,
+                        b,
+                        sat: sat_slot[sat_idx],
+                        low: ground_slot[other],
+                    });
+                } else {
+                    pairs.push(PairKind::Dynamic { a, b });
+                }
+            }
+        }
+        SweepEngine {
+            sim,
+            windows,
+            pairs,
+            parallel: true,
+        }
+    }
+
+    /// Toggle step-level parallelism (the `--no-parallel` escape hatch).
+    /// Results are bit-identical either way; the sequential path exists to
+    /// demonstrate that, and for single-core or debugging runs.
+    pub fn with_parallel(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// The simulator this engine evaluates.
+    #[inline]
+    pub fn sim(&self) -> &QuantumNetworkSim {
+        self.sim
+    }
+
+    /// The contact windows in use.
+    #[inline]
+    pub fn windows(&self) -> &ContactWindows {
+        &self.windows
+    }
+
+    /// Build the full (unthresholded) graph at `step` into `g`, replicating
+    /// [`QuantumNetworkSim::graph_at`]'s insertion order exactly.
+    pub fn graph_into(&self, step: usize, g: &mut Graph) {
+        assert!(step < self.sim.steps(), "step out of range");
+        let hosts = self.sim.hosts();
+        let evaluator = self.sim.evaluator();
+        g.reset(hosts.len());
+        for &(a, b, eta) in self.sim.fiber_edges() {
+            g.set_edge(a, b, eta);
+        }
+        for pair in &self.pairs {
+            match *pair {
+                PairKind::Static { a, b, eta } => g.set_edge(a, b, eta),
+                PairKind::GroundSat { a, b, sat, low } => {
+                    if self.windows.visible(sat, step, low) {
+                        if let Some(eta) = evaluator.fso_eta(&hosts[a], &hosts[b], step) {
+                            g.set_edge(a, b, eta);
+                        }
+                    }
+                }
+                PairKind::Dynamic { a, b } => {
+                    if let Some(eta) = evaluator.fso_eta(&hosts[a], &hosts[b], step) {
+                        g.set_edge(a, b, eta);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The full graph at `step` (allocating convenience wrapper).
+    pub fn graph_at(&self, step: usize) -> Graph {
+        let mut g = Graph::default();
+        self.graph_into(step, &mut g);
+        g
+    }
+
+    /// Build the threshold-gated graph at `step` into `scratch.active`
+    /// (using `scratch.full` as the intermediate), matching
+    /// [`QuantumNetworkSim::active_graph_at`] bit-for-bit.
+    pub fn active_graph_into(&self, step: usize, scratch: &mut SweepScratch) {
+        self.graph_into(step, &mut scratch.full);
+        scratch
+            .full
+            .thresholded_into(self.sim.evaluator().config().threshold, &mut scratch.active);
+    }
+
+    /// The threshold-gated graph at `step` (allocating convenience wrapper).
+    pub fn active_graph_at(&self, step: usize) -> Graph {
+        let mut scratch = SweepScratch::default();
+        self.active_graph_into(step, &mut scratch);
+        scratch.active
+    }
+
+    /// Run `f` over `steps` — in parallel with per-worker scratch by
+    /// default, sequentially with one scratch under
+    /// [`SweepEngine::with_parallel`]`(false)` — returning results in step
+    /// order either way.
+    pub fn map_steps<R, F>(&self, steps: &[usize], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&mut SweepScratch, usize) -> R + Sync,
+    {
+        if self.parallel {
+            steps
+                .to_vec()
+                .into_par_iter()
+                .map_init(SweepScratch::default, |scratch, step| f(scratch, step))
+                .collect()
+        } else {
+            let mut scratch = SweepScratch::default();
+            steps.iter().map(|&step| f(&mut scratch, step)).collect()
+        }
+    }
+
+    /// Per-step "all LANs interconnected" flags over the whole window.
+    pub fn connectivity_flags(&self) -> Vec<bool> {
+        let steps: Vec<usize> = (0..self.sim.steps()).collect();
+        self.map_steps(&steps, |scratch, step| {
+            self.active_graph_into(step, scratch);
+            self.sim.lans_interconnected(&scratch.active)
+        })
+    }
+
+    /// Full-window coverage report (paper Eq. 6–7).
+    pub fn coverage(&self) -> CoverageReport {
+        CoverageAnalyzer::from_flags(self.connectivity_flags(), self.sim.step_s())
+    }
+
+    /// The paper's request sweep: per step, a seeded workload of
+    /// `requests_per_step` inter-LAN requests attempted on that step's
+    /// thresholded graph. Identical statistics to the naive
+    /// [`crate::requests`] path (which now delegates here).
+    pub fn sweep(
+        &self,
+        steps: &[usize],
+        requests_per_step: usize,
+        seed: u64,
+        metric: RouteMetric,
+    ) -> SweepStats {
+        let per_step: Vec<Vec<RequestOutcome>> = self.map_steps(steps, |scratch, step| {
+            let workload = RequestWorkload::generate(
+                self.sim,
+                requests_per_step,
+                seed ^ (step as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            self.active_graph_into(step, scratch);
+            let SweepScratch { active, sssp, .. } = scratch;
+            workload
+                .requests
+                .iter()
+                .map(
+                    |r| match distribute_with(active, r.src, r.dst, metric, sssp) {
+                        Some(d) => RequestOutcome::Served(d),
+                        None => RequestOutcome::Unserved,
+                    },
+                )
+                .collect()
+        });
+        aggregate_outcomes(&per_step)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Host;
+    use crate::linkeval::SimConfig;
+    use qntn_geo::Epoch;
+    use qntn_orbit::{paper_constellation, PerturbationModel, Propagator};
+
+    fn sat_ephemerides(n_sats: usize, steps: usize) -> Vec<Ephemeris> {
+        let props: Vec<Propagator> = paper_constellation(n_sats)
+            .into_iter()
+            .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+            .collect();
+        Ephemeris::generate_many(&props, Epoch::J2000, 30.0, steps as f64 * 30.0)
+    }
+
+    fn grounds() -> Vec<Host> {
+        vec![
+            Host::ground(
+                "TTU-0",
+                0,
+                Geodetic::from_deg(36.1757, -85.5066, 300.0),
+                1.2,
+            ),
+            Host::ground(
+                "TTU-1",
+                0,
+                Geodetic::from_deg(36.1751, -85.5067, 300.0),
+                1.2,
+            ),
+            Host::ground("ORNL-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+            Host::ground(
+                "EPB-0",
+                2,
+                Geodetic::from_deg(35.04159, -85.2799, 200.0),
+                1.2,
+            ),
+        ]
+    }
+
+    fn sat_sim(n_sats: usize, steps: usize) -> QuantumNetworkSim {
+        let mut hosts = grounds();
+        for (i, eph) in sat_ephemerides(n_sats, steps).into_iter().enumerate() {
+            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
+        }
+        QuantumNetworkSim::new(hosts, SimConfig::default(), steps, 30.0)
+    }
+
+    fn hybrid_sim(steps: usize) -> QuantumNetworkSim {
+        let mut hosts = grounds();
+        hosts.push(Host::hap(
+            "HAP",
+            Geodetic::from_deg(35.6692, -85.0662, 30_000.0),
+            0.3,
+        ));
+        for (i, eph) in sat_ephemerides(4, steps).into_iter().enumerate() {
+            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
+        }
+        QuantumNetworkSim::new(hosts, SimConfig::default(), steps, 30.0)
+    }
+
+    fn assert_graphs_identical(a: &Graph, b: &Graph, ctx: &str) {
+        assert_eq!(a.node_count(), b.node_count(), "{ctx}: node count");
+        assert_eq!(a.edge_count(), b.edge_count(), "{ctx}: edge count");
+        for u in 0..a.node_count() {
+            assert_eq!(
+                a.neighbors(u),
+                b.neighbors(u),
+                "{ctx}: adjacency of node {u}"
+            );
+        }
+    }
+
+    #[test]
+    fn windows_are_a_superset_of_qualifying_links() {
+        // Wherever the naive evaluator finds a ground-satellite link, the
+        // window must be open — otherwise pruning would drop real links.
+        let sim = sat_sim(6, 240);
+        let windows = ContactWindows::for_sim(&sim);
+        let hosts = sim.hosts();
+        for step in (0..240).step_by(7) {
+            for (low, g) in hosts.iter().enumerate().filter(|(_, h)| h.is_ground()) {
+                for (sat_slot, s) in hosts.iter().filter(|h| h.is_satellite()).enumerate() {
+                    if sim.evaluator().fso_eta(g, s, step).is_some() {
+                        assert!(
+                            windows.visible(sat_slot, step, low),
+                            "step {step}: window closed over a live link"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_graphs_match_naive_exactly() {
+        for (name, sim) in [("sat", sat_sim(6, 120)), ("hybrid", hybrid_sim(120))] {
+            let engine = SweepEngine::new(&sim);
+            for step in (0..120).step_by(11) {
+                assert_graphs_identical(
+                    &engine.graph_at(step),
+                    &sim.graph_at(step),
+                    &format!("{name} full graph, step {step}"),
+                );
+                assert_graphs_identical(
+                    &engine.active_graph_at(step),
+                    &sim.active_graph_at(step),
+                    &format!("{name} active graph, step {step}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_are_bit_identical() {
+        let sim = sat_sim(6, 120);
+        let par = SweepEngine::new(&sim);
+        let seq = SweepEngine::new(&sim).with_parallel(false);
+        assert_eq!(par.connectivity_flags(), seq.connectivity_flags());
+        let steps: Vec<usize> = (0..120).step_by(13).collect();
+        let metric = RouteMetric::PaperInverseEta;
+        assert_eq!(
+            par.sweep(&steps, 15, 2024, metric),
+            seq.sweep(&steps, 15, 2024, metric)
+        );
+        let cov_par = par.coverage();
+        let cov_seq = seq.coverage();
+        assert_eq!(cov_par.connected, cov_seq.connected);
+        assert_eq!(cov_par.intervals, cov_seq.intervals);
+    }
+
+    #[test]
+    fn engine_sweep_matches_naive_request_loop() {
+        let sim = sat_sim(6, 120);
+        let engine = SweepEngine::new(&sim);
+        let steps: Vec<usize> = (0..120).step_by(17).collect();
+        let metric = RouteMetric::PaperInverseEta;
+        let seed = 99;
+        let naive: Vec<Vec<RequestOutcome>> = steps
+            .iter()
+            .map(|&step| {
+                let w = RequestWorkload::generate(
+                    &sim,
+                    10,
+                    seed ^ (step as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                w.evaluate_at(&sim, step, metric)
+            })
+            .collect();
+        assert_eq!(
+            engine.sweep(&steps, 10, seed, metric),
+            aggregate_outcomes(&naive)
+        );
+    }
+
+    #[test]
+    fn prefix_windows_match_fresh_windows() {
+        // One 12-satellite precompute, reused for the 5-satellite prefix.
+        let steps = 120;
+        let sim12 = sat_sim(12, steps);
+        let sim5 = sat_sim(5, steps);
+        let shared = ContactWindows::for_sim(&sim12);
+        let engine_shared = SweepEngine::with_windows(&sim5, shared.prefix(5));
+        let engine_fresh = SweepEngine::new(&sim5);
+        for step in (0..steps).step_by(19) {
+            assert_graphs_identical(
+                &engine_shared.active_graph_at(step),
+                &engine_fresh.active_graph_at(step),
+                &format!("prefix step {step}"),
+            );
+        }
+    }
+
+    #[test]
+    fn subset_windows_are_exact_at_their_steps() {
+        let sim = sat_sim(6, 240);
+        let steps: Vec<usize> = vec![3, 60, 121, 200];
+        let engine = SweepEngine::for_steps(&sim, &steps);
+        for &step in &steps {
+            assert_graphs_identical(
+                &engine.active_graph_at(step),
+                &sim.active_graph_at(step),
+                &format!("subset step {step}"),
+            );
+        }
+        // Uncomputed steps stay correct (all-visible fallback, no pruning).
+        assert_graphs_identical(
+            &engine.active_graph_at(42),
+            &sim.active_graph_at(42),
+            "uncomputed step",
+        );
+    }
+
+    #[test]
+    fn coverage_matches_analyzer() {
+        let sim = sat_sim(6, 240);
+        let from_engine = SweepEngine::new(&sim).coverage();
+        let naive: Vec<bool> = (0..sim.steps())
+            .map(|t| sim.lans_interconnected(&sim.active_graph_at(t)))
+            .collect();
+        assert_eq!(from_engine.connected, naive);
+    }
+
+    #[test]
+    #[should_panic(expected = "different constellation")]
+    fn mismatched_windows_are_rejected() {
+        let sim = sat_sim(6, 120);
+        let other = sat_sim(5, 120);
+        let windows = ContactWindows::for_sim(&other);
+        let _ = SweepEngine::with_windows(&sim, windows);
+    }
+}

@@ -34,7 +34,11 @@ fn hap_network(n_a: usize, n_b: usize, seed: u64) -> QuantumNetworkSim {
             1.2,
         ));
     }
-    hosts.push(Host::hap("HAP", Geodetic::from_deg(35.6692, -85.0662, 30_000.0), 0.3));
+    hosts.push(Host::hap(
+        "HAP",
+        Geodetic::from_deg(35.6692, -85.0662, 30_000.0),
+        0.3,
+    ));
     QuantumNetworkSim::new(hosts, SimConfig::default(), 4, 30.0)
 }
 

@@ -42,12 +42,19 @@ impl ContactPlan {
         for (idx, eph) in ephemerides.iter().enumerate() {
             span_s = span_s.max(eph.len() as f64 * eph.step_s());
             for window in predictor.passes(eph) {
-                contacts.push(Contact { satellite: idx, window });
+                contacts.push(Contact {
+                    satellite: idx,
+                    window,
+                });
                 all.push(window);
             }
         }
         contacts.sort_by(|a, b| a.window.start_s.total_cmp(&b.window.start_s));
-        ContactPlan { contacts, availability: merge_intervals(all), span_s }
+        ContactPlan {
+            contacts,
+            availability: merge_intervals(all),
+            span_s,
+        }
     }
 
     /// Fraction of the span with at least one satellite in contact.
@@ -55,7 +62,11 @@ impl ContactPlan {
         if self.span_s == 0.0 {
             return 0.0;
         }
-        self.availability.iter().map(Interval::duration_s).sum::<f64>() / self.span_s
+        self.availability
+            .iter()
+            .map(Interval::duration_s)
+            .sum::<f64>()
+            / self.span_s
     }
 
     /// The gaps between availability windows (and the leading/trailing
@@ -77,7 +88,10 @@ impl ContactPlan {
 
     /// The longest outage, seconds (0 when always available).
     pub fn max_gap_s(&self) -> f64 {
-        self.gaps().iter().map(Interval::duration_s).fold(0.0, f64::max)
+        self.gaps()
+            .iter()
+            .map(Interval::duration_s)
+            .fold(0.0, f64::max)
     }
 
     /// Mean contact duration, seconds.
@@ -85,7 +99,10 @@ impl ContactPlan {
         if self.contacts.is_empty() {
             return 0.0;
         }
-        self.contacts.iter().map(|c| c.window.duration_s()).sum::<f64>()
+        self.contacts
+            .iter()
+            .map(|c| c.window.duration_s())
+            .sum::<f64>()
             / self.contacts.len() as f64
     }
 }
@@ -138,7 +155,11 @@ mod tests {
         let plan = ContactPlan::build(cookeville(), &ephemerides(12), std::f64::consts::PI / 9.0);
         let up: f64 = plan.availability.iter().map(Interval::duration_s).sum();
         let down: f64 = plan.gaps().iter().map(Interval::duration_s).sum();
-        assert!((up + down - plan.span_s).abs() < 1e-6, "{up} + {down} != {}", plan.span_s);
+        assert!(
+            (up + down - plan.span_s).abs() < 1e-6,
+            "{up} + {down} != {}",
+            plan.span_s
+        );
         // Sparse LEO coverage: long outages.
         assert!(plan.max_gap_s() > 1_800.0, "{}", plan.max_gap_s());
     }

@@ -44,7 +44,11 @@ impl Ephemeris {
         let samples = (0..n)
             .map(|k| Self::sample_at(propagator, start, k as f64 * step_s))
             .collect();
-        Ephemeris { start, step_s, samples }
+        Ephemeris {
+            start,
+            step_s,
+            samples,
+        }
     }
 
     /// Generate sheets for a whole constellation in parallel. Output order
@@ -127,7 +131,10 @@ impl Ephemeris {
 
     /// Geodetic ground track (latitude/longitude at zero altitude).
     pub fn ground_track(&self) -> Vec<Geodetic> {
-        self.samples.iter().map(|s| s.geodetic.with_alt(0.0)).collect()
+        self.samples
+            .iter()
+            .map(|s| s.geodetic.with_alt(0.0))
+            .collect()
     }
 
     /// Render the sheet in the CSV layout the paper's STK export used:
@@ -198,7 +205,11 @@ mod tests {
     fn latitude_bounded_by_inclination() {
         let eph = Ephemeris::generate(&leo_prop(), Epoch::J2000, 60.0, 86_400.0);
         for s in eph.samples() {
-            assert!(s.geodetic.lat_deg().abs() <= 53.3, "{}", s.geodetic.lat_deg());
+            assert!(
+                s.geodetic.lat_deg().abs() <= 53.3,
+                "{}",
+                s.geodetic.lat_deg()
+            );
         }
         // And it should actually visit high latitudes.
         let max = eph
@@ -240,7 +251,10 @@ mod tests {
             let seq = Ephemeris::generate(p, Epoch::J2000, 60.0, 7200.0);
             assert_eq!(seq.len(), eph_par.len());
             for (a, b) in seq.samples().iter().zip(eph_par.samples()) {
-                assert_eq!(a.ecef, b.ecef, "parallel generation must be bitwise identical");
+                assert_eq!(
+                    a.ecef, b.ecef,
+                    "parallel generation must be bitwise identical"
+                );
             }
         }
     }

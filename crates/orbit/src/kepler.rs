@@ -12,7 +12,10 @@
 /// `mean_anomaly` may be any real; the result is congruent mod 2π.
 /// Panics in debug builds if `ecc` is outside `[0, 1)`.
 pub fn solve_kepler(mean_anomaly: f64, ecc: f64) -> f64 {
-    debug_assert!((0.0..1.0).contains(&ecc), "elliptic solver needs 0 <= e < 1");
+    debug_assert!(
+        (0.0..1.0).contains(&ecc),
+        "elliptic solver needs 0 <= e < 1"
+    );
     if ecc == 0.0 {
         return mean_anomaly;
     }
@@ -146,7 +149,11 @@ mod tests {
         // Vallado example 2-1: M = 235.4°, e = 0.4 -> E = 220.512074°.
         let m = 235.4_f64.to_radians();
         let e_anom = solve_kepler(m, 0.4);
-        assert!((e_anom.to_degrees() - 220.512_074).abs() < 1e-4, "{}", e_anom.to_degrees());
+        assert!(
+            (e_anom.to_degrees() - 220.512_074).abs() < 1e-4,
+            "{}",
+            e_anom.to_degrees()
+        );
     }
 
     #[test]

@@ -25,8 +25,8 @@ pub fn acceleration(r: Vec3, model: ForceModel) -> Vec3 {
     let mut a = r * (-EARTH_MU / (rn * rn * rn));
     if model == ForceModel::J2Full {
         // Standard J2 acceleration in Cartesian ECI coordinates.
-        let factor = -1.5 * EARTH_J2 * EARTH_MU * EARTH_RADIUS_EQ_M * EARTH_RADIUS_EQ_M
-            / rn.powi(5);
+        let factor =
+            -1.5 * EARTH_J2 * EARTH_MU * EARTH_RADIUS_EQ_M * EARTH_RADIUS_EQ_M / rn.powi(5);
         let z2_r2 = (r.z * r.z) / (rn * rn);
         a += Vec3::new(
             factor * r.x * (1.0 - 5.0 * z2_r2),
@@ -69,12 +69,7 @@ pub fn rk4_step(state: State, dt: f64, model: ForceModel) -> State {
 
 /// Integrate for `duration_s` with fixed step `dt`, returning the final
 /// state (callers wanting a trajectory step manually).
-pub fn propagate_numerical(
-    initial: State,
-    duration_s: f64,
-    dt: f64,
-    model: ForceModel,
-) -> State {
+pub fn propagate_numerical(initial: State, duration_s: f64, dt: f64, model: ForceModel) -> State {
     assert!(dt > 0.0, "step must be positive");
     let n = (duration_s / dt).round() as usize;
     let mut s = initial;
@@ -100,7 +95,13 @@ mod tests {
         let k = Keplerian::circular(6_871_000.0, 53f64.to_radians(), 0.7, 0.2);
         let p = Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody);
         let s0 = p.propagate(0.0);
-        (k, State { position: s0.position, velocity: s0.velocity })
+        (
+            k,
+            State {
+                position: s0.position,
+                velocity: s0.velocity,
+            },
+        )
     }
 
     #[test]
@@ -145,7 +146,10 @@ mod tests {
         let aj = acceleration(r, ForceModel::J2Full);
         let delta = (aj - a2).norm() / a2.norm();
         let expect = 1.5 * EARTH_J2 * (EARTH_RADIUS_EQ_M / 6_871_000.0_f64).powi(2);
-        assert!((delta - expect).abs() / expect < 1e-9, "{delta} vs {expect}");
+        assert!(
+            (delta - expect).abs() / expect < 1e-9,
+            "{delta} vs {expect}"
+        );
     }
 
     #[test]
@@ -153,8 +157,8 @@ mod tests {
         // Integrate a day with full J2 and measure the RAAN drift from the
         // orbit normal; it must match the analytic secular rate to a few %.
         let (k, s0) = leo_initial();
-        let analytic_rate = Propagator::new(k, Epoch::J2000, PerturbationModel::J2Secular)
-            .raan_rate();
+        let analytic_rate =
+            Propagator::new(k, Epoch::J2000, PerturbationModel::J2Secular).raan_rate();
 
         let node_angle = |s: &State| {
             let h = s.position.cross(s.velocity);
@@ -186,7 +190,8 @@ mod tests {
         let p = Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody);
         let t = 3_000.0;
         let truth = p.propagate(t).position;
-        let coarse = (propagate_numerical(s0, t, 60.0, ForceModel::TwoBody).position - truth).norm();
+        let coarse =
+            (propagate_numerical(s0, t, 60.0, ForceModel::TwoBody).position - truth).norm();
         let fine = (propagate_numerical(s0, t, 15.0, ForceModel::TwoBody).position - truth).norm();
         assert!(fine < coarse / 8.0, "coarse {coarse} fine {fine}");
     }

@@ -55,16 +55,21 @@ impl Propagator {
         let (raan_rate, argp_rate, n_eff) = match model {
             PerturbationModel::TwoBody => (0.0, 0.0, n),
             PerturbationModel::J2Secular => {
-                let p = elements.semi_major_m
-                    * (1.0 - elements.eccentricity * elements.eccentricity);
+                let p =
+                    elements.semi_major_m * (1.0 - elements.eccentricity * elements.eccentricity);
                 let factor = 1.5 * EARTH_J2 * (EARTH_RADIUS_EQ_M / p).powi(2) * n;
                 let (si, ci) = elements.inclination.sin_cos();
                 let raan_rate = -factor * ci;
                 let argp_rate = factor * (2.0 - 2.5 * si * si);
                 // Secular mean-motion correction (Brouwer first order).
                 let eta = (1.0 - elements.eccentricity * elements.eccentricity).sqrt();
-                let n_eff = n * (1.0 + 1.5 * EARTH_J2 * (EARTH_RADIUS_EQ_M / p).powi(2) * eta
-                    * (1.0 - 1.5 * si * si));
+                let n_eff = n
+                    * (1.0
+                        + 1.5
+                            * EARTH_J2
+                            * (EARTH_RADIUS_EQ_M / p).powi(2)
+                            * eta
+                            * (1.0 - 1.5 * si * si));
                 (raan_rate, argp_rate, n_eff)
             }
         };
@@ -194,7 +199,11 @@ mod tests {
         let t = leo().period_s();
         let s0 = p.propagate(0.0);
         let s1 = p.propagate(t);
-        assert!((s1.position - s0.position).norm() < 1.0, "{}", (s1.position - s0.position).norm());
+        assert!(
+            (s1.position - s0.position).norm() < 1.0,
+            "{}",
+            (s1.position - s0.position).norm()
+        );
         assert!((s1.velocity - s0.velocity).norm() < 1e-3);
     }
 
@@ -206,7 +215,11 @@ mod tests {
             let s = p.propagate(t);
             let splus = p.propagate(t + dt);
             let fd = (splus.position - s.position) / dt;
-            assert!((fd - s.velocity).norm() < 0.1, "t={t}: {}", (fd - s.velocity).norm());
+            assert!(
+                (fd - s.velocity).norm() < 0.1,
+                "t={t}: {}",
+                (fd - s.velocity).norm()
+            );
         }
     }
 

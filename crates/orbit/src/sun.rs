@@ -27,8 +27,7 @@ pub fn sun_position_eci(epoch: Epoch) -> Vec3 {
     let l0 = 280.460 + 36_000.771 * t;
     let m = (357.529_109_2 + 35_999.050_29 * t).to_radians();
     // Ecliptic longitude with the equation of centre.
-    let lambda =
-        (l0 + 1.914_666_471 * m.sin() + 0.019_994_643 * (2.0 * m).sin()).to_radians();
+    let lambda = (l0 + 1.914_666_471 * m.sin() + 0.019_994_643 * (2.0 * m).sin()).to_radians();
     // Distance in AU.
     let r_au = 1.000_140_612 - 0.016_708_617 * m.cos() - 0.000_139_589 * (2.0 * m).cos();
     // Obliquity of the ecliptic.
@@ -161,7 +160,9 @@ mod tests {
         let site = Geodetic::from_deg(36.1757, -85.5066, 300.0);
         let start = Epoch::from_calendar(2024, 6, 21, 0, 0, 0.0);
         let dark = (0..288)
-            .filter(|k| Twilight::Astronomical.is_dark(site, start.plus_seconds(f64::from(*k) * 300.0)))
+            .filter(|k| {
+                Twilight::Astronomical.is_dark(site, start.plus_seconds(f64::from(*k) * 300.0))
+            })
             .count();
         let hours = dark as f64 * 300.0 / 3600.0;
         assert!((3.0..9.0).contains(&hours), "{hours} h dark");
@@ -177,7 +178,10 @@ mod tests {
         assert!(!is_sunlit(-sun_dir * 6_871_000.0, epoch));
         // Behind but outside the shadow cylinder.
         let perp = sun_dir.cross(Vec3::Z).normalized().unwrap();
-        assert!(is_sunlit(-sun_dir * 6_871_000.0 + perp * 7_000_000.0, epoch));
+        assert!(is_sunlit(
+            -sun_dir * 6_871_000.0 + perp * 7_000_000.0,
+            epoch
+        ));
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub fn merge_intervals(mut intervals: Vec<Interval>) -> Vec<Interval> {
 /// Total covered duration of a set of (possibly overlapping) intervals —
 /// the paper's `T_c = Σ (t_end,k − t_start,k)` after merging.
 pub fn total_duration(intervals: Vec<Interval>) -> f64 {
-    merge_intervals(intervals).iter().map(Interval::duration_s).sum()
+    merge_intervals(intervals)
+        .iter()
+        .map(Interval::duration_s)
+        .sum()
 }
 
 /// Intersect two sorted disjoint interval sets.
@@ -111,6 +114,24 @@ impl PassPredictor {
         eph.samples()
             .iter()
             .map(|s| look_angles_ecef(self.site, s.ecef, &WGS84).elevation)
+            .collect()
+    }
+
+    /// Per-sample above-horizon flags, the zero-mask fast path.
+    ///
+    /// Elevation is `asin(d·û / |d|)` for the site's ellipsoidal normal
+    /// `û`, so its sign is the sign of `d·û`: one subtraction and one dot
+    /// product per sample instead of the full ENU/atan2 look-angle
+    /// computation. Exactly equivalent to `elevation >= 0` (tested), which
+    /// makes it a sound pruning predicate for link evaluators that require
+    /// strictly positive elevation.
+    pub fn above_horizon_flags(&self, eph: &Ephemeris) -> Vec<bool> {
+        let enu = qntn_geo::Enu::at(self.site, &WGS84);
+        let site_ecef = self.site.to_ecef(&WGS84);
+        let up = enu.up();
+        eph.samples()
+            .iter()
+            .map(|s| (s.ecef - site_ecef).dot(up) >= 0.0)
             .collect()
     }
 
@@ -184,7 +205,10 @@ mod tests {
     fn intersect_basic() {
         let a = vec![iv(0.0, 10.0), iv(20.0, 30.0)];
         let b = vec![iv(5.0, 25.0)];
-        assert_eq!(intersect_intervals(&a, &b), vec![iv(5.0, 10.0), iv(20.0, 25.0)]);
+        assert_eq!(
+            intersect_intervals(&a, &b),
+            vec![iv(5.0, 10.0), iv(20.0, 25.0)]
+        );
     }
 
     #[test]
@@ -233,7 +257,11 @@ mod tests {
         // most ~5 minutes.
         assert!(!passes.is_empty(), "expected at least one pass");
         for p in &passes {
-            assert!(p.duration_s() <= 360.0, "pass too long: {} s", p.duration_s());
+            assert!(
+                p.duration_s() <= 360.0,
+                "pass too long: {} s",
+                p.duration_s()
+            );
             assert!(p.duration_s() >= 30.0);
         }
         let frac = pred.visibility_fraction(&eph);
@@ -247,6 +275,19 @@ mod tests {
         let high =
             PassPredictor::new(tennessee_site(), 60f64.to_radians()).visibility_fraction(&eph);
         assert!(low > high);
+    }
+
+    #[test]
+    fn above_horizon_flags_match_elevation_sign() {
+        let eph = leo_ephemeris();
+        let pred = PassPredictor::new(tennessee_site(), 0.0);
+        let els = pred.elevations(&eph);
+        let flags = pred.above_horizon_flags(&eph);
+        assert_eq!(flags.len(), els.len());
+        for (k, (&el, &flag)) in els.iter().zip(&flags).enumerate() {
+            assert_eq!(flag, el >= 0.0, "sample {k}: elevation {el}");
+        }
+        assert!(flags.iter().any(|&f| f) && flags.iter().any(|&f| !f));
     }
 
     #[test]

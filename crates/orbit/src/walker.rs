@@ -47,13 +47,19 @@ pub fn paper_slots() -> Vec<Slot> {
     // First 36: anomaly-major over the six base planes.
     for &ta in &anomalies {
         for &raan in &base_raans {
-            slots.push(Slot { raan_deg: raan, true_anomaly_deg: ta });
+            slots.push(Slot {
+                raan_deg: raan,
+                true_anomaly_deg: ta,
+            });
         }
     }
     // Remaining 72: plane-major over the twelve gap-filling planes.
     for &raan in &extra_raans {
         for &ta in &anomalies {
-            slots.push(Slot { raan_deg: raan, true_anomaly_deg: ta });
+            slots.push(Slot {
+                raan_deg: raan,
+                true_anomaly_deg: ta,
+            });
         }
     }
     slots
@@ -74,7 +80,10 @@ pub fn paper_slots() -> Vec<Slot> {
 /// # Panics
 /// Panics if `n > 108` (the paper's table stops there).
 pub fn paper_constellation(n: usize) -> Vec<Keplerian> {
-    assert!(n <= 108, "the paper's Table II defines at most 108 satellites");
+    assert!(
+        n <= 108,
+        "the paper's Table II defines at most 108 satellites"
+    );
     paper_slots()
         .into_iter()
         .take(n)
@@ -141,7 +150,12 @@ impl WalkerDelta {
                 std::f64::consts::TAU * (self.phasing * plane) as f64 / self.total as f64;
             for k in 0..per_plane {
                 let nu = std::f64::consts::TAU * k as f64 / per_plane as f64 + phase_offset;
-                out.push(Keplerian::circular(self.semi_major_m, self.inclination, raan, nu));
+                out.push(Keplerian::circular(
+                    self.semi_major_m,
+                    self.inclination,
+                    raan,
+                    nu,
+                ));
             }
         }
         out

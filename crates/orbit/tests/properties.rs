@@ -8,6 +8,7 @@ use qntn_orbit::kepler::{
 };
 use qntn_orbit::visibility::{intersect_intervals, merge_intervals, total_duration, Interval};
 use qntn_orbit::{Keplerian, PerturbationModel, Propagator, EARTH_MU};
+use std::f64::consts::TAU;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -41,8 +42,8 @@ proptest! {
         alt_km in 300.0..2_000.0f64,
         ecc in 0.0..0.3f64,
         incl in 0.0..1.5f64,
-        raan in 0.0..6.28f64,
-        nu in 0.0..6.28f64,
+        raan in 0.0..TAU,
+        nu in 0.0..TAU,
         t in 0.0..20_000.0f64,
     ) {
         let a = (6_371.0 + alt_km) * 1000.0 / (1.0 - ecc); // keep perigee above ground
@@ -73,7 +74,7 @@ proptest! {
     }
 
     #[test]
-    fn periodicity(alt_km in 300.0..1_500.0f64, nu in 0.0..6.28f64) {
+    fn periodicity(alt_km in 300.0..1_500.0f64, nu in 0.0..TAU) {
         let k = Keplerian::circular((6_371.0 + alt_km) * 1000.0, 0.9, 1.0, nu);
         let p = Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody);
         let s0 = p.propagate(0.0);

@@ -25,12 +25,21 @@ pub struct KrausChannel {
 impl KrausChannel {
     /// Build from Kraus operators. All operators must share one square shape.
     pub fn new(name: impl Into<String>, kraus: Vec<Matrix>) -> KrausChannel {
-        assert!(!kraus.is_empty(), "a channel needs at least one Kraus operator");
+        assert!(
+            !kraus.is_empty(),
+            "a channel needs at least one Kraus operator"
+        );
         let d = kraus[0].rows();
         for k in &kraus {
-            assert!(k.is_square() && k.rows() == d, "Kraus operators must share one square shape");
+            assert!(
+                k.is_square() && k.rows() == d,
+                "Kraus operators must share one square shape"
+            );
         }
-        KrausChannel { name: name.into(), kraus }
+        KrausChannel {
+            name: name.into(),
+            kraus,
+        }
     }
 
     /// The channel's label (for reports).
@@ -75,15 +84,27 @@ impl KrausChannel {
     /// Lift a single-qubit channel onto qubit `target` of an `n`-qubit
     /// register (qubit 0 is the leftmost tensor factor).
     pub fn on_qubit(&self, target: usize, n: usize) -> KrausChannel {
-        assert_eq!(self.dim(), 2, "lifting is defined for single-qubit channels");
+        assert_eq!(
+            self.dim(),
+            2,
+            "lifting is defined for single-qubit channels"
+        );
         assert!(target < n, "target qubit out of range");
         let lifted = self
             .kraus
             .iter()
             .map(|k| {
-                let mut acc = if target == 0 { k.clone() } else { Matrix::identity(2) };
+                let mut acc = if target == 0 {
+                    k.clone()
+                } else {
+                    Matrix::identity(2)
+                };
                 for q in 1..n {
-                    let factor = if q == target { k.clone() } else { Matrix::identity(2) };
+                    let factor = if q == target {
+                        k.clone()
+                    } else {
+                        Matrix::identity(2)
+                    };
                     acc = acc.kron(&factor);
                 }
                 acc
@@ -125,7 +146,10 @@ impl KrausChannel {
 /// # Panics
 /// Panics if `eta` is outside `[0, 1]`.
 pub fn amplitude_damping(eta: f64) -> KrausChannel {
-    assert!((0.0..=1.0).contains(&eta), "transmissivity must be in [0,1], got {eta}");
+    assert!(
+        (0.0..=1.0).contains(&eta),
+        "transmissivity must be in [0,1], got {eta}"
+    );
     let k0 = Matrix::from_real(2, 2, &[1.0, 0.0, 0.0, eta.sqrt()]);
     let k1 = Matrix::from_real(2, 2, &[0.0, (1.0 - eta).sqrt(), 0.0, 0.0]);
     KrausChannel::new(format!("AD({eta:.4})"), vec![k0, k1])
@@ -199,7 +223,10 @@ mod tests {
     #[test]
     fn all_channels_are_cptp() {
         for eta in [0.0, 0.3, 0.7, 1.0] {
-            assert!(amplitude_damping(eta).is_trace_preserving(1e-12), "AD({eta})");
+            assert!(
+                amplitude_damping(eta).is_trace_preserving(1e-12),
+                "AD({eta})"
+            );
             assert!(phase_damping(eta).is_trace_preserving(1e-12), "PD({eta})");
         }
         for p in [0.0, 0.1, 0.75, 1.0] {

@@ -81,7 +81,11 @@ pub fn diagnose(channel: &KrausChannel) -> ChannelDiagnostics {
     let mut tp_err = 0.0f64;
     for i in 0..d {
         for jdx in 0..d {
-            let expect = if i == jdx { Complex::ONE } else { Complex::ZERO };
+            let expect = if i == jdx {
+                Complex::ONE
+            } else {
+                Complex::ZERO
+            };
             tp_err = tp_err.max((reduced[(i, jdx)] - expect).abs());
         }
     }
@@ -122,7 +126,11 @@ mod tests {
 
     #[test]
     fn choi_trace_equals_dimension() {
-        for ch in [amplitude_damping(0.6), phase_damping(0.3), depolarizing(0.2)] {
+        for ch in [
+            amplitude_damping(0.6),
+            phase_damping(0.3),
+            depolarizing(0.2),
+        ] {
             let j = choi_matrix(&ch);
             assert!((j.trace().re - 2.0).abs() < 1e-12, "{}", ch.name());
             assert!(j.is_hermitian(1e-12));
@@ -133,7 +141,11 @@ mod tests {
     fn physical_channels_are_cp_and_tp() {
         for eta in [0.0, 0.35, 0.7, 1.0] {
             let d = diagnose(&amplitude_damping(eta));
-            assert!(d.min_choi_eigenvalue > -1e-10, "eta {eta}: {}", d.min_choi_eigenvalue);
+            assert!(
+                d.min_choi_eigenvalue > -1e-10,
+                "eta {eta}: {}",
+                d.min_choi_eigenvalue
+            );
             assert!(d.trace_preservation_error < 1e-10);
         }
     }
@@ -153,7 +165,10 @@ mod tests {
         swap[(1, 2)] = Complex::ONE;
         swap[(2, 1)] = Complex::ONE;
         let eig = hermitian_eigen(&swap);
-        assert!(eig.values[0] < -0.99, "swap (= Choi of transpose) has a negative eigenvalue");
+        assert!(
+            eig.values[0] < -0.99,
+            "swap (= Choi of transpose) has a negative eigenvalue"
+        );
     }
 
     #[test]
@@ -180,7 +195,10 @@ mod tests {
         for eta in [0.0, 0.4, 0.81, 1.0] {
             let d = diagnose(&amplitude_damping(eta));
             let expect = (1.0 + eta.sqrt()).powi(2) / 4.0;
-            assert!((d.entanglement_fidelity - expect).abs() < 1e-10, "eta {eta}");
+            assert!(
+                (d.entanglement_fidelity - expect).abs() < 1e-10,
+                "eta {eta}"
+            );
         }
     }
 

@@ -175,6 +175,7 @@ impl Mul<Complex> for f64 {
 impl Div for Complex {
     type Output = Complex;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w computed as z·w⁻¹
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.inv()
     }
@@ -257,7 +258,13 @@ mod tests {
         let e = 1.0 / 2.0_f64.sqrt();
         assert!(s.approx_eq(c(e, e), 1e-14));
         // General: sqrt(z)² = z for points in every quadrant.
-        for z in [c(1.0, 1.0), c(-1.0, 1.0), c(-1.0, -1.0), c(1.0, -1.0), c(0.3, -2.7)] {
+        for z in [
+            c(1.0, 1.0),
+            c(-1.0, 1.0),
+            c(-1.0, -1.0),
+            c(1.0, -1.0),
+            c(0.3, -2.7),
+        ] {
             let s = z.sqrt();
             assert!((s * s).approx_eq(z, 1e-12), "{z}");
             assert!(s.re >= 0.0, "principal branch has non-negative real part");

@@ -178,7 +178,9 @@ mod tests {
         // Deterministic pseudo-random Hermitian matrices of sizes 2..8.
         let mut seed = 0x9e3779b9_u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         for n in 2..=8 {

@@ -64,7 +64,7 @@ pub fn bell_ad_fidelity(eta: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::channels::amplitude_damping;
-    use crate::state::{bell_phi_plus, bell_phi_minus, DensityMatrix, Ket};
+    use crate::state::{bell_phi_minus, bell_phi_plus, DensityMatrix, Ket};
 
     #[test]
     fn identical_states_have_unit_fidelity() {
@@ -139,7 +139,9 @@ mod tests {
             bell_phi_plus().density(),
             bell_phi_minus().density(),
             DensityMatrix::maximally_mixed(2),
-            amplitude_damping(0.3).on_qubit(0, 2).apply(&bell_phi_plus().density()),
+            amplitude_damping(0.3)
+                .on_qubit(0, 2)
+                .apply(&bell_phi_plus().density()),
         ];
         for a in &states {
             for b in &states {

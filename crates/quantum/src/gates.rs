@@ -14,9 +14,17 @@ use crate::state::DensityMatrix;
 pub fn lift_single(u: &Matrix, target: usize, n: usize) -> Matrix {
     assert_eq!(u.rows(), 2, "lift_single expects a single-qubit operator");
     assert!(target < n, "target out of range");
-    let mut acc = if target == 0 { u.clone() } else { Matrix::identity(2) };
+    let mut acc = if target == 0 {
+        u.clone()
+    } else {
+        Matrix::identity(2)
+    };
     for q in 1..n {
-        let f = if q == target { u.clone() } else { Matrix::identity(2) };
+        let f = if q == target {
+            u.clone()
+        } else {
+            Matrix::identity(2)
+        };
         acc = acc.kron(&f);
     }
     acc
@@ -31,7 +39,11 @@ pub fn cnot(control: usize, target: usize, n: usize) -> Matrix {
     let t_bit = n - 1 - target;
     let mut m = Matrix::zeros(dim, dim);
     for x in 0..dim {
-        let y = if (x >> c_bit) & 1 == 1 { x ^ (1 << t_bit) } else { x };
+        let y = if (x >> c_bit) & 1 == 1 {
+            x ^ (1 << t_bit)
+        } else {
+            x
+        };
         m[(y, x)] = Complex::ONE;
     }
     m
@@ -83,7 +95,10 @@ mod tests {
         // |00> -> |00>, |01> -> |01>, |10> -> |11>, |11> -> |10>.
         for (input, expect) in [(0usize, 0usize), (1, 1), (2, 3), (3, 2)] {
             let v = g.mul_vec(Ket::basis(2, input).amps());
-            assert!(v[expect].approx_eq(Complex::ONE, 1e-12), "{input}->{expect}");
+            assert!(
+                v[expect].approx_eq(Complex::ONE, 1e-12),
+                "{input}->{expect}"
+            );
         }
     }
 
@@ -120,7 +135,10 @@ mod tests {
     fn x_on_flips_population() {
         let rho = Ket::basis(2, 0).density();
         let out = apply_unitary(&rho, &x_on(1, 2));
-        assert!((out.matrix()[(1, 1)].re - 1.0).abs() < 1e-12, "|00> -> |01>");
+        assert!(
+            (out.matrix()[(1, 1)].re - 1.0).abs() < 1e-12,
+            "|00> -> |01>"
+        );
     }
 
     #[test]

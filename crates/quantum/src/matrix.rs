@@ -21,7 +21,11 @@ impl Matrix {
     /// Zero matrix of shape `rows × cols`.
     pub fn zeros(rows: usize, cols: usize) -> Matrix {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Matrix { rows, cols, data: vec![Complex::ZERO; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -36,7 +40,11 @@ impl Matrix {
     /// Build from a row-major slice of complex entries.
     pub fn from_rows(rows: usize, cols: usize, data: &[Complex]) -> Matrix {
         assert_eq!(data.len(), rows * cols, "data length must match shape");
-        Matrix { rows, cols, data: data.to_vec() }
+        Matrix {
+            rows,
+            cols,
+            data: data.to_vec(),
+        }
     }
 
     /// Build from a row-major slice of real entries.
@@ -193,13 +201,12 @@ impl Matrix {
     pub fn mul_vec(&self, v: &[Complex]) -> Vec<Complex> {
         assert_eq!(self.cols, v.len(), "shape mismatch in mat-vec product");
         let mut out = vec![Complex::ZERO; self.rows];
-        for i in 0..self.rows {
+        for (o, row) in out.iter_mut().zip(self.data.chunks(self.cols)) {
             let mut acc = Complex::ZERO;
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
             for (a, &x) in row.iter().zip(v) {
                 acc += *a * x;
             }
-            out[i] = acc;
+            *o = acc;
         }
         out
     }
@@ -230,11 +237,20 @@ impl Add for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in add");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in add"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
         }
     }
 }
@@ -249,11 +265,20 @@ impl Sub for Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch in sub");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch in sub"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
         }
     }
 }
@@ -297,7 +322,11 @@ pub mod pauli {
 
     /// Pauli Y.
     pub fn y() -> Matrix {
-        Matrix::from_rows(2, 2, &[Complex::ZERO, c(0.0, -1.0), c(0.0, 1.0), Complex::ZERO])
+        Matrix::from_rows(
+            2,
+            2,
+            &[Complex::ZERO, c(0.0, -1.0), c(0.0, 1.0), Complex::ZERO],
+        )
     }
 
     /// Pauli Z.
@@ -415,7 +444,11 @@ mod tests {
     fn hermitian_and_unitary_checks() {
         let herm = Matrix::from_rows(2, 2, &[c(1.0, 0.0), c(0.0, 1.0), c(0.0, -1.0), c(2.0, 0.0)]);
         assert!(herm.is_hermitian(1e-15));
-        let not_herm = Matrix::from_rows(2, 2, &[c(1.0, 0.1), Complex::ZERO, Complex::ZERO, Complex::ONE]);
+        let not_herm = Matrix::from_rows(
+            2,
+            2,
+            &[c(1.0, 0.1), Complex::ZERO, Complex::ZERO, Complex::ONE],
+        );
         assert!(!not_herm.is_hermitian(1e-15));
         assert!(!Matrix::from_real(2, 2, &[1.0, 1.0, 0.0, 1.0]).is_unitary(1e-12));
     }

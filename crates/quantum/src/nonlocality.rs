@@ -39,8 +39,8 @@ pub fn chsh_max(rho: &DensityMatrix) -> f64 {
     for i in 0..3 {
         for j in 0..3 {
             let mut acc = 0.0;
-            for k in 0..3 {
-                acc += t[k][i] * t[k][j];
+            for row in &t {
+                acc += row[i] * row[j];
             }
             m[(i, j)] = crate::complex::Complex::real(acc);
         }
@@ -63,7 +63,9 @@ mod tests {
     use crate::state::{bell_phi_plus, DensityMatrix};
 
     fn damped(eta: f64) -> DensityMatrix {
-        amplitude_damping(eta).on_qubit(1, 2).apply(&bell_phi_plus().density())
+        amplitude_damping(eta)
+            .on_qubit(1, 2)
+            .apply(&bell_phi_plus().density())
     }
 
     #[test]
@@ -81,10 +83,10 @@ mod tests {
         assert!((t[0][0] - 1.0).abs() < 1e-12);
         assert!((t[1][1] + 1.0).abs() < 1e-12);
         assert!((t[2][2] - 1.0).abs() < 1e-12);
-        for i in 0..3 {
-            for j in 0..3 {
+        for (i, row) in t.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
                 if i != j {
-                    assert!(t[i][j].abs() < 1e-12);
+                    assert!(v.abs() < 1e-12);
                 }
             }
         }

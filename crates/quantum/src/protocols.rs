@@ -157,7 +157,10 @@ pub fn purify_bbpssw(rho: &DensityMatrix) -> PurifyOutcome {
         let reduced = dm.partial_trace(3).partial_trace(2);
         keep = &keep + &reduced.matrix().scale_real(p);
     }
-    assert!(p_success > 1e-12, "purification round cannot succeed on this state");
+    assert!(
+        p_success > 1e-12,
+        "purification round cannot succeed on this state"
+    );
     PurifyOutcome {
         state: DensityMatrix::new(keep.scale_real(1.0 / p_success)),
         success_probability: p_success,
@@ -212,8 +215,12 @@ pub fn twirl_to_werner(rho: &DensityMatrix) -> DensityMatrix {
 /// traversed an amplitude-damping link, as a repeater node would.
 pub fn swap_damped_bell_pairs(eta1: f64, eta2: f64) -> DensityMatrix {
     let bell = bell_phi_plus().density();
-    let p1 = crate::channels::amplitude_damping(eta1).on_qubit(1, 2).apply(&bell);
-    let p2 = crate::channels::amplitude_damping(eta2).on_qubit(1, 2).apply(&bell);
+    let p1 = crate::channels::amplitude_damping(eta1)
+        .on_qubit(1, 2)
+        .apply(&bell);
+    let p2 = crate::channels::amplitude_damping(eta2)
+        .on_qubit(1, 2)
+        .apply(&bell);
     entanglement_swap(&p1, &p2)
 }
 
@@ -354,9 +361,8 @@ mod tests {
         let mixed = DensityMatrix::maximally_mixed(2);
         let f0 = 0.65;
         let p = (4.0 * f0 - 1.0) / 3.0;
-        let mut rho = DensityMatrix::new(
-            bell.matrix().scale_real(p) + mixed.matrix().scale_real(1.0 - p),
-        );
+        let mut rho =
+            DensityMatrix::new(bell.matrix().scale_real(p) + mixed.matrix().scale_real(1.0 - p));
         let mut prev = f0;
         for round in 0..6 {
             let out = purify_bbpssw(&twirl_to_werner(&rho));
@@ -375,10 +381,7 @@ mod tests {
             Ket::basis(1, 0),
             Ket::basis(1, 1),
             Ket::plus(),
-            Ket::new(vec![
-                Complex::real(0.6),
-                crate::complex::c(0.0, 0.8),
-            ]),
+            Ket::new(vec![Complex::real(0.6), crate::complex::c(0.0, 0.8)]),
         ] {
             let f = teleport_fidelity(&psi, &bell);
             assert!((f - 1.0).abs() < 1e-9, "{f}");
@@ -398,8 +401,9 @@ mod tests {
         let bell = bell_phi_plus().density();
         let mut prev = 1.1;
         for eta in [1.0, 0.8, 0.5, 0.2] {
-            let resource =
-                crate::channels::amplitude_damping(eta).on_qubit(1, 2).apply(&bell);
+            let resource = crate::channels::amplitude_damping(eta)
+                .on_qubit(1, 2)
+                .apply(&bell);
             let f = teleport_fidelity(&Ket::plus(), &resource);
             assert!(f < prev + 1e-12, "eta {eta}: {f}");
             prev = f;

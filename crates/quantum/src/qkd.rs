@@ -54,7 +54,9 @@ mod tests {
     use crate::state::{bell_phi_plus, DensityMatrix};
 
     fn damped(eta: f64) -> DensityMatrix {
-        amplitude_damping(eta).on_qubit(1, 2).apply(&bell_phi_plus().density())
+        amplitude_damping(eta)
+            .on_qubit(1, 2)
+            .apply(&bell_phi_plus().density())
     }
 
     #[test]
@@ -62,7 +64,10 @@ mod tests {
         assert_eq!(binary_entropy(0.0), 0.0);
         assert_eq!(binary_entropy(1.0), 0.0);
         assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
-        assert!((binary_entropy(0.11) - 0.4999).abs() < 1e-3, "the QKD-famous 11%");
+        assert!(
+            (binary_entropy(0.11) - 0.4999).abs() < 1e-3,
+            "the QKD-famous 11%"
+        );
         // Symmetric.
         assert!((binary_entropy(0.3) - binary_entropy(0.7)).abs() < 1e-12);
     }

@@ -61,7 +61,9 @@ impl Ket {
         if n < 1e-300 {
             return self.clone();
         }
-        Ket { amps: self.amps.iter().map(|&a| a / n).collect() }
+        Ket {
+            amps: self.amps.iter().map(|&a| a / n).collect(),
+        }
     }
 
     /// Inner product `⟨self|other⟩`.
@@ -143,7 +145,9 @@ impl DensityMatrix {
     /// The maximally mixed state `I/d` over `qubits` qubits.
     pub fn maximally_mixed(qubits: usize) -> DensityMatrix {
         let d = 1 << qubits;
-        DensityMatrix { m: Matrix::identity(d).scale_real(1.0 / d as f64) }
+        DensityMatrix {
+            m: Matrix::identity(d).scale_real(1.0 / d as f64),
+        }
     }
 
     /// The underlying matrix.
@@ -187,7 +191,9 @@ impl DensityMatrix {
 
     /// Tensor product of two density operators.
     pub fn tensor(&self, other: &DensityMatrix) -> DensityMatrix {
-        DensityMatrix { m: self.m.kron(&other.m) }
+        DensityMatrix {
+            m: self.m.kron(&other.m),
+        }
     }
 
     /// Partial trace over one qubit of a register (qubit 0 is the most
@@ -360,10 +366,12 @@ mod tests {
         for q in 0..2 {
             let reduced = rho.partial_trace(q);
             assert_eq!(reduced.dim(), 2);
-            assert!(reduced.matrix().approx_eq(
-                &Matrix::identity(2).scale_real(0.5),
-                1e-12
-            ), "tracing qubit {q}");
+            assert!(
+                reduced
+                    .matrix()
+                    .approx_eq(&Matrix::identity(2).scale_real(0.5), 1e-12),
+                "tracing qubit {q}"
+            );
         }
     }
 

@@ -7,26 +7,25 @@ use qntn_quantum::channels::{
 };
 use qntn_quantum::complex::c;
 use qntn_quantum::eigen::{hermitian_eigen, psd_sqrt};
-use qntn_quantum::fidelity::{bell_ad_sqrt_fidelity, fidelity, sqrt_fidelity, sqrt_fidelity_to_pure};
+use qntn_quantum::fidelity::{
+    bell_ad_sqrt_fidelity, fidelity, sqrt_fidelity, sqrt_fidelity_to_pure,
+};
 use qntn_quantum::matrix::Matrix;
 use qntn_quantum::state::{bell_phi_plus, DensityMatrix, Ket};
 
 /// A random normalized single-qubit ket.
 fn random_qubit() -> impl Strategy<Value = Ket> {
-    (
-        -1.0..1.0f64,
-        -1.0..1.0f64,
-        -1.0..1.0f64,
-        -1.0..1.0f64,
-    )
-        .prop_filter_map("non-null amplitude", |(a, b, cc, d)| {
+    (-1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64, -1.0..1.0f64).prop_filter_map(
+        "non-null amplitude",
+        |(a, b, cc, d)| {
             let k = Ket::new(vec![c(a, b), c(cc, d)]);
             if k.norm_sq() > 1e-6 {
                 Some(k.normalized())
             } else {
                 None
             }
-        })
+        },
+    )
 }
 
 /// A random two-qubit mixed state: convex mix of two pure product/entangled

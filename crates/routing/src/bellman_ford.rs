@@ -34,18 +34,42 @@ pub fn bellman_ford(
 }
 
 /// Per-destination (cost, predecessor) table from one source.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SsspTable {
     pub cost: Vec<f64>,
     pub pred: Vec<Option<NodeId>>,
 }
 
+impl SsspTable {
+    /// Size to `n` nodes with every cost at infinity and no predecessors,
+    /// reusing existing storage.
+    pub fn reset(&mut self, n: usize) {
+        self.cost.clear();
+        self.cost.resize(n, f64::INFINITY);
+        self.pred.clear();
+        self.pred.resize(n, None);
+    }
+}
+
 /// Full single-source run: relax all edges `N−1` times.
 pub fn bellman_ford_all(graph: &Graph, source: NodeId, metric: RouteMetric) -> SsspTable {
+    let mut table = SsspTable::default();
+    bellman_ford_all_into(graph, source, metric, &mut table);
+    table
+}
+
+/// [`bellman_ford_all`] into caller-provided scratch — the per-worker reuse
+/// path of the sweep engine. Produces exactly the same table.
+pub fn bellman_ford_all_into(
+    graph: &Graph,
+    source: NodeId,
+    metric: RouteMetric,
+    table: &mut SsspTable,
+) {
     let n = graph.node_count();
     assert!(source < n, "source out of range");
-    let mut cost = vec![f64::INFINITY; n];
-    let mut pred: Vec<Option<NodeId>> = vec![None; n];
+    table.reset(n);
+    let (cost, pred) = (&mut table.cost, &mut table.pred);
     cost[source] = 0.0;
 
     for _round in 0..n.saturating_sub(1) {
@@ -67,7 +91,19 @@ pub fn bellman_ford_all(graph: &Graph, source: NodeId, metric: RouteMetric) -> S
             break; // early exit: already converged
         }
     }
-    SsspTable { cost, pred }
+}
+
+/// [`bellman_ford`] using caller-provided scratch for the SSSP table.
+/// Identical result; no per-call table allocation.
+pub fn bellman_ford_into(
+    graph: &Graph,
+    source: NodeId,
+    dest: NodeId,
+    metric: RouteMetric,
+    scratch: &mut SsspTable,
+) -> Option<Route> {
+    bellman_ford_all_into(graph, source, metric, scratch);
+    extract_route(graph, scratch, source, dest, metric)
 }
 
 /// Rebuild the route from a predecessor table.
@@ -98,7 +134,11 @@ pub(crate) fn extract_route(
         eta_product *= eta;
         cost += metric.edge_cost(eta);
     }
-    Some(Route { nodes, cost, eta_product })
+    Some(Route {
+        nodes,
+        cost,
+        eta_product,
+    })
 }
 
 #[cfg(test)]
@@ -173,6 +213,41 @@ mod tests {
         let r = bellman_ford(&g, 0, 5, RouteMetric::PaperInverseEta).unwrap();
         assert_eq!(r.hops(), 5);
         assert!((r.eta_product - 0.9_f64.powi(5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_allocating_path() {
+        let g = diamond();
+        let mut scratch = SsspTable::default();
+        for metric in [RouteMetric::PaperInverseEta, RouteMetric::NegLogEta] {
+            for src in 0..4 {
+                let fresh = bellman_ford_all(&g, src, metric);
+                bellman_ford_all_into(&g, src, metric, &mut scratch);
+                assert_eq!(scratch.cost, fresh.cost, "src {src}");
+                assert_eq!(scratch.pred, fresh.pred, "src {src}");
+                for dst in 0..4 {
+                    let a = bellman_ford(&g, src, dst, metric);
+                    let b = bellman_ford_into(&g, src, dst, metric, &mut scratch);
+                    assert_eq!(a, b, "{src}->{dst}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_different_graph_sizes() {
+        // A larger stale table must not leak state into a smaller graph.
+        let mut scratch = SsspTable::default();
+        let mut big = Graph::with_nodes(10);
+        for i in 0..9 {
+            big.set_edge(i, i + 1, 0.9);
+        }
+        bellman_ford_all_into(&big, 0, RouteMetric::PaperInverseEta, &mut scratch);
+        let small = diamond();
+        bellman_ford_all_into(&small, 0, RouteMetric::PaperInverseEta, &mut scratch);
+        let fresh = bellman_ford_all(&small, 0, RouteMetric::PaperInverseEta);
+        assert_eq!(scratch.cost, fresh.cost);
+        assert_eq!(scratch.pred, fresh.pred);
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub fn dijkstra_all(graph: &Graph, source: NodeId, metric: RouteMetric) -> SsspT
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     cost[source] = 0.0;
-    heap.push(HeapEntry { cost: 0.0, node: source });
+    heap.push(HeapEntry {
+        cost: 0.0,
+        node: source,
+    });
 
     while let Some(HeapEntry { cost: c, node: u }) = heap.pop() {
         if done[u] {
@@ -62,7 +65,10 @@ pub fn dijkstra_all(graph: &Graph, source: NodeId, metric: RouteMetric) -> SsspT
             if next < cost[adj.to] {
                 cost[adj.to] = next;
                 pred[adj.to] = Some(u);
-                heap.push(HeapEntry { cost: next, node: adj.to });
+                heap.push(HeapEntry {
+                    cost: next,
+                    node: adj.to,
+                });
             }
         }
     }
@@ -109,7 +115,8 @@ mod tests {
     #[test]
     fn agrees_with_bellman_ford_on_grids() {
         // Deterministic pseudo-random edge weights on a 5×5 grid.
-        let eta = |u: usize, v: usize| 0.3 + 0.69 * (((u * 7919 + v * 104729) % 1000) as f64 / 1000.0);
+        let eta =
+            |u: usize, v: usize| 0.3 + 0.69 * (((u * 7919 + v * 104729) % 1000) as f64 / 1000.0);
         let g = grid(5, eta);
         for (s, d) in [(0, 24), (3, 20), (12, 0), (7, 17)] {
             for metric in [
@@ -157,7 +164,11 @@ mod tests {
                 }
             }
         }
-        assert!((r.eta_product - best).abs() < 1e-12, "{} vs {best}", r.eta_product);
+        assert!(
+            (r.eta_product - best).abs() < 1e-12,
+            "{} vs {best}",
+            r.eta_product
+        );
     }
 
     #[test]

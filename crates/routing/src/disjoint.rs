@@ -121,7 +121,10 @@ mod tests {
         assert!(routes[0].cost <= routes[1].cost);
         // Disjointness: no shared undirected edge.
         let edges = |r: &Route| -> Vec<(usize, usize)> {
-            r.nodes.windows(2).map(|w| (w[0].min(w[1]), w[0].max(w[1]))).collect()
+            r.nodes
+                .windows(2)
+                .map(|w| (w[0].min(w[1]), w[0].max(w[1])))
+                .collect()
         };
         let e0 = edges(&routes[0]);
         for e in edges(&routes[1]) {
@@ -219,6 +222,6 @@ mod tests {
         g.set_edge(4, 5, 0.99);
         g.set_edge(1, 4, 0.99);
         let found = survivability(&g, 0, 5);
-        assert!(found >= 1 && found <= 2, "{found}");
+        assert!((1..=2).contains(&found), "{found}");
     }
 }

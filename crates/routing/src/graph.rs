@@ -23,7 +23,10 @@ pub struct Graph {
 impl Graph {
     /// An empty graph with `n` nodes.
     pub fn with_nodes(n: usize) -> Graph {
-        Graph { adj: vec![Vec::new(); n], edge_count: 0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Add one more node, returning its id.
@@ -44,15 +47,33 @@ impl Graph {
         self.edge_count
     }
 
+    /// Resize to `n` nodes and drop every edge while keeping the adjacency
+    /// lists' allocations — lets a sweep reuse one `Graph` buffer across
+    /// thousands of time steps without churning the allocator.
+    pub fn reset(&mut self, n: usize) {
+        self.adj.truncate(n);
+        for list in &mut self.adj {
+            list.clear();
+        }
+        self.adj.resize_with(n, Vec::new);
+        self.edge_count = 0;
+    }
+
     /// Insert (or update) the undirected edge `u — v` with transmissivity
     /// `eta`.
     ///
     /// # Panics
     /// Panics on out-of-range nodes, self-loops, or `eta` outside [0, 1].
     pub fn set_edge(&mut self, u: NodeId, v: NodeId, eta: f64) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "node out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "node out of range"
+        );
         assert_ne!(u, v, "self-loops are not meaningful here");
-        assert!((0.0..=1.0).contains(&eta), "transmissivity must be in [0,1], got {eta}");
+        assert!(
+            (0.0..=1.0).contains(&eta),
+            "transmissivity must be in [0,1], got {eta}"
+        );
         let mut inserted = false;
         for half in [(u, v), (v, u)] {
             let (a, b) = half;
@@ -108,13 +129,21 @@ impl Graph {
     /// A copy retaining only edges with `eta >= threshold` — how the
     /// simulator applies the paper's transmissivity threshold.
     pub fn thresholded(&self, threshold: f64) -> Graph {
-        let mut g = Graph::with_nodes(self.node_count());
+        let mut g = Graph::default();
+        self.thresholded_into(threshold, &mut g);
+        g
+    }
+
+    /// [`Graph::thresholded`] into a caller-provided buffer (allocation-free
+    /// once the buffer has warmed up). Edge insertion order matches
+    /// `thresholded` exactly, so adjacency lists are bit-identical.
+    pub fn thresholded_into(&self, threshold: f64, out: &mut Graph) {
+        out.reset(self.node_count());
         for (u, v, eta) in self.edges() {
             if eta >= threshold {
-                g.set_edge(u, v, eta);
+                out.set_edge(u, v, eta);
             }
         }
-        g
     }
 
     /// Connected-component label for every node (BFS).
@@ -235,6 +264,34 @@ mod tests {
         assert_eq!(id, 3);
         assert_eq!(g.node_count(), 4);
         assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_edges_and_resizes() {
+        let mut g = triangle();
+        g.reset(2);
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.neighbors(0).is_empty() && g.neighbors(1).is_empty());
+        g.set_edge(0, 1, 0.5);
+        g.reset(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 0);
+        assert!((0..4).all(|u| g.neighbors(u).is_empty()));
+    }
+
+    #[test]
+    fn thresholded_into_matches_thresholded() {
+        let g = triangle();
+        let fresh = g.thresholded(0.7);
+        let mut reused = Graph::with_nodes(17); // dirty buffer
+        reused.set_edge(3, 9, 0.1);
+        g.thresholded_into(0.7, &mut reused);
+        assert_eq!(reused.node_count(), fresh.node_count());
+        assert_eq!(reused.edge_count(), fresh.edge_count());
+        for u in 0..fresh.node_count() {
+            assert_eq!(reused.neighbors(u), fresh.neighbors(u), "node {u}");
+        }
     }
 
     #[test]

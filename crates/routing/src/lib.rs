@@ -30,7 +30,9 @@ pub mod graph;
 pub mod metrics;
 pub mod table;
 
-pub use bellman_ford::bellman_ford;
+pub use bellman_ford::{
+    bellman_ford, bellman_ford_all, bellman_ford_all_into, bellman_ford_into, SsspTable,
+};
 pub use dijkstra::dijkstra;
 pub use disjoint::{edge_disjoint_routes, survivability, vertex_disjoint_routes};
 pub use graph::{Graph, NodeId};

@@ -112,6 +112,12 @@ mod tests {
             RouteMetric::NegLogEta.label(),
             RouteMetric::HopCount.label(),
         ];
-        assert_eq!(labels.iter().collect::<std::collections::HashSet<_>>().len(), 3);
+        assert_eq!(
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            3
+        );
     }
 }

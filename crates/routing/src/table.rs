@@ -48,11 +48,20 @@ impl DistanceVectorRouter {
                 (0..n)
                     .map(|i| {
                         if i == node {
-                            TableEntry { cost: 0.0, via: Some(node) }
+                            TableEntry {
+                                cost: 0.0,
+                                via: Some(node),
+                            }
                         } else if let Some(eta) = graph.eta(node, i) {
-                            TableEntry { cost: metric.edge_cost(eta), via: Some(i) }
+                            TableEntry {
+                                cost: metric.edge_cost(eta),
+                                via: Some(i),
+                            }
                         } else {
-                            TableEntry { cost: f64::INFINITY, via: None }
+                            TableEntry {
+                                cost: f64::INFINITY,
+                                via: None,
+                            }
                         }
                     })
                     .collect()
@@ -69,7 +78,10 @@ impl DistanceVectorRouter {
                     for (u, v) in [(eu, ev), (ev, eu)] {
                         let via_cost = tables[node][v].cost + tables[v][u].cost;
                         if tables[node][u].cost > via_cost {
-                            tables[node][u] = TableEntry { cost: via_cost, via: Some(v) };
+                            tables[node][u] = TableEntry {
+                                cost: via_cost,
+                                via: Some(v),
+                            };
                             changed = true;
                         }
                     }
@@ -109,7 +121,13 @@ impl DistanceVectorRouter {
 
     /// Append the nodes after `source` on the route to `dest`.
     /// Returns the remaining recursion budget, or `None` on a corrupt table.
-    fn expand(&self, source: NodeId, dest: NodeId, path: &mut Vec<NodeId>, budget: usize) -> Option<usize> {
+    fn expand(
+        &self,
+        source: NodeId,
+        dest: NodeId,
+        path: &mut Vec<NodeId>,
+        budget: usize,
+    ) -> Option<usize> {
         if budget == 0 {
             return None;
         }
@@ -134,7 +152,11 @@ impl DistanceVectorRouter {
             eta_product *= eta;
             cost += self.metric.edge_cost(eta);
         }
-        Some(Route { nodes, cost, eta_product })
+        Some(Route {
+            nodes,
+            cost,
+            eta_product,
+        })
     }
 
     /// The metric the tables were built with.
@@ -263,7 +285,9 @@ mod tests {
         let mut g = Graph::with_nodes(n);
         let mut seed = 42_u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 11) as f64 / (1u64 << 53) as f64
         };
         for u in 0..n {

@@ -32,7 +32,10 @@ fn main() {
     let ornl0 = sim.lan_members(1)[0];
     let epb0 = sim.lan_members(2)[0];
     let hap = air.hap_node();
-    println!("\nrouting table of {} (node {ttu0}):", sim.hosts()[ttu0].name);
+    println!(
+        "\nrouting table of {} (node {ttu0}):",
+        sim.hosts()[ttu0].name
+    );
     for &dest in &[ttu0, sim.lan_members(0)[1], hap, ornl0, epb0] {
         let entry = router.table(ttu0)[dest];
         println!(
@@ -46,20 +49,34 @@ fn main() {
     // Distribute a Bell pair TTU-0 -> EPB-0.
     let d = distribute(&graph, ttu0, epb0, RouteMetric::PaperInverseEta)
         .expect("air-ground always routes");
-    let names: Vec<&str> = d.path.iter().map(|&n| sim.hosts()[n].name.as_str()).collect();
+    let names: Vec<&str> = d
+        .path
+        .iter()
+        .map(|&n| sim.hosts()[n].name.as_str())
+        .collect();
     println!("\nTTU-0 -> EPB-0 via {}", names.join(" -> "));
     println!("  end-to-end transmissivity: {:.4}", d.eta);
-    println!("  entanglement fidelity:     {:.4} (sqrt convention)", d.fidelity);
+    println!(
+        "  entanglement fidelity:     {:.4} (sqrt convention)",
+        d.fidelity
+    );
     println!("  Jozsa fidelity:            {:.4}", d.fidelity_jozsa);
     println!("  mean per-link fidelity:    {:.4}", d.mean_link_fidelity);
 
     // The Algorithm 1 route agrees with the classic formulations.
     let table_route = router.route(&graph, ttu0, epb0).unwrap();
-    assert_eq!(table_route.nodes, d.path, "Algorithm 1 and classic BF agree");
+    assert_eq!(
+        table_route.nodes, d.path,
+        "Algorithm 1 and classic BF agree"
+    );
 
     // Metric comparison (ablation A1): the paper metric vs max-product.
     println!("\nrouting-metric comparison for TTU-0 -> ORNL-0:");
-    for metric in [RouteMetric::PaperInverseEta, RouteMetric::NegLogEta, RouteMetric::HopCount] {
+    for metric in [
+        RouteMetric::PaperInverseEta,
+        RouteMetric::NegLogEta,
+        RouteMetric::HopCount,
+    ] {
         let d = distribute(&graph, ttu0, ornl0, metric).unwrap();
         println!(
             "  {:<24} hops {}  eta {:.4}  fidelity {:.4}",

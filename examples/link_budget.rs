@@ -19,8 +19,16 @@ fn main() {
     println!("{:>10} {:>10} {:>9}", "length_km", "loss_dB", "eta");
     for km in [0.3, 1.0, 5.0, 10.0, 20.0, 50.0, 111.0, 134.0] {
         let f = FiberChannel::paper(km * 1000.0);
-        let marker = if f.transmissivity() >= PAPER_THRESHOLD { "" } else { "   < threshold" };
-        println!("{km:>10.1} {:>10.2} {:>9.4}{marker}", f.loss_db(), f.transmissivity());
+        let marker = if f.transmissivity() >= PAPER_THRESHOLD {
+            ""
+        } else {
+            "   < threshold"
+        };
+        println!(
+            "{km:>10.1} {:>10.2} {:>9.4}{marker}",
+            f.loss_db(),
+            f.transmissivity()
+        );
     }
     let reach = FiberChannel::max_length_for_threshold(0.15, PAPER_THRESHOLD) / 1000.0;
     println!("fiber reach at eta >= 0.7: {reach:.1} km — direct inter-city fiber (~110-135 km) is hopeless\n");
@@ -36,7 +44,11 @@ fn main() {
         let range = slant_range_spherical(r_earth, 500_000.0, elev);
         let geom = FsoGeometry::downlink(1.2, 500_000.0, 1.2, 300.0, range, elev);
         let b = FsoChannel::new(geom, params).budget();
-        let up = if b.eta_total() >= PAPER_THRESHOLD { "yes" } else { "no" };
+        let up = if b.eta_total() >= PAPER_THRESHOLD {
+            "yes"
+        } else {
+            "no"
+        };
         println!(
             "{elev_deg:>9.0} {:>9.0} {:>8.4} {:>8.4} {:>8.4} {:>8.4}  {up}",
             range / 1000.0,
@@ -67,7 +79,11 @@ fn main() {
     }
 
     println!("== Inter-satellite links (vacuum) ==");
-    for (label, km) in [("cross-plane close approach", 500.0), ("adjacent planes", 2400.0), ("in-plane neighbours", 6871.0)] {
+    for (label, km) in [
+        ("cross-plane close approach", 500.0),
+        ("adjacent planes", 2400.0),
+        ("in-plane neighbours", 6871.0),
+    ] {
         let geom = FsoGeometry::downlink(1.2, 500_000.0, 1.2, 500_000.0, km * 1000.0, 0.0);
         let eta = FsoChannel::new(geom, params).transmissivity();
         let up = if eta >= PAPER_THRESHOLD { "yes" } else { "no" };

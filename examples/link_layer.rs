@@ -42,10 +42,21 @@ fn main() {
     }
 
     println!("\nmemory quality needed (satellite relay, 0.85/0.75 links):");
-    println!("{:>10} {:>13} {:>9} {:>9}", "T1_ms", "F_delivered", "F_ideal", "penalty");
-    let base = HeraldedLink { eta_a: 0.85, eta_b: 0.75, attempt_rate_hz: 1000.0, memory_t1_s: 1.0 };
+    println!(
+        "{:>10} {:>13} {:>9} {:>9}",
+        "T1_ms", "F_delivered", "F_ideal", "penalty"
+    );
+    let base = HeraldedLink {
+        eta_a: 0.85,
+        eta_b: 0.75,
+        attempt_rate_hz: 1000.0,
+        memory_t1_s: 1.0,
+    };
     for t1_ms in [100.0, 30.0, 10.0, 3.0, 1.0] {
-        let link = HeraldedLink { memory_t1_s: t1_ms / 1000.0, ..base };
+        let link = HeraldedLink {
+            memory_t1_s: t1_ms / 1000.0,
+            ..base
+        };
         let s = link.simulate(3_000, 2);
         println!(
             "{t1_ms:>10.0} {:>13.4} {:>9.4} {:>9.4}",

@@ -43,7 +43,11 @@ fn main() {
         ("nautical (−12°)", Twilight::Nautical),
         ("astro (−18°)", Twilight::Astronomical),
     ] {
-        let r = NightOps { twilight, satellites: 108 }.run(&scenario, SimConfig::default());
+        let r = NightOps {
+            twilight,
+            satellites: 108,
+        }
+        .run(&scenario, SimConfig::default());
         println!(
             "{name:<16} {:>7.2} | {:>13.2} {:>13.2} {:>13.2}",
             r.dark_percent, r.space_nominal_percent, r.space_night_percent, r.air_night_percent

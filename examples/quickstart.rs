@@ -14,10 +14,20 @@ use qntn::orbit::PerturbationModel;
 fn main() {
     // 1. The scenario: three Tennessee LANs (TTU, ORNL, EPB) + HAP position.
     let scenario = Qntn::standard();
-    println!("QNTN scenario: {} ground nodes in {} LANs", scenario.node_count(), scenario.lans.len());
+    println!(
+        "QNTN scenario: {} ground nodes in {} LANs",
+        scenario.node_count(),
+        scenario.lans.len()
+    );
     for (i, lan) in scenario.lans.iter().enumerate() {
         let c = scenario.lan_centroid(i);
-        println!("  {}: {} nodes near ({:.3}, {:.3})", lan.name, lan.nodes.len(), c.lat_deg(), c.lon_deg());
+        println!(
+            "  {}: {} nodes near ({:.3}, {:.3})",
+            lan.name,
+            lan.nodes.len(),
+            c.lat_deg(),
+            c.lon_deg()
+        );
     }
 
     // 2. Both architectures over one simulated day (30 s steps).
@@ -37,8 +47,14 @@ fn main() {
     let air_report = experiment.run_air_ground(&air);
     let space_report = experiment.run_space_ground(&space);
 
-    println!("\n{:<22} {:>10} {:>10} {:>11} {:>11}", "architecture", "coverage%", "served%", "F(end2end)", "F(per-link)");
-    for (name, r) in [("space-ground (36)", &space_report), ("air-ground (HAP)", &air_report)] {
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>11} {:>11}",
+        "architecture", "coverage%", "served%", "F(end2end)", "F(per-link)"
+    );
+    for (name, r) in [
+        ("space-ground (36)", &space_report),
+        ("air-ground (HAP)", &air_report),
+    ] {
         println!(
             "{:<22} {:>10.2} {:>10.2} {:>11.4} {:>11.4}",
             name, r.coverage_percent, r.served_percent, r.mean_fidelity, r.mean_link_fidelity

@@ -13,7 +13,9 @@
 
 use qntn::quantum::channels::amplitude_damping;
 use qntn::quantum::fidelity::{bell_ad_sqrt_fidelity, fidelity_to_pure, sqrt_fidelity_to_pure};
-use qntn::quantum::protocols::{entanglement_swap, purify_bbpssw, teleport_fidelity, twirl_to_werner};
+use qntn::quantum::protocols::{
+    entanglement_swap, purify_bbpssw, teleport_fidelity, twirl_to_werner,
+};
 use qntn::quantum::state::{bell_phi_plus, DensityMatrix, Ket};
 
 fn damped_pair(eta: f64) -> DensityMatrix {
@@ -26,7 +28,10 @@ fn main() {
     let bell = bell_phi_plus();
 
     println!("== Entanglement swapping: chain of equal links ==");
-    println!("{:>6} {:>12} {:>12} {:>12}", "links", "eta_per_link", "F_swapchain", "F_direct");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "links", "eta_per_link", "F_swapchain", "F_direct"
+    );
     for eta in [0.95, 0.9, 0.85] {
         let mut chain = damped_pair(eta);
         let mut links = 1;
@@ -41,7 +46,10 @@ fn main() {
     println!("(without purification, swapping tracks — never beats — the direct channel)");
 
     println!("\n== BBPSSW purification of Werner pairs ==");
-    println!("{:>8} {:>10} {:>10} {:>8}", "F_in", "F_out", "p_succ", "gain");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8}",
+        "F_in", "F_out", "p_succ", "gain"
+    );
     let mixed = DensityMatrix::maximally_mixed(2);
     for f_in in [0.55, 0.65, 0.75, 0.85, 0.95] {
         let p = (4.0 * f_in - 1.0) / 3.0;

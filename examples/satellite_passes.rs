@@ -30,7 +30,11 @@ fn main() {
 
     let prop = Propagator::new(elements, epoch, PerturbationModel::J2Secular);
     let eph = Ephemeris::generate(&prop, epoch, PAPER_STEP_S, PAPER_DURATION_S);
-    println!("movement sheet: {} samples at {} s cadence (STK-style)\n", eph.len(), eph.step_s());
+    println!(
+        "movement sheet: {} samples at {} s cadence (STK-style)\n",
+        eph.len(),
+        eph.step_s()
+    );
 
     // Passes over each city above the paper's pi/9 elevation mask.
     let mask = std::f64::consts::PI / 9.0;

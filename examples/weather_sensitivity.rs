@@ -33,8 +33,7 @@ fn main() {
         "condition", "hap_eta", "air_srv%", "air_F", "spc_srv%"
     );
     let ideal = FsoParams::ideal();
-    let mut rows: Vec<(String, FsoParams)> =
-        vec![("paper ideal (calibrated)".into(), ideal)];
+    let mut rows: Vec<(String, FsoParams)> = vec![("paper ideal (calibrated)".into(), ideal)];
     for condition in [
         WeatherCondition::ExceptionallyClear,
         WeatherCondition::Clear,
@@ -52,7 +51,10 @@ fn main() {
         ));
     }
     for (label, fso) in rows {
-        let config = SimConfig { fso, ..SimConfig::default() };
+        let config = SimConfig {
+            fso,
+            ..SimConfig::default()
+        };
         let air = AirGround::new(&scenario, config);
         let ra = experiment.run_air_ground(&air);
         let space = SpaceGround::new(&scenario, 36, config, PerturbationModel::TwoBody);

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-e4bf53b574163d44.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-e4bf53b574163d44: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

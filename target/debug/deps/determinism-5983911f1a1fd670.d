@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-5983911f1a1fd670.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-5983911f1a1fd670: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extension_invariants-944d1c9b5cf6766d.d: tests/extension_invariants.rs
+
+/root/repo/target/debug/deps/extension_invariants-944d1c9b5cf6766d: tests/extension_invariants.rs
+
+tests/extension_invariants.rs:

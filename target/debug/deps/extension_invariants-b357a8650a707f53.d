@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extension_invariants-b357a8650a707f53.d: tests/extension_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextension_invariants-b357a8650a707f53.rmeta: tests/extension_invariants.rs Cargo.toml
+
+tests/extension_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-b7713357abf3c115.d: crates/bench/benches/extensions.rs
+
+/root/repo/target/debug/deps/extensions-b7713357abf3c115: crates/bench/benches/extensions.rs
+
+crates/bench/benches/extensions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-7921615410ca9fba.d: crates/bench/benches/figures.rs
+
+/root/repo/target/debug/deps/figures-7921615410ca9fba: crates/bench/benches/figures.rs
+
+crates/bench/benches/figures.rs:

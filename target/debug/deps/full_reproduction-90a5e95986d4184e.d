@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_reproduction-90a5e95986d4184e.d: tests/full_reproduction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_reproduction-90a5e95986d4184e.rmeta: tests/full_reproduction.rs Cargo.toml
+
+tests/full_reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

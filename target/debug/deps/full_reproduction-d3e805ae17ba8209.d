@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_reproduction-d3e805ae17ba8209.d: tests/full_reproduction.rs
+
+/root/repo/target/debug/deps/full_reproduction-d3e805ae17ba8209: tests/full_reproduction.rs
+
+tests/full_reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/microbench-7a0ccc17c70399d9.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/debug/deps/microbench-7a0ccc17c70399d9: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_invariants-68fc75c92f78179b.d: tests/paper_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_invariants-68fc75c92f78179b.rmeta: tests/paper_invariants.rs Cargo.toml
+
+tests/paper_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

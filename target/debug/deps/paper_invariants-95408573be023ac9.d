@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-95408573be023ac9.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/paper_invariants-95408573be023ac9: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0dfb097a65890a11.d: crates/quantum/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0dfb097a65890a11.rmeta: crates/quantum/tests/properties.rs Cargo.toml
+
+crates/quantum/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

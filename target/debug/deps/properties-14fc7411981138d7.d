@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-14fc7411981138d7.d: crates/routing/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-14fc7411981138d7: crates/routing/tests/properties.rs
+
+crates/routing/tests/properties.rs:

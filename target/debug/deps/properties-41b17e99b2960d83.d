@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-41b17e99b2960d83.d: crates/channel/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-41b17e99b2960d83: crates/channel/tests/properties.rs
+
+crates/channel/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-443cacb05edb1a12.d: crates/quantum/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-443cacb05edb1a12: crates/quantum/tests/properties.rs
+
+crates/quantum/tests/properties.rs:

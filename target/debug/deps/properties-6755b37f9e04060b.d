@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6755b37f9e04060b.d: crates/orbit/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6755b37f9e04060b.rmeta: crates/orbit/tests/properties.rs Cargo.toml
+
+crates/orbit/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

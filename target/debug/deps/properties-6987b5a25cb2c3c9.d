@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-6987b5a25cb2c3c9.d: crates/routing/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-6987b5a25cb2c3c9.rmeta: crates/routing/tests/properties.rs Cargo.toml
+
+crates/routing/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

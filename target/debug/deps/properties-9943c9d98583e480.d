@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-9943c9d98583e480.d: crates/net/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-9943c9d98583e480.rmeta: crates/net/tests/properties.rs Cargo.toml
+
+crates/net/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

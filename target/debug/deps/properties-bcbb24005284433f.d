@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-bcbb24005284433f.d: crates/orbit/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-bcbb24005284433f: crates/orbit/tests/properties.rs
+
+crates/orbit/tests/properties.rs:

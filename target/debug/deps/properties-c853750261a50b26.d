@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c853750261a50b26.d: crates/geo/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c853750261a50b26: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

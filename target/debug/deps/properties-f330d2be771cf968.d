@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f330d2be771cf968.d: crates/net/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f330d2be771cf968: crates/net/tests/properties.rs
+
+crates/net/tests/properties.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-2e1f2e7e84953a3a.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-2e1f2e7e84953a3a.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

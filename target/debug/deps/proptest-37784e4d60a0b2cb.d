@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-37784e4d60a0b2cb.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-37784e4d60a0b2cb.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/libproptest-37784e4d60a0b2cb.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-7bf7614e5fa943a5.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/debug/deps/proptest-7bf7614e5fa943a5: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-d92eea27addd28d4.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-d92eea27addd28d4.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qntn-221d0f7d54c156f2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libqntn-221d0f7d54c156f2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libqntn-221d0f7d54c156f2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qntn-88d2b2f282c23fb3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn-88d2b2f282c23fb3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qntn-d4188bf342a9010f.d: src/lib.rs
+
+/root/repo/target/debug/deps/qntn-d4188bf342a9010f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qntn_bench-2785d64a9edc257e.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn_bench-2785d64a9edc257e.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

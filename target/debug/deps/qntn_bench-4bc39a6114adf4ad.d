@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qntn_bench-4bc39a6114adf4ad.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn_bench-4bc39a6114adf4ad.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

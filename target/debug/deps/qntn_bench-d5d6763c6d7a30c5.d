@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qntn_bench-d5d6763c6d7a30c5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqntn_bench-d5d6763c6d7a30c5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libqntn_bench-d5d6763c6d7a30c5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/qntn_bench-e9a48a03964ffa0f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/qntn_bench-e9a48a03964ffa0f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/qntn_channel-0b585bf52adf7168.d: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn_channel-0b585bf52adf7168.rmeta: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs Cargo.toml
+
+crates/channel/src/lib.rs:
+crates/channel/src/atmosphere.rs:
+crates/channel/src/budget.rs:
+crates/channel/src/fiber.rs:
+crates/channel/src/fso.rs:
+crates/channel/src/params.rs:
+crates/channel/src/turbulence.rs:
+crates/channel/src/units.rs:
+crates/channel/src/weather.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qntn_channel-8ffab11d69ae03a6.d: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+/root/repo/target/debug/deps/qntn_channel-8ffab11d69ae03a6: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/atmosphere.rs:
+crates/channel/src/budget.rs:
+crates/channel/src/fiber.rs:
+crates/channel/src/fso.rs:
+crates/channel/src/params.rs:
+crates/channel/src/turbulence.rs:
+crates/channel/src/units.rs:
+crates/channel/src/weather.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qntn_channel-9cff5ec15e5149f1.d: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+/root/repo/target/debug/deps/libqntn_channel-9cff5ec15e5149f1.rlib: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+/root/repo/target/debug/deps/libqntn_channel-9cff5ec15e5149f1.rmeta: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/atmosphere.rs:
+crates/channel/src/budget.rs:
+crates/channel/src/fiber.rs:
+crates/channel/src/fso.rs:
+crates/channel/src/params.rs:
+crates/channel/src/turbulence.rs:
+crates/channel/src/units.rs:
+crates/channel/src/weather.rs:

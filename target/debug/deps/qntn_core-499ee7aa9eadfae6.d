@@ -1,0 +1,27 @@
+/root/repo/target/debug/deps/qntn_core-499ee7aa9eadfae6.d: crates/core/src/lib.rs crates/core/src/architecture.rs crates/core/src/compare.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/congestion.rs crates/core/src/experiments/demand.rs crates/core/src/experiments/fidelity.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fleet.rs crates/core/src/experiments/hybrid.rs crates/core/src/experiments/night.rs crates/core/src/experiments/purified_qkd.rs crates/core/src/experiments/qkd.rs crates/core/src/experiments/sensitivity.rs crates/core/src/experiments/stability.rs crates/core/src/experiments/survivability.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/visibility.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+/root/repo/target/debug/deps/qntn_core-499ee7aa9eadfae6: crates/core/src/lib.rs crates/core/src/architecture.rs crates/core/src/compare.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/congestion.rs crates/core/src/experiments/demand.rs crates/core/src/experiments/fidelity.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fleet.rs crates/core/src/experiments/hybrid.rs crates/core/src/experiments/night.rs crates/core/src/experiments/purified_qkd.rs crates/core/src/experiments/qkd.rs crates/core/src/experiments/sensitivity.rs crates/core/src/experiments/stability.rs crates/core/src/experiments/survivability.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/visibility.rs crates/core/src/report.rs crates/core/src/scenario.rs
+
+crates/core/src/lib.rs:
+crates/core/src/architecture.rs:
+crates/core/src/compare.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/congestion.rs:
+crates/core/src/experiments/demand.rs:
+crates/core/src/experiments/fidelity.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/fleet.rs:
+crates/core/src/experiments/hybrid.rs:
+crates/core/src/experiments/night.rs:
+crates/core/src/experiments/purified_qkd.rs:
+crates/core/src/experiments/qkd.rs:
+crates/core/src/experiments/sensitivity.rs:
+crates/core/src/experiments/stability.rs:
+crates/core/src/experiments/survivability.rs:
+crates/core/src/experiments/sweep.rs:
+crates/core/src/experiments/visibility.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:

@@ -1,0 +1,31 @@
+/root/repo/target/debug/deps/qntn_core-afb7c4f0d8a9708f.d: crates/core/src/lib.rs crates/core/src/architecture.rs crates/core/src/compare.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/congestion.rs crates/core/src/experiments/demand.rs crates/core/src/experiments/fidelity.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fleet.rs crates/core/src/experiments/hybrid.rs crates/core/src/experiments/night.rs crates/core/src/experiments/purified_qkd.rs crates/core/src/experiments/qkd.rs crates/core/src/experiments/sensitivity.rs crates/core/src/experiments/stability.rs crates/core/src/experiments/survivability.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/visibility.rs crates/core/src/report.rs crates/core/src/scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn_core-afb7c4f0d8a9708f.rmeta: crates/core/src/lib.rs crates/core/src/architecture.rs crates/core/src/compare.rs crates/core/src/experiments/mod.rs crates/core/src/experiments/congestion.rs crates/core/src/experiments/demand.rs crates/core/src/experiments/fidelity.rs crates/core/src/experiments/fig5.rs crates/core/src/experiments/fig6.rs crates/core/src/experiments/fig7.rs crates/core/src/experiments/fig8.rs crates/core/src/experiments/fleet.rs crates/core/src/experiments/hybrid.rs crates/core/src/experiments/night.rs crates/core/src/experiments/purified_qkd.rs crates/core/src/experiments/qkd.rs crates/core/src/experiments/sensitivity.rs crates/core/src/experiments/stability.rs crates/core/src/experiments/survivability.rs crates/core/src/experiments/sweep.rs crates/core/src/experiments/visibility.rs crates/core/src/report.rs crates/core/src/scenario.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/architecture.rs:
+crates/core/src/compare.rs:
+crates/core/src/experiments/mod.rs:
+crates/core/src/experiments/congestion.rs:
+crates/core/src/experiments/demand.rs:
+crates/core/src/experiments/fidelity.rs:
+crates/core/src/experiments/fig5.rs:
+crates/core/src/experiments/fig6.rs:
+crates/core/src/experiments/fig7.rs:
+crates/core/src/experiments/fig8.rs:
+crates/core/src/experiments/fleet.rs:
+crates/core/src/experiments/hybrid.rs:
+crates/core/src/experiments/night.rs:
+crates/core/src/experiments/purified_qkd.rs:
+crates/core/src/experiments/qkd.rs:
+crates/core/src/experiments/sensitivity.rs:
+crates/core/src/experiments/stability.rs:
+crates/core/src/experiments/survivability.rs:
+crates/core/src/experiments/sweep.rs:
+crates/core/src/experiments/visibility.rs:
+crates/core/src/report.rs:
+crates/core/src/scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

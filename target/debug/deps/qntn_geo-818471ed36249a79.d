@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qntn_geo-818471ed36249a79.d: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn_geo-818471ed36249a79.rmeta: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs Cargo.toml
+
+crates/geo/src/lib.rs:
+crates/geo/src/distance.rs:
+crates/geo/src/ellipsoid.rs:
+crates/geo/src/frames.rs:
+crates/geo/src/geodetic.rs:
+crates/geo/src/look.rs:
+crates/geo/src/time.rs:
+crates/geo/src/vec3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qntn_geo-f6d7943be1a4daf5.d: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+/root/repo/target/debug/deps/libqntn_geo-f6d7943be1a4daf5.rlib: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+/root/repo/target/debug/deps/libqntn_geo-f6d7943be1a4daf5.rmeta: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/distance.rs:
+crates/geo/src/ellipsoid.rs:
+crates/geo/src/frames.rs:
+crates/geo/src/geodetic.rs:
+crates/geo/src/look.rs:
+crates/geo/src/time.rs:
+crates/geo/src/vec3.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qntn_net-2736834029ab221f.d: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs
+
+/root/repo/target/debug/deps/libqntn_net-2736834029ab221f.rlib: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs
+
+/root/repo/target/debug/deps/libqntn_net-2736834029ab221f.rmeta: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs
+
+crates/net/src/lib.rs:
+crates/net/src/capacity.rs:
+crates/net/src/coverage.rs:
+crates/net/src/entanglement.rs:
+crates/net/src/events.rs:
+crates/net/src/heralded.rs:
+crates/net/src/host.rs:
+crates/net/src/linkeval.rs:
+crates/net/src/requests.rs:
+crates/net/src/simulator.rs:
+crates/net/src/snapshot.rs:
+crates/net/src/sweep_engine.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/qntn_net-3681543f76470f98.d: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn_net-3681543f76470f98.rmeta: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/capacity.rs:
+crates/net/src/coverage.rs:
+crates/net/src/entanglement.rs:
+crates/net/src/events.rs:
+crates/net/src/heralded.rs:
+crates/net/src/host.rs:
+crates/net/src/linkeval.rs:
+crates/net/src/requests.rs:
+crates/net/src/simulator.rs:
+crates/net/src/snapshot.rs:
+crates/net/src/sweep_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

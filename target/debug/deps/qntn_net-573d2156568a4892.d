@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qntn_net-573d2156568a4892.d: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs
+
+/root/repo/target/debug/deps/qntn_net-573d2156568a4892: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs
+
+crates/net/src/lib.rs:
+crates/net/src/capacity.rs:
+crates/net/src/coverage.rs:
+crates/net/src/entanglement.rs:
+crates/net/src/events.rs:
+crates/net/src/heralded.rs:
+crates/net/src/host.rs:
+crates/net/src/linkeval.rs:
+crates/net/src/requests.rs:
+crates/net/src/simulator.rs:
+crates/net/src/snapshot.rs:
+crates/net/src/sweep_engine.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/qntn_orbit-bb1df40bf56c3db4.d: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn_orbit-bb1df40bf56c3db4.rmeta: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs Cargo.toml
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/contact.rs:
+crates/orbit/src/elements.rs:
+crates/orbit/src/ephemeris.rs:
+crates/orbit/src/kepler.rs:
+crates/orbit/src/numerical.rs:
+crates/orbit/src/propagator.rs:
+crates/orbit/src/sun.rs:
+crates/orbit/src/visibility.rs:
+crates/orbit/src/walker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

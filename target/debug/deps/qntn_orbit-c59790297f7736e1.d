@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qntn_orbit-c59790297f7736e1.d: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs
+
+/root/repo/target/debug/deps/qntn_orbit-c59790297f7736e1: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/contact.rs:
+crates/orbit/src/elements.rs:
+crates/orbit/src/ephemeris.rs:
+crates/orbit/src/kepler.rs:
+crates/orbit/src/numerical.rs:
+crates/orbit/src/propagator.rs:
+crates/orbit/src/sun.rs:
+crates/orbit/src/visibility.rs:
+crates/orbit/src/walker.rs:

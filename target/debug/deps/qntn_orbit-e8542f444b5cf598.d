@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qntn_orbit-e8542f444b5cf598.d: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs
+
+/root/repo/target/debug/deps/libqntn_orbit-e8542f444b5cf598.rlib: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs
+
+/root/repo/target/debug/deps/libqntn_orbit-e8542f444b5cf598.rmeta: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/contact.rs:
+crates/orbit/src/elements.rs:
+crates/orbit/src/ephemeris.rs:
+crates/orbit/src/kepler.rs:
+crates/orbit/src/numerical.rs:
+crates/orbit/src/propagator.rs:
+crates/orbit/src/sun.rs:
+crates/orbit/src/visibility.rs:
+crates/orbit/src/walker.rs:

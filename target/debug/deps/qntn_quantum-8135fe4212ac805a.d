@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qntn_quantum-8135fe4212ac805a.d: crates/quantum/src/lib.rs crates/quantum/src/channels.rs crates/quantum/src/choi.rs crates/quantum/src/complex.rs crates/quantum/src/eigen.rs crates/quantum/src/fidelity.rs crates/quantum/src/gates.rs crates/quantum/src/matrix.rs crates/quantum/src/nonlocality.rs crates/quantum/src/protocols.rs crates/quantum/src/qkd.rs crates/quantum/src/state.rs
+
+/root/repo/target/debug/deps/qntn_quantum-8135fe4212ac805a: crates/quantum/src/lib.rs crates/quantum/src/channels.rs crates/quantum/src/choi.rs crates/quantum/src/complex.rs crates/quantum/src/eigen.rs crates/quantum/src/fidelity.rs crates/quantum/src/gates.rs crates/quantum/src/matrix.rs crates/quantum/src/nonlocality.rs crates/quantum/src/protocols.rs crates/quantum/src/qkd.rs crates/quantum/src/state.rs
+
+crates/quantum/src/lib.rs:
+crates/quantum/src/channels.rs:
+crates/quantum/src/choi.rs:
+crates/quantum/src/complex.rs:
+crates/quantum/src/eigen.rs:
+crates/quantum/src/fidelity.rs:
+crates/quantum/src/gates.rs:
+crates/quantum/src/matrix.rs:
+crates/quantum/src/nonlocality.rs:
+crates/quantum/src/protocols.rs:
+crates/quantum/src/qkd.rs:
+crates/quantum/src/state.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/qntn_quantum-b08458d6d18a70e6.d: crates/quantum/src/lib.rs crates/quantum/src/channels.rs crates/quantum/src/choi.rs crates/quantum/src/complex.rs crates/quantum/src/eigen.rs crates/quantum/src/fidelity.rs crates/quantum/src/gates.rs crates/quantum/src/matrix.rs crates/quantum/src/nonlocality.rs crates/quantum/src/protocols.rs crates/quantum/src/qkd.rs crates/quantum/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn_quantum-b08458d6d18a70e6.rmeta: crates/quantum/src/lib.rs crates/quantum/src/channels.rs crates/quantum/src/choi.rs crates/quantum/src/complex.rs crates/quantum/src/eigen.rs crates/quantum/src/fidelity.rs crates/quantum/src/gates.rs crates/quantum/src/matrix.rs crates/quantum/src/nonlocality.rs crates/quantum/src/protocols.rs crates/quantum/src/qkd.rs crates/quantum/src/state.rs Cargo.toml
+
+crates/quantum/src/lib.rs:
+crates/quantum/src/channels.rs:
+crates/quantum/src/choi.rs:
+crates/quantum/src/complex.rs:
+crates/quantum/src/eigen.rs:
+crates/quantum/src/fidelity.rs:
+crates/quantum/src/gates.rs:
+crates/quantum/src/matrix.rs:
+crates/quantum/src/nonlocality.rs:
+crates/quantum/src/protocols.rs:
+crates/quantum/src/qkd.rs:
+crates/quantum/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/qntn_routing-46add490cf56216d.d: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqntn_routing-46add490cf56216d.rmeta: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs Cargo.toml
+
+crates/routing/src/lib.rs:
+crates/routing/src/bellman_ford.rs:
+crates/routing/src/dijkstra.rs:
+crates/routing/src/disjoint.rs:
+crates/routing/src/graph.rs:
+crates/routing/src/metrics.rs:
+crates/routing/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/qntn_routing-676a111187720f35.d: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+/root/repo/target/debug/deps/libqntn_routing-676a111187720f35.rlib: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+/root/repo/target/debug/deps/libqntn_routing-676a111187720f35.rmeta: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/bellman_ford.rs:
+crates/routing/src/dijkstra.rs:
+crates/routing/src/disjoint.rs:
+crates/routing/src/graph.rs:
+crates/routing/src/metrics.rs:
+crates/routing/src/table.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qntn_routing-d899464509ddd9d7.d: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+/root/repo/target/debug/deps/qntn_routing-d899464509ddd9d7: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/bellman_ford.rs:
+crates/routing/src/dijkstra.rs:
+crates/routing/src/disjoint.rs:
+crates/routing/src/graph.rs:
+crates/routing/src/metrics.rs:
+crates/routing/src/table.rs:

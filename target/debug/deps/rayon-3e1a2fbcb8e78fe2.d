@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-3e1a2fbcb8e78fe2.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/rayon-3e1a2fbcb8e78fe2: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

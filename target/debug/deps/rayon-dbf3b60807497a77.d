@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rayon-dbf3b60807497a77.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-dbf3b60807497a77.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-dbf3b60807497a77.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

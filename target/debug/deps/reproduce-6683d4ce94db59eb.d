@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-6683d4ce94db59eb.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-6683d4ce94db59eb: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

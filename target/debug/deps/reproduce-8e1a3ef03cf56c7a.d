@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-8e1a3ef03cf56c7a.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-8e1a3ef03cf56c7a: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

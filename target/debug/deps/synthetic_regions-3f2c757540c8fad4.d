@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/synthetic_regions-3f2c757540c8fad4.d: tests/synthetic_regions.rs
+
+/root/repo/target/debug/deps/synthetic_regions-3f2c757540c8fad4: tests/synthetic_regions.rs
+
+tests/synthetic_regions.rs:

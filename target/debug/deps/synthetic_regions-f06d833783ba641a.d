@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/synthetic_regions-f06d833783ba641a.d: tests/synthetic_regions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsynthetic_regions-f06d833783ba641a.rmeta: tests/synthetic_regions.rs Cargo.toml
+
+tests/synthetic_regions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-9f78b2494d0b3c07.d: crates/bench/benches/tables.rs
+
+/root/repo/target/debug/deps/tables-9f78b2494d0b3c07: crates/bench/benches/tables.rs
+
+crates/bench/benches/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/entanglement_routing-50fb9603e5feb3bf.d: examples/entanglement_routing.rs
+
+/root/repo/target/debug/examples/entanglement_routing-50fb9603e5feb3bf: examples/entanglement_routing.rs
+
+examples/entanglement_routing.rs:

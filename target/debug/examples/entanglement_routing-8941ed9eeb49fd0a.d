@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/entanglement_routing-8941ed9eeb49fd0a.d: examples/entanglement_routing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libentanglement_routing-8941ed9eeb49fd0a.rmeta: examples/entanglement_routing.rs Cargo.toml
+
+examples/entanglement_routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

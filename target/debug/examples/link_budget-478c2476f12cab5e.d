@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_budget-478c2476f12cab5e.d: examples/link_budget.rs
+
+/root/repo/target/debug/examples/link_budget-478c2476f12cab5e: examples/link_budget.rs
+
+examples/link_budget.rs:

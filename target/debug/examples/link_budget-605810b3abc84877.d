@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/link_budget-605810b3abc84877.d: examples/link_budget.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblink_budget-605810b3abc84877.rmeta: examples/link_budget.rs Cargo.toml
+
+examples/link_budget.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

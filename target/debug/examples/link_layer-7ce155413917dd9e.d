@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/link_layer-7ce155413917dd9e.d: examples/link_layer.rs
+
+/root/repo/target/debug/examples/link_layer-7ce155413917dd9e: examples/link_layer.rs
+
+examples/link_layer.rs:

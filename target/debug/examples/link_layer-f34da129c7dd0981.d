@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/link_layer-f34da129c7dd0981.d: examples/link_layer.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblink_layer-f34da129c7dd0981.rmeta: examples/link_layer.rs Cargo.toml
+
+examples/link_layer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/night_operations-601df9078d5942b7.d: examples/night_operations.rs
+
+/root/repo/target/debug/examples/night_operations-601df9078d5942b7: examples/night_operations.rs
+
+examples/night_operations.rs:

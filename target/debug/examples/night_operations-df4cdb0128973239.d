@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/night_operations-df4cdb0128973239.d: examples/night_operations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnight_operations-df4cdb0128973239.rmeta: examples/night_operations.rs Cargo.toml
+
+examples/night_operations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/other_regions-3f30b2dd10088b3e.d: examples/other_regions.rs
+
+/root/repo/target/debug/examples/other_regions-3f30b2dd10088b3e: examples/other_regions.rs
+
+examples/other_regions.rs:

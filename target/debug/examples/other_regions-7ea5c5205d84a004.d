@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/other_regions-7ea5c5205d84a004.d: examples/other_regions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libother_regions-7ea5c5205d84a004.rmeta: examples/other_regions.rs Cargo.toml
+
+examples/other_regions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e331de052019dcf6.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e331de052019dcf6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/repeater_chain-3ee193f5831bad78.d: examples/repeater_chain.rs
+
+/root/repo/target/debug/examples/repeater_chain-3ee193f5831bad78: examples/repeater_chain.rs
+
+examples/repeater_chain.rs:

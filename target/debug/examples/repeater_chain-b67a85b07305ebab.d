@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/repeater_chain-b67a85b07305ebab.d: examples/repeater_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/librepeater_chain-b67a85b07305ebab.rmeta: examples/repeater_chain.rs Cargo.toml
+
+examples/repeater_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/satellite_passes-6c94a32f170cfcf0.d: examples/satellite_passes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsatellite_passes-6c94a32f170cfcf0.rmeta: examples/satellite_passes.rs Cargo.toml
+
+examples/satellite_passes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

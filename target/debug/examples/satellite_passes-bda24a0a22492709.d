@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/satellite_passes-bda24a0a22492709.d: examples/satellite_passes.rs
+
+/root/repo/target/debug/examples/satellite_passes-bda24a0a22492709: examples/satellite_passes.rs
+
+examples/satellite_passes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/weather_sensitivity-3bf218f32bf94b43.d: examples/weather_sensitivity.rs
+
+/root/repo/target/debug/examples/weather_sensitivity-3bf218f32bf94b43: examples/weather_sensitivity.rs
+
+examples/weather_sensitivity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/weather_sensitivity-ee56f0508a71c796.d: examples/weather_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libweather_sensitivity-ee56f0508a71c796.rmeta: examples/weather_sensitivity.rs Cargo.toml
+
+examples/weather_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-32263addd190979b.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-32263addd190979b.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-32263addd190979b.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-790654c4eed5014c.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-790654c4eed5014c.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-790654c4eed5014c.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-bed34167727561b7.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-bed34167727561b7: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

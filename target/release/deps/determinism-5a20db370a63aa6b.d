@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-5a20db370a63aa6b.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-5a20db370a63aa6b: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extension_invariants-4b2ce0ef131bdc37.d: tests/extension_invariants.rs
+
+/root/repo/target/release/deps/extension_invariants-4b2ce0ef131bdc37: tests/extension_invariants.rs
+
+tests/extension_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_reproduction-8b45d041afed949c.d: tests/full_reproduction.rs
+
+/root/repo/target/release/deps/full_reproduction-8b45d041afed949c: tests/full_reproduction.rs
+
+tests/full_reproduction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/microbench-01a94a85f6a455ad.d: crates/bench/benches/microbench.rs
+
+/root/repo/target/release/deps/microbench-01a94a85f6a455ad: crates/bench/benches/microbench.rs
+
+crates/bench/benches/microbench.rs:

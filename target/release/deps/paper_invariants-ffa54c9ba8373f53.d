@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_invariants-ffa54c9ba8373f53.d: tests/paper_invariants.rs
+
+/root/repo/target/release/deps/paper_invariants-ffa54c9ba8373f53: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-07be627407ab6d61.d: crates/quantum/tests/properties.rs
+
+/root/repo/target/release/deps/properties-07be627407ab6d61: crates/quantum/tests/properties.rs
+
+crates/quantum/tests/properties.rs:

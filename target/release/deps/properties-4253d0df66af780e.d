@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-4253d0df66af780e.d: crates/geo/tests/properties.rs
+
+/root/repo/target/release/deps/properties-4253d0df66af780e: crates/geo/tests/properties.rs
+
+crates/geo/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-69e2a94b99257c3e.d: crates/channel/tests/properties.rs
+
+/root/repo/target/release/deps/properties-69e2a94b99257c3e: crates/channel/tests/properties.rs
+
+crates/channel/tests/properties.rs:

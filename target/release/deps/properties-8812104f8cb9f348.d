@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-8812104f8cb9f348.d: crates/net/tests/properties.rs
+
+/root/repo/target/release/deps/properties-8812104f8cb9f348: crates/net/tests/properties.rs
+
+crates/net/tests/properties.rs:

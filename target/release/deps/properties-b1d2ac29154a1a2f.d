@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-b1d2ac29154a1a2f.d: crates/orbit/tests/properties.rs
+
+/root/repo/target/release/deps/properties-b1d2ac29154a1a2f: crates/orbit/tests/properties.rs
+
+crates/orbit/tests/properties.rs:

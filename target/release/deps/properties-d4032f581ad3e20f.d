@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-d4032f581ad3e20f.d: crates/routing/tests/properties.rs
+
+/root/repo/target/release/deps/properties-d4032f581ad3e20f: crates/routing/tests/properties.rs
+
+crates/routing/tests/properties.rs:

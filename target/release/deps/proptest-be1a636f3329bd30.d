@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-be1a636f3329bd30.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-be1a636f3329bd30.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+/root/repo/target/release/deps/libproptest-be1a636f3329bd30.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:

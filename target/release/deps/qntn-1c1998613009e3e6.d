@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qntn-1c1998613009e3e6.d: src/lib.rs
+
+/root/repo/target/release/deps/qntn-1c1998613009e3e6: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qntn-7dfa9872a9302e34.d: src/lib.rs
+
+/root/repo/target/release/deps/libqntn-7dfa9872a9302e34.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libqntn-7dfa9872a9302e34.rmeta: src/lib.rs
+
+src/lib.rs:

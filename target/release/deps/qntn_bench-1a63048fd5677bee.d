@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qntn_bench-1a63048fd5677bee.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqntn_bench-1a63048fd5677bee.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqntn_bench-1a63048fd5677bee.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

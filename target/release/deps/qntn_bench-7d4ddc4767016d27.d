@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/qntn_bench-7d4ddc4767016d27.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/qntn_bench-7d4ddc4767016d27: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

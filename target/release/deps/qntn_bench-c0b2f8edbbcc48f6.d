@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/qntn_bench-c0b2f8edbbcc48f6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqntn_bench-c0b2f8edbbcc48f6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libqntn_bench-c0b2f8edbbcc48f6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

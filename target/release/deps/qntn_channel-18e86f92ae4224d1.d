@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qntn_channel-18e86f92ae4224d1.d: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+/root/repo/target/release/deps/libqntn_channel-18e86f92ae4224d1.rlib: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+/root/repo/target/release/deps/libqntn_channel-18e86f92ae4224d1.rmeta: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/atmosphere.rs:
+crates/channel/src/budget.rs:
+crates/channel/src/fiber.rs:
+crates/channel/src/fso.rs:
+crates/channel/src/params.rs:
+crates/channel/src/turbulence.rs:
+crates/channel/src/units.rs:
+crates/channel/src/weather.rs:

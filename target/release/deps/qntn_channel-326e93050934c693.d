@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qntn_channel-326e93050934c693.d: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+/root/repo/target/release/deps/qntn_channel-326e93050934c693: crates/channel/src/lib.rs crates/channel/src/atmosphere.rs crates/channel/src/budget.rs crates/channel/src/fiber.rs crates/channel/src/fso.rs crates/channel/src/params.rs crates/channel/src/turbulence.rs crates/channel/src/units.rs crates/channel/src/weather.rs
+
+crates/channel/src/lib.rs:
+crates/channel/src/atmosphere.rs:
+crates/channel/src/budget.rs:
+crates/channel/src/fiber.rs:
+crates/channel/src/fso.rs:
+crates/channel/src/params.rs:
+crates/channel/src/turbulence.rs:
+crates/channel/src/units.rs:
+crates/channel/src/weather.rs:

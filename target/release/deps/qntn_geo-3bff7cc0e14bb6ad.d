@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qntn_geo-3bff7cc0e14bb6ad.d: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+/root/repo/target/release/deps/libqntn_geo-3bff7cc0e14bb6ad.rlib: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+/root/repo/target/release/deps/libqntn_geo-3bff7cc0e14bb6ad.rmeta: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/distance.rs:
+crates/geo/src/ellipsoid.rs:
+crates/geo/src/frames.rs:
+crates/geo/src/geodetic.rs:
+crates/geo/src/look.rs:
+crates/geo/src/time.rs:
+crates/geo/src/vec3.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qntn_geo-97f3c3b8d906e49c.d: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+/root/repo/target/release/deps/libqntn_geo-97f3c3b8d906e49c.rlib: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+/root/repo/target/release/deps/libqntn_geo-97f3c3b8d906e49c.rmeta: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/distance.rs:
+crates/geo/src/ellipsoid.rs:
+crates/geo/src/frames.rs:
+crates/geo/src/geodetic.rs:
+crates/geo/src/look.rs:
+crates/geo/src/time.rs:
+crates/geo/src/vec3.rs:

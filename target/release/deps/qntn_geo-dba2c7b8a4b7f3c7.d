@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/qntn_geo-dba2c7b8a4b7f3c7.d: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+/root/repo/target/release/deps/qntn_geo-dba2c7b8a4b7f3c7: crates/geo/src/lib.rs crates/geo/src/distance.rs crates/geo/src/ellipsoid.rs crates/geo/src/frames.rs crates/geo/src/geodetic.rs crates/geo/src/look.rs crates/geo/src/time.rs crates/geo/src/vec3.rs
+
+crates/geo/src/lib.rs:
+crates/geo/src/distance.rs:
+crates/geo/src/ellipsoid.rs:
+crates/geo/src/frames.rs:
+crates/geo/src/geodetic.rs:
+crates/geo/src/look.rs:
+crates/geo/src/time.rs:
+crates/geo/src/vec3.rs:

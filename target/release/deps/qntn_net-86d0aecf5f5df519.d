@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/qntn_net-86d0aecf5f5df519.d: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs
+
+/root/repo/target/release/deps/libqntn_net-86d0aecf5f5df519.rlib: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs
+
+/root/repo/target/release/deps/libqntn_net-86d0aecf5f5df519.rmeta: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs crates/net/src/sweep_engine.rs
+
+crates/net/src/lib.rs:
+crates/net/src/capacity.rs:
+crates/net/src/coverage.rs:
+crates/net/src/entanglement.rs:
+crates/net/src/events.rs:
+crates/net/src/heralded.rs:
+crates/net/src/host.rs:
+crates/net/src/linkeval.rs:
+crates/net/src/requests.rs:
+crates/net/src/simulator.rs:
+crates/net/src/snapshot.rs:
+crates/net/src/sweep_engine.rs:

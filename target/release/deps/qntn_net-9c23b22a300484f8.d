@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/qntn_net-9c23b22a300484f8.d: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs
+
+/root/repo/target/release/deps/qntn_net-9c23b22a300484f8: crates/net/src/lib.rs crates/net/src/capacity.rs crates/net/src/coverage.rs crates/net/src/entanglement.rs crates/net/src/events.rs crates/net/src/heralded.rs crates/net/src/host.rs crates/net/src/linkeval.rs crates/net/src/requests.rs crates/net/src/simulator.rs crates/net/src/snapshot.rs
+
+crates/net/src/lib.rs:
+crates/net/src/capacity.rs:
+crates/net/src/coverage.rs:
+crates/net/src/entanglement.rs:
+crates/net/src/events.rs:
+crates/net/src/heralded.rs:
+crates/net/src/host.rs:
+crates/net/src/linkeval.rs:
+crates/net/src/requests.rs:
+crates/net/src/simulator.rs:
+crates/net/src/snapshot.rs:

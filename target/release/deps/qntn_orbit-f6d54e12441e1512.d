@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qntn_orbit-f6d54e12441e1512.d: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs
+
+/root/repo/target/release/deps/libqntn_orbit-f6d54e12441e1512.rlib: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs
+
+/root/repo/target/release/deps/libqntn_orbit-f6d54e12441e1512.rmeta: crates/orbit/src/lib.rs crates/orbit/src/contact.rs crates/orbit/src/elements.rs crates/orbit/src/ephemeris.rs crates/orbit/src/kepler.rs crates/orbit/src/numerical.rs crates/orbit/src/propagator.rs crates/orbit/src/sun.rs crates/orbit/src/visibility.rs crates/orbit/src/walker.rs
+
+crates/orbit/src/lib.rs:
+crates/orbit/src/contact.rs:
+crates/orbit/src/elements.rs:
+crates/orbit/src/ephemeris.rs:
+crates/orbit/src/kepler.rs:
+crates/orbit/src/numerical.rs:
+crates/orbit/src/propagator.rs:
+crates/orbit/src/sun.rs:
+crates/orbit/src/visibility.rs:
+crates/orbit/src/walker.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/qntn_quantum-b09a1f00eec00784.d: crates/quantum/src/lib.rs crates/quantum/src/channels.rs crates/quantum/src/choi.rs crates/quantum/src/complex.rs crates/quantum/src/eigen.rs crates/quantum/src/fidelity.rs crates/quantum/src/gates.rs crates/quantum/src/matrix.rs crates/quantum/src/nonlocality.rs crates/quantum/src/protocols.rs crates/quantum/src/qkd.rs crates/quantum/src/state.rs
+
+/root/repo/target/release/deps/qntn_quantum-b09a1f00eec00784: crates/quantum/src/lib.rs crates/quantum/src/channels.rs crates/quantum/src/choi.rs crates/quantum/src/complex.rs crates/quantum/src/eigen.rs crates/quantum/src/fidelity.rs crates/quantum/src/gates.rs crates/quantum/src/matrix.rs crates/quantum/src/nonlocality.rs crates/quantum/src/protocols.rs crates/quantum/src/qkd.rs crates/quantum/src/state.rs
+
+crates/quantum/src/lib.rs:
+crates/quantum/src/channels.rs:
+crates/quantum/src/choi.rs:
+crates/quantum/src/complex.rs:
+crates/quantum/src/eigen.rs:
+crates/quantum/src/fidelity.rs:
+crates/quantum/src/gates.rs:
+crates/quantum/src/matrix.rs:
+crates/quantum/src/nonlocality.rs:
+crates/quantum/src/protocols.rs:
+crates/quantum/src/qkd.rs:
+crates/quantum/src/state.rs:

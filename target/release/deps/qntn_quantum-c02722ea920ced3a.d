@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/qntn_quantum-c02722ea920ced3a.d: crates/quantum/src/lib.rs crates/quantum/src/channels.rs crates/quantum/src/choi.rs crates/quantum/src/complex.rs crates/quantum/src/eigen.rs crates/quantum/src/fidelity.rs crates/quantum/src/gates.rs crates/quantum/src/matrix.rs crates/quantum/src/nonlocality.rs crates/quantum/src/protocols.rs crates/quantum/src/qkd.rs crates/quantum/src/state.rs
+
+/root/repo/target/release/deps/libqntn_quantum-c02722ea920ced3a.rlib: crates/quantum/src/lib.rs crates/quantum/src/channels.rs crates/quantum/src/choi.rs crates/quantum/src/complex.rs crates/quantum/src/eigen.rs crates/quantum/src/fidelity.rs crates/quantum/src/gates.rs crates/quantum/src/matrix.rs crates/quantum/src/nonlocality.rs crates/quantum/src/protocols.rs crates/quantum/src/qkd.rs crates/quantum/src/state.rs
+
+/root/repo/target/release/deps/libqntn_quantum-c02722ea920ced3a.rmeta: crates/quantum/src/lib.rs crates/quantum/src/channels.rs crates/quantum/src/choi.rs crates/quantum/src/complex.rs crates/quantum/src/eigen.rs crates/quantum/src/fidelity.rs crates/quantum/src/gates.rs crates/quantum/src/matrix.rs crates/quantum/src/nonlocality.rs crates/quantum/src/protocols.rs crates/quantum/src/qkd.rs crates/quantum/src/state.rs
+
+crates/quantum/src/lib.rs:
+crates/quantum/src/channels.rs:
+crates/quantum/src/choi.rs:
+crates/quantum/src/complex.rs:
+crates/quantum/src/eigen.rs:
+crates/quantum/src/fidelity.rs:
+crates/quantum/src/gates.rs:
+crates/quantum/src/matrix.rs:
+crates/quantum/src/nonlocality.rs:
+crates/quantum/src/protocols.rs:
+crates/quantum/src/qkd.rs:
+crates/quantum/src/state.rs:

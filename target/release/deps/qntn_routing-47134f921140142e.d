@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/qntn_routing-47134f921140142e.d: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+/root/repo/target/release/deps/libqntn_routing-47134f921140142e.rlib: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+/root/repo/target/release/deps/libqntn_routing-47134f921140142e.rmeta: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/bellman_ford.rs:
+crates/routing/src/dijkstra.rs:
+crates/routing/src/disjoint.rs:
+crates/routing/src/graph.rs:
+crates/routing/src/metrics.rs:
+crates/routing/src/table.rs:

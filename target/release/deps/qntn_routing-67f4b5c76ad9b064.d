@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/qntn_routing-67f4b5c76ad9b064.d: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+/root/repo/target/release/deps/qntn_routing-67f4b5c76ad9b064: crates/routing/src/lib.rs crates/routing/src/bellman_ford.rs crates/routing/src/dijkstra.rs crates/routing/src/disjoint.rs crates/routing/src/graph.rs crates/routing/src/metrics.rs crates/routing/src/table.rs
+
+crates/routing/src/lib.rs:
+crates/routing/src/bellman_ford.rs:
+crates/routing/src/dijkstra.rs:
+crates/routing/src/disjoint.rs:
+crates/routing/src/graph.rs:
+crates/routing/src/metrics.rs:
+crates/routing/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-5fc5a28d8a9b36d5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-5fc5a28d8a9b36d5: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-6cd91df9aa28a601.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6cd91df9aa28a601.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-6cd91df9aa28a601.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

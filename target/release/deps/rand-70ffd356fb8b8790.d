@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-70ffd356fb8b8790.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-70ffd356fb8b8790.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-70ffd356fb8b8790.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-1191e18356109fd5.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-1191e18356109fd5.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-1191e18356109fd5.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-17bc2e32d4a8db49.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-17bc2e32d4a8db49: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

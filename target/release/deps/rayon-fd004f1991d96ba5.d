@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rayon-fd004f1991d96ba5.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-fd004f1991d96ba5.rlib: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/librayon-fd004f1991d96ba5.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-2a2a1e74d7d31152.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-2a2a1e74d7d31152: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-2a3f74ed7958d9d4.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-2a3f74ed7958d9d4: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

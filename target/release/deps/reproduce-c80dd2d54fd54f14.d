@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-c80dd2d54fd54f14.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-c80dd2d54fd54f14: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-02197b764de5b4f9.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-02197b764de5b4f9: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-4d69674764ede3c6.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-4d69674764ede3c6.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-4d69674764ede3c6.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

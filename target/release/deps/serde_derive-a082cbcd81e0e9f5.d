@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-a082cbcd81e0e9f5.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-a082cbcd81e0e9f5.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

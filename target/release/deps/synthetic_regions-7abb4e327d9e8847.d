@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/synthetic_regions-7abb4e327d9e8847.d: tests/synthetic_regions.rs
+
+/root/repo/target/release/deps/synthetic_regions-7abb4e327d9e8847: tests/synthetic_regions.rs
+
+tests/synthetic_regions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/entanglement_routing-602b0bd788e16080.d: examples/entanglement_routing.rs
+
+/root/repo/target/release/examples/entanglement_routing-602b0bd788e16080: examples/entanglement_routing.rs
+
+examples/entanglement_routing.rs:

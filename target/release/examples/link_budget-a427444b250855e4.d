@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/link_budget-a427444b250855e4.d: examples/link_budget.rs
+
+/root/repo/target/release/examples/link_budget-a427444b250855e4: examples/link_budget.rs
+
+examples/link_budget.rs:

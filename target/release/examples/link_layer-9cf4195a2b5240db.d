@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/link_layer-9cf4195a2b5240db.d: examples/link_layer.rs
+
+/root/repo/target/release/examples/link_layer-9cf4195a2b5240db: examples/link_layer.rs
+
+examples/link_layer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/night_operations-a6ddc377f9cda1bd.d: examples/night_operations.rs
+
+/root/repo/target/release/examples/night_operations-a6ddc377f9cda1bd: examples/night_operations.rs
+
+examples/night_operations.rs:

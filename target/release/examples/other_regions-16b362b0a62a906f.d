@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/other_regions-16b362b0a62a906f.d: examples/other_regions.rs
+
+/root/repo/target/release/examples/other_regions-16b362b0a62a906f: examples/other_regions.rs
+
+examples/other_regions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-cd45d05d9fb918a2.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-cd45d05d9fb918a2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/repeater_chain-60d64f176446eb83.d: examples/repeater_chain.rs
+
+/root/repo/target/release/examples/repeater_chain-60d64f176446eb83: examples/repeater_chain.rs
+
+examples/repeater_chain.rs:

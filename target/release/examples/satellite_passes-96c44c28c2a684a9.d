@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/satellite_passes-96c44c28c2a684a9.d: examples/satellite_passes.rs
+
+/root/repo/target/release/examples/satellite_passes-96c44c28c2a684a9: examples/satellite_passes.rs
+
+examples/satellite_passes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/weather_sensitivity-493a18538a32e585.d: examples/weather_sensitivity.rs
+
+/root/repo/target/release/examples/weather_sensitivity-493a18538a32e585: examples/weather_sensitivity.rs
+
+examples/weather_sensitivity.rs:

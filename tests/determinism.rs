@@ -6,11 +6,11 @@ use qntn::core::experiments::fidelity::FidelityExperiment;
 use qntn::core::experiments::fig5::FidelityCurve;
 use qntn::core::experiments::fig6::CoverageSweep;
 use qntn::core::scenario::Qntn;
+use qntn::geo::Epoch;
 use qntn::net::requests::RequestWorkload;
 use qntn::net::SimConfig;
 use qntn::orbit::ephemeris::PAPER_STEP_S;
 use qntn::orbit::{Ephemeris, PerturbationModel};
-use qntn::geo::Epoch;
 
 #[test]
 fn fig5_curve_is_pure() {
@@ -25,9 +25,7 @@ fn fig5_curve_is_pure() {
 #[test]
 fn coverage_sweep_is_deterministic() {
     let q = Qntn::standard();
-    let run = || {
-        CoverageSweep::run(&q, SimConfig::default(), &[12], PerturbationModel::TwoBody)
-    };
+    let run = || CoverageSweep::run(&q, SimConfig::default(), &[12], PerturbationModel::TwoBody);
     let (a, b) = (run(), run());
     assert_eq!(a.points[0].coverage_percent, b.points[0].coverage_percent);
     assert_eq!(a.points[0].intervals, b.points[0].intervals);

@@ -21,7 +21,11 @@ use qntn::quantum::state::bell_phi_plus;
 fn night_gating_is_an_intersection() {
     let q = Qntn::standard();
     for twilight in [Twilight::Horizon, Twilight::Astronomical] {
-        let r = NightOps { twilight, satellites: 12 }.run(&q, SimConfig::default());
+        let r = NightOps {
+            twilight,
+            satellites: 12,
+        }
+        .run(&q, SimConfig::default());
         assert!(r.space_night_percent <= r.space_nominal_percent + 1e-9);
         assert!(r.space_night_percent <= r.dark_percent + 1e-9);
         assert!(r.air_night_percent <= r.dark_percent + 1e-9);
@@ -37,7 +41,10 @@ fn zero_jitter_equals_baseline() {
     let sweep = StabilitySweep::run(&q, &[0.0], experiment);
     let baseline = experiment.run_air_ground(&AirGround::standard(&q));
     let at_zero = &sweep.points[0].report;
-    assert_eq!(at_zero.stats, baseline.stats, "zero jitter must be the identity");
+    assert_eq!(
+        at_zero.stats, baseline.stats,
+        "zero jitter must be the identity"
+    );
 }
 
 /// The congestion sweep's saturation point must reproduce the ideal model's
@@ -57,7 +64,9 @@ fn purified_qkd_round_zero_matches_qkd_module() {
     for eta in [0.85, 0.92, 0.99] {
         let out = purified_qkd::pump_until_key(eta, 0).expect("strong pairs carry raw key");
         assert_eq!(out.rounds, 0);
-        let rho = amplitude_damping(eta).on_qubit(1, 2).apply(&bell_phi_plus().density());
+        let rho = amplitude_damping(eta)
+            .on_qubit(1, 2)
+            .apply(&bell_phi_plus().density());
         let direct = bbm92_key_fraction(&rho);
         assert!((out.key_fraction - direct).abs() < 1e-12, "eta {eta}");
     }
@@ -84,9 +93,21 @@ fn purification_economics_are_conservative() {
 fn twilight_ordering_in_reports() {
     let q = Qntn::standard();
     let config = SimConfig::default();
-    let horizon = NightOps { twilight: Twilight::Horizon, satellites: 6 }.run(&q, config);
-    let civil = NightOps { twilight: Twilight::Civil, satellites: 6 }.run(&q, config);
-    let astro = NightOps { twilight: Twilight::Astronomical, satellites: 6 }.run(&q, config);
+    let horizon = NightOps {
+        twilight: Twilight::Horizon,
+        satellites: 6,
+    }
+    .run(&q, config);
+    let civil = NightOps {
+        twilight: Twilight::Civil,
+        satellites: 6,
+    }
+    .run(&q, config);
+    let astro = NightOps {
+        twilight: Twilight::Astronomical,
+        satellites: 6,
+    }
+    .run(&q, config);
     assert!(horizon.dark_percent >= civil.dark_percent);
     assert!(civil.dark_percent >= astro.dark_percent);
     assert!(horizon.space_night_percent >= astro.space_night_percent);

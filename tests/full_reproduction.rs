@@ -45,7 +45,10 @@ fn full_coverage_shape_is_monotone_and_near_linear() {
     // (the paper's figure is close to a straight line through the origin).
     let slope_lo = pts[0] / 6.0;
     let slope_hi = pts[3] / 108.0;
-    assert!(slope_hi / slope_lo > 0.5 && slope_hi / slope_lo < 2.0, "{pts:?}");
+    assert!(
+        slope_hi / slope_lo > 0.5 && slope_hi / slope_lo < 2.0,
+        "{pts:?}"
+    );
 }
 
 /// Fig. 7/8 at 108 satellites: served within a few points of 57.75 %,
@@ -84,7 +87,11 @@ fn full_air_ground_matches_paper() {
     let r = FidelityExperiment::paper().run_air_ground(&arch);
     assert!((r.coverage_percent - 100.0).abs() < 1e-9);
     assert!((r.served_percent - 100.0).abs() < 1e-9);
-    assert!((r.mean_fidelity - 0.98).abs() < 0.01, "fidelity {}", r.mean_fidelity);
+    assert!(
+        (r.mean_fidelity - 0.98).abs() < 0.01,
+        "fidelity {}",
+        r.mean_fidelity
+    );
 }
 
 /// The full Table III ordering at the paper's workload.

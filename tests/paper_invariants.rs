@@ -25,7 +25,12 @@ fn qualifying_isls_are_only_near_coincident_pairs() {
     let mut isl_reach_m = 0.0f64;
     for km in 1..4000 {
         let geom = qntn::channel::fso::FsoGeometry::downlink(
-            1.2, 500_000.0, 1.2, 500_000.0, km as f64 * 1000.0, 0.0,
+            1.2,
+            500_000.0,
+            1.2,
+            500_000.0,
+            km as f64 * 1000.0,
+            0.0,
         );
         if qntn::channel::fso::FsoChannel::new(geom, params).transmissivity() >= PAPER_THRESHOLD {
             isl_reach_m = km as f64 * 1000.0;
@@ -36,7 +41,10 @@ fn qualifying_isls_are_only_near_coincident_pairs() {
         "vacuum ISL reach {isl_reach_m}"
     );
     let ephemerides = SpaceGround::ephemerides(36, PerturbationModel::TwoBody);
-    let config = SimConfig { isl_max_range_m: 1.0e7, ..SimConfig::default() };
+    let config = SimConfig {
+        isl_max_range_m: 1.0e7,
+        ..SimConfig::default()
+    };
     let evaluator = LinkEvaluator::new(config);
     let sats: Vec<Host> = ephemerides
         .into_iter()
@@ -64,7 +72,10 @@ fn qualifying_isls_are_only_near_coincident_pairs() {
             }
         }
     }
-    assert!(evaluated > 0, "no ISL was ever within the evaluation cutoff");
+    assert!(
+        evaluated > 0,
+        "no ISL was ever within the evaluation cutoff"
+    );
     let _ = qualifying; // may be zero at this sampling; the bound above is the claim
 }
 
@@ -83,13 +94,16 @@ fn fast_coverage_path_matches_full_simulator() {
     let mut disagreements = 0;
     let steps: Vec<usize> = (0..2880).step_by(96).collect();
     for &step in &steps {
-        let full = arch.sim().lans_interconnected(&arch.sim().active_graph_at(step));
+        let full = arch
+            .sim()
+            .lans_interconnected(&arch.sim().active_graph_at(step));
         if full != flags[step] {
             disagreements += 1;
         }
     }
     assert_eq!(
-        disagreements, 0,
+        disagreements,
+        0,
         "fast path disagreed with the full simulator on {disagreements}/{} steps",
         steps.len()
     );
@@ -161,7 +175,12 @@ fn air_ground_dominates_space_ground() {
 #[test]
 fn served_at_least_pairwise_coverage() {
     let scenario = Qntn::standard();
-    let arch = SpaceGround::new(&scenario, 36, SimConfig::default(), PerturbationModel::TwoBody);
+    let arch = SpaceGround::new(
+        &scenario,
+        36,
+        SimConfig::default(),
+        PerturbationModel::TwoBody,
+    );
     let r = FidelityExperiment {
         sampled_steps: 30,
         requests_per_step: 30,

@@ -1,0 +1,159 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the bench harness uses (`bench_function`,
+//! `benchmark_group`/`sample_size`/`finish`, `criterion_group!`,
+//! `criterion_main!`, `black_box`) with a simple wall-clock measurement
+//! loop. Output mimics criterion's `name  time: [lo mid hi]` lines so
+//! log scrapers keep working. No statistics beyond min/median/max of the
+//! timed batches, no HTML reports, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Batches to time (reported as [min median max]).
+const BATCHES: usize = 5;
+
+/// The per-benchmark driver handed to `bench_function` closures.
+pub struct Bencher {
+    /// Measured mean per-iteration times of each batch, seconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, auto-scaling the iteration count to the target duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm up and estimate a single iteration.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            (TARGET.as_secs_f64() / BATCHES as f64 / once.as_secs_f64()).clamp(1.0, 1e7) as u64;
+        for _ in 0..BATCHES {
+            let start = Instant::now();
+            for _ in 0..per_batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            self.samples.push(elapsed / per_batch as f64);
+        }
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.4} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else {
+        format!("{:.4} s", seconds)
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    let mut s = b.samples;
+    if s.is_empty() {
+        println!("{name:<40} time:   [no samples]");
+        return;
+    }
+    s.sort_by(f64::total_cmp);
+    let (lo, mid, hi) = (s[0], s[s.len() / 2], s[s.len() - 1]);
+    println!(
+        "{name:<40} time:   [{} {} {}]",
+        fmt_time(lo),
+        fmt_time(mid),
+        fmt_time(hi)
+    );
+}
+
+/// Top-level benchmark registry (one per `criterion_group!` function).
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Run and report one benchmark. `name` accepts `&str`/`String`,
+    /// mirroring upstream's `impl Into<BenchmarkId>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.into(), &mut f);
+        self
+    }
+
+    /// Open a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+        }
+    }
+
+    /// Accept (and ignore) CLI configuration, mirroring upstream.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in auto-scales instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run and report one benchmark inside the group. `name` accepts
+    /// `&str`/`String`, mirroring upstream's `impl Into<BenchmarkId>`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, &mut f);
+        self
+    }
+
+    /// Close the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion_group!`: defines a function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

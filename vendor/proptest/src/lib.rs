@@ -1,0 +1,468 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest's API this workspace's property suites
+//! use: the `proptest!` macro (with optional `#![proptest_config(..)]`),
+//! `prop_assert!`/`prop_assert_eq!`, range and tuple strategies,
+//! `any::<T>()`, `Just`, `prop::collection::vec`, and the `prop_map` /
+//! `prop_filter` / `prop_filter_map` combinators.
+//!
+//! Differences from upstream: inputs are drawn from a deterministic
+//! xoshiro-family RNG seeded from the test name and case index (every run
+//! explores the same inputs — CI-stable by construction), and failing cases
+//! are reported without shrinking. Regression files are not read.
+
+pub mod collection;
+
+/// Mirrors proptest's `prelude::prop` re-export of the crate root.
+pub use crate as prop;
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases (the upstream constructor).
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic generator feeding the strategies (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for one (test, case) pair; fully deterministic.
+        pub fn for_case(test_hash: u64, case: u32) -> TestRng {
+            TestRng {
+                state: test_hash ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(case as u64 + 1)),
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A double in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// FNV-1a over a test's name, used to decorrelate tests' input streams.
+    pub fn hash_name(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of random values. `gen` returns `None` when a filter
+    /// rejects the draw; [`sample`] resamples a bounded number of times.
+    pub trait Strategy {
+        type Value;
+
+        fn gen(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Map generated values.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Reject values failing the predicate (the reason is unused).
+        fn prop_filter<R, F: Fn(&Self::Value) -> bool>(self, _reason: R, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, f }
+        }
+
+        /// Combined filter + map (the reason is unused).
+        fn prop_filter_map<R, O, F: Fn(Self::Value) -> Option<O>>(
+            self,
+            _reason: R,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap { inner: self, f }
+        }
+
+        /// Type-erase the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// Draw one accepted value, resampling past filter rejections.
+    pub fn sample<S: Strategy + ?Sized>(s: &S, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            if let Some(v) = s.gen(rng) {
+                return v;
+            }
+        }
+        panic!("strategy rejected 10000 consecutive samples; filter too strict");
+    }
+
+    /// `prop_map` adapter.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.gen(rng).map(&self.f)
+        }
+    }
+
+    /// `prop_filter` adapter.
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn gen(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.gen(rng).filter(|v| (self.f)(v))
+        }
+    }
+
+    /// `prop_filter_map` adapter.
+    pub struct FilterMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn gen(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.gen(rng).and_then(&self.f)
+        }
+    }
+
+    /// A type-erased strategy (reference-counted; cheap to clone).
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(self.0.clone())
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut TestRng) -> Option<T> {
+            self.0.gen(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// Types with a canonical full-domain strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            (rng.next_u64() >> 32) as u32
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> usize {
+            rng.next_u64() as usize
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite doubles spanning a wide dynamic range.
+            let mag = rng.unit_f64() * 600.0 - 300.0;
+            let sign = if rng.next_u64() & 1 == 1 { 1.0 } else { -1.0 };
+            sign * 10f64.powf(mag / 10.0)
+        }
+    }
+
+    /// The strategy behind `any::<T>()`.
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen(&self, rng: &mut TestRng) -> Option<T> {
+            Some(T::arbitrary(rng))
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    // ---- range strategies ----
+
+    macro_rules! impl_float_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> Option<$t> {
+                    debug_assert!(self.start < self.end, "empty range strategy");
+                    Some(self.start + (rng.unit_f64() as $t) * (self.end - self.start))
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    // 2^53 grid over [lo, hi]; both endpoints reachable.
+                    let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64;
+                    Some(lo + (u as $t) * (hi - lo))
+                }
+            }
+        )*};
+    }
+
+    impl_float_ranges!(f64, f32);
+
+    macro_rules! impl_int_ranges {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> Option<$t> {
+                    debug_assert!(self.start < self.end, "empty range strategy");
+                    let span = self.end.wrapping_sub(self.start) as u64;
+                    Some(self.start.wrapping_add((rng.next_u64() % span) as $t))
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen(&self, rng: &mut TestRng) -> Option<$t> {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    let span = hi.wrapping_sub(lo) as u64;
+                    if span == u64::MAX {
+                        return Some(lo.wrapping_add(rng.next_u64() as $t));
+                    }
+                    Some(lo.wrapping_add((rng.next_u64() % (span + 1)) as $t))
+                }
+            }
+        )*};
+    }
+
+    impl_int_ranges!(usize, u64, u32, i64, i32, u8, i8);
+
+    // ---- tuple strategies ----
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.gen(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    pub use crate::strategy::Arbitrary;
+}
+
+/// `proptest!` — run each enclosed `#[test] fn name(pat in strategy, ..)`
+/// over `cases` deterministic random inputs. No shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg); $($rest)*);
+    };
+    (@run ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let test_hash = $crate::test_runner::hash_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases {
+                    let mut __proptest_rng = $crate::test_runner::TestRng::for_case(test_hash, case);
+                    $(let $arg = $crate::strategy::sample(&($strat), &mut __proptest_rng);)+
+                    let result: ::std::result::Result<(), ::std::string::String> = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(message) = result {
+                        panic!(
+                            "proptest case {}/{} of `{}` failed:\n{}",
+                            case + 1,
+                            cfg.cases,
+                            stringify!($name),
+                            message
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts just this case with a
+/// message (no shrinking in this stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)*),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {} at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)*),
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed: `{} != {}` (both: `{:?}`) at {}:{}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Discard the current case when an assumption fails. This stand-in treats
+/// a failed assumption as a silently passing case (no global discard cap).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}

@@ -1,0 +1,291 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset of rayon's parallel-iterator API this workspace
+//! uses (`par_iter`, `into_par_iter`, `map`, `map_init`, `flat_map_iter`,
+//! `for_each`, `collect`, `sum`) on real OS threads via
+//! `std::thread::scope`. Unlike
+//! rayon there is no global pool: each parallel stage spawns a scoped
+//! worker per available core and the workers pull items off a shared
+//! cursor, so load balances dynamically. Results are reassembled in input
+//! order, which makes every combinator deterministic — the property the
+//! workspace's determinism tests assert.
+//!
+//! The executor is eager: `par_iter().map(f)` runs `f` over all items
+//! immediately and `collect()` merely moves the finished buffer out. That
+//! is semantically equivalent for the pure pipelines used here and keeps
+//! the stand-in small.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Number of worker threads a parallel stage uses.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Map `f` over `items` on up to [`current_num_threads`] scoped threads,
+/// preserving input order in the output.
+pub fn parallel_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Items move into per-slot cells; workers claim slots via an atomic
+    // cursor (dynamic load balancing) and write results back by index.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+                let r = f(item);
+                *out[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    out.into_iter()
+        .map(|c| c.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+/// An eagerly evaluated "parallel iterator": a buffer of items whose
+/// combinators execute on scoped threads and keep input order.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map preserving order.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParIter<R> {
+        ParIter {
+            items: parallel_map_vec(self.items, f),
+        }
+    }
+
+    /// Parallel map with worker-local state, mirroring rayon's `map_init`:
+    /// `init` runs once per worker thread and the value is threaded mutably
+    /// through every item that worker processes (scratch-buffer reuse).
+    /// Order is preserved; results do not depend on the worker assignment.
+    pub fn map_init<I, R, FI, F>(self, init: FI, f: F) -> ParIter<R>
+    where
+        I: Send,
+        R: Send,
+        FI: Fn() -> I + Sync,
+        F: Fn(&mut I, T) -> R + Sync,
+    {
+        let items = self.items;
+        let n = items.len();
+        let threads = current_num_threads().min(n.max(1));
+        if threads <= 1 || n <= 1 {
+            let mut state = init();
+            return ParIter {
+                items: items.into_iter().map(|x| f(&mut state, x)).collect(),
+            };
+        }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|x| Mutex::new(Some(x))).collect();
+        let out: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let mut state = init();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i].lock().unwrap().take().expect("slot claimed once");
+                        let r = f(&mut state, item);
+                        *out[i].lock().unwrap() = Some(r);
+                    }
+                });
+            }
+        });
+        ParIter {
+            items: out
+                .into_iter()
+                .map(|c| c.into_inner().unwrap().expect("worker filled slot"))
+                .collect(),
+        }
+    }
+
+    /// Parallel map to per-item iterators, flattened in input order.
+    pub fn flat_map_iter<I, F>(self, f: F) -> ParIter<I::Item>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(T) -> I + Sync,
+        I::IntoIter: Iterator,
+    {
+        let nested = parallel_map_vec(self.items, |x| f(x).into_iter().collect::<Vec<_>>());
+        ParIter {
+            items: nested.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel filter preserving order.
+    pub fn filter<F: Fn(&T) -> bool + Sync>(self, f: F) -> ParIter<T> {
+        let kept = parallel_map_vec(self.items, |x| if f(&x) { Some(x) } else { None });
+        ParIter {
+            items: kept.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Parallel side-effecting visit.
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        parallel_map_vec(self.items, f);
+    }
+
+    /// Gather into any `FromIterator` collection, in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum in input order (deterministic for floats).
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of buffered items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no items are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Entry point mirroring `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<i64> = (0..1000i64).collect();
+        let out: Vec<i64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000i64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..100usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out.len(), 100);
+        assert_eq!(out[0], 1);
+        assert_eq!(out[99], 100);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let out: Vec<usize> = vec![1usize, 2, 3]
+            .into_par_iter()
+            .flat_map_iter(|n| 0..n)
+            .collect();
+        assert_eq!(out, vec![0, 0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn map_init_matches_map_and_reuses_state() {
+        let v: Vec<usize> = (0..500).collect();
+        let out: Vec<usize> = v
+            .clone()
+            .into_par_iter()
+            .map_init(Vec::<usize>::new, |scratch, x| {
+                scratch.clear();
+                scratch.extend(0..x % 7);
+                x * 3 + scratch.len()
+            })
+            .collect();
+        let expect: Vec<usize> = v.iter().map(|&x| x * 3 + x % 7).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and the
+//! derive-macro namespaces so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The derives are
+//! inert (see the sibling `serde_derive` stub); no code in this workspace
+//! serializes through serde, so no impls are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never used as a bound here).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never used as a bound here).
+pub trait Deserialize<'de> {}

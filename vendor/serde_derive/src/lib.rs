@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! for downstream consumers, but nothing in-tree serializes through serde
+//! (there is no `serde_json` and no bound `T: Serialize` anywhere). The
+//! container building this repo has no network access to crates.io, so the
+//! real proc-macro stack (syn/quote) is unavailable; these derives simply
+//! expand to nothing, which is sufficient for every in-tree use.
+
+use proc_macro::TokenStream;
+
+/// `#[derive(Serialize)]`: expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// `#[derive(Deserialize)]`: expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
