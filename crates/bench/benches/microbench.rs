@@ -2,12 +2,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use qntn_channel::fso::{FsoChannel, FsoGeometry};
 use qntn_channel::params::FsoParams;
 use qntn_core::architecture::{AirGround, SpaceGround};
 use qntn_core::scenario::Qntn;
 use qntn_geo::{Epoch, Geodetic};
+use qntn_net::faults::FaultModel;
 use qntn_net::{SimConfig, SweepEngine};
 use qntn_orbit::{kepler, Keplerian, PerturbationModel, Propagator};
 use qntn_quantum::channels::amplitude_damping;
@@ -155,6 +157,33 @@ fn sweep_engine_kernels(c: &mut Criterion) {
     g.finish();
 }
 
+fn fault_mask_kernels(c: &mut Criterion) {
+    // The fault layer's two costs: compiling a day-long schedule into the
+    // per-step mask (one-off per intensity rung), and the masked full-day
+    // connectivity sweep (every graph consults the mask). The masked sweep
+    // should track the clean `sweep_day_108/engine` benchmark closely —
+    // the mask adds O(1) bit tests per edge, not new link budgets.
+    let scenario = Qntn::standard();
+    let space = SpaceGround::standard(&scenario);
+    let sim = space.sim();
+    let model = FaultModel::standard(777);
+    let mut g = c.benchmark_group("fault_mask_108");
+    g.sample_size(10);
+    g.bench_function("compile_day", |b| {
+        b.iter(|| black_box(model.compile(black_box(sim))))
+    });
+    let faults = Arc::new(model.compile(sim));
+    g.bench_function("masked_day_engine", |b| {
+        b.iter(|| {
+            let flags = SweepEngine::new(sim)
+                .with_faults(faults.clone())
+                .connectivity_flags();
+            black_box(flags.iter().filter(|&&f| f).count())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     microbench,
     orbit_kernels,
@@ -162,6 +191,7 @@ criterion_group!(
     protocol_kernels,
     channel_kernels,
     network_kernels,
-    sweep_engine_kernels
+    sweep_engine_kernels,
+    fault_mask_kernels
 );
 criterion_main!(microbench);

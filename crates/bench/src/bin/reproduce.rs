@@ -14,6 +14,7 @@
 //!   topology  link maps of both architectures (Figs. 1-4 data)
 //!   budgets   representative FSO link budgets
 //!   extensions  night-ops / HAP-jitter / congestion / QKD extensions
+//!   faults    degradation vs fault intensity (outages, flaps, weather)
 //!   export    write CSV/DOT artifacts for every figure into ./out/
 //!   all       everything above except export (default)
 //!
@@ -25,6 +26,7 @@ use qntn_channel::fso::{FsoChannel, FsoGeometry};
 use qntn_channel::params::FsoParams;
 use qntn_core::architecture::{AirGround, SpaceGround};
 use qntn_core::compare::ComparisonReport;
+use qntn_core::experiments::faults::FaultExperiment;
 use qntn_core::experiments::fidelity::FidelityExperiment;
 use qntn_core::experiments::fig5::FidelityCurve;
 use qntn_core::experiments::fig6::CoverageSweep;
@@ -34,6 +36,7 @@ use qntn_core::experiments::paper_constellation_sizes;
 use qntn_core::experiments::sweep::{ConstellationSweep, SweepSettings};
 use qntn_core::report;
 use qntn_core::scenario::Qntn;
+use qntn_net::faults::FaultModel;
 use qntn_net::SimConfig;
 use qntn_orbit::walker::paper_slots;
 use qntn_orbit::PerturbationModel;
@@ -53,6 +56,8 @@ artifacts:
   budgets     representative FSO link budgets
   extensions  night-ops / jitter / congestion / QKD / survivability /
               demand / heralded / sensitivity extensions
+  faults      degradation vs fault intensity (outages, flaps, weather;
+              seeded and deterministic, with retry-with-backoff service)
   export      write CSV/DOT artifacts for every figure into ./out/
   all         everything except export (default)
 
@@ -83,7 +88,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .map_or("all", String::as_str);
-    const ARTIFACTS: [&str; 12] = [
+    const ARTIFACTS: [&str; 13] = [
         "all",
         "fig5",
         "fig6",
@@ -95,6 +100,7 @@ fn main() {
         "topology",
         "budgets",
         "extensions",
+        "faults",
         "export",
     ];
     if !ARTIFACTS.contains(&artifact) {
@@ -134,6 +140,9 @@ fn main() {
     }
     if run("extensions") {
         extensions(&scenario, config, quick);
+    }
+    if run("faults") {
+        faults(&scenario, config, quick, parallel);
     }
     if artifact == "export" {
         export(&scenario, config, quick, parallel);
@@ -210,6 +219,14 @@ fn export(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
         "topology_space_ground_36.dot",
         report::topology_dot(space.sim(), &g, "QNTN space-ground, 36 satellites (t=0)"),
     );
+
+    let fault_exp = if quick {
+        FaultExperiment::quick()
+    } else {
+        FaultExperiment::standard()
+    };
+    let faults = fault_exp.run_with_options(scenario, config, parallel);
+    write("faults.csv", report::faults_csv(&faults));
 
     // One satellite movement sheet, as the paper's STK workflow produced.
     let eph = SpaceGround::ephemerides(1, PerturbationModel::TwoBody);
@@ -606,4 +623,22 @@ fn table3(scenario: &Qntn, config: SimConfig, quick: bool) {
     let r = ComparisonReport::run(scenario, config, 108, experiment);
     print!("{}", report::table3(&r));
     println!("# paper: space 55.17%/57.75%/0.96, air 100%/100%/0.98");
+}
+
+fn faults(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
+    banner("Fault injection — degradation vs intensity (seeded, deterministic)");
+    let experiment = if quick {
+        FaultExperiment::quick()
+    } else {
+        FaultExperiment::standard()
+    };
+    let sweep = experiment.run_with_options(scenario, config, parallel);
+    print!("{}", report::faults_table(&sweep));
+    println!("# intensity 0 = the paper's ideal-conditions assumption (bit-identical to table3);");
+    println!(
+        "# rates at intensity 1: {:.2} sat outages/day, {:.2} ground outages/day, {:.1} weather fronts/day",
+        FaultModel::standard(0).sat_outages_per_day,
+        FaultModel::standard(0).ground_outages_per_day,
+        FaultModel::standard(0).weather_fronts_per_day
+    );
 }

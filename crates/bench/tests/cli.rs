@@ -1,0 +1,79 @@
+//! CLI contract tests for the `reproduce` binary: argument validation
+//! (unknown artifacts and flags are rejected with the usage text and exit
+//! code 2), the `--no-parallel` escape hatch, and the `faults` artifact.
+//!
+//! Cargo builds the binary and exposes its path via
+//! `CARGO_BIN_EXE_reproduce`, so these run on the exact bits `cargo run`
+//! would use.
+
+use std::process::{Command, Output};
+
+fn reproduce(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("failed to spawn reproduce")
+}
+
+#[test]
+fn unknown_artifact_is_rejected_with_usage() {
+    let out = reproduce(&["no-such-artifact"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown artifact"), "{stderr}");
+    assert!(stderr.contains("`no-such-artifact`"), "{stderr}");
+    assert!(
+        stderr.contains("reproduce [artifact]"),
+        "usage follows the error"
+    );
+    assert!(stderr.contains("faults"), "usage lists the faults artifact");
+}
+
+#[test]
+fn unknown_flag_is_rejected_with_usage() {
+    let out = reproduce(&["table1", "--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag"), "{stderr}");
+    assert!(stderr.contains("`--frobnicate`"), "{stderr}");
+    assert!(stderr.contains("--no-parallel"), "usage lists the flags");
+}
+
+#[test]
+fn help_prints_usage_and_succeeds() {
+    for flag in ["--help", "-h"] {
+        let out = reproduce(&[flag]);
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("reproduce [artifact]"), "{stdout}");
+        assert!(stdout.contains("--quick"));
+        assert!(stdout.contains("faults"));
+    }
+}
+
+#[test]
+fn no_parallel_flag_is_accepted() {
+    let out = reproduce(&["table1", "--no-parallel"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Table I"), "{stdout}");
+}
+
+#[test]
+fn faults_artifact_renders_the_degradation_ladder() {
+    let out = reproduce(&["faults", "--quick"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fault injection"), "{stdout}");
+    assert!(stdout.contains("intensity"), "{stdout}");
+    assert!(stdout.contains("Space-Ground"), "{stdout}");
+    assert!(stdout.contains("Air-Ground"), "{stdout}");
+    assert!(
+        stdout.contains("ideal-conditions assumption"),
+        "the intensity-0 anchor line is part of the contract: {stdout}"
+    );
+}

@@ -102,6 +102,26 @@ pub fn atmosphere_for_visibility(visibility_m: f64, wavelength_m: f64) -> Atmosp
     Atmosphere::new(kim_extinction_per_m(visibility_m, wavelength_m), 6_600.0)
 }
 
+/// The visibility baked into the clear-sky link budgets, against which a
+/// weather episode's *excess* extinction is measured.
+pub const CLEAR_SKY_VISIBILITY_M: f64 = 50_000.0;
+
+/// Multiplicative η penalty of a weather-front episode: the excess Kim
+/// extinction of `visibility_m` over the clear-sky baseline, integrated
+/// over an effective low-troposphere path of `effective_path_m`.
+///
+/// Returns a factor in `(0, 1]` — exactly 1.0 at (or above) clear-sky
+/// visibility, since the baseline budgets already include that much loss.
+/// The fault layer multiplies this onto atmosphere-crossing FSO links for
+/// the duration of the front.
+pub fn episode_eta_factor(visibility_m: f64, wavelength_m: f64, effective_path_m: f64) -> f64 {
+    assert!(effective_path_m >= 0.0, "path must be non-negative");
+    let excess = (kim_extinction_per_m(visibility_m, wavelength_m)
+        - kim_extinction_per_m(CLEAR_SKY_VISIBILITY_M, wavelength_m))
+    .max(0.0);
+    (-excess * effective_path_m).exp()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +204,39 @@ mod tests {
     #[should_panic(expected = "visibility must be positive")]
     fn rejects_zero_visibility() {
         kim_extinction_per_m(0.0, LAMBDA);
+    }
+
+    #[test]
+    fn episode_factor_is_identity_at_clear_sky() {
+        assert_eq!(
+            episode_eta_factor(CLEAR_SKY_VISIBILITY_M, LAMBDA, 1_500.0),
+            1.0
+        );
+        // Above the baseline the excess clamps to zero, not a gain.
+        assert_eq!(episode_eta_factor(80_000.0, LAMBDA, 1_500.0), 1.0);
+        // Zero path length means no excess loss regardless of visibility.
+        assert_eq!(episode_eta_factor(2_000.0, LAMBDA, 0.0), 1.0);
+    }
+
+    #[test]
+    fn episode_factor_is_monotone_in_visibility() {
+        let mut prev = 0.0;
+        for v in [400.0, 800.0, 2_000.0, 4_000.0, 6_000.0, 20_000.0, 50_000.0] {
+            let f = episode_eta_factor(v, LAMBDA, 1_500.0);
+            assert!((0.0..=1.0).contains(&f), "V={v}: {f}");
+            assert!(f > prev, "V={v}: {f} !> {prev}");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn episode_factor_magnitudes_bracket_the_threshold() {
+        // The fault layer draws V log-uniform in [2 km, 20 km]; the factor
+        // range should straddle the η = 0.7 serving threshold so fronts
+        // actually matter.
+        let worst = episode_eta_factor(2_000.0, LAMBDA, 1_500.0);
+        let best = episode_eta_factor(20_000.0, LAMBDA, 1_500.0);
+        assert!(worst < 0.3, "{worst}");
+        assert!(best > 0.7, "{best}");
     }
 }

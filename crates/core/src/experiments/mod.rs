@@ -7,12 +7,14 @@
 //! | [`sweep`] + [`fig7`]/[`fig8`] | Fig. 7/8 — served % and fidelity vs N |
 //! | [`fidelity`] | the per-architecture fidelity/served experiment (Table III inputs) |
 //! | [`hybrid`] | the paper's future-work hybrid (HAP + constellation) |
+//! | [`faults`] | degradation vs. fault intensity (extension; intensity 0 = the paper) |
 //!
 //! All experiments are deterministic for a fixed seed and parallel over
 //! their dominant axis (satellites or time steps).
 
 pub mod congestion;
 pub mod demand;
+pub mod faults;
 pub mod fidelity;
 pub mod fig5;
 pub mod fig6;

@@ -1,6 +1,7 @@
 //! Text and CSV rendering for the `reproduce` binary and the examples.
 
 use crate::compare::ComparisonReport;
+use crate::experiments::faults::FaultSweep;
 use crate::experiments::fig5::FidelityCurve;
 use crate::experiments::fig6::CoverageSweep;
 use crate::experiments::sweep::ConstellationSweep;
@@ -99,6 +100,59 @@ pub fn sweep_csv(sweep: &ConstellationSweep) -> String {
     out
 }
 
+/// Render the fault-degradation sweep as an aligned text table. The
+/// intensity-0 rows are the paper's ideal-conditions assumption.
+pub fn faults_table(sweep: &FaultSweep) -> String {
+    let mut out = String::from(
+        "intensity  architecture             P_%  served_%  first_try_%  rescued_%  expired_%  F_end2end\n",
+    );
+    for p in &sweep.points {
+        for (name, a) in [
+            (format!("Space-Ground ({} sats)", sweep.satellites), p.space),
+            ("Air-Ground (1 HAP)".to_string(), p.air),
+        ] {
+            out.push_str(&format!(
+                "{:>9.2}  {:<22} {:>6.2}  {:>8.2}  {:>11.2}  {:>9.2}  {:>9.2}  {:>9.4}\n",
+                p.intensity,
+                name,
+                a.coverage_percent,
+                a.served_percent,
+                a.first_try_percent,
+                a.rescued_percent,
+                a.expired_percent,
+                a.mean_fidelity
+            ));
+        }
+    }
+    out
+}
+
+/// Render the fault-degradation sweep as CSV.
+pub fn faults_csv(sweep: &FaultSweep) -> String {
+    let mut out = String::from(
+        "intensity,architecture,coverage_percent,served_percent,first_try_percent,\
+         rescued_percent,expired_percent,mean_fidelity,mean_link_fidelity,mean_wait_steps\n",
+    );
+    for p in &sweep.points {
+        for (name, a) in [("space_ground", p.space), ("air_ground", p.air)] {
+            out.push_str(&format!(
+                "{:.4},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.6},{:.6},{:.4}\n",
+                p.intensity,
+                name,
+                a.coverage_percent,
+                a.served_percent,
+                a.first_try_percent,
+                a.rescued_percent,
+                a.expired_percent,
+                a.mean_fidelity,
+                a.mean_link_fidelity,
+                a.stats.mean_wait_steps
+            ));
+        }
+    }
+    out
+}
+
 /// Render one time step's active network as Graphviz DOT (the data behind
 /// the paper's Figs. 1, 3 and 4). Ground nodes are grouped by LAN;
 /// airborne platforms are boxes; edge labels carry transmissivities.
@@ -191,6 +245,50 @@ mod tests {
         assert!(dot.trim_end().ends_with('}'));
         // One node line per host.
         assert_eq!(dot.matches("shape=").count(), arch.sim().hosts().len());
+    }
+
+    #[test]
+    fn faults_renders_ladder_rows() {
+        use crate::experiments::faults::{FaultArchPoint, FaultPoint, FaultSweep};
+        use qntn_net::requests::RetryStats;
+        let stats = RetryStats {
+            attempted: 100,
+            served_first_try: 50,
+            served_after_retry: 10,
+            expired: 40,
+            mean_fidelity: 0.95,
+            mean_link_fidelity: 0.97,
+            mean_eta: 0.8,
+            mean_hops: 2.5,
+            mean_attempts: 1.9,
+            mean_wait_steps: 1.2,
+        };
+        let a = FaultArchPoint {
+            coverage_percent: 42.0,
+            served_percent: 60.0,
+            first_try_percent: 50.0,
+            rescued_percent: 10.0,
+            expired_percent: 40.0,
+            mean_fidelity: 0.95,
+            mean_link_fidelity: 0.97,
+            stats,
+        };
+        let sweep = FaultSweep {
+            satellites: 108,
+            points: vec![FaultPoint {
+                intensity: 1.0,
+                space: a,
+                air: a,
+            }],
+        };
+        let t = faults_table(&sweep);
+        assert!(t.contains("Space-Ground (108 sats)"));
+        assert!(t.contains("Air-Ground"));
+        assert!(t.contains("0.9500"));
+        let csv = faults_csv(&sweep);
+        assert!(csv.starts_with("intensity,"));
+        assert!(csv.contains("1.0000,space_ground,42.0000,60.0000"));
+        assert_eq!(csv.lines().count(), 3);
     }
 
     #[test]

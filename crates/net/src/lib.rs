@@ -22,6 +22,10 @@
 //!   Bellman–Ford), compose the per-link amplitude-damping channels
 //!   (η multiplies), damp one half of `|Φ+⟩`, report fidelity (paper
 //!   Fig. 8; square-root convention, see `qntn-quantum`).
+//! - [`faults`] — seeded deterministic fault injection (platform outages,
+//!   link flaps, weather fronts) compiled into a per-step mask both the
+//!   engine and the naive evaluator consult, plus retry-with-backoff
+//!   request semantics in [`requests`].
 //!
 //! Determinism: given one seed, every statistic is bit-reproducible; the
 //! rayon-parallel sweeps chunk by time step and merge in index order.
@@ -30,6 +34,7 @@ pub mod capacity;
 pub mod coverage;
 pub mod entanglement;
 pub mod events;
+pub mod faults;
 pub mod heralded;
 pub mod host;
 pub mod linkeval;
@@ -42,10 +47,13 @@ pub use capacity::{serve_with_capacity, BlockReason, CapacityModel};
 pub use coverage::{CoverageAnalyzer, CoverageReport};
 pub use entanglement::{distribute, distribute_with, Distribution};
 pub use events::{LinkEvent, LinkStats, LinkTimeline};
+pub use faults::{CompiledFaults, FaultModel};
 pub use heralded::{Delivery, HeraldedLink, HeraldedStats};
 pub use host::{Host, HostKind, LanId};
 pub use linkeval::{LinkEvaluator, SimConfig};
-pub use requests::{Request, RequestOutcome, RequestWorkload};
+pub use requests::{
+    Request, RequestOutcome, RequestWorkload, RetryOutcome, RetryPolicy, RetryStats,
+};
 pub use simulator::QuantumNetworkSim;
 pub use snapshot::{LinkClass, Snapshot};
 pub use sweep_engine::{ContactWindows, SweepEngine, SweepScratch};

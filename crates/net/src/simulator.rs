@@ -8,6 +8,7 @@
 //! paper's Section IV: "connections and disconnections of satellite links
 //! are dynamically updated based on this transmissivity threshold".
 
+use crate::faults::CompiledFaults;
 use crate::host::{Host, HostKind, LanId};
 use crate::linkeval::{LinkEvaluator, SimConfig};
 use qntn_routing::Graph;
@@ -159,6 +160,63 @@ impl QuantumNetworkSim {
     /// routing actually sees.
     pub fn active_graph_at(&self, step: usize) -> Graph {
         self.graph_at(step)
+            .thresholded(self.evaluator.config().threshold)
+    }
+
+    /// [`QuantumNetworkSim::graph_at`] under a compiled fault mask: edges
+    /// with a downed endpoint or a flapped link are withheld, and
+    /// atmosphere-crossing FSO links (≥ 1 ground endpoint) are scaled by
+    /// the step's weather η factor. Insertion order is identical to the
+    /// clean path, and a weather factor of exactly 1.0 is a bitwise no-op
+    /// (`x * 1.0 ≡ x` for finite floats), so an identity mask reproduces
+    /// [`QuantumNetworkSim::graph_at`] bit for bit.
+    ///
+    /// This is the naive per-step reference the window-pruned
+    /// [`crate::SweepEngine`] is differentially tested against.
+    ///
+    /// # Panics
+    /// Panics when `faults` was compiled for a different host count or
+    /// time span.
+    pub fn graph_at_with_faults(&self, step: usize, faults: &CompiledFaults) -> Graph {
+        assert!(step < self.steps, "step out of range");
+        assert_eq!(
+            faults.hosts(),
+            self.hosts.len(),
+            "faults compiled for a different host set"
+        );
+        assert_eq!(
+            faults.steps(),
+            self.steps,
+            "faults compiled for a different time span"
+        );
+        let n = self.hosts.len();
+        let w = faults.eta_factor(step);
+        let mut g = Graph::with_nodes(n);
+        for &(a, b, eta) in &self.fiber_edges {
+            if faults.edge_up(step, a, b) {
+                g.set_edge(a, b, eta);
+            }
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.hosts[a].is_ground() && self.hosts[b].is_ground() {
+                    continue;
+                }
+                if !faults.edge_up(step, a, b) {
+                    continue;
+                }
+                if let Some(eta) = self.evaluator.fso_eta(&self.hosts[a], &self.hosts[b], step) {
+                    let crosses_atmosphere = self.hosts[a].is_ground() || self.hosts[b].is_ground();
+                    g.set_edge(a, b, if crosses_atmosphere { eta * w } else { eta });
+                }
+            }
+        }
+        g
+    }
+
+    /// [`QuantumNetworkSim::active_graph_at`] under a compiled fault mask.
+    pub fn active_graph_at_with_faults(&self, step: usize, faults: &CompiledFaults) -> Graph {
+        self.graph_at_with_faults(step, faults)
             .thresholded(self.evaluator.config().threshold)
     }
 
@@ -333,5 +391,48 @@ mod tests {
     fn rejects_out_of_range_step() {
         let sim = hap_sim();
         sim.graph_at(10);
+    }
+
+    #[test]
+    fn identity_faults_reproduce_the_clean_graph_bitwise() {
+        let sim = sat_sim(6, 30);
+        let identity = CompiledFaults::identity(sim.hosts().len(), sim.steps());
+        for step in [0, 7, 29] {
+            let clean = sim.graph_at(step);
+            let faulted = sim.graph_at_with_faults(step, &identity);
+            assert_eq!(clean.edge_count(), faulted.edge_count());
+            for ((ua, va, ea), (ub, vb, eb)) in clean.edges().zip(faulted.edges()) {
+                assert_eq!((ua, va), (ub, vb));
+                assert_eq!(ea.to_bits(), eb.to_bits(), "η differs at ({ua},{va})");
+            }
+            assert_eq!(
+                sim.active_graph_at(step).edge_count(),
+                sim.active_graph_at_with_faults(step, &identity)
+                    .edge_count()
+            );
+        }
+    }
+
+    #[test]
+    fn downed_host_loses_every_incident_edge() {
+        let sim = hap_sim();
+        let mut faults = CompiledFaults::identity(sim.hosts().len(), sim.steps());
+        faults.force_host_down(0, 4); // the HAP
+        let g = sim.graph_at_with_faults(0, &faults);
+        for node in 0..4 {
+            assert!(!g.has_edge(node, 4), "HAP edge to {node} must be gone");
+        }
+        assert!(g.has_edge(0, 1), "fiber between healthy hosts survives");
+        assert!(!sim.lans_interconnected(&g.thresholded(0.7)));
+        // The outage is step-local.
+        assert!(sim.graph_at_with_faults(1, &faults).has_edge(0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "different host set")]
+    fn rejects_mismatched_fault_mask() {
+        let sim = hap_sim();
+        let faults = CompiledFaults::identity(sim.hosts().len() + 1, sim.steps());
+        sim.graph_at_with_faults(0, &faults);
     }
 }

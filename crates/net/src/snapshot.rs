@@ -4,6 +4,7 @@
 //! simulator to sanity-check a configuration: how many links of each class
 //! are active, and how good they are.
 
+use crate::faults::CompiledFaults;
 use crate::host::Host;
 use crate::simulator::QuantumNetworkSim;
 use qntn_routing::Graph;
@@ -64,6 +65,18 @@ impl Snapshot {
     /// Take a census of the threshold-gated graph at `step`.
     pub fn take(sim: &QuantumNetworkSim, step: usize) -> Snapshot {
         let graph = sim.active_graph_at(step);
+        Self::from_graph(sim, step, &graph)
+    }
+
+    /// Take the census under a compiled fault mask — what an operator
+    /// would actually see at `step` given the scheduled outages, flaps and
+    /// weather.
+    pub fn take_with_faults(
+        sim: &QuantumNetworkSim,
+        step: usize,
+        faults: &CompiledFaults,
+    ) -> Snapshot {
+        let graph = sim.active_graph_at_with_faults(step, faults);
         Self::from_graph(sim, step, &graph)
     }
 
@@ -186,5 +199,22 @@ mod tests {
         assert!(text.contains("Fiber"));
         assert!(text.contains("HapGround"));
         assert!(text.contains("interconnected: true"));
+    }
+
+    #[test]
+    fn faulted_census_drops_a_downed_relay() {
+        let sim = sim();
+        let mut faults = CompiledFaults::identity(sim.hosts().len(), sim.steps());
+        faults.force_host_down(0, 3); // the HAP
+        let s = Snapshot::take_with_faults(&sim, 0, &faults);
+        assert!(s.class(LinkClass::HapGround).is_none(), "HAP links gone");
+        assert_eq!(s.class(LinkClass::Fiber).unwrap().count, 1);
+        assert!(!s.interconnected);
+        // An identity mask censuses exactly like the clean path.
+        let identity = CompiledFaults::identity(sim.hosts().len(), sim.steps());
+        assert_eq!(
+            Snapshot::take_with_faults(&sim, 0, &identity).active_links,
+            Snapshot::take(&sim, 0).active_links
+        );
     }
 }

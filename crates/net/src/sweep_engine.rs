@@ -36,8 +36,12 @@
 
 use crate::coverage::{CoverageAnalyzer, CoverageReport};
 use crate::entanglement::distribute_with;
+use crate::faults::CompiledFaults;
 use crate::host::HostKind;
-use crate::requests::{aggregate_outcomes, RequestOutcome, RequestWorkload, SweepStats};
+use crate::requests::{
+    aggregate_outcomes, aggregate_retry_outcomes, RequestOutcome, RequestWorkload, RetryOutcome,
+    RetryPolicy, RetryStats, SweepStats,
+};
 use crate::simulator::QuantumNetworkSim;
 use qntn_geo::{Enu, Geodetic, Vec3, WGS84};
 use qntn_orbit::{Ephemeris, PassPredictor};
@@ -262,6 +266,7 @@ pub struct SweepEngine<'a> {
     windows: ContactWindows,
     pairs: Vec<PairKind>,
     parallel: bool,
+    faults: Option<Arc<CompiledFaults>>,
 }
 
 impl<'a> SweepEngine<'a> {
@@ -360,6 +365,7 @@ impl<'a> SweepEngine<'a> {
             windows,
             pairs,
             parallel: true,
+            faults: None,
         }
     }
 
@@ -369,6 +375,34 @@ impl<'a> SweepEngine<'a> {
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
         self
+    }
+
+    /// Attach a compiled fault mask: every graph the engine builds then
+    /// matches [`QuantumNetworkSim::graph_at_with_faults`] bit-for-bit
+    /// (the fault-extended differential contract). The mask is `Arc`-shared
+    /// so one compile serves every worker.
+    ///
+    /// # Panics
+    /// Panics when the mask's shape does not match the simulator.
+    pub fn with_faults(mut self, faults: Arc<CompiledFaults>) -> Self {
+        assert_eq!(
+            faults.hosts(),
+            self.sim.hosts().len(),
+            "faults compiled for a different host set"
+        );
+        assert_eq!(
+            faults.steps(),
+            self.sim.steps(),
+            "faults compiled for a different time span"
+        );
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The attached fault mask, if any.
+    #[inline]
+    pub fn faults(&self) -> Option<&CompiledFaults> {
+        self.faults.as_deref()
     }
 
     /// The simulator this engine evaluates.
@@ -384,8 +418,19 @@ impl<'a> SweepEngine<'a> {
     }
 
     /// Build the full (unthresholded) graph at `step` into `g`, replicating
-    /// [`QuantumNetworkSim::graph_at`]'s insertion order exactly.
+    /// [`QuantumNetworkSim::graph_at`]'s insertion order exactly — or,
+    /// when a fault mask is attached,
+    /// [`QuantumNetworkSim::graph_at_with_faults`]'s.
     pub fn graph_into(&self, step: usize, g: &mut Graph) {
+        match &self.faults {
+            None => self.graph_into_clean(step, g),
+            Some(f) => self.graph_into_faulted(step, g, f),
+        }
+    }
+
+    /// The fault-free graph body (PR 1's original path, untouched when no
+    /// mask is attached).
+    fn graph_into_clean(&self, step: usize, g: &mut Graph) {
         assert!(step < self.sim.steps(), "step out of range");
         let hosts = self.sim.hosts();
         let evaluator = self.sim.evaluator();
@@ -406,6 +451,52 @@ impl<'a> SweepEngine<'a> {
                 PairKind::Dynamic { a, b } => {
                     if let Some(eta) = evaluator.fso_eta(&hosts[a], &hosts[b], step) {
                         g.set_edge(a, b, eta);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The fault-masked graph body. Identity masks still route through
+    /// here (not the clean body), and remain bit-identical anyway: no edge
+    /// is withheld, and the weather multiply is `η × 1.0`, a bitwise no-op
+    /// for finite floats. That makes "zero intensity ≡ fault-free" a
+    /// checked property rather than a short-circuit.
+    fn graph_into_faulted(&self, step: usize, g: &mut Graph, faults: &CompiledFaults) {
+        assert!(step < self.sim.steps(), "step out of range");
+        let hosts = self.sim.hosts();
+        let evaluator = self.sim.evaluator();
+        let w = faults.eta_factor(step);
+        g.reset(hosts.len());
+        for &(a, b, eta) in self.sim.fiber_edges() {
+            if faults.edge_up(step, a, b) {
+                g.set_edge(a, b, eta);
+            }
+        }
+        for pair in &self.pairs {
+            match *pair {
+                PairKind::Static { a, b, eta } => {
+                    if faults.edge_up(step, a, b) {
+                        // Static pairs are ground–HAP (one ground endpoint)
+                        // or HAP–HAP; only the former cross the weather.
+                        let crosses = hosts[a].is_ground() || hosts[b].is_ground();
+                        g.set_edge(a, b, if crosses { eta * w } else { eta });
+                    }
+                }
+                PairKind::GroundSat { a, b, sat, low } => {
+                    if faults.edge_up(step, a, b) && self.windows.visible(sat, step, low) {
+                        if let Some(eta) = evaluator.fso_eta(&hosts[a], &hosts[b], step) {
+                            // One endpoint is ground by construction.
+                            g.set_edge(a, b, eta * w);
+                        }
+                    }
+                }
+                PairKind::Dynamic { a, b } => {
+                    if faults.edge_up(step, a, b) {
+                        if let Some(eta) = evaluator.fso_eta(&hosts[a], &hosts[b], step) {
+                            let crosses = hosts[a].is_ground() || hosts[b].is_ground();
+                            g.set_edge(a, b, if crosses { eta * w } else { eta });
+                        }
                     }
                 }
             }
@@ -502,6 +593,70 @@ impl<'a> SweepEngine<'a> {
                 .collect()
         });
         aggregate_outcomes(&per_step)
+    }
+
+    /// The request sweep with retry-with-backoff semantics: per arrival
+    /// step, the seeded workload is attempted on the arrival graph, and
+    /// blocked requests are re-attempted at `policy`'s backoff steps (still
+    /// within the day) until they are served or expire. With a fault mask
+    /// attached, every attempt sees the masked graph; outcomes are
+    /// identical to the naive
+    /// [`RequestWorkload::evaluate_with_retries`] loop, request by request.
+    ///
+    /// Note retries look *forward in time* from each arrival: arrival steps
+    /// near the end of the day get truncated schedules, exactly as the
+    /// naive path truncates them.
+    pub fn sweep_with_retries(
+        &self,
+        steps: &[usize],
+        requests_per_step: usize,
+        seed: u64,
+        metric: RouteMetric,
+        policy: RetryPolicy,
+    ) -> RetryStats {
+        let per_step: Vec<Vec<RetryOutcome>> = self.map_steps(steps, |scratch, arrival| {
+            let workload = RequestWorkload::generate(
+                self.sim,
+                requests_per_step,
+                seed ^ (arrival as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let schedule = policy.attempt_steps(arrival, self.sim.steps());
+            let mut outcomes: Vec<Option<RetryOutcome>> = vec![None; workload.requests.len()];
+            let mut pending = workload.requests.len();
+            for (k, &t) in schedule.iter().enumerate() {
+                if pending == 0 {
+                    break;
+                }
+                self.active_graph_into(t, scratch);
+                let SweepScratch { active, sssp, .. } = scratch;
+                for (r, slot) in workload.requests.iter().zip(outcomes.iter_mut()) {
+                    if slot.is_some() {
+                        continue;
+                    }
+                    if let Some(d) = distribute_with(active, r.src, r.dst, metric, sssp) {
+                        *slot = Some(if k == 0 {
+                            RetryOutcome::ServedFirstTry(d)
+                        } else {
+                            RetryOutcome::ServedAfterRetry {
+                                distribution: d,
+                                attempts: k + 1,
+                                waited_steps: t - arrival,
+                            }
+                        });
+                        pending -= 1;
+                    }
+                }
+            }
+            outcomes
+                .into_iter()
+                .map(|o| {
+                    o.unwrap_or(RetryOutcome::Expired {
+                        attempts: schedule.len(),
+                    })
+                })
+                .collect()
+        });
+        aggregate_retry_outcomes(&per_step)
     }
 }
 
@@ -715,5 +870,137 @@ mod tests {
         let other = sat_sim(5, 120);
         let windows = ContactWindows::for_sim(&other);
         let _ = SweepEngine::with_windows(&sim, windows);
+    }
+
+    #[test]
+    fn faulted_engine_graphs_match_naive_exactly() {
+        use crate::faults::FaultModel;
+        for (name, sim) in [("sat", sat_sim(6, 120)), ("hybrid", hybrid_sim(120))] {
+            for intensity in [0.5, 2.0, FaultModel::INTENSITY_CAP] {
+                let faults = Arc::new(
+                    FaultModel::standard(314)
+                        .with_intensity(intensity)
+                        .compile(&sim),
+                );
+                let engine = SweepEngine::new(&sim).with_faults(faults.clone());
+                for step in (0..120).step_by(11) {
+                    assert_graphs_identical(
+                        &engine.graph_at(step),
+                        &sim.graph_at_with_faults(step, &faults),
+                        &format!("{name} faulted full graph, i={intensity}, step {step}"),
+                    );
+                    assert_graphs_identical(
+                        &engine.active_graph_at(step),
+                        &sim.active_graph_at_with_faults(step, &faults),
+                        &format!("{name} faulted active graph, i={intensity}, step {step}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_faults_leave_the_engine_bit_identical() {
+        use crate::faults::FaultModel;
+        let sim = hybrid_sim(120);
+        let clean = SweepEngine::new(&sim);
+        let masked = SweepEngine::new(&sim).with_faults(Arc::new(FaultModel::none().compile(&sim)));
+        assert!(masked.faults().unwrap().is_identity());
+        for step in (0..120).step_by(13) {
+            assert_graphs_identical(
+                &clean.graph_at(step),
+                &masked.graph_at(step),
+                &format!("identity mask, step {step}"),
+            );
+        }
+        assert_eq!(clean.connectivity_flags(), masked.connectivity_flags());
+        let steps: Vec<usize> = (0..120).step_by(13).collect();
+        let metric = RouteMetric::PaperInverseEta;
+        assert_eq!(
+            clean.sweep(&steps, 10, 2024, metric),
+            masked.sweep(&steps, 10, 2024, metric)
+        );
+        assert_eq!(
+            clean.sweep_with_retries(&steps, 10, 2024, metric, RetryPolicy::standard()),
+            masked.sweep_with_retries(&steps, 10, 2024, metric, RetryPolicy::standard())
+        );
+    }
+
+    #[test]
+    fn retry_sweep_matches_the_naive_retry_loop() {
+        use crate::faults::FaultModel;
+        let sim = sat_sim(6, 120);
+        let faults = Arc::new(FaultModel::standard(777).with_intensity(3.0).compile(&sim));
+        let engine = SweepEngine::new(&sim).with_faults(faults.clone());
+        let steps: Vec<usize> = (0..120).step_by(17).collect();
+        let metric = RouteMetric::PaperInverseEta;
+        let (seed, policy) = (99, RetryPolicy::standard());
+        let naive: Vec<Vec<RetryOutcome>> = steps
+            .iter()
+            .map(|&arrival| {
+                let w = RequestWorkload::generate(
+                    &sim,
+                    10,
+                    seed ^ (arrival as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                w.evaluate_with_retries(&sim, arrival, metric, policy, &faults)
+            })
+            .collect();
+        assert_eq!(
+            engine.sweep_with_retries(&steps, 10, seed, metric, policy),
+            aggregate_retry_outcomes(&naive)
+        );
+    }
+
+    #[test]
+    fn retry_sweep_is_parallel_sequential_identical() {
+        use crate::faults::FaultModel;
+        let sim = sat_sim(6, 120);
+        let faults = Arc::new(FaultModel::standard(5).with_intensity(2.0).compile(&sim));
+        let par = SweepEngine::new(&sim).with_faults(faults.clone());
+        let seq = SweepEngine::new(&sim)
+            .with_faults(faults)
+            .with_parallel(false);
+        let steps: Vec<usize> = (0..120).step_by(13).collect();
+        let metric = RouteMetric::PaperInverseEta;
+        assert_eq!(
+            par.sweep_with_retries(&steps, 12, 2024, metric, RetryPolicy::standard()),
+            seq.sweep_with_retries(&steps, 12, 2024, metric, RetryPolicy::standard())
+        );
+        assert_eq!(par.connectivity_flags(), seq.connectivity_flags());
+    }
+
+    #[test]
+    fn served_requests_are_monotone_in_fault_intensity() {
+        use crate::faults::FaultModel;
+        let sim = sat_sim(6, 120);
+        let steps: Vec<usize> = (0..120).step_by(7).collect();
+        let metric = RouteMetric::PaperInverseEta;
+        let mut prev_served = usize::MAX;
+        for intensity in [0.0, 0.5, 1.0, 2.0, 4.0, 8.0] {
+            let faults = Arc::new(
+                FaultModel::standard(42)
+                    .with_intensity(intensity)
+                    .compile(&sim),
+            );
+            let engine = SweepEngine::new(&sim).with_faults(faults);
+            let stats = engine.sweep(&steps, 15, 2024, metric);
+            assert!(
+                stats.served <= prev_served,
+                "served went up with intensity {intensity}: {} > {prev_served}",
+                stats.served
+            );
+            prev_served = stats.served;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different time span")]
+    fn mismatched_faults_are_rejected() {
+        use crate::faults::FaultModel;
+        let sim = sat_sim(4, 120);
+        let other = sat_sim(4, 60);
+        let faults = Arc::new(FaultModel::standard(1).compile(&other));
+        let _ = SweepEngine::new(&sim).with_faults(faults);
     }
 }

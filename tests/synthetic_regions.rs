@@ -1,13 +1,33 @@
-//! Property tests over the synthetic-region generator: every generated
-//! scenario must satisfy the structural invariants the architectures rely
-//! on, for any seed and any sane parameterization.
+//! Property tests over the synthetic-region generator and the fault
+//! injection layer: every generated scenario must satisfy the structural
+//! invariants the architectures rely on, and the faulted sweep path must
+//! honour its determinism contract (engine ≡ naive evaluator, served
+//! monotone non-increasing in intensity, intensity 0 ≡ fault-free) for
+//! *arbitrary* fault seeds — not just the hand-picked ones in unit tests.
+//!
+//! Case counts are small by default so `cargo test` stays fast; the
+//! nightly CI job sets `PROPTEST_CASES=2048` to deepen every block.
 
 use proptest::prelude::*;
 use qntn::core::scenario::SyntheticRegion;
-use qntn::geo::{haversine_m, WGS84};
+use qntn::geo::{haversine_m, Epoch, Geodetic, WGS84};
+use qntn::net::faults::FaultModel;
+use qntn::net::requests::aggregate_retry_outcomes;
+use qntn::net::{
+    Host, QuantumNetworkSim, RequestWorkload, RetryOutcome, RetryPolicy, SimConfig, SweepEngine,
+};
+use qntn::orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
+use qntn::routing::RouteMetric;
+use std::sync::Arc;
+
+/// `ProptestConfig` with `n` cases, overridable via `PROPTEST_CASES`
+/// (nightly CI runs this suite with `PROPTEST_CASES=2048`).
+fn cases_or(n: u32) -> ProptestConfig {
+    ProptestConfig::with_cases(proptest::test_runner::env_case_count().unwrap_or(n))
+}
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(cases_or(32))]
 
     #[test]
     fn generated_regions_are_structurally_sound(
@@ -72,5 +92,161 @@ proptest! {
                 prop_assert_eq!(na.lon, nb.lon);
             }
         }
+    }
+}
+
+/// A small hybrid simulator (three ground LANs, one HAP, `sats` paper-
+/// constellation satellites) over `steps` 30-second steps — big enough to
+/// exercise fiber, ground–air and ground–space links, small enough to
+/// rebuild every proptest case.
+fn fault_sim(sats: usize, steps: usize) -> QuantumNetworkSim {
+    let props: Vec<Propagator> = paper_constellation(sats)
+        .into_iter()
+        .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+        .collect();
+    let ephs = Ephemeris::generate_many(&props, Epoch::J2000, 30.0, steps as f64 * 30.0);
+    let mut hosts = vec![
+        Host::ground(
+            "TTU-0",
+            0,
+            Geodetic::from_deg(36.1757, -85.5066, 300.0),
+            1.2,
+        ),
+        Host::ground("ORNL-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+        Host::ground(
+            "EPB-0",
+            2,
+            Geodetic::from_deg(35.04159, -85.2799, 200.0),
+            1.2,
+        ),
+        Host::hap("HAP", Geodetic::from_deg(35.6692, -85.0662, 30_000.0), 0.3),
+    ];
+    for (i, eph) in ephs.into_iter().enumerate() {
+        hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
+    }
+    QuantumNetworkSim::new(hosts, SimConfig::default(), steps, 30.0)
+}
+
+proptest! {
+    #![proptest_config(cases_or(8))]
+
+    /// (a) For an *arbitrary* fault schedule, the pruned engine and the
+    /// naive per-step evaluator agree bit for bit: same graphs (edge order
+    /// and η bit patterns) and the same aggregated retry statistics.
+    #[test]
+    fn faulted_engine_matches_the_naive_evaluator(
+        fault_seed in any::<u64>(),
+        workload_seed in any::<u64>(),
+        intensity in 0.0..6.0f64,
+        sats in 2usize..6,
+    ) {
+        let steps_total = 80;
+        let sim = fault_sim(sats, steps_total);
+        let faults = Arc::new(
+            FaultModel::standard(fault_seed)
+                .with_intensity(intensity)
+                .compile(&sim),
+        );
+        let engine = SweepEngine::new(&sim).with_faults(faults.clone());
+        let metric = RouteMetric::PaperInverseEta;
+        for step in (0..steps_total).step_by(11) {
+            let a = engine.graph_at(step);
+            let b = sim.graph_at_with_faults(step, &faults);
+            prop_assert_eq!(a.edge_count(), b.edge_count(), "step {}", step);
+            for ((ua, va, ea), (ub, vb, eb)) in a.edges().zip(b.edges()) {
+                prop_assert_eq!((ua, va), (ub, vb), "step {}: edge order", step);
+                prop_assert_eq!(
+                    ea.to_bits(), eb.to_bits(),
+                    "step {}: η bits differ on ({}, {})", step, ua, va
+                );
+            }
+        }
+        let arrivals: Vec<usize> = (0..steps_total).step_by(13).collect();
+        let policy = RetryPolicy::standard();
+        let naive: Vec<Vec<RetryOutcome>> = arrivals
+            .iter()
+            .map(|&arrival| {
+                let w = RequestWorkload::generate(
+                    &sim,
+                    8,
+                    workload_seed ^ (arrival as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                );
+                w.evaluate_with_retries(&sim, arrival, metric, policy, &faults)
+            })
+            .collect();
+        prop_assert_eq!(
+            engine.sweep_with_retries(&arrivals, 8, workload_seed, metric, policy),
+            aggregate_retry_outcomes(&naive)
+        );
+    }
+
+    /// (b) Raising the intensity never serves *more* requests: the nested
+    /// episode sampling makes every low-intensity schedule a subset of the
+    /// high-intensity one, so served counts are monotone non-increasing.
+    #[test]
+    fn served_is_monotone_nonincreasing_in_intensity(
+        fault_seed in any::<u64>(),
+        lo in 0.0..4.0f64,
+        delta in 0.0..4.0f64,
+    ) {
+        let sim = fault_sim(3, 60);
+        let arrivals: Vec<usize> = (0..60).step_by(7).collect();
+        let metric = RouteMetric::PaperInverseEta;
+        let served = |intensity: f64| {
+            let faults = Arc::new(
+                FaultModel::standard(fault_seed)
+                    .with_intensity(intensity)
+                    .compile(&sim),
+            );
+            SweepEngine::new(&sim)
+                .with_faults(faults)
+                .sweep(&arrivals, 10, 2024, metric)
+                .served
+        };
+        let (low, high) = (served(lo), served(lo + delta));
+        prop_assert!(
+            high <= low,
+            "served rose with intensity: {} at {} vs {} at {}",
+            high, lo + delta, low, lo
+        );
+    }
+
+    /// (c) Intensity 0 is a *bit-for-bit* no-op for any fault seed: the
+    /// compiled mask is the identity, the masked engine's graphs match the
+    /// clean engine's down to the η bit patterns, and the sweep statistics
+    /// are equal.
+    #[test]
+    fn zero_intensity_reproduces_the_fault_free_run(
+        fault_seed in any::<u64>(),
+        workload_seed in any::<u64>(),
+    ) {
+        let sim = fault_sim(2, 60);
+        let faults = Arc::new(
+            FaultModel::standard(fault_seed)
+                .with_intensity(0.0)
+                .compile(&sim),
+        );
+        prop_assert!(faults.is_identity());
+        let clean = SweepEngine::new(&sim);
+        let masked = SweepEngine::new(&sim).with_faults(faults);
+        for step in (0..60).step_by(9) {
+            let a = clean.graph_at(step);
+            let b = masked.graph_at(step);
+            prop_assert_eq!(a.edge_count(), b.edge_count(), "step {}", step);
+            for ((ua, va, ea), (ub, vb, eb)) in a.edges().zip(b.edges()) {
+                prop_assert_eq!((ua, va), (ub, vb), "step {}: edge order", step);
+                prop_assert_eq!(
+                    ea.to_bits(), eb.to_bits(),
+                    "step {}: η bits differ on ({}, {})", step, ua, va
+                );
+            }
+        }
+        let arrivals: Vec<usize> = (0..60).step_by(8).collect();
+        let metric = RouteMetric::PaperInverseEta;
+        prop_assert_eq!(
+            clean.sweep(&arrivals, 10, workload_seed, metric),
+            masked.sweep(&arrivals, 10, workload_seed, metric),
+            "identity mask moved the sweep statistics"
+        );
     }
 }

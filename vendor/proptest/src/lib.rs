@@ -9,7 +9,9 @@
 //! Differences from upstream: inputs are drawn from a deterministic
 //! xoshiro-family RNG seeded from the test name and case index (every run
 //! explores the same inputs — CI-stable by construction), and failing cases
-//! are reported without shrinking. Regression files are not read.
+//! are reported without shrinking. Regression files are not read. Like
+//! upstream, the `PROPTEST_CASES` environment variable overrides the
+//! default case count (the nightly CI job uses this to deepen the sweep).
 
 pub mod collection;
 
@@ -31,9 +33,19 @@ pub mod test_runner {
         pub cases: u32,
     }
 
+    /// Upstream parity: the `PROPTEST_CASES` environment variable overrides
+    /// the *default* case count. An explicit `with_cases(n)` still wins —
+    /// suites that want env-scalable depth should consult
+    /// [`env_case_count`] themselves (see `tests/synthetic_regions.rs`).
+    pub fn env_case_count() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+    }
+
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            ProptestConfig {
+                cases: env_case_count().unwrap_or(256),
+            }
         }
     }
 
