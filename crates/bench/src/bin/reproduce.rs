@@ -15,8 +15,10 @@
 //!   budgets   representative FSO link budgets
 //!   extensions  night-ops / HAP-jitter / congestion / QKD extensions
 //!   faults    degradation vs fault intensity (outages, flaps, weather)
+//!   bench     time the daily sweep (engine, naive, faulted) and write
+//!             BENCH_sweep.json as a perf baseline
 //!   export    write CSV/DOT artifacts for every figure into ./out/
-//!   all       everything above except export (default)
+//!   all       everything above except bench and export (default)
 //!
 //! --quick shrinks the workloads (for smoke tests); the default reproduces
 //! the paper's full workload sizes.
@@ -58,8 +60,10 @@ artifacts:
               demand / heralded / sensitivity extensions
   faults      degradation vs fault intensity (outages, flaps, weather;
               seeded and deterministic, with retry-with-backoff service)
+  bench       wall-time the 108-satellite daily sweep three ways (engine,
+              naive, engine+faults) and write BENCH_sweep.json
   export      write CSV/DOT artifacts for every figure into ./out/
-  all         everything except export (default)
+  all         everything except bench and export (default)
 
 flags:
   --quick       reduced workloads (smoke test); default is the paper's sizes
@@ -88,7 +92,7 @@ fn main() {
         .iter()
         .find(|a| !a.starts_with("--"))
         .map_or("all", String::as_str);
-    const ARTIFACTS: [&str; 13] = [
+    const ARTIFACTS: [&str; 14] = [
         "all",
         "fig5",
         "fig6",
@@ -101,6 +105,7 @@ fn main() {
         "budgets",
         "extensions",
         "faults",
+        "bench",
         "export",
     ];
     if !ARTIFACTS.contains(&artifact) {
@@ -144,9 +149,66 @@ fn main() {
     if run("faults") {
         faults(&scenario, config, quick, parallel);
     }
+    if artifact == "bench" {
+        bench_sweep(&scenario, config, quick, parallel);
+    }
     if artifact == "export" {
         export(&scenario, config, quick, parallel);
     }
+}
+
+/// The `bench` artifact: wall-time the full-day connectivity sweep on the
+/// paper's headline constellation three ways — the window-pruned engine,
+/// the naive per-step evaluator, and the engine under a standard
+/// intensity-2.0 fault mask — and record the timings in `BENCH_sweep.json`
+/// so future changes have a baseline to regress against. The engine and
+/// naive flag vectors are asserted equal before anything is written
+/// (timing a wrong answer would be worthless).
+fn bench_sweep(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
+    use qntn_net::SweepEngine;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let n_sats = if quick { 12 } else { 108 };
+    let arch = SpaceGround::new(scenario, n_sats, config, PerturbationModel::TwoBody);
+    let sim = arch.sim();
+    println!(
+        "== BENCH: {n_sats}-satellite daily sweep ({} steps, parallel: {parallel}) ==",
+        sim.steps()
+    );
+
+    let t = Instant::now();
+    let engine = SweepEngine::new(sim).with_parallel(parallel);
+    let engine_flags = engine.connectivity_flags();
+    let engine_clean_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("engine_clean    {engine_clean_ms:>10.1} ms");
+
+    let t = Instant::now();
+    let naive_flags: Vec<bool> = (0..sim.steps())
+        .map(|step| sim.lans_interconnected(&sim.active_graph_at(step)))
+        .collect();
+    let naive_clean_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("naive_clean     {naive_clean_ms:>10.1} ms");
+    assert_eq!(
+        engine_flags, naive_flags,
+        "engine and naive sweeps disagree; refusing to record timings"
+    );
+
+    let t = Instant::now();
+    let faults = Arc::new(FaultModel::standard(42).with_intensity(2.0).compile(sim));
+    let faulted = SweepEngine::new(sim)
+        .with_parallel(parallel)
+        .with_faults(faults);
+    let _ = faulted.connectivity_flags();
+    let engine_faulted_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!("engine_faulted  {engine_faulted_ms:>10.1} ms (incl. mask compile)");
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"sweep_day\",\n  \"satellites\": {n_sats},\n  \"steps\": {},\n  \"parallel\": {parallel},\n  \"wall_ms\": {{\n    \"engine_clean\": {engine_clean_ms:.1},\n    \"naive_clean\": {naive_clean_ms:.1},\n    \"engine_faulted\": {engine_faulted_ms:.1}\n  }}\n}}\n",
+        sim.steps()
+    );
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    println!("wrote BENCH_sweep.json");
 }
 
 fn export(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {

@@ -1,0 +1,147 @@
+//! Typed indices and the workspace error type shared across QNTN crates.
+//!
+//! The simulator juggles three distinct index spaces — hosts (graph node
+//! ids), satellites (contact-window rows) and time steps — all of which
+//! used to be raw `usize`, so swapping two arguments compiled fine and
+//! produced silently wrong topologies. [`HostId`], [`SatId`] and
+//! [`StepId`] make those spaces distinct types. Each is a transparent
+//! `usize` newtype: zero-cost, `serde`-compatible with the raw integer it
+//! replaces, and convertible with `From`/[`index`](HostId::index) at API
+//! boundaries that still speak `usize` (e.g. `qntn-routing`'s `NodeId`).
+//!
+//! [`QntnError`] is the workspace's structured error enum, replacing the
+//! ad-hoc `Result<_, String>` signatures that configuration validation
+//! used to return.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! typed_index {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The raw index, for arrays and `usize`-speaking APIs.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(i: usize) -> Self {
+                $name(i)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+typed_index!(
+    /// Index of a host in a simulation's host list. Doubles as the routing
+    /// graph node id (`qntn-routing`'s `NodeId` is `usize`; convert with
+    /// [`HostId::index`]).
+    HostId
+);
+typed_index!(
+    /// Row of a satellite in a contact-window table — the position of the
+    /// satellite among a simulation's satellite hosts, *not* its host id.
+    SatId
+);
+typed_index!(
+    /// A discrete simulation time step (the paper: 0..2880 at 30 s each).
+    StepId
+);
+
+/// The workspace error type: every validation and setup failure across the
+/// QNTN crates, as data rather than a formatted string.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum QntnError {
+    /// A configuration field failed validation. `constraint` describes what
+    /// was required, `got` what was found.
+    InvalidConfig {
+        field: &'static str,
+        constraint: &'static str,
+        got: f64,
+    },
+    /// A precomputed artifact (fault mask, contact windows, ephemeris) does
+    /// not match the shape of the simulation it was offered to.
+    ShapeMismatch {
+        what: &'static str,
+        expected: usize,
+        got: usize,
+    },
+    /// Anything that does not fit the structured variants.
+    Other(String),
+}
+
+impl fmt::Display for QntnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QntnError::InvalidConfig {
+                field,
+                constraint,
+                got,
+            } => write!(f, "{field} must be {constraint}, got {got}"),
+            QntnError::ShapeMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what}: expected {expected}, got {got}"),
+            QntnError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for QntnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_ids_round_trip_usize() {
+        let h: HostId = 7usize.into();
+        assert_eq!(h.index(), 7);
+        assert_eq!(usize::from(h), 7);
+        assert_eq!(h.to_string(), "7");
+        assert_eq!(StepId(3), StepId::from(3));
+        assert!(SatId(1) < SatId(2));
+    }
+
+    #[test]
+    fn errors_render_like_the_old_strings() {
+        let e = QntnError::InvalidConfig {
+            field: "threshold",
+            constraint: "in (0, 1]",
+            got: 1.5,
+        };
+        assert_eq!(e.to_string(), "threshold must be in (0, 1], got 1.5");
+        let e = QntnError::ShapeMismatch {
+            what: "fault mask hosts",
+            expected: 5,
+            got: 6,
+        };
+        assert_eq!(e.to_string(), "fault mask hosts: expected 5, got 6");
+        assert_eq!(QntnError::Other("boom".into()).to_string(), "boom");
+    }
+}

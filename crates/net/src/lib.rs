@@ -26,6 +26,10 @@
 //!   link flaps, weather fronts) compiled into a per-step mask both the
 //!   engine and the naive evaluator consult, plus retry-with-backoff
 //!   request semantics in [`requests`].
+//! - [`pipeline`] — the single-source topology pipeline
+//!   (Scene → LinkMap → Topology): the one code path that turns positions
+//!   and η into a per-step graph, shared by the naive `graph_at*` family,
+//!   the [`sweep_engine::SweepEngine`], and every fault-masked variant.
 //!
 //! Determinism: given one seed, every statistic is bit-reproducible; the
 //! rayon-parallel sweeps chunk by time step and merge in index order.
@@ -38,6 +42,7 @@ pub mod faults;
 pub mod heralded;
 pub mod host;
 pub mod linkeval;
+pub mod pipeline;
 pub mod requests;
 pub mod simulator;
 pub mod snapshot;
@@ -51,9 +56,12 @@ pub use faults::{CompiledFaults, FaultModel};
 pub use heralded::{Delivery, HeraldedLink, HeraldedStats};
 pub use host::{Host, HostKind, LanId};
 pub use linkeval::{LinkEvaluator, SimConfig};
+pub use pipeline::{
+    build_topology, build_topology_into, Candidate, ContactWindows, LinkMap, Scene,
+};
 pub use requests::{
     Request, RequestOutcome, RequestWorkload, RetryOutcome, RetryPolicy, RetryStats,
 };
 pub use simulator::QuantumNetworkSim;
 pub use snapshot::{LinkClass, Snapshot};
-pub use sweep_engine::{ContactWindows, SweepEngine, SweepScratch};
+pub use sweep_engine::{SweepEngine, SweepScratch};

@@ -23,6 +23,7 @@ use crate::host::Host;
 use qntn_channel::fiber::FiberChannel;
 use qntn_channel::fso::{FsoChannel, FsoGeometry};
 use qntn_channel::params::{ElevationMode, FsoParams};
+use qntn_common::QntnError;
 use qntn_geo::look::look_angles_ecef;
 use qntn_geo::{vincenty_m, Geodetic, WGS84};
 use serde::{Deserialize, Serialize};
@@ -61,23 +62,28 @@ impl Default for SimConfig {
 
 impl SimConfig {
     /// Check every parameter for physical sense, returning the first
-    /// offending field. A silent NaN or non-positive threshold here would
-    /// otherwise propagate into every coverage and fidelity statistic, so
+    /// offending field as a structured [`QntnError::InvalidConfig`]. A
+    /// silent NaN or non-positive threshold here would otherwise propagate
+    /// into every coverage and fidelity statistic, so
     /// [`crate::QuantumNetworkSim::new`] refuses invalid configurations
     /// loudly.
-    pub fn validate(&self) -> Result<(), String> {
-        fn positive_finite(name: &str, v: f64) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), QntnError> {
+        let invalid = |field: &'static str, constraint: &'static str, got: f64| {
+            Err(QntnError::InvalidConfig {
+                field,
+                constraint,
+                got,
+            })
+        };
+        let positive_finite = |name: &'static str, v: f64| {
             if v.is_finite() && v > 0.0 {
                 Ok(())
             } else {
-                Err(format!("{name} must be positive and finite, got {v}"))
+                invalid(name, "positive and finite", v)
             }
-        }
+        };
         if !(self.threshold.is_finite() && self.threshold > 0.0 && self.threshold <= 1.0) {
-            return Err(format!(
-                "threshold must be in (0, 1], got {}",
-                self.threshold
-            ));
+            return invalid("threshold", "in (0, 1]", self.threshold);
         }
         positive_finite(
             "fiber_attenuation_db_per_km",
@@ -90,30 +96,31 @@ impl SimConfig {
             && self.fso.receiver_efficiency > 0.0
             && self.fso.receiver_efficiency <= 1.0)
         {
-            return Err(format!(
-                "fso.receiver_efficiency must be in (0, 1], got {}",
-                self.fso.receiver_efficiency
-            ));
+            return invalid(
+                "fso.receiver_efficiency",
+                "in (0, 1]",
+                self.fso.receiver_efficiency,
+            );
         }
         if !(self.fso.pointing_jitter_rad.is_finite() && self.fso.pointing_jitter_rad >= 0.0) {
-            return Err(format!(
-                "fso.pointing_jitter_rad must be non-negative and finite, got {}",
-                self.fso.pointing_jitter_rad
-            ));
+            return invalid(
+                "fso.pointing_jitter_rad",
+                "non-negative and finite",
+                self.fso.pointing_jitter_rad,
+            );
         }
         if let ElevationMode::Fixed(e) = self.fso.elevation_mode {
             if !e.is_finite() {
-                return Err(format!(
-                    "fso.elevation_mode fixed elevation must be finite, got {e}"
-                ));
+                return invalid("fso.elevation_mode fixed elevation", "finite", e);
             }
         }
         let atm = &self.fso.atmosphere;
         if !(atm.sea_level_extinction_per_m.is_finite() && atm.sea_level_extinction_per_m >= 0.0) {
-            return Err(format!(
-                "fso.atmosphere.sea_level_extinction_per_m must be non-negative and finite, got {}",
-                atm.sea_level_extinction_per_m
-            ));
+            return invalid(
+                "fso.atmosphere.sea_level_extinction_per_m",
+                "non-negative and finite",
+                atm.sea_level_extinction_per_m,
+            );
         }
         positive_finite("fso.atmosphere.scale_height_m", atm.scale_height_m)?;
         let turb = &self.fso.turbulence;
@@ -123,7 +130,7 @@ impl SimConfig {
             ("fso.turbulence.scale", turb.scale),
         ] {
             if !(v.is_finite() && v >= 0.0) {
-                return Err(format!("{name} must be non-negative and finite, got {v}"));
+                return invalid(name, "non-negative and finite", v);
             }
         }
         Ok(())
@@ -293,12 +300,13 @@ impl LinkEvaluator {
         }
     }
 
-    /// The (rx_alt, tx_alt) classes of the precomputed Rytov tables.
-    pub fn rytov_classes(&self) -> Vec<(f64, f64)> {
+    /// The (rx_alt, tx_alt) classes of the precomputed Rytov tables, as a
+    /// borrowing iterator (no per-call allocation; `collect()` if a `Vec`
+    /// is needed).
+    pub fn rytov_classes(&self) -> impl ExactSizeIterator<Item = (f64, f64)> + '_ {
         self.rytov_tables
             .iter()
             .map(|t| (t.rx_alt_m(), t.tx_alt_m()))
-            .collect()
     }
 
     /// The nearest precomputed table matching this (receiver, transmitter)
@@ -578,7 +586,7 @@ mod tests {
         let g = Host::ground("G", 0, Geodetic::from_deg(36.0, -85.0, 600.0), 1.2);
         let s = satellite_at(7_171_000.0, 0.0, 0.0); // ~800 km altitude
         let e = LinkEvaluator::for_hosts(cfg, &[g.clone(), s.clone()]);
-        let classes = e.rytov_classes();
+        let classes: Vec<(f64, f64)> = e.rytov_classes().collect();
         assert_eq!(classes.len(), 1, "{classes:?}");
         assert!((classes[0].0 - 600.0).abs() < 1e-9, "{classes:?}");
         assert!((classes[0].1 - 800_000.0).abs() < 50_000.0, "{classes:?}");
@@ -649,7 +657,7 @@ mod tests {
             satellite_at(6_871_000.0, 0.0, 0.0),
         ];
         let e = LinkEvaluator::for_hosts(cfg, &hosts);
-        let classes = e.rytov_classes();
+        let classes: Vec<(f64, f64)> = e.rytov_classes().collect();
         // rx bins {200, 300} (250 rounds up) × tx bins {30 km, 500 km}.
         assert_eq!(classes.len(), 4, "{classes:?}");
         for rx in [200.0, 300.0] {

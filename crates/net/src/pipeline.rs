@@ -1,0 +1,588 @@
+//! The single-source topology pipeline: **Scene → LinkMap → Topology**.
+//!
+//! Every per-step link graph in the workspace — the naive
+//! [`QuantumNetworkSim::graph_at`] family, the window-pruned
+//! [`crate::SweepEngine`], and both of their fault-masked variants — is
+//! built by exactly one function, [`build_topology_into`], fed by two
+//! layered stages:
+//!
+//! 1. **[`Scene`]** — the time-invariant layer. Classifies every host pair
+//!    once into a [`Candidate`] (static geometry evaluated eagerly,
+//!    ground–satellite pairs tagged with their [`ContactWindows`] slots,
+//!    everything else dynamic) and owns the per-step visibility masks.
+//!    Positions themselves stay columnar in the `qntn-orbit`
+//!    [`Ephemeris`] sheets each [`Host`] references; the Scene adds the
+//!    visibility and link-class layers on top rather than copying them.
+//! 2. **[`LinkMap`]** — the per-step layer. Borrows a simulator, a Scene
+//!    and an optional [`CompiledFaults`] mask and yields `(a, b, η)` for
+//!    every live link of a step in the canonical insertion order (fiber
+//!    mesh first, then candidates in ascending `(a, b)` order). The fault
+//!    mask is a composable stage of this iteration — a gate and a weather
+//!    factor folded into the single loop — not a forked copy of it.
+//! 3. **Topology** — [`build_topology_into`] inserts the LinkMap's links
+//!    into a caller-provided [`Graph`] scratch, allocation-free on the hot
+//!    path.
+//!
+//! ## Determinism guarantee
+//!
+//! For any step the pipeline's graph is bit-identical — including
+//! adjacency-list order, which routing tie-breaking depends on — across
+//! every entry point, because there is only one construction path. The
+//! clean and faulted variants coincide bitwise under an identity mask: no
+//! edge is withheld and the weather multiply is `η × 1.0`, a bitwise no-op
+//! for finite floats. Static candidates are evaluated once at step 0,
+//! which is bitwise equal to evaluating them at any step because their
+//! geometry (and therefore every float the evaluator reads) is
+//! step-invariant. `tests/pipeline_goldens.rs` pins all of this against
+//! fingerprints captured from the pre-pipeline implementation.
+
+use crate::faults::CompiledFaults;
+use crate::host::{Host, HostKind};
+use crate::linkeval::LinkEvaluator;
+use crate::simulator::QuantumNetworkSim;
+use qntn_common::{HostId, SatId, StepId};
+use qntn_geo::{Enu, Geodetic, Vec3, WGS84};
+use qntn_orbit::{Ephemeris, PassPredictor};
+use qntn_routing::Graph;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// Per-(satellite, step) bitmasks of which ground sites a satellite is at
+/// or above the horizon of (elevation ≥ 0, the conservative superset of
+/// the link evaluator's `elevation > 0` requirement).
+///
+/// Ground sites map to bit slots in host order; per-satellite step vectors
+/// are `Arc`-shared so [`ContactWindows::prefix`] reuses one full-
+/// constellation precompute across every constellation size of a sweep.
+/// With more than 64 ground sites (not the paper's 31) the windows
+/// degrade to "always visible" — correct, merely unpruned.
+#[derive(Debug, Clone)]
+pub struct ContactWindows {
+    n_steps: usize,
+    n_lows: usize,
+    /// One mask vector per satellite; an empty vector means "no data,
+    /// treat everything as visible".
+    masks: Vec<Arc<Vec<u64>>>,
+}
+
+impl ContactWindows {
+    /// Most ground slots a mask word can hold.
+    const MAX_LOWS: usize = 64;
+
+    /// Precompute windows for every step of every `(low, satellite)` pair.
+    pub fn compute(lows: &[Geodetic], ephemerides: &[&Ephemeris], n_steps: usize) -> Self {
+        let n_lows = lows.len();
+        if n_lows > Self::MAX_LOWS {
+            return Self::all_visible(n_steps, n_lows, ephemerides.len());
+        }
+        let predictors: Vec<PassPredictor> = lows
+            .iter()
+            .map(|&site| PassPredictor::new(site, 0.0))
+            .collect();
+        let masks = ephemerides
+            .par_iter()
+            .map(|eph| {
+                let mut mask = vec![0u64; n_steps];
+                for (slot, pred) in predictors.iter().enumerate() {
+                    let flags = pred.above_horizon_flags(eph);
+                    for (k, word) in mask.iter_mut().enumerate() {
+                        if flags.get(k).copied().unwrap_or(false) {
+                            *word |= 1 << slot;
+                        }
+                    }
+                }
+                Arc::new(mask)
+            })
+            .collect();
+        ContactWindows {
+            n_steps,
+            n_lows,
+            masks,
+        }
+    }
+
+    /// Precompute windows only at `steps` (e.g. the 100 sampled steps of a
+    /// request sweep); every other step defaults to all-visible, so the
+    /// result is exact wherever it is consulted and merely unpruned
+    /// elsewhere.
+    pub fn compute_for_steps(
+        lows: &[Geodetic],
+        ephemerides: &[&Ephemeris],
+        n_steps: usize,
+        steps: &[usize],
+    ) -> Self {
+        let n_lows = lows.len();
+        if n_lows > Self::MAX_LOWS {
+            return Self::all_visible(n_steps, n_lows, ephemerides.len());
+        }
+        // The same above-horizon predicate as `PassPredictor::
+        // above_horizon_flags`, evaluated pointwise.
+        let sites: Vec<(Vec3, Vec3)> = lows
+            .iter()
+            .map(|&site| (site.to_ecef(&WGS84), Enu::at(site, &WGS84).up()))
+            .collect();
+        let masks = ephemerides
+            .par_iter()
+            .map(|eph| {
+                let mut mask = vec![u64::MAX; n_steps];
+                for &step in steps {
+                    let ecef = eph.at_step(step).ecef;
+                    let mut word = 0u64;
+                    for (slot, &(site_ecef, up)) in sites.iter().enumerate() {
+                        if (ecef - site_ecef).dot(up) >= 0.0 {
+                            word |= 1 << slot;
+                        }
+                    }
+                    mask[step] = word;
+                }
+                Arc::new(mask)
+            })
+            .collect();
+        ContactWindows {
+            n_steps,
+            n_lows,
+            masks,
+        }
+    }
+
+    /// Windows for every (ground, satellite) pair of `sim`, all steps.
+    pub fn for_sim(sim: &QuantumNetworkSim) -> Self {
+        let (lows, ephs) = Self::sim_geometry(sim);
+        Self::compute(&lows, &ephs, sim.steps())
+    }
+
+    /// Windows for `sim` computed only at `steps`.
+    pub fn for_sim_steps(sim: &QuantumNetworkSim, steps: &[usize]) -> Self {
+        let (lows, ephs) = Self::sim_geometry(sim);
+        Self::compute_for_steps(&lows, &ephs, sim.steps(), steps)
+    }
+
+    fn sim_geometry(sim: &QuantumNetworkSim) -> (Vec<Geodetic>, Vec<&Ephemeris>) {
+        let lows = sim
+            .hosts()
+            .iter()
+            .filter(|h| h.is_ground())
+            .map(|h| h.geodetic_at(0))
+            .collect();
+        let ephs = sim
+            .hosts()
+            .iter()
+            .filter_map(|h| match &h.kind {
+                HostKind::Satellite { ephemeris } => Some(ephemeris),
+                _ => None,
+            })
+            .collect();
+        (lows, ephs)
+    }
+
+    pub(crate) fn all_visible(n_steps: usize, n_lows: usize, n_sats: usize) -> Self {
+        ContactWindows {
+            n_steps,
+            n_lows,
+            masks: (0..n_sats).map(|_| Arc::new(Vec::new())).collect(),
+        }
+    }
+
+    /// Windows restricted to the first `n` satellites — the paper's
+    /// constellation prefixes (Table II) at zero recompute cost.
+    pub fn prefix(&self, n: usize) -> Self {
+        assert!(
+            n <= self.masks.len(),
+            "prefix larger than the computed constellation"
+        );
+        ContactWindows {
+            n_steps: self.n_steps,
+            n_lows: self.n_lows,
+            masks: self.masks[..n].to_vec(),
+        }
+    }
+
+    /// Number of time steps covered.
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.n_steps
+    }
+
+    /// Number of ground slots.
+    #[inline]
+    pub fn lows(&self) -> usize {
+        self.n_lows
+    }
+
+    /// Number of satellites covered.
+    #[inline]
+    pub fn satellites(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Is satellite `sat` at/above the horizon of ground slot `low` at
+    /// `step`? Conservative: `true` whenever no window data exists.
+    #[inline]
+    pub fn visible(&self, sat: usize, step: usize, low: usize) -> bool {
+        let mask = &self.masks[sat];
+        if mask.is_empty() {
+            return true;
+        }
+        (mask[step] >> low) & 1 == 1
+    }
+}
+
+/// How the pipeline treats one host pair of the O(N²) loop — the Scene's
+/// time-invariant classification of a candidate edge.
+#[derive(Debug, Clone, Copy)]
+pub enum Candidate {
+    /// Neither endpoint moves: evaluated once at Scene construction; the
+    /// stored η is bitwise equal to evaluating at any step.
+    Static {
+        /// Lower host id of the pair.
+        a: HostId,
+        /// Higher host id of the pair.
+        b: HostId,
+        /// The pair's step-invariant transmissivity.
+        eta: f64,
+        /// Does the link cross the atmosphere (≥ 1 ground endpoint), i.e.
+        /// is it subject to the fault layer's weather factor?
+        crosses_atmosphere: bool,
+    },
+    /// Ground–satellite: evaluated only inside the contact window. Always
+    /// crosses the atmosphere.
+    GroundSat {
+        /// Lower host id of the pair.
+        a: HostId,
+        /// Higher host id of the pair.
+        b: HostId,
+        /// The satellite's row in the [`ContactWindows`].
+        sat: SatId,
+        /// The ground endpoint's bit slot in the [`ContactWindows`].
+        low: usize,
+    },
+    /// Anything else time-varying (ISLs, HAP–satellite): evaluated every
+    /// step.
+    Dynamic {
+        /// Lower host id of the pair.
+        a: HostId,
+        /// Higher host id of the pair.
+        b: HostId,
+        /// Does the link cross the atmosphere (≥ 1 ground endpoint)?
+        crosses_atmosphere: bool,
+    },
+}
+
+/// Stage 1 of the pipeline: the time-invariant description of what can
+/// link to what — every candidate FSO edge classified once, plus the
+/// precomputed visibility windows. Built once per simulator (unpruned) or
+/// per engine (window-pruned); consulted by every per-step [`LinkMap`].
+#[derive(Debug, Clone)]
+pub struct Scene {
+    n_hosts: usize,
+    candidates: Vec<Candidate>,
+    windows: ContactWindows,
+}
+
+impl Scene {
+    /// Classify every host pair against precomputed `windows`.
+    ///
+    /// # Panics
+    /// Panics when the windows' shape does not match the hosts' ground /
+    /// satellite counts or `n_steps`.
+    pub fn new(
+        hosts: &[Host],
+        evaluator: &LinkEvaluator,
+        n_steps: usize,
+        windows: ContactWindows,
+    ) -> Scene {
+        let n = hosts.len();
+        // Slot maps: ground index -> window bit, satellite index -> window row.
+        let mut ground_slot = vec![usize::MAX; n];
+        let mut sat_slot = vec![usize::MAX; n];
+        let (mut n_ground, mut n_sat) = (0, 0);
+        for (i, h) in hosts.iter().enumerate() {
+            if h.is_ground() {
+                ground_slot[i] = n_ground;
+                n_ground += 1;
+            } else if h.is_satellite() {
+                sat_slot[i] = n_sat;
+                n_sat += 1;
+            }
+        }
+        assert_eq!(
+            windows.lows(),
+            n_ground,
+            "windows built for a different ground set"
+        );
+        assert_eq!(
+            windows.satellites(),
+            n_sat,
+            "windows built for a different constellation"
+        );
+        assert_eq!(
+            windows.steps(),
+            n_steps,
+            "windows built for a different time span"
+        );
+
+        let enable_isl = evaluator.config().enable_isl;
+        let mut candidates = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (ha, hb) = (&hosts[a], &hosts[b]);
+                if ha.is_ground() && hb.is_ground() {
+                    continue; // fiber mesh handles these; no FSO class
+                }
+                let crosses_atmosphere = ha.is_ground() || hb.is_ground();
+                if !ha.is_satellite() && !hb.is_satellite() {
+                    // Static geometry: the evaluation is time-invariant.
+                    if let Some(eta) = evaluator.fso_eta(ha, hb, 0) {
+                        candidates.push(Candidate::Static {
+                            a: HostId(a),
+                            b: HostId(b),
+                            eta,
+                            crosses_atmosphere,
+                        });
+                    }
+                    continue;
+                }
+                if ha.is_satellite() && hb.is_satellite() {
+                    if enable_isl {
+                        candidates.push(Candidate::Dynamic {
+                            a: HostId(a),
+                            b: HostId(b),
+                            crosses_atmosphere,
+                        });
+                    }
+                    continue;
+                }
+                // Exactly one satellite. Window-prune only the ordinary
+                // case where the other endpoint is a ground site and the
+                // satellite is unambiguously the high endpoint; anything
+                // exotic stays on the always-evaluate path.
+                let (sat_idx, other) = if ha.is_satellite() { (a, b) } else { (b, a) };
+                if hosts[other].is_ground() && hosts[sat_idx].altitude_at(0) >= 20_000.0 {
+                    candidates.push(Candidate::GroundSat {
+                        a: HostId(a),
+                        b: HostId(b),
+                        sat: SatId(sat_slot[sat_idx]),
+                        low: ground_slot[other],
+                    });
+                } else {
+                    candidates.push(Candidate::Dynamic {
+                        a: HostId(a),
+                        b: HostId(b),
+                        crosses_atmosphere,
+                    });
+                }
+            }
+        }
+        Scene {
+            n_hosts: n,
+            candidates,
+            windows,
+        }
+    }
+
+    /// A Scene whose windows treat every satellite as always visible — the
+    /// naive evaluator's configuration. Exact (pruning is an optimization,
+    /// never a semantic), merely unpruned.
+    pub fn unpruned(hosts: &[Host], evaluator: &LinkEvaluator, n_steps: usize) -> Scene {
+        let n_ground = hosts.iter().filter(|h| h.is_ground()).count();
+        let n_sat = hosts.iter().filter(|h| h.is_satellite()).count();
+        Scene::new(
+            hosts,
+            evaluator,
+            n_steps,
+            ContactWindows::all_visible(n_steps, n_ground, n_sat),
+        )
+    }
+
+    /// Number of hosts classified.
+    #[inline]
+    pub fn hosts(&self) -> usize {
+        self.n_hosts
+    }
+
+    /// Number of time steps covered.
+    #[inline]
+    pub fn steps(&self) -> usize {
+        self.windows.steps()
+    }
+
+    /// The classified candidate edges, in ascending `(a, b)` order.
+    #[inline]
+    pub fn candidates(&self) -> &[Candidate] {
+        &self.candidates
+    }
+
+    /// The visibility windows in use.
+    #[inline]
+    pub fn windows(&self) -> &ContactWindows {
+        &self.windows
+    }
+}
+
+/// Stage 2 of the pipeline: the per-step link view. Borrows a simulator,
+/// a [`Scene`] and an optional fault mask, and yields every live link of a
+/// step — in the canonical insertion order — with the mask applied as a
+/// composable gate + weather stage inside the single iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkMap<'a> {
+    hosts: &'a [Host],
+    evaluator: &'a LinkEvaluator,
+    fiber: &'a [(usize, usize, f64)],
+    scene: &'a Scene,
+    faults: Option<&'a CompiledFaults>,
+}
+
+impl<'a> LinkMap<'a> {
+    /// A link view of `sim` through `scene`, optionally fault-masked.
+    ///
+    /// # Panics
+    /// Panics when `scene` or `faults` was built for a different host
+    /// count or time span than `sim`.
+    pub fn new(
+        sim: &'a QuantumNetworkSim,
+        scene: &'a Scene,
+        faults: Option<&'a CompiledFaults>,
+    ) -> LinkMap<'a> {
+        assert_eq!(
+            scene.hosts(),
+            sim.hosts().len(),
+            "scene built for a different host set"
+        );
+        assert_eq!(
+            scene.steps(),
+            sim.steps(),
+            "scene built for a different time span"
+        );
+        if let Some(f) = faults {
+            assert_eq!(
+                f.hosts(),
+                sim.hosts().len(),
+                "faults compiled for a different host set"
+            );
+            assert_eq!(
+                f.steps(),
+                sim.steps(),
+                "faults compiled for a different time span"
+            );
+        }
+        LinkMap {
+            hosts: sim.hosts(),
+            evaluator: sim.evaluator(),
+            fiber: sim.fiber_edges(),
+            scene,
+            faults,
+        }
+    }
+
+    /// The scene this view consults.
+    #[inline]
+    pub fn scene(&self) -> &Scene {
+        self.scene
+    }
+
+    /// The fault mask applied, if any.
+    #[inline]
+    pub fn faults(&self) -> Option<&CompiledFaults> {
+        self.faults
+    }
+
+    /// A host's ECEF position at `step` — the Scene's position column,
+    /// read straight from the `qntn-orbit` movement sheet (satellites) or
+    /// the fixed geodetic (ground, HAPs).
+    #[inline]
+    pub fn ecef_of(&self, host: HostId, step: StepId) -> Vec3 {
+        self.hosts[host.index()].ecef_at(step.index())
+    }
+
+    /// Yield `(a, b, η)` for every live link at `step`, in the canonical
+    /// insertion order: fiber mesh first, then candidates in ascending
+    /// `(a, b)` order.
+    ///
+    /// The fault mask, when present, is applied inline: downed-host /
+    /// flapped edges are withheld, and atmosphere-crossing links are
+    /// scaled by the step's weather factor. Without a mask the weather
+    /// factor is exactly 1.0 and `η × 1.0` is a bitwise no-op for the
+    /// finite η the evaluator produces, so both configurations run the
+    /// same loop without a bit of divergence. An identity mask likewise
+    /// reproduces the clean output bit for bit — a checked property, not a
+    /// short-circuit.
+    ///
+    /// # Panics
+    /// Panics when `step` is out of range.
+    pub fn for_each_link(&self, step: StepId, mut emit: impl FnMut(HostId, HostId, f64)) {
+        let t = step.index();
+        assert!(t < self.scene.steps(), "step out of range");
+        let w = self.faults.map_or(1.0, |f| f.eta_factor(t));
+        let up = |a: HostId, b: HostId| match self.faults {
+            Some(f) => f.edge_up(t, a.index(), b.index()),
+            None => true,
+        };
+        for &(a, b, eta) in self.fiber {
+            let (a, b) = (HostId(a), HostId(b));
+            if up(a, b) {
+                emit(a, b, eta);
+            }
+        }
+        for c in self.scene.candidates() {
+            match *c {
+                Candidate::Static {
+                    a,
+                    b,
+                    eta,
+                    crosses_atmosphere,
+                } => {
+                    if up(a, b) {
+                        emit(a, b, if crosses_atmosphere { eta * w } else { eta });
+                    }
+                }
+                Candidate::GroundSat { a, b, sat, low } => {
+                    if up(a, b) && self.scene.windows().visible(sat.index(), t, low) {
+                        if let Some(eta) = self.evaluator.fso_eta(
+                            &self.hosts[a.index()],
+                            &self.hosts[b.index()],
+                            t,
+                        ) {
+                            // One endpoint is ground by construction.
+                            emit(a, b, eta * w);
+                        }
+                    }
+                }
+                Candidate::Dynamic {
+                    a,
+                    b,
+                    crosses_atmosphere,
+                } => {
+                    if up(a, b) {
+                        if let Some(eta) = self.evaluator.fso_eta(
+                            &self.hosts[a.index()],
+                            &self.hosts[b.index()],
+                            t,
+                        ) {
+                            emit(a, b, if crosses_atmosphere { eta * w } else { eta });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Stage 3 of the pipeline: build the full (unthresholded) per-step
+/// [`Graph`] into caller-provided scratch. **This is the only function in
+/// the workspace that materializes a per-step topology from positions and
+/// η** — every `graph_at*` wrapper and engine `*_into` method delegates
+/// here.
+///
+/// # Panics
+/// Panics when `step` is out of range.
+pub fn build_topology_into(links: &LinkMap<'_>, step: StepId, g: &mut Graph) {
+    g.reset(links.scene().hosts());
+    links.for_each_link(step, |a, b, eta| g.set_edge(a.index(), b.index(), eta));
+}
+
+/// Allocating convenience wrapper over [`build_topology_into`].
+pub fn build_topology(links: &LinkMap<'_>, step: StepId) -> Graph {
+    let mut g = Graph::default();
+    build_topology_into(links, step, &mut g);
+    g
+}

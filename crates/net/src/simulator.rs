@@ -11,6 +11,8 @@
 use crate::faults::CompiledFaults;
 use crate::host::{Host, HostKind, LanId};
 use crate::linkeval::{LinkEvaluator, SimConfig};
+use crate::pipeline::{build_topology, LinkMap, Scene};
+use qntn_common::StepId;
 use qntn_routing::Graph;
 
 /// A complete simulation instance.
@@ -22,6 +24,9 @@ pub struct QuantumNetworkSim {
     lans: Vec<Vec<usize>>,
     steps: usize,
     step_s: f64,
+    /// The unpruned (all-visible) scene the naive `graph_at*` family views
+    /// the simulation through. Engines build their own window-pruned scene.
+    scene: Scene,
 }
 
 impl QuantumNetworkSim {
@@ -80,6 +85,8 @@ impl QuantumNetworkSim {
             }
         }
 
+        let scene = Scene::unpruned(&hosts, &evaluator, steps);
+
         QuantumNetworkSim {
             hosts,
             evaluator,
@@ -87,6 +94,7 @@ impl QuantumNetworkSim {
             lans,
             steps,
             step_s,
+            scene,
         }
     }
 
@@ -133,27 +141,18 @@ impl QuantumNetworkSim {
         &self.fiber_edges
     }
 
+    /// The unpruned [`Scene`] this simulator views itself through.
+    #[inline]
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
     /// The full transmissivity graph at a time step (no threshold applied).
+    ///
+    /// Thin wrapper over the shared Scene → LinkMap → Topology pipeline
+    /// ([`crate::pipeline::build_topology_into`]).
     pub fn graph_at(&self, step: usize) -> Graph {
-        assert!(step < self.steps, "step out of range");
-        let n = self.hosts.len();
-        let mut g = Graph::with_nodes(n);
-        for &(a, b, eta) in &self.fiber_edges {
-            g.set_edge(a, b, eta);
-        }
-        for a in 0..n {
-            for b in (a + 1)..n {
-                // Skip pairs the fiber mesh already covers and pairs with no
-                // FSO class; the evaluator sorts out the rest.
-                if self.hosts[a].is_ground() && self.hosts[b].is_ground() {
-                    continue;
-                }
-                if let Some(eta) = self.evaluator.fso_eta(&self.hosts[a], &self.hosts[b], step) {
-                    g.set_edge(a, b, eta);
-                }
-            }
-        }
-        g
+        build_topology(&LinkMap::new(self, &self.scene, None), StepId(step))
     }
 
     /// The threshold-gated graph at a time step — the network the paper's
@@ -171,47 +170,16 @@ impl QuantumNetworkSim {
     /// (`x * 1.0 ≡ x` for finite floats), so an identity mask reproduces
     /// [`QuantumNetworkSim::graph_at`] bit for bit.
     ///
-    /// This is the naive per-step reference the window-pruned
-    /// [`crate::SweepEngine`] is differentially tested against.
+    /// This was the naive per-step reference the window-pruned
+    /// [`crate::SweepEngine`] used to be differentially tested against;
+    /// both now delegate to the same pipeline, so equality holds by
+    /// construction (the old differential tests are kept as regression).
     ///
     /// # Panics
     /// Panics when `faults` was compiled for a different host count or
     /// time span.
     pub fn graph_at_with_faults(&self, step: usize, faults: &CompiledFaults) -> Graph {
-        assert!(step < self.steps, "step out of range");
-        assert_eq!(
-            faults.hosts(),
-            self.hosts.len(),
-            "faults compiled for a different host set"
-        );
-        assert_eq!(
-            faults.steps(),
-            self.steps,
-            "faults compiled for a different time span"
-        );
-        let n = self.hosts.len();
-        let w = faults.eta_factor(step);
-        let mut g = Graph::with_nodes(n);
-        for &(a, b, eta) in &self.fiber_edges {
-            if faults.edge_up(step, a, b) {
-                g.set_edge(a, b, eta);
-            }
-        }
-        for a in 0..n {
-            for b in (a + 1)..n {
-                if self.hosts[a].is_ground() && self.hosts[b].is_ground() {
-                    continue;
-                }
-                if !faults.edge_up(step, a, b) {
-                    continue;
-                }
-                if let Some(eta) = self.evaluator.fso_eta(&self.hosts[a], &self.hosts[b], step) {
-                    let crosses_atmosphere = self.hosts[a].is_ground() || self.hosts[b].is_ground();
-                    g.set_edge(a, b, if crosses_atmosphere { eta * w } else { eta });
-                }
-            }
-        }
-        g
+        build_topology(&LinkMap::new(self, &self.scene, Some(faults)), StepId(step))
     }
 
     /// [`QuantumNetworkSim::active_graph_at`] under a compiled fault mask.

@@ -28,223 +28,29 @@
 //! **Determinism guarantee**: for any step, the engine's graphs are
 //! bit-identical — including adjacency-list order, which routing
 //! tie-breaking depends on — to `QuantumNetworkSim::graph_at` /
-//! `active_graph_at`. The full graph replicates the naive insertion order
-//! (fiber mesh first, then host pairs in ascending `(a, b)` order) and the
-//! thresholded graph is derived from it by the same `thresholded` filter.
-//! Tests assert naive == sequential == parallel down to the adjacency
-//! lists.
+//! `active_graph_at`, *by construction*: both delegate to the shared
+//! Scene → LinkMap → Topology pipeline in [`crate::pipeline`], so there is
+//! only one code path that builds a per-step graph (fiber mesh first, then
+//! host pairs in ascending `(a, b)` order; the thresholded graph is
+//! derived from it by the same `thresholded` filter). The pre-pipeline
+//! differential tests (naive == sequential == parallel down to the
+//! adjacency lists) are kept as regression.
 
 use crate::coverage::{CoverageAnalyzer, CoverageReport};
 use crate::entanglement::distribute_with;
 use crate::faults::CompiledFaults;
-use crate::host::HostKind;
+use crate::pipeline::{build_topology_into, LinkMap, Scene};
 use crate::requests::{
     aggregate_outcomes, aggregate_retry_outcomes, RequestOutcome, RequestWorkload, RetryOutcome,
     RetryPolicy, RetryStats, SweepStats,
 };
 use crate::simulator::QuantumNetworkSim;
-use qntn_geo::{Enu, Geodetic, Vec3, WGS84};
-use qntn_orbit::{Ephemeris, PassPredictor};
+use qntn_common::StepId;
 use qntn_routing::{Graph, RouteMetric, SsspTable};
 use rayon::prelude::*;
 use std::sync::Arc;
 
-/// Per-(satellite, step) bitmasks of which ground sites a satellite is at
-/// or above the horizon of (elevation ≥ 0, the conservative superset of
-/// the link evaluator's `elevation > 0` requirement).
-///
-/// Ground sites map to bit slots in host order; per-satellite step vectors
-/// are `Arc`-shared so [`ContactWindows::prefix`] reuses one full-
-/// constellation precompute across every constellation size of a sweep.
-/// With more than 64 ground sites (not the paper's 31) the windows
-/// degrade to "always visible" — correct, merely unpruned.
-#[derive(Debug, Clone)]
-pub struct ContactWindows {
-    n_steps: usize,
-    n_lows: usize,
-    /// One mask vector per satellite; an empty vector means "no data,
-    /// treat everything as visible".
-    masks: Vec<Arc<Vec<u64>>>,
-}
-
-impl ContactWindows {
-    /// Most ground slots a mask word can hold.
-    const MAX_LOWS: usize = 64;
-
-    /// Precompute windows for every step of every `(low, satellite)` pair.
-    pub fn compute(lows: &[Geodetic], ephemerides: &[&Ephemeris], n_steps: usize) -> Self {
-        let n_lows = lows.len();
-        if n_lows > Self::MAX_LOWS {
-            return Self::all_visible(n_steps, n_lows, ephemerides.len());
-        }
-        let predictors: Vec<PassPredictor> = lows
-            .iter()
-            .map(|&site| PassPredictor::new(site, 0.0))
-            .collect();
-        let masks = ephemerides
-            .par_iter()
-            .map(|eph| {
-                let mut mask = vec![0u64; n_steps];
-                for (slot, pred) in predictors.iter().enumerate() {
-                    let flags = pred.above_horizon_flags(eph);
-                    for (k, word) in mask.iter_mut().enumerate() {
-                        if flags.get(k).copied().unwrap_or(false) {
-                            *word |= 1 << slot;
-                        }
-                    }
-                }
-                Arc::new(mask)
-            })
-            .collect();
-        ContactWindows {
-            n_steps,
-            n_lows,
-            masks,
-        }
-    }
-
-    /// Precompute windows only at `steps` (e.g. the 100 sampled steps of a
-    /// request sweep); every other step defaults to all-visible, so the
-    /// result is exact wherever it is consulted and merely unpruned
-    /// elsewhere.
-    pub fn compute_for_steps(
-        lows: &[Geodetic],
-        ephemerides: &[&Ephemeris],
-        n_steps: usize,
-        steps: &[usize],
-    ) -> Self {
-        let n_lows = lows.len();
-        if n_lows > Self::MAX_LOWS {
-            return Self::all_visible(n_steps, n_lows, ephemerides.len());
-        }
-        // The same above-horizon predicate as `PassPredictor::
-        // above_horizon_flags`, evaluated pointwise.
-        let sites: Vec<(Vec3, Vec3)> = lows
-            .iter()
-            .map(|&site| (site.to_ecef(&WGS84), Enu::at(site, &WGS84).up()))
-            .collect();
-        let masks = ephemerides
-            .par_iter()
-            .map(|eph| {
-                let mut mask = vec![u64::MAX; n_steps];
-                for &step in steps {
-                    let ecef = eph.at_step(step).ecef;
-                    let mut word = 0u64;
-                    for (slot, &(site_ecef, up)) in sites.iter().enumerate() {
-                        if (ecef - site_ecef).dot(up) >= 0.0 {
-                            word |= 1 << slot;
-                        }
-                    }
-                    mask[step] = word;
-                }
-                Arc::new(mask)
-            })
-            .collect();
-        ContactWindows {
-            n_steps,
-            n_lows,
-            masks,
-        }
-    }
-
-    /// Windows for every (ground, satellite) pair of `sim`, all steps.
-    pub fn for_sim(sim: &QuantumNetworkSim) -> Self {
-        let (lows, ephs) = Self::sim_geometry(sim);
-        Self::compute(&lows, &ephs, sim.steps())
-    }
-
-    /// Windows for `sim` computed only at `steps`.
-    pub fn for_sim_steps(sim: &QuantumNetworkSim, steps: &[usize]) -> Self {
-        let (lows, ephs) = Self::sim_geometry(sim);
-        Self::compute_for_steps(&lows, &ephs, sim.steps(), steps)
-    }
-
-    fn sim_geometry(sim: &QuantumNetworkSim) -> (Vec<Geodetic>, Vec<&Ephemeris>) {
-        let lows = sim
-            .hosts()
-            .iter()
-            .filter(|h| h.is_ground())
-            .map(|h| h.geodetic_at(0))
-            .collect();
-        let ephs = sim
-            .hosts()
-            .iter()
-            .filter_map(|h| match &h.kind {
-                HostKind::Satellite { ephemeris } => Some(ephemeris),
-                _ => None,
-            })
-            .collect();
-        (lows, ephs)
-    }
-
-    fn all_visible(n_steps: usize, n_lows: usize, n_sats: usize) -> Self {
-        ContactWindows {
-            n_steps,
-            n_lows,
-            masks: (0..n_sats).map(|_| Arc::new(Vec::new())).collect(),
-        }
-    }
-
-    /// Windows restricted to the first `n` satellites — the paper's
-    /// constellation prefixes (Table II) at zero recompute cost.
-    pub fn prefix(&self, n: usize) -> Self {
-        assert!(
-            n <= self.masks.len(),
-            "prefix larger than the computed constellation"
-        );
-        ContactWindows {
-            n_steps: self.n_steps,
-            n_lows: self.n_lows,
-            masks: self.masks[..n].to_vec(),
-        }
-    }
-
-    /// Number of time steps covered.
-    #[inline]
-    pub fn steps(&self) -> usize {
-        self.n_steps
-    }
-
-    /// Number of ground slots.
-    #[inline]
-    pub fn lows(&self) -> usize {
-        self.n_lows
-    }
-
-    /// Number of satellites covered.
-    #[inline]
-    pub fn satellites(&self) -> usize {
-        self.masks.len()
-    }
-
-    /// Is satellite `sat` at/above the horizon of ground slot `low` at
-    /// `step`? Conservative: `true` whenever no window data exists.
-    #[inline]
-    pub fn visible(&self, sat: usize, step: usize, low: usize) -> bool {
-        let mask = &self.masks[sat];
-        if mask.is_empty() {
-            return true;
-        }
-        (mask[step] >> low) & 1 == 1
-    }
-}
-
-/// How the engine treats one host pair of the O(N²) loop.
-#[derive(Debug, Clone, Copy)]
-enum PairKind {
-    /// Neither endpoint moves: evaluated once at construction.
-    Static { a: usize, b: usize, eta: f64 },
-    /// Ground–satellite: evaluated only inside the contact window.
-    GroundSat {
-        a: usize,
-        b: usize,
-        sat: usize,
-        low: usize,
-    },
-    /// Anything else time-varying (ISLs, HAP–satellite): evaluated every
-    /// step.
-    Dynamic { a: usize, b: usize },
-}
+pub use crate::pipeline::ContactWindows;
 
 /// Per-worker reusable buffers for a sweep (one full graph, one
 /// thresholded graph, one Bellman–Ford table).
@@ -263,8 +69,8 @@ pub struct SweepScratch {
 #[derive(Debug, Clone)]
 pub struct SweepEngine<'a> {
     sim: &'a QuantumNetworkSim,
-    windows: ContactWindows,
-    pairs: Vec<PairKind>,
+    /// Window-pruned classification of the simulator's candidate edges.
+    scene: Scene,
     parallel: bool,
     faults: Option<Arc<CompiledFaults>>,
 }
@@ -290,80 +96,10 @@ impl<'a> SweepEngine<'a> {
     /// Panics when the windows' shape does not match the simulator's
     /// ground/satellite counts or step count.
     pub fn with_windows(sim: &'a QuantumNetworkSim, windows: ContactWindows) -> Self {
-        let hosts = sim.hosts();
-        let n = hosts.len();
-        // Slot maps: ground index -> window bit, satellite index -> window row.
-        let mut ground_slot = vec![usize::MAX; n];
-        let mut sat_slot = vec![usize::MAX; n];
-        let (mut n_ground, mut n_sat) = (0, 0);
-        for (i, h) in hosts.iter().enumerate() {
-            if h.is_ground() {
-                ground_slot[i] = n_ground;
-                n_ground += 1;
-            } else if h.is_satellite() {
-                sat_slot[i] = n_sat;
-                n_sat += 1;
-            }
-        }
-        assert_eq!(
-            windows.lows(),
-            n_ground,
-            "windows built for a different ground set"
-        );
-        assert_eq!(
-            windows.satellites(),
-            n_sat,
-            "windows built for a different constellation"
-        );
-        assert_eq!(
-            windows.steps(),
-            sim.steps(),
-            "windows built for a different time span"
-        );
-
-        let evaluator = sim.evaluator();
-        let enable_isl = evaluator.config().enable_isl;
-        let mut pairs = Vec::new();
-        for a in 0..n {
-            for b in (a + 1)..n {
-                let (ha, hb) = (&hosts[a], &hosts[b]);
-                if ha.is_ground() && hb.is_ground() {
-                    continue; // fiber mesh handles these; no FSO class
-                }
-                if !ha.is_satellite() && !hb.is_satellite() {
-                    // Static geometry: the evaluation is time-invariant.
-                    if let Some(eta) = evaluator.fso_eta(ha, hb, 0) {
-                        pairs.push(PairKind::Static { a, b, eta });
-                    }
-                    continue;
-                }
-                if ha.is_satellite() && hb.is_satellite() {
-                    if enable_isl {
-                        pairs.push(PairKind::Dynamic { a, b });
-                    }
-                    continue;
-                }
-                // Exactly one satellite. Window-prune only the ordinary
-                // case where the other endpoint is a ground site and the
-                // satellite is unambiguously the high endpoint; anything
-                // exotic stays on the always-evaluate path.
-                let (sat_idx, other) = if ha.is_satellite() { (a, b) } else { (b, a) };
-                if hosts[other].is_ground() && hosts[sat_idx].altitude_at(0) >= 20_000.0 {
-                    pairs.push(PairKind::GroundSat {
-                        a,
-                        b,
-                        sat: sat_slot[sat_idx],
-                        low: ground_slot[other],
-                    });
-                } else {
-                    pairs.push(PairKind::Dynamic { a, b });
-                }
-            }
-        }
+        let scene = Scene::new(sim.hosts(), sim.evaluator(), sim.steps(), windows);
         SweepEngine {
             sim,
-            windows,
-            pairs,
+            scene,
             parallel: true,
             faults: None,
         }
@@ -414,93 +150,24 @@ impl<'a> SweepEngine<'a> {
     /// The contact windows in use.
     #[inline]
     pub fn windows(&self) -> &ContactWindows {
-        &self.windows
+        self.scene.windows()
     }
 
-    /// Build the full (unthresholded) graph at `step` into `g`, replicating
-    /// [`QuantumNetworkSim::graph_at`]'s insertion order exactly — or,
-    /// when a fault mask is attached,
-    /// [`QuantumNetworkSim::graph_at_with_faults`]'s.
+    /// The window-pruned [`Scene`] this engine evaluates through.
+    #[inline]
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// Build the full (unthresholded) graph at `step` into `g` — a thin
+    /// wrapper over the shared Scene → LinkMap → Topology pipeline
+    /// ([`crate::pipeline::build_topology_into`]), so the result is
+    /// bit-identical to [`QuantumNetworkSim::graph_at`] (or, with a fault
+    /// mask attached, [`QuantumNetworkSim::graph_at_with_faults`]) by
+    /// construction: both run the exact same code.
     pub fn graph_into(&self, step: usize, g: &mut Graph) {
-        match &self.faults {
-            None => self.graph_into_clean(step, g),
-            Some(f) => self.graph_into_faulted(step, g, f),
-        }
-    }
-
-    /// The fault-free graph body (PR 1's original path, untouched when no
-    /// mask is attached).
-    fn graph_into_clean(&self, step: usize, g: &mut Graph) {
-        assert!(step < self.sim.steps(), "step out of range");
-        let hosts = self.sim.hosts();
-        let evaluator = self.sim.evaluator();
-        g.reset(hosts.len());
-        for &(a, b, eta) in self.sim.fiber_edges() {
-            g.set_edge(a, b, eta);
-        }
-        for pair in &self.pairs {
-            match *pair {
-                PairKind::Static { a, b, eta } => g.set_edge(a, b, eta),
-                PairKind::GroundSat { a, b, sat, low } => {
-                    if self.windows.visible(sat, step, low) {
-                        if let Some(eta) = evaluator.fso_eta(&hosts[a], &hosts[b], step) {
-                            g.set_edge(a, b, eta);
-                        }
-                    }
-                }
-                PairKind::Dynamic { a, b } => {
-                    if let Some(eta) = evaluator.fso_eta(&hosts[a], &hosts[b], step) {
-                        g.set_edge(a, b, eta);
-                    }
-                }
-            }
-        }
-    }
-
-    /// The fault-masked graph body. Identity masks still route through
-    /// here (not the clean body), and remain bit-identical anyway: no edge
-    /// is withheld, and the weather multiply is `η × 1.0`, a bitwise no-op
-    /// for finite floats. That makes "zero intensity ≡ fault-free" a
-    /// checked property rather than a short-circuit.
-    fn graph_into_faulted(&self, step: usize, g: &mut Graph, faults: &CompiledFaults) {
-        assert!(step < self.sim.steps(), "step out of range");
-        let hosts = self.sim.hosts();
-        let evaluator = self.sim.evaluator();
-        let w = faults.eta_factor(step);
-        g.reset(hosts.len());
-        for &(a, b, eta) in self.sim.fiber_edges() {
-            if faults.edge_up(step, a, b) {
-                g.set_edge(a, b, eta);
-            }
-        }
-        for pair in &self.pairs {
-            match *pair {
-                PairKind::Static { a, b, eta } => {
-                    if faults.edge_up(step, a, b) {
-                        // Static pairs are ground–HAP (one ground endpoint)
-                        // or HAP–HAP; only the former cross the weather.
-                        let crosses = hosts[a].is_ground() || hosts[b].is_ground();
-                        g.set_edge(a, b, if crosses { eta * w } else { eta });
-                    }
-                }
-                PairKind::GroundSat { a, b, sat, low } => {
-                    if faults.edge_up(step, a, b) && self.windows.visible(sat, step, low) {
-                        if let Some(eta) = evaluator.fso_eta(&hosts[a], &hosts[b], step) {
-                            // One endpoint is ground by construction.
-                            g.set_edge(a, b, eta * w);
-                        }
-                    }
-                }
-                PairKind::Dynamic { a, b } => {
-                    if faults.edge_up(step, a, b) {
-                        if let Some(eta) = evaluator.fso_eta(&hosts[a], &hosts[b], step) {
-                            let crosses = hosts[a].is_ground() || hosts[b].is_ground();
-                            g.set_edge(a, b, if crosses { eta * w } else { eta });
-                        }
-                    }
-                }
-            }
-        }
+        let links = LinkMap::new(self.sim, &self.scene, self.faults.as_deref());
+        build_topology_into(&links, StepId(step), g);
     }
 
     /// The full graph at `step` (allocating convenience wrapper).
@@ -538,9 +205,8 @@ impl<'a> SweepEngine<'a> {
     {
         if self.parallel {
             steps
-                .to_vec()
-                .into_par_iter()
-                .map_init(SweepScratch::default, |scratch, step| f(scratch, step))
+                .par_iter()
+                .map_init(SweepScratch::default, |scratch, &step| f(scratch, step))
                 .collect()
         } else {
             let mut scratch = SweepScratch::default();
@@ -665,8 +331,8 @@ mod tests {
     use super::*;
     use crate::host::Host;
     use crate::linkeval::SimConfig;
-    use qntn_geo::Epoch;
-    use qntn_orbit::{paper_constellation, PerturbationModel, Propagator};
+    use qntn_geo::{Epoch, Geodetic};
+    use qntn_orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
 
     fn sat_ephemerides(n_sats: usize, steps: usize) -> Vec<Ephemeris> {
         let props: Vec<Propagator> = paper_constellation(n_sats)

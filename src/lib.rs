@@ -13,6 +13,9 @@
 //!
 //! ## Crate map
 //!
+//! - [`common`] — typed indices ([`common::HostId`], [`common::SatId`],
+//!   [`common::StepId`]) and the workspace error type
+//!   ([`common::QntnError`]).
 //! - [`geo`] — geodesy: WGS-84, ECEF/ECI/ENU frames, elevation & slant range.
 //! - [`orbit`] — Keplerian propagation, Walker-Delta constellations,
 //!   ephemerides ("movement sheets"), visibility passes.
@@ -36,6 +39,7 @@
 //! ```
 
 pub use qntn_channel as channel;
+pub use qntn_common as common;
 pub use qntn_core as core;
 pub use qntn_geo as geo;
 pub use qntn_net as net;

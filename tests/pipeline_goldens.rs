@@ -1,0 +1,300 @@
+//! Pre-refactor golden fingerprints for the topology pipeline.
+//!
+//! The FNV-1a fingerprints below were captured from the seed implementation
+//! (the four hand-rolled `QuantumNetworkSim::graph_at*` bodies) *before*
+//! graph construction was collapsed into the shared Scene → LinkMap →
+//! Topology pipeline. They pin the exact adjacency order and η bit patterns
+//! of the standard scenario, so any pipeline change that perturbs a single
+//! bit of a single edge fails here.
+
+use proptest::prelude::*;
+use qntn::common::{HostId, StepId};
+use qntn::core::architecture::{AirGround, SpaceGround};
+use qntn::core::scenario::Qntn;
+use qntn::net::faults::{CompiledFaults, FaultModel};
+use qntn::net::{LinkMap, QuantumNetworkSim};
+use qntn::orbit::PerturbationModel;
+use qntn::routing::Graph;
+use std::sync::OnceLock;
+
+/// Proptest case count: 32 by default, `PROPTEST_CASES` to override (the
+/// nightly workflow turns it up).
+fn cases_or(default: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// FNV-1a over every directed adjacency entry in iteration order, η as raw
+/// bits — collision-resistant enough to pin bit-identity across a refactor.
+fn fingerprint(g: &Graph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for byte in x.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    mix(g.node_count() as u64);
+    for u in 0..g.node_count() {
+        for e in g.neighbors(u) {
+            mix(u as u64);
+            mix(e.to as u64);
+            mix(e.eta.to_bits());
+        }
+    }
+    h
+}
+
+/// (case, FNV-1a fingerprint, edge count) captured from the pre-refactor
+/// seed implementation. Steps 400/420 were chosen because the 6-satellite
+/// constellation contributes FSO edges there and the standard intensity-2.0
+/// fault mask actually removes some of them, so the fingerprints pin the
+/// clean, thresholded, and faulted paths independently.
+const GOLDENS: &[(&str, u64, usize)] = &[
+    ("air_full_0", 0x8cf8b139f9d40ad9, 201),
+    ("air_active_1440", 0x8cf8b139f9d40ad9, 201),
+    ("space6_full_0", 0xc4006c6a95ce10fc, 170),
+    ("space6_full_400", 0x700af4944a1d5ea0, 201),
+    ("space6_active_420", 0xc4006c6a95ce10fc, 170),
+    ("space6_faulted_full_400", 0x4ef5472e68435534, 190),
+    ("space6_faulted_active_400", 0x5b5804be52727c5c, 160),
+];
+
+#[test]
+fn wrappers_are_bit_identical_to_pre_refactor_goldens() {
+    let q = Qntn::standard();
+    let air = AirGround::standard(&q);
+    let space = SpaceGround::new(
+        &q,
+        6,
+        qntn::net::SimConfig::default(),
+        PerturbationModel::TwoBody,
+    );
+    let faults = FaultModel::standard(42)
+        .with_intensity(2.0)
+        .compile(space.sim());
+    let graphs = [
+        ("air_full_0", air.sim().graph_at(0)),
+        ("air_active_1440", air.sim().active_graph_at(1440)),
+        ("space6_full_0", space.sim().graph_at(0)),
+        ("space6_full_400", space.sim().graph_at(400)),
+        ("space6_active_420", space.sim().active_graph_at(420)),
+        (
+            "space6_faulted_full_400",
+            space.sim().graph_at_with_faults(400, &faults),
+        ),
+        (
+            "space6_faulted_active_400",
+            space.sim().active_graph_at_with_faults(400, &faults),
+        ),
+    ];
+    for ((name, g), (gname, ghash, gedges)) in graphs.iter().zip(GOLDENS) {
+        assert_eq!(name, gname);
+        assert_eq!(
+            (fingerprint(g), g.edge_count()),
+            (*ghash, *gedges),
+            "{name}: graph diverged from pre-refactor golden"
+        );
+    }
+}
+
+/// The pre-refactor naive `graph_at` body, reimplemented verbatim as an
+/// oracle: evaluate every non-ground-ground pair at the actual step, no
+/// scene, no windows, no static-pair caching.
+fn pre_refactor_graph_at(sim: &QuantumNetworkSim, step: usize) -> Graph {
+    let hosts = sim.hosts();
+    let n = hosts.len();
+    let mut g = Graph::with_nodes(n);
+    for &(a, b, eta) in sim.fiber_edges() {
+        g.set_edge(a, b, eta);
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if hosts[a].is_ground() && hosts[b].is_ground() {
+                continue;
+            }
+            if let Some(eta) = sim.evaluator().fso_eta(&hosts[a], &hosts[b], step) {
+                g.set_edge(a, b, eta);
+            }
+        }
+    }
+    g
+}
+
+/// The pre-refactor naive `graph_at_with_faults` body, as an oracle.
+fn pre_refactor_graph_at_with_faults(
+    sim: &QuantumNetworkSim,
+    step: usize,
+    faults: &CompiledFaults,
+) -> Graph {
+    let hosts = sim.hosts();
+    let n = hosts.len();
+    let w = faults.eta_factor(step);
+    let mut g = Graph::with_nodes(n);
+    for &(a, b, eta) in sim.fiber_edges() {
+        if faults.edge_up(step, a, b) {
+            g.set_edge(a, b, eta);
+        }
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if hosts[a].is_ground() && hosts[b].is_ground() {
+                continue;
+            }
+            if !faults.edge_up(step, a, b) {
+                continue;
+            }
+            if let Some(eta) = sim.evaluator().fso_eta(&hosts[a], &hosts[b], step) {
+                let crosses = hosts[a].is_ground() || hosts[b].is_ground();
+                g.set_edge(a, b, if crosses { eta * w } else { eta });
+            }
+        }
+    }
+    g
+}
+
+fn assert_bit_identical(a: &Graph, b: &Graph, ctx: &str) {
+    assert_eq!(a.node_count(), b.node_count(), "{ctx}: node count");
+    assert_eq!(a.edge_count(), b.edge_count(), "{ctx}: edge count");
+    for ((ua, va, ea), (ub, vb, eb)) in a.edges().zip(b.edges()) {
+        assert_eq!((ua, va), (ub, vb), "{ctx}: edge order");
+        assert_eq!(ea.to_bits(), eb.to_bits(), "{ctx}: eta bits at ({ua},{va})");
+    }
+}
+
+/// The seed scenario the oracle proptests run against: the paper's ground
+/// segment plus a 6-satellite prefix, built once (propagation is the
+/// expensive part) and shared across cases.
+fn seed_space() -> &'static SpaceGround {
+    static SPACE: OnceLock<SpaceGround> = OnceLock::new();
+    SPACE.get_or_init(|| {
+        SpaceGround::new(
+            &Qntn::standard(),
+            6,
+            qntn::net::SimConfig::default(),
+            PerturbationModel::TwoBody,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases_or(32)))]
+
+    /// The pipeline-backed `graph_at` wrappers are bit-identical to the
+    /// pre-refactor naive loop at arbitrary steps of the seed scenario.
+    #[test]
+    fn graph_at_matches_the_pre_refactor_loop(step in 0usize..2880) {
+        let sim = seed_space().sim();
+        assert_bit_identical(
+            &sim.graph_at(step),
+            &pre_refactor_graph_at(sim, step),
+            &format!("step {step}"),
+        );
+    }
+
+    /// Same contract under a compiled fault mask, across intensities.
+    #[test]
+    fn faulted_graph_at_matches_the_pre_refactor_loop(
+        step in 0usize..2880,
+        seed in 0u64..1024,
+        intensity in 0.0f64..8.0,
+    ) {
+        let sim = seed_space().sim();
+        let faults = FaultModel::standard(seed).with_intensity(intensity).compile(sim);
+        assert_bit_identical(
+            &sim.graph_at_with_faults(step, &faults),
+            &pre_refactor_graph_at_with_faults(sim, step, &faults),
+            &format!("step {step}, seed {seed}, intensity {intensity}"),
+        );
+    }
+}
+
+#[test]
+fn scene_positions_match_direct_ephemeris_lookup() {
+    let space = seed_space();
+    let sim = space.sim();
+    let links = LinkMap::new(sim, sim.scene(), None);
+    for (i, host) in sim.hosts().iter().enumerate() {
+        for step in [0usize, 399, 1440, 2879] {
+            let got = links.ecef_of(HostId(i), StepId(step));
+            let want = host.ecef_at(step);
+            assert_eq!(
+                (got.x, got.y, got.z),
+                (want.x, want.y, want.z),
+                "host {i} ({}) step {step}",
+                host.name
+            );
+        }
+    }
+    // For satellites, the position column must be the qntn-orbit movement
+    // sheet itself, not a recomputation.
+    for host in sim.hosts().iter().filter(|h| h.is_satellite()) {
+        if let qntn::net::HostKind::Satellite { ephemeris } = &host.kind {
+            for step in [0usize, 400, 2879] {
+                let direct = ephemeris.at_step(step).ecef;
+                let via_host = host.ecef_at(step);
+                assert_eq!(
+                    (direct.x, direct.y, direct.z),
+                    (via_host.x, via_host.y, via_host.z)
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn linkmap_eta_matches_direct_evaluator_calls() {
+    let space = seed_space();
+    let sim = space.sim();
+    let links = LinkMap::new(sim, sim.scene(), None);
+    for step in [0usize, 400, 420, 1440] {
+        let mut n_links = 0;
+        links.for_each_link(StepId(step), |a, b, eta| {
+            n_links += 1;
+            let (ha, hb) = (&sim.hosts()[a.index()], &sim.hosts()[b.index()]);
+            if ha.is_ground() && hb.is_ground() {
+                // Fiber: must be the precomputed mesh entry, bit for bit.
+                let mesh = sim
+                    .fiber_edges()
+                    .iter()
+                    .find(|&&(x, y, _)| (x, y) == (a.index(), b.index()))
+                    .expect("fiber link not in the mesh");
+                assert_eq!(eta.to_bits(), mesh.2.to_bits());
+            } else {
+                // FSO: must be exactly what the evaluator says right now.
+                let direct = sim
+                    .evaluator()
+                    .fso_eta(ha, hb, step)
+                    .expect("LinkMap emitted a link the evaluator rejects");
+                assert_eq!(eta.to_bits(), direct.to_bits(), "({a}, {b}) at step {step}");
+            }
+        });
+        assert!(n_links > 0, "step {step} emitted no links");
+    }
+}
+
+#[test]
+fn faulted_linkmap_applies_gate_and_weather_exactly() {
+    let space = seed_space();
+    let sim = space.sim();
+    let faults = FaultModel::standard(42).with_intensity(2.0).compile(sim);
+    let links = LinkMap::new(sim, sim.scene(), Some(&faults));
+    for step in [380usize, 400, 720] {
+        let w = faults.eta_factor(step);
+        links.for_each_link(StepId(step), |a, b, eta| {
+            assert!(
+                faults.edge_up(step, a.index(), b.index()),
+                "downed/flapped edge ({a}, {b}) leaked through at step {step}"
+            );
+            let (ha, hb) = (&sim.hosts()[a.index()], &sim.hosts()[b.index()]);
+            if !(ha.is_ground() && hb.is_ground()) {
+                let direct = sim.evaluator().fso_eta(ha, hb, step).unwrap();
+                let crosses = ha.is_ground() || hb.is_ground();
+                let want = if crosses { direct * w } else { direct };
+                assert_eq!(eta.to_bits(), want.to_bits(), "({a}, {b}) at step {step}");
+            }
+        });
+    }
+}

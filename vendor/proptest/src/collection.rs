@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Accepted size arguments for [`vec`].
+/// Accepted size arguments for [`vec()`].
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     lo: usize,
