@@ -15,17 +15,27 @@
 //!   budgets   representative FSO link budgets
 //!   extensions  night-ops / HAP-jitter / congestion / QKD extensions
 //!   faults    degradation vs fault intensity (outages, flaps, weather)
+//!   sweep     resilient full-day connectivity sweep: checkpoint/resume,
+//!             cooperative cancellation, deadlines, panic isolation
 //!   bench     time the daily sweep (engine, naive, faulted) and write
 //!             BENCH_sweep.json as a perf baseline
 //!   export    write CSV/DOT artifacts for every figure into ./out/
-//!   all       everything above except bench and export (default)
+//!   all       everything above except sweep, bench and export (default)
 //!
 //! --quick shrinks the workloads (for smoke tests); the default reproduces
 //! the paper's full workload sizes.
+//!
+//! Every file this binary writes goes through the one atomic
+//! write-temp-fsync-rename helper in `qntn-common`, so a crash mid-run
+//! never leaves a torn artifact; every failure exits with a distinct code
+//! (see `USAGE`) instead of a panic.
 //! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use qntn_channel::fso::{FsoChannel, FsoGeometry};
 use qntn_channel::params::FsoParams;
+use qntn_common::{atomic_write, frame, CancelToken, Deadline, QntnError, RunControl};
 use qntn_core::architecture::{AirGround, SpaceGround};
 use qntn_core::compare::ComparisonReport;
 use qntn_core::experiments::faults::FaultExperiment;
@@ -39,9 +49,13 @@ use qntn_core::experiments::sweep::{ConstellationSweep, SweepSettings};
 use qntn_core::report;
 use qntn_core::scenario::Qntn;
 use qntn_net::faults::FaultModel;
-use qntn_net::SimConfig;
+use qntn_net::runtime::{run_steps, PanicPolicy, RunPolicy};
+use qntn_net::{SimConfig, SweepEngine};
 use qntn_orbit::walker::paper_slots;
 use qntn_orbit::PerturbationModel;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Duration;
 
 const USAGE: &str = "\
 reproduce [artifact] [--quick]
@@ -60,17 +74,199 @@ artifacts:
               demand / heralded / sensitivity extensions
   faults      degradation vs fault intensity (outages, flaps, weather;
               seeded and deterministic, with retry-with-backoff service)
+  sweep       resilient full-day connectivity sweep: checkpointed,
+              resumable, Ctrl-C-safe, panic-isolated; writes the per-step
+              flags CSV atomically
   bench       wall-time the 108-satellite daily sweep three ways (engine,
               naive, engine+faults) and write BENCH_sweep.json
   export      write CSV/DOT artifacts for every figure into ./out/
-  all         everything except bench and export (default)
+  all         everything except sweep, bench and export (default)
 
 flags:
   --quick       reduced workloads (smoke test); default is the paper's sizes
   --no-parallel run the daily sweeps on the sequential engine path
                 (bit-identical results; for debugging / single-core runs)
   --help        this text
+
+sweep flags:
+  --sats N              constellation size (default 36; 6 with --quick)
+  --checkpoint PATH     checkpoint frame file; an interrupted run rerun
+                        with the same command resumes from it and produces
+                        output bit-identical to an uninterrupted run
+  --checkpoint-every N  checkpoint cadence in chunks (default 1)
+  --chunk-steps N       steps per chunk: the granularity of checkpoints,
+                        cancellation and panic isolation (default 64)
+  --deadline-s S        wall-clock budget in seconds
+  --out PATH            output CSV (default out/sweep_flags.csv)
+  --quarantine          on a panicking chunk, quarantine it and complete
+                        the healthy chunks (default: fail fast, exit 6)
+  --cancel-after-steps N  trip cancellation after N step evaluations
+                        (crash-injection testing)
+  --inject-panic-step N panic while evaluating step N (testing)
+
+exit codes:
+  0  success
+  2  usage error (unknown artifact / flag / bad value)
+  3  I/O error
+  4  corrupt or mismatched checkpoint
+  5  interrupted (cancellation or deadline; progress checkpointed)
+  6  sweep chunk panicked under fail-fast
+  1  any other error
 ";
+
+const ARTIFACTS: [&str; 15] = [
+    "all",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table1",
+    "table2",
+    "table3",
+    "topology",
+    "budgets",
+    "extensions",
+    "faults",
+    "sweep",
+    "bench",
+    "export",
+];
+
+/// Tripped by the SIGINT handler; observed through
+/// [`CancelToken::from_static`] so Ctrl-C becomes a cooperative stop with
+/// a checkpoint instead of a mid-write kill.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigint_handler() {
+    extern "C" fn on_sigint(_signum: i32) {
+        // Async-signal-safe: one relaxed-ordering-free atomic store.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint_handler() {}
+
+/// Options of the `sweep` artifact.
+struct SweepOpts {
+    sats: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    checkpoint_every: usize,
+    chunk_steps: usize,
+    deadline_s: Option<f64>,
+    cancel_after_steps: Option<usize>,
+    inject_panic_step: Option<usize>,
+    quarantine: bool,
+    out: PathBuf,
+}
+
+impl Default for SweepOpts {
+    fn default() -> Self {
+        SweepOpts {
+            sats: None,
+            checkpoint: None,
+            checkpoint_every: 1,
+            chunk_steps: 64,
+            deadline_s: None,
+            cancel_after_steps: None,
+            inject_panic_step: None,
+            quarantine: false,
+            out: PathBuf::from("out/sweep_flags.csv"),
+        }
+    }
+}
+
+struct Cli {
+    artifact: String,
+    quick: bool,
+    parallel: bool,
+    sweep: SweepOpts,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        artifact: String::from("all"),
+        quick: false,
+        parallel: true,
+        sweep: SweepOpts::default(),
+    };
+    let mut artifact: Option<String> = None;
+
+    fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+        *i += 1;
+        args.get(*i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("flag `{flag}` needs a value"))
+    }
+    fn number<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+        raw.parse()
+            .map_err(|_| format!("flag `{flag}`: invalid value `{raw}`"))
+    }
+
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--quick" => cli.quick = true,
+            "--no-parallel" => cli.parallel = false,
+            "--quarantine" => cli.sweep.quarantine = true,
+            "--sats" => cli.sweep.sats = Some(number(value(args, &mut i, a)?, a)?),
+            "--checkpoint" => cli.sweep.checkpoint = Some(PathBuf::from(value(args, &mut i, a)?)),
+            "--checkpoint-every" => {
+                cli.sweep.checkpoint_every = number(value(args, &mut i, a)?, a)?
+            }
+            "--chunk-steps" => cli.sweep.chunk_steps = number(value(args, &mut i, a)?, a)?,
+            "--deadline-s" => cli.sweep.deadline_s = Some(number(value(args, &mut i, a)?, a)?),
+            "--cancel-after-steps" => {
+                cli.sweep.cancel_after_steps = Some(number(value(args, &mut i, a)?, a)?)
+            }
+            "--inject-panic-step" => {
+                cli.sweep.inject_panic_step = Some(number(value(args, &mut i, a)?, a)?)
+            }
+            "--out" => cli.sweep.out = PathBuf::from(value(args, &mut i, a)?),
+            _ if a.starts_with("--") => return Err(format!("unknown flag `{a}`")),
+            _ => {
+                if artifact.is_some() {
+                    return Err(format!("unexpected argument `{a}`"));
+                }
+                artifact = Some(a.to_string());
+            }
+        }
+        i += 1;
+    }
+    if let Some(name) = artifact {
+        if !ARTIFACTS.contains(&name.as_str()) {
+            return Err(format!("unknown artifact `{name}`"));
+        }
+        cli.artifact = name;
+    }
+    Ok(cli)
+}
+
+/// Why a successful process run still didn't finish its work.
+enum Exit {
+    Success,
+    /// Cancelled or deadline-expired: progress is checkpointed (when a
+    /// checkpoint path was given) and the partial state is well-formed.
+    Interrupted,
+}
+
+fn exit_code(err: &QntnError) -> i32 {
+    match err {
+        QntnError::Io { .. } => 3,
+        QntnError::CorruptFrame { .. } | QntnError::CheckpointMismatch { .. } => 4,
+        QntnError::ChunkPanic { .. } => 6,
+        _ => 1,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,83 +274,216 @@ fn main() {
         print!("{USAGE}");
         return;
     }
-    if let Some(flag) = args
-        .iter()
-        .find(|a| a.starts_with("--") && *a != "--quick" && *a != "--no-parallel")
-    {
-        eprintln!("error: unknown flag `{flag}`\n");
-        eprint!("{USAGE}");
-        std::process::exit(2);
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    install_sigint_handler();
+    match run(&cli) {
+        Ok(Exit::Success) => {}
+        Ok(Exit::Interrupted) => std::process::exit(5),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(exit_code(&e));
+        }
     }
-    let quick = args.iter().any(|a| a == "--quick");
-    let parallel = !args.iter().any(|a| a == "--no-parallel");
-    let artifact = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map_or("all", String::as_str);
-    const ARTIFACTS: [&str; 14] = [
-        "all",
-        "fig5",
-        "fig6",
-        "fig7",
-        "fig8",
-        "table1",
-        "table2",
-        "table3",
-        "topology",
-        "budgets",
-        "extensions",
-        "faults",
-        "bench",
-        "export",
-    ];
-    if !ARTIFACTS.contains(&artifact) {
-        eprintln!("error: unknown artifact `{artifact}`\n");
-        eprint!("{USAGE}");
-        std::process::exit(2);
-    }
+}
 
+fn run(cli: &Cli) -> Result<Exit, QntnError> {
     let scenario = Qntn::standard();
     let config = SimConfig::default();
+    let (artifact, quick, parallel) = (cli.artifact.as_str(), cli.quick, cli.parallel);
 
-    let run = |name: &str| artifact == "all" || artifact == name;
+    let wants = |name: &str| artifact == "all" || artifact == name;
 
-    if run("table1") {
+    if wants("table1") {
         table1(&scenario);
     }
-    if run("table2") {
+    if wants("table2") {
         table2();
     }
-    if run("fig5") {
-        fig5();
+    if wants("fig5") {
+        fig5()?;
     }
-    if run("budgets") {
+    if wants("budgets") {
         budgets();
     }
-    if run("topology") {
+    if wants("topology") {
         topology(&scenario, &config);
     }
-    if run("fig6") {
+    if wants("fig6") {
         fig6(&scenario, config, quick, parallel);
     }
-    if run("fig7") || run("fig8") {
+    if wants("fig7") || wants("fig8") {
         fig78(&scenario, config, quick, parallel, artifact);
     }
-    if run("table3") {
+    if wants("table3") {
         table3(&scenario, config, quick);
     }
-    if run("extensions") {
+    if wants("extensions") {
         extensions(&scenario, config, quick);
     }
-    if run("faults") {
+    if wants("faults") {
         faults(&scenario, config, quick, parallel);
     }
+    if artifact == "sweep" {
+        return sweep(&scenario, config, cli);
+    }
     if artifact == "bench" {
-        bench_sweep(&scenario, config, quick, parallel);
+        bench_sweep(&scenario, config, quick, parallel)?;
     }
     if artifact == "export" {
-        export(&scenario, config, quick, parallel);
+        export(&scenario, config, quick, parallel)?;
     }
+    Ok(Exit::Success)
+}
+
+/// The `sweep` artifact: the full-day connectivity sweep under the
+/// resilient runtime. Checkpointed and resumable (interrupted-then-resumed
+/// output is bit-identical to an uninterrupted run), cooperatively
+/// cancellable (Ctrl-C / `--deadline-s`), panic-isolated per chunk, and
+/// every byte of output written atomically.
+fn sweep(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<Exit, QntnError> {
+    let o = &cli.sweep;
+    let n_sats = o.sats.unwrap_or(if cli.quick { 6 } else { 36 });
+    let arch = SpaceGround::new(scenario, n_sats, config, PerturbationModel::TwoBody);
+    let sim = arch.sim();
+    println!(
+        "== SWEEP: {n_sats}-satellite resilient daily sweep ({} steps, parallel: {}) ==",
+        sim.steps(),
+        cli.parallel
+    );
+
+    let sigint = CancelToken::from_static(&INTERRUPTED);
+    let deadline = o
+        .deadline_s
+        .map(|s| Deadline::after(Duration::from_secs_f64(s)));
+    let with_deadline = |mut control: RunControl| {
+        if let Some(d) = deadline {
+            control = control.with_deadline(d);
+        }
+        control
+    };
+
+    // The window precompute is the one setup phase long enough to honour
+    // the budget; a stop here has no partial result worth keeping.
+    let setup = with_deadline(RunControl::unlimited().with_cancel(sigint.clone()));
+    let engine = match SweepEngine::try_new(sim, &setup) {
+        Ok(engine) => engine.with_parallel(cli.parallel),
+        Err(cause) => {
+            println!("interrupted during window precompute ({cause}); nothing written");
+            return Ok(Exit::Interrupted);
+        }
+    };
+
+    // One shared token drives the run; the SIGINT static and the
+    // crash-injection counter both bridge into it from the eval closure.
+    let run_token = CancelToken::new();
+    let control = with_deadline(RunControl::unlimited().with_cancel(run_token.clone()));
+    let mut policy = RunPolicy::default()
+        .with_chunk_steps(o.chunk_steps)
+        .with_checkpoint_every(o.checkpoint_every)
+        .with_control(control)
+        .with_panic_policy(if o.quarantine {
+            PanicPolicy::Quarantine
+        } else {
+            PanicPolicy::FailFast
+        });
+    if let Some(path) = &o.checkpoint {
+        policy = policy.with_checkpoint(path);
+    }
+
+    // Everything the per-step outputs depend on; a checkpoint from any
+    // other configuration is refused, not resumed.
+    let fingerprint = frame::fingerprint(&[
+        n_sats as u64,
+        sim.steps() as u64,
+        config.threshold.to_bits(),
+    ]);
+    let steps: Vec<usize> = (0..sim.steps()).collect();
+    let evals = AtomicUsize::new(0);
+    let report = run_steps(&engine, &steps, fingerprint, &policy, |scratch, step| {
+        if o.inject_panic_step == Some(step) {
+            panic!("injected panic at step {step}");
+        }
+        if sigint.is_cancelled() {
+            run_token.cancel();
+        }
+        if let Some(n) = o.cancel_after_steps {
+            if evals.fetch_add(1, Ordering::SeqCst) + 1 >= n {
+                run_token.cancel();
+            }
+        }
+        engine.active_graph_into(step, scratch);
+        engine.sim().lans_interconnected(&scratch.active)
+    })?;
+
+    let total = report.outputs.len();
+    if report.resumed_from > 0 {
+        println!(
+            "resumed from checkpoint at step {}/{total}",
+            report.resumed_from
+        );
+    }
+    if let Some(cause) = report.stopped {
+        match &o.checkpoint {
+            Some(path) => {
+                println!(
+                    "interrupted ({cause}) at step {}/{total}; progress checkpointed to {}",
+                    report.completed,
+                    path.display()
+                );
+                println!(
+                    "resume: rerun the same command to continue from step {}",
+                    report.completed
+                );
+            }
+            None => println!(
+                "interrupted ({cause}) at step {}/{total}; no --checkpoint, progress discarded",
+                report.completed
+            ),
+        }
+        return Ok(Exit::Interrupted);
+    }
+    for p in &report.panics {
+        eprintln!("quarantined: {}", p.to_error());
+    }
+
+    if let Some(dir) = o.out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| QntnError::io("create_dir", dir, &e))?;
+        }
+    }
+    let mut csv = String::from("step,connected\n");
+    for (step, slot) in report.outputs.iter().enumerate() {
+        match slot {
+            Some(connected) => {
+                csv.push_str(&format!("{step},{}\n", u8::from(*connected)));
+            }
+            // Quarantined steps have no value; NA keeps the row count
+            // stable so downstream diffs stay aligned.
+            None => csv.push_str(&format!("{step},NA\n")),
+        }
+    }
+    atomic_write(&o.out, csv.as_bytes())?;
+    println!("wrote {}", o.out.display());
+
+    let connected = report.outputs.iter().flatten().filter(|&&c| c).count();
+    println!(
+        "coverage: {connected}/{total} steps connected ({:.2}%)",
+        100.0 * connected as f64 / total as f64
+    );
+    if let Some(path) = &o.checkpoint {
+        if path.exists() {
+            let _ = std::fs::remove_file(path);
+            println!("run complete; checkpoint {} removed", path.display());
+        }
+    }
+    Ok(Exit::Success)
 }
 
 /// The `bench` artifact: wall-time the full-day connectivity sweep on the
@@ -164,8 +493,12 @@ fn main() {
 /// so future changes have a baseline to regress against. The engine and
 /// naive flag vectors are asserted equal before anything is written
 /// (timing a wrong answer would be worthless).
-fn bench_sweep(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
-    use qntn_net::SweepEngine;
+fn bench_sweep(
+    scenario: &Qntn,
+    config: SimConfig,
+    quick: bool,
+    parallel: bool,
+) -> Result<(), QntnError> {
     use std::sync::Arc;
     use std::time::Instant;
 
@@ -207,22 +540,28 @@ fn bench_sweep(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) 
         "{{\n  \"benchmark\": \"sweep_day\",\n  \"satellites\": {n_sats},\n  \"steps\": {},\n  \"parallel\": {parallel},\n  \"wall_ms\": {{\n    \"engine_clean\": {engine_clean_ms:.1},\n    \"naive_clean\": {naive_clean_ms:.1},\n    \"engine_faulted\": {engine_faulted_ms:.1}\n  }}\n}}\n",
         sim.steps()
     );
-    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    atomic_write(Path::new("BENCH_sweep.json"), json.as_bytes())?;
     println!("wrote BENCH_sweep.json");
+    Ok(())
 }
 
-fn export(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
+fn export(
+    scenario: &Qntn,
+    config: SimConfig,
+    quick: bool,
+    parallel: bool,
+) -> Result<(), QntnError> {
     use qntn_core::report;
-    use std::fs;
-    let dir = std::path::Path::new("out");
-    fs::create_dir_all(dir).expect("create out/");
-    let write = |name: &str, contents: String| {
+    let dir = Path::new("out");
+    std::fs::create_dir_all(dir).map_err(|e| QntnError::io("create_dir", dir, &e))?;
+    let write = |name: &str, contents: String| -> Result<(), QntnError> {
         let path = dir.join(name);
-        fs::write(&path, contents).expect("write artifact");
+        atomic_write(&path, contents.as_bytes())?;
         println!("wrote {}", path.display());
+        Ok(())
     };
 
-    write("fig5.csv", report::fig5_csv(&FidelityCurve::paper()));
+    write("fig5.csv", report::fig5_csv(&FidelityCurve::paper()))?;
 
     let sizes = if quick {
         vec![6, 36, 108]
@@ -236,7 +575,7 @@ fn export(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
         PerturbationModel::TwoBody,
         parallel,
     );
-    write("fig6.csv", report::fig6_csv(&cov));
+    write("fig6.csv", report::fig6_csv(&cov))?;
 
     let settings = if quick {
         SweepSettings {
@@ -255,7 +594,7 @@ fn export(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
         PerturbationModel::TwoBody,
         parallel,
     );
-    write("fig7_fig8.csv", report::sweep_csv(&sweep));
+    write("fig7_fig8.csv", report::sweep_csv(&sweep))?;
 
     let experiment = if quick {
         FidelityExperiment {
@@ -266,21 +605,22 @@ fn export(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
     } else {
         FidelityExperiment::paper()
     };
-    let cmp = ComparisonReport::run(scenario, config, *sizes.last().unwrap(), experiment);
-    write("table3.txt", report::table3(&cmp));
+    let largest = sizes.last().copied().unwrap_or(108);
+    let cmp = ComparisonReport::run(scenario, config, largest, experiment);
+    write("table3.txt", report::table3(&cmp))?;
 
     let air = AirGround::new(scenario, config);
     let g = air.sim().active_graph_at(0);
     write(
         "topology_air_ground.dot",
         report::topology_dot(air.sim(), &g, "QNTN air-ground (t=0)"),
-    );
+    )?;
     let space = SpaceGround::new(scenario, 36, config, PerturbationModel::TwoBody);
     let g = space.sim().active_graph_at(0);
     write(
         "topology_space_ground_36.dot",
         report::topology_dot(space.sim(), &g, "QNTN space-ground, 36 satellites (t=0)"),
-    );
+    )?;
 
     let fault_exp = if quick {
         FaultExperiment::quick()
@@ -288,11 +628,12 @@ fn export(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
         FaultExperiment::standard()
     };
     let faults = fault_exp.run_with_options(scenario, config, parallel);
-    write("faults.csv", report::faults_csv(&faults));
+    write("faults.csv", report::faults_csv(&faults))?;
 
     // One satellite movement sheet, as the paper's STK workflow produced.
     let eph = SpaceGround::ephemerides(1, PerturbationModel::TwoBody);
-    write("movement_sheet_sat000.csv", eph[0].to_csv());
+    write("movement_sheet_sat000.csv", eph[0].to_csv())?;
+    Ok(())
 }
 
 fn banner(title: &str) {
@@ -332,12 +673,15 @@ fn table2() {
     println!("total: {} satellites, a = 6871 km, i = 53 deg", slots.len());
 }
 
-fn fig5() {
+fn fig5() -> Result<(), QntnError> {
     banner("Fig. 5 — transmissivity vs entanglement fidelity");
     let curve = FidelityCurve::paper();
     print!("{}", report::fig5_csv(&curve));
-    let th = curve.threshold_for_fidelity(0.9).unwrap();
+    let th = curve
+        .threshold_for_fidelity(0.9)
+        .ok_or_else(|| QntnError::Other("fig5: no sampled eta reaches F >= 0.9".into()))?;
     println!("# first eta with F >= 0.9: {th:.2} (paper threshold: 0.70)");
+    Ok(())
 }
 
 fn budgets() {
@@ -442,17 +786,18 @@ fn fig78(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool, artifa
     let served = ServedSeries::from_sweep(&sweep);
     let fid = FidelitySeries::from_sweep(&sweep);
     if artifact == "fig7" || artifact == "all" {
-        println!(
-            "# paper Fig. 7: 108 satellites -> 57.75% served; measured: {:.2}%",
-            served.served_percent.last().unwrap()
-        );
+        if let Some(last) = served.served_percent.last() {
+            println!("# paper Fig. 7: 108 satellites -> 57.75% served; measured: {last:.2}%");
+        }
     }
     if artifact == "fig8" || artifact == "all" {
-        println!(
-            "# paper Fig. 8: average fidelity 0.96; measured at 108: end-to-end {:.4}, per-link {:.4}",
-            fid.mean_fidelity.last().unwrap(),
-            fid.mean_link_fidelity.last().unwrap()
-        );
+        if let (Some(end2end), Some(per_link)) =
+            (fid.mean_fidelity.last(), fid.mean_link_fidelity.last())
+        {
+            println!(
+                "# paper Fig. 8: average fidelity 0.96; measured at 108: end-to-end {end2end:.4}, per-link {per_link:.4}"
+            );
+        }
     }
 }
 

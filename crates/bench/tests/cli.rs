@@ -1,18 +1,32 @@
 //! CLI contract tests for the `reproduce` binary: argument validation
 //! (unknown artifacts and flags are rejected with the usage text and exit
-//! code 2), the `--no-parallel` escape hatch, and the `faults` artifact.
+//! code 2), the `--no-parallel` escape hatch, the `faults` artifact, and
+//! the resilient `sweep` artifact's exit-code contract — interrupt (5),
+//! resume to a bit-identical CSV (0), corrupt checkpoint (4), chunk panic
+//! under fail-fast (6) and under `--quarantine` (0 with `NA` rows).
 //!
 //! Cargo builds the binary and exposes its path via
 //! `CARGO_BIN_EXE_reproduce`, so these run on the exact bits `cargo run`
 //! would use.
 
+use std::path::PathBuf;
 use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 fn reproduce(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_reproduce"))
         .args(args)
         .output()
         .expect("failed to spawn reproduce")
+}
+
+fn temp_path(tag: &str, ext: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "qntn_cli_{}_{}_{tag}.{ext}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
 }
 
 #[test]
@@ -75,5 +89,179 @@ fn faults_artifact_renders_the_degradation_ladder() {
     assert!(
         stdout.contains("ideal-conditions assumption"),
         "the intensity-0 anchor line is part of the contract: {stdout}"
+    );
+}
+
+#[test]
+fn sweep_flag_without_value_is_rejected() {
+    let out = reproduce(&["sweep", "--sats"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("needs a value"), "{stderr}");
+}
+
+#[test]
+fn sweep_flag_with_garbage_value_is_rejected() {
+    let out = reproduce(&["sweep", "--sats", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid value"), "{stderr}");
+    assert!(stderr.contains("`many`"), "{stderr}");
+}
+
+#[test]
+fn help_documents_the_resilience_surface() {
+    let out = reproduce(&["--help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["sweep", "--checkpoint", "--deadline-s", "exit codes:"] {
+        assert!(stdout.contains(needle), "help lacks `{needle}`: {stdout}");
+    }
+}
+
+/// The headline resilience contract, end to end through the process
+/// boundary: a run interrupted mid-sweep exits 5 with a checkpoint on
+/// disk, rerunning the same command resumes and exits 0, and the final
+/// CSV is byte-identical to an uninterrupted run's.
+#[test]
+fn sweep_interrupt_then_resume_matches_uninterrupted_run() {
+    let baseline_csv = temp_path("baseline", "csv");
+    let resumed_csv = temp_path("resumed", "csv");
+    let ckpt = temp_path("resume", "ckpt");
+    let baseline_s = baseline_csv.to_str().unwrap();
+    let resumed_s = resumed_csv.to_str().unwrap();
+    let ckpt_s = ckpt.to_str().unwrap();
+
+    let out = reproduce(&["sweep", "--sats", "2", "--out", baseline_s]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "uninterrupted run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let interrupted = reproduce(&[
+        "sweep",
+        "--sats",
+        "2",
+        "--out",
+        resumed_s,
+        "--checkpoint",
+        ckpt_s,
+        "--cancel-after-steps",
+        "200",
+    ]);
+    assert_eq!(
+        interrupted.status.code(),
+        Some(5),
+        "stderr: {}",
+        String::from_utf8_lossy(&interrupted.stderr)
+    );
+    assert!(ckpt.exists(), "interrupted run left no checkpoint");
+    assert!(!resumed_csv.exists(), "partial run must not write the CSV");
+
+    let resumed = reproduce(&[
+        "sweep",
+        "--sats",
+        "2",
+        "--out",
+        resumed_s,
+        "--checkpoint",
+        ckpt_s,
+    ]);
+    assert_eq!(
+        resumed.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&resumed.stdout);
+    assert!(stdout.contains("resumed from checkpoint"), "{stdout}");
+    assert!(!ckpt.exists(), "checkpoint survives a completed run");
+
+    let a = std::fs::read(&baseline_csv).unwrap();
+    let b = std::fs::read(&resumed_csv).unwrap();
+    assert_eq!(a, b, "resumed CSV differs from uninterrupted CSV");
+    std::fs::remove_file(&baseline_csv).ok();
+    std::fs::remove_file(&resumed_csv).ok();
+}
+
+#[test]
+fn sweep_rejects_a_corrupt_checkpoint_with_exit_4() {
+    let csv = temp_path("corrupt", "csv");
+    let ckpt = temp_path("corrupt", "ckpt");
+    std::fs::write(&ckpt, b"not a checkpoint frame at all").unwrap();
+    let out = reproduce(&[
+        "sweep",
+        "--sats",
+        "2",
+        "--out",
+        csv.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&csv).ok();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
+fn sweep_panicking_chunk_fails_fast_with_exit_6() {
+    let csv = temp_path("failfast", "csv");
+    let out = reproduce(&[
+        "sweep",
+        "--sats",
+        "2",
+        "--out",
+        csv.to_str().unwrap(),
+        "--inject-panic-step",
+        "100",
+    ]);
+    std::fs::remove_file(&csv).ok();
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn sweep_quarantine_completes_and_marks_the_poisoned_step() {
+    let csv = temp_path("quarantine", "csv");
+    let out = reproduce(&[
+        "sweep",
+        "--sats",
+        "2",
+        "--out",
+        csv.to_str().unwrap(),
+        "--inject-panic-step",
+        "100",
+        "--quarantine",
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("quarantined:"), "{stderr}");
+    let body = std::fs::read_to_string(&csv).unwrap();
+    std::fs::remove_file(&csv).ok();
+    assert!(body.contains("100,NA"), "poisoned step not marked NA");
+    assert_eq!(
+        body.lines().count(),
+        2881,
+        "header plus one row per step, even with a quarantined chunk"
     );
 }

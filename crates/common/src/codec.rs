@@ -1,0 +1,324 @@
+//! A tiny deterministic binary codec for checkpoint payloads.
+//!
+//! The vendored `serde` stand-in is inert (derives expand to nothing), so
+//! checkpoint frames cannot serialize through it. [`FrameCodec`] is the
+//! replacement: a hand-rolled little-endian encoding with explicit length
+//! prefixes, `f64` stored as raw bit patterns (round-trips are bit-exact —
+//! the property the resume-≡-uninterrupted contract depends on), and
+//! decoding that never panics — every malformed input surfaces as a
+//! [`DecodeError`] the frame layer turns into
+//! [`QntnError::CorruptFrame`](crate::QntnError::CorruptFrame).
+
+use std::fmt;
+
+/// A decode failure: what was being read and why it failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn err<T>(what: &str, detail: impl fmt::Display) -> Result<T, DecodeError> {
+    Err(DecodeError(format!("{what}: {detail}")))
+}
+
+/// A bounds-checked reader over an encoded payload.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return err(
+                "payload truncated",
+                format!("needed {n} bytes, {} left", self.remaining()),
+            );
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Fail unless every byte has been consumed (guards against frames
+    /// whose payload is longer than the encoded structure — a corruption
+    /// signature, not slack to ignore).
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return err(
+                "payload has trailing bytes",
+                format!("{} unconsumed", self.remaining()),
+            );
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Types that can round-trip through a checkpoint frame payload.
+///
+/// `decode(encode(x)) == x` must hold bit-exactly (floats compare by bit
+/// pattern), and `decode` must reject malformed input with an error rather
+/// than panic.
+pub trait FrameCodec: Sized {
+    /// Append the encoding of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one value from `r`.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError>;
+}
+
+impl FrameCodec for u8 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.u8()
+    }
+}
+
+impl FrameCodec for u32 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.u32()
+    }
+}
+
+impl FrameCodec for u64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        r.u64()
+    }
+}
+
+impl FrameCodec for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let v = r.u64()?;
+        usize::try_from(v).or_else(|_| err("usize out of range", v))
+    }
+}
+
+impl FrameCodec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => err("bool byte", other),
+        }
+    }
+}
+
+impl FrameCodec for f64 {
+    /// Stored as the raw IEEE-754 bit pattern: NaN payloads, signed zeros
+    /// and every finite value round-trip unchanged.
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.to_bits().encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(f64::from_bits(r.u64()?))
+    }
+}
+
+impl FrameCodec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let n = usize::decode(r)?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec()).or_else(|e| err("string not utf-8", e))
+    }
+}
+
+impl<T: FrameCodec> FrameCodec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let n = usize::decode(r)?;
+        // Guard allocation against a corrupt length word: every element
+        // takes at least one byte, so a length beyond the remaining bytes
+        // is structurally impossible.
+        if n > r.remaining() {
+            return err("vec length exceeds payload", n);
+        }
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(T::decode(r)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: FrameCodec> FrameCodec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            other => err("option tag", other),
+        }
+    }
+}
+
+impl<A: FrameCodec, B: FrameCodec> FrameCodec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: FrameCodec, B: FrameCodec, C: FrameCodec> FrameCodec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+/// Encode one value into a fresh buffer.
+pub fn encode_to_vec<T: FrameCodec>(value: &T) -> Vec<u8> {
+    let mut out = Vec::new();
+    value.encode(&mut out);
+    out
+}
+
+/// Decode one value from a whole buffer, requiring full consumption.
+pub fn decode_all<T: FrameCodec>(bytes: &[u8]) -> Result<T, DecodeError> {
+    let mut r = ByteReader::new(bytes);
+    let v = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: FrameCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = encode_to_vec(&v);
+        assert_eq!(decode_all::<T>(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u8);
+        round_trip(255u8);
+        round_trip(0xdead_beefu32);
+        round_trip(u64::MAX);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(String::from("QNTN ✓"));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for v in [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::NAN] {
+            let bytes = encode_to_vec(&v);
+            let back = decode_all::<f64>(&bytes).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<bool>::new());
+        round_trip(Some(vec![0.25f64, -0.5]));
+        round_trip(Option::<u32>::None);
+        round_trip((7usize, String::from("x")));
+        round_trip((1u8, 2u64, vec![true, false]));
+    }
+
+    #[test]
+    fn truncation_is_rejected_not_panicking() {
+        let bytes = encode_to_vec(&vec![1u64, 2, 3]);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_all::<Vec<u64>>(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes decoded"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_to_vec(&42u64);
+        bytes.push(0);
+        assert!(decode_all::<u64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected() {
+        // A vec claiming u64::MAX elements must fail cleanly, not allocate.
+        let bytes = encode_to_vec(&u64::MAX);
+        assert!(decode_all::<Vec<u8>>(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert!(decode_all::<bool>(&[2]).is_err());
+        assert!(decode_all::<Option<u8>>(&[9, 1]).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! Cooperative cancellation and deadlines for long-running sweeps.
+//!
+//! A full-day 108-satellite sweep is seconds of work; a multi-day horizon
+//! or a service-mode batch is minutes to hours. [`RunControl`] is the
+//! budget threaded through the sweep runtime: a [`CancelToken`] an
+//! operator (or a Ctrl-C handler) can trip, plus an optional wall-clock
+//! [`Deadline`]. Runs poll it at chunk boundaries and stop with a
+//! *well-formed partial result* — a checkpoint on disk and a report of how
+//! far they got — instead of being torn down mid-write.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run stopped before completing every step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopCause {
+    /// The [`CancelToken`] was tripped (operator request, signal handler).
+    Cancelled,
+    /// The wall-clock [`Deadline`] expired.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for StopCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopCause::Cancelled => f.write_str("cancelled"),
+            StopCause::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Flag {
+    Shared(Arc<AtomicBool>),
+    /// Backed by a `static` — what an async-signal-safe SIGINT handler
+    /// needs, since a handler cannot own an `Arc`.
+    Static(&'static AtomicBool),
+}
+
+/// A cooperative cancellation flag. Cloning shares the flag: any clone's
+/// [`cancel`](CancelToken::cancel) is visible to every other clone.
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    flag: Flag,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            flag: Flag::Shared(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// A token observing a `static` flag — lets an OS signal handler
+    /// (which can only touch `static` state) participate in cooperative
+    /// cancellation.
+    pub fn from_static(flag: &'static AtomicBool) -> CancelToken {
+        CancelToken {
+            flag: Flag::Static(flag),
+        }
+    }
+
+    /// Trip the flag. Idempotent.
+    pub fn cancel(&self) {
+        match &self.flag {
+            Flag::Shared(f) => f.store(true, Ordering::SeqCst),
+            Flag::Static(f) => f.store(true, Ordering::SeqCst),
+        }
+    }
+
+    /// Has the flag been tripped (by any clone or the backing static)?
+    pub fn is_cancelled(&self) -> bool {
+        match &self.flag {
+            Flag::Shared(f) => f.load(Ordering::SeqCst),
+            Flag::Static(f) => f.load(Ordering::SeqCst),
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+/// A wall-clock deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before expiry (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// The cancellation/deadline budget a resilient run polls between chunks.
+#[derive(Debug, Clone, Default)]
+pub struct RunControl {
+    cancel: Option<CancelToken>,
+    deadline: Option<Deadline>,
+}
+
+impl RunControl {
+    /// No cancellation, no deadline — runs to completion.
+    pub fn unlimited() -> RunControl {
+        RunControl::default()
+    }
+
+    /// Attach a cancel token.
+    pub fn with_cancel(mut self, token: CancelToken) -> RunControl {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Deadline) -> RunControl {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached cancel token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Should the run stop now? Cancellation outranks the deadline when
+    /// both have triggered (the operator's explicit request is the more
+    /// specific signal).
+    pub fn should_stop(&self) -> Option<StopCause> {
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Some(StopCause::Cancelled);
+        }
+        if self.deadline.as_ref().is_some_and(Deadline::expired) {
+            return Some(StopCause::DeadlineExceeded);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_clones_share_state() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+    }
+
+    #[test]
+    fn static_backed_token_observes_the_flag() {
+        static FLAG: AtomicBool = AtomicBool::new(false);
+        let t = CancelToken::from_static(&FLAG);
+        assert!(!t.is_cancelled());
+        FLAG.store(true, Ordering::SeqCst);
+        assert!(t.is_cancelled());
+        FLAG.store(false, Ordering::SeqCst); // restore for other tests
+    }
+
+    #[test]
+    fn unlimited_control_never_stops() {
+        assert_eq!(RunControl::unlimited().should_stop(), None);
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_run() {
+        let c = RunControl::unlimited().with_deadline(Deadline::after(Duration::ZERO));
+        assert_eq!(c.should_stop(), Some(StopCause::DeadlineExceeded));
+        assert_eq!(Deadline::after(Duration::ZERO).remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn cancellation_outranks_the_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let c = RunControl::unlimited()
+            .with_cancel(token)
+            .with_deadline(Deadline::after(Duration::ZERO));
+        assert_eq!(c.should_stop(), Some(StopCause::Cancelled));
+    }
+
+    #[test]
+    fn future_deadline_does_not_stop() {
+        let c = RunControl::unlimited().with_deadline(Deadline::after(Duration::from_secs(3600)));
+        assert_eq!(c.should_stop(), None);
+    }
+}

@@ -12,6 +12,28 @@
 //! [`QntnError`] is the workspace's structured error enum, replacing the
 //! ad-hoc `Result<_, String>` signatures that configuration validation
 //! used to return.
+//!
+//! The resilience layer lives here too, because both `qntn-net` (the sweep
+//! runtime) and `qntn-bench` (the `reproduce` binary) need it:
+//!
+//! - [`codec`] — a tiny self-describing binary codec ([`codec::FrameCodec`])
+//!   for checkpoint payloads; the vendored `serde` stub is inert, so
+//!   checkpoint frames encode through this instead.
+//! - [`frame`] — CRC32-checksummed, versioned frame files plus the one
+//!   atomic write-temp-fsync-rename helper every artifact write goes
+//!   through.
+//! - [`control`] — cooperative cancellation ([`control::CancelToken`]) and
+//!   wall-clock deadlines ([`control::Deadline`]), bundled as a
+//!   [`control::RunControl`] that long-running sweeps poll at chunk
+//!   boundaries.
+
+pub mod codec;
+pub mod control;
+pub mod frame;
+
+pub use codec::{ByteReader, FrameCodec};
+pub use control::{CancelToken, Deadline, RunControl, StopCause};
+pub use frame::{atomic_write, fnv1a64, read_frame, write_frame_atomic};
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -90,8 +112,48 @@ pub enum QntnError {
         expected: usize,
         got: usize,
     },
+    /// An I/O operation failed. `op` names the operation (`"write"`,
+    /// `"rename"`, …), `path` the file involved; `message` is the rendered
+    /// OS error (kept as a string so the variant stays `Clone + PartialEq`).
+    Io {
+        op: &'static str,
+        path: String,
+        message: String,
+    },
+    /// A checkpoint/artifact frame failed structural validation: bad magic,
+    /// unsupported version, truncation, or a CRC32 mismatch. Never silently
+    /// recovered from — a corrupt checkpoint must be deleted (or the run
+    /// restarted fresh), not trusted.
+    CorruptFrame { path: String, detail: String },
+    /// A checkpoint frame is structurally valid but belongs to a different
+    /// run (parameter fingerprint, step set, or length disagree).
+    CheckpointMismatch {
+        what: &'static str,
+        expected: u64,
+        got: u64,
+    },
+    /// A parallel sweep chunk panicked. The runtime quarantines the chunk
+    /// (its steps carry no output) and either fails fast with this error or
+    /// reports it alongside the healthy chunks' results, per policy.
+    ChunkPanic {
+        /// First and last simulation step of the poisoned range, inclusive.
+        step_range: (usize, usize),
+        /// The panic payload, rendered to a string.
+        payload: String,
+    },
     /// Anything that does not fit the structured variants.
     Other(String),
+}
+
+impl QntnError {
+    /// Build an [`QntnError::Io`] from a `std::io::Error` with context.
+    pub fn io(op: &'static str, path: &std::path::Path, err: &std::io::Error) -> QntnError {
+        QntnError::Io {
+            op,
+            path: path.display().to_string(),
+            message: err.to_string(),
+        }
+    }
 }
 
 impl fmt::Display for QntnError {
@@ -107,6 +169,27 @@ impl fmt::Display for QntnError {
                 expected,
                 got,
             } => write!(f, "{what}: expected {expected}, got {got}"),
+            QntnError::Io { op, path, message } => {
+                write!(f, "{op} {path}: {message}")
+            }
+            QntnError::CorruptFrame { path, detail } => {
+                write!(f, "corrupt frame {path}: {detail}")
+            }
+            QntnError::CheckpointMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "checkpoint is from a different run: {what} expected {expected}, got {got}"
+            ),
+            QntnError::ChunkPanic {
+                step_range: (lo, hi),
+                payload,
+            } => write!(
+                f,
+                "sweep chunk covering steps {lo}..={hi} panicked: {payload}"
+            ),
             QntnError::Other(msg) => f.write_str(msg),
         }
     }

@@ -30,6 +30,10 @@
 //!   (Scene → LinkMap → Topology): the one code path that turns positions
 //!   and η into a per-step graph, shared by the naive `graph_at*` family,
 //!   the [`sweep_engine::SweepEngine`], and every fault-masked variant.
+//! - [`runtime`] — the resilient execution runtime layered on the engine:
+//!   checkpoint/resume (interrupted-then-resumed ≡ uninterrupted,
+//!   bit-identical), cooperative cancellation and deadlines, and per-chunk
+//!   panic isolation with a fail-fast vs. quarantine policy knob.
 //!
 //! Determinism: given one seed, every statistic is bit-reproducible; the
 //! rayon-parallel sweeps chunk by time step and merge in index order.
@@ -44,6 +48,7 @@ pub mod host;
 pub mod linkeval;
 pub mod pipeline;
 pub mod requests;
+pub mod runtime;
 pub mod simulator;
 pub mod snapshot;
 pub mod sweep_engine;
@@ -62,6 +67,7 @@ pub use pipeline::{
 pub use requests::{
     Request, RequestOutcome, RequestWorkload, RetryOutcome, RetryPolicy, RetryStats,
 };
+pub use runtime::{run_steps, ChunkPanicReport, PanicPolicy, RunPolicy, RunReport};
 pub use simulator::QuantumNetworkSim;
 pub use snapshot::{LinkClass, Snapshot};
 pub use sweep_engine::{SweepEngine, SweepScratch};

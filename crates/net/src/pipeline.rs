@@ -40,7 +40,7 @@ use crate::faults::CompiledFaults;
 use crate::host::{Host, HostKind};
 use crate::linkeval::LinkEvaluator;
 use crate::simulator::QuantumNetworkSim;
-use qntn_common::{HostId, SatId, StepId};
+use qntn_common::{HostId, RunControl, SatId, StepId, StopCause};
 use qntn_geo::{Enu, Geodetic, Vec3, WGS84};
 use qntn_orbit::{Ephemeris, PassPredictor};
 use qntn_routing::Graph;
@@ -71,34 +71,60 @@ impl ContactWindows {
 
     /// Precompute windows for every step of every `(low, satellite)` pair.
     pub fn compute(lows: &[Geodetic], ephemerides: &[&Ephemeris], n_steps: usize) -> Self {
+        match Self::compute_with_control(lows, ephemerides, n_steps, &RunControl::unlimited()) {
+            Ok(windows) => windows,
+            Err(cause) => unreachable!("unlimited control stopped a precompute: {cause}"),
+        }
+    }
+
+    /// [`ContactWindows::compute`] under a cancellation/deadline budget,
+    /// polled between per-satellite batches. A stopped precompute has no
+    /// useful partial result, so it returns the [`StopCause`] instead of a
+    /// torn table.
+    pub fn compute_with_control(
+        lows: &[Geodetic],
+        ephemerides: &[&Ephemeris],
+        n_steps: usize,
+        control: &RunControl,
+    ) -> Result<Self, StopCause> {
         let n_lows = lows.len();
         if n_lows > Self::MAX_LOWS {
-            return Self::all_visible(n_steps, n_lows, ephemerides.len());
+            return Ok(Self::all_visible(n_steps, n_lows, ephemerides.len()));
         }
         let predictors: Vec<PassPredictor> = lows
             .iter()
             .map(|&site| PassPredictor::new(site, 0.0))
             .collect();
-        let masks = ephemerides
-            .par_iter()
-            .map(|eph| {
-                let mut mask = vec![0u64; n_steps];
-                for (slot, pred) in predictors.iter().enumerate() {
-                    let flags = pred.above_horizon_flags(eph);
-                    for (k, word) in mask.iter_mut().enumerate() {
-                        if flags.get(k).copied().unwrap_or(false) {
-                            *word |= 1 << slot;
+        // Batch the satellites so cancellation has chunk granularity
+        // without a per-sample check on the hot path.
+        const BATCH: usize = 8;
+        let mut masks = Vec::with_capacity(ephemerides.len());
+        for batch in ephemerides.chunks(BATCH) {
+            if let Some(cause) = control.should_stop() {
+                return Err(cause);
+            }
+            let part: Vec<Arc<Vec<u64>>> = batch
+                .par_iter()
+                .map(|eph| {
+                    let mut mask = vec![0u64; n_steps];
+                    for (slot, pred) in predictors.iter().enumerate() {
+                        let flags = pred.above_horizon_flags(eph);
+                        for (k, word) in mask.iter_mut().enumerate() {
+                            if flags.get(k).copied().unwrap_or(false) {
+                                *word |= 1 << slot;
+                            }
                         }
                     }
-                }
-                Arc::new(mask)
-            })
-            .collect();
-        ContactWindows {
+                    Arc::new(mask)
+                })
+                .collect();
+            masks.extend(part);
+        }
+        Ok(ContactWindows {
             n_steps,
             n_lows,
             masks,
-        }
+        })
     }
 
     /// Precompute windows only at `steps` (e.g. the 100 sampled steps of a
@@ -155,6 +181,15 @@ impl ContactWindows {
     pub fn for_sim_steps(sim: &QuantumNetworkSim, steps: &[usize]) -> Self {
         let (lows, ephs) = Self::sim_geometry(sim);
         Self::compute_for_steps(&lows, &ephs, sim.steps(), steps)
+    }
+
+    /// [`ContactWindows::for_sim`] under a cancellation/deadline budget.
+    pub fn for_sim_with_control(
+        sim: &QuantumNetworkSim,
+        control: &RunControl,
+    ) -> Result<Self, StopCause> {
+        let (lows, ephs) = Self::sim_geometry(sim);
+        Self::compute_with_control(&lows, &ephs, sim.steps(), control)
     }
 
     fn sim_geometry(sim: &QuantumNetworkSim) -> (Vec<Geodetic>, Vec<&Ephemeris>) {

@@ -88,6 +88,19 @@ impl<'a> SweepEngine<'a> {
         Self::with_windows(sim, ContactWindows::for_sim_steps(sim, steps))
     }
 
+    /// [`SweepEngine::new`] with the full-day window precompute itself
+    /// under a cancellation/deadline budget — the precompute is the one
+    /// setup phase long enough to need it on large constellations.
+    pub fn try_new(
+        sim: &'a QuantumNetworkSim,
+        control: &qntn_common::RunControl,
+    ) -> Result<Self, qntn_common::StopCause> {
+        Ok(Self::with_windows(
+            sim,
+            ContactWindows::for_sim_with_control(sim, control)?,
+        ))
+    }
+
     /// An engine reusing precomputed windows — e.g. a
     /// [`ContactWindows::prefix`] of one full-constellation precompute
     /// shared across every size of a constellation sweep.

@@ -14,15 +14,20 @@
 //! ## Crate map
 //!
 //! - [`common`] — typed indices ([`common::HostId`], [`common::SatId`],
-//!   [`common::StepId`]) and the workspace error type
-//!   ([`common::QntnError`]).
+//!   [`common::StepId`]), the workspace error type ([`common::QntnError`]),
+//!   and the resilience primitives: checksummed checkpoint frames with
+//!   atomic writes ([`common::frame`]), a bit-exact binary codec
+//!   ([`common::codec`]), and cooperative cancellation/deadlines
+//!   ([`common::RunControl`]).
 //! - [`geo`] — geodesy: WGS-84, ECEF/ECI/ENU frames, elevation & slant range.
 //! - [`orbit`] — Keplerian propagation, Walker-Delta constellations,
 //!   ephemerides ("movement sheets"), visibility passes.
 //! - [`quantum`] — density matrices, Kraus channels, entanglement fidelity.
 //! - [`channel`] — fiber and free-space-optical transmissivity models.
 //! - [`routing`] — the paper's Bellman–Ford entanglement routing + baselines.
-//! - [`net`] — the discrete-time quantum network simulator.
+//! - [`net`] — the discrete-time quantum network simulator, including the
+//!   resilient sweep runtime ([`net::runtime`]): checkpoint/resume at chunk
+//!   granularity with panic isolation per step.
 //! - [`core`] — the QNTN scenario, both architectures, and every experiment.
 //!
 //! ## Quickstart

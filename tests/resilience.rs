@@ -1,0 +1,247 @@
+//! Property tests over the resilience layer: checkpoint frames must
+//! round-trip bit-exactly and reject any single-byte corruption, and the
+//! crash-injection harness must prove the headline invariant of the sweep
+//! runtime — *interrupted-then-resumed ≡ uninterrupted, bit-identical* —
+//! for arbitrary kill points, chunk sizes and fault seeds, not just the
+//! hand-picked ones in unit tests.
+//!
+//! Case counts are small by default so `cargo test` stays fast; the
+//! nightly CI job sets `PROPTEST_CASES=2048` to deepen every block.
+
+use proptest::prelude::*;
+use qntn::common::{frame, CancelToken, QntnError, RunControl};
+use qntn::geo::{Epoch, Geodetic};
+use qntn::net::faults::FaultModel;
+use qntn::net::runtime::{run_steps, PanicPolicy, RunPolicy};
+use qntn::net::{Host, QuantumNetworkSim, SimConfig, SweepEngine};
+use qntn::orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// `ProptestConfig` with `n` cases, overridable via `PROPTEST_CASES`
+/// (nightly CI runs this suite with `PROPTEST_CASES=2048`).
+fn cases_or(n: u32) -> ProptestConfig {
+    ProptestConfig::with_cases(proptest::test_runner::env_case_count().unwrap_or(n))
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    std::env::temp_dir().join(format!(
+        "qntn_resilience_{}_{}_{tag}.ckpt",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One small three-LAN, four-satellite day shared by every crash-injection
+/// case (simulator construction dominates otherwise; the engine and fault
+/// mask stay per-case).
+fn shared_sim() -> &'static QuantumNetworkSim {
+    static SIM: OnceLock<QuantumNetworkSim> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let steps = 96;
+        let mut hosts = vec![
+            Host::ground(
+                "TTU-0",
+                0,
+                Geodetic::from_deg(36.1757, -85.5066, 300.0),
+                1.2,
+            ),
+            Host::ground(
+                "TTU-1",
+                0,
+                Geodetic::from_deg(36.1751, -85.5067, 300.0),
+                1.2,
+            ),
+            Host::ground("ORNL-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+            Host::ground(
+                "EPB-0",
+                2,
+                Geodetic::from_deg(35.04159, -85.2799, 200.0),
+                1.2,
+            ),
+        ];
+        let props: Vec<Propagator> = paper_constellation(4)
+            .into_iter()
+            .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+            .collect();
+        let ephs = Ephemeris::generate_many(&props, Epoch::J2000, 30.0, steps as f64 * 30.0);
+        for (i, eph) in ephs.into_iter().enumerate() {
+            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
+        }
+        QuantumNetworkSim::new(hosts, SimConfig::default(), steps, 30.0)
+    })
+}
+
+proptest! {
+    #![proptest_config(cases_or(24))]
+
+    #[test]
+    fn checkpoint_frames_round_trip_bit_exactly(
+        words in prop::collection::vec(any::<u64>(), 0usize..48),
+        version in 1u64..9,
+    ) {
+        let payload: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let path = temp_path("roundtrip");
+        frame::write_frame_atomic(&path, version as u32, &payload)
+            .map_err(|e| e.to_string())?;
+        let back = frame::read_frame(&path, version as u32);
+        std::fs::remove_file(&path).ok();
+        prop_assert_eq!(back.map_err(|e| e.to_string())?, payload);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_rejected(
+        words in prop::collection::vec(any::<u64>(), 1usize..32),
+        pos_seed in any::<u64>(),
+        flip in 1u64..256,
+    ) {
+        let payload: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let path = temp_path("corrupt");
+        frame::write_frame_atomic(&path, 1, &payload).map_err(|e| e.to_string())?;
+        let mut bytes = std::fs::read(&path).map_err(|e| e.to_string())?;
+        let pos = (pos_seed as usize) % bytes.len();
+        bytes[pos] ^= flip as u8;
+        std::fs::write(&path, &bytes).map_err(|e| e.to_string())?;
+        let result = frame::read_frame(&path, 1);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            matches!(result, Err(QntnError::CorruptFrame { .. })),
+            "flip of byte {pos} by {flip:#04x} was accepted"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(cases_or(8))]
+
+    #[test]
+    fn interrupted_then_resumed_is_bit_identical_under_faults(
+        kill_after in 1usize..90,
+        chunk in 1usize..24,
+        fault_seed in any::<u64>(),
+        intensity in 0.0..4.0f64,
+    ) {
+        let sim = shared_sim();
+        let faults = Arc::new(
+            FaultModel::standard(fault_seed)
+                .with_intensity(intensity)
+                .compile(sim),
+        );
+        let engine = SweepEngine::new(sim).with_faults(faults);
+        let steps: Vec<usize> = (0..sim.steps()).collect();
+        let uninterrupted = engine.connectivity_flags();
+
+        let fingerprint =
+            frame::fingerprint(&[fault_seed, intensity.to_bits(), sim.steps() as u64]);
+        let ckpt = temp_path("crash");
+
+        // Phase 1: run with a deterministic crash injection — cancel after
+        // `kill_after` step evaluations; the runtime stops at the next
+        // chunk boundary with a checkpoint on disk.
+        let token = CancelToken::new();
+        let evals = AtomicUsize::new(0);
+        let interrupted_policy = RunPolicy::default()
+            .with_chunk_steps(chunk)
+            .with_checkpoint(&ckpt)
+            .with_control(RunControl::unlimited().with_cancel(token.clone()));
+        let partial = run_steps(&engine, &steps, fingerprint, &interrupted_policy, |scratch, step| {
+            if evals.fetch_add(1, Ordering::SeqCst) + 1 >= kill_after {
+                token.cancel();
+            }
+            engine.active_graph_into(step, scratch);
+            engine.sim().lans_interconnected(&scratch.active)
+        })
+        .map_err(|e| e.to_string())?;
+        prop_assert!(ckpt.exists(), "no checkpoint written");
+
+        // Phase 2: resume without interference; the combined outputs must
+        // equal the uninterrupted run's, bit for bit.
+        let resume_policy = RunPolicy::default()
+            .with_chunk_steps(chunk)
+            .with_checkpoint(&ckpt);
+        let full = run_steps(&engine, &steps, fingerprint, &resume_policy, |scratch, step| {
+            engine.active_graph_into(step, scratch);
+            engine.sim().lans_interconnected(&scratch.active)
+        })
+        .map_err(|e| e.to_string());
+        std::fs::remove_file(&ckpt).ok();
+        let full = full?;
+
+        prop_assert_eq!(full.resumed_from, partial.completed, "resume offset");
+        prop_assert!(full.is_clean());
+        let outputs = full.into_clean_outputs().ok_or("incomplete resumed run")?;
+        prop_assert_eq!(outputs, uninterrupted);
+    }
+
+    #[test]
+    fn quarantine_isolates_a_panicking_step_under_faults(
+        panic_step in 0usize..96,
+        chunk in 1usize..24,
+        fault_seed in any::<u64>(),
+    ) {
+        let sim = shared_sim();
+        let faults = Arc::new(FaultModel::standard(fault_seed).with_intensity(1.0).compile(sim));
+        let engine = SweepEngine::new(sim).with_faults(faults);
+        let steps: Vec<usize> = (0..sim.steps()).collect();
+        let uninterrupted = engine.connectivity_flags();
+
+        let policy = RunPolicy::default()
+            .with_chunk_steps(chunk)
+            .with_panic_policy(PanicPolicy::Quarantine);
+        let report = run_steps(&engine, &steps, 0, &policy, |scratch, step| {
+            assert!(step != panic_step, "injected panic at step {step}");
+            engine.active_graph_into(step, scratch);
+            engine.sim().lans_interconnected(&scratch.active)
+        })
+        .map_err(|e| e.to_string())?;
+
+        // The run completes, the poisoned step is quarantined with a
+        // structured report, and every healthy step's output matches the
+        // panic-free run bit for bit.
+        prop_assert!(report.is_complete());
+        prop_assert_eq!(report.panics.len(), 1);
+        prop_assert_eq!(report.panics[0].step_range, (panic_step, panic_step));
+        prop_assert!(report.panics[0].payload.contains("injected panic"));
+        for (step, slot) in report.outputs.iter().enumerate() {
+            if step == panic_step {
+                prop_assert!(slot.is_none(), "panicked step has an output");
+            } else {
+                prop_assert_eq!(*slot, Some(uninterrupted[step]), "step {}", step);
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_checkpoints_the_healthy_prefix(
+        panic_step in 8usize..96,
+        chunk in 1usize..8,
+    ) {
+        let sim = shared_sim();
+        let engine = SweepEngine::new(sim);
+        let steps: Vec<usize> = (0..sim.steps()).collect();
+        let ckpt = temp_path("failfast");
+
+        let policy = RunPolicy::default()
+            .with_chunk_steps(chunk)
+            .with_checkpoint(&ckpt);
+        let err = run_steps::<bool, _>(&engine, &steps, 5, &policy, |_, step| {
+            assert!(step != panic_step, "boom at step {step}");
+            true
+        });
+        prop_assert!(
+            matches!(err, Err(QntnError::ChunkPanic { .. })),
+            "fail-fast did not surface a ChunkPanic"
+        );
+        // The chunks before the poisoned one survive in the checkpoint, so
+        // a fixed-up rerun does not repeat them.
+        prop_assert!(ckpt.exists(), "no progress checkpoint written");
+        let resumed = run_steps::<bool, _>(&engine, &steps, 5, &policy, |_, _| true)
+            .map_err(|e| e.to_string());
+        std::fs::remove_file(&ckpt).ok();
+        let resumed = resumed?;
+        prop_assert_eq!(resumed.resumed_from, (panic_step / chunk) * chunk);
+        prop_assert!(resumed.is_clean());
+    }
+}
