@@ -30,8 +30,11 @@
 //! never leaves a torn artifact; every failure exits with a distinct code
 //! (see `USAGE`) instead of a panic.
 //! ```
-
-#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//!
+//! The panic-free bar is enforced mechanically by `qntn-lint`'s
+//! `no-panic-bins` rule (`cargo lint`), which covers every workspace
+//! binary — it replaced the in-source clippy `unwrap_used`/`expect_used`
+//! deny attributes this file used to carry.
 
 use qntn_channel::fso::{FsoChannel, FsoGeometry};
 use qntn_channel::params::FsoParams;
@@ -408,6 +411,7 @@ fn sweep(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<Exit, QntnErro
     let evals = AtomicUsize::new(0);
     let report = run_steps(&engine, &steps, fingerprint, &policy, |scratch, step| {
         if o.inject_panic_step == Some(step) {
+            // qntn-lint: allow(no-panic-bins) -- the --inject-panic-step crash-injection knob panics by design
             panic!("injected panic at step {step}");
         }
         if sigint.is_cancelled() {

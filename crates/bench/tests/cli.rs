@@ -190,6 +190,7 @@ fn sweep_interrupt_then_resume_matches_uninterrupted_run() {
 fn sweep_rejects_a_corrupt_checkpoint_with_exit_4() {
     let csv = temp_path("corrupt", "csv");
     let ckpt = temp_path("corrupt", "ckpt");
+    // qntn-lint: allow(atomic-writes-only) -- plants a garbage checkpoint to prove the exit-4 rejection path
     std::fs::write(&ckpt, b"not a checkpoint frame at all").unwrap();
     let out = reproduce(&[
         "sweep",

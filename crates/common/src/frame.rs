@@ -114,6 +114,7 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), QntnError> {
     ));
 
     let result = (|| {
+        // qntn-lint: allow(atomic-writes-only) -- this IS atomic_write: the one canonical temp-file creation
         let mut f = fs::File::create(&tmp).map_err(|e| QntnError::io("create", &tmp, &e))?;
         f.write_all(bytes)
             .map_err(|e| QntnError::io("write", &tmp, &e))?;

@@ -1,0 +1,9 @@
+//! Fixture: a panicking binary. All three sites below must be flagged by
+//! `no-panic-bins`.
+
+fn main() {
+    let v: Option<u32> = None;
+    v.unwrap();
+    let _ = v.expect("boom");
+    panic!("bad");
+}

@@ -1,0 +1,9 @@
+//! Fixture: direct artifact writes bypassing `atomic_write`.
+//! Both calls below must be flagged by `atomic-writes-only`.
+
+use std::fs;
+
+pub fn dump(path: &std::path::Path, bytes: &[u8]) {
+    let _ = fs::write(path, bytes);
+    let _ = std::fs::File::create(path);
+}

@@ -1,0 +1,5 @@
+//! Fixture: malformed pragmas. Both must surface as `bad-pragma`.
+
+// qntn-lint: allow(no-such-rule) -- the rule id does not exist
+// qntn-lint: allow(determinism)
+pub fn noop() {}

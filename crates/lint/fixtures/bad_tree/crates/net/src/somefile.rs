@@ -1,0 +1,7 @@
+//! Fixture: a second per-step materializer outside the pipeline module.
+//! Both edge mutations below must be flagged by `single-materializer`.
+
+pub fn rebuild(g: &mut qntn_routing::Graph) {
+    g.set_edge(0, 1, 0.5);
+    g.remove_edge(0, 1);
+}

@@ -1,0 +1,12 @@
+//! Fixture: nondeterminism in a sweep hot path.
+//! `determinism` must flag the wall-clock read and every `HashMap` token.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn sweep() -> f64 {
+    let t = Instant::now();
+    let m: HashMap<u32, f64> = HashMap::new();
+    let s: f64 = m.values().sum();
+    s + t.elapsed().as_secs_f64()
+}

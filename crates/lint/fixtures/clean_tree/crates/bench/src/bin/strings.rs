@@ -1,0 +1,10 @@
+//! Fixture: banned patterns inside comments and literals are inert.
+
+/// Documentation may say `.unwrap()` or `panic!` freely, and show
+/// `fs::write(path, bytes)` in examples.
+fn main() {
+    let doc = "call .unwrap() then panic!(oops)";
+    let raw = r#"fs::write and File::create in a raw string"#;
+    /* a block comment mentioning .expect(x) and todo!() */
+    println!("{doc} {raw}");
+}

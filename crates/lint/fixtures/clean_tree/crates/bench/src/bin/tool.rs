@@ -1,0 +1,16 @@
+//! Fixture: a binary whose only panic is excused with a reasoned pragma
+//! and whose unwraps live in test code.
+
+fn main() {
+    // qntn-lint: allow(no-panic-bins) -- crash-injection knob panics by design
+    panic!("injected");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: excused and test-gated sites the linter must accept.
+
+pub fn scratch(path: &std::path::Path) {
+    // qntn-lint: allow(atomic-writes-only) -- fixture helper writes a scratch file on purpose
+    let _ = std::fs::write(path, b"x");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_build_ad_hoc_graphs() {
+        let mut g = qntn_routing::Graph::with_nodes(2);
+        g.set_edge(0, 1, 1.0);
+    }
+}

@@ -1,0 +1,7 @@
+//! Fixture: the one legitimate materializer — `single-materializer`
+//! exempts this exact path.
+
+pub fn build_topology_into(g: &mut qntn_routing::Graph) {
+    g.set_edge(0, 1, 0.5);
+    g.remove_edge(1, 2);
+}

@@ -1,0 +1,19 @@
+//! Fixture: a deterministic hot path — ordered storage in live code,
+//! hash maps only inside `#[cfg(test)]`.
+
+use std::collections::BTreeMap;
+
+pub fn sweep() -> f64 {
+    let m: BTreeMap<u32, f64> = BTreeMap::new();
+    m.values().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn analysis_maps_are_fine_in_tests() {
+        let _ = HashMap::<u32, u32>::new();
+    }
+}

@@ -1,0 +1,53 @@
+//! Diagnostics: what a rule reports and how it renders.
+
+use std::fmt;
+
+/// One rule violation, pointing at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Stable rule identifier (e.g. `atomic-writes-only`).
+    pub rule: &'static str,
+    /// What is wrong and what to do instead.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Diagnostic {
+    /// The machine-readable format CI greps:
+    /// `file:line:col: [rule-id] message` followed by an indented snippet.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )?;
+        write!(f, "    | {}", self.snippet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_the_grep_format() {
+        let d = Diagnostic {
+            file: "crates/net/src/x.rs".into(),
+            line: 12,
+            col: 5,
+            rule: "atomic-writes-only",
+            message: "artifact writes must go through qntn_common::atomic_write".into(),
+            snippet: "fs::write(path, bytes)?;".into(),
+        };
+        let text = d.to_string();
+        assert!(text.starts_with("crates/net/src/x.rs:12:5: [atomic-writes-only] "));
+        assert!(text.ends_with("    | fs::write(path, bytes)?;"));
+    }
+}

@@ -1,0 +1,555 @@
+//! A comment/literal-aware scanner for Rust source.
+//!
+//! The rule engine never matches patterns against raw source text: it
+//! matches against the **masked** view this module produces, in which every
+//! byte of a comment, string literal, char literal, byte string or raw
+//! string is replaced by a space (newlines are preserved, so offsets and
+//! line numbers stay valid). A rule pattern therefore cannot fire inside
+//! `"call .unwrap() here"` or `// fs::write is banned` — the classic
+//! grep-lint false positives — while every byte of actual code survives
+//! verbatim.
+//!
+//! The scanner handles the lexical shapes that break naive maskers:
+//!
+//! - line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! - string literals with escapes (`"\""`, `"\\"`);
+//! - raw strings with arbitrary hash fences (`r"…"`, `r#"…"#`, `br##"…"##`)
+//!   — the closing fence must repeat the opening hash count;
+//! - char and byte-char literals (`'a'`, `'\''`, `b'\n'`, `'\u{1F600}'`)
+//!   distinguished from lifetimes (`'static`, `<'a>`), which are code.
+//!
+//! Comments are additionally collected verbatim (with their start line) so
+//! the pragma layer can parse `// qntn-lint: allow(...)` annotations.
+
+/// One comment captured during scanning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first byte.
+    pub line: usize,
+    /// 1-based line of the comment's last byte (differs for block comments).
+    pub end_line: usize,
+    /// The comment text including its `//` / `/*` delimiters.
+    pub text: String,
+}
+
+/// The result of scanning one source file.
+#[derive(Debug, Clone)]
+pub struct Scan {
+    /// Same byte length as the input; comment and literal bytes replaced by
+    /// spaces (newlines kept), code bytes verbatim.
+    pub masked: String,
+    /// Every comment, in source order.
+    pub comments: Vec<Comment>,
+    /// Byte offset of the start of each line (line `n` is `starts[n-1]`).
+    line_starts: Vec<usize>,
+}
+
+impl Scan {
+    /// 1-based (line, column) of a byte offset.
+    pub fn position(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        (line, offset - self.line_starts[line - 1] + 1)
+    }
+
+    /// The source line (1-based) containing `offset`, with the original
+    /// text of that line taken from `src`.
+    pub fn line_text<'a>(&self, src: &'a str, line: usize) -> &'a str {
+        let start = self.line_starts[line - 1];
+        let end = self
+            .line_starts
+            .get(line)
+            .map_or(src.len(), |&next| next.saturating_sub(1));
+        src[start..end].trim_end_matches('\r')
+    }
+
+    /// Number of lines scanned. A trailing newline does not open a new
+    /// (empty) line: `"a\n"` is one line, `"a\nb"` is two.
+    pub fn line_count(&self) -> usize {
+        let n = self.line_starts.len();
+        if n > 1 && self.line_starts[n - 1] >= self.masked.len() {
+            n - 1
+        } else {
+            n
+        }
+    }
+}
+
+fn utf8_width(lead: u8) -> usize {
+    match lead {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Scan `src`, producing the masked view and the comment list.
+pub fn scan(src: &str) -> Scan {
+    let bytes = src.as_bytes();
+    let mut masked = bytes.to_vec();
+    let mut comments = Vec::new();
+    let mut line_starts = vec![0usize];
+    // Running line number of offset `i`, maintained incrementally.
+    let mut line = 1usize;
+
+    let mut i = 0;
+    // Blank `masked[from..to]` except newlines; count lines passed.
+    let blank = |masked: &mut [u8], line: &mut usize, from: usize, to: usize| {
+        for b in &mut masked[from..to] {
+            if *b == b'\n' {
+                *line += 1;
+            } else {
+                *b = b' ';
+            }
+        }
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\n' => {
+                line += 1;
+                line_starts.push(i + 1);
+                i += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: src[start..i].to_string(),
+                });
+                blank(&mut masked, &mut line, start, i);
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let (start, start_line) = (i, line);
+                let mut depth = 1usize;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                // Track newlines inside while blanking.
+                let mut end_line = start_line;
+                for b in &mut masked[start..i] {
+                    if *b == b'\n' {
+                        end_line += 1;
+                    } else {
+                        *b = b' ';
+                    }
+                }
+                // Re-register the line starts we blanked over.
+                for (k, &byte) in bytes[start..i].iter().enumerate() {
+                    if byte == b'\n' {
+                        line_starts.push(start + k + 1);
+                    }
+                }
+                comments.push(Comment {
+                    line: start_line,
+                    end_line,
+                    text: src[start..i].to_string(),
+                });
+                line = end_line;
+            }
+            b'"' => {
+                // Plain or raw string: look back over `#` fences for an `r`
+                // prefix (possibly `br`). The prefix byte must not be part
+                // of a longer identifier.
+                let mut fence = 0usize;
+                let mut j = i;
+                while j > 0 && bytes[j - 1] == b'#' {
+                    fence += 1;
+                    j -= 1;
+                }
+                let is_raw = j > 0
+                    && bytes[j - 1] == b'r'
+                    && (j < 2 || !is_ident_byte(bytes[j - 2]) || bytes[j - 2] == b'b')
+                    && !(j >= 2 && bytes[j - 2] == b'b' && j >= 3 && is_ident_byte(bytes[j - 3]));
+                let start = i;
+                i += 1;
+                if is_raw {
+                    // Scan for `"` followed by `fence` hashes.
+                    'raw: while i < bytes.len() {
+                        if bytes[i] == b'"' {
+                            let close = &bytes[i + 1..];
+                            if close.len() >= fence && close[..fence].iter().all(|&c| c == b'#') {
+                                i += 1 + fence;
+                                break 'raw;
+                            }
+                        }
+                        i += 1;
+                    }
+                    // Mask the `r##` prefix too, so no stray tokens remain.
+                    let prefix = j - 1;
+                    blank(&mut masked, &mut line, prefix, start);
+                } else {
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i = (i + 2).min(bytes.len()),
+                            b'"' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                }
+                blank(&mut masked, &mut line, start, i);
+                // Line starts inside multi-line strings.
+                for (k, &byte) in bytes[start..i].iter().enumerate() {
+                    if byte == b'\n' {
+                        line_starts.push(start + k + 1);
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime?
+                let next = bytes.get(i + 1).copied();
+                let is_char = match next {
+                    Some(b'\\') => true,
+                    Some(c) if c != b'\'' => {
+                        let w = utf8_width(c);
+                        bytes.get(i + 1 + w) == Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_char {
+                    let start = i;
+                    i += 1;
+                    while i < bytes.len() {
+                        match bytes[i] {
+                            b'\\' => i = (i + 2).min(bytes.len()),
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            _ => i += 1,
+                        }
+                    }
+                    blank(&mut masked, &mut line, start, i);
+                } else {
+                    i += 1; // lifetime tick: stays code
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    Scan {
+        masked: String::from_utf8(masked).unwrap_or_default(),
+        comments,
+        line_starts,
+    }
+}
+
+#[inline]
+pub(crate) fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// One token of the masked code view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// Byte offset of the token's first byte in the source.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// Is this an identifier/number (as opposed to a punctuation byte)?
+    pub is_ident: bool,
+}
+
+/// Split the masked view into identifier and punctuation tokens.
+/// Whitespace separates; every non-identifier byte is its own token.
+pub fn tokens(masked: &str) -> Vec<Tok> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b.is_ascii_whitespace() {
+            i += 1;
+        } else if is_ident_byte(b) {
+            let start = i;
+            while i < bytes.len() && is_ident_byte(bytes[i]) {
+                i += 1;
+            }
+            out.push(Tok {
+                start,
+                end: i,
+                is_ident: true,
+            });
+        } else {
+            out.push(Tok {
+                start: i,
+                end: i + 1,
+                is_ident: false,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A matcher over the token stream. Each pattern element matches exactly
+/// one token: an identifier by its text, or a single punctuation byte.
+pub struct TokenView<'a> {
+    masked: &'a str,
+    toks: Vec<Tok>,
+}
+
+impl<'a> TokenView<'a> {
+    /// Tokenize `scan`'s masked view.
+    pub fn new(scan: &'a Scan) -> TokenView<'a> {
+        TokenView {
+            masked: &scan.masked,
+            toks: tokens(&scan.masked),
+        }
+    }
+
+    /// The token list.
+    pub fn toks(&self) -> &[Tok] {
+        &self.toks
+    }
+
+    /// Text of token `i`.
+    pub fn text(&self, i: usize) -> &str {
+        let t = self.toks[i];
+        &self.masked[t.start..t.end]
+    }
+
+    /// Does the pattern match starting at token index `at`?
+    pub fn matches_at(&self, at: usize, pattern: &[&str]) -> bool {
+        if at + pattern.len() > self.toks.len() {
+            return false;
+        }
+        pattern
+            .iter()
+            .enumerate()
+            .all(|(k, want)| self.text(at + k) == *want)
+    }
+
+    /// Byte offsets of every match of `pattern` (offset of the first token).
+    pub fn find_all(&self, pattern: &[&str]) -> Vec<usize> {
+        (0..self.toks.len())
+            .filter(|&i| self.matches_at(i, pattern))
+            .map(|i| self.toks[i].start)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn masked(src: &str) -> String {
+        scan(src).masked
+    }
+
+    #[test]
+    fn plain_code_is_untouched() {
+        let src = "fn main() { let x = 1 + 2; }\n";
+        assert_eq!(masked(src), src);
+    }
+
+    #[test]
+    fn masking_preserves_length_and_newlines() {
+        let src = "let a = \"two\nlines\"; // c\n/* b\nlock */ let b = 1;\n";
+        let m = masked(src);
+        assert_eq!(m.len(), src.len());
+        let nl = |s: &str| {
+            s.bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(nl(&m), nl(src));
+    }
+
+    #[test]
+    fn line_comment_is_blanked_and_captured() {
+        let s = scan("let x = 1; // fs::write here\nlet y = 2;\n");
+        assert!(!s.masked.contains("fs::write"));
+        assert!(s.masked.contains("let y = 2;"));
+        assert_eq!(s.comments.len(), 1);
+        assert_eq!(s.comments[0].line, 1);
+        assert!(s.comments[0].text.contains("fs::write"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("a /* one /* two */ still comment */ b\n");
+        assert_eq!(s.masked.split_whitespace().collect::<Vec<_>>(), ["a", "b"]);
+        assert!(
+            !s.masked.contains("still"),
+            "nested close ended the comment early"
+        );
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn block_comment_line_numbers() {
+        let s = scan("/* a\nb\nc */ x\ny\n");
+        assert_eq!(s.comments[0].line, 1);
+        assert_eq!(s.comments[0].end_line, 3);
+        let off = s.masked.find('y').unwrap();
+        assert_eq!(s.position(off).0, 4);
+    }
+
+    #[test]
+    fn string_with_escaped_quote() {
+        let m = masked(r#"let s = "he said \"unwrap()\""; after();"#);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("after();"));
+    }
+
+    #[test]
+    fn string_with_escaped_backslash_then_quote() {
+        // "\\" ends the string at the second quote; `boom()` is code.
+        let m = masked(r#"let s = "\\"; boom();"#);
+        assert!(m.contains("boom();"));
+    }
+
+    #[test]
+    fn raw_string_simple() {
+        let m = masked(r###"let s = r"panic!(no escape \ here)"; code();"###);
+        assert!(!m.contains("panic"));
+        assert!(m.contains("code();"));
+    }
+
+    #[test]
+    fn raw_string_hash_fences() {
+        let m = masked(r####"let s = r#"contains " quote and fs::write"#; tail();"####);
+        assert!(!m.contains("fs::write"));
+        assert!(m.contains("tail();"));
+    }
+
+    #[test]
+    fn raw_string_double_hash_ignores_single_hash_close() {
+        let src = "let s = r##\"has \"# inside\"##; tail();";
+        let m = masked(src);
+        assert!(!m.contains("inside"));
+        assert!(m.contains("tail();"));
+    }
+
+    #[test]
+    fn raw_byte_string() {
+        let m = masked(r####"let s = br#"unwrap()"#; tail();"####);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("tail();"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        // `var` ends in `r` but `var"x"` can't lex as a raw string prefix in
+        // valid Rust; the scanner must treat the string as plain.
+        let m = masked("let x = stringify!(var); let s = \"lit\"; tail();");
+        assert!(m.contains("tail();"));
+        assert!(!m.contains("lit"));
+    }
+
+    #[test]
+    fn char_literals_masked_lifetimes_kept() {
+        let m = masked("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(m.contains("<'a>"), "{m}");
+        assert!(m.contains("&'a str"));
+        assert!(!m.contains("'x'"));
+        assert!(!m.contains("'\\''"));
+    }
+
+    #[test]
+    fn unicode_char_literal() {
+        let m = masked("let c = '\u{1F600}'; tail();");
+        assert!(!m.contains('\u{1F600}'));
+        assert!(m.contains("tail();"));
+    }
+
+    #[test]
+    fn unicode_escape_char_literal() {
+        let m = masked(r"let c = '\u{41}'; tail();");
+        assert!(!m.contains("41"));
+        assert!(m.contains("tail();"));
+    }
+
+    #[test]
+    fn static_lifetime_is_code() {
+        let m = masked("static S: &'static str = \"x\"; tail();");
+        assert!(m.contains("&'static str"));
+        assert!(m.contains("tail();"));
+    }
+
+    #[test]
+    fn string_containing_comment_markers() {
+        let m = masked("let s = \"// not a comment /* nope */\"; tail();");
+        assert!(m.contains("tail();"));
+        assert_eq!(scan("let s = \"// no\"; x();").comments.len(), 0);
+    }
+
+    #[test]
+    fn comment_containing_quote_does_not_open_string() {
+        let m = masked("// it's a contraction\nlet x = 1;\n");
+        assert!(m.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn doc_comment_code_fences_are_masked() {
+        let src = "/// ```\n/// g.set_edge(0, 1, 0.5);\n/// ```\nfn f() {}\n";
+        let m = masked(src);
+        assert!(!m.contains("set_edge"));
+        assert!(m.contains("fn f() {}"));
+    }
+
+    #[test]
+    fn position_maps_offsets_to_lines() {
+        let s = scan("abc\ndef\nghi\n");
+        assert_eq!(s.position(0), (1, 1));
+        assert_eq!(s.position(4), (2, 1));
+        assert_eq!(s.position(6), (2, 3));
+        assert_eq!(s.position(8), (3, 1));
+        assert_eq!(s.line_count(), 3); // a trailing newline opens no line 4
+    }
+
+    #[test]
+    fn line_text_returns_original_source() {
+        let src = "let a = 1;\nlet b = \"lit\";\n";
+        let s = scan(src);
+        assert_eq!(s.line_text(src, 2), "let b = \"lit\";");
+    }
+
+    #[test]
+    fn token_matching_distinguishes_unwrap_from_unwrap_or() {
+        let s = scan("a.unwrap_or(0); b.unwrap();");
+        let tv = TokenView::new(&s);
+        let hits = tv.find_all(&[".", "unwrap", "(", ")"]);
+        assert_eq!(hits.len(), 1);
+        let (line, _) = s.position(hits[0]);
+        assert_eq!(line, 1);
+        assert!(tv.find_all(&[".", "unwrap_or", "("]).len() == 1);
+    }
+
+    #[test]
+    fn token_matching_spans_whitespace() {
+        let s = scan("std :: fs\n    ::write(path, bytes);");
+        let tv = TokenView::new(&s);
+        assert_eq!(tv.find_all(&["fs", ":", ":", "write"]).len(), 1);
+    }
+
+    #[test]
+    fn no_match_inside_masked_literal() {
+        let s = scan("let s = \"std::fs::write\"; // fs::write\n");
+        let tv = TokenView::new(&s);
+        assert!(tv.find_all(&["fs", ":", ":", "write"]).is_empty());
+    }
+}

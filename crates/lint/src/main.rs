@@ -1,0 +1,114 @@
+//! The `qntn-lint` binary: scan the workspace, print diagnostics, exit
+//! nonzero on any violation.
+//!
+//! ```text
+//! qntn-lint [--root DIR] [--list-rules] [--help]
+//!
+//! exit codes:
+//!   0  clean
+//!   1  one or more violations (each printed as file:line:col: [rule] msg)
+//!   2  usage or I/O error
+//! ```
+
+use qntn_lint::{engine, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+qntn-lint [--root DIR] [--list-rules]
+
+Architectural linter for the QNTN workspace: enforces the
+single-materializer, atomic-writes-only, no-panic-bins, determinism and
+layering invariants (DESIGN.md section 11). Prints one diagnostic per
+violation as `file:line:col: [rule-id] message` and exits 1 when any is
+found; suppress an intentional exception in-source with
+`// qntn-lint: allow(<rule>) -- <reason>`.
+
+flags:
+  --root DIR    workspace root to scan (default: auto-detected)
+  --list-rules  print the rule ids and exit
+  --help        this text
+";
+
+fn workspace_root(explicit: Option<PathBuf>) -> Result<PathBuf, String> {
+    if let Some(root) = explicit {
+        return Ok(root);
+    }
+    // `cargo run -p qntn-lint` sets CARGO_MANIFEST_DIR to crates/lint.
+    if let Ok(dir) = std::env::var("CARGO_MANIFEST_DIR") {
+        let manifest = PathBuf::from(dir);
+        if let Some(root) = manifest.parent().and_then(|p| p.parent()) {
+            return Ok(root.to_path_buf());
+        }
+    }
+    // Fallback: walk up from the current directory to a workspace manifest.
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found; pass --root".into());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "--list-rules" => {
+                for rule in rules::RULE_IDS {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a value\n");
+                    eprint!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument `{other}`\n");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match workspace_root(root) {
+        Ok(root) => root,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match engine::lint_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("qntn-lint: clean ({} rules)", rules::RULE_IDS.len());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("qntn-lint: {} violation(s)", diags.len());
+            ExitCode::from(1)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

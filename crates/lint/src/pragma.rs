@@ -1,0 +1,223 @@
+//! The allowlist pragma: `// qntn-lint: allow(<rule>) -- <reason>`.
+//!
+//! A pragma suppresses one rule at a narrow scope, and **must** carry a
+//! reason after ` -- ` — an allowlist entry nobody can explain is itself a
+//! defect. Two scopes exist:
+//!
+//! - `allow(<rule>)` — suppresses the rule on the pragma's own line and on
+//!   the line immediately following it (so it works both as a trailing
+//!   annotation and as a standalone line above the offending statement);
+//! - `allow-file(<rule>)` — suppresses the rule for the whole file. Meant
+//!   for the rare file that *implements* an invariant (e.g. the one
+//!   `File::create` inside `qntn_common::atomic_write` itself).
+//!
+//! Malformed pragmas (unknown rule id, missing reason) are reported as
+//! `bad-pragma` diagnostics rather than silently ignored: a typo must not
+//! quietly re-arm or disarm a rule.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Comment;
+
+const PREFIX: &str = "qntn-lint:";
+
+/// Parsed suppression table for one file.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    /// (rule, line) pairs: rule suppressed on `line` and `line + 1`.
+    line_allows: Vec<(String, usize)>,
+    /// Rules suppressed for the whole file.
+    file_allows: Vec<String>,
+    /// Malformed pragmas found while parsing.
+    pub errors: Vec<(usize, String)>,
+}
+
+impl Pragmas {
+    /// Parse every `qntn-lint:` pragma out of a file's comments.
+    /// `known_rules` validates the rule ids.
+    pub fn parse(comments: &[Comment], known_rules: &[&str]) -> Pragmas {
+        let mut p = Pragmas::default();
+        for c in comments {
+            let body = c
+                .text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_start();
+            let Some(rest) = body.strip_prefix(PREFIX) else {
+                continue;
+            };
+            let rest = rest.trim();
+            let (directive, reason) = match rest.split_once("--") {
+                Some((d, r)) => (d.trim(), r.trim()),
+                None => {
+                    p.errors.push((
+                        c.line,
+                        "pragma needs a reason: `qntn-lint: allow(<rule>) -- <reason>`".into(),
+                    ));
+                    continue;
+                }
+            };
+            if reason.is_empty() {
+                p.errors
+                    .push((c.line, "pragma reason after `--` is empty".into()));
+                continue;
+            }
+            let (scope, rule) = match parse_directive(directive) {
+                Some(pair) => pair,
+                None => {
+                    p.errors.push((
+                        c.line,
+                        format!("unrecognized pragma directive `{directive}`"),
+                    ));
+                    continue;
+                }
+            };
+            if !known_rules.contains(&rule) {
+                p.errors
+                    .push((c.line, format!("unknown rule `{rule}` in pragma")));
+                continue;
+            }
+            match scope {
+                Scope::Line => p.line_allows.push((rule.to_string(), c.line)),
+                Scope::File => p.file_allows.push(rule.to_string()),
+            }
+        }
+        p
+    }
+
+    /// Is `rule` suppressed at `line`?
+    pub fn allows(&self, rule: &str, line: usize) -> bool {
+        self.file_allows.iter().any(|r| r == rule)
+            || self
+                .line_allows
+                .iter()
+                .any(|(r, l)| r == rule && (line == *l || line == *l + 1))
+    }
+
+    /// Render parse errors as diagnostics for `file`.
+    pub fn error_diagnostics(&self, file: &str, src: &str) -> Vec<Diagnostic> {
+        self.errors
+            .iter()
+            .map(|(line, message)| Diagnostic {
+                file: file.to_string(),
+                line: *line,
+                col: 1,
+                rule: "bad-pragma",
+                message: message.clone(),
+                snippet: src
+                    .lines()
+                    .nth(line - 1)
+                    .unwrap_or_default()
+                    .trim()
+                    .to_string(),
+            })
+            .collect()
+    }
+}
+
+enum Scope {
+    Line,
+    File,
+}
+
+fn parse_directive(directive: &str) -> Option<(Scope, &str)> {
+    let inner = |prefix: &str| -> Option<&str> {
+        directive
+            .strip_prefix(prefix)?
+            .trim()
+            .strip_prefix('(')?
+            .strip_suffix(')')
+            .map(str::trim)
+    };
+    if directive.starts_with("allow-file") {
+        inner("allow-file").map(|r| (Scope::File, r))
+    } else if directive.starts_with("allow") {
+        inner("allow").map(|r| (Scope::Line, r))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    const RULES: &[&str] = &["atomic-writes-only", "no-panic-bins"];
+
+    fn parse(src: &str) -> Pragmas {
+        Pragmas::parse(&scan(src).comments, RULES)
+    }
+
+    #[test]
+    fn trailing_pragma_covers_its_line_and_the_next() {
+        let p = parse("x(); // qntn-lint: allow(no-panic-bins) -- test knob\ny();\nz();\n");
+        assert!(p.allows("no-panic-bins", 1));
+        assert!(p.allows("no-panic-bins", 2));
+        assert!(!p.allows("no-panic-bins", 3));
+        assert!(!p.allows("atomic-writes-only", 1));
+        assert!(p.errors.is_empty());
+    }
+
+    #[test]
+    fn standalone_pragma_covers_the_following_line() {
+        let p = parse(
+            "// qntn-lint: allow(atomic-writes-only) -- corrupt-frame fixture\nfs::write(a, b);\n",
+        );
+        assert!(p.allows("atomic-writes-only", 2));
+        assert!(!p.allows("atomic-writes-only", 3));
+    }
+
+    #[test]
+    fn file_pragma_covers_everything() {
+        let p = parse("//! docs\n// qntn-lint: allow-file(atomic-writes-only) -- implements atomic_write\nfn f() {}\n");
+        assert!(p.allows("atomic-writes-only", 1));
+        assert!(p.allows("atomic-writes-only", 999));
+        assert!(!p.allows("no-panic-bins", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_an_error() {
+        let p = parse("// qntn-lint: allow(no-panic-bins)\nx();\n");
+        assert_eq!(p.errors.len(), 1);
+        assert!(
+            !p.allows("no-panic-bins", 2),
+            "malformed pragma must not disarm the rule"
+        );
+    }
+
+    #[test]
+    fn empty_reason_is_an_error() {
+        let p = parse("// qntn-lint: allow(no-panic-bins) --   \nx();\n");
+        assert_eq!(p.errors.len(), 1);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let p = parse("// qntn-lint: allow(no-such-rule) -- why\n");
+        assert_eq!(p.errors.len(), 1);
+        assert!(p.errors[0].1.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn unrecognized_directive_is_an_error() {
+        let p = parse("// qntn-lint: deny(no-panic-bins) -- nope\n");
+        assert_eq!(p.errors.len(), 1);
+    }
+
+    #[test]
+    fn pragma_inside_string_literal_is_inert() {
+        let p = parse("let s = \"// qntn-lint: allow(no-panic-bins) -- fake\";\nx.unwrap();\n");
+        assert!(!p.allows("no-panic-bins", 2));
+        assert!(p.errors.is_empty());
+    }
+
+    #[test]
+    fn error_diagnostics_render() {
+        let src = "// qntn-lint: allow(no-panic-bins)\n";
+        let p = parse(src);
+        let d = p.error_diagnostics("crates/x/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "bad-pragma");
+        assert_eq!(d[0].line, 1);
+    }
+}

@@ -1,0 +1,35 @@
+//! `atomic-writes-only` — artifacts reach disk through `atomic_write`.
+//!
+//! PR 4 made every artifact write in the workspace go through the one
+//! write-temp → fsync → rename helper, `qntn_common::atomic_write`, so a
+//! crash mid-run can never leave a torn CSV/JSON/checkpoint behind. This
+//! rule keeps it that way: any direct `fs::write`, `File::create`,
+//! `File::options` or `OpenOptions` in the workspace is flagged —
+//! including in tests, because a test helper that writes a fixture
+//! non-atomically is *usually* fine but must say so with an allow pragma
+//! and a reason (e.g. "deliberately corrupt frame for a rejection test").
+//!
+//! `atomic_write` itself carries the one legitimate `File::create` in the
+//! tree, annotated with `allow-file` where it is implemented.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub const ID: &str = "atomic-writes-only";
+
+const MESSAGE: &str = "artifact bytes must reach disk through \
+     qntn_common::atomic_write (write-temp -> fsync -> rename); direct \
+     file creation risks torn artifacts on crash";
+
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for pattern in [
+        &["fs", ":", ":", "write"][..],
+        &["File", ":", ":", "create"],
+        &["File", ":", ":", "options"],
+        &["OpenOptions", ":", ":", "new"],
+    ] {
+        out.extend(ctx.hits(pattern, ID, MESSAGE));
+    }
+    out
+}

@@ -1,0 +1,277 @@
+//! `layering` — crate dependency edges point strictly down the stack.
+//!
+//! The workspace is layered so the physics stays ignorant of the network
+//! and the network stays ignorant of the experiments:
+//!
+//! ```text
+//! qntn-common                                   (0)
+//! qntn-geo   qntn-quantum                      (10)
+//! qntn-orbit                                   (20)  (orbit reads geo)
+//! qntn-channel   qntn-routing                  (30)
+//! qntn-net                                     (40)
+//! qntn-core                                    (50)
+//! qntn-bench                                   (60)
+//! qntn (the facade package)                    (70)
+//! ```
+//!
+//! A `[dependencies]` edge from a crate to another `qntn-*` crate is legal
+//! only when the dependency's layer is strictly lower. Same-layer edges
+//! are rejected too (siblings like channel/routing must stay mutually
+//! ignorant), as is any `qntn-*` crate missing from the map — adding a
+//! crate forces a conscious layering decision here. `qntn-lint` itself
+//! sits at layer 0: it may depend on no workspace crate at all.
+//!
+//! `[dev-dependencies]` are exempt: test scaffolding may reach across
+//! (e.g. a lower crate exercising itself through upper-layer fixtures),
+//! and dev edges never ship.
+//!
+//! Manifests use the TOML comment form of the pragma, on the dependency's
+//! own line or the line above:
+//! `# qntn-lint: allow(layering) -- <reason>`.
+
+use crate::diag::Diagnostic;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub const ID: &str = "layering";
+
+/// Crate name → layer. Strictly-lower edges only.
+const LAYERS: &[(&str, u32)] = &[
+    ("qntn-common", 0),
+    ("qntn-lint", 0),
+    ("qntn-geo", 10),
+    ("qntn-quantum", 10),
+    ("qntn-orbit", 20),
+    ("qntn-channel", 30),
+    ("qntn-routing", 30),
+    ("qntn-net", 40),
+    ("qntn-core", 50),
+    ("qntn-bench", 60),
+    ("qntn", 70),
+];
+
+fn layer_of(name: &str) -> Option<u32> {
+    LAYERS.iter().find(|(n, _)| *n == name).map(|&(_, l)| l)
+}
+
+/// One `qntn-*` dependency edge found in a manifest.
+struct DepEdge {
+    dep: String,
+    line: usize,
+    snippet: String,
+    allowed: bool,
+}
+
+/// Parse a manifest: the `[package] name` and every `[dependencies]`
+/// edge onto a `qntn-*` crate. Line-based on purpose — manifests in this
+/// workspace are plain `key = value` TOML, and a zero-dependency linter
+/// does not want a TOML parser for that.
+fn parse_manifest(src: &str) -> (Option<String>, Vec<DepEdge>) {
+    let mut package = None;
+    let mut edges = Vec::new();
+    let mut section = String::new();
+    let mut prev_line_pragma = false;
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let this_line_pragma = has_allow_pragma(line);
+        if line.starts_with('[') {
+            section = line.trim_matches(['[', ']']).to_string();
+        } else if section == "package" && package.is_none() {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(value) = rest.strip_prefix('=') {
+                    package = Some(value.trim().trim_matches('"').to_string());
+                }
+            }
+        } else if section == "dependencies" {
+            let key: String = line
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                .collect();
+            if key.starts_with("qntn") {
+                edges.push(DepEdge {
+                    dep: key,
+                    line: idx + 1,
+                    snippet: line.to_string(),
+                    allowed: this_line_pragma || prev_line_pragma,
+                });
+            }
+        }
+        prev_line_pragma = this_line_pragma;
+    }
+    (package, edges)
+}
+
+/// Does the line carry `# qntn-lint: allow(layering) -- <reason>`?
+fn has_allow_pragma(line: &str) -> bool {
+    let Some(pos) = line.find('#') else {
+        return false;
+    };
+    let comment = line[pos + 1..].trim();
+    let Some(rest) = comment.strip_prefix("qntn-lint:") else {
+        return false;
+    };
+    let rest = rest.trim();
+    let Some(rest) = rest.strip_prefix("allow(layering)") else {
+        return false;
+    };
+    match rest.trim().strip_prefix("--") {
+        Some(reason) => !reason.trim().is_empty(),
+        None => false,
+    }
+}
+
+/// Check every discovered manifest against the layer map.
+pub fn check_manifests(
+    root: &Path,
+    manifests: &[std::path::PathBuf],
+) -> io::Result<Vec<Diagnostic>> {
+    let mut out = Vec::new();
+    for path in manifests {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(path)?;
+        out.extend(check_manifest_source(&rel, &src));
+    }
+    Ok(out)
+}
+
+/// Check one manifest's text (separated out for fixture tests).
+pub fn check_manifest_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    let (package, edges) = parse_manifest(src);
+    let Some(package) = package else {
+        return Vec::new(); // virtual manifest: no package, no edges to judge
+    };
+    if !package.starts_with("qntn") {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut diag = |edge: &DepEdge, message: String| {
+        out.push(Diagnostic {
+            file: rel.to_string(),
+            line: edge.line,
+            col: 1,
+            rule: ID,
+            message,
+            snippet: edge.snippet.clone(),
+        });
+    };
+    let Some(own_layer) = layer_of(&package) else {
+        // The package itself is unmapped: report once, on the first edge
+        // (a crate with no qntn deps constrains nothing yet).
+        if let Some(edge) = edges.first() {
+            if !edge.allowed {
+                diag(
+                    edge,
+                    format!(
+                        "crate `{package}` is not in the layering map; add it to \
+                         qntn-lint's rules::layering::LAYERS to declare its layer"
+                    ),
+                );
+            }
+        }
+        return out;
+    };
+    for edge in &edges {
+        if edge.allowed {
+            continue;
+        }
+        match layer_of(&edge.dep) {
+            None => diag(
+                edge,
+                format!(
+                    "dependency `{}` is not in the layering map; add it to \
+                     qntn-lint's rules::layering::LAYERS",
+                    edge.dep
+                ),
+            ),
+            Some(dep_layer) if dep_layer >= own_layer => diag(
+                edge,
+                format!(
+                    "layering violation: `{package}` (layer {own_layer}) may not \
+                     depend on `{}` (layer {dep_layer}); edges must point \
+                     strictly down common -> geo/quantum -> orbit -> \
+                     channel/routing -> net -> core -> bench",
+                    edge.dep
+                ),
+            ),
+            Some(_) => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downward_edges_are_legal() {
+        let src = "[package]\nname = \"qntn-net\"\n\n[dependencies]\nqntn-common.workspace = true\nqntn-geo.workspace = true\nserde.workspace = true\n";
+        assert!(check_manifest_source("crates/net/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn upward_edge_is_flagged_with_line() {
+        let src = "[package]\nname = \"qntn-geo\"\n\n[dependencies]\nqntn-net.workspace = true\n";
+        let d = check_manifest_source("crates/geo/Cargo.toml", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 5);
+        assert!(d[0].message.contains("layering violation"));
+    }
+
+    #[test]
+    fn same_layer_siblings_are_flagged() {
+        let src = "[package]\nname = \"qntn-channel\"\n\n[dependencies]\nqntn-routing = { path = \"../routing\" }\n";
+        let d = check_manifest_source("crates/channel/Cargo.toml", src);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn dev_dependencies_are_exempt() {
+        let src =
+            "[package]\nname = \"qntn-geo\"\n\n[dev-dependencies]\nqntn-net.workspace = true\n";
+        assert!(check_manifest_source("crates/geo/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn unknown_dep_is_flagged() {
+        let src =
+            "[package]\nname = \"qntn-net\"\n\n[dependencies]\nqntn-newthing.workspace = true\n";
+        let d = check_manifest_source("crates/net/Cargo.toml", src);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("not in the layering map"));
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_not_an_edge() {
+        let src = "[workspace]\nmembers = [\"crates/*\"]\n\n[workspace.dependencies]\nqntn-net = { path = \"crates/net\" }\n";
+        assert!(check_manifest_source("Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn toml_pragma_allows_an_edge() {
+        let src = "[package]\nname = \"qntn-geo\"\n\n[dependencies]\n# qntn-lint: allow(layering) -- migration shim, tracked in ISSUE 9\nqntn-net.workspace = true\n";
+        assert!(check_manifest_source("crates/geo/Cargo.toml", src).is_empty());
+    }
+
+    #[test]
+    fn toml_pragma_without_reason_does_not_allow() {
+        let src = "[package]\nname = \"qntn-geo\"\n\n[dependencies]\nqntn-net.workspace = true # qntn-lint: allow(layering)\n";
+        assert_eq!(check_manifest_source("crates/geo/Cargo.toml", src).len(), 1);
+    }
+
+    #[test]
+    fn lint_crate_may_depend_on_nothing() {
+        let src =
+            "[package]\nname = \"qntn-lint\"\n\n[dependencies]\nqntn-common.workspace = true\n";
+        let d = check_manifest_source("crates/lint/Cargo.toml", src);
+        assert_eq!(d.len(), 1, "layer-0 lint must not gain workspace deps");
+    }
+}

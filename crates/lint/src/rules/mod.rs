@@ -1,0 +1,44 @@
+//! The enforced invariants, one module per rule.
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `single-materializer` | per-step topology graphs are built only by `qntn_net::pipeline::build_topology_into` |
+//! | `atomic-writes-only` | artifact bytes reach disk only through `qntn_common::atomic_write` |
+//! | `no-panic-bins` | workspace binaries are panic-free (`QntnError` + exit-code contract) |
+//! | `determinism` | sweep/pipeline hot paths read no wall clock and iterate no unordered maps |
+//! | `layering` | crate dependency edges respect common → geo/quantum → orbit → channel/routing → net → core → bench |
+//! | `bad-pragma` | (meta) every `qntn-lint:` pragma parses, names a real rule, and carries a reason |
+//!
+//! Adding a rule: create a module with an `ID` and a `check(&FileCtx)`
+//! (or a manifest pass), register the id in [`RULE_IDS`] and the call in
+//! [`check_source`], and add positive/negative fixtures under
+//! `crates/lint/fixtures/` (see `tests/fixtures.rs`). DESIGN.md §11
+//! documents the contract.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub mod atomic_writes;
+pub mod determinism;
+pub mod layering;
+pub mod no_panic_bins;
+pub mod single_materializer;
+
+/// Every rule id a pragma may name.
+pub const RULE_IDS: &[&str] = &[
+    single_materializer::ID,
+    atomic_writes::ID,
+    no_panic_bins::ID,
+    determinism::ID,
+    layering::ID,
+];
+
+/// Run every source-level rule on one file.
+pub fn check_source(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    out.extend(single_materializer::check(ctx));
+    out.extend(atomic_writes::check(ctx));
+    out.extend(no_panic_bins::check(ctx));
+    out.extend(determinism::check(ctx));
+    out
+}

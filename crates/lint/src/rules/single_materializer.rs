@@ -1,0 +1,38 @@
+//! `single-materializer` — one function materializes per-step topology.
+//!
+//! PR 3 collapsed four per-step graph builders into the Scene → LinkMap →
+//! Topology pipeline so the engine ≡ naive determinism contract holds *by
+//! construction*: there is exactly one code path that turns positions and
+//! η into a `Graph`, `qntn_net::pipeline::build_topology_into`. A second
+//! edge-insertion site in the per-step layer would silently fork that
+//! contract (insertion order decides routing tie-breaks), so this rule
+//! flags any `set_edge` / `remove_edge` call in non-test `qntn-net` /
+//! `qntn-core` code outside the pipeline module itself.
+//!
+//! Test code is exempt (tests build ad-hoc graphs on purpose), as is
+//! `qntn-routing`, which owns the `Graph` type and mutates it freely —
+//! the invariant governs the *per-step simulation* layers that consume it.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub const ID: &str = "single-materializer";
+
+const MESSAGE: &str = "per-step topology edges are inserted only by \
+     qntn_net::pipeline::build_topology_into; route new graph construction \
+     through the Scene -> LinkMap -> Topology pipeline";
+
+fn in_scope(rel: &str) -> bool {
+    (rel.starts_with("crates/net/src/") || rel.starts_with("crates/core/src/"))
+        && rel != "crates/net/src/pipeline.rs"
+}
+
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !in_scope(ctx.rel) || ctx.is_test_file() {
+        return Vec::new();
+    }
+    let mut out = ctx.hits(&[".", "set_edge", "("], ID, MESSAGE);
+    out.extend(ctx.hits(&[".", "remove_edge", "("], ID, MESSAGE));
+    out.retain(|d| !ctx.is_test_line(d.line));
+    out
+}

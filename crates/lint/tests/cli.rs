@@ -1,0 +1,129 @@
+//! Process-boundary tests for the `qntn-lint` binary: exit codes (0 clean,
+//! 1 violations, 2 usage errors), the machine-readable
+//! `file:line:col: [rule-id]` diagnostic format, `--list-rules`, `--help`,
+//! and `--root`. Cargo exposes the built binary via
+//! `CARGO_BIN_EXE_qntn-lint`, so these run the exact bits `cargo lint`
+//! would.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn qntn_lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_qntn-lint"))
+        .args(args)
+        .output()
+        .expect("failed to spawn qntn-lint")
+}
+
+fn fixture(tree: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(tree)
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn clean_tree_exits_zero_and_says_clean() {
+    let out = qntn_lint(&["--root", &fixture("clean_tree")]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("qntn-lint: clean"), "{stdout}");
+}
+
+#[test]
+fn bad_tree_exits_one_with_machine_readable_diagnostics() {
+    let out = qntn_lint(&["--root", &fixture("bad_tree")]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // file:line:col: [rule-id] message — the contract scripts grep on.
+    assert!(
+        stdout.contains("crates/bench/src/bin/tool.rs:6:"),
+        "{stdout}"
+    );
+    for rule in [
+        "[single-materializer]",
+        "[atomic-writes-only]",
+        "[no-panic-bins]",
+        "[determinism]",
+        "[layering]",
+        "[bad-pragma]",
+    ] {
+        assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
+    }
+    assert!(stdout.contains("violation(s)"), "{stdout}");
+}
+
+#[test]
+fn real_workspace_exits_zero() {
+    let root = workspace_root();
+    let out = qntn_lint(&["--root", root.to_str().expect("utf-8 root")]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace not lint-clean:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn list_rules_prints_all_five_ids() {
+    let out = qntn_lint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "single-materializer",
+        "atomic-writes-only",
+        "no-panic-bins",
+        "determinism",
+        "layering",
+    ] {
+        assert!(
+            stdout.lines().any(|l| l == rule),
+            "missing {rule}: {stdout}"
+        );
+    }
+}
+
+#[test]
+fn help_documents_flags_and_pragma() {
+    let out = qntn_lint(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in ["--root", "--list-rules", "qntn-lint: allow("] {
+        assert!(stdout.contains(needle), "help lacks `{needle}`: {stdout}");
+    }
+}
+
+#[test]
+fn unknown_flag_exits_two_with_usage() {
+    let out = qntn_lint(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument"), "{stderr}");
+    assert!(stderr.contains("--list-rules"), "usage follows the error");
+}
+
+#[test]
+fn root_flag_without_value_exits_two() {
+    let out = qntn_lint(&["--root"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--root needs a value"), "{stderr}");
+}
+
+#[test]
+fn missing_root_directory_exits_two() {
+    let out = qntn_lint(&["--root", "/no/such/dir/anywhere"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "{stderr}");
+}

@@ -1,0 +1,115 @@
+//! Fixture-tree tests: every rule has a positive case (the `bad_tree`
+//! mini-workspace trips it with the exact file/line) and a negative case
+//! (the `clean_tree` mini-workspace exercises the same shapes — pipeline
+//! exemption, `#[cfg(test)]` gating, reasoned pragmas, dev-dependencies —
+//! and comes back clean). A final test holds the real workspace itself to
+//! the lint-clean bar.
+
+use qntn_lint::{lint_workspace, Diagnostic};
+use std::path::{Path, PathBuf};
+
+fn fixture(tree: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(tree)
+}
+
+fn lint_fixture(tree: &str) -> Vec<Diagnostic> {
+    lint_workspace(&fixture(tree)).expect("fixture tree readable")
+}
+
+fn rule_hits<'d>(diags: &'d [Diagnostic], rule: &str) -> Vec<&'d Diagnostic> {
+    diags.iter().filter(|d| d.rule == rule).collect()
+}
+
+#[test]
+fn bad_tree_trips_single_materializer_outside_pipeline() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "single-materializer");
+    assert_eq!(hits.len(), 2, "{diags:#?}");
+    assert!(hits.iter().all(|d| d.file == "crates/net/src/somefile.rs"));
+    assert_eq!((hits[0].line, hits[1].line), (5, 6));
+    assert!(hits[0].snippet.contains("set_edge"));
+    assert!(hits[1].snippet.contains("remove_edge"));
+}
+
+#[test]
+fn bad_tree_trips_determinism_in_hot_path() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "determinism");
+    // One wall-clock read plus three HashMap tokens (use + type + ctor).
+    assert_eq!(hits.len(), 4, "{diags:#?}");
+    assert!(hits
+        .iter()
+        .all(|d| d.file == "crates/net/src/sweep_engine.rs"));
+    assert!(hits.iter().any(|d| d.snippet.contains("Instant::now")));
+}
+
+#[test]
+fn bad_tree_trips_atomic_writes_only() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "atomic-writes-only");
+    assert_eq!(hits.len(), 2, "{diags:#?}");
+    assert!(hits.iter().all(|d| d.file == "crates/common/src/io.rs"));
+    assert!(hits.iter().any(|d| d.snippet.contains("fs::write")));
+    assert!(hits.iter().any(|d| d.snippet.contains("File::create")));
+}
+
+#[test]
+fn bad_tree_trips_no_panic_bins() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "no-panic-bins");
+    assert_eq!(hits.len(), 3, "{diags:#?}");
+    assert!(hits
+        .iter()
+        .all(|d| d.file == "crates/bench/src/bin/tool.rs"));
+    let lines: Vec<usize> = hits.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![6, 7, 8], "unwrap, expect, panic! in order");
+}
+
+#[test]
+fn bad_tree_trips_layering() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "layering");
+    assert_eq!(hits.len(), 1, "{diags:#?}");
+    assert_eq!(hits[0].file, "crates/geo/Cargo.toml");
+    assert_eq!(hits[0].line, 8);
+    assert!(hits[0].message.contains("layering violation"));
+    assert!(hits[0].snippet.contains("qntn-net"));
+}
+
+#[test]
+fn bad_tree_reports_malformed_pragmas() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "bad-pragma");
+    assert_eq!(hits.len(), 2, "{diags:#?}");
+    assert!(hits.iter().all(|d| d.file == "crates/net/src/pragmas.rs"));
+    assert!(hits.iter().any(|d| d.message.contains("no-such-rule")));
+}
+
+#[test]
+fn bad_tree_total_is_every_expected_violation_and_nothing_else() {
+    let diags = lint_fixture("bad_tree");
+    assert_eq!(diags.len(), 14, "{diags:#?}");
+}
+
+#[test]
+fn clean_tree_is_clean() {
+    let diags = lint_fixture("clean_tree");
+    assert!(
+        diags.is_empty(),
+        "clean fixture tree must produce no diagnostics: {diags:#?}"
+    );
+}
+
+/// The acceptance bar of this PR: the real workspace itself is lint-clean.
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf();
+    let diags = lint_workspace(&root).expect("workspace readable");
+    assert!(diags.is_empty(), "workspace has violations: {diags:#?}");
+}

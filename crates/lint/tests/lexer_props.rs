@@ -1,0 +1,168 @@
+//! Property tests over the lint lexer: masking never changes a file's
+//! geometry (byte length, newline offsets), banned patterns embedded in
+//! any comment/string/raw-string wrapper never fire a rule, and the same
+//! patterns in code position always fire — at the right line — no matter
+//! how much benign padding precedes them.
+//!
+//! Inputs are assembled from integer choices over fixed fragment pools
+//! (the vendored proptest has no string strategies). Nightly CI deepens
+//! every block with `PROPTEST_CASES=2048`.
+
+use proptest::prelude::*;
+use qntn_lint::{lexer, lint_source};
+
+/// `ProptestConfig` with `n` cases, overridable via `PROPTEST_CASES`.
+fn cases_or(n: u32) -> ProptestConfig {
+    ProptestConfig::with_cases(proptest::test_runner::env_case_count().unwrap_or(n))
+}
+
+/// Source fragments covering every lexer regime: comments (line, block,
+/// nested), strings with escapes, raw strings, char literals, lifetimes,
+/// plus code that legitimately tokenizes.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}\n",
+    "// line comment with .unwrap() inside\n",
+    "/* block panic!(oops) */",
+    "/* nested /* fs::write */ still */",
+    "let s = \"literal .expect(\\\"y\\\") text\";\n",
+    "let r = r#\"raw File::create body\"#;\n",
+    "let c = 'x';\n",
+    "let q = '\\'';\n",
+    "let lt: &'static str = \"s\";\n",
+    "call_unwrap_or_default();\n",
+    "\n",
+    "let n = 42;\n",
+];
+
+/// Quote-free banned payloads (safe to embed in any wrapper).
+const PAYLOADS: &[&str] = &[
+    ".unwrap()",
+    ".expect(msg)",
+    "panic!(oops)",
+    "todo!()",
+    "fs::write(p, b)",
+    "File::create(p)",
+    "OpenOptions::new()",
+    "Instant::now()",
+    "SystemTime::now()",
+    "HashMap::new()",
+    "HashSet::new()",
+    "thread_rng()",
+    ".set_edge(0, 1, 0.5)",
+    ".remove_edge(0, 1)",
+];
+
+fn assemble(picks: &[u32]) -> String {
+    picks
+        .iter()
+        .map(|&p| FRAGMENTS[p as usize % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(cases_or(64))]
+
+    #[test]
+    fn masking_preserves_length_and_newlines(
+        picks in prop::collection::vec(any::<u32>(), 0usize..40),
+    ) {
+        let src = assemble(&picks);
+        let scan = lexer::scan(&src);
+        prop_assert_eq!(scan.masked.len(), src.len(), "masking changed length");
+        let newlines = |s: &str| -> Vec<usize> {
+            s.bytes()
+                .enumerate()
+                .filter(|&(_, b)| b == b'\n')
+                .map(|(i, _)| i)
+                .collect()
+        };
+        prop_assert_eq!(newlines(&src), newlines(&scan.masked));
+    }
+
+    #[test]
+    fn arbitrary_fragment_streams_never_false_positive(
+        picks in prop::collection::vec(any::<u32>(), 0usize..40),
+    ) {
+        // Every fragment is benign (banned spellings appear only inside
+        // comments/literals), so no composition of them may fire a rule —
+        // in a bin path, a hot path, or a plain library path.
+        let src = assemble(&picks);
+        for rel in [
+            "crates/bench/src/bin/tool.rs",
+            "crates/net/src/sweep_engine.rs",
+            "crates/net/src/scene.rs",
+        ] {
+            let diags = lint_source(rel, &src);
+            prop_assert!(diags.is_empty(), "{rel}: {diags:#?}\nsource:\n{src}");
+        }
+    }
+
+    #[test]
+    fn banned_patterns_inside_wrappers_never_fire(
+        payload_idx in any::<u32>(),
+        wrapper_idx in any::<u32>(),
+        pad in prop::collection::vec(any::<u32>(), 0usize..6),
+    ) {
+        let payload = PAYLOADS[payload_idx as usize % PAYLOADS.len()];
+        let wrapped = match wrapper_idx % 5 {
+            0 => format!("    // {payload}\n"),
+            1 => format!("    /* {payload} */\n"),
+            2 => format!("    let s = \"{payload}\";\n"),
+            3 => format!("    let r = r#\"{payload}\"#;\n"),
+            _ => format!("    /* outer /* {payload} */ nested */\n"),
+        };
+        let padding = assemble(&pad);
+        let src = format!("{padding}fn live() {{\n{wrapped}}}\n");
+        for rel in [
+            "crates/bench/src/bin/tool.rs",
+            "crates/net/src/sweep_engine.rs",
+        ] {
+            let diags = lint_source(rel, &src);
+            prop_assert!(
+                diags.is_empty(),
+                "{rel}: `{payload}` fired through a wrapper: {diags:#?}"
+            );
+        }
+    }
+
+    #[test]
+    fn banned_patterns_in_code_fire_at_the_right_line(
+        case_idx in any::<u32>(),
+        pad_lines in 0usize..12,
+    ) {
+        // (statement, path it violates under, rule expected to fire)
+        const CASES: &[(&str, &str, &str)] = &[
+            ("x.unwrap();", "crates/bench/src/bin/tool.rs", "no-panic-bins"),
+            ("panic!(\"boom\");", "crates/bench/src/bin/tool.rs", "no-panic-bins"),
+            (
+                "let t = std::time::Instant::now();",
+                "crates/net/src/sweep_engine.rs",
+                "determinism",
+            ),
+            (
+                "let m = std::collections::HashMap::<u32, u32>::new();",
+                "crates/net/src/pipeline.rs",
+                "determinism",
+            ),
+            (
+                "g.set_edge(0, 1, 0.5);",
+                "crates/net/src/scene.rs",
+                "single-materializer",
+            ),
+            (
+                "std::fs::write(p, b).ok();",
+                "crates/core/src/report.rs",
+                "atomic-writes-only",
+            ),
+        ];
+        let (stmt, rel, rule) = CASES[case_idx as usize % CASES.len()];
+        let padding: String = "// benign padding line\n".repeat(pad_lines);
+        let src = format!("{padding}fn live() {{\n    {stmt}\n}}\n");
+        let expected_line = pad_lines + 2;
+        let diags = lint_source(rel, &src);
+        prop_assert!(
+            diags.iter().any(|d| d.rule == rule && d.line == expected_line),
+            "{rel}: `{stmt}` did not fire {rule} at line {expected_line}: {diags:#?}"
+        );
+    }
+}

@@ -95,7 +95,9 @@ pub fn serve_with_capacity(
                     .all(|k| budget.get(k).copied().unwrap_or(0.0) >= 1.0);
                 if ok {
                     for k in &keys {
-                        *budget.get_mut(k).expect("budget key") -= 1.0;
+                        if let Some(b) = budget.get_mut(k) {
+                            *b -= 1.0;
+                        }
                     }
                     served.push(Some(d));
                 } else {

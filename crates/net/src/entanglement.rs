@@ -62,11 +62,12 @@ pub fn distribute_with(
     scratch: &mut SsspTable,
 ) -> Option<Distribution> {
     let route = bellman_ford_into(graph, src, dst, metric, scratch)?;
-    let link_etas: Vec<f64> = route
-        .nodes
-        .windows(2)
-        .map(|w| graph.eta(w[0], w[1]).expect("route edge must exist"))
-        .collect();
+    // Every hop of a returned route is an edge of `graph` by construction;
+    // propagate rather than panic if that ever stops holding.
+    let mut link_etas = Vec::with_capacity(route.nodes.len().saturating_sub(1));
+    for w in route.nodes.windows(2) {
+        link_etas.push(graph.eta(w[0], w[1])?);
+    }
     Some(realize(&route, &link_etas))
 }
 

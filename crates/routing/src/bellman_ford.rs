@@ -130,7 +130,9 @@ pub(crate) fn extract_route(
     let mut eta_product = 1.0;
     let mut cost = 0.0;
     for w in nodes.windows(2) {
-        let eta = graph.eta(w[0], w[1]).expect("path edge must exist");
+        // Predecessor edges come from relaxations over `graph`, so the
+        // lookup can only fail on a corrupt table — treat as unroutable.
+        let eta = graph.eta(w[0], w[1])?;
         eta_product *= eta;
         cost += metric.edge_cost(eta);
     }

@@ -103,6 +103,7 @@ proptest! {
         let mut bytes = std::fs::read(&path).map_err(|e| e.to_string())?;
         let pos = (pos_seed as usize) % bytes.len();
         bytes[pos] ^= flip as u8;
+        // qntn-lint: allow(atomic-writes-only) -- writes a deliberately corrupt frame to prove read_frame rejects it
         std::fs::write(&path, &bytes).map_err(|e| e.to_string())?;
         let result = frame::read_frame(&path, 1);
         std::fs::remove_file(&path).ok();
