@@ -17,6 +17,9 @@
 //!   faults    degradation vs fault intensity (outages, flaps, weather)
 //!   sweep     resilient full-day connectivity sweep: checkpoint/resume,
 //!             cooperative cancellation, deadlines, panic isolation
+//!   serve     batch entanglement-request service: seeded workload ->
+//!             validated ingest -> amortized serve over the daily sweep,
+//!             under the same resilient runtime contract
 //!   bench     time the daily sweep (engine, naive, faulted) and write
 //!             BENCH_sweep.json as a perf baseline
 //!   export    write CSV/DOT artifacts for every figure into ./out/
@@ -52,10 +55,13 @@ use qntn_core::experiments::sweep::{ConstellationSweep, SweepSettings};
 use qntn_core::report;
 use qntn_core::scenario::Qntn;
 use qntn_net::faults::FaultModel;
+use qntn_net::requests::RetryPolicy;
 use qntn_net::runtime::{run_steps, PanicPolicy, RunPolicy};
 use qntn_net::{SimConfig, SweepEngine};
 use qntn_orbit::walker::paper_slots;
 use qntn_orbit::PerturbationModel;
+use qntn_routing::RouteMetric;
+use qntn_serve::{generate, ingest, report_from_run, serve_resilient, WorkloadKind};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -80,6 +86,10 @@ artifacts:
   sweep       resilient full-day connectivity sweep: checkpointed,
               resumable, Ctrl-C-safe, panic-isolated; writes the per-step
               flags CSV atomically
+  serve       batch entanglement-request service: generate a seeded
+              workload, ingest it through the validated request boundary,
+              serve it over the daily sweep under the resilient runtime;
+              writes the SLO report and BENCH_serve.json atomically
   bench       wall-time the 108-satellite daily sweep three ways (engine,
               naive, engine+faults) and write BENCH_sweep.json
   export      write CSV/DOT artifacts for every figure into ./out/
@@ -91,8 +101,9 @@ flags:
                 (bit-identical results; for debugging / single-core runs)
   --help        this text
 
-sweep flags:
-  --sats N              constellation size (default 36; 6 with --quick)
+sweep/serve runtime flags:
+  --sats N              constellation size (sweep default 36, 6 with
+                        --quick; serve default 108, 12 with --quick)
   --checkpoint PATH     checkpoint frame file; an interrupted run rerun
                         with the same command resumes from it and produces
                         output bit-identical to an uninterrupted run
@@ -100,12 +111,19 @@ sweep flags:
   --chunk-steps N       steps per chunk: the granularity of checkpoints,
                         cancellation and panic isolation (default 64)
   --deadline-s S        wall-clock budget in seconds
-  --out PATH            output CSV (default out/sweep_flags.csv)
+  --out PATH            output file (default out/sweep_flags.csv for
+                        sweep, out/serve_slo.json for serve)
   --quarantine          on a panicking chunk, quarantine it and complete
                         the healthy chunks (default: fail fast, exit 6)
   --cancel-after-steps N  trip cancellation after N step evaluations
-                        (crash-injection testing)
-  --inject-panic-step N panic while evaluating step N (testing)
+                        (sweep only; crash-injection testing)
+  --inject-panic-step N panic while evaluating step N (sweep only; testing)
+
+serve flags:
+  --requests N          batch size (default 1000000; 5000 with --quick)
+  --workload KIND       uniform | poisson | diurnal | hotspot
+                        (default uniform)
+  --seed N              workload generator seed (default 2024)
 
 exit codes:
   0  success
@@ -117,7 +135,7 @@ exit codes:
   1  any other error
 ";
 
-const ARTIFACTS: [&str; 15] = [
+const ARTIFACTS: [&str; 16] = [
     "all",
     "fig5",
     "fig6",
@@ -131,6 +149,7 @@ const ARTIFACTS: [&str; 15] = [
     "extensions",
     "faults",
     "sweep",
+    "serve",
     "bench",
     "export",
 ];
@@ -158,7 +177,7 @@ fn install_sigint_handler() {
 #[cfg(not(unix))]
 fn install_sigint_handler() {}
 
-/// Options of the `sweep` artifact.
+/// Options of the resilient-runtime artifacts (`sweep` and `serve`).
 struct SweepOpts {
     sats: Option<usize>,
     checkpoint: Option<PathBuf>,
@@ -168,7 +187,8 @@ struct SweepOpts {
     cancel_after_steps: Option<usize>,
     inject_panic_step: Option<usize>,
     quarantine: bool,
-    out: PathBuf,
+    /// Output path; the default depends on the artifact.
+    out: Option<PathBuf>,
 }
 
 impl Default for SweepOpts {
@@ -182,7 +202,25 @@ impl Default for SweepOpts {
             cancel_after_steps: None,
             inject_panic_step: None,
             quarantine: false,
-            out: PathBuf::from("out/sweep_flags.csv"),
+            out: None,
+        }
+    }
+}
+
+/// Options specific to the `serve` artifact (which also honours the
+/// shared runtime flags in [`SweepOpts`]).
+struct ServeOpts {
+    requests: Option<usize>,
+    workload: WorkloadKind,
+    seed: u64,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            requests: None,
+            workload: WorkloadKind::Uniform,
+            seed: 2024,
         }
     }
 }
@@ -192,6 +230,7 @@ struct Cli {
     quick: bool,
     parallel: bool,
     sweep: SweepOpts,
+    serve: ServeOpts,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -200,6 +239,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         quick: false,
         parallel: true,
         sweep: SweepOpts::default(),
+        serve: ServeOpts::default(),
     };
     let mut artifact: Option<String> = None;
 
@@ -234,7 +274,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--inject-panic-step" => {
                 cli.sweep.inject_panic_step = Some(number(value(args, &mut i, a)?, a)?)
             }
-            "--out" => cli.sweep.out = PathBuf::from(value(args, &mut i, a)?),
+            "--out" => cli.sweep.out = Some(PathBuf::from(value(args, &mut i, a)?)),
+            "--requests" => cli.serve.requests = Some(number(value(args, &mut i, a)?, a)?),
+            "--seed" => cli.serve.seed = number(value(args, &mut i, a)?, a)?,
+            "--workload" => {
+                let raw = value(args, &mut i, a)?;
+                cli.serve.workload = WorkloadKind::parse(raw).ok_or_else(|| {
+                    format!("flag `--workload`: unknown kind `{raw}` (uniform | poisson | diurnal | hotspot)")
+                })?;
+            }
             _ if a.starts_with("--") => return Err(format!("unknown flag `{a}`")),
             _ => {
                 if artifact.is_some() {
@@ -335,6 +383,9 @@ fn run(cli: &Cli) -> Result<Exit, QntnError> {
     }
     if artifact == "sweep" {
         return sweep(&scenario, config, cli);
+    }
+    if artifact == "serve" {
+        return serve(&scenario, config, cli);
     }
     if artifact == "bench" {
         bench_sweep(&scenario, config, quick, parallel)?;
@@ -457,11 +508,11 @@ fn sweep(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<Exit, QntnErro
         eprintln!("quarantined: {}", p.to_error());
     }
 
-    if let Some(dir) = o.out.parent() {
-        if !dir.as_os_str().is_empty() {
-            std::fs::create_dir_all(dir).map_err(|e| QntnError::io("create_dir", dir, &e))?;
-        }
-    }
+    let out = o
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("out/sweep_flags.csv"));
+    ensure_parent_dir(&out)?;
     let mut csv = String::from("step,connected\n");
     for (step, slot) in report.outputs.iter().enumerate() {
         match slot {
@@ -473,14 +524,200 @@ fn sweep(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<Exit, QntnErro
             None => csv.push_str(&format!("{step},NA\n")),
         }
     }
-    atomic_write(&o.out, csv.as_bytes())?;
-    println!("wrote {}", o.out.display());
+    atomic_write(&out, csv.as_bytes())?;
+    println!("wrote {}", out.display());
 
     let connected = report.outputs.iter().flatten().filter(|&&c| c).count();
     println!(
         "coverage: {connected}/{total} steps connected ({:.2}%)",
         100.0 * connected as f64 / total as f64
     );
+    if let Some(path) = &o.checkpoint {
+        if path.exists() {
+            let _ = std::fs::remove_file(path);
+            println!("run complete; checkpoint {} removed", path.display());
+        }
+    }
+    Ok(Exit::Success)
+}
+
+fn ensure_parent_dir(path: &Path) -> Result<(), QntnError> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| QntnError::io("create_dir", dir, &e))?;
+        }
+    }
+    Ok(())
+}
+
+/// The `serve` artifact: the batch entanglement-request service. A seeded
+/// workload is generated, pushed through the validated ingest boundary
+/// (per-request rejection, never a panic), then served over the daily
+/// sweep with amortized routing — one SSSP per distinct source per attempt
+/// round — under the same resilient runtime contract as `sweep`:
+/// checkpointed per chunk of arrival groups, cooperatively cancellable,
+/// panic-isolated, with every artifact byte written atomically. The run
+/// ends with the SLO report JSON and a `BENCH_serve.json` wall-time
+/// baseline.
+fn serve(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<Exit, QntnError> {
+    use std::time::Instant;
+
+    let o = &cli.sweep;
+    let s = &cli.serve;
+    let n_sats = o.sats.unwrap_or(if cli.quick { 12 } else { 108 });
+    let n_requests = s
+        .requests
+        .unwrap_or(if cli.quick { 5_000 } else { 1_000_000 });
+    let kind = s.workload;
+    let arch = SpaceGround::new(scenario, n_sats, config, PerturbationModel::TwoBody);
+    let sim = arch.sim();
+    println!(
+        "== SERVE: {n_requests} {} requests over the {n_sats}-satellite day ({} steps, parallel: {}) ==",
+        kind.name(),
+        sim.steps(),
+        cli.parallel
+    );
+
+    let sigint = CancelToken::from_static(&INTERRUPTED);
+    let deadline = o
+        .deadline_s
+        .map(|secs| Deadline::after(Duration::from_secs_f64(secs)));
+    let with_deadline = |mut control: RunControl| {
+        if let Some(d) = deadline {
+            control = control.with_deadline(d);
+        }
+        control
+    };
+
+    let t = Instant::now();
+    let setup = with_deadline(RunControl::unlimited().with_cancel(sigint.clone()));
+    let engine = match SweepEngine::try_new(sim, &setup) {
+        Ok(engine) => engine.with_parallel(cli.parallel),
+        Err(cause) => {
+            println!("interrupted during window precompute ({cause}); nothing written");
+            return Ok(Exit::Interrupted);
+        }
+    };
+    let setup_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let stream = generate(sim, kind, n_requests, s.seed);
+    let (queue, rejected) = ingest(sim.hosts().len(), sim.steps(), &stream);
+    drop(stream);
+    let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "ingest: {} accepted, {} rejected, {} arrival groups",
+        queue.len(),
+        rejected.len(),
+        queue.groups().len()
+    );
+
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let control = with_deadline(RunControl::unlimited().with_cancel(sigint.clone()));
+    let mut run_policy = RunPolicy::default()
+        .with_chunk_steps(o.chunk_steps)
+        .with_checkpoint_every(o.checkpoint_every)
+        .with_control(control)
+        .with_panic_policy(if o.quarantine {
+            PanicPolicy::Quarantine
+        } else {
+            PanicPolicy::FailFast
+        });
+    if let Some(path) = &o.checkpoint {
+        run_policy = run_policy.with_checkpoint(path);
+    }
+
+    // Everything the per-group aggregates depend on; a checkpoint from
+    // any other serve configuration is refused, not resumed.
+    const SERVE_TAG: u64 = 0x5e7e;
+    let fingerprint = frame::fingerprint(&[
+        SERVE_TAG,
+        n_sats as u64,
+        sim.steps() as u64,
+        config.threshold.to_bits(),
+        n_requests as u64,
+        s.seed,
+        kind.id(),
+        policy.max_attempts as u64,
+        policy.backoff_steps as u64,
+        policy.deadline_steps as u64,
+    ]);
+
+    let t = Instant::now();
+    let run = serve_resilient(&engine, &queue, policy, metric, fingerprint, &run_policy)?;
+    let serve_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let total = run.outputs.len();
+    if run.resumed_from > 0 {
+        println!(
+            "resumed from checkpoint at arrival group {}/{total}",
+            run.resumed_from
+        );
+    }
+    if let Some(cause) = run.stopped {
+        match &o.checkpoint {
+            Some(path) => {
+                println!(
+                    "interrupted ({cause}) at arrival group {}/{total}; progress checkpointed to {}",
+                    run.completed,
+                    path.display()
+                );
+                println!(
+                    "resume: rerun the same command to continue from group {}",
+                    run.completed
+                );
+            }
+            None => println!(
+                "interrupted ({cause}) at arrival group {}/{total}; no --checkpoint, progress discarded",
+                run.completed
+            ),
+        }
+        return Ok(Exit::Interrupted);
+    }
+    for p in &run.panics {
+        eprintln!("quarantined: {}", p.to_error());
+    }
+
+    let report = report_from_run(&run, rejected.len() as u64);
+    println!(
+        "served {:.2}% of {} attempted ({:.2}% first try, {:.2}% retry-rescued, {:.2}% expired)",
+        report.served_percent(),
+        report.attempted,
+        report.first_try_percent(),
+        report.rescued_percent(),
+        report.expired_percent()
+    );
+    println!(
+        "wait: p50 {} steps, p95 {} steps; mean fidelity {:.4}, mean attempts {:.2}",
+        report.p50_wait_steps, report.p95_wait_steps, report.mean_fidelity, report.mean_attempts
+    );
+    for (c, class) in report.classes.iter().enumerate() {
+        println!(
+            "class {c}: {:>7} attempted, {:>6.2}% served, mean fidelity {:.4}",
+            class.attempted, class.served_percent, class.mean_fidelity
+        );
+    }
+
+    let out = o
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("out/serve_slo.json"));
+    ensure_parent_dir(&out)?;
+    atomic_write(&out, report.to_json().as_bytes())?;
+    println!("wrote {}", out.display());
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve_day\",\n  \"satellites\": {n_sats},\n  \"steps\": {},\n  \"requests\": {n_requests},\n  \"workload\": \"{}\",\n  \"seed\": {},\n  \"parallel\": {},\n  \"served_percent\": {:.4},\n  \"wall_ms\": {{\n    \"engine_setup\": {setup_ms:.1},\n    \"generate_ingest\": {ingest_ms:.1},\n    \"serve\": {serve_ms:.1}\n  }}\n}}\n",
+        sim.steps(),
+        kind.name(),
+        s.seed,
+        cli.parallel,
+        report.served_percent()
+    );
+    atomic_write(Path::new("BENCH_serve.json"), json.as_bytes())?;
+    println!("wrote BENCH_serve.json");
+
     if let Some(path) = &o.checkpoint {
         if path.exists() {
             let _ = std::fs::remove_file(path);

@@ -1,20 +1,32 @@
 //! CLI contract tests for the `reproduce` binary: argument validation
 //! (unknown artifacts and flags are rejected with the usage text and exit
 //! code 2), the `--no-parallel` escape hatch, the `faults` artifact, and
-//! the resilient `sweep` artifact's exit-code contract — interrupt (5),
-//! resume to a bit-identical CSV (0), corrupt checkpoint (4), chunk panic
-//! under fail-fast (6) and under `--quarantine` (0 with `NA` rows).
+//! the resilient `sweep`/`serve` artifacts' exit-code contract —
+//! interrupt (5), resume to a bit-identical CSV (0), corrupt checkpoint
+//! (4), chunk panic under fail-fast (6) and under `--quarantine` (0 with
+//! `NA` rows) — plus the `serve` artifact's flag validation and artifact
+//! outputs.
 //!
 //! Cargo builds the binary and exposes its path via
 //! `CARGO_BIN_EXE_reproduce`, so these run on the exact bits `cargo run`
 //! would use.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 fn reproduce(args: &[&str]) -> Output {
     Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .args(args)
+        .output()
+        .expect("failed to spawn reproduce")
+}
+
+/// Run with `dir` as the working directory (the `serve` artifact writes
+/// `BENCH_serve.json` relative to it; tests keep that out of the repo).
+fn reproduce_in(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+        .current_dir(dir)
         .args(args)
         .output()
         .expect("failed to spawn reproduce")
@@ -114,9 +126,106 @@ fn help_documents_the_resilience_surface() {
     let out = reproduce(&["--help"]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for needle in ["sweep", "--checkpoint", "--deadline-s", "exit codes:"] {
+    for needle in [
+        "sweep",
+        "serve",
+        "--checkpoint",
+        "--deadline-s",
+        "--requests",
+        "--workload",
+        "exit codes:",
+    ] {
         assert!(stdout.contains(needle), "help lacks `{needle}`: {stdout}");
     }
+}
+
+/// The `serve` artifact end to end through the process boundary: a small
+/// run exits 0, prints the SLO summary, and leaves both artifacts —
+/// the SLO JSON at `--out` and `BENCH_serve.json` in the working
+/// directory — with the accounting fields present.
+#[test]
+fn serve_writes_slo_and_bench_artifacts() {
+    let dir = temp_path("serve_cwd", "d");
+    std::fs::create_dir_all(&dir).unwrap();
+    let slo = temp_path("serve_slo", "json");
+    let out = reproduce_in(
+        &dir,
+        &[
+            "serve",
+            "--sats",
+            "2",
+            "--requests",
+            "400",
+            "--out",
+            slo.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== SERVE:"), "{stdout}");
+    assert!(stdout.contains("ingest: 400 accepted"), "{stdout}");
+    assert!(stdout.contains("served "), "{stdout}");
+
+    let slo_body = std::fs::read_to_string(&slo).unwrap();
+    assert!(slo_body.contains("\"attempted\": 400"), "{slo_body}");
+    assert!(slo_body.contains("\"classes\""), "{slo_body}");
+    let bench = dir.join("BENCH_serve.json");
+    let bench_body = std::fs::read_to_string(&bench).unwrap();
+    assert!(
+        bench_body.contains("\"benchmark\": \"serve_day\""),
+        "{bench_body}"
+    );
+    assert!(bench_body.contains("\"requests\": 400"), "{bench_body}");
+    assert!(bench_body.contains("\"wall_ms\""), "{bench_body}");
+    std::fs::remove_file(&slo).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_an_unknown_workload_with_exit_2() {
+    let out = reproduce(&["serve", "--workload", "bursty"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown kind"), "{stderr}");
+    assert!(stderr.contains("`bursty`"), "{stderr}");
+}
+
+#[test]
+fn serve_rejects_a_corrupt_checkpoint_with_exit_4() {
+    let dir = temp_path("serve_corrupt_cwd", "d");
+    std::fs::create_dir_all(&dir).unwrap();
+    let slo = temp_path("serve_corrupt", "json");
+    let ckpt = temp_path("serve_corrupt", "ckpt");
+    // qntn-lint: allow(atomic-writes-only) -- plants a garbage checkpoint to prove the exit-4 rejection path
+    std::fs::write(&ckpt, b"not a checkpoint frame at all").unwrap();
+    let out = reproduce_in(
+        &dir,
+        &[
+            "serve",
+            "--sats",
+            "2",
+            "--requests",
+            "400",
+            "--out",
+            slo.to_str().unwrap(),
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ],
+    );
+    std::fs::remove_file(&ckpt).ok();
+    std::fs::remove_file(&slo).ok();
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 /// The headline resilience contract, end to end through the process

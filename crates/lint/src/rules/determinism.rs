@@ -35,6 +35,9 @@ const HOT_PATHS: &[&str] = &[
     "crates/net/src/runtime.rs",
     "crates/net/src/faults.rs",
     "crates/net/src/linkeval.rs",
+    "crates/serve/src/serve.rs",
+    "crates/serve/src/admission.rs",
+    "crates/serve/src/request.rs",
 ];
 
 fn in_scope(rel: &str) -> bool {

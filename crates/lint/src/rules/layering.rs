@@ -9,6 +9,7 @@
 //! qntn-orbit                                   (20)  (orbit reads geo)
 //! qntn-channel   qntn-routing                  (30)
 //! qntn-net                                     (40)
+//! qntn-serve                                   (45)
 //! qntn-core                                    (50)
 //! qntn-bench                                   (60)
 //! qntn (the facade package)                    (70)
@@ -46,6 +47,7 @@ const LAYERS: &[(&str, u32)] = &[
     ("qntn-channel", 30),
     ("qntn-routing", 30),
     ("qntn-net", 40),
+    ("qntn-serve", 45),
     ("qntn-core", 50),
     ("qntn-bench", 60),
     ("qntn", 70),

@@ -37,6 +37,10 @@ pub enum BlockReason {
     NoRoute,
     /// A path existed, but a link on it had an exhausted pair budget.
     Congestion,
+    /// `src == dst` — a zero-hop request consumes no link budget and used
+    /// to be served vacuously; it is flagged instead of silently inflating
+    /// the served count.
+    Degenerate,
 }
 
 /// Outcome of serving a batch under capacity constraints.
@@ -44,8 +48,10 @@ pub enum BlockReason {
 pub struct CapacityOutcome {
     /// Served distributions, in request order (None when blocked).
     pub served: Vec<Option<Distribution>>,
-    /// Block reasons for unserved requests, keyed by request index.
-    pub blocked: HashMap<usize, BlockReason>,
+    /// Block reason per request, in request order (`None` when served) —
+    /// a positional `Vec`, not a map, so iteration order is the request
+    /// order and artifacts derived from it are deterministic.
+    pub blocked: Vec<Option<BlockReason>>,
 }
 
 impl CapacityOutcome {
@@ -54,9 +60,14 @@ impl CapacityOutcome {
         self.served.iter().filter(|s| s.is_some()).count()
     }
 
+    /// Number blocked for any reason.
+    pub fn blocked_total(&self) -> usize {
+        self.blocked.iter().filter(|b| b.is_some()).count()
+    }
+
     /// Number blocked for a given reason.
     pub fn blocked_count(&self, reason: BlockReason) -> usize {
-        self.blocked.values().filter(|&&r| r == reason).count()
+        self.blocked.iter().filter(|&&b| b == Some(reason)).count()
     }
 }
 
@@ -77,11 +88,18 @@ pub fn serve_with_capacity(
         .collect();
 
     let mut served = Vec::with_capacity(requests.len());
-    let mut blocked = HashMap::new();
-    for (idx, r) in requests.iter().enumerate() {
+    let mut blocked: Vec<Option<BlockReason>> = Vec::with_capacity(requests.len());
+    for r in requests {
+        if r.src == r.dst {
+            // Zero-hop: the empty key list below would pass the budget
+            // check vacuously and count as served for free.
+            blocked.push(Some(BlockReason::Degenerate));
+            served.push(None);
+            continue;
+        }
         match distribute(graph, r.src, r.dst, metric) {
             None => {
-                blocked.insert(idx, BlockReason::NoRoute);
+                blocked.push(Some(BlockReason::NoRoute));
                 served.push(None);
             }
             Some(d) => {
@@ -100,8 +118,9 @@ pub fn serve_with_capacity(
                         }
                     }
                     served.push(Some(d));
+                    blocked.push(None);
                 } else {
-                    blocked.insert(idx, BlockReason::Congestion);
+                    blocked.push(Some(BlockReason::Congestion));
                     served.push(None);
                 }
             }
@@ -155,7 +174,35 @@ mod tests {
             m,
         );
         assert_eq!(out.served_count(), 3);
-        assert!(out.blocked.is_empty());
+        assert_eq!(out.blocked_total(), 0);
+        assert_eq!(out.blocked, vec![None, None, None]);
+    }
+
+    #[test]
+    fn degenerate_requests_are_flagged_not_served_for_free() {
+        // Regression: src == dst produced an empty key list, which passed
+        // the budget check vacuously and was counted as served.
+        let g = star(0.9);
+        let m = CapacityModel {
+            attempt_rate_hz: 1000.0,
+            window_s: 30.0,
+        };
+        let out = serve_with_capacity(
+            &g,
+            &reqs(&[(2, 2), (1, 2), (0, 0)]),
+            RouteMetric::PaperInverseEta,
+            m,
+        );
+        assert_eq!(out.served_count(), 1);
+        assert_eq!(out.blocked_count(BlockReason::Degenerate), 2);
+        assert_eq!(
+            out.blocked,
+            vec![
+                Some(BlockReason::Degenerate),
+                None,
+                Some(BlockReason::Degenerate)
+            ]
+        );
     }
 
     #[test]

@@ -176,9 +176,14 @@ impl RetryPolicy {
 
     /// The attempt steps for a request arriving at `arrival`: the arrival
     /// step itself, then doubling-backoff re-attempts while they stay
-    /// within the deadline window and the simulated day.
+    /// within the deadline window and the simulated day. An arrival at or
+    /// beyond `n_steps` is simply unschedulable — empty schedule, never a
+    /// panic (request arrivals are untrusted input once `qntn-serve`
+    /// ingests them by the million).
     pub fn attempt_steps(&self, arrival: usize, n_steps: usize) -> Vec<usize> {
-        assert!(arrival < n_steps, "arrival step out of range");
+        if arrival >= n_steps {
+            return Vec::new();
+        }
         let mut steps = vec![arrival];
         if self.backoff_steps == 0 {
             return steps;
@@ -555,6 +560,31 @@ mod tests {
         assert_eq!(RetryPolicy::standard().attempt_steps(998, 1000), vec![998]);
         // No-retry policy: arrival only.
         assert_eq!(RetryPolicy::none().attempt_steps(5, 1000), vec![5]);
+        // Out-of-range arrivals are unschedulable, not a panic.
+        assert!(p.attempt_steps(1000, 1000).is_empty());
+        assert!(p.attempt_steps(usize::MAX, 1000).is_empty());
+        assert!(p.attempt_steps(0, 0).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_arrival_expires_without_attempts() {
+        // Regression: an arrival at/after the end of the simulated day used
+        // to assert inside `attempt_steps`, killing the whole sweep. It must
+        // simply expire every request with zero attempts.
+        let sim = hap_sim();
+        let faults = CompiledFaults::identity(sim.hosts().len(), sim.steps());
+        let w = RequestWorkload::generate(&sim, 5, 4);
+        let outcomes = w.evaluate_with_retries(
+            &sim,
+            sim.steps(),
+            RouteMetric::PaperInverseEta,
+            RetryPolicy::standard(),
+            &faults,
+        );
+        assert_eq!(outcomes.len(), 5);
+        assert!(outcomes
+            .iter()
+            .all(|o| *o == RetryOutcome::Expired { attempts: 0 }));
     }
 
     #[test]

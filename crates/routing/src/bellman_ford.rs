@@ -11,7 +11,8 @@ use crate::metrics::RouteMetric;
 use crate::Route;
 
 /// Shortest path from `source` to `dest` under `metric`, or `None` when no
-/// path exists.
+/// path exists. Out-of-range endpoints are unroutable, not a panic — the
+/// request boundary (`qntn-serve`) feeds untrusted ids straight in here.
 ///
 /// ```
 /// use qntn_routing::{bellman_ford, Graph, RouteMetric};
@@ -22,6 +23,7 @@ use crate::Route;
 /// let route = bellman_ford(&g, 0, 2, RouteMetric::PaperInverseEta).unwrap();
 /// assert_eq!(route.nodes, vec![0, 1, 2]);
 /// assert!((route.eta_product - 0.72).abs() < 1e-12);
+/// assert!(bellman_ford(&g, 0, 99, RouteMetric::PaperInverseEta).is_none());
 /// ```
 pub fn bellman_ford(
     graph: &Graph,
@@ -29,6 +31,9 @@ pub fn bellman_ford(
     dest: NodeId,
     metric: RouteMetric,
 ) -> Option<Route> {
+    if source >= graph.node_count() || dest >= graph.node_count() {
+        return None;
+    }
     let table = bellman_ford_all(graph, source, metric);
     extract_route(graph, &table, source, dest, metric)
 }
@@ -102,8 +107,27 @@ pub fn bellman_ford_into(
     metric: RouteMetric,
     scratch: &mut SsspTable,
 ) -> Option<Route> {
+    if source >= graph.node_count() || dest >= graph.node_count() {
+        return None;
+    }
     bellman_ford_all_into(graph, source, metric, scratch);
     extract_route(graph, scratch, source, dest, metric)
+}
+
+/// Rebuild the route to `dest` from a single-source table computed from
+/// `source` — the many-destination amortization path: one
+/// [`bellman_ford_all_into`] (or [`crate::dijkstra::dijkstra_all`]) per
+/// distinct source, then one cheap extraction per destination. Identical
+/// to [`bellman_ford`] for every `(source, dest)` pair, including `None`
+/// on out-of-range or unreachable endpoints.
+pub fn route_from_table(
+    graph: &Graph,
+    table: &SsspTable,
+    source: NodeId,
+    dest: NodeId,
+    metric: RouteMetric,
+) -> Option<Route> {
+    extract_route(graph, table, source, dest, metric)
 }
 
 /// Rebuild the route from a predecessor table.
@@ -114,6 +138,12 @@ pub(crate) fn extract_route(
     dest: NodeId,
     metric: RouteMetric,
 ) -> Option<Route> {
+    // Out-of-range endpoints are simply unroutable: the table has no row
+    // for them (`dest` used to be indexed unchecked here — a service
+    // killer once request ids arrive from untrusted input).
+    if source >= table.cost.len() || dest >= table.cost.len() {
+        return None;
+    }
     if !table.cost[dest].is_finite() {
         return None;
     }
@@ -194,6 +224,44 @@ mod tests {
         let mut g = diamond();
         g.add_node(); // node 4, isolated
         assert!(bellman_ford(&g, 0, 4, RouteMetric::PaperInverseEta).is_none());
+    }
+
+    #[test]
+    fn out_of_range_endpoints_return_none() {
+        // Regression: `extract_route` used to index `cost[dest]` unchecked,
+        // so an out-of-range destination was a panic, not an unroutable
+        // request. Both endpoints, both entry points, never a panic.
+        let g = diamond();
+        let n = g.node_count();
+        let metric = RouteMetric::PaperInverseEta;
+        let mut scratch = SsspTable::default();
+        for (src, dst) in [(0, n), (n, 0), (n, n), (0, usize::MAX), (usize::MAX, 2)] {
+            assert!(bellman_ford(&g, src, dst, metric).is_none(), "{src}->{dst}");
+            assert!(
+                bellman_ford_into(&g, src, dst, metric, &mut scratch).is_none(),
+                "{src}->{dst} (scratch)"
+            );
+        }
+        // An empty graph is all out-of-range.
+        let empty = Graph::default();
+        assert!(bellman_ford(&empty, 0, 0, metric).is_none());
+    }
+
+    #[test]
+    fn route_from_table_matches_per_pair_bellman_ford() {
+        let g = diamond();
+        for metric in [RouteMetric::PaperInverseEta, RouteMetric::NegLogEta] {
+            for src in 0..4 {
+                let table = bellman_ford_all(&g, src, metric);
+                for dst in 0..6 {
+                    assert_eq!(
+                        route_from_table(&g, &table, src, dst, metric),
+                        bellman_ford(&g, src, dst, metric),
+                        "{src}->{dst}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

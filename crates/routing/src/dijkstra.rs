@@ -34,7 +34,12 @@ impl PartialOrd for HeapEntry {
 }
 
 /// Shortest path from `source` to `dest` under `metric`, or `None`.
+/// Out-of-range endpoints are unroutable (`None`), matching
+/// [`crate::bellman_ford::bellman_ford`] — never a panic.
 pub fn dijkstra(graph: &Graph, source: NodeId, dest: NodeId, metric: RouteMetric) -> Option<Route> {
+    if source >= graph.node_count() || dest >= graph.node_count() {
+        return None;
+    }
     let table = dijkstra_all(graph, source, metric);
     extract_route(graph, &table, source, dest, metric)
 }
@@ -110,6 +115,17 @@ mod tests {
     fn unreachable() {
         let g = Graph::with_nodes(3);
         assert!(dijkstra(&g, 0, 2, RouteMetric::PaperInverseEta).is_none());
+    }
+
+    #[test]
+    fn out_of_range_endpoints_return_none() {
+        // Regression: same service-killing panic class as Bellman–Ford —
+        // untrusted request ids must be unroutable, never an index panic.
+        let g = Graph::with_nodes(3);
+        let metric = RouteMetric::PaperInverseEta;
+        for (src, dst) in [(0, 3), (3, 0), (5, 5), (0, usize::MAX), (usize::MAX, 1)] {
+            assert!(dijkstra(&g, src, dst, metric).is_none(), "{src}->{dst}");
+        }
     }
 
     #[test]

@@ -31,9 +31,10 @@ pub mod metrics;
 pub mod table;
 
 pub use bellman_ford::{
-    bellman_ford, bellman_ford_all, bellman_ford_all_into, bellman_ford_into, SsspTable,
+    bellman_ford, bellman_ford_all, bellman_ford_all_into, bellman_ford_into, route_from_table,
+    SsspTable,
 };
-pub use dijkstra::dijkstra;
+pub use dijkstra::{dijkstra, dijkstra_all};
 pub use disjoint::{edge_disjoint_routes, survivability, vertex_disjoint_routes};
 pub use graph::{Graph, NodeId};
 pub use metrics::{RouteMetric, PAPER_EPSILON};

@@ -1,0 +1,43 @@
+//! # qntn-serve — batch entanglement-request service
+//!
+//! Everything below this crate computes topology; this crate serves
+//! traffic against it. The shape of the problem (after *Dynamic Routing
+//! in Space-Ground Integrated Quantum Networks* and *QuESat*): a stream
+//! of hundreds of thousands to millions of entanglement requests
+//! `(src, dst, arrival_step, deadline_steps, priority)` arriving over a
+//! simulated day, served against the time-varying Scene → LinkMap →
+//! Topology pipeline with retry/deadline semantics.
+//!
+//! The layers:
+//!
+//! - [`request`] — the validation boundary. Raw streams are untrusted;
+//!   [`ingest`] rejects each malformed request with a [`ServeError`]
+//!   (never a panic) and compacts the rest into a SoA [`RequestQueue`]
+//!   grouped by arrival step.
+//! - [`workload`] — seeded stream generators (uniform, Poisson, diurnal,
+//!   hotspot) as scenario axes.
+//! - [`serve`] — the amortized serving core: per attempt round, one SSSP
+//!   table per *distinct source* instead of one Bellman–Ford per request,
+//!   rayon-parallel over arrival groups, bit-identical to the naive
+//!   per-request [`qntn_net::requests::RequestWorkload::evaluate_with_retries`]
+//!   path (the differential contract, enforced by tests). Entry points
+//!   for materialized outcomes ([`serve_full`]), streaming SLO aggregation
+//!   ([`serve_report`]) and checkpointed/cancellable resilient runs
+//!   ([`serve_resilient`]).
+//! - [`admission`] — optional finite-capacity admission
+//!   ([`qntn_net::capacity::CapacityModel`]): a sequential, deterministic
+//!   timeline where same-step requests contend for per-link pair budgets
+//!   in (priority, queue order).
+
+pub mod admission;
+pub mod request;
+pub mod serve;
+pub mod workload;
+
+pub use admission::{serve_with_admission, AdmissionOutcome};
+pub use request::{ingest, RawRequest, RequestQueue, ServeError, PRIORITY_CLASSES};
+pub use serve::{
+    report_from_aggs, report_from_run, serve_full, serve_report, serve_resilient, ClassSlo,
+    GroupAgg, ServeReport,
+};
+pub use workload::{generate, WorkloadKind};

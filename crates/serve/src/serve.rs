@@ -1,0 +1,565 @@
+//! The serving core: amortized routing over arrival groups.
+//!
+//! The naive reference path (`RequestWorkload::evaluate_with_retries` in
+//! `qntn-net`) runs one full Bellman–Ford per request per attempt. This
+//! module serves a whole arrival group per attempt round with one SSSP
+//! table per *distinct source* — `bellman_ford_all_into` once, then
+//! [`route_from_table`] per destination — which is bit-identical by
+//! construction: `bellman_ford ≡ bellman_ford_all + extract_route`, and
+//! realizing a route from the same graph yields the same `Distribution`
+//! bits. The differential suite holds the whole stack to that claim,
+//! clean and faulted, sequential and parallel.
+//!
+//! Retry semantics reuse [`RetryPolicy`] unchanged. A request's
+//! per-request deadline caps the policy's: because backoff offsets are
+//! monotone (`b, 3b, 7b, …`), every request's attempt schedule is a
+//! *prefix* of its group's, so per-request deadlines cost one comparison
+//! per round, not a schedule recomputation.
+//!
+//! Three entry points share one group-serving core:
+//! - [`serve_full`] materializes every [`RetryOutcome`] (differential
+//!   tests, small batches);
+//! - [`serve_report`] folds each group straight into a compact
+//!   [`GroupAgg`] so million-request runs never hold per-request state;
+//! - [`serve_resilient`] runs the same fold under the PR 4 runtime
+//!   contract (checkpoint/cancel/panic isolation) via
+//!   [`qntn_net::run_steps`].
+
+use crate::request::{RequestQueue, PRIORITY_CLASSES};
+use qntn_common::codec::{ByteReader, DecodeError, FrameCodec};
+use qntn_common::QntnError;
+use qntn_net::entanglement::realize;
+use qntn_net::requests::{RetryOutcome, RetryPolicy};
+use qntn_net::runtime::{run_steps, RunPolicy, RunReport};
+use qntn_net::{SweepEngine, SweepScratch};
+use qntn_routing::{bellman_ford_all_into, route_from_table, RouteMetric};
+use std::ops::Range;
+
+/// Serve one arrival group, appending outcomes (queue order) to `out`.
+///
+/// Per attempt round: build the (possibly faulted) thresholded graph once,
+/// stable-sort the still-pending eligible requests by source, run one SSSP
+/// per distinct source, extract one route per destination. Offsets grow
+/// monotonically, so when every pending request has fallen past its
+/// deadline the remaining rounds are skipped wholesale.
+#[allow(clippy::too_many_arguments)] // the serving core's full context: engine, queue, group, policy, metric, scratch, sink
+fn serve_group_into(
+    engine: &SweepEngine<'_>,
+    queue: &RequestQueue,
+    group: Range<usize>,
+    arrival: usize,
+    policy: RetryPolicy,
+    metric: RouteMetric,
+    scratch: &mut SweepScratch,
+    out: &mut Vec<RetryOutcome>,
+) {
+    let n_steps = engine.sim().steps();
+    let schedule = policy.attempt_steps(arrival, n_steps);
+    let len = group.len();
+    let mut outcome: Vec<Option<RetryOutcome>> = vec![None; len];
+    let mut eligible_attempts = vec![0usize; len];
+    let mut pending = len;
+    let mut by_src: Vec<(usize, usize)> = Vec::with_capacity(len);
+
+    for (k, &t) in schedule.iter().enumerate() {
+        if pending == 0 {
+            break;
+        }
+        let offset = t - arrival;
+        by_src.clear();
+        for li in 0..len {
+            if outcome[li].is_some() {
+                continue;
+            }
+            let qi = group.start + li;
+            // The effective deadline is the tighter of the request's and
+            // the policy's; the group schedule already enforced the
+            // policy's, so only the per-request cap needs checking.
+            if k > 0 && offset > queue.deadline(qi) {
+                continue;
+            }
+            eligible_attempts[li] += 1;
+            by_src.push((queue.src(qi), li));
+        }
+        if by_src.is_empty() {
+            // Offsets only grow: nobody left will ever be eligible again.
+            break;
+        }
+        engine.active_graph_into(t, scratch);
+        // Stable by source: requests of one source stay in queue order.
+        by_src.sort_by_key(|&(src, _)| src);
+        let graph = &scratch.active;
+        let mut i = 0;
+        while i < by_src.len() {
+            let src = by_src[i].0;
+            bellman_ford_all_into(graph, src, metric, &mut scratch.sssp);
+            while i < by_src.len() && by_src[i].0 == src {
+                let li = by_src[i].1;
+                let qi = group.start + li;
+                i += 1;
+                let Some(route) =
+                    route_from_table(graph, &scratch.sssp, src, queue.dst(qi), metric)
+                else {
+                    continue;
+                };
+                // Same link-η collection as `distribute_with`: a lookup
+                // miss means a corrupt table, treated as unroutable.
+                let mut link_etas = Vec::with_capacity(route.nodes.len().saturating_sub(1));
+                let mut intact = true;
+                for w in route.nodes.windows(2) {
+                    match graph.eta(w[0], w[1]) {
+                        Some(eta) => link_etas.push(eta),
+                        None => {
+                            intact = false;
+                            break;
+                        }
+                    }
+                }
+                if !intact {
+                    continue;
+                }
+                let d = realize(&route, &link_etas);
+                outcome[li] = Some(if k == 0 {
+                    RetryOutcome::ServedFirstTry(d)
+                } else {
+                    RetryOutcome::ServedAfterRetry {
+                        distribution: d,
+                        attempts: k + 1,
+                        waited_steps: offset,
+                    }
+                });
+                pending -= 1;
+            }
+        }
+    }
+    for (li, slot) in outcome.into_iter().enumerate() {
+        out.push(slot.unwrap_or(RetryOutcome::Expired {
+            attempts: eligible_attempts[li],
+        }));
+    }
+}
+
+/// Serve the whole queue, materializing one [`RetryOutcome`] per accepted
+/// request in queue order — the differential-comparable entry point.
+/// Parallel over arrival groups (honoring the engine's parallelism
+/// toggle); results are bit-identical either way.
+pub fn serve_full(
+    engine: &SweepEngine<'_>,
+    queue: &RequestQueue,
+    policy: RetryPolicy,
+    metric: RouteMetric,
+) -> Vec<RetryOutcome> {
+    let arrivals = queue.arrival_steps();
+    let per_group = engine.map_steps(&arrivals, |scratch, step| {
+        let range = queue
+            .group_range(step)
+            .expect("arrival steps come from the queue's own groups");
+        let mut out = Vec::with_capacity(range.len());
+        serve_group_into(
+            engine, queue, range, step, policy, metric, scratch, &mut out,
+        );
+        out
+    });
+    per_group.concat()
+}
+
+/// Per-arrival-group aggregate — the compact fold that lets a
+/// million-request serve run in O(groups) memory, and the checkpoint
+/// payload of [`serve_resilient`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupAgg {
+    pub attempted: u64,
+    pub served_first_try: u64,
+    pub served_after_retry: u64,
+    pub expired: u64,
+    pub fidelity_sum: f64,
+    pub link_fidelity_sum: f64,
+    pub eta_sum: f64,
+    pub hops_sum: f64,
+    pub attempts_sum: f64,
+    /// Histogram of waited steps over served requests (first-try = 0).
+    pub wait_hist: Vec<u64>,
+    /// Per priority class: attempted / served / fidelity sum over served.
+    pub class_attempted: Vec<u64>,
+    pub class_served: Vec<u64>,
+    pub class_fidelity_sum: Vec<f64>,
+}
+
+impl Default for GroupAgg {
+    fn default() -> GroupAgg {
+        GroupAgg {
+            attempted: 0,
+            served_first_try: 0,
+            served_after_retry: 0,
+            expired: 0,
+            fidelity_sum: 0.0,
+            link_fidelity_sum: 0.0,
+            eta_sum: 0.0,
+            hops_sum: 0.0,
+            attempts_sum: 0.0,
+            wait_hist: Vec::new(),
+            class_attempted: vec![0; PRIORITY_CLASSES],
+            class_served: vec![0; PRIORITY_CLASSES],
+            class_fidelity_sum: vec![0.0; PRIORITY_CLASSES],
+        }
+    }
+}
+
+impl GroupAgg {
+    /// Fold one request's outcome in; `class` is its reporting class.
+    fn absorb(&mut self, outcome: &RetryOutcome, class: usize) {
+        self.attempted += 1;
+        self.class_attempted[class] += 1;
+        let waited = match outcome {
+            RetryOutcome::ServedFirstTry(_) => {
+                self.served_first_try += 1;
+                self.attempts_sum += 1.0;
+                Some(0)
+            }
+            RetryOutcome::ServedAfterRetry {
+                attempts,
+                waited_steps,
+                ..
+            } => {
+                self.served_after_retry += 1;
+                self.attempts_sum += *attempts as f64;
+                Some(*waited_steps)
+            }
+            RetryOutcome::Expired { attempts } => {
+                self.expired += 1;
+                self.attempts_sum += *attempts as f64;
+                None
+            }
+        };
+        if let Some(w) = waited {
+            if self.wait_hist.len() <= w {
+                self.wait_hist.resize(w + 1, 0);
+            }
+            self.wait_hist[w] += 1;
+        }
+        if let Some(d) = outcome.distribution() {
+            self.fidelity_sum += d.fidelity;
+            self.link_fidelity_sum += d.mean_link_fidelity;
+            self.eta_sum += d.eta;
+            self.hops_sum += (d.path.len() - 1) as f64;
+            self.class_served[class] += 1;
+            self.class_fidelity_sum[class] += d.fidelity;
+        }
+    }
+
+    /// Fold `other` into `self` (order-independent for the count fields;
+    /// float sums are folded in group order everywhere for determinism).
+    pub fn merge(&mut self, other: &GroupAgg) {
+        self.attempted += other.attempted;
+        self.served_first_try += other.served_first_try;
+        self.served_after_retry += other.served_after_retry;
+        self.expired += other.expired;
+        self.fidelity_sum += other.fidelity_sum;
+        self.link_fidelity_sum += other.link_fidelity_sum;
+        self.eta_sum += other.eta_sum;
+        self.hops_sum += other.hops_sum;
+        self.attempts_sum += other.attempts_sum;
+        if self.wait_hist.len() < other.wait_hist.len() {
+            self.wait_hist.resize(other.wait_hist.len(), 0);
+        }
+        for (slot, v) in self.wait_hist.iter_mut().zip(&other.wait_hist) {
+            *slot += v;
+        }
+        for c in 0..PRIORITY_CLASSES {
+            self.class_attempted[c] += other.class_attempted[c];
+            self.class_served[c] += other.class_served[c];
+            self.class_fidelity_sum[c] += other.class_fidelity_sum[c];
+        }
+    }
+
+    /// Fold a slice of materialized outcomes (with their classes).
+    pub fn from_outcomes(outcomes: &[RetryOutcome], classes: &[usize]) -> GroupAgg {
+        let mut agg = GroupAgg::default();
+        for (o, &c) in outcomes.iter().zip(classes) {
+            agg.absorb(o, c);
+        }
+        agg
+    }
+}
+
+impl FrameCodec for GroupAgg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.attempted.encode(out);
+        self.served_first_try.encode(out);
+        self.served_after_retry.encode(out);
+        self.expired.encode(out);
+        self.fidelity_sum.encode(out);
+        self.link_fidelity_sum.encode(out);
+        self.eta_sum.encode(out);
+        self.hops_sum.encode(out);
+        self.attempts_sum.encode(out);
+        self.wait_hist.encode(out);
+        self.class_attempted.encode(out);
+        self.class_served.encode(out);
+        self.class_fidelity_sum.encode(out);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let agg = GroupAgg {
+            attempted: u64::decode(r)?,
+            served_first_try: u64::decode(r)?,
+            served_after_retry: u64::decode(r)?,
+            expired: u64::decode(r)?,
+            fidelity_sum: f64::decode(r)?,
+            link_fidelity_sum: f64::decode(r)?,
+            eta_sum: f64::decode(r)?,
+            hops_sum: f64::decode(r)?,
+            attempts_sum: f64::decode(r)?,
+            wait_hist: Vec::<u64>::decode(r)?,
+            class_attempted: Vec::<u64>::decode(r)?,
+            class_served: Vec::<u64>::decode(r)?,
+            class_fidelity_sum: Vec::<f64>::decode(r)?,
+        };
+        if agg.class_attempted.len() != PRIORITY_CLASSES
+            || agg.class_served.len() != PRIORITY_CLASSES
+            || agg.class_fidelity_sum.len() != PRIORITY_CLASSES
+        {
+            return Err(DecodeError("group agg class arity".into()));
+        }
+        Ok(agg)
+    }
+}
+
+/// Serve one arrival group straight into a [`GroupAgg`] — the per-step
+/// evaluation shared by [`serve_report`] and [`serve_resilient`].
+fn serve_group_agg(
+    engine: &SweepEngine<'_>,
+    queue: &RequestQueue,
+    arrival: usize,
+    policy: RetryPolicy,
+    metric: RouteMetric,
+    scratch: &mut SweepScratch,
+) -> GroupAgg {
+    let range = queue
+        .group_range(arrival)
+        .expect("arrival steps come from the queue's own groups");
+    let mut outcomes = Vec::with_capacity(range.len());
+    serve_group_into(
+        engine,
+        queue,
+        range.clone(),
+        arrival,
+        policy,
+        metric,
+        scratch,
+        &mut outcomes,
+    );
+    let classes: Vec<usize> = range.map(|qi| queue.class(qi)).collect();
+    GroupAgg::from_outcomes(&outcomes, &classes)
+}
+
+/// Per-priority-class service-level numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassSlo {
+    pub attempted: u64,
+    pub served: u64,
+    pub served_percent: f64,
+    pub mean_fidelity: f64,
+}
+
+/// The SLO report of one serve run — everything the artifact publishes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Accepted requests attempted.
+    pub attempted: u64,
+    pub served_first_try: u64,
+    pub served_after_retry: u64,
+    pub expired: u64,
+    /// Requests rejected at the ingest boundary (never attempted).
+    pub rejected: u64,
+    /// Median wait (steps from arrival to service) over served requests.
+    pub p50_wait_steps: u64,
+    /// 95th-percentile wait over served requests (nearest-rank).
+    pub p95_wait_steps: u64,
+    pub mean_fidelity: f64,
+    pub mean_link_fidelity: f64,
+    pub mean_eta: f64,
+    pub mean_hops: f64,
+    pub mean_attempts: f64,
+    /// Per priority class, index = class.
+    pub classes: Vec<ClassSlo>,
+}
+
+impl ServeReport {
+    /// Requests served by any attempt.
+    pub fn served(&self) -> u64 {
+        self.served_first_try + self.served_after_retry
+    }
+
+    /// Served percentage over attempted.
+    pub fn served_percent(&self) -> f64 {
+        percent(self.served(), self.attempted)
+    }
+
+    /// Percentage served without a retry.
+    pub fn first_try_percent(&self) -> f64 {
+        percent(self.served_first_try, self.attempted)
+    }
+
+    /// Percentage rescued by the retry layer.
+    pub fn rescued_percent(&self) -> f64 {
+        percent(self.served_after_retry, self.attempted)
+    }
+
+    /// Percentage that expired unserved.
+    pub fn expired_percent(&self) -> f64 {
+        percent(self.expired, self.attempted)
+    }
+
+    /// Render as a JSON object (hand-rolled: the artifact writers in this
+    /// workspace avoid a serializer dependency).
+    pub fn to_json(&self) -> String {
+        let classes: Vec<String> = self
+            .classes
+            .iter()
+            .enumerate()
+            .map(|(c, s)| {
+                format!(
+                    "{{\"class\":{c},\"attempted\":{},\"served\":{},\"served_percent\":{:.4},\"mean_fidelity\":{:.6}}}",
+                    s.attempted, s.served, s.served_percent, s.mean_fidelity
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"attempted\": {},\n  \"rejected\": {},\n  \"served_percent\": {:.4},\n  \"first_try_percent\": {:.4},\n  \"rescued_percent\": {:.4},\n  \"expired_percent\": {:.4},\n  \"p50_wait_steps\": {},\n  \"p95_wait_steps\": {},\n  \"mean_fidelity\": {:.6},\n  \"mean_link_fidelity\": {:.6},\n  \"mean_eta\": {:.6},\n  \"mean_hops\": {:.4},\n  \"mean_attempts\": {:.4},\n  \"classes\": [{}]\n}}\n",
+            self.attempted,
+            self.rejected,
+            self.served_percent(),
+            self.first_try_percent(),
+            self.rescued_percent(),
+            self.expired_percent(),
+            self.p50_wait_steps,
+            self.p95_wait_steps,
+            self.mean_fidelity,
+            self.mean_link_fidelity,
+            self.mean_eta,
+            self.mean_hops,
+            self.mean_attempts,
+            classes.join(",")
+        )
+    }
+}
+
+fn percent(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+/// Nearest-rank percentile over a wait histogram.
+fn percentile(hist: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut seen = 0u64;
+    for (w, &count) in hist.iter().enumerate() {
+        seen += count;
+        if seen >= rank {
+            return w as u64;
+        }
+    }
+    hist.len().saturating_sub(1) as u64
+}
+
+/// Fold per-group aggregates (in group order) into the final report.
+pub fn report_from_aggs(aggs: &[GroupAgg], rejected: u64) -> ServeReport {
+    let mut total = GroupAgg::default();
+    for agg in aggs {
+        total.merge(agg);
+    }
+    let served = total.served_first_try + total.served_after_retry;
+    let classes = (0..PRIORITY_CLASSES)
+        .map(|c| ClassSlo {
+            attempted: total.class_attempted[c],
+            served: total.class_served[c],
+            served_percent: percent(total.class_served[c], total.class_attempted[c]),
+            mean_fidelity: if total.class_served[c] == 0 {
+                0.0
+            } else {
+                total.class_fidelity_sum[c] / total.class_served[c] as f64
+            },
+        })
+        .collect();
+    ServeReport {
+        attempted: total.attempted,
+        served_first_try: total.served_first_try,
+        served_after_retry: total.served_after_retry,
+        expired: total.expired,
+        rejected,
+        p50_wait_steps: percentile(&total.wait_hist, served, 0.50),
+        p95_wait_steps: percentile(&total.wait_hist, served, 0.95),
+        mean_fidelity: mean(total.fidelity_sum, served),
+        mean_link_fidelity: mean(total.link_fidelity_sum, served),
+        mean_eta: mean(total.eta_sum, served),
+        mean_hops: mean(total.hops_sum, served),
+        mean_attempts: mean(total.attempts_sum, total.attempted),
+        classes,
+    }
+}
+
+fn mean(sum: f64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Serve the whole queue into an SLO report, holding only one
+/// [`GroupAgg`] per arrival group. Parallel over groups (engine toggle);
+/// bit-identical to folding [`serve_full`]'s outcomes.
+pub fn serve_report(
+    engine: &SweepEngine<'_>,
+    queue: &RequestQueue,
+    policy: RetryPolicy,
+    metric: RouteMetric,
+    rejected: u64,
+) -> ServeReport {
+    let arrivals = queue.arrival_steps();
+    let aggs = engine.map_steps(&arrivals, |scratch, step| {
+        serve_group_agg(engine, queue, step, policy, metric, scratch)
+    });
+    report_from_aggs(&aggs, rejected)
+}
+
+/// [`serve_report`] under the resilient runtime contract: checkpointed,
+/// cancellable, panic-isolated per chunk of arrival groups. The
+/// fingerprint must cover every parameter the outcomes depend on
+/// (workload seed/kind/size, policy, metric, constellation) — see
+/// [`qntn_common::frame::fingerprint`].
+pub fn serve_resilient(
+    engine: &SweepEngine<'_>,
+    queue: &RequestQueue,
+    policy: RetryPolicy,
+    metric: RouteMetric,
+    caller_fingerprint: u64,
+    run_policy: &RunPolicy,
+) -> Result<RunReport<GroupAgg>, QntnError> {
+    let arrivals = queue.arrival_steps();
+    run_steps(
+        engine,
+        &arrivals,
+        caller_fingerprint,
+        run_policy,
+        |scratch, step| serve_group_agg(engine, queue, step, policy, metric, scratch),
+    )
+}
+
+/// Fold a (possibly partial) resilient run into a report: completed
+/// groups only. A clean complete run's report equals [`serve_report`]'s
+/// bit for bit.
+pub fn report_from_run(run: &RunReport<GroupAgg>, rejected: u64) -> ServeReport {
+    let mut total = GroupAgg::default();
+    for agg in run.outputs.iter().flatten() {
+        total.merge(agg);
+    }
+    report_from_aggs(&[total], rejected)
+}

@@ -1,0 +1,141 @@
+//! Seeded request-stream generators — the scenario axes of the serve layer.
+//!
+//! Every generator is a pure function of `(sim shape, n, seed)`: same
+//! inputs, same stream, bit for bit. Endpoints are always inter-LAN ground
+//! nodes (the paper's Fig. 7 convention); the kinds differ in *when*
+//! requests arrive and *where* they concentrate:
+//!
+//! - [`WorkloadKind::Uniform`] — arrivals uniform over the day, endpoints
+//!   uniform over LAN pairs.
+//! - [`WorkloadKind::Poisson`] — a Poisson arrival process (exponential
+//!   inter-arrival gaps at rate `n / steps`, wrapped around the day), the
+//!   memoryless baseline of queueing models.
+//! - [`WorkloadKind::Diurnal`] — arrival density follows a day cycle,
+//!   `rate(t) ∝ 1 − cos(2πt/steps)`, peaking mid-day (thinning sampler).
+//! - [`WorkloadKind::Hotspot`] — three quarters of the traffic pinned to
+//!   one LAN pair, the skew that stresses capacity admission.
+//!
+//! Deadlines and priorities are drawn per request (10–39 steps, classes
+//! 0–3) so retry pruning and per-class reporting always have structure to
+//! chew on.
+
+use crate::request::RawRequest;
+use qntn_net::QuantumNetworkSim;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The request-stream shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    Uniform,
+    Poisson,
+    Diurnal,
+    Hotspot,
+}
+
+impl WorkloadKind {
+    /// Parse a CLI name.
+    pub fn parse(s: &str) -> Option<WorkloadKind> {
+        match s {
+            "uniform" => Some(WorkloadKind::Uniform),
+            "poisson" => Some(WorkloadKind::Poisson),
+            "diurnal" => Some(WorkloadKind::Diurnal),
+            "hotspot" => Some(WorkloadKind::Hotspot),
+            _ => None,
+        }
+    }
+
+    /// The CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::Uniform => "uniform",
+            WorkloadKind::Poisson => "poisson",
+            WorkloadKind::Diurnal => "diurnal",
+            WorkloadKind::Hotspot => "hotspot",
+        }
+    }
+
+    /// Stable id for run fingerprints.
+    pub fn id(self) -> u64 {
+        match self {
+            WorkloadKind::Uniform => 0,
+            WorkloadKind::Poisson => 1,
+            WorkloadKind::Diurnal => 2,
+            WorkloadKind::Hotspot => 3,
+        }
+    }
+}
+
+/// Generate `n` requests of `kind` against `sim`, deterministically from
+/// `seed`. Every generated request is valid for `sim` ([`crate::ingest`]
+/// accepts the whole stream); the boundary still re-validates, because
+/// real streams are not generated.
+///
+/// # Panics
+/// Panics when the simulator has fewer than two populated LANs or zero
+/// steps — a configuration error, not request input.
+pub fn generate(
+    sim: &QuantumNetworkSim,
+    kind: WorkloadKind,
+    n: usize,
+    seed: u64,
+) -> Vec<RawRequest> {
+    let lans: Vec<&[usize]> = (0..sim.lan_count())
+        .map(|l| sim.lan_members(l))
+        .filter(|m| !m.is_empty())
+        .collect();
+    assert!(lans.len() >= 2, "need at least two populated LANs");
+    let steps = sim.steps();
+    assert!(steps > 0, "need at least one time step");
+
+    let mut rng = StdRng::seed_from_u64(seed ^ kind.id().wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let rate = n as f64 / steps as f64;
+    let mut poisson_t = 0.0_f64;
+
+    (0..n)
+        .map(|_| {
+            let arrival_step = match kind {
+                WorkloadKind::Uniform | WorkloadKind::Hotspot => rng.random_range(0..steps),
+                WorkloadKind::Poisson => {
+                    // Exponential gap at the mean rate; wrap past the day
+                    // end so the count stays exactly n.
+                    let u: f64 = rng.random();
+                    poisson_t += -(1.0 - u).ln() / rate.max(f64::MIN_POSITIVE);
+                    (poisson_t as usize) % steps
+                }
+                WorkloadKind::Diurnal => loop {
+                    // Thinning: accept t with probability ∝ 1 − cos(2πt/T).
+                    let t = rng.random_range(0..steps);
+                    let phase = 2.0 * std::f64::consts::PI * t as f64 / steps as f64;
+                    let accept = 0.5 * (1.0 - phase.cos());
+                    if rng.random::<f64>() < accept {
+                        break t;
+                    }
+                },
+            };
+            let (a, b) = match kind {
+                // Three quarters of hotspot traffic rides one LAN pair.
+                WorkloadKind::Hotspot if rng.random_range(0..4u32) < 3 => (0, 1),
+                _ => {
+                    let a = rng.random_range(0..lans.len());
+                    let b = loop {
+                        let b = rng.random_range(0..lans.len());
+                        if b != a {
+                            break b;
+                        }
+                    };
+                    (a, b)
+                }
+            };
+            let src = lans[a][rng.random_range(0..lans[a].len())];
+            let dst = lans[b][rng.random_range(0..lans[b].len())];
+            RawRequest {
+                src,
+                dst,
+                arrival_step,
+                deadline_steps: 10 + rng.random_range(0..30usize),
+                priority: rng.random_range(0..4u32) as u8,
+            }
+        })
+        .collect()
+}

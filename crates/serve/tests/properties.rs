@@ -1,0 +1,136 @@
+//! The serve boundary's headline property: **no panic path is reachable
+//! from request input**. Arbitrary `(src, dst, arrival, deadline,
+//! priority)` tuples — including out-of-range host ids, arrivals past the
+//! day end, zero deadlines and degenerate pairs — flow through ingest →
+//! serve (full, report, admission) without ever panicking, and the
+//! accounting always balances.
+//!
+//! Case counts are small by default; the nightly CI job sets
+//! `PROPTEST_CASES=2048` to deepen the sweep.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qntn_geo::{Epoch, Geodetic};
+use qntn_net::capacity::CapacityModel;
+use qntn_net::requests::{RetryOutcome, RetryPolicy};
+use qntn_net::{Host, QuantumNetworkSim, SimConfig, SweepEngine};
+use qntn_orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
+use qntn_routing::RouteMetric;
+use qntn_serve::{ingest, serve_full, serve_report, serve_with_admission, RawRequest};
+use std::sync::OnceLock;
+
+/// Shared small fixture (see `tests/serve.rs`); 40 steps keeps the retry
+/// schedules short without losing the satellite links.
+fn sim() -> &'static QuantumNetworkSim {
+    static SIM: OnceLock<QuantumNetworkSim> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let steps = 40;
+        let props: Vec<Propagator> = paper_constellation(2)
+            .into_iter()
+            .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+            .collect();
+        let ephs = Ephemeris::generate_many(&props, Epoch::J2000, 30.0, steps as f64 * 30.0);
+        let mut hosts = vec![
+            Host::ground(
+                "TTU-0",
+                0,
+                Geodetic::from_deg(36.1757, -85.5066, 300.0),
+                1.2,
+            ),
+            Host::ground("ORNL-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+            Host::ground(
+                "EPB-0",
+                2,
+                Geodetic::from_deg(35.04159, -85.2799, 200.0),
+                1.2,
+            ),
+            Host::hap("HAP", Geodetic::from_deg(35.6692, -85.0662, 30_000.0), 0.3),
+        ];
+        for (i, eph) in ephs.into_iter().enumerate() {
+            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
+        }
+        QuantumNetworkSim::new(hosts, SimConfig::default(), steps, 30.0)
+    })
+}
+
+fn cases_or(n: u32) -> ProptestConfig {
+    ProptestConfig::with_cases(proptest::test_runner::env_case_count().unwrap_or(n))
+}
+
+/// Raw request tuples biased toward the interesting boundaries: ids that
+/// straddle the host count (the fixture has 6 hosts), arrivals that
+/// straddle the 40-step day, tiny and huge deadlines. (The vendored
+/// proptest has no `prop_oneof`, so the skew is a mapped range.)
+fn raw_request() -> impl Strategy<Value = RawRequest> {
+    fn skew(v: u64, common: usize) -> usize {
+        match v % 10 {
+            // Mostly in or just past the common range...
+            0..=7 => (v / 10) as usize % (common + 2),
+            // ...with extreme values mixed in.
+            8 => usize::MAX,
+            _ => usize::MAX - (v as usize % 3),
+        }
+    }
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(a, b, c, d, e)| RawRequest {
+            src: skew(a, 6),
+            dst: skew(b, 6),
+            arrival_step: skew(c, 40),
+            deadline_steps: skew(d, 45),
+            priority: (e % 256) as u8,
+        })
+}
+
+proptest! {
+    #![proptest_config(cases_or(24))]
+
+    #[test]
+    fn ingest_then_serve_never_panics(
+        stream in vec(raw_request(), 0..40),
+        backoff in 0usize..4,
+        deadline in 0usize..30,
+        max_attempts in 1usize..5,
+    ) {
+        let hosts = sim().hosts().len();
+        let steps = sim().steps();
+        let (queue, rejected) = ingest(hosts, steps, &stream);
+        prop_assert_eq!(queue.len() + rejected.len(), stream.len());
+
+        // Every accepted request satisfies the boundary invariants.
+        for i in 0..queue.len() {
+            prop_assert!(queue.src(i) < hosts);
+            prop_assert!(queue.dst(i) < hosts);
+            prop_assert!(queue.src(i) != queue.dst(i));
+            prop_assert!(queue.arrival(i) < steps);
+        }
+
+        let policy = RetryPolicy { max_attempts, backoff_steps: backoff, deadline_steps: deadline };
+        let metric = RouteMetric::PaperInverseEta;
+        let engine = SweepEngine::new(sim());
+
+        let outcomes = serve_full(&engine, &queue, policy, metric);
+        prop_assert_eq!(outcomes.len(), queue.len());
+
+        let report = serve_report(&engine, &queue, policy, metric, rejected.len() as u64);
+        prop_assert_eq!(report.attempted as usize, queue.len());
+        prop_assert_eq!(report.attempted, report.served() + report.expired);
+        let served = outcomes.iter().filter(|o| o.distribution().is_some()).count();
+        prop_assert_eq!(served as u64, report.served());
+
+        // The capacity-admitted path holds the same never-panics bar.
+        let model = CapacityModel { attempt_rate_hz: 2.0, window_s: 30.0 };
+        let admitted = serve_with_admission(&engine, &queue, policy, metric, model);
+        prop_assert_eq!(admitted.outcomes.len(), queue.len());
+        for o in &admitted.outcomes {
+            if let RetryOutcome::Expired { attempts } = o {
+                prop_assert!(*attempts <= policy.max_attempts.max(1));
+            }
+        }
+    }
+}

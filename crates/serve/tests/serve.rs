@@ -1,0 +1,349 @@
+//! The serve-layer contracts, end to end:
+//!
+//! - **Differential**: [`serve_full`] is bit-identical to the naive
+//!   per-request `evaluate_with_retries` reference, clean and faulted —
+//!   the amortized routing (one SSSP per distinct source per round) must
+//!   be invisible in the output.
+//! - **Parallel ≡ sequential**, **report ≡ folded outcomes**,
+//!   **resilient ≡ in-memory**: every execution mode lands on the same
+//!   bits.
+//! - **Admission**: with ample budgets the capacity path reproduces the
+//!   uncapacitated outcomes; with zero budget everything expires, with
+//!   deferrals counted; always deterministic.
+//! - **Workloads**: every generator emits streams the boundary fully
+//!   accepts, deterministically per seed.
+
+use qntn_geo::{Epoch, Geodetic};
+use qntn_net::capacity::CapacityModel;
+use qntn_net::faults::{CompiledFaults, FaultModel};
+use qntn_net::requests::{Request, RequestWorkload, RetryOutcome, RetryPolicy};
+use qntn_net::runtime::RunPolicy;
+use qntn_net::{Host, QuantumNetworkSim, SimConfig, SweepEngine};
+use qntn_orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
+use qntn_routing::RouteMetric;
+use qntn_serve::serve::GroupAgg;
+use qntn_serve::{
+    generate, ingest, report_from_aggs, report_from_run, serve_full, serve_report, serve_resilient,
+    serve_with_admission, RawRequest, RequestQueue, WorkloadKind,
+};
+use std::sync::{Arc, OnceLock};
+
+/// Three ground LANs, one HAP, two paper-constellation satellites over
+/// 60 thirty-second steps — the shared fixture (sim construction is the
+/// expensive part, so it is built once).
+fn sim() -> &'static QuantumNetworkSim {
+    static SIM: OnceLock<QuantumNetworkSim> = OnceLock::new();
+    SIM.get_or_init(|| {
+        let steps = 60;
+        let props: Vec<Propagator> = paper_constellation(2)
+            .into_iter()
+            .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+            .collect();
+        let ephs = Ephemeris::generate_many(&props, Epoch::J2000, 30.0, steps as f64 * 30.0);
+        let mut hosts = vec![
+            Host::ground(
+                "TTU-0",
+                0,
+                Geodetic::from_deg(36.1757, -85.5066, 300.0),
+                1.2,
+            ),
+            Host::ground(
+                "TTU-1",
+                0,
+                Geodetic::from_deg(36.1751, -85.5067, 300.0),
+                1.2,
+            ),
+            Host::ground("ORNL-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+            Host::ground(
+                "EPB-0",
+                2,
+                Geodetic::from_deg(35.04159, -85.2799, 200.0),
+                1.2,
+            ),
+            Host::hap("HAP", Geodetic::from_deg(35.6692, -85.0662, 30_000.0), 0.3),
+        ];
+        for (i, eph) in ephs.into_iter().enumerate() {
+            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
+        }
+        QuantumNetworkSim::new(hosts, SimConfig::default(), steps, 30.0)
+    })
+}
+
+fn queue_from(kind: WorkloadKind, n: usize, seed: u64) -> RequestQueue {
+    let stream = generate(sim(), kind, n, seed);
+    let (queue, rejected) = ingest(sim().hosts().len(), sim().steps(), &stream);
+    assert!(rejected.is_empty(), "generators emit only valid requests");
+    queue
+}
+
+/// The naive reference: group queue entries by (arrival, effective
+/// deadline) and run each subgroup through
+/// `RequestWorkload::evaluate_with_retries` with the deadline folded into
+/// the policy. Returns outcomes in queue order.
+fn naive_reference(
+    queue: &RequestQueue,
+    policy: RetryPolicy,
+    metric: RouteMetric,
+    faults: &CompiledFaults,
+) -> Vec<RetryOutcome> {
+    let mut out: Vec<Option<RetryOutcome>> = vec![None; queue.len()];
+    for (arrival, range) in queue.groups().iter().cloned() {
+        // Partition the group by effective deadline, preserving order.
+        let mut deadlines: Vec<usize> = range
+            .clone()
+            .map(|qi| queue.deadline(qi).min(policy.deadline_steps))
+            .collect();
+        deadlines.sort_unstable();
+        deadlines.dedup();
+        for dl in deadlines {
+            let members: Vec<usize> = range
+                .clone()
+                .filter(|&qi| queue.deadline(qi).min(policy.deadline_steps) == dl)
+                .collect();
+            let workload = RequestWorkload {
+                requests: members
+                    .iter()
+                    .map(|&qi| Request {
+                        src: queue.src(qi),
+                        dst: queue.dst(qi),
+                    })
+                    .collect(),
+            };
+            let sub_policy = RetryPolicy {
+                deadline_steps: dl,
+                ..policy
+            };
+            let outcomes =
+                workload.evaluate_with_retries(sim(), arrival, metric, sub_policy, faults);
+            for (qi, o) in members.into_iter().zip(outcomes) {
+                out[qi] = Some(o);
+            }
+        }
+    }
+    out.into_iter().map(Option::unwrap).collect()
+}
+
+#[test]
+fn serve_full_is_bit_identical_to_the_naive_reference() {
+    let queue = queue_from(WorkloadKind::Uniform, 150, 11);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let clean = CompiledFaults::identity(sim().hosts().len(), sim().steps());
+    let engine = SweepEngine::new(sim());
+    assert_eq!(
+        serve_full(&engine, &queue, policy, metric),
+        naive_reference(&queue, policy, metric, &clean)
+    );
+}
+
+#[test]
+fn serve_full_matches_naive_under_faults() {
+    let queue = queue_from(WorkloadKind::Poisson, 120, 23);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let faults = Arc::new(FaultModel::standard(7).with_intensity(2.5).compile(sim()));
+    let engine = SweepEngine::new(sim()).with_faults(faults.clone());
+    assert_eq!(
+        serve_full(&engine, &queue, policy, metric),
+        naive_reference(&queue, policy, metric, &faults)
+    );
+}
+
+#[test]
+fn parallel_and_sequential_serves_are_bit_identical() {
+    let queue = queue_from(WorkloadKind::Diurnal, 140, 31);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let par = SweepEngine::new(sim());
+    let seq = SweepEngine::new(sim()).with_parallel(false);
+    assert_eq!(
+        serve_full(&par, &queue, policy, metric),
+        serve_full(&seq, &queue, policy, metric)
+    );
+    assert_eq!(
+        serve_report(&par, &queue, policy, metric, 0),
+        serve_report(&seq, &queue, policy, metric, 0)
+    );
+}
+
+#[test]
+fn report_equals_the_fold_of_materialized_outcomes() {
+    let queue = queue_from(WorkloadKind::Hotspot, 130, 5);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let outcomes = serve_full(&engine, &queue, policy, metric);
+    let aggs: Vec<GroupAgg> = queue
+        .groups()
+        .iter()
+        .map(|(_, range)| {
+            let classes: Vec<usize> = range.clone().map(|qi| queue.class(qi)).collect();
+            GroupAgg::from_outcomes(&outcomes[range.clone()], &classes)
+        })
+        .collect();
+    let report = serve_report(&engine, &queue, policy, metric, 3);
+    assert_eq!(report, report_from_aggs(&aggs, 3));
+    assert_eq!(report.rejected, 3);
+    assert_eq!(report.attempted as usize, queue.len());
+    assert_eq!(
+        report.attempted,
+        report.served() + report.expired,
+        "every request is served or expired"
+    );
+    let class_total: u64 = report.classes.iter().map(|c| c.attempted).sum();
+    assert_eq!(class_total, report.attempted);
+    // The JSON artifact carries the headline numbers.
+    let json = report.to_json();
+    assert!(json.contains("\"served_percent\""));
+    assert!(json.contains("\"p95_wait_steps\""));
+    assert!(json.contains(&format!("\"attempted\": {}", report.attempted)));
+}
+
+#[test]
+fn resilient_run_reproduces_the_in_memory_report_and_resumes_from_checkpoint() {
+    let queue = queue_from(WorkloadKind::Uniform, 90, 17);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let reference = serve_report(&engine, &queue, policy, metric, 0);
+
+    let ckpt = std::env::temp_dir().join(format!(
+        "qntn_serve_test_{}_resume.ckpt",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&ckpt);
+    let run_policy = RunPolicy::default()
+        .with_checkpoint(&ckpt)
+        .with_chunk_steps(4);
+    let run = serve_resilient(&engine, &queue, policy, metric, 0xD15C0, &run_policy).unwrap();
+    assert!(run.is_clean() && run.is_complete());
+    assert_eq!(run.resumed_from, 0);
+    assert_eq!(report_from_run(&run, 0), reference);
+
+    // Re-running against the completed checkpoint replays every group
+    // from the frame file — a full codec round-trip of GroupAgg.
+    let resumed = serve_resilient(&engine, &queue, policy, metric, 0xD15C0, &run_policy).unwrap();
+    assert_eq!(resumed.resumed_from, queue.arrival_steps().len());
+    assert_eq!(report_from_run(&resumed, 0), reference);
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn ample_capacity_admission_reproduces_the_uncapacitated_outcomes() {
+    let queue = queue_from(WorkloadKind::Uniform, 80, 41);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let model = CapacityModel {
+        attempt_rate_hz: 1e9,
+        window_s: 30.0,
+    };
+    let admitted = serve_with_admission(&engine, &queue, policy, metric, model);
+    assert_eq!(admitted.congestion_deferrals, 0);
+    assert_eq!(
+        admitted.outcomes,
+        serve_full(&engine, &queue, policy, metric)
+    );
+}
+
+#[test]
+fn zero_capacity_expires_everything_and_counts_deferrals() {
+    let queue = queue_from(WorkloadKind::Uniform, 40, 43);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let model = CapacityModel {
+        attempt_rate_hz: 0.0,
+        window_s: 30.0,
+    };
+    let admitted = serve_with_admission(&engine, &queue, policy, metric, model);
+    assert!(admitted
+        .outcomes
+        .iter()
+        .all(|o| matches!(o, RetryOutcome::Expired { .. })));
+    assert_eq!(admitted.served_count(), 0);
+    // Every routable attempt was a budget deferral.
+    assert!(admitted.congestion_deferrals > 0);
+    // Deterministic across runs.
+    let again = serve_with_admission(&engine, &queue, policy, metric, model);
+    assert_eq!(admitted.outcomes, again.outcomes);
+    assert_eq!(admitted.congestion_deferrals, again.congestion_deferrals);
+}
+
+#[test]
+fn workload_generators_emit_valid_deterministic_streams() {
+    for kind in [
+        WorkloadKind::Uniform,
+        WorkloadKind::Poisson,
+        WorkloadKind::Diurnal,
+        WorkloadKind::Hotspot,
+    ] {
+        let a = generate(sim(), kind, 200, 9);
+        let b = generate(sim(), kind, 200, 9);
+        assert_eq!(a, b, "{kind:?} not deterministic");
+        let c = generate(sim(), kind, 200, 10);
+        assert_ne!(a, c, "{kind:?} ignores the seed");
+        assert_eq!(a.len(), 200);
+        let (queue, rejected) = ingest(sim().hosts().len(), sim().steps(), &a);
+        assert!(rejected.is_empty(), "{kind:?} emitted invalid requests");
+        assert_eq!(queue.len(), 200);
+        for r in &a {
+            assert!(r.arrival_step < sim().steps());
+            let src_lan = sim().hosts()[r.src].lan().unwrap();
+            let dst_lan = sim().hosts()[r.dst].lan().unwrap();
+            assert_ne!(src_lan, dst_lan, "{kind:?} emitted an intra-LAN pair");
+        }
+    }
+    // Hotspot skews: well over half the traffic rides the hot LAN pair.
+    let hot = generate(sim(), WorkloadKind::Hotspot, 400, 3);
+    let on_pair = hot
+        .iter()
+        .filter(|r| {
+            let a = sim().hosts()[r.src].lan().unwrap();
+            let b = sim().hosts()[r.dst].lan().unwrap();
+            (a, b) == (0, 1)
+        })
+        .count();
+    assert!(on_pair > 200, "hotspot skew too weak: {on_pair}/400");
+}
+
+#[test]
+fn malformed_stream_is_rejected_per_request_and_the_rest_is_served() {
+    let hosts = sim().hosts().len();
+    let steps = sim().steps();
+    let mut stream = generate(sim(), WorkloadKind::Uniform, 30, 55);
+    stream.push(RawRequest {
+        src: usize::MAX,
+        dst: 0,
+        arrival_step: 0,
+        deadline_steps: 5,
+        priority: 0,
+    });
+    stream.push(RawRequest {
+        src: 0,
+        dst: 0,
+        arrival_step: 0,
+        deadline_steps: 5,
+        priority: 0,
+    });
+    stream.push(RawRequest {
+        src: 0,
+        dst: 1,
+        arrival_step: usize::MAX,
+        deadline_steps: 5,
+        priority: 0,
+    });
+    let (queue, rejected) = ingest(hosts, steps, &stream);
+    assert_eq!(queue.len(), 30);
+    assert_eq!(rejected.len(), 3);
+    let engine = SweepEngine::new(sim());
+    let report = serve_report(
+        &engine,
+        &queue,
+        RetryPolicy::standard(),
+        RouteMetric::PaperInverseEta,
+        rejected.len() as u64,
+    );
+    assert_eq!(report.attempted, 30);
+    assert_eq!(report.rejected, 3);
+}

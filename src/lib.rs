@@ -28,6 +28,10 @@
 //! - [`net`] — the discrete-time quantum network simulator, including the
 //!   resilient sweep runtime ([`net::runtime`]): checkpoint/resume at chunk
 //!   granularity with panic isolation per step.
+//! - [`serve`] — the batch entanglement-request service: validated ingest
+//!   of untrusted request streams, seeded workload generators, and
+//!   amortized serving over the sweep timeline (one SSSP per distinct
+//!   source per step), bit-identical to the naive per-request path.
 //! - [`core`] — the QNTN scenario, both architectures, and every experiment.
 //!
 //! ## Quickstart
@@ -51,3 +55,4 @@ pub use qntn_net as net;
 pub use qntn_orbit as orbit;
 pub use qntn_quantum as quantum;
 pub use qntn_routing as routing;
+pub use qntn_serve as serve;

@@ -180,6 +180,33 @@ proptest! {
         );
     }
 
+    /// (a′) Arbitrary arrival steps — including ones at or past the end of
+    /// the simulated day — never panic the retry evaluator: an out-of-range
+    /// arrival has an empty attempt schedule and expires every request with
+    /// zero attempts. (Regression: `attempt_steps` used to assert.)
+    #[test]
+    fn out_of_range_arrivals_expire_instead_of_panicking(
+        workload_seed in any::<u64>(),
+        arrival in any::<usize>(),
+    ) {
+        let sim = fault_sim(2, 40);
+        let faults = qntn::net::faults::CompiledFaults::identity(sim.hosts().len(), sim.steps());
+        let w = RequestWorkload::generate(&sim, 5, workload_seed);
+        let outcomes = w.evaluate_with_retries(
+            &sim,
+            arrival,
+            RouteMetric::PaperInverseEta,
+            RetryPolicy::standard(),
+            &faults,
+        );
+        prop_assert_eq!(outcomes.len(), 5);
+        if arrival >= sim.steps() {
+            prop_assert!(outcomes
+                .iter()
+                .all(|o| *o == RetryOutcome::Expired { attempts: 0 }));
+        }
+    }
+
     /// (b) Raising the intensity never serves *more* requests: the nested
     /// episode sampling makes every low-intensity schedule a subset of the
     /// high-intensity one, so served counts are monotone non-increasing.
