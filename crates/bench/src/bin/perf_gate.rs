@@ -1,0 +1,198 @@
+//! `perf_gate` — the CI performance-regression gate over `BENCH_sweep.json`.
+//!
+//! ```text
+//! perf_gate --baseline PATH --fresh PATH [--tolerance X]
+//! ```
+//!
+//! Compares the `engine_clean` wall time of every constellation size that
+//! appears in *both* files (the top-level paper entry and each `"scales"`
+//! entry) and fails when any fresh time exceeds `tolerance ×` its baseline
+//! (default 2.0). The generous factor is deliberate: CI machines are
+//! noisy, shared, and heterogeneous, so a tight gate would flap — the gate
+//! exists to catch *algorithmic* regressions (an accidental O(N²) rescan,
+//! a lost pruning layer), which show up as integer multiples, not
+//! percentages. Sizes present in only one file are reported and skipped,
+//! never failed: adding a new `--scale` must not break the gate before a
+//! baseline exists.
+//!
+//! Exit codes: 0 within tolerance, 1 regression, 2 usage error, 3 file
+//! unreadable or unparseable.
+//!
+//! The parser is a deliberately tiny hand scan over the two keys it needs
+//! (`"satellites"`, then the next `"engine_clean"`), matching the
+//! hand-formatted JSON `reproduce bench` writes; it depends on no JSON
+//! crate and, like every workspace binary, is panic-free under
+//! `qntn-lint`'s `no-panic-bins` rule.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+perf_gate --baseline PATH --fresh PATH [--tolerance X]
+
+Compares engine_clean wall times per constellation size between two
+BENCH_sweep.json files; exits 1 when the fresh run regresses by more
+than the tolerance factor (default 2.0) at any size.
+
+exit codes:
+  0  every common size is within tolerance
+  1  at least one size regressed
+  2  usage error
+  3  a file could not be read or parsed
+";
+
+struct Args {
+    baseline: PathBuf,
+    fresh: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+        *i += 1;
+        args.get(*i)
+            .map(String::as_str)
+            .ok_or_else(|| format!("flag `{flag}` needs a value"))
+    }
+
+    let mut baseline = None;
+    let mut fresh = None;
+    let mut tolerance = 2.0;
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        match a {
+            "--baseline" => baseline = Some(PathBuf::from(value(args, &mut i, a)?)),
+            "--fresh" => fresh = Some(PathBuf::from(value(args, &mut i, a)?)),
+            "--tolerance" => {
+                let raw = value(args, &mut i, a)?;
+                tolerance = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 1.0)
+                    .ok_or_else(|| {
+                        format!("flag `--tolerance`: need a finite factor >= 1, got `{raw}`")
+                    })?;
+            }
+            _ => return Err(format!("unknown argument `{a}`")),
+        }
+        i += 1;
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("missing required flag `--baseline`")?,
+        fresh: fresh.ok_or("missing required flag `--fresh`")?,
+        tolerance,
+    })
+}
+
+/// One `(satellites, engine_clean_ms)` measurement of a bench file.
+struct Entry {
+    satellites: u64,
+    engine_clean_ms: f64,
+}
+
+/// Scan `text` for every `"satellites": N` and pair it with the next
+/// `"engine_clean": X`. This is exactly the shape `reproduce bench`
+/// writes: the top-level paper entry and each scales entry both put the
+/// size before the timing block.
+fn parse_entries(text: &str) -> Result<Vec<Entry>, String> {
+    fn number_after<'a>(text: &'a str, key: &str, from: usize) -> Option<(usize, &'a str)> {
+        let at = text[from..].find(key)? + from + key.len();
+        let rest = text[at..].trim_start_matches([':', ' ']);
+        let len = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        Some((at, &rest[..len]))
+    }
+
+    let mut entries = Vec::new();
+    let mut from = 0;
+    while let Some((at, sats_raw)) = number_after(text, "\"satellites\"", from) {
+        let satellites = sats_raw
+            .parse::<u64>()
+            .map_err(|_| format!("bad \"satellites\" value `{sats_raw}`"))?;
+        let (clean_at, clean_raw) = number_after(text, "\"engine_clean\"", at)
+            .ok_or_else(|| format!("no \"engine_clean\" after \"satellites\": {satellites}"))?;
+        let engine_clean_ms = clean_raw
+            .parse::<f64>()
+            .map_err(|_| format!("bad \"engine_clean\" value `{clean_raw}`"))?;
+        entries.push(Entry {
+            satellites,
+            engine_clean_ms,
+        });
+        from = clean_at;
+    }
+    if entries.is_empty() {
+        return Err("no (satellites, engine_clean) entries found".into());
+    }
+    Ok(entries)
+}
+
+fn load(path: &Path) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_entries(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (baseline, fresh) = match (load(&args.baseline), load(&args.fresh)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(3);
+        }
+    };
+
+    let mut regressed = false;
+    let mut compared = 0;
+    for f in &fresh {
+        let Some(b) = baseline.iter().find(|b| b.satellites == f.satellites) else {
+            println!(
+                "{:>6} sats: no baseline entry, skipped (fresh {:.1} ms)",
+                f.satellites, f.engine_clean_ms
+            );
+            continue;
+        };
+        compared += 1;
+        let limit = b.engine_clean_ms * args.tolerance;
+        let ratio = if b.engine_clean_ms > 0.0 {
+            f.engine_clean_ms / b.engine_clean_ms
+        } else {
+            f64::INFINITY
+        };
+        let verdict = if f.engine_clean_ms > limit {
+            regressed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:>6} sats: baseline {:.1} ms, fresh {:.1} ms ({ratio:.2}x, limit {:.1}x) {verdict}",
+            f.satellites, b.engine_clean_ms, f.engine_clean_ms, args.tolerance
+        );
+    }
+    if compared == 0 {
+        eprintln!("error: the two files share no constellation size");
+        return ExitCode::from(3);
+    }
+    if regressed {
+        eprintln!("perf gate: FAILED (>{}x regression)", args.tolerance);
+        ExitCode::from(1)
+    } else {
+        println!("perf gate: ok ({compared} size(s) compared)");
+        ExitCode::SUCCESS
+    }
+}

@@ -42,7 +42,7 @@
 use qntn_channel::fso::{FsoChannel, FsoGeometry};
 use qntn_channel::params::FsoParams;
 use qntn_common::{atomic_write, frame, CancelToken, Deadline, QntnError, RunControl};
-use qntn_core::architecture::{AirGround, SpaceGround};
+use qntn_core::architecture::{default_epoch, AirGround, SpaceGround};
 use qntn_core::compare::ComparisonReport;
 use qntn_core::experiments::faults::FaultExperiment;
 use qntn_core::experiments::fidelity::FidelityExperiment;
@@ -58,8 +58,9 @@ use qntn_net::faults::FaultModel;
 use qntn_net::requests::RetryPolicy;
 use qntn_net::runtime::{run_steps, PanicPolicy, RunPolicy};
 use qntn_net::{SimConfig, SweepEngine};
+use qntn_orbit::ephemeris::{PAPER_DURATION_S, PAPER_STEP_S};
 use qntn_orbit::walker::paper_slots;
-use qntn_orbit::PerturbationModel;
+use qntn_orbit::{scaled_shell, Ephemeris, PerturbationModel, Propagator};
 use qntn_routing::RouteMetric;
 use qntn_serve::{generate, ingest, report_from_run, serve_resilient, WorkloadKind};
 use std::path::{Path, PathBuf};
@@ -100,6 +101,13 @@ flags:
   --no-parallel run the daily sweeps on the sequential engine path
                 (bit-identical results; for debugging / single-core runs)
   --help        this text
+
+bench flags:
+  --scale N     additionally wall-time an engine-only daily sweep of an
+                N-satellite Walker shell (N >= 1; repeatable). Each run
+                appends a per-scale entry to the scales array of
+                BENCH_sweep.json; ISLs are disabled at scale so the timing
+                isolates the ground-visibility sweep machinery
 
 sweep/serve runtime flags:
   --sats N              constellation size (sweep default 36, 6 with
@@ -229,6 +237,8 @@ struct Cli {
     artifact: String,
     quick: bool,
     parallel: bool,
+    /// Extra constellation sizes for `bench` (the `--scale` flag, repeatable).
+    scales: Vec<usize>,
     sweep: SweepOpts,
     serve: ServeOpts,
 }
@@ -238,6 +248,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         artifact: String::from("all"),
         quick: false,
         parallel: true,
+        scales: Vec::new(),
         sweep: SweepOpts::default(),
         serve: ServeOpts::default(),
     };
@@ -262,6 +273,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--no-parallel" => cli.parallel = false,
             "--quarantine" => cli.sweep.quarantine = true,
             "--sats" => cli.sweep.sats = Some(number(value(args, &mut i, a)?, a)?),
+            "--scale" => {
+                let n: usize = number(value(args, &mut i, a)?, a)?;
+                if n == 0 {
+                    return Err("flag `--scale`: a constellation needs at least 1 satellite".into());
+                }
+                cli.scales.push(n);
+            }
             "--checkpoint" => cli.sweep.checkpoint = Some(PathBuf::from(value(args, &mut i, a)?)),
             "--checkpoint-every" => {
                 cli.sweep.checkpoint_every = number(value(args, &mut i, a)?, a)?
@@ -388,7 +406,7 @@ fn run(cli: &Cli) -> Result<Exit, QntnError> {
         return serve(&scenario, config, cli);
     }
     if artifact == "bench" {
-        bench_sweep(&scenario, config, quick, parallel)?;
+        bench_sweep(&scenario, config, quick, parallel, &cli.scales)?;
     }
     if artifact == "export" {
         export(&scenario, config, quick, parallel)?;
@@ -734,11 +752,22 @@ fn serve(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<Exit, QntnErro
 /// so future changes have a baseline to regress against. The engine and
 /// naive flag vectors are asserted equal before anything is written
 /// (timing a wrong answer would be worthless).
+///
+/// Each `--scale N` additionally times an engine-only sweep of an
+/// N-satellite Walker shell (the mega-constellation path: spatial window
+/// pruning, incremental topology, batched η). ISLs are disabled there —
+/// the O(N²) ISL pair loop is a different workload and would swamp the
+/// ground-visibility machinery being measured — and the naive oracle is
+/// skipped (at 1000+ satellites it takes minutes; the bit-identity of
+/// engine vs naive is pinned by `tests/pipeline_goldens.rs` instead).
+/// The per-scale timings land in the `"scales"` array of the JSON, which
+/// `perf_gate` compares run-over-run in CI.
 fn bench_sweep(
     scenario: &Qntn,
     config: SimConfig,
     quick: bool,
     parallel: bool,
+    scales: &[usize],
 ) -> Result<(), QntnError> {
     use std::sync::Arc;
     use std::time::Instant;
@@ -777,8 +806,50 @@ fn bench_sweep(
     let engine_faulted_ms = t.elapsed().as_secs_f64() * 1e3;
     println!("engine_faulted  {engine_faulted_ms:>10.1} ms (incl. mask compile)");
 
+    let mut scale_entries = String::new();
+    for &n in scales {
+        let t = Instant::now();
+        let epoch = default_epoch();
+        let props: Vec<Propagator> = scaled_shell(n)
+            .elements()
+            .into_iter()
+            .map(|k| Propagator::new(k, epoch, PerturbationModel::TwoBody))
+            .collect();
+        let ephemerides = Ephemeris::generate_many(&props, epoch, PAPER_STEP_S, PAPER_DURATION_S);
+        let shell = SpaceGround::from_ephemerides(
+            scenario,
+            ephemerides,
+            SimConfig {
+                enable_isl: false,
+                ..config
+            },
+        );
+        let setup_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let engine = SweepEngine::new(shell.sim()).with_parallel(parallel);
+        let flags = engine.connectivity_flags();
+        let scale_clean_ms = t.elapsed().as_secs_f64() * 1e3;
+        let connected = flags.iter().filter(|&&c| c).count();
+        println!(
+            "scale {n:>5}     {scale_clean_ms:>10.1} ms engine-only ({setup_ms:.1} ms setup, {connected}/{} steps connected)",
+            flags.len()
+        );
+        if !scale_entries.is_empty() {
+            scale_entries.push_str(",\n");
+        }
+        scale_entries.push_str(&format!(
+            "    {{\n      \"satellites\": {n},\n      \"isl\": false,\n      \"wall_ms\": {{\n        \"setup\": {setup_ms:.1},\n        \"engine_clean\": {scale_clean_ms:.1}\n      }}\n    }}"
+        ));
+    }
+
+    let scales_json = if scale_entries.is_empty() {
+        String::from("[]")
+    } else {
+        format!("[\n{scale_entries}\n  ]")
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"sweep_day\",\n  \"satellites\": {n_sats},\n  \"steps\": {},\n  \"parallel\": {parallel},\n  \"wall_ms\": {{\n    \"engine_clean\": {engine_clean_ms:.1},\n    \"naive_clean\": {naive_clean_ms:.1},\n    \"engine_faulted\": {engine_faulted_ms:.1}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"sweep_day\",\n  \"satellites\": {n_sats},\n  \"steps\": {},\n  \"parallel\": {parallel},\n  \"wall_ms\": {{\n    \"engine_clean\": {engine_clean_ms:.1},\n    \"naive_clean\": {naive_clean_ms:.1},\n    \"engine_faulted\": {engine_faulted_ms:.1}\n  }},\n  \"scales\": {scales_json}\n}}\n",
         sim.steps()
     );
     atomic_write(Path::new("BENCH_sweep.json"), json.as_bytes())?;

@@ -7,9 +7,14 @@
 //! `NA` rows) — plus the `serve` artifact's flag validation and artifact
 //! outputs.
 //!
-//! Cargo builds the binary and exposes its path via
-//! `CARGO_BIN_EXE_reproduce`, so these run on the exact bits `cargo run`
-//! would use.
+//! Also covered: the `bench --scale` contract (flag validation, the
+//! per-scale entries of `BENCH_sweep.json`) and the `perf_gate` binary's
+//! exit-code contract (0 within tolerance, 1 regression, 2 usage, 3
+//! unreadable input).
+//!
+//! Cargo builds the binaries and exposes their paths via
+//! `CARGO_BIN_EXE_reproduce` / `CARGO_BIN_EXE_perf_gate`, so these run on
+//! the exact bits `cargo run` would use.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, Output};
@@ -343,6 +348,167 @@ fn sweep_panicking_chunk_fails_fast_with_exit_6() {
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("panicked"), "{stderr}");
+}
+
+fn perf_gate(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_perf_gate"))
+        .args(args)
+        .output()
+        .expect("failed to spawn perf_gate")
+}
+
+#[test]
+fn bench_rejects_scale_zero_with_exit_2() {
+    let out = reproduce(&["bench", "--quick", "--scale", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--scale"), "{stderr}");
+    assert!(stderr.contains("at least 1"), "{stderr}");
+}
+
+#[test]
+fn bench_rejects_a_garbage_scale_with_exit_2() {
+    let out = reproduce(&["bench", "--quick", "--scale", "mega"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("invalid value"), "{stderr}");
+    assert!(stderr.contains("`mega`"), "{stderr}");
+}
+
+/// `bench --scale` end to end: the run succeeds and BENCH_sweep.json
+/// carries both the default ladder entry and a per-scale entry with the
+/// schema `perf_gate` consumes (`satellites` before `engine_clean`).
+#[test]
+fn bench_scale_writes_per_scale_entries() {
+    let dir = temp_path("bench_scale_cwd", "d");
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = reproduce_in(&dir, &["bench", "--quick", "--scale", "16"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("scale    16"), "{stdout}");
+    let body = std::fs::read_to_string(dir.join("BENCH_sweep.json")).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    for needle in [
+        "\"benchmark\": \"sweep_day\"",
+        "\"satellites\": 12",
+        "\"scales\": [",
+        "\"satellites\": 16",
+        "\"isl\": false",
+        "\"setup\":",
+        "\"engine_clean\":",
+    ] {
+        assert!(body.contains(needle), "missing `{needle}` in: {body}");
+    }
+    assert!(
+        body.rfind("\"satellites\": 16") < body.rfind("\"engine_clean\":"),
+        "scale entry must put satellites before engine_clean: {body}"
+    );
+}
+
+/// A minimal bench-file fixture in `perf_gate`'s input schema.
+fn bench_fixture(tag: &str, ms_108: f64, ms_1080: f64) -> PathBuf {
+    let path = temp_path(tag, "json");
+    let body = format!(
+        "{{\n  \"benchmark\": \"sweep_day\",\n  \"satellites\": 108,\n  \"steps\": 2880,\n  \"parallel\": true,\n  \"wall_ms\": {{\n    \"engine_clean\": {ms_108:.1},\n    \"naive_clean\": 9000.0,\n    \"engine_faulted\": 2000.0\n  }},\n  \"scales\": [\n    {{\n      \"satellites\": 1080,\n      \"isl\": false,\n      \"wall_ms\": {{\n        \"setup\": 5000.0,\n        \"engine_clean\": {ms_1080:.1}\n      }}\n    }}\n  ]\n}}\n"
+    );
+    // qntn-lint: allow(atomic-writes-only) -- throwaway test fixture, not a build artifact
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+#[test]
+fn perf_gate_passes_within_tolerance_and_fails_beyond_it() {
+    let baseline = bench_fixture("gate_base", 1000.0, 3000.0);
+    let within = bench_fixture("gate_within", 1900.0, 5500.0);
+    let beyond = bench_fixture("gate_beyond", 1000.0, 6100.0);
+
+    let ok = perf_gate(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        within.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(
+        stdout.contains("perf gate: ok (2 size(s) compared)"),
+        "{stdout}"
+    );
+
+    let fail = perf_gate(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        beyond.to_str().unwrap(),
+    ]);
+    assert_eq!(fail.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&fail.stdout);
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(
+        stdout.contains("1080 sats"),
+        "the regressed size is named: {stdout}"
+    );
+
+    // A looser tolerance turns the same comparison green.
+    let loose = perf_gate(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        beyond.to_str().unwrap(),
+        "--tolerance",
+        "3.0",
+    ]);
+    assert_eq!(loose.status.code(), Some(0));
+
+    std::fs::remove_file(&baseline).ok();
+    std::fs::remove_file(&within).ok();
+    std::fs::remove_file(&beyond).ok();
+}
+
+#[test]
+fn perf_gate_usage_errors_exit_2() {
+    let out = perf_gate(&["--fresh", "only.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--baseline"), "{stderr}");
+
+    let out = perf_gate(&[
+        "--baseline",
+        "a.json",
+        "--fresh",
+        "b.json",
+        "--tolerance",
+        "0.5",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("factor >= 1"), "{stderr}");
+}
+
+#[test]
+fn perf_gate_unreadable_input_exits_3() {
+    let baseline = bench_fixture("gate_io", 1000.0, 3000.0);
+    let missing = temp_path("gate_missing", "json");
+    let out = perf_gate(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        missing.to_str().unwrap(),
+    ]);
+    std::fs::remove_file(&baseline).ok();
+    assert_eq!(out.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot read"), "{stderr}");
 }
 
 #[test]

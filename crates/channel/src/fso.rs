@@ -184,6 +184,130 @@ impl FsoChannel {
     }
 }
 
+/// SoA buffers for evaluating the total η of many *atmospheric downlinks*
+/// in one call — the batched form of [`FsoChannel::budget_with_rytov`]
+/// with a per-element Rytov variance supplied by the caller.
+///
+/// Element `i` of [`FsoBatch::eta`] is **bit-identical** to
+/// `FsoChannel::new(geom_i, params).budget_with_rytov(Some(rytov_i)).eta_total()`
+/// for non-space-only geometry: every stage applies exactly the scalar
+/// path's expressions to each element, in the same per-element evaluation
+/// order — Rust neither contracts floats into FMAs nor reassociates them,
+/// so splitting the computation into per-stage loops over arrays cannot
+/// change a bit. What it does change is the instruction mix: the
+/// arithmetic-only diffraction stage auto-vectorizes, and the
+/// `powf`/`exp`-bound stages run back to back with their table state hot.
+/// `cached_vs_batch` below pins the bit-identity.
+#[derive(Debug, Default, Clone)]
+pub struct FsoBatch {
+    tx_aperture_m: Vec<f64>,
+    rx_aperture_m: Vec<f64>,
+    tx_alt_m: Vec<f64>,
+    rx_alt_m: Vec<f64>,
+    range_m: Vec<f64>,
+    elevation_rad: Vec<f64>,
+    rytov: Vec<f64>,
+    w_diff: Vec<f64>,
+    w_lt: Vec<f64>,
+    eta: Vec<f64>,
+}
+
+impl FsoBatch {
+    /// Drop every queued element (buffers keep their capacity).
+    pub fn clear(&mut self) {
+        self.tx_aperture_m.clear();
+        self.rx_aperture_m.clear();
+        self.tx_alt_m.clear();
+        self.rx_alt_m.clear();
+        self.range_m.clear();
+        self.elevation_rad.clear();
+        self.rytov.clear();
+    }
+
+    /// Number of queued elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.range_m.len()
+    }
+
+    /// True when nothing is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.range_m.is_empty()
+    }
+
+    /// Queue one downlink: its geometry, the *effective* elevation the
+    /// attenuation formulas should use (per the caller's
+    /// [`ElevationMode`] resolution), and its Rytov variance. The kernel
+    /// models atmospheric downlinks only — space-only geometry must stay
+    /// on the scalar path.
+    pub fn push(&mut self, geom: &FsoGeometry, effective_elevation_rad: f64, rytov: f64) {
+        debug_assert!(
+            !geom.is_space_only(),
+            "the batch kernel models atmospheric downlinks only"
+        );
+        self.tx_aperture_m.push(geom.tx_aperture_m);
+        self.rx_aperture_m.push(geom.rx_aperture_m);
+        self.tx_alt_m.push(geom.tx_alt_m);
+        self.rx_alt_m.push(geom.rx_alt_m);
+        self.range_m.push(geom.range_m);
+        self.elevation_rad.push(effective_elevation_rad);
+        self.rytov.push(rytov);
+    }
+
+    /// Run the stage loops over every queued element. Afterwards
+    /// [`FsoBatch::eta`] holds one total transmissivity per element, in
+    /// push order.
+    pub fn compute(&mut self, params: &FsoParams) {
+        let n = self.len();
+        let k = params.wavenumber();
+        self.w_diff.clear();
+        self.w_lt.clear();
+        self.eta.clear();
+        self.w_diff.reserve(n);
+        self.w_lt.reserve(n);
+        self.eta.reserve(n);
+        // Stage 1 — diffraction: pure arithmetic plus one sqrt, the loop
+        // the compiler vectorizes.
+        for i in 0..n {
+            let w0 = params.tx_waist_ratio * self.tx_aperture_m[i] / 2.0;
+            let z_r = std::f64::consts::PI * w0 * w0 / params.wavelength_m;
+            let ratio = self.range_m[i] / z_r;
+            self.w_diff.push(w0 * (1.0 + ratio * ratio).sqrt());
+        }
+        // Stage 2 — turbulence spread and pointing jitter (powf-bound).
+        for i in 0..n {
+            let w_diff = self.w_diff[i];
+            let spread = params
+                .turbulence
+                .spread_factor(self.rytov[i], k, self.range_m[i], w_diff);
+            let jitter_m = params.pointing_jitter_rad * self.range_m[i];
+            self.w_lt
+                .push((w_diff * w_diff * spread + 2.0 * jitter_m * jitter_m).sqrt());
+        }
+        // Stage 3 — aperture coupling, extinction, receiver efficiency
+        // (exp-bound). The multiply order matches `LinkBudget::eta_total`.
+        for i in 0..n {
+            let a_rx = self.rx_aperture_m[i] / 2.0;
+            let w_lt = self.w_lt[i];
+            let eta_th = 1.0 - (-2.0 * a_rx * a_rx / (w_lt * w_lt)).exp();
+            let eta_atm = params.atmosphere.transmissivity(
+                self.rx_alt_m[i],
+                self.tx_alt_m[i],
+                self.elevation_rad[i],
+            );
+            self.eta.push(eta_th * eta_atm * params.receiver_efficiency);
+        }
+    }
+
+    /// The per-element total transmissivities of the last
+    /// [`FsoBatch::compute`], in push order.
+    #[inline]
+    pub fn eta(&self) -> &[f64] {
+        &self.eta
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +477,61 @@ mod tests {
             prev < clean * 0.8,
             "100 urad should hurt: {prev} vs {clean}"
         );
+    }
+
+    #[test]
+    fn batch_kernel_is_bit_identical_to_the_scalar_path() {
+        // A spread of geometries across the regimes the network produces:
+        // satellite downlinks, HAP downlinks, mountain receivers, and both
+        // zero and heavy Rytov variances — every element must reproduce the
+        // scalar budget bit for bit, for several parameter sets.
+        let geoms = [
+            (
+                FsoGeometry::downlink(1.2, 500e3, 1.2, 300.0, 500e3, 1.2),
+                0.0,
+            ),
+            (
+                FsoGeometry::downlink(1.2, 500e3, 1.2, 300.0, 1_220e3, 0.35),
+                0.21,
+            ),
+            (
+                FsoGeometry::downlink(0.3, 30e3, 1.2, 300.0, 78e3, 0.39),
+                0.02,
+            ),
+            (
+                FsoGeometry::downlink(1.2, 800e3, 1.2, 1500.0, 950e3, 0.8),
+                1.7,
+            ),
+            (
+                FsoGeometry::downlink(0.3, 30e3, 0.3, 30e3, 40e3, 0.001),
+                0.0,
+            ),
+        ];
+        for params in [
+            FsoParams::ideal(),
+            FsoParams::ideal().with_weather(10.0),
+            FsoParams::ideal().with_pointing_jitter(2e-5),
+        ] {
+            let mut batch = FsoBatch::default();
+            for (geom, rytov) in &geoms {
+                batch.push(geom, geom.elevation_rad, *rytov);
+            }
+            assert_eq!(batch.len(), geoms.len());
+            batch.compute(&params);
+            for (i, (geom, rytov)) in geoms.iter().enumerate() {
+                let scalar = FsoChannel::new(*geom, params)
+                    .budget_with_rytov(Some(*rytov))
+                    .eta_total();
+                assert_eq!(
+                    batch.eta()[i].to_bits(),
+                    scalar.to_bits(),
+                    "element {i}: batch {} vs scalar {scalar}",
+                    batch.eta()[i]
+                );
+            }
+            batch.clear();
+            assert!(batch.is_empty());
+        }
     }
 
     #[test]

@@ -35,6 +35,8 @@ const HOT_PATHS: &[&str] = &[
     "crates/net/src/runtime.rs",
     "crates/net/src/faults.rs",
     "crates/net/src/linkeval.rs",
+    "crates/orbit/src/spatial.rs",
+    "crates/channel/src/fso.rs",
     "crates/serve/src/serve.rs",
     "crates/serve/src/admission.rs",
     "crates/serve/src/request.rs",

@@ -60,9 +60,10 @@ pub use events::{LinkEvent, LinkStats, LinkTimeline};
 pub use faults::{CompiledFaults, FaultModel};
 pub use heralded::{Delivery, HeraldedLink, HeraldedStats};
 pub use host::{Host, HostKind, LanId};
-pub use linkeval::{LinkEvaluator, SimConfig};
+pub use linkeval::{BatchOutcome, LinkEvaluator, SimConfig};
 pub use pipeline::{
-    build_topology, build_topology_into, Candidate, ContactWindows, LinkMap, Scene,
+    build_topology, build_topology_into, build_topology_into_with, Candidate, ContactWindows,
+    LinkMap, Scene, StepCursor,
 };
 pub use requests::{
     Request, RequestOutcome, RequestWorkload, RetryOutcome, RetryPolicy, RetryStats,

@@ -21,7 +21,7 @@
 
 use crate::host::Host;
 use qntn_channel::fiber::FiberChannel;
-use qntn_channel::fso::{FsoChannel, FsoGeometry};
+use qntn_channel::fso::{FsoBatch, FsoChannel, FsoGeometry};
 use qntn_channel::params::{ElevationMode, FsoParams};
 use qntn_common::QntnError;
 use qntn_geo::look::look_angles_ecef;
@@ -422,6 +422,105 @@ impl LinkEvaluator {
         };
         Some(channel.budget_with_rytov(rytov).eta_total())
     }
+
+    /// Phase 1 of the batched η path: run [`LinkEvaluator::fso_eta`]'s
+    /// classification and geometry for one pair, then either resolve it
+    /// immediately or queue its SoA row. Resolved outcomes carry exactly
+    /// the value `fso_eta` returns (the no-link cases, plus the paths the
+    /// batch kernel does not model — ISLs and exo-atmospheric pairs —
+    /// which are evaluated scalar right here); queued pairs get their η
+    /// from [`FsoBatch::compute`], bit-identical to the scalar path by the
+    /// kernel's contract. The split exists so [`crate::pipeline::LinkMap`]
+    /// can gather a whole step's ground–satellite links and run the
+    /// Rytov/diffraction/budget math as stage loops over arrays.
+    pub fn fso_eta_batch_enqueue(
+        &self,
+        a: &Host,
+        b: &Host,
+        step: usize,
+        batch: &mut FsoBatch,
+    ) -> BatchOutcome {
+        if (a.is_ground() && b.is_ground()) || (a.is_satellite() && b.is_satellite()) {
+            // No FSO class, or the ISL path — not an atmospheric downlink;
+            // the scalar evaluator covers both.
+            return BatchOutcome::Resolved(self.fso_eta(a, b, step));
+        }
+        // The same ordering, look angles and visibility gates as `fso_eta`.
+        let (low, high) = if a.altitude_at(step) <= b.altitude_at(step) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        let low_pos = low.geodetic_at(step);
+        let look = look_angles_ecef(low_pos, high.ecef_at(step), &WGS84);
+        if low_pos.alt_m < 10_000.0 {
+            if look.elevation <= 0.0 {
+                return BatchOutcome::Resolved(None);
+            }
+        } else if ray_min_altitude_m(low.ecef_at(step), high.ecef_at(step)) < 10_000.0 {
+            return BatchOutcome::Resolved(None);
+        }
+        let geom = FsoGeometry::downlink(
+            high.aperture_m,
+            high.altitude_at(step),
+            low.aperture_m,
+            low_pos.alt_m,
+            look.range_m,
+            look.elevation,
+        );
+        if geom.is_space_only() {
+            // Exo-atmospheric (never reachable while the low endpoint is a
+            // ground site, but kept total): the kernel's turbulence and
+            // extinction stages don't apply, so take the scalar budget.
+            let channel = FsoChannel::new(geom, self.config.fso);
+            return BatchOutcome::Resolved(Some(channel.budget_with_rytov(None).eta_total()));
+        }
+        // Resolve the effective elevation and the Rytov variance *now*, the
+        // way the scalar path would: a matching table interpolates on the
+        // geometric elevation, everything else computes the exact integral
+        // the budget would otherwise compute internally — same expression,
+        // same arguments, same bits.
+        let elev = match self.config.fso.elevation_mode {
+            ElevationMode::Geometric => geom.elevation_rad,
+            ElevationMode::Fixed(e) => e,
+        };
+        let rytov = if matches!(self.config.fso.elevation_mode, ElevationMode::Geometric)
+            && low.is_ground()
+            && (high.is_satellite() || high.is_hap())
+        {
+            match self.rytov_table_for(low_pos.alt_m, high.altitude_at(step)) {
+                Some(t) => t.lookup(look.elevation),
+                None => self.config.fso.turbulence.rytov_variance_downlink(
+                    self.config.fso.wavenumber(),
+                    geom.rx_alt_m,
+                    geom.tx_alt_m,
+                    elev,
+                ),
+            }
+        } else {
+            self.config.fso.turbulence.rytov_variance_downlink(
+                self.config.fso.wavenumber(),
+                geom.rx_alt_m,
+                geom.tx_alt_m,
+                elev,
+            )
+        };
+        batch.push(&geom, elev, rytov);
+        BatchOutcome::Queued
+    }
+}
+
+/// Disposition of one pair offered to
+/// [`LinkEvaluator::fso_eta_batch_enqueue`].
+#[derive(Debug, Clone, Copy)]
+pub enum BatchOutcome {
+    /// The pair resolved without the kernel — either no link, or a path
+    /// the batch kernel does not model, evaluated scalar. The value is
+    /// exactly what [`LinkEvaluator::fso_eta`] returns.
+    Resolved(Option<f64>),
+    /// Geometry and Rytov variance appended to the batch; the η arrives
+    /// from [`FsoBatch::compute`] in push order.
+    Queued,
 }
 
 #[cfg(test)]
@@ -668,6 +767,53 @@ mod tests {
                         .any(|&(r, t)| r == rx && (t - tx).abs() <= 50_000.0),
                     "missing class ({rx}, {tx}): {classes:?}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_path_matches_fso_eta_bit_for_bit() {
+        // Every pair class the pipeline can offer the batch path — cached
+        // Rytov, exact-fallback Rytov (mountain site), HAP downlink,
+        // HAP–satellite, ISL, and fixed-elevation mode — must reproduce
+        // the scalar evaluator bit for bit, resolved or queued.
+        let mountain = Host::ground("M", 0, Geodetic::from_deg(36.0, -85.0, 1_500.0), 1.2);
+        let pairs = [
+            (ground(36.0, -85.0), satellite(260.0, 60.0)),
+            (mountain, satellite(120.0, 180.0)),
+            (ground(35.0, -85.3), hap()),
+            (hap(), satellite(0.0, 0.0)),
+            (satellite(0.0, 0.0), satellite(0.0, 60.0)),
+        ];
+        for cfg in [
+            SimConfig::default(),
+            SimConfig {
+                fso: qntn_channel::params::FsoParams::ideal_fixed_elevation(),
+                ..SimConfig::default()
+            },
+        ] {
+            let e = LinkEvaluator::new(cfg);
+            for step in (0..2880).step_by(37) {
+                let mut batch = FsoBatch::default();
+                let plan: Vec<BatchOutcome> = pairs
+                    .iter()
+                    .map(|(a, b)| e.fso_eta_batch_enqueue(a, b, step, &mut batch))
+                    .collect();
+                batch.compute(&e.config().fso);
+                let mut slot = 0;
+                for ((a, b), outcome) in pairs.iter().zip(&plan) {
+                    let scalar = e.fso_eta(a, b, step).map(f64::to_bits);
+                    let batched = match outcome {
+                        BatchOutcome::Resolved(v) => v.map(f64::to_bits),
+                        BatchOutcome::Queued => {
+                            let eta = batch.eta()[slot];
+                            slot += 1;
+                            Some(eta.to_bits())
+                        }
+                    };
+                    assert_eq!(batched, scalar, "step {step}: {} – {}", a.name, b.name);
+                }
+                assert_eq!(slot, batch.len(), "step {step}: unconsumed batch rows");
             }
         }
     }

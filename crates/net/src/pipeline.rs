@@ -23,6 +23,21 @@
 //!    into a caller-provided [`Graph`] scratch, allocation-free on the hot
 //!    path.
 //!
+//! ## The incremental path
+//!
+//! Sweeps visit steps consecutively, and between consecutive steps only a
+//! handful of contact windows open or close. The Scene therefore also
+//! precomputes a CSR table of per-step *edge deltas*, and a [`StepCursor`]
+//! carries the resulting active set (plus the SoA η batch scratch) from
+//! step to step: [`build_topology_into_with`] advances the cursor in
+//! O(transitions) and evaluates the surviving ground–satellite links
+//! through the auto-vectorizable `FsoBatch` kernel. Both are pure
+//! optimizations — the cursor reseeds itself bitwise-identically on any
+//! non-consecutive access (or when handed to a different Scene), and the
+//! batch kernel replicates the scalar evaluator's float operations
+//! exactly, so the incremental path emits the same bits in the same order
+//! as the rescan path.
+//!
 //! ## Determinism guarantee
 //!
 //! For any step the pipeline's graph is bit-identical — including
@@ -38,13 +53,15 @@
 
 use crate::faults::CompiledFaults;
 use crate::host::{Host, HostKind};
-use crate::linkeval::LinkEvaluator;
+use crate::linkeval::{BatchOutcome, LinkEvaluator};
 use crate::simulator::QuantumNetworkSim;
-use qntn_common::{HostId, RunControl, SatId, StepId, StopCause};
+use qntn_channel::fso::FsoBatch;
+use qntn_common::{HostId, QntnError, RunControl, SatId, StepId, StopCause};
 use qntn_geo::{Enu, Geodetic, Vec3, WGS84};
-use qntn_orbit::{Ephemeris, PassPredictor};
+use qntn_orbit::{Ephemeris, GroundGrid, PassPredictor};
 use qntn_routing::Graph;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Per-(satellite, step) bitmasks of which ground sites a satellite is at
@@ -81,6 +98,15 @@ impl ContactWindows {
     /// polled between per-satellite batches. A stopped precompute has no
     /// useful partial result, so it returns the [`StopCause`] instead of a
     /// torn table.
+    ///
+    /// Spatially pruned: a [`GroundGrid`] over the sub-satellite direction
+    /// sphere reduces the per-sample site loop from *all* ground slots to
+    /// the handful the satellite could possibly be above the horizon of;
+    /// each surviving slot still runs the exact predicate, and the grid's
+    /// conservativeness proof (see `qntn_orbit::spatial`) makes every
+    /// skipped slot provably below-horizon — so the masks are bit-identical
+    /// to [`ContactWindows::compute_exhaustive`], which
+    /// `tests/synthetic_regions.rs` pins differentially.
     pub fn compute_with_control(
         lows: &[Geodetic],
         ephemerides: &[&Ephemeris],
@@ -91,10 +117,27 @@ impl ContactWindows {
         if n_lows > Self::MAX_LOWS {
             return Ok(Self::all_visible(n_steps, n_lows, ephemerides.len()));
         }
-        let predictors: Vec<PassPredictor> = lows
+        // The exact per-site geometry of `PassPredictor::
+        // above_horizon_flags`: ellipsoidal up vector and ECEF position.
+        let sites: Vec<(Vec3, Vec3)> = lows
             .iter()
-            .map(|&site| PassPredictor::new(site, 0.0))
+            .map(|&site| (site.to_ecef(&WGS84), Enu::at(site, &WGS84).up()))
             .collect();
+        // Conservative geocentric-radius bound over every sample the grid
+        // will be consulted for (per-satellite maxima in parallel, folded
+        // in input order — deterministic, and max is order-insensitive
+        // anyway).
+        let per_sat_max: Vec<f64> = ephemerides
+            .par_iter()
+            .map(|eph| {
+                eph.samples()
+                    .iter()
+                    .map(|s| s.ecef.norm())
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+        let r_sat_max = per_sat_max.into_iter().fold(0.0, f64::max);
+        let grid = GroundGrid::build(&sites, r_sat_max);
         // Batch the satellites so cancellation has chunk granularity
         // without a per-sample check on the hot path.
         const BATCH: usize = 8;
@@ -107,13 +150,20 @@ impl ContactWindows {
                 .par_iter()
                 .map(|eph| {
                     let mut mask = vec![0u64; n_steps];
-                    for (slot, pred) in predictors.iter().enumerate() {
-                        let flags = pred.above_horizon_flags(eph);
-                        for (k, word) in mask.iter_mut().enumerate() {
-                            if flags.get(k).copied().unwrap_or(false) {
-                                *word |= 1 << slot;
+                    let samples = eph.samples();
+                    for (k, word) in mask.iter_mut().enumerate().take(samples.len()) {
+                        let ecef = samples[k].ecef;
+                        let mut near = grid.near_mask(ecef);
+                        let mut w = 0u64;
+                        while near != 0 {
+                            let slot = near.trailing_zeros() as usize;
+                            near &= near - 1;
+                            let (site_ecef, up) = sites[slot];
+                            if (ecef - site_ecef).dot(up) >= 0.0 {
+                                w |= 1 << slot;
                             }
                         }
+                        *word = w;
                     }
                     Arc::new(mask)
                 })
@@ -125,6 +175,46 @@ impl ContactWindows {
             n_lows,
             masks,
         })
+    }
+
+    /// The pre-spatial-index window precompute: per (site, satellite)
+    /// pair, `PassPredictor::above_horizon_flags` over every sample — the
+    /// O(sats × steps × sites) full scan. Kept as the differential oracle
+    /// for the pruned [`ContactWindows::compute_with_control`]; the two
+    /// must agree bit for bit on every mask word.
+    pub fn compute_exhaustive(
+        lows: &[Geodetic],
+        ephemerides: &[&Ephemeris],
+        n_steps: usize,
+    ) -> Self {
+        let n_lows = lows.len();
+        if n_lows > Self::MAX_LOWS {
+            return Self::all_visible(n_steps, n_lows, ephemerides.len());
+        }
+        let predictors: Vec<PassPredictor> = lows
+            .iter()
+            .map(|&site| PassPredictor::new(site, 0.0))
+            .collect();
+        let masks = ephemerides
+            .par_iter()
+            .map(|eph| {
+                let mut mask = vec![0u64; n_steps];
+                for (slot, pred) in predictors.iter().enumerate() {
+                    let flags = pred.above_horizon_flags(eph);
+                    for (k, word) in mask.iter_mut().enumerate() {
+                        if flags.get(k).copied().unwrap_or(false) {
+                            *word |= 1 << slot;
+                        }
+                    }
+                }
+                Arc::new(mask)
+            })
+            .collect();
+        ContactWindows {
+            n_steps,
+            n_lows,
+            masks,
+        }
     }
 
     /// Precompute windows only at `steps` (e.g. the 100 sampled steps of a
@@ -211,10 +301,14 @@ impl ContactWindows {
     }
 
     pub(crate) fn all_visible(n_steps: usize, n_lows: usize, n_sats: usize) -> Self {
+        // Every satellite shares one empty "no data" mask: the absence of
+        // window data is represented by emptiness, not contents, so one
+        // allocation serves the whole constellation.
+        let empty = Arc::new(Vec::new());
         ContactWindows {
             n_steps,
             n_lows,
-            masks: (0..n_sats).map(|_| Arc::new(Vec::new())).collect(),
+            masks: vec![empty; n_sats],
         }
     }
 
@@ -264,7 +358,7 @@ impl ContactWindows {
 
 /// How the pipeline treats one host pair of the O(N²) loop — the Scene's
 /// time-invariant classification of a candidate edge.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Candidate {
     /// Neither endpoint moves: evaluated once at Scene construction; the
     /// stored η is bitwise equal to evaluating at any step.
@@ -303,29 +397,57 @@ pub enum Candidate {
     },
 }
 
+/// Process-unique [`Scene`] identities, issued at construction. Starts at
+/// 1 so a `Default` [`StepCursor`] (token 0) can never accidentally match
+/// a real Scene. Relaxed ordering suffices: only uniqueness matters, and a
+/// (impossible) duplicate would merely force a bit-identical reseed.
+static SCENE_TOKENS: AtomicU64 = AtomicU64::new(1);
+
 /// Stage 1 of the pipeline: the time-invariant description of what can
 /// link to what — every candidate FSO edge classified once, plus the
 /// precomputed visibility windows. Built once per simulator (unpruned) or
 /// per engine (window-pruned); consulted by every per-step [`LinkMap`].
+///
+/// Alongside the candidate list the Scene precomputes the *incremental*
+/// view of the windows: a CSR table of per-step edge deltas (which
+/// window-pruned candidates open or close at each step) that lets a
+/// [`StepCursor`] maintain the active set in O(changes) when sweeping
+/// consecutive steps instead of rescanning every ground–satellite pair.
 #[derive(Debug, Clone)]
 pub struct Scene {
     n_hosts: usize,
     candidates: Vec<Candidate>,
     windows: ContactWindows,
+    /// Indices (ascending) of the Static/Dynamic candidates — evaluated at
+    /// every step regardless of visibility.
+    always_eval: Vec<u32>,
+    /// Indices (ascending) of the window-pruned GroundSat candidates.
+    ground_sat: Vec<u32>,
+    /// CSR offsets into `delta_events`: `n_steps + 1` entries, step 0
+    /// always empty (a cursor seeds there, it never transitions into it).
+    delta_offsets: Vec<u32>,
+    /// Per-step visibility transitions, `candidate_index << 1 | open_bit`,
+    /// sorted ascending within each step.
+    delta_events: Vec<u32>,
+    /// This Scene's process-unique identity; a [`StepCursor`] carrying a
+    /// different token is reseeded rather than trusted.
+    token: u64,
 }
 
 impl Scene {
     /// Classify every host pair against precomputed `windows`.
     ///
-    /// # Panics
-    /// Panics when the windows' shape does not match the hosts' ground /
-    /// satellite counts or `n_steps`.
+    /// # Errors
+    /// Returns [`QntnError::ShapeMismatch`] when the windows' shape does
+    /// not match the hosts' ground / satellite counts or `n_steps` —
+    /// windows built for a different ground set, constellation, or time
+    /// span describe a different scene and cannot be reinterpreted.
     pub fn new(
         hosts: &[Host],
         evaluator: &LinkEvaluator,
         n_steps: usize,
         windows: ContactWindows,
-    ) -> Scene {
+    ) -> Result<Scene, QntnError> {
         let n = hosts.len();
         // Slot maps: ground index -> window bit, satellite index -> window row.
         let mut ground_slot = vec![usize::MAX; n];
@@ -340,21 +462,27 @@ impl Scene {
                 n_sat += 1;
             }
         }
-        assert_eq!(
-            windows.lows(),
-            n_ground,
-            "windows built for a different ground set"
-        );
-        assert_eq!(
-            windows.satellites(),
-            n_sat,
-            "windows built for a different constellation"
-        );
-        assert_eq!(
-            windows.steps(),
-            n_steps,
-            "windows built for a different time span"
-        );
+        if windows.lows() != n_ground {
+            return Err(QntnError::ShapeMismatch {
+                what: "windows ground slots (built for a different ground set)",
+                expected: n_ground,
+                got: windows.lows(),
+            });
+        }
+        if windows.satellites() != n_sat {
+            return Err(QntnError::ShapeMismatch {
+                what: "windows satellite rows (built for a different constellation)",
+                expected: n_sat,
+                got: windows.satellites(),
+            });
+        }
+        if windows.steps() != n_steps {
+            return Err(QntnError::ShapeMismatch {
+                what: "windows steps (built for a different time span)",
+                expected: n_steps,
+                got: windows.steps(),
+            });
+        }
 
         let enable_isl = evaluator.config().enable_isl;
         let mut candidates = Vec::new();
@@ -408,11 +536,80 @@ impl Scene {
                 }
             }
         }
-        Scene {
+        // Split the candidate list into the always-evaluated set and the
+        // window-pruned set, and map (sat row, ground slot) back to the
+        // candidate index so window transitions become candidate events.
+        let n_lows = windows.lows();
+        let mut cand_of = vec![u32::MAX; n_sat * n_lows];
+        let mut always_eval = Vec::new();
+        let mut ground_sat = Vec::new();
+        for (ci, c) in candidates.iter().enumerate() {
+            match *c {
+                Candidate::GroundSat { sat, low, .. } => {
+                    cand_of[sat.index() * n_lows + low] = ci as u32;
+                    ground_sat.push(ci as u32);
+                }
+                _ => always_eval.push(ci as u32),
+            }
+        }
+        let (delta_offsets, delta_events) = Scene::build_deltas(&windows, &cand_of);
+        Ok(Scene {
             n_hosts: n,
             candidates,
             windows,
+            always_eval,
+            ground_sat,
+            delta_offsets,
+            delta_events,
+            token: SCENE_TOKENS.fetch_add(1, Ordering::Relaxed),
+        })
+    }
+
+    /// Turn the windows' per-step mask transitions into the CSR delta
+    /// table: for each step `t ≥ 1`, the sorted list of window-pruned
+    /// candidates whose visibility flips between `t-1` and `t`. Empty
+    /// masks (all-visible) contribute no events — their candidates are in
+    /// every seeded active set and never transition.
+    fn build_deltas(windows: &ContactWindows, cand_of: &[u32]) -> (Vec<u32>, Vec<u32>) {
+        let n_steps = windows.steps();
+        let n_lows = windows.lows();
+        // Sampled-step windows pad uncomputed steps with `u64::MAX`, so
+        // bits at or above `n_lows` can flip without naming any site —
+        // keep only the live slots.
+        let live = match n_lows {
+            64 => u64::MAX,
+            n => (1u64 << n) - 1,
+        };
+        let mut per_step: Vec<Vec<u32>> = vec![Vec::new(); n_steps];
+        for (sat, mask) in windows.masks.iter().enumerate() {
+            if mask.is_empty() {
+                continue;
+            }
+            for t in 1..n_steps {
+                let mut flips = (mask[t] ^ mask[t - 1]) & live;
+                while flips != 0 {
+                    let low = flips.trailing_zeros() as usize;
+                    flips &= flips - 1;
+                    let ci = cand_of[sat * n_lows + low];
+                    if ci == u32::MAX {
+                        continue; // slot pair carries no GroundSat candidate
+                    }
+                    let open = (mask[t] >> low) & 1;
+                    per_step[t].push(ci << 1 | open as u32);
+                }
+            }
         }
+        let mut offsets = Vec::with_capacity(n_steps + 1);
+        offsets.push(0u32);
+        let mut events = Vec::new();
+        for mut step_events in per_step {
+            // A candidate flips at most once per step, so sorting the
+            // encoded events sorts by candidate index.
+            step_events.sort_unstable();
+            events.extend_from_slice(&step_events);
+            offsets.push(events.len() as u32);
+        }
+        (offsets, events)
     }
 
     /// A Scene whose windows treat every satellite as always visible — the
@@ -421,12 +618,85 @@ impl Scene {
     pub fn unpruned(hosts: &[Host], evaluator: &LinkEvaluator, n_steps: usize) -> Scene {
         let n_ground = hosts.iter().filter(|h| h.is_ground()).count();
         let n_sat = hosts.iter().filter(|h| h.is_satellite()).count();
-        Scene::new(
+        match Scene::new(
             hosts,
             evaluator,
             n_steps,
             ContactWindows::all_visible(n_steps, n_ground, n_sat),
-        )
+        ) {
+            Ok(scene) => scene,
+            Err(e) => unreachable!("all-visible windows mismatched their own host set: {e}"),
+        }
+    }
+
+    /// Bring `cursor` up to `step`'s active set. A consecutive step
+    /// (`cursor.step + 1` on a cursor this Scene seeded) advances by
+    /// applying that step's edge deltas in O(transitions); any other
+    /// target — a fresh cursor, a jump, or a cursor seeded by a different
+    /// Scene (token mismatch) — reseeds by a full window scan. Both paths
+    /// produce the identical active set, so correctness never depends on
+    /// how the cursor got here.
+    pub fn advance_cursor(&self, cursor: &mut StepCursor, step: usize) {
+        if cursor.token == self.token {
+            if cursor.step == step {
+                return;
+            }
+            if step == cursor.step + 1 {
+                self.apply_step_events(cursor, step);
+                cursor.step = step;
+                return;
+            }
+        }
+        self.seed_cursor(cursor, step);
+    }
+
+    /// Rebuild the active set from scratch at `step` and bind the cursor
+    /// to this Scene.
+    fn seed_cursor(&self, cursor: &mut StepCursor, step: usize) {
+        cursor.active.clear();
+        for &ci in &self.ground_sat {
+            let Candidate::GroundSat { sat, low, .. } = self.candidates[ci as usize] else {
+                unreachable!("ground_sat index names a non-GroundSat candidate");
+            };
+            if self.windows.visible(sat.index(), step, low) {
+                cursor.active.push(ci);
+            }
+        }
+        cursor.token = self.token;
+        cursor.step = step;
+    }
+
+    /// Apply `step`'s open/close events to the cursor's (sorted) active
+    /// set via a linear merge into the cursor's scratch vector.
+    fn apply_step_events(&self, cursor: &mut StepCursor, step: usize) {
+        let lo = self.delta_offsets[step] as usize;
+        let hi = self.delta_offsets[step + 1] as usize;
+        let events = &self.delta_events[lo..hi];
+        if events.is_empty() {
+            return;
+        }
+        let StepCursor { active, merge, .. } = cursor;
+        merge.clear();
+        let mut i = 0;
+        for &ev in events {
+            let ci = ev >> 1;
+            let open = ev & 1 == 1;
+            while i < active.len() && active[i] < ci {
+                merge.push(active[i]);
+                i += 1;
+            }
+            if open {
+                merge.push(ci);
+            } else {
+                debug_assert!(
+                    i < active.len() && active[i] == ci,
+                    "close event for an inactive candidate"
+                );
+                i += 1; // the closing candidate is dropped, not copied
+            }
+        }
+        merge.extend_from_slice(&active[i..]);
+        std::mem::swap(active, merge);
     }
 
     /// Number of hosts classified.
@@ -452,6 +722,30 @@ impl Scene {
     pub fn windows(&self) -> &ContactWindows {
         &self.windows
     }
+}
+
+/// Resumable sweep state for the incremental topology path: the sorted
+/// set of window-pruned candidates visible at the cursor's current step,
+/// maintained from the [`Scene`]'s per-step edge deltas, plus the reusable
+/// scratch (merge buffer, batch plan, SoA η batch) the incremental link
+/// walk needs. `Default` yields an unseeded cursor (token 0, which no
+/// Scene ever issues) that any [`Scene::advance_cursor`] call seeds on
+/// first use; holding one per sweep worker makes consecutive-step sweeps
+/// O(changes) instead of O(candidates) per step.
+#[derive(Debug, Default, Clone)]
+pub struct StepCursor {
+    /// Token of the Scene that last seeded this cursor (0 = unseeded).
+    token: u64,
+    /// The step `active` describes.
+    step: usize,
+    /// Ascending candidate indices of the visible GroundSat candidates.
+    active: Vec<u32>,
+    /// Merge scratch for [`Scene::apply_step_events`].
+    merge: Vec<u32>,
+    /// Per-active-candidate outcome of the batch enqueue pass.
+    plan: Vec<BatchOutcome>,
+    /// SoA batch for the vectorized η kernel.
+    batch: FsoBatch,
 }
 
 /// Stage 2 of the pipeline: the per-step link view. Borrows a simulator,
@@ -600,6 +894,134 @@ impl<'a> LinkMap<'a> {
             }
         }
     }
+
+    /// [`LinkMap::for_each_link`] driven by a resumable [`StepCursor`]:
+    /// the window-pruned candidates come from the cursor's incrementally
+    /// maintained active set instead of a full candidate scan, and their η
+    /// evaluations run through the SoA batch kernel
+    /// (`qntn_channel::fso::FsoBatch`) instead of one scalar call per
+    /// link. Emission order and every emitted bit are identical to
+    /// [`LinkMap::for_each_link`] — the batch kernel replicates the scalar
+    /// expressions operation for operation, and the merge walk restores
+    /// the canonical ascending `(a, b)` candidate order — which
+    /// `tests/pipeline_goldens.rs` pins differentially.
+    ///
+    /// # Panics
+    /// Panics when `step` is out of range.
+    pub fn for_each_link_with(
+        &self,
+        step: StepId,
+        cursor: &mut StepCursor,
+        mut emit: impl FnMut(HostId, HostId, f64),
+    ) {
+        let t = step.index();
+        assert!(t < self.scene.steps(), "step out of range");
+        self.scene.advance_cursor(cursor, t);
+        let w = self.faults.map_or(1.0, |f| f.eta_factor(t));
+        let up = |a: HostId, b: HostId| match self.faults {
+            Some(f) => f.edge_up(t, a.index(), b.index()),
+            None => true,
+        };
+        for &(a, b, eta) in self.fiber {
+            let (a, b) = (HostId(a), HostId(b));
+            if up(a, b) {
+                emit(a, b, eta);
+            }
+        }
+        let StepCursor {
+            active,
+            plan,
+            batch,
+            ..
+        } = cursor;
+        // Pass 1: enqueue every live window-pruned candidate into the SoA
+        // batch (or resolve it inline when the evaluator can), recording
+        // one outcome per active candidate.
+        plan.clear();
+        batch.clear();
+        for &ci in active.iter() {
+            let Candidate::GroundSat { a, b, .. } = self.scene.candidates[ci as usize] else {
+                unreachable!("cursor active set names a non-GroundSat candidate");
+            };
+            if up(a, b) {
+                plan.push(self.evaluator.fso_eta_batch_enqueue(
+                    &self.hosts[a.index()],
+                    &self.hosts[b.index()],
+                    t,
+                    batch,
+                ));
+            } else {
+                plan.push(BatchOutcome::Resolved(None));
+            }
+        }
+        batch.compute(&self.evaluator.config().fso);
+        // Pass 2: merge-walk the always-evaluated candidates and the
+        // active window-pruned candidates in ascending candidate order, so
+        // the emission sequence is exactly `for_each_link`'s.
+        let etas = batch.eta();
+        let always = &self.scene.always_eval;
+        let mut next_slot = 0;
+        let mut ai = 0; // cursor into `active` / `plan`
+        let mut ei = 0; // cursor into `always`
+        loop {
+            let from_active = match (always.get(ei), active.get(ai)) {
+                (None, None) => break,
+                (Some(_), None) => false,
+                (None, Some(_)) => true,
+                // The two sets are disjoint, so strict inequality decides.
+                (Some(&e), Some(&a)) => a < e,
+            };
+            if from_active {
+                let Candidate::GroundSat { a, b, .. } = self.scene.candidates[active[ai] as usize]
+                else {
+                    unreachable!("cursor active set names a non-GroundSat candidate");
+                };
+                match plan[ai] {
+                    BatchOutcome::Resolved(None) => {}
+                    // One endpoint is ground by construction: always × w.
+                    BatchOutcome::Resolved(Some(eta)) => emit(a, b, eta * w),
+                    BatchOutcome::Queued => {
+                        let eta = etas[next_slot];
+                        next_slot += 1;
+                        emit(a, b, eta * w);
+                    }
+                }
+                ai += 1;
+            } else {
+                match self.scene.candidates[always[ei] as usize] {
+                    Candidate::Static {
+                        a,
+                        b,
+                        eta,
+                        crosses_atmosphere,
+                    } => {
+                        if up(a, b) {
+                            emit(a, b, if crosses_atmosphere { eta * w } else { eta });
+                        }
+                    }
+                    Candidate::Dynamic {
+                        a,
+                        b,
+                        crosses_atmosphere,
+                    } => {
+                        if up(a, b) {
+                            if let Some(eta) = self.evaluator.fso_eta(
+                                &self.hosts[a.index()],
+                                &self.hosts[b.index()],
+                                t,
+                            ) {
+                                emit(a, b, if crosses_atmosphere { eta * w } else { eta });
+                            }
+                        }
+                    }
+                    Candidate::GroundSat { .. } => {
+                        unreachable!("always-eval set names a window-pruned candidate")
+                    }
+                }
+                ei += 1;
+            }
+        }
+    }
 }
 
 /// Stage 3 of the pipeline: build the full (unthresholded) per-step
@@ -615,9 +1037,219 @@ pub fn build_topology_into(links: &LinkMap<'_>, step: StepId, g: &mut Graph) {
     links.for_each_link(step, |a, b, eta| g.set_edge(a.index(), b.index(), eta));
 }
 
+/// [`build_topology_into`] driven by a resumable [`StepCursor`] — the
+/// sweep engine's incremental entry point. The single-materializer
+/// contract is unchanged: the graph is still produced by the pipeline's
+/// one canonical link loop, merely fed by the cursor's incrementally
+/// maintained active set and the batched η kernel, both of which are
+/// bit-identical to the rescan path.
+///
+/// # Panics
+/// Panics when `step` is out of range.
+pub fn build_topology_into_with(
+    links: &LinkMap<'_>,
+    step: StepId,
+    cursor: &mut StepCursor,
+    g: &mut Graph,
+) {
+    g.reset(links.scene().hosts());
+    links.for_each_link_with(step, cursor, |a, b, eta| {
+        g.set_edge(a.index(), b.index(), eta)
+    });
+}
+
 /// Allocating convenience wrapper over [`build_topology_into`].
 pub fn build_topology(links: &LinkMap<'_>, step: StepId) -> Graph {
     let mut g = Graph::default();
     build_topology_into(links, step, &mut g);
     g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::Host;
+    use crate::linkeval::SimConfig;
+    use qntn_geo::Epoch;
+    use qntn_orbit::{paper_constellation, PerturbationModel, Propagator};
+
+    fn sat_ephemerides(n_sats: usize, steps: usize) -> Vec<Ephemeris> {
+        let props: Vec<Propagator> = paper_constellation(n_sats)
+            .into_iter()
+            .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+            .collect();
+        Ephemeris::generate_many(&props, Epoch::J2000, 30.0, steps as f64 * 30.0)
+    }
+
+    fn hosts(n_sats: usize, steps: usize) -> Vec<Host> {
+        let mut hosts = vec![
+            Host::ground(
+                "TTU-0",
+                0,
+                Geodetic::from_deg(36.1757, -85.5066, 300.0),
+                1.2,
+            ),
+            Host::ground("ORNL-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+            Host::ground(
+                "EPB-0",
+                2,
+                Geodetic::from_deg(35.04159, -85.2799, 200.0),
+                1.2,
+            ),
+        ];
+        for (i, eph) in sat_ephemerides(n_sats, steps).into_iter().enumerate() {
+            hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
+        }
+        hosts
+    }
+
+    fn real_windows(hosts: &[Host], n_steps: usize) -> ContactWindows {
+        let lows: Vec<Geodetic> = hosts
+            .iter()
+            .filter(|h| h.is_ground())
+            .map(|h| h.geodetic_at(0))
+            .collect();
+        let ephs: Vec<&Ephemeris> = hosts
+            .iter()
+            .filter_map(|h| match &h.kind {
+                HostKind::Satellite { ephemeris } => Some(ephemeris),
+                _ => None,
+            })
+            .collect();
+        ContactWindows::compute(&lows, &ephs, n_steps)
+    }
+
+    #[test]
+    fn all_visible_shares_one_empty_mask_and_stays_all_visible() {
+        let windows = ContactWindows::all_visible(16, 5, 8);
+        for sat in 1..8 {
+            assert!(
+                Arc::ptr_eq(&windows.masks[0], &windows.masks[sat]),
+                "satellite {sat} got its own empty-mask allocation"
+            );
+        }
+        for sat in 0..8 {
+            for step in 0..16 {
+                for low in 0..5 {
+                    assert!(windows.visible(sat, step, low));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_windows_are_reported_not_panicked() {
+        let steps = 8;
+        let hosts = hosts(3, steps);
+        let evaluator = LinkEvaluator::new(SimConfig::default());
+        // Each axis, both directions: the windows claim more and fewer
+        // grounds / satellites / steps than the hosts describe.
+        let cases = [
+            (ContactWindows::all_visible(steps, 2, 3), "ground set", 3, 2),
+            (ContactWindows::all_visible(steps, 4, 3), "ground set", 3, 4),
+            (
+                ContactWindows::all_visible(steps, 3, 2),
+                "constellation",
+                3,
+                2,
+            ),
+            (
+                ContactWindows::all_visible(steps, 3, 4),
+                "constellation",
+                3,
+                4,
+            ),
+            (
+                ContactWindows::all_visible(steps - 1, 3, 3),
+                "time span",
+                steps,
+                steps - 1,
+            ),
+            (
+                ContactWindows::all_visible(steps + 1, 3, 3),
+                "time span",
+                steps,
+                steps + 1,
+            ),
+        ];
+        for (windows, needle, want_expected, want_got) in cases {
+            match Scene::new(&hosts, &evaluator, steps, windows) {
+                Err(QntnError::ShapeMismatch {
+                    what,
+                    expected,
+                    got,
+                }) => {
+                    assert!(
+                        what.contains(needle),
+                        "error {what:?} does not mention {needle:?}"
+                    );
+                    assert_eq!((expected, got), (want_expected, want_got), "axis {needle}");
+                }
+                other => panic!("expected a ShapeMismatch for {needle}, got {other:?}"),
+            }
+        }
+        // And a matching shape still succeeds.
+        let ok = Scene::new(
+            &hosts,
+            &evaluator,
+            steps,
+            ContactWindows::all_visible(steps, 3, 3),
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn consecutive_advance_matches_a_fresh_seed() {
+        let steps = 60;
+        let hosts = hosts(4, steps);
+        let evaluator = LinkEvaluator::new(SimConfig::default());
+        let windows = real_windows(&hosts, steps);
+        let scene = Scene::new(&hosts, &evaluator, steps, windows).expect("matching shape");
+        let mut walked = StepCursor::default();
+        let mut transitions = 0;
+        for step in 0..steps {
+            scene.advance_cursor(&mut walked, step);
+            let mut fresh = StepCursor::default();
+            scene.advance_cursor(&mut fresh, step);
+            assert_eq!(
+                walked.active, fresh.active,
+                "incremental active set diverged from a fresh seed at step {step}"
+            );
+            let lo = scene.delta_offsets[step] as usize;
+            let hi = scene.delta_offsets[step + 1] as usize;
+            transitions += hi - lo;
+        }
+        assert!(
+            transitions > 0,
+            "the paper constellation never crossed a horizon in 60 steps; \
+             the delta path was not exercised"
+        );
+    }
+
+    #[test]
+    fn a_cursor_from_another_scene_is_reseeded_not_trusted() {
+        let steps = 20;
+        let hosts = hosts(3, steps);
+        let evaluator = LinkEvaluator::new(SimConfig::default());
+        let pruned = Scene::new(&hosts, &evaluator, steps, real_windows(&hosts, steps))
+            .expect("matching shape");
+        let unpruned = Scene::unpruned(&hosts, &evaluator, steps);
+        let mut cursor = StepCursor::default();
+        scene_walk(&pruned, &mut cursor, 5);
+        // The unpruned scene has no deltas at all; were the cursor's
+        // step-5 state trusted, a consecutive advance would keep the
+        // pruned active set instead of the full one.
+        unpruned.advance_cursor(&mut cursor, 6);
+        assert_eq!(
+            cursor.active, unpruned.ground_sat,
+            "foreign cursor was advanced instead of reseeded"
+        );
+        assert_eq!(cursor.token, unpruned.token);
+    }
+
+    fn scene_walk(scene: &Scene, cursor: &mut StepCursor, to: usize) {
+        for step in 0..=to {
+            scene.advance_cursor(cursor, step);
+        }
+    }
 }

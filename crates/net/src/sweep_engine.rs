@@ -24,6 +24,14 @@
 //!    graph buffer, one thresholded-graph buffer and one Bellman–Ford
 //!    table, reset (not reallocated) per step via `Graph::reset` /
 //!    `SsspTable::reset`.
+//! 4. **Incremental topology + batched η** ([`crate::pipeline::StepCursor`]):
+//!    each worker's scratch also carries a step cursor, and workers sweep
+//!    *contiguous* step chunks, so between consecutive steps the active
+//!    ground–satellite set advances from the Scene's precomputed edge
+//!    deltas in O(windows opened/closed) instead of a full candidate
+//!    rescan — and the surviving links evaluate through the SoA
+//!    `FsoBatch` kernel. On a non-consecutive step the cursor reseeds
+//!    itself, bit-identically, so chunk boundaries cannot affect results.
 //!
 //! **Determinism guarantee**: for any step, the engine's graphs are
 //! bit-identical — including adjacency-list order, which routing
@@ -39,13 +47,13 @@
 use crate::coverage::{CoverageAnalyzer, CoverageReport};
 use crate::entanglement::distribute_with;
 use crate::faults::CompiledFaults;
-use crate::pipeline::{build_topology_into, LinkMap, Scene};
+use crate::pipeline::{build_topology_into, build_topology_into_with, LinkMap, Scene, StepCursor};
 use crate::requests::{
     aggregate_outcomes, aggregate_retry_outcomes, RequestOutcome, RequestWorkload, RetryOutcome,
     RetryPolicy, RetryStats, SweepStats,
 };
 use crate::simulator::QuantumNetworkSim;
-use qntn_common::StepId;
+use qntn_common::{QntnError, StepId};
 use qntn_routing::{Graph, RouteMetric, SsspTable};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -62,6 +70,10 @@ pub struct SweepScratch {
     pub active: Graph,
     /// Routing scratch for [`distribute_with`].
     pub sssp: SsspTable,
+    /// Incremental-topology state: the visible candidate set carried from
+    /// step to step (plus the batched-η scratch). Self-seeding — a fresh
+    /// or out-of-sequence cursor rebuilds itself bit-identically.
+    pub cursor: StepCursor,
 }
 
 /// The window-pruned, step-parallel, buffer-reusing sweep evaluator. See
@@ -107,15 +119,30 @@ impl<'a> SweepEngine<'a> {
     ///
     /// # Panics
     /// Panics when the windows' shape does not match the simulator's
-    /// ground/satellite counts or step count.
+    /// ground/satellite counts or step count; [`SweepEngine::try_with_windows`]
+    /// is the non-panicking form.
     pub fn with_windows(sim: &'a QuantumNetworkSim, windows: ContactWindows) -> Self {
-        let scene = Scene::new(sim.hosts(), sim.evaluator(), sim.steps(), windows);
-        SweepEngine {
+        match Self::try_with_windows(sim, windows) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`SweepEngine::with_windows`] that reports a shape mismatch as a
+    /// [`QntnError::ShapeMismatch`] instead of panicking — the right form
+    /// at request boundaries, where mismatched precomputes are an input
+    /// error, not a bug.
+    pub fn try_with_windows(
+        sim: &'a QuantumNetworkSim,
+        windows: ContactWindows,
+    ) -> Result<Self, QntnError> {
+        let scene = Scene::new(sim.hosts(), sim.evaluator(), sim.steps(), windows)?;
+        Ok(SweepEngine {
             sim,
             scene,
             parallel: true,
             faults: None,
-        }
+        })
     }
 
     /// Toggle step-level parallelism (the `--no-parallel` escape hatch).
@@ -193,8 +220,18 @@ impl<'a> SweepEngine<'a> {
     /// Build the threshold-gated graph at `step` into `scratch.active`
     /// (using `scratch.full` as the intermediate), matching
     /// [`QuantumNetworkSim::active_graph_at`] bit-for-bit.
+    ///
+    /// This is the engine's hot path, so it runs the *incremental*
+    /// pipeline entry point: `scratch.cursor` carries the visible
+    /// candidate set between calls (O(window transitions) on consecutive
+    /// steps) and the batched η kernel evaluates the survivors. The
+    /// rescan path stays available as [`SweepEngine::graph_into`], and
+    /// the two are differentially pinned against each other (and against
+    /// the naive simulator) by the engine tests and
+    /// `tests/pipeline_goldens.rs`.
     pub fn active_graph_into(&self, step: usize, scratch: &mut SweepScratch) {
-        self.graph_into(step, &mut scratch.full);
+        let links = LinkMap::new(self.sim, &self.scene, self.faults.as_deref());
+        build_topology_into_with(&links, StepId(step), &mut scratch.cursor, &mut scratch.full);
         scratch
             .full
             .thresholded_into(self.sim.evaluator().config().threshold, &mut scratch.active);
@@ -217,10 +254,26 @@ impl<'a> SweepEngine<'a> {
         F: Fn(&mut SweepScratch, usize) -> R + Sync,
     {
         if self.parallel {
-            steps
+            // Contiguous chunks (instead of per-step work items) keep each
+            // worker's step cursor on consecutive steps, where the
+            // incremental topology path is O(window transitions). Chunking
+            // cannot affect results: `f` sees only its scratch and the
+            // step, and the scratch's every construction path is
+            // bit-identical regardless of how steps are grouped — the
+            // chunk size is purely a load-balance/latency knob.
+            let chunk = steps
+                .len()
+                .div_ceil(4 * rayon::current_num_threads().max(1))
+                .max(1);
+            let chunks: Vec<&[usize]> = steps.chunks(chunk).collect();
+            let per_chunk: Vec<Vec<R>> = chunks
                 .par_iter()
-                .map_init(SweepScratch::default, |scratch, &step| f(scratch, step))
-                .collect()
+                .map(|chunk| {
+                    let mut scratch = SweepScratch::default();
+                    chunk.iter().map(|&step| f(&mut scratch, step)).collect()
+                })
+                .collect();
+            per_chunk.into_iter().flatten().collect()
         } else {
             let mut scratch = SweepScratch::default();
             steps.iter().map(|&step| f(&mut scratch, step)).collect()
@@ -549,6 +602,22 @@ mod tests {
         let other = sat_sim(5, 120);
         let windows = ContactWindows::for_sim(&other);
         let _ = SweepEngine::with_windows(&sim, windows);
+    }
+
+    #[test]
+    fn try_with_windows_reports_the_mismatch_as_an_error() {
+        let sim = sat_sim(6, 120);
+        let other = sat_sim(5, 120);
+        match SweepEngine::try_with_windows(&sim, ContactWindows::for_sim(&other)) {
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("different constellation") && msg.contains("expected 6, got 5"),
+                    "unhelpful mismatch report: {msg}"
+                );
+            }
+            Ok(_) => panic!("mismatched windows were accepted"),
+        }
     }
 
     #[test]

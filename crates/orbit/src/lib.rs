@@ -27,6 +27,7 @@ pub mod ephemeris;
 pub mod kepler;
 pub mod numerical;
 pub mod propagator;
+pub mod spatial;
 pub mod sun;
 pub mod visibility;
 pub mod walker;
@@ -36,9 +37,10 @@ pub use elements::{Keplerian, EARTH_J2, EARTH_MU, EARTH_RADIUS_EQ_M};
 pub use ephemeris::{Ephemeris, EphemerisSample};
 pub use numerical::{propagate_numerical, ForceModel};
 pub use propagator::{PerturbationModel, Propagator};
+pub use spatial::GroundGrid;
 pub use sun::{is_sunlit, sun_elevation, sun_position_eci, Twilight};
 pub use visibility::{merge_intervals, total_duration, Interval, PassPredictor};
 pub use walker::{
-    paper_constellation, WalkerDelta, PAPER_ALTITUDE_M, PAPER_INCLINATION_DEG,
+    paper_constellation, scaled_shell, WalkerDelta, PAPER_ALTITUDE_M, PAPER_INCLINATION_DEG,
     PAPER_SEMI_MAJOR_AXIS_M,
 };

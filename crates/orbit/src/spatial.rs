@@ -1,0 +1,198 @@
+//! A spatial index over ground sites for contact-window pruning.
+//!
+//! The exhaustive window precompute tests every (satellite sample, ground
+//! site) pair against the above-horizon predicate — O(sats × steps ×
+//! sites) dot products, the dominant setup cost for thousand-satellite
+//! shells. [`GroundGrid`] cuts the inner factor to O(near): directions
+//! from the geocenter are bucketed into a fixed spherical-coordinate grid,
+//! and each cell stores a bitmask of only the sites any satellite in that
+//! cell could possibly be above the horizon of. A per-sample lookup is one
+//! `asin`/`atan2` bin plus exact dot products for the few surviving bits.
+//!
+//! ## Conservativeness (the bit-identity argument)
+//!
+//! The horizon predicate is `(sat − site)·û ≥ 0` with `û` the site's
+//! (unit) ellipsoidal up vector, i.e. `r·(d̂·û) ≥ site·û` for a satellite
+//! at distance `r` from the geocenter in direction `d̂`. For every cell the
+//! builder bounds the left side from above over all `d̂` within the cell
+//! and all `r ≤ r_max`:
+//!
+//! - any direction whose spherical latitude/longitude falls in a cell is
+//!   within `θ_cc = (Δφ + Δλ)/2` great-circle radians of the cell center
+//!   (triangle inequality: the meridian leg is ≤ Δφ/2, and a same-latitude
+//!   leg of longitude difference δλ has central angle ≤ δλ because
+//!   `cos d = sin²φ + cos²φ·cos δλ ≥ cos δλ`);
+//! - so `d̂·û ≤ cos(max(0, θ_cu − θ_cc))` with `θ_cu` the angle between
+//!   the cell center direction and `û`;
+//! - and `r·(d̂·û) ≤ r_max·(d̂·û)` whenever `d̂·û > 0` (when `d̂·û ≤ 0`
+//!   the predicate already fails for every `r > 0` because `site·û > 0`
+//!   for sites on the ellipsoid).
+//!
+//! A site is included in a cell's mask iff `r_max·cos(max(0, θ_cu − θ_cc))
+//! ≥ site·û − ε`, with a one-metre slack `ε` absorbing the float error of
+//! the center-direction trigonometry. Every site the lookup omits therefore
+//! *provably* fails the exact predicate, so pruned and exhaustive window
+//! masks are bit-identical — checked by the `tests/synthetic_regions.rs`
+//! differential proptest.
+
+use qntn_geo::Vec3;
+use std::f64::consts::{FRAC_PI_2, PI, TAU};
+
+/// Latitude bands of the grid (180° / 48 = 3.75° per band).
+const N_LAT: usize = 48;
+/// Longitude columns of the grid (360° / 96 = 3.75° per column).
+const N_LON: usize = 96;
+/// Latitude band height, radians.
+const D_LAT: f64 = PI / N_LAT as f64;
+/// Longitude column width, radians.
+const D_LON: f64 = TAU / N_LON as f64;
+/// Half-diagonal bound: any direction binned into a cell is within this
+/// great-circle angle of the cell's center (see the module docs).
+const CELL_RADIUS_RAD: f64 = (D_LAT + D_LON) / 2.0;
+/// Slack (metres) absorbing center-direction float error; over-inclusion
+/// only, never exclusion.
+const EPS_M: f64 = 1.0;
+
+/// Per-cell ground-site bitmasks over a fixed spherical grid of satellite
+/// directions. See the module docs for the inclusion criterion and the
+/// conservativeness proof.
+#[derive(Debug, Clone)]
+pub struct GroundGrid {
+    masks: Vec<u64>,
+}
+
+impl GroundGrid {
+    /// Most sites a cell mask can hold (one bit per site).
+    pub const MAX_SITES: usize = 64;
+
+    /// Build the grid for `sites` — each an `(ecef, up)` pair with `up`
+    /// the site's unit ellipsoidal normal — against a conservative bound
+    /// `r_max` on the geocentric distance of every satellite sample the
+    /// grid will be consulted for. Sites beyond [`GroundGrid::MAX_SITES`]
+    /// are ignored (callers cap the site count before building).
+    pub fn build(sites: &[(Vec3, Vec3)], r_max: f64) -> GroundGrid {
+        debug_assert!(sites.len() <= Self::MAX_SITES, "more sites than mask bits");
+        let mut masks = vec![0u64; N_LAT * N_LON];
+        for (i, row) in masks.chunks_mut(N_LON).enumerate() {
+            let lat_c = -FRAC_PI_2 + (i as f64 + 0.5) * D_LAT;
+            let (sin_lat, cos_lat) = lat_c.sin_cos();
+            for (j, cell) in row.iter_mut().enumerate() {
+                let lon_c = -PI + (j as f64 + 0.5) * D_LON;
+                let center = Vec3::new(cos_lat * lon_c.cos(), cos_lat * lon_c.sin(), sin_lat);
+                let mut mask = 0u64;
+                for (slot, &(site_ecef, up)) in sites.iter().take(Self::MAX_SITES).enumerate() {
+                    let theta_cu = center.dot(up).clamp(-1.0, 1.0).acos();
+                    let best_cos = (theta_cu - CELL_RADIUS_RAD).max(0.0).cos();
+                    if r_max * best_cos >= site_ecef.dot(up) - EPS_M {
+                        mask |= 1 << slot;
+                    }
+                }
+                *cell = mask;
+            }
+        }
+        GroundGrid { masks }
+    }
+
+    /// The bitmask of sites a satellite at `ecef` could possibly be above
+    /// the horizon of. A superset of the exact predicate's true set (all
+    /// sites, conservatively, for a degenerate zero position); callers
+    /// still run the exact test on each surviving bit.
+    #[inline]
+    pub fn near_mask(&self, ecef: Vec3) -> u64 {
+        let r = ecef.norm();
+        if r <= 0.0 || !r.is_finite() {
+            return u64::MAX;
+        }
+        let lat = (ecef.z / r).clamp(-1.0, 1.0).asin();
+        let lon = ecef.y.atan2(ecef.x);
+        let i = (((lat + FRAC_PI_2) / D_LAT) as usize).min(N_LAT - 1);
+        let j = (((lon + PI) / D_LON) as usize).min(N_LON - 1);
+        self.masks[i * N_LON + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qntn_geo::{Enu, Geodetic, WGS84};
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(state: &mut u64) -> f64 {
+        (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn random_sites(state: &mut u64, n: usize) -> Vec<(Vec3, Vec3)> {
+        (0..n)
+            .map(|_| {
+                let site = Geodetic::from_deg(
+                    -80.0 + 160.0 * unit_f64(state),
+                    -180.0 + 360.0 * unit_f64(state),
+                    3000.0 * unit_f64(state),
+                );
+                (site.to_ecef(&WGS84), Enu::at(site, &WGS84).up())
+            })
+            .collect()
+    }
+
+    /// The soundness property the pruned window precompute rests on: for
+    /// any satellite position within the radius bound, every site passing
+    /// the exact above-horizon predicate has its bit set in the near mask.
+    #[test]
+    fn near_mask_is_a_superset_of_the_exact_predicate() {
+        let mut state = 7u64;
+        for round in 0..8 {
+            let sites = random_sites(&mut state, 1 + round % 7);
+            let r_max = 6_371_000.0 + 400_000.0 + 1_200_000.0 * unit_f64(&mut state);
+            let grid = GroundGrid::build(&sites, r_max);
+            for _ in 0..4000 {
+                // Random direction, random radius up to the bound.
+                let z = 2.0 * unit_f64(&mut state) - 1.0;
+                let phi = TAU * unit_f64(&mut state);
+                let s = (1.0 - z * z).max(0.0).sqrt();
+                let r = r_max * (0.9 + 0.1 * unit_f64(&mut state));
+                let ecef = Vec3::new(s * phi.cos(), s * phi.sin(), z) * r;
+                let near = grid.near_mask(ecef);
+                for (slot, &(site_ecef, up)) in sites.iter().enumerate() {
+                    if (ecef - site_ecef).dot(up) >= 0.0 {
+                        assert!(
+                            near >> slot & 1 == 1,
+                            "round {round}: visible site {slot} pruned at {ecef:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The grid must also *prune*: a LEO satellite over the antipode of a
+    /// lone site gets an empty mask.
+    #[test]
+    fn antipodal_satellites_are_pruned() {
+        let site = Geodetic::from_deg(36.0, -85.0, 300.0);
+        let sites = vec![(site.to_ecef(&WGS84), Enu::at(site, &WGS84).up())];
+        let grid = GroundGrid::build(&sites, 6_871_000.0);
+        let antipode = Geodetic::from_deg(-36.0, 95.0, 500_000.0).to_ecef(&WGS84);
+        assert_eq!(grid.near_mask(antipode), 0);
+        // And directly overhead it keeps the bit.
+        let overhead = Geodetic::from_deg(36.0, -85.0, 500_000.0).to_ecef(&WGS84);
+        assert_eq!(grid.near_mask(overhead), 1);
+    }
+
+    /// Degenerate positions degrade to "everything near", never to a
+    /// dropped site.
+    #[test]
+    fn degenerate_positions_are_conservative() {
+        let mut state = 11u64;
+        let sites = random_sites(&mut state, 3);
+        let grid = GroundGrid::build(&sites, 7_000_000.0);
+        assert_eq!(grid.near_mask(Vec3::new(0.0, 0.0, 0.0)), u64::MAX);
+        assert_eq!(grid.near_mask(Vec3::new(f64::NAN, 0.0, 0.0)), u64::MAX);
+    }
+}

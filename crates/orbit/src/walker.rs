@@ -98,6 +98,41 @@ pub fn paper_constellation(n: usize) -> Vec<Keplerian> {
         .collect()
 }
 
+/// A Walker shell of `n` satellites at the paper's inclination and
+/// semi-major axis, for scale benchmarking beyond Table II's 108 rows: the
+/// plane count is the largest divisor of `n` not exceeding `√n` (the
+/// most-square layout — 1080 gives 30 planes of 36), phasing factor 1 so
+/// adjacent planes are staggered.
+///
+/// ```
+/// use qntn_orbit::scaled_shell;
+///
+/// let shell = scaled_shell(1080);
+/// assert_eq!((shell.total, shell.planes), (1080, 30));
+/// assert_eq!(shell.elements().len(), 1080);
+/// ```
+///
+/// # Panics
+/// Panics if `n` is zero.
+pub fn scaled_shell(n: usize) -> WalkerDelta {
+    assert!(n > 0, "a shell needs at least one satellite");
+    let mut planes = 1;
+    let mut d = 1;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            planes = d;
+        }
+        d += 1;
+    }
+    WalkerDelta {
+        inclination: PAPER_INCLINATION_DEG.to_radians(),
+        total: n,
+        planes,
+        phasing: 1 % planes,
+        semi_major_m: PAPER_SEMI_MAJOR_AXIS_M,
+    }
+}
+
 /// A generic Walker-Delta constellation `i : t/p/f`.
 ///
 /// `t` satellites in `p` evenly-spaced planes, `f` the phasing factor: the
@@ -286,6 +321,23 @@ mod tests {
         // First satellite of plane 1 is offset by f*360/t = 30 degrees.
         let plane1_first = els[3];
         assert!((plane1_first.true_anomaly.to_degrees() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_shell_picks_the_most_square_layout() {
+        for (n, planes) in [(1, 1), (6, 2), (108, 9), (1080, 30), (1087, 1), (1296, 36)] {
+            let shell = scaled_shell(n);
+            assert_eq!(shell.planes, planes, "n = {n}");
+            assert!(n.is_multiple_of(shell.planes));
+            assert!(shell.phasing < shell.planes.max(1));
+            assert_eq!(shell.elements().len(), n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one satellite")]
+    fn scaled_shell_rejects_zero() {
+        scaled_shell(0);
     }
 
     #[test]

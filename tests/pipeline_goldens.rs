@@ -7,15 +7,24 @@
 //! of the standard scenario, so any pipeline change that perturbs a single
 //! bit of a single edge fails here.
 
+//!
+//! A second golden wall pins the mega-constellation path: active-graph
+//! fingerprints of a ~1080-satellite Walker shell (the `bench --scale
+//! 1080` constellation exactly), captured from the full-rescan
+//! materializer, now exercised through the incremental cursor — plus a
+//! proptest driving a persistent cursor over arbitrary step walks against
+//! full rebuilds.
+
 use proptest::prelude::*;
 use qntn::common::{HostId, StepId};
-use qntn::core::architecture::{AirGround, SpaceGround};
+use qntn::core::architecture::{default_epoch, AirGround, SpaceGround};
 use qntn::core::scenario::Qntn;
 use qntn::net::faults::{CompiledFaults, FaultModel};
-use qntn::net::{LinkMap, QuantumNetworkSim};
-use qntn::orbit::PerturbationModel;
+use qntn::net::{ContactWindows, LinkMap, QuantumNetworkSim, SweepEngine, SweepScratch};
+use qntn::orbit::ephemeris::{PAPER_DURATION_S, PAPER_STEP_S};
+use qntn::orbit::{scaled_shell, Ephemeris, PerturbationModel, Propagator};
 use qntn::routing::Graph;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Proptest case count: 32 by default, `PROPTEST_CASES` to override (the
 /// nightly workflow turns it up).
@@ -272,6 +281,148 @@ fn linkmap_eta_matches_direct_evaluator_calls() {
             }
         });
         assert!(n_links > 0, "step {step} emitted no links");
+    }
+}
+
+/// The ~1080-satellite Walker shell of the mega-constellation goldens:
+/// the `reproduce bench --scale 1080` constellation exactly (paper ground
+/// segment, ISLs off), built once and shared — propagating 1080
+/// ephemerides over the full day is the expensive part.
+fn mega_shell() -> &'static SpaceGround {
+    static SHELL: OnceLock<SpaceGround> = OnceLock::new();
+    SHELL.get_or_init(|| {
+        let epoch = default_epoch();
+        let props: Vec<Propagator> = scaled_shell(1080)
+            .elements()
+            .into_iter()
+            .map(|k| Propagator::new(k, epoch, PerturbationModel::TwoBody))
+            .collect();
+        let eph = Ephemeris::generate_many(&props, epoch, PAPER_STEP_S, PAPER_DURATION_S);
+        let config = qntn::net::SimConfig {
+            enable_isl: false,
+            ..Default::default()
+        };
+        SpaceGround::from_ephemerides(&Qntn::standard(), eph, config)
+    })
+}
+
+/// The shell's contact windows, computed once (the spatial-pruned pass)
+/// and cloned into each engine — the masks are `Arc`-backed, so a clone
+/// is cheap.
+fn mega_windows() -> &'static ContactWindows {
+    static WINDOWS: OnceLock<ContactWindows> = OnceLock::new();
+    WINDOWS.get_or_init(|| ContactWindows::for_sim(mega_shell().sim()))
+}
+
+/// `(step, FNV-1a fingerprint, edge count)` of the thresholded active
+/// graph at a sparse sample of steps across the day (the quick tier — the
+/// consecutive-walk test and the proptests cover density). Captured from
+/// the full-rescan materializer before the incremental cursor landed;
+/// `active_graph_at` now reaches them through cursor seeding.
+const MEGA_CLEAN_GOLDENS: &[(usize, u64, usize)] = &[
+    (0, 0xce41a33b68cb57da, 356),
+    (719, 0x39670b774299b4aa, 382),
+    (1440, 0x2c1a7599c6e26ee6, 367),
+    (2200, 0xb26afb2e0bddb17e, 352),
+    (2879, 0x6a36ff800ce90b66, 376),
+];
+
+/// The active graph at step 1447 reached by *walking* the cursor from
+/// 1440 — pins the delta-advancement path itself against a constant.
+const MEGA_WALK_END_GOLDEN: (u64, usize) = (0xc9c459fcca7ed706, 365);
+
+/// The faulted active graph at step 1440 under the standard seed-42
+/// intensity-2.0 mask: pins gate filtering and weather weighting at scale.
+const MEGA_FAULTED_GOLDEN: (u64, usize) = (0xba1aea9b1ebfcb3e, 366);
+
+#[test]
+fn mega_shell_actives_match_their_goldens() {
+    let sim = mega_shell().sim();
+    let engine = SweepEngine::with_windows(sim, mega_windows().clone());
+    for &(step, hash, edges) in MEGA_CLEAN_GOLDENS {
+        let g = engine.active_graph_at(step);
+        assert_eq!(
+            (fingerprint(&g), g.edge_count()),
+            (hash, edges),
+            "mega shell step {step}: active graph diverged from its golden"
+        );
+    }
+}
+
+#[test]
+fn mega_shell_consecutive_walk_matches_seeded_rebuilds_and_its_golden() {
+    let sim = mega_shell().sim();
+    let engine = SweepEngine::with_windows(sim, mega_windows().clone());
+    let mut walked = SweepScratch::default();
+    for step in 1440..1448 {
+        engine.active_graph_into(step, &mut walked);
+        // A fresh scratch seeds its cursor from the windows at `step`;
+        // the walked scratch got here by applying edge deltas. Both must
+        // land on the same bits.
+        let mut fresh = SweepScratch::default();
+        engine.active_graph_into(step, &mut fresh);
+        assert_bit_identical(
+            &walked.active,
+            &fresh.active,
+            &format!("mega shell walked vs seeded at step {step}"),
+        );
+    }
+    let g = &walked.active;
+    assert_eq!(
+        (fingerprint(g), g.edge_count()),
+        MEGA_WALK_END_GOLDEN,
+        "mega shell step 1447 after a consecutive walk from 1440"
+    );
+}
+
+#[test]
+fn mega_shell_faulted_active_matches_its_golden() {
+    let sim = mega_shell().sim();
+    let faults = FaultModel::standard(42).with_intensity(2.0).compile(sim);
+    let engine =
+        SweepEngine::with_windows(sim, mega_windows().clone()).with_faults(Arc::new(faults));
+    let g = engine.active_graph_at(1440);
+    assert_eq!(
+        (fingerprint(&g), g.edge_count()),
+        MEGA_FAULTED_GOLDEN,
+        "mega shell faulted step 1440: active graph diverged from its golden"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases_or(32)))]
+
+    /// Incremental-vs-rebuild differential: a persistent cursor driven
+    /// over an arbitrary walk — backward and forward jumps, each expanded
+    /// into a short consecutive run so the delta path (not just seeding)
+    /// is exercised — produces graphs bit-identical to full per-step
+    /// rebuilds through `build_topology_into`. Engines alternate between
+    /// clean and faulted, so the same cursor also crosses Scene tokens
+    /// and must be reseeded rather than trusted.
+    #[test]
+    fn cursor_walks_are_bit_identical_to_full_rebuilds(
+        jumps in proptest::collection::vec(0usize..2877, 1..10),
+        seed in 0u64..256,
+        intensity in 0.0f64..4.0,
+    ) {
+        let sim = seed_space().sim();
+        let faults = FaultModel::standard(seed).with_intensity(intensity).compile(sim);
+        let clean = SweepEngine::new(sim);
+        let faulted = SweepEngine::new(sim).with_faults(Arc::new(faults));
+        let mut scratch = SweepScratch::default();
+        let mut rebuilt = Graph::default();
+        for (i, &start) in jumps.iter().enumerate() {
+            let engine = if i % 2 == 0 { &clean } else { &faulted };
+            for step in start..start + 3 {
+                engine.active_graph_into(step, &mut scratch);
+                engine.graph_into(step, &mut rebuilt);
+                assert_bit_identical(
+                    &scratch.full,
+                    &rebuilt,
+                    &format!("jump {i} step {step}, seed {seed}, intensity {intensity}"),
+                );
+            }
+        }
     }
 }
 

@@ -14,7 +14,8 @@ use qntn::geo::{haversine_m, Epoch, Geodetic, WGS84};
 use qntn::net::faults::FaultModel;
 use qntn::net::requests::aggregate_retry_outcomes;
 use qntn::net::{
-    Host, QuantumNetworkSim, RequestWorkload, RetryOutcome, RetryPolicy, SimConfig, SweepEngine,
+    ContactWindows, Host, HostKind, QuantumNetworkSim, RequestWorkload, RetryOutcome, RetryPolicy,
+    SimConfig, SweepEngine,
 };
 use qntn::orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
 use qntn::routing::RouteMetric;
@@ -100,35 +101,136 @@ proptest! {
 /// exercise fiber, ground–air and ground–space links, small enough to
 /// rebuild every proptest case.
 fn fault_sim(sats: usize, steps: usize) -> QuantumNetworkSim {
+    subset_sim(sats, 3, steps)
+}
+
+/// [`fault_sim`] with only the first `n_grounds` of the three ground
+/// sites — the pruning differential below runs over ground *subsets*,
+/// not just the full set.
+fn subset_sim(sats: usize, n_grounds: usize, steps: usize) -> QuantumNetworkSim {
     let props: Vec<Propagator> = paper_constellation(sats)
         .into_iter()
         .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
         .collect();
     let ephs = Ephemeris::generate_many(&props, Epoch::J2000, 30.0, steps as f64 * 30.0);
-    let mut hosts = vec![
-        Host::ground(
-            "TTU-0",
-            0,
-            Geodetic::from_deg(36.1757, -85.5066, 300.0),
-            1.2,
-        ),
-        Host::ground("ORNL-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
-        Host::ground(
-            "EPB-0",
-            2,
-            Geodetic::from_deg(35.04159, -85.2799, 200.0),
-            1.2,
-        ),
-        Host::hap("HAP", Geodetic::from_deg(35.6692, -85.0662, 30_000.0), 0.3),
+    let grounds = [
+        ("TTU-0", Geodetic::from_deg(36.1757, -85.5066, 300.0)),
+        ("ORNL-0", Geodetic::from_deg(35.91, -84.3, 250.0)),
+        ("EPB-0", Geodetic::from_deg(35.04159, -85.2799, 200.0)),
     ];
+    let mut hosts: Vec<Host> = grounds[..n_grounds]
+        .iter()
+        .enumerate()
+        .map(|(lan, &(name, site))| Host::ground(name, lan, site, 1.2))
+        .collect();
+    hosts.push(Host::hap(
+        "HAP",
+        Geodetic::from_deg(35.6692, -85.0662, 30_000.0),
+        0.3,
+    ));
     for (i, eph) in ephs.into_iter().enumerate() {
         hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
     }
     QuantumNetworkSim::new(hosts, SimConfig::default(), steps, 30.0)
 }
 
+/// The window-precompute geometry of `sim`, extracted the way the
+/// pipeline does it: ground sites then satellite ephemerides, host order.
+fn window_geometry(sim: &QuantumNetworkSim) -> (Vec<Geodetic>, Vec<&Ephemeris>) {
+    let lows = sim
+        .hosts()
+        .iter()
+        .filter(|h| h.is_ground())
+        .map(|h| h.geodetic_at(0))
+        .collect();
+    let ephs = sim
+        .hosts()
+        .iter()
+        .filter_map(|h| match &h.kind {
+            HostKind::Satellite { ephemeris } => Some(ephemeris),
+            _ => None,
+        })
+        .collect();
+    (lows, ephs)
+}
+
 proptest! {
     #![proptest_config(cases_or(8))]
+
+    /// (d) Spatial pruning is bit-invisible: for arbitrary constellation
+    /// sizes and ground subsets, the grid-pruned window precompute agrees
+    /// with the exhaustive full scan at every `(sat, step, site)`, the
+    /// Scenes built from each classify the same Candidate list, and the
+    /// graphs — full and active, clean and faulted — match bit for bit.
+    #[test]
+    fn spatial_pruning_is_bit_invisible(
+        sats in 1usize..7,
+        n_grounds in 1usize..4,
+        steps in 20usize..60,
+        fault_seed in any::<u64>(),
+        intensity in 0.0..4.0f64,
+    ) {
+        let sim = subset_sim(sats, n_grounds, steps);
+        let (lows, ephs) = window_geometry(&sim);
+        let pruned = ContactWindows::for_sim(&sim);
+        let exhaustive = ContactWindows::compute_exhaustive(&lows, &ephs, steps);
+        for sat in 0..sats {
+            for step in 0..steps {
+                for low in 0..lows.len() {
+                    prop_assert_eq!(
+                        pruned.visible(sat, step, low),
+                        exhaustive.visible(sat, step, low),
+                        "window disagreement at sat {}, step {}, site {}", sat, step, low
+                    );
+                }
+            }
+        }
+        let faults = Arc::new(
+            FaultModel::standard(fault_seed)
+                .with_intensity(intensity)
+                .compile(&sim),
+        );
+        let engines = [
+            (
+                SweepEngine::with_windows(&sim, pruned),
+                SweepEngine::with_windows(&sim, exhaustive.clone()),
+                "clean",
+            ),
+            (
+                SweepEngine::new(&sim).with_faults(faults.clone()),
+                SweepEngine::with_windows(&sim, exhaustive).with_faults(faults),
+                "faulted",
+            ),
+        ];
+        for (a, b, tag) in &engines {
+            prop_assert_eq!(
+                a.scene().candidates(),
+                b.scene().candidates(),
+                "{}: candidate classification diverged", tag
+            );
+            for step in (0..steps).step_by(7) {
+                for (ga, gb, kind) in [
+                    (a.graph_at(step), b.graph_at(step), "full"),
+                    (a.active_graph_at(step), b.active_graph_at(step), "active"),
+                ] {
+                    prop_assert_eq!(
+                        ga.edge_count(), gb.edge_count(),
+                        "{} {} step {}", tag, kind, step
+                    );
+                    for ((ua, va, ea), (ub, vb, eb)) in ga.edges().zip(gb.edges()) {
+                        prop_assert_eq!(
+                            (ua, va), (ub, vb),
+                            "{} {} step {}: edge order", tag, kind, step
+                        );
+                        prop_assert_eq!(
+                            ea.to_bits(), eb.to_bits(),
+                            "{} {} step {}: η bits on ({}, {})", tag, kind, step, ua, va
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     /// (a) For an *arbitrary* fault schedule, the pruned engine and the
     /// naive per-step evaluator agree bit for bit: same graphs (edge order
