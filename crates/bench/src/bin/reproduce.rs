@@ -52,6 +52,7 @@ use qntn_core::experiments::fig7::ServedSeries;
 use qntn_core::experiments::fig8::FidelitySeries;
 use qntn_core::experiments::paper_constellation_sizes;
 use qntn_core::experiments::sweep::{ConstellationSweep, SweepSettings};
+use qntn_core::experiments::timeexp::TimeexpExperiment;
 use qntn_core::report;
 use qntn_core::scenario::Qntn;
 use qntn_net::faults::FaultModel;
@@ -84,6 +85,10 @@ artifacts:
               demand / heralded / sensitivity extensions
   faults      degradation vs fault intensity (outages, flaps, weather;
               seeded and deterministic, with retry-with-backoff service)
+  timeexp     store-and-forward serving vs the memoryless baseline: the
+              same seeded workload served per-step and over time-expanded
+              graphs at a ladder of quantum-memory horizons; writes
+              out/timeexp.json atomically (--out to override)
   sweep       resilient full-day connectivity sweep: checkpointed,
               resumable, Ctrl-C-safe, panic-isolated; writes the per-step
               flags CSV atomically
@@ -143,7 +148,7 @@ exit codes:
   1  any other error
 ";
 
-const ARTIFACTS: [&str; 16] = [
+const ARTIFACTS: [&str; 17] = [
     "all",
     "fig5",
     "fig6",
@@ -156,6 +161,7 @@ const ARTIFACTS: [&str; 16] = [
     "budgets",
     "extensions",
     "faults",
+    "timeexp",
     "sweep",
     "serve",
     "bench",
@@ -399,6 +405,9 @@ fn run(cli: &Cli) -> Result<Exit, QntnError> {
     if wants("faults") {
         faults(&scenario, config, quick, parallel);
     }
+    if wants("timeexp") {
+        timeexp(&scenario, config, cli)?;
+    }
     if artifact == "sweep" {
         return sweep(&scenario, config, cli);
     }
@@ -559,6 +568,15 @@ fn sweep(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<Exit, QntnErro
     Ok(Exit::Success)
 }
 
+/// Wait percentiles are `None` when nothing was served (distinguishing
+/// "no data" from a genuine 0-step wait).
+fn fmt_wait(v: Option<u64>) -> String {
+    match v {
+        Some(w) => w.to_string(),
+        None => "n/a".to_string(),
+    }
+}
+
 fn ensure_parent_dir(path: &Path) -> Result<(), QntnError> {
     if let Some(dir) = path.parent() {
         if !dir.as_os_str().is_empty() {
@@ -708,7 +726,10 @@ fn serve(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<Exit, QntnErro
     );
     println!(
         "wait: p50 {} steps, p95 {} steps; mean fidelity {:.4}, mean attempts {:.2}",
-        report.p50_wait_steps, report.p95_wait_steps, report.mean_fidelity, report.mean_attempts
+        fmt_wait(report.p50_wait_steps),
+        fmt_wait(report.p95_wait_steps),
+        report.mean_fidelity,
+        report.mean_attempts
     );
     for (c, class) in report.classes.iter().enumerate() {
         println!(
@@ -1360,4 +1381,37 @@ fn faults(scenario: &Qntn, config: SimConfig, quick: bool, parallel: bool) {
         FaultModel::standard(0).ground_outages_per_day,
         FaultModel::standard(0).weather_fronts_per_day
     );
+}
+
+/// The `timeexp` artifact: the same seeded workload served twice over the
+/// identical day — per-step (the paper's simultaneous-links routing) and
+/// hold-aware over time-expanded graphs at a ladder of quantum-memory
+/// horizons — reporting how served percentage, waits and delivered
+/// fidelity trade off. The JSON body is written atomically; horizon 0
+/// with zero memory reproduces the baseline bit for bit (the differential
+/// contract behind the ladder).
+fn timeexp(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<(), QntnError> {
+    banner("Store-and-forward serving - memory horizons vs the per-step baseline");
+    let experiment = if cli.quick {
+        TimeexpExperiment::quick()
+    } else {
+        TimeexpExperiment::standard()
+    };
+    let sweep = experiment.run_with_options(scenario, config, cli.parallel);
+    print!("{}", report::timeexp_table(&sweep));
+    println!(
+        "# {} {} requests, fidelity floor {:.2}; rescued_% counts retry- and memory-saved requests",
+        experiment.requests,
+        experiment.workload.name(),
+        experiment.fidelity_floor
+    );
+    let out = cli
+        .sweep
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("out/timeexp.json"));
+    ensure_parent_dir(&out)?;
+    atomic_write(&out, report::timeexp_json(&sweep).as_bytes())?;
+    println!("wrote {}", out.display());
+    Ok(())
 }

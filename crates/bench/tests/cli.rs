@@ -109,6 +109,29 @@ fn faults_artifact_renders_the_degradation_ladder() {
     );
 }
 
+/// The `timeexp` artifact through the process boundary: a quick run exits
+/// 0, prints the baseline and one row per horizon, and writes the JSON
+/// comparison atomically at `--out`.
+#[test]
+fn timeexp_writes_the_comparison_artifact() {
+    let out_path = temp_path("timeexp", "json");
+    let out = reproduce(&["timeexp", "--quick", "--out", out_path.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Store-and-forward serving"), "{stdout}");
+    assert!(stdout.contains("per-step"), "{stdout}");
+    let body = std::fs::read_to_string(&out_path).unwrap();
+    assert!(body.contains("\"experiment\": \"timeexp\""), "{body}");
+    assert!(body.contains("\"baseline\""), "{body}");
+    assert!(body.contains("\"horizon_steps\": 6"), "{body}");
+    std::fs::remove_file(&out_path).ok();
+}
+
 #[test]
 fn sweep_flag_without_value_is_rejected() {
     let out = reproduce(&["sweep", "--sats"]);

@@ -8,6 +8,7 @@
 //! | [`fidelity`] | the per-architecture fidelity/served experiment (Table III inputs) |
 //! | [`hybrid`] | the paper's future-work hybrid (HAP + constellation) |
 //! | [`faults`] | degradation vs. fault intensity (extension; intensity 0 = the paper) |
+//! | [`timeexp`] | store-and-forward serving vs. the memoryless baseline (extension) |
 //!
 //! All experiments are deterministic for a fixed seed and parallel over
 //! their dominant axis (satellites or time steps).
@@ -29,6 +30,7 @@ pub mod sensitivity;
 pub mod stability;
 pub mod survivability;
 pub mod sweep;
+pub mod timeexp;
 pub mod visibility;
 
 /// The constellation sizes the paper sweeps: 6, 12, …, 108.

@@ -5,6 +5,7 @@ use crate::experiments::faults::FaultSweep;
 use crate::experiments::fig5::FidelityCurve;
 use crate::experiments::fig6::CoverageSweep;
 use crate::experiments::sweep::ConstellationSweep;
+use crate::experiments::timeexp::{TimeexpPoint, TimeexpSweep};
 use qntn_net::QuantumNetworkSim;
 use qntn_routing::Graph;
 
@@ -151,6 +152,83 @@ pub fn faults_csv(sweep: &FaultSweep) -> String {
         }
     }
     out
+}
+
+fn wait_cell(v: Option<u64>) -> String {
+    v.map_or_else(|| "n/a".to_string(), |w| w.to_string())
+}
+
+fn wait_json(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |w| w.to_string())
+}
+
+fn timeexp_row(label: &str, p: &TimeexpPoint) -> String {
+    format!(
+        "{:>8}  {:>8.2}  {:>11.2}  {:>9.2}  {:>9.2}  {:>9.4}  {:>8}  {:>8}\n",
+        label,
+        p.served_percent,
+        p.first_try_percent,
+        p.rescued_percent,
+        p.expired_percent,
+        p.mean_fidelity,
+        wait_cell(p.p50_wait_steps),
+        wait_cell(p.p95_wait_steps)
+    )
+}
+
+/// Render the store-and-forward comparison as an aligned text table. The
+/// `per-step` row is the memoryless baseline; `rescued_%` counts requests
+/// saved by a retry *or* a memory hold.
+pub fn timeexp_table(sweep: &TimeexpSweep) -> String {
+    let mut out = String::from(
+        " horizon  served_%  first_try_%  rescued_%  expired_%  F_end2end  p50_wait  p95_wait\n",
+    );
+    out.push_str(&timeexp_row("per-step", &sweep.baseline));
+    for p in &sweep.points {
+        out.push_str(&timeexp_row(
+            &p.horizon_steps.map_or_else(String::new, |h| h.to_string()),
+            p,
+        ));
+    }
+    out
+}
+
+fn timeexp_point_json(p: &TimeexpPoint) -> String {
+    format!(
+        "{{\"horizon_steps\": {}, \"served_percent\": {:.4}, \
+         \"first_try_percent\": {:.4}, \"rescued_percent\": {:.4}, \
+         \"expired_percent\": {:.4}, \"mean_fidelity\": {:.6}, \
+         \"mean_attempts\": {:.4}, \"p50_wait_steps\": {}, \
+         \"p95_wait_steps\": {}}}",
+        p.horizon_steps
+            .map_or_else(|| "null".to_string(), |h| h.to_string()),
+        p.served_percent,
+        p.first_try_percent,
+        p.rescued_percent,
+        p.expired_percent,
+        p.mean_fidelity,
+        p.mean_attempts,
+        wait_json(p.p50_wait_steps),
+        wait_json(p.p95_wait_steps)
+    )
+}
+
+/// Render the store-and-forward comparison as JSON (the `reproduce
+/// timeexp` artifact body).
+pub fn timeexp_json(sweep: &TimeexpSweep) -> String {
+    let rows: Vec<String> = sweep
+        .points
+        .iter()
+        .map(|p| format!("    {}", timeexp_point_json(p)))
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"timeexp\",\n  \"satellites\": {},\n  \
+         \"fidelity_floor\": {:.4},\n  \"baseline\": {},\n  \"points\": [\n{}\n  ]\n}}\n",
+        sweep.satellites,
+        sweep.fidelity_floor,
+        timeexp_point_json(&sweep.baseline),
+        rows.join(",\n")
+    )
 }
 
 /// Render one time step's active network as Graphviz DOT (the data behind
@@ -315,5 +393,36 @@ mod tests {
         assert!(t.contains("+44.83"));
         assert!(t.contains("+42.25"));
         assert!(t.contains("+0.0200"));
+    }
+    #[test]
+    fn timeexp_renders_baseline_row_and_null_waits() {
+        let p = |h: Option<usize>, served: f64| TimeexpPoint {
+            horizon_steps: h,
+            served_percent: served,
+            first_try_percent: served,
+            rescued_percent: 0.0,
+            expired_percent: 100.0 - served,
+            mean_fidelity: 0.95,
+            mean_attempts: 1.5,
+            p50_wait_steps: if served > 0.0 { Some(2) } else { None },
+            p95_wait_steps: if served > 0.0 { Some(9) } else { None },
+        };
+        let sweep = TimeexpSweep {
+            satellites: 108,
+            fidelity_floor: 0.9,
+            baseline: p(None, 0.0),
+            points: vec![p(Some(0), 40.0), p(Some(8), 55.0)],
+        };
+        let t = timeexp_table(&sweep);
+        assert!(t.starts_with(" horizon"));
+        assert!(t.contains("per-step"));
+        assert!(t.contains("n/a"), "empty served set renders n/a, not 0");
+        assert_eq!(t.lines().count(), 4);
+        let j = timeexp_json(&sweep);
+        assert!(j.contains("\"experiment\": \"timeexp\""));
+        assert!(j.contains("\"horizon_steps\": null"));
+        assert!(j.contains("\"p50_wait_steps\": null"));
+        assert!(j.contains("\"horizon_steps\": 8"));
+        assert!(j.ends_with("}\n"));
     }
 }

@@ -5,3 +5,9 @@ pub fn rebuild(g: &mut qntn_routing::Graph) {
     g.set_edge(0, 1, 0.5);
     g.remove_edge(0, 1);
 }
+
+pub fn rebuild_time_expanded(t: &mut qntn_routing::TimeExpandedGraph) {
+    t.begin_layer();
+    t.push_link(0, 1, 0.5);
+    t.push_hold(0, 0.9);
+}

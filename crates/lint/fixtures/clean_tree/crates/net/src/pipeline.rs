@@ -5,3 +5,9 @@ pub fn build_topology_into(g: &mut qntn_routing::Graph) {
     g.set_edge(0, 1, 0.5);
     g.remove_edge(1, 2);
 }
+
+pub fn build_time_expanded_into(t: &mut qntn_routing::TimeExpandedGraph) {
+    t.begin_layer();
+    t.push_link(0, 1, 0.5);
+    t.push_hold(0, 0.9);
+}

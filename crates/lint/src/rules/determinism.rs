@@ -40,6 +40,9 @@ const HOT_PATHS: &[&str] = &[
     "crates/serve/src/serve.rs",
     "crates/serve/src/admission.rs",
     "crates/serve/src/request.rs",
+    "crates/serve/src/hold.rs",
+    "crates/routing/src/timexp.rs",
+    "crates/quantum/src/memory.rs",
 ];
 
 fn in_scope(rel: &str) -> bool {

@@ -7,7 +7,12 @@
 //! edge-insertion site in the per-step layer would silently fork that
 //! contract (insertion order decides routing tie-breaks), so this rule
 //! flags any `set_edge` / `remove_edge` call in non-test `qntn-net` /
-//! `qntn-core` code outside the pipeline module itself.
+//! `qntn-core` code outside the pipeline module itself. The time-expanded
+//! layer (PR 8) has the same invariant one level up: `begin_layer` /
+//! `push_link` / `push_hold` construct time-expanded graphs, and only the
+//! pipeline's `build_time_expanded_into` may call them — a second builder
+//! would fork the canonical layer/edge emission order the zero-horizon
+//! differential contract depends on.
 //!
 //! Test code is exempt (tests build ad-hoc graphs on purpose), as is
 //! `qntn-routing`, which owns the `Graph` type and mutates it freely —
@@ -33,6 +38,9 @@ pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     }
     let mut out = ctx.hits(&[".", "set_edge", "("], ID, MESSAGE);
     out.extend(ctx.hits(&[".", "remove_edge", "("], ID, MESSAGE));
+    out.extend(ctx.hits(&[".", "begin_layer", "("], ID, MESSAGE));
+    out.extend(ctx.hits(&[".", "push_link", "("], ID, MESSAGE));
+    out.extend(ctx.hits(&[".", "push_hold", "("], ID, MESSAGE));
     out.retain(|d| !ctx.is_test_line(d.line));
     out
 }

@@ -26,11 +26,15 @@ fn rule_hits<'d>(diags: &'d [Diagnostic], rule: &str) -> Vec<&'d Diagnostic> {
 fn bad_tree_trips_single_materializer_outside_pipeline() {
     let diags = lint_fixture("bad_tree");
     let hits = rule_hits(&diags, "single-materializer");
-    assert_eq!(hits.len(), 2, "{diags:#?}");
+    assert_eq!(hits.len(), 5, "{diags:#?}");
     assert!(hits.iter().all(|d| d.file == "crates/net/src/somefile.rs"));
-    assert_eq!((hits[0].line, hits[1].line), (5, 6));
+    let lines: Vec<usize> = hits.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![5, 6, 10, 11, 12]);
     assert!(hits[0].snippet.contains("set_edge"));
     assert!(hits[1].snippet.contains("remove_edge"));
+    assert!(hits[2].snippet.contains("begin_layer"));
+    assert!(hits[3].snippet.contains("push_link"));
+    assert!(hits[4].snippet.contains("push_hold"));
 }
 
 #[test]
@@ -90,7 +94,7 @@ fn bad_tree_reports_malformed_pragmas() {
 #[test]
 fn bad_tree_total_is_every_expected_violation_and_nothing_else() {
     let diags = lint_fixture("bad_tree");
-    assert_eq!(diags.len(), 14, "{diags:#?}");
+    assert_eq!(diags.len(), 17, "{diags:#?}");
 }
 
 #[test]

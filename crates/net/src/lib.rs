@@ -55,15 +55,17 @@ pub mod sweep_engine;
 
 pub use capacity::{serve_with_capacity, BlockReason, CapacityModel};
 pub use coverage::{CoverageAnalyzer, CoverageReport};
-pub use entanglement::{distribute, distribute_with, Distribution};
+pub use entanglement::{
+    distribute, distribute_time_expanded, distribute_with, realize_with_hold, Distribution,
+};
 pub use events::{LinkEvent, LinkStats, LinkTimeline};
 pub use faults::{CompiledFaults, FaultModel};
 pub use heralded::{Delivery, HeraldedLink, HeraldedStats};
 pub use host::{Host, HostKind, LanId};
 pub use linkeval::{BatchOutcome, LinkEvaluator, SimConfig};
 pub use pipeline::{
-    build_topology, build_topology_into, build_topology_into_with, Candidate, ContactWindows,
-    LinkMap, Scene, StepCursor,
+    build_time_expanded_into, build_topology, build_topology_into, build_topology_into_with,
+    host_hold_factors, Candidate, ContactWindows, LinkMap, Scene, StepCursor,
 };
 pub use requests::{
     Request, RequestOutcome, RequestWorkload, RetryOutcome, RetryPolicy, RetryStats,

@@ -59,7 +59,8 @@ use qntn_channel::fso::FsoBatch;
 use qntn_common::{HostId, QntnError, RunControl, SatId, StepId, StopCause};
 use qntn_geo::{Enu, Geodetic, Vec3, WGS84};
 use qntn_orbit::{Ephemeris, GroundGrid, PassPredictor};
-use qntn_routing::Graph;
+use qntn_quantum::memory::ClassMemory;
+use qntn_routing::{Graph, TimeExpandedGraph};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -1063,6 +1064,89 @@ pub fn build_topology(links: &LinkMap<'_>, step: StepId) -> Graph {
     let mut g = Graph::default();
     build_topology_into(links, step, &mut g);
     g
+}
+
+/// Per-host per-step memory-decay factors: each host's class
+/// (ground / satellite / HAP) looked up in `memory`, mapped to the η-space
+/// factor one hold step costs (`MemoryParams::per_step_eta_factor`).
+/// A factor of `0.0` marks a host that cannot hold at all — the
+/// time-expanded builder emits no hold edge for it.
+pub fn host_hold_factors(hosts: &[Host], memory: &ClassMemory) -> Vec<f64> {
+    hosts
+        .iter()
+        .map(|h| {
+            let params = if h.is_ground() {
+                &memory.ground
+            } else if h.is_satellite() {
+                &memory.satellite
+            } else {
+                &memory.hap
+            };
+            params.per_step_eta_factor()
+        })
+        .collect()
+}
+
+/// The single materializer of the time-expanded layer: fill `out` with
+/// `(host, step)` nodes covering sweep steps `arrival ..= arrival + horizon`
+/// (clamped to the scene's last step).
+///
+/// Each layer is produced by the *per-step* single materializer —
+/// [`build_topology_into_with`] into `full`, thresholded into `active`
+/// exactly as the sweep engine's serving path does — and its edges are
+/// copied into the layer in `Graph::edges()` order, so with `horizon == 0`
+/// the time-expanded edge list is bitwise the per-step active edge list.
+/// Between consecutive layers, one directed hold edge per holding-capable
+/// host (ascending host order, factors from [`host_hold_factors`]) carries
+/// a stored qubit forward, paying its memory decay.
+///
+/// Allocation-free in the steady state: all three outputs (`full`,
+/// `active`, `out`) reuse their storage across calls, and the cursor keeps
+/// the layer walk incremental. On return `active` holds the *last* layer's
+/// graph.
+///
+/// # Panics
+/// Panics when `arrival` is out of range or `hold_factors` does not match
+/// the scene's host count.
+#[allow(clippy::too_many_arguments)] // scratch-reuse entry point, mirrors the engine's serving path
+pub fn build_time_expanded_into(
+    links: &LinkMap<'_>,
+    arrival: StepId,
+    horizon: usize,
+    hold_factors: &[f64],
+    cursor: &mut StepCursor,
+    full: &mut Graph,
+    active: &mut Graph,
+    out: &mut TimeExpandedGraph,
+) {
+    let n_hosts = links.scene().hosts();
+    let n_steps = links.scene().steps();
+    assert_eq!(
+        hold_factors.len(),
+        n_hosts,
+        "hold factors for a different host set"
+    );
+    let t0 = arrival.index();
+    assert!(t0 < n_steps, "arrival step out of range");
+    let last = (t0 + horizon).min(n_steps - 1);
+    let threshold = links.evaluator.config().threshold;
+
+    out.reset(n_hosts, t0);
+    for (layer, step) in (t0..=last).enumerate() {
+        out.begin_layer();
+        if layer > 0 {
+            for (host, &factor) in hold_factors.iter().enumerate() {
+                if factor > 0.0 {
+                    out.push_hold(host, factor);
+                }
+            }
+        }
+        build_topology_into_with(links, StepId(step), cursor, full);
+        full.thresholded_into(threshold, active);
+        for (u, v, eta) in active.edges() {
+            out.push_link(u, v, eta);
+        }
+    }
 }
 
 #[cfg(test)]

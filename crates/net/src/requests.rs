@@ -207,12 +207,16 @@ impl RetryPolicy {
 pub enum RetryOutcome {
     /// Served on the arrival step, no retry needed.
     ServedFirstTry(Distribution),
-    /// Blocked at arrival but served by a later attempt.
+    /// Blocked at arrival but served later — by a retry, or (in the
+    /// hold-aware serving mode) by a quantum memory bridging to a later
+    /// pass within the same attempt.
     ServedAfterRetry {
         distribution: Distribution,
-        /// Total attempts used, including the first (≥ 2).
+        /// Total attempts used, including the first (≥ 2 on the per-step
+        /// path; a memory-rescued first attempt reports 1).
         attempts: usize,
-        /// Steps between arrival and the serving attempt.
+        /// Steps between arrival and delivery (attempt offset plus, in
+        /// hold mode, the steps spent holding).
         waited_steps: usize,
     },
     /// Every attempt within the deadline failed.

@@ -47,14 +47,17 @@
 use crate::coverage::{CoverageAnalyzer, CoverageReport};
 use crate::entanglement::distribute_with;
 use crate::faults::CompiledFaults;
-use crate::pipeline::{build_topology_into, build_topology_into_with, LinkMap, Scene, StepCursor};
+use crate::pipeline::{
+    build_time_expanded_into, build_topology_into, build_topology_into_with, LinkMap, Scene,
+    StepCursor,
+};
 use crate::requests::{
     aggregate_outcomes, aggregate_retry_outcomes, RequestOutcome, RequestWorkload, RetryOutcome,
     RetryPolicy, RetryStats, SweepStats,
 };
 use crate::simulator::QuantumNetworkSim;
 use qntn_common::{QntnError, StepId};
-use qntn_routing::{Graph, RouteMetric, SsspTable};
+use qntn_routing::{Graph, RouteMetric, SsspTable, TimeExpandedGraph, TimeTable};
 use rayon::prelude::*;
 use std::sync::Arc;
 
@@ -74,6 +77,10 @@ pub struct SweepScratch {
     /// step to step (plus the batched-η scratch). Self-seeding — a fresh
     /// or out-of-sequence cursor rebuilds itself bit-identically.
     pub cursor: StepCursor,
+    /// The layered graph of the last [`SweepEngine::time_expanded_into`].
+    pub texp: TimeExpandedGraph,
+    /// Routing scratch for the time-expanded solver.
+    pub ttable: TimeTable,
 }
 
 /// The window-pruned, step-parallel, buffer-reusing sweep evaluator. See
@@ -235,6 +242,39 @@ impl<'a> SweepEngine<'a> {
         scratch
             .full
             .thresholded_into(self.sim.evaluator().config().threshold, &mut scratch.active);
+    }
+
+    /// Build the time-expanded graph spanning steps
+    /// `arrival ..= arrival + horizon` (clamped to the last step) into
+    /// `scratch.texp` — the hold-aware serving mode's topology entry
+    /// point, a thin wrapper over the pipeline's single materializer
+    /// [`crate::pipeline::build_time_expanded_into`].
+    ///
+    /// Each layer runs the exact per-step path of
+    /// [`SweepEngine::active_graph_into`] (cursor-driven build, then
+    /// threshold), so with `horizon == 0` the single layer's edge list is
+    /// bitwise the per-step active graph's — the seam the zero-horizon
+    /// differential contract rests on. `hold_factors` comes from
+    /// [`crate::pipeline::host_hold_factors`]; hosts with factor `0.0`
+    /// get no hold edges.
+    pub fn time_expanded_into(
+        &self,
+        arrival: usize,
+        horizon: usize,
+        hold_factors: &[f64],
+        scratch: &mut SweepScratch,
+    ) {
+        let links = LinkMap::new(self.sim, &self.scene, self.faults.as_deref());
+        build_time_expanded_into(
+            &links,
+            StepId(arrival),
+            horizon,
+            hold_factors,
+            &mut scratch.cursor,
+            &mut scratch.full,
+            &mut scratch.active,
+            &mut scratch.texp,
+        );
     }
 
     /// The threshold-gated graph at `step` (allocating convenience wrapper).
@@ -750,5 +790,114 @@ mod tests {
         let other = sat_sim(4, 60);
         let faults = Arc::new(FaultModel::standard(1).compile(&other));
         let _ = SweepEngine::new(&sim).with_faults(faults);
+    }
+    #[test]
+    fn time_expanded_layer_zero_is_the_per_step_active_graph_bitwise() {
+        let sim = hybrid_sim(40);
+        let engine = SweepEngine::new(&sim);
+        let factors = crate::pipeline::host_hold_factors(
+            sim.hosts(),
+            &qntn_quantum::memory::ClassMemory::standard(),
+        );
+        let mut per_step = SweepScratch::default();
+        let mut held = SweepScratch::default();
+        for step in [0usize, 7, 19, 39] {
+            engine.active_graph_into(step, &mut per_step);
+            engine.time_expanded_into(step, 0, &factors, &mut held);
+            let texp = &held.texp;
+            assert_eq!(texp.layers(), 1, "step {step}");
+            assert_eq!(texp.base_step(), step);
+            assert_eq!(texp.node_count(), sim.hosts().len());
+            let expected: Vec<(usize, usize, u64)> = per_step
+                .active
+                .edges()
+                .map(|(u, v, eta)| (u, v, eta.to_bits()))
+                .collect();
+            let got: Vec<(usize, usize, u64)> = texp
+                .edges()
+                .iter()
+                .map(|e| {
+                    assert!(!e.hold, "step {step}: horizon 0 has no hold edges");
+                    (e.from, e.to, e.eta.to_bits())
+                })
+                .collect();
+            assert_eq!(got, expected, "step {step}: edge sequence");
+            // The builder's last-layer active graph is the per-step one.
+            assert_graphs_identical(&held.active, &per_step.active, "builder scratch");
+        }
+    }
+
+    #[test]
+    fn time_expanded_horizon_clamps_and_counts_holds() {
+        let sim = sat_sim(3, 20);
+        let engine = SweepEngine::new(&sim);
+        let memory = qntn_quantum::memory::ClassMemory::standard();
+        let factors = crate::pipeline::host_hold_factors(sim.hosts(), &memory);
+        let n_hosts = sim.hosts().len();
+        let mut scratch = SweepScratch::default();
+        // Horizon past the end of the day clamps to the last step.
+        engine.time_expanded_into(15, 100, &factors, &mut scratch);
+        assert_eq!(scratch.texp.layers(), 5, "steps 15..=19");
+        assert_eq!(scratch.texp.node_count(), 5 * n_hosts);
+        let holds = scratch.texp.edges().iter().filter(|e| e.hold).count();
+        assert_eq!(holds, 4 * n_hosts, "one hold per host per layer gap");
+        // Zero-memory factors emit no hold edges at all.
+        let none = crate::pipeline::host_hold_factors(
+            sim.hosts(),
+            &qntn_quantum::memory::ClassMemory::none(),
+        );
+        engine.time_expanded_into(15, 100, &none, &mut scratch);
+        assert!(scratch.texp.edges().iter().all(|e| !e.hold));
+    }
+
+    #[test]
+    fn hold_factors_follow_host_classes() {
+        let sim = hybrid_sim(10);
+        let memory = qntn_quantum::memory::ClassMemory {
+            ground: qntn_quantum::memory::MemoryParams::with_t2_steps(40.0),
+            satellite: qntn_quantum::memory::MemoryParams::none(),
+            hap: qntn_quantum::memory::MemoryParams::ideal(),
+        };
+        let factors = crate::pipeline::host_hold_factors(sim.hosts(), &memory);
+        assert_eq!(factors.len(), sim.hosts().len());
+        for (host, &f) in sim.hosts().iter().zip(&factors) {
+            if host.is_ground() {
+                assert!((f - (-2.0f64 / 40.0).exp()).abs() < 1e-15);
+            } else if host.is_satellite() {
+                assert_eq!(f, 0.0);
+            } else {
+                assert_eq!(f, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_time_expanded_layer_zero_matches_faulted_per_step() {
+        use crate::faults::FaultModel;
+        let sim = sat_sim(4, 60);
+        let faults = Arc::new(FaultModel::standard(11).with_intensity(2.0).compile(&sim));
+        let engine = SweepEngine::new(&sim).with_faults(faults);
+        let factors = crate::pipeline::host_hold_factors(
+            sim.hosts(),
+            &qntn_quantum::memory::ClassMemory::none(),
+        );
+        let mut per_step = SweepScratch::default();
+        let mut held = SweepScratch::default();
+        for step in [0usize, 13, 31, 59] {
+            engine.active_graph_into(step, &mut per_step);
+            engine.time_expanded_into(step, 0, &factors, &mut held);
+            let expected: Vec<(usize, usize, u64)> = per_step
+                .active
+                .edges()
+                .map(|(u, v, eta)| (u, v, eta.to_bits()))
+                .collect();
+            let got: Vec<(usize, usize, u64)> = held
+                .texp
+                .edges()
+                .iter()
+                .map(|e| (e.from, e.to, e.eta.to_bits()))
+                .collect();
+            assert_eq!(got, expected, "faulted step {step}");
+        }
     }
 }

@@ -33,6 +33,7 @@ pub mod eigen;
 pub mod fidelity;
 pub mod gates;
 pub mod matrix;
+pub mod memory;
 pub mod nonlocality;
 pub mod protocols;
 pub mod qkd;
@@ -44,6 +45,7 @@ pub use complex::Complex;
 pub use eigen::hermitian_eigen;
 pub use fidelity::{fidelity, sqrt_fidelity};
 pub use matrix::Matrix;
+pub use memory::{ClassMemory, MemoryParams};
 pub use nonlocality::{chsh_max, violates_chsh};
 pub use protocols::{entanglement_swap, purify_bbpssw, teleport_fidelity};
 pub use qkd::{bbm92_key_fraction, qber_x, qber_z};

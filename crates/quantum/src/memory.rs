@@ -1,0 +1,270 @@
+//! Quantum memories: T2-style decoherence while a Bell half is held.
+//!
+//! Store-and-forward entanglement distribution (ROADMAP item 2) lets a
+//! node park one half of a Bell pair in a local memory and wait for a
+//! better pass instead of routing on the arrival step. The price is
+//! dephasing: a stored qubit decays toward the classically-correlated
+//! fidelity floor of 1/2 with a characteristic time T2, the same
+//! exponential register model used by QNet-MTP-style simulators. This
+//! module is the single source of that decay law; everything downstream
+//! (hold edges in the time-expanded graph, the serve layer's fidelity
+//! accounting) derives from [`MemoryParams::hold_fidelity`] and its
+//! η-space twin [`MemoryParams::hold_eta_factor`].
+//!
+//! ## The two faces of one decay law
+//!
+//! The workspace scores links in the square-root convention
+//! `F = (1 + √η)/2` (see [`crate::fidelity::bell_ad_sqrt_fidelity`]), so a
+//! T2 exponential toward 1/2,
+//!
+//! ```text
+//! F(k) = 1/2 + (F₀ − 1/2)·exp(−k/T2),
+//! ```
+//!
+//! is *exactly* a multiplicative factor in η-space: substituting
+//! `2F − 1 = √η` gives `√η(k) = √η₀·exp(−k/T2)`, i.e.
+//! `η(k) = η₀·exp(−2k/T2)`. Holding for `k` steps therefore composes with
+//! the optical path as one more amplitude-damping stage of transmissivity
+//! `exp(−2k/T2)` — the same `AD(η₁)∘AD(η₂) = AD(η₁η₂)` composition the
+//! per-link pipeline already uses, which is what lets hold edges carry a
+//! plain η weight through the existing routing metrics unchanged.
+//!
+//! ## Determinism
+//!
+//! Both entry points are pure `f64` arithmetic (one `exp` per call), take
+//! no global state, and early-return bit-exact identities at zero hold:
+//! `hold_fidelity(f0, 0) == f0` and `hold_eta_factor(0) == 1.0`, by
+//! construction rather than by numerical accident. Monotonicity in the
+//! hold duration and the clamps are covered by unit tests here and by
+//! proptests in `tests/properties.rs`.
+
+/// T2-style memory decay for one node class.
+///
+/// The unit of time is the sweep step (30 s in the paper's day), so
+/// `t2_steps = 40.0` means the stored half's excess fidelity over 1/2
+/// falls by `1/e` in 20 minutes. Two extremes are first-class:
+/// [`MemoryParams::none`] (no memory — any hold destroys the pair) and
+/// [`MemoryParams::ideal`] (lossless memory — holds are free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryParams {
+    t2_steps: f64,
+}
+
+impl MemoryParams {
+    /// A memory with the given T2, in sweep steps.
+    ///
+    /// `t2_steps` must be non-negative and not NaN (`0.0` means no usable
+    /// memory, `f64::INFINITY` a lossless one).
+    ///
+    /// # Panics
+    /// If `t2_steps` is NaN or negative.
+    pub fn with_t2_steps(t2_steps: f64) -> MemoryParams {
+        assert!(
+            t2_steps >= 0.0,
+            "memory T2 must be non-negative and not NaN, got {t2_steps}"
+        );
+        MemoryParams { t2_steps }
+    }
+
+    /// No memory: a qubit cannot be held at all (T2 = 0).
+    pub fn none() -> MemoryParams {
+        MemoryParams { t2_steps: 0.0 }
+    }
+
+    /// A lossless memory: holding costs nothing (T2 = ∞).
+    pub fn ideal() -> MemoryParams {
+        MemoryParams {
+            t2_steps: f64::INFINITY,
+        }
+    }
+
+    /// The configured T2, in sweep steps.
+    pub fn t2_steps(&self) -> f64 {
+        self.t2_steps
+    }
+
+    /// Whether this memory can hold a qubit for at least one step with any
+    /// fidelity above the classical floor.
+    pub fn can_hold(&self) -> bool {
+        self.t2_steps > 0.0
+    }
+
+    /// Square-root fidelity after holding a pair of fidelity `f0` for
+    /// `steps` sweep steps.
+    ///
+    /// Guarantees, for any fixed `f0 ∈ [0, 1]`:
+    /// - **exact at zero hold**: `hold_fidelity(f0, 0) == f0` bitwise;
+    /// - **monotone non-increasing** in `steps`;
+    /// - **clamped** to `[min(f0, 1/2), f0]` — decay never dips below the
+    ///   classical floor and never *raises* an already-classical state
+    ///   (`f0 ≤ 1/2` is returned unchanged: dephasing toward 1/2 would
+    ///   otherwise increase it).
+    pub fn hold_fidelity(&self, f0: f64, steps: u32) -> f64 {
+        if steps == 0 || f0 <= 0.5 {
+            return f0;
+        }
+        if self.t2_steps == f64::INFINITY {
+            return f0;
+        }
+        if self.t2_steps <= 0.0 {
+            return 0.5;
+        }
+        let decay = (-f64::from(steps) / self.t2_steps).exp();
+        (0.5 + (f0 - 0.5) * decay).clamp(0.5, f0)
+    }
+
+    /// The η-space transmissivity factor equivalent to holding for
+    /// `steps` steps: `exp(−2·steps/T2)` (see the module docs for the
+    /// derivation). `1.0` at zero hold (bitwise), `0.0` for a memoryless
+    /// node, monotone non-increasing in `steps`.
+    pub fn hold_eta_factor(&self, steps: u32) -> f64 {
+        if steps == 0 {
+            return 1.0;
+        }
+        if self.t2_steps == f64::INFINITY {
+            return 1.0;
+        }
+        if self.t2_steps <= 0.0 {
+            return 0.0;
+        }
+        (-2.0 * f64::from(steps) / self.t2_steps).exp()
+    }
+
+    /// The per-step η factor — the weight a single "hold one step" edge
+    /// carries in the time-expanded graph.
+    pub fn per_step_eta_factor(&self) -> f64 {
+        self.hold_eta_factor(1)
+    }
+}
+
+/// Per-node-class memory parameters: ground stations, satellites and HAPs
+/// host different hardware, so each class gets its own T2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassMemory {
+    /// Ground stations (labs: the best cryogenics and vibration control).
+    pub ground: MemoryParams,
+    /// Satellites (SWaP-constrained payloads).
+    pub satellite: MemoryParams,
+    /// High-altitude platforms.
+    pub hap: MemoryParams,
+}
+
+impl ClassMemory {
+    /// No class can hold: the zero-memory configuration whose hold-aware
+    /// serve must reproduce per-step routing bit-identically.
+    pub fn none() -> ClassMemory {
+        ClassMemory {
+            ground: MemoryParams::none(),
+            satellite: MemoryParams::none(),
+            hap: MemoryParams::none(),
+        }
+    }
+
+    /// The same memory on every class.
+    pub fn uniform(params: MemoryParams) -> ClassMemory {
+        ClassMemory {
+            ground: params,
+            satellite: params,
+            hap: params,
+        }
+    }
+
+    /// The default scenario axis: ground labs hold for T2 = 40 steps
+    /// (20 min of the paper's 30 s steps), flying platforms for 20 steps.
+    pub fn standard() -> ClassMemory {
+        ClassMemory {
+            ground: MemoryParams::with_t2_steps(40.0),
+            satellite: MemoryParams::with_t2_steps(20.0),
+            hap: MemoryParams::with_t2_steps(20.0),
+        }
+    }
+
+    /// Whether any class can hold at all.
+    pub fn can_hold_any(&self) -> bool {
+        self.ground.can_hold() || self.satellite.can_hold() || self.hap.can_hold()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::bell_ad_sqrt_fidelity;
+
+    #[test]
+    fn zero_hold_is_bitwise_identity() {
+        let m = MemoryParams::with_t2_steps(17.0);
+        for f0 in [0.0, 0.3, 0.5, 0.500001, 0.7, 0.918, 1.0] {
+            assert_eq!(m.hold_fidelity(f0, 0).to_bits(), f0.to_bits());
+        }
+        assert_eq!(m.hold_eta_factor(0).to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
+    fn monotone_non_increasing_and_clamped() {
+        let m = MemoryParams::with_t2_steps(8.0);
+        let f0 = 0.95;
+        let mut prev = f0;
+        for k in 0..200 {
+            let f = m.hold_fidelity(f0, k);
+            assert!(f <= prev + 1e-15, "k={k}: {f} > {prev}");
+            assert!((0.5..=f0).contains(&f), "k={k}: {f}");
+            prev = f;
+        }
+        // Long holds approach (but never cross) the classical floor.
+        assert!((m.hold_fidelity(f0, 10_000) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classical_states_are_left_alone() {
+        let m = MemoryParams::with_t2_steps(8.0);
+        for f0 in [0.0, 0.2, 0.5] {
+            assert_eq!(m.hold_fidelity(f0, 5).to_bits(), f0.to_bits());
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        let none = MemoryParams::none();
+        assert!(!none.can_hold());
+        assert_eq!(none.hold_fidelity(0.9, 1), 0.5);
+        assert_eq!(none.hold_eta_factor(1), 0.0);
+        assert_eq!(none.per_step_eta_factor(), 0.0);
+
+        let ideal = MemoryParams::ideal();
+        assert!(ideal.can_hold());
+        assert_eq!(ideal.hold_fidelity(0.9, 999).to_bits(), 0.9f64.to_bits());
+        assert_eq!(ideal.hold_eta_factor(999), 1.0);
+    }
+
+    #[test]
+    fn eta_factor_and_fidelity_decay_agree() {
+        // The module-doc identity: decaying η then converting to fidelity
+        // equals converting then decaying the fidelity.
+        let m = MemoryParams::with_t2_steps(13.0);
+        for eta in [0.05, 0.3, 0.7, 0.95] {
+            for k in [1u32, 3, 10, 40] {
+                let via_eta = bell_ad_sqrt_fidelity(eta * m.hold_eta_factor(k));
+                let via_f = m.hold_fidelity(bell_ad_sqrt_fidelity(eta), k);
+                assert!(
+                    (via_eta - via_f).abs() < 1e-12,
+                    "eta={eta} k={k}: {via_eta} vs {via_f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_memory_presets() {
+        assert!(!ClassMemory::none().can_hold_any());
+        assert!(ClassMemory::standard().can_hold_any());
+        let u = ClassMemory::uniform(MemoryParams::with_t2_steps(5.0));
+        assert_eq!(u.ground, u.satellite);
+        assert_eq!(u.ground, u.hap);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_t2_panics() {
+        let _ = MemoryParams::with_t2_steps(-1.0);
+    }
+}

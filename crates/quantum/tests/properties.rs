@@ -11,6 +11,7 @@ use qntn_quantum::fidelity::{
     bell_ad_sqrt_fidelity, fidelity, sqrt_fidelity, sqrt_fidelity_to_pure,
 };
 use qntn_quantum::matrix::Matrix;
+use qntn_quantum::memory::MemoryParams;
 use qntn_quantum::state::{bell_phi_plus, DensityMatrix, Ket};
 
 /// A random normalized single-qubit ket.
@@ -168,5 +169,88 @@ proptest! {
         let p = rho.purity();
         prop_assert!(p <= 1.0 + 1e-9, "{p}");
         prop_assert!(p >= 0.25 - 1e-9, "{p}"); // 1/d for d = 4
+    }
+}
+
+/// `ProptestConfig` with `n` cases, overridable via `PROPTEST_CASES`
+/// (nightly CI runs this suite with `PROPTEST_CASES=2048`).
+fn cases_or(n: u32) -> ProptestConfig {
+    ProptestConfig::with_cases(proptest::test_runner::env_case_count().unwrap_or(n))
+}
+
+proptest! {
+    #![proptest_config(cases_or(64))]
+
+    /// Holding longer never improves fidelity, and every value stays
+    /// clamped to the physical band `[1/2, f0]`.
+    #[test]
+    fn hold_fidelity_is_monotone_non_increasing_and_clamped(
+        f0 in 0.5..1.0f64,
+        t2 in 0.01..2000.0f64,
+        a in 0u32..200,
+        b in 0u32..200,
+    ) {
+        let m = MemoryParams::with_t2_steps(t2);
+        let (short, long) = (a.min(b), a.max(b));
+        let fs = m.hold_fidelity(f0, short);
+        let fl = m.hold_fidelity(f0, long);
+        prop_assert!(fl <= fs, "hold {long} steps beat {short}: {fl} > {fs}");
+        for f in [fs, fl] {
+            prop_assert!((0.5..=f0).contains(&f), "{f} outside [0.5, {f0}]");
+        }
+    }
+
+    /// Zero hold is exact — bitwise `f0`, not merely close — so the
+    /// zero-horizon differential contract can hold without epsilons; and
+    /// one step of an ever-better memory converges continuously to it.
+    #[test]
+    fn hold_fidelity_is_exact_then_continuous_at_zero(f0 in 0.5..1.0f64) {
+        for t2 in [0.5, 7.0, 1e3, f64::INFINITY] {
+            let m = MemoryParams::with_t2_steps(t2);
+            prop_assert_eq!(m.hold_fidelity(f0, 0).to_bits(), f0.to_bits());
+        }
+        // One held step loses at most (f0 - 1/2)(1 - e^{-1/T2}) -> 0 as
+        // T2 grows: the decay has no jump at zero hold time.
+        for t2 in [1e2, 1e4, 1e6] {
+            let lost = f0 - MemoryParams::with_t2_steps(t2).hold_fidelity(f0, 1);
+            let bound = (f0 - 0.5) * (1.0 - (-1.0 / t2).exp()) + 1e-12;
+            prop_assert!(lost <= bound, "T2 {t2}: lost {lost} > {bound}");
+        }
+    }
+
+    /// A better memory is never worse: fidelity after a fixed hold is
+    /// monotone non-decreasing in T2, with the ideal memory as the limit.
+    #[test]
+    fn hold_fidelity_is_monotone_in_t2(
+        f0 in 0.5..1.0f64,
+        t2_lo in 0.01..500.0f64,
+        factor in 1.0..50.0f64,
+        steps in 1u32..100,
+    ) {
+        let worse = MemoryParams::with_t2_steps(t2_lo).hold_fidelity(f0, steps);
+        let better = MemoryParams::with_t2_steps(t2_lo * factor).hold_fidelity(f0, steps);
+        let ideal = MemoryParams::ideal().hold_fidelity(f0, steps);
+        prop_assert!(worse <= better + 1e-15);
+        prop_assert!(better <= ideal + 1e-15);
+        prop_assert_eq!(ideal.to_bits(), f0.to_bits());
+    }
+
+    /// The eta-space equivalence the routing layer relies on: decaying the
+    /// transmissivity by `hold_eta_factor` and then measuring equals
+    /// decaying the measured fidelity directly. This is why hold edges can
+    /// carry plain eta multipliers through a quantum-free routing crate.
+    #[test]
+    fn hold_eta_factor_commutes_with_the_fidelity_map(
+        eta in 0.0..1.0f64,
+        t2 in 0.1..500.0f64,
+        steps in 0u32..100,
+    ) {
+        let m = MemoryParams::with_t2_steps(t2);
+        let via_eta = bell_ad_sqrt_fidelity(eta * m.hold_eta_factor(steps));
+        let via_f = m.hold_fidelity(bell_ad_sqrt_fidelity(eta), steps);
+        prop_assert!(
+            (via_eta - via_f).abs() < 1e-12,
+            "eta {eta}, T2 {t2}, {steps} steps: {via_eta} vs {via_f}"
+        );
     }
 }

@@ -147,30 +147,10 @@ pub(crate) fn extract_route(
     if !table.cost[dest].is_finite() {
         return None;
     }
-    let mut nodes = vec![dest];
-    let mut cur = dest;
-    while cur != source {
-        cur = table.pred[cur]?;
-        nodes.push(cur);
-        if nodes.len() > graph.node_count() {
-            return None; // defensive: corrupt predecessor chain
-        }
-    }
-    nodes.reverse();
-    let mut eta_product = 1.0;
-    let mut cost = 0.0;
-    for w in nodes.windows(2) {
-        // Predecessor edges come from relaxations over `graph`, so the
-        // lookup can only fail on a corrupt table — treat as unroutable.
-        let eta = graph.eta(w[0], w[1])?;
-        eta_product *= eta;
-        cost += metric.edge_cost(eta);
-    }
-    Some(Route {
-        nodes,
-        cost,
-        eta_product,
-    })
+    let nodes = crate::extract::walk_predecessors(&table.pred, source, dest, graph.node_count())?;
+    // Predecessor edges come from relaxations over `graph`, so the eta
+    // lookup can only fail on a corrupt table — treat as unroutable.
+    crate::extract::accumulate_route(nodes, |u, v| graph.eta(u, v), metric)
 }
 
 #[cfg(test)]

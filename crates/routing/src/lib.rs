@@ -18,6 +18,11 @@
 //! - [`dijkstra()`] — a binary-heap Dijkstra baseline (all costs here are
 //!   positive, so it must agree with Bellman–Ford; tested, including by
 //!   proptest in the crate's property suite).
+//! - [`timexp`] — store-and-forward routing over a [`TimeExpandedGraph`]
+//!   of `(host, step)` nodes: same-step link edges plus directed
+//!   "hold one step, pay memory decay" edges, with entanglement swapping
+//!   at intermediate hosts and a fidelity-floor cutoff. At horizon 0 it
+//!   reproduces the per-step routers bit-identically.
 //!
 //! All routers return a [`Route`] carrying the node path, the accumulated
 //! metric cost and the end-to-end transmissivity product (what the
@@ -26,9 +31,11 @@
 pub mod bellman_ford;
 pub mod dijkstra;
 pub mod disjoint;
+mod extract;
 pub mod graph;
 pub mod metrics;
 pub mod table;
+pub mod timexp;
 
 pub use bellman_ford::{
     bellman_ford, bellman_ford_all, bellman_ford_all_into, bellman_ford_into, route_from_table,
@@ -39,6 +46,10 @@ pub use disjoint::{edge_disjoint_routes, survivability, vertex_disjoint_routes};
 pub use graph::{Graph, NodeId};
 pub use metrics::{RouteMetric, PAPER_EPSILON};
 pub use table::DistanceVectorRouter;
+pub use timexp::{
+    extract_time_route, time_sssp_into, TimeEdge, TimeExpandedGraph, TimeNodeId, TimeRoute,
+    TimeTable,
+};
 
 /// A routed path.
 #[derive(Debug, Clone, PartialEq)]

@@ -145,18 +145,7 @@ impl DistanceVectorRouter {
     /// Full [`Route`] (path + cost + η product) from `source` to `dest`.
     pub fn route(&self, graph: &Graph, source: NodeId, dest: NodeId) -> Option<Route> {
         let nodes = self.path(source, dest)?;
-        let mut eta_product = 1.0;
-        let mut cost = 0.0;
-        for w in nodes.windows(2) {
-            let eta = graph.eta(w[0], w[1])?;
-            eta_product *= eta;
-            cost += self.metric.edge_cost(eta);
-        }
-        Some(Route {
-            nodes,
-            cost,
-            eta_product,
-        })
+        crate::extract::accumulate_route(nodes, |u, v| graph.eta(u, v), self.metric)
     }
 
     /// The metric the tables were built with.

@@ -1,0 +1,526 @@
+//! Time-expanded routing: store-and-forward entanglement over a bounded
+//! horizon of sweep steps.
+//!
+//! The per-step pipeline routes each step in isolation; the contact
+//! windows, however, already encode the future. This module gives routing
+//! a time axis: a [`TimeExpandedGraph`] whose nodes are `(host, layer)`
+//! pairs — layer `l` is sweep step `base_step + l` — and whose edges are
+//!
+//! - **link edges**: that layer's physical links (η from the per-step
+//!   `LinkMap`), traversable in either direction *within* the layer, and
+//! - **hold edges**: directed `(host, l) → (host, l+1)` transitions whose
+//!   η is the host's per-step memory-decay factor
+//!   (`MemoryParams::per_step_eta_factor` in `qntn-quantum`) — "keep the
+//!   qubit one step, pay the decoherence".
+//!
+//! A path that enters an intermediate host on one layer and leaves on a
+//! later one *is* entanglement swapping across non-simultaneous passes:
+//! the host holds its half of the first pair until the second link comes
+//! up, then swaps. Because the workspace's decay law is multiplicative in
+//! η-space (`AD(η₁)∘AD(η₂) = AD(η₁η₂)`), the end-to-end η of such a path
+//! is simply the product of every edge η, holds included — so the existing
+//! [`RouteMetric`]s apply unchanged.
+//!
+//! ## Determinism and the zero-horizon contract
+//!
+//! The graph is filled by exactly one builder
+//! (`qntn_net::pipeline::build_time_expanded_into`, preserving the
+//! single-materializer invariant); this module only defines the structure
+//! and the solver. Edge storage is a flat list in canonical emission
+//! order: per layer, first that layer's hold edges (hosts ascending), then
+//! its link edges in the per-step graph's `edges()` order.
+//! [`time_sssp_into`] relaxes that list with the *same loop shape* as
+//! [`crate::bellman_ford_all_into`] — `n−1` rounds, strict `<`, early
+//! exit, both orientations for link edges (hold edges forward only: a
+//! qubit cannot travel back in time). With horizon 0 the edge sequence is
+//! bitwise the per-step sequence and the loop is the per-step loop, so
+//! costs, predecessors and extracted routes reproduce per-step routing
+//! bit-identically — a checked property (`tests/timexp.rs`), not a
+//! short-circuit.
+
+use crate::extract::walk_predecessors;
+use crate::graph::NodeId;
+use crate::metrics::RouteMetric;
+use crate::Route;
+
+/// Index of a `(host, layer)` node: `layer * n_hosts + host`.
+pub type TimeNodeId = usize;
+
+/// One edge of the time-expanded graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeEdge {
+    /// Tail time-node.
+    pub from: TimeNodeId,
+    /// Head time-node (same layer for link edges, next layer for holds).
+    pub to: TimeNodeId,
+    /// Transmissivity: the physical link's η, or the hold's decay factor.
+    pub eta: f64,
+    /// Hold edges relax forward only; link edges in both directions.
+    pub hold: bool,
+}
+
+/// The layered graph. Built exclusively by the pipeline's
+/// `build_time_expanded_into`; reusable across calls via [`Self::reset`]
+/// (storage is retained, nothing is allocated in the steady state).
+#[derive(Debug, Clone, Default)]
+pub struct TimeExpandedGraph {
+    n_hosts: usize,
+    n_layers: usize,
+    base_step: usize,
+    edges: Vec<TimeEdge>,
+}
+
+impl TimeExpandedGraph {
+    /// Clear to an empty graph over `n_hosts` hosts anchored at sweep step
+    /// `base_step`, keeping edge storage.
+    pub fn reset(&mut self, n_hosts: usize, base_step: usize) {
+        self.n_hosts = n_hosts;
+        self.n_layers = 0;
+        self.base_step = base_step;
+        self.edges.clear();
+    }
+
+    /// Open the next layer. Subsequent [`Self::push_hold`] /
+    /// [`Self::push_link`] calls land in it.
+    pub fn begin_layer(&mut self) {
+        self.n_layers += 1;
+    }
+
+    /// Add the directed hold edge carrying `host`'s qubit from the
+    /// previous layer into the current one, with decay factor `eta`.
+    ///
+    /// # Panics
+    /// If fewer than two layers are open, `host` is out of range, or
+    /// `eta` is outside `(0, 1]` (a zero-η hold can never lie on a best
+    /// path with finite metrics — the builder skips memoryless hosts).
+    pub fn push_hold(&mut self, host: NodeId, eta: f64) {
+        assert!(self.n_layers >= 2, "hold edges connect two layers");
+        assert!(host < self.n_hosts, "host out of range");
+        assert!(eta > 0.0 && eta <= 1.0, "hold eta out of (0, 1]: {eta}");
+        let from = (self.n_layers - 2) * self.n_hosts + host;
+        self.edges.push(TimeEdge {
+            from,
+            to: from + self.n_hosts,
+            eta,
+            hold: true,
+        });
+    }
+
+    /// Add an (undirected) physical link of the current layer.
+    ///
+    /// # Panics
+    /// If no layer is open, an endpoint is out of range, the link is a
+    /// self-loop, or `eta` is outside `[0, 1]`.
+    pub fn push_link(&mut self, u: NodeId, v: NodeId, eta: f64) {
+        assert!(self.n_layers >= 1, "no layer open");
+        assert!(u < self.n_hosts && v < self.n_hosts, "host out of range");
+        assert_ne!(u, v, "self-loop");
+        assert!((0.0..=1.0).contains(&eta), "link eta out of [0, 1]: {eta}");
+        let off = (self.n_layers - 1) * self.n_hosts;
+        self.edges.push(TimeEdge {
+            from: off + u,
+            to: off + v,
+            eta,
+            hold: false,
+        });
+    }
+
+    /// Hosts per layer.
+    pub fn n_hosts(&self) -> usize {
+        self.n_hosts
+    }
+
+    /// Number of layers (horizon + 1 when non-empty).
+    pub fn layers(&self) -> usize {
+        self.n_layers
+    }
+
+    /// The sweep step layer 0 corresponds to.
+    pub fn base_step(&self) -> usize {
+        self.base_step
+    }
+
+    /// Total time-nodes.
+    pub fn node_count(&self) -> usize {
+        self.n_hosts * self.n_layers
+    }
+
+    /// The edge list in canonical emission order.
+    pub fn edges(&self) -> &[TimeEdge] {
+        &self.edges
+    }
+
+    /// The time-node of `host` at `layer`.
+    #[inline]
+    pub fn node_of(&self, host: NodeId, layer: usize) -> TimeNodeId {
+        debug_assert!(host < self.n_hosts && layer < self.n_layers);
+        layer * self.n_hosts + host
+    }
+
+    /// The host a time-node belongs to.
+    #[inline]
+    pub fn host_of(&self, node: TimeNodeId) -> NodeId {
+        node % self.n_hosts
+    }
+
+    /// The layer a time-node belongs to.
+    #[inline]
+    pub fn layer_of(&self, node: TimeNodeId) -> usize {
+        node / self.n_hosts
+    }
+}
+
+/// Per-time-node SSSP results, including the η and kind of the relaxed-in
+/// predecessor edge so extraction needs no adjacency lookups.
+#[derive(Debug, Clone, Default)]
+pub struct TimeTable {
+    /// Metric cost from the source time-node.
+    pub cost: Vec<f64>,
+    /// Predecessor time-node on the best path.
+    pub pred: Vec<Option<TimeNodeId>>,
+    /// η of the edge `(pred[v], v)`.
+    pub pred_eta: Vec<f64>,
+    /// Whether that edge was a hold.
+    pub pred_hold: Vec<bool>,
+}
+
+impl TimeTable {
+    /// Size to `n` time-nodes with every cost at infinity, reusing storage.
+    pub fn reset(&mut self, n: usize) {
+        self.cost.clear();
+        self.cost.resize(n, f64::INFINITY);
+        self.pred.clear();
+        self.pred.resize(n, None);
+        self.pred_eta.clear();
+        self.pred_eta.resize(n, 1.0);
+        self.pred_hold.clear();
+        self.pred_hold.resize(n, false);
+    }
+}
+
+/// Single-source relaxation from `(source_host, layer 0)` over the whole
+/// horizon — Bellman–Ford with the exact loop shape of
+/// [`crate::bellman_ford_all_into`] (see the module docs for why that
+/// matters), except that hold edges relax forward only.
+///
+/// # Panics
+/// If `source_host` is out of range or the graph has no layers.
+pub fn time_sssp_into(
+    graph: &TimeExpandedGraph,
+    source_host: NodeId,
+    metric: RouteMetric,
+    table: &mut TimeTable,
+) {
+    let n = graph.node_count();
+    assert!(source_host < graph.n_hosts(), "source out of range");
+    assert!(graph.layers() > 0, "empty time-expanded graph");
+    table.reset(n);
+    table.cost[graph.node_of(source_host, 0)] = 0.0;
+
+    for _round in 0..n.saturating_sub(1) {
+        let mut changed = false;
+        for e in graph.edges() {
+            let w = metric.edge_cost(e.eta);
+            if table.cost[e.from] + w < table.cost[e.to] {
+                table.cost[e.to] = table.cost[e.from] + w;
+                table.pred[e.to] = Some(e.from);
+                table.pred_eta[e.to] = e.eta;
+                table.pred_hold[e.to] = e.hold;
+                changed = true;
+            }
+            if !e.hold && table.cost[e.to] + w < table.cost[e.from] {
+                table.cost[e.from] = table.cost[e.to] + w;
+                table.pred[e.from] = Some(e.to);
+                table.pred_eta[e.from] = e.eta;
+                table.pred_hold[e.from] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break; // early exit: already converged
+        }
+    }
+}
+
+/// A route through the time-expanded graph, projected back onto hosts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeRoute {
+    /// Host-level path (holds collapsed); `cost` sums every edge including
+    /// holds, `eta_product` is the end-to-end η including hold decay.
+    pub route: Route,
+    /// η of each *physical* link, in path order — what the entanglement
+    /// layer feeds into its per-link fidelity accounting.
+    pub link_etas: Vec<f64>,
+    /// Product of the hold edges' decay factors (`1.0` when nothing was
+    /// held; `route.eta_product == Π link_etas · hold_eta`).
+    pub hold_eta: f64,
+    /// Total steps spent holding.
+    pub hold_steps: usize,
+    /// Entanglement swaps performed (intermediate hosts on the path).
+    pub swaps: usize,
+    /// Layer on which the destination is reached — the pair is delivered
+    /// at sweep step `base_step + delivered_layer`.
+    pub delivered_layer: usize,
+}
+
+/// Extract the best route from `src_host` (at layer 0) to `dst_host` at
+/// *any* layer: minimum metric cost, earliest delivery on ties. Returns
+/// `None` when the destination is unreachable within the horizon, an
+/// endpoint is out of range, or the end-to-end η falls below `eta_floor`
+/// (the fidelity-floor cutoff, mapped into η-space by the caller — the
+/// map is monotone, see `qntn_quantum::fidelity::bell_ad_sqrt_fidelity`).
+pub fn extract_time_route(
+    graph: &TimeExpandedGraph,
+    table: &TimeTable,
+    src_host: NodeId,
+    dst_host: NodeId,
+    metric: RouteMetric,
+    eta_floor: f64,
+) -> Option<TimeRoute> {
+    if src_host >= graph.n_hosts() || dst_host >= graph.n_hosts() || graph.layers() == 0 {
+        return None;
+    }
+    let mut best: Option<(f64, usize)> = None;
+    for layer in 0..graph.layers() {
+        let c = table.cost[graph.node_of(dst_host, layer)];
+        if c.is_finite() && best.is_none_or(|(bc, _)| c < bc) {
+            best = Some((c, layer));
+        }
+    }
+    let (_, delivered_layer) = best?;
+    let nodes = walk_predecessors(
+        &table.pred,
+        graph.node_of(src_host, 0),
+        graph.node_of(dst_host, delivered_layer),
+        graph.node_count(),
+    )?;
+
+    let mut hosts = vec![src_host];
+    let mut link_etas = Vec::new();
+    let mut hold_eta = 1.0;
+    let mut hold_steps = 0usize;
+    let mut eta_product = 1.0;
+    let mut cost = 0.0;
+    for w in nodes.windows(2) {
+        // The walk guarantees pred[w[1]] == w[0], so the recorded
+        // predecessor edge is exactly the edge (w[0], w[1]).
+        let v = w[1];
+        let eta = table.pred_eta[v];
+        eta_product *= eta;
+        cost += metric.edge_cost(eta);
+        if table.pred_hold[v] {
+            hold_eta *= eta;
+            hold_steps += 1;
+        } else {
+            link_etas.push(eta);
+            hosts.push(graph.host_of(v));
+        }
+    }
+    if eta_product < eta_floor {
+        return None;
+    }
+    let swaps = hosts.len().saturating_sub(2);
+    Some(TimeRoute {
+        route: Route {
+            nodes: hosts,
+            cost,
+            eta_product,
+        },
+        link_etas,
+        hold_eta,
+        hold_steps,
+        swaps,
+        delivered_layer,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bellman_ford::{bellman_ford_all, route_from_table};
+    use crate::graph::Graph;
+
+    /// Mirror one per-step [`Graph`] into layer after layer of a
+    /// time-expanded graph, with uniform hold factors in between.
+    fn expand(g: &Graph, layers: usize, hold: &[f64]) -> TimeExpandedGraph {
+        let mut tx = TimeExpandedGraph::default();
+        tx.reset(g.node_count(), 0);
+        for l in 0..layers {
+            tx.begin_layer();
+            if l > 0 {
+                for (h, &f) in hold.iter().enumerate() {
+                    if f > 0.0 {
+                        tx.push_hold(h, f);
+                    }
+                }
+            }
+            for (u, v, eta) in g.edges() {
+                tx.push_link(u, v, eta);
+            }
+        }
+        tx
+    }
+
+    fn diamond() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.set_edge(0, 1, 0.9);
+        g.set_edge(1, 2, 0.9);
+        g.set_edge(0, 2, 0.5);
+        g.set_edge(2, 3, 0.95);
+        g
+    }
+
+    #[test]
+    fn single_layer_is_bitwise_per_step_routing() {
+        let g = diamond();
+        let tx = expand(&g, 1, &[]);
+        let mut table = TimeTable::default();
+        for metric in [RouteMetric::PaperInverseEta, RouteMetric::NegLogEta] {
+            for src in 0..4 {
+                let per_step = bellman_ford_all(&g, src, metric);
+                time_sssp_into(&tx, src, metric, &mut table);
+                for node in 0..4 {
+                    assert_eq!(
+                        table.cost[node].to_bits(),
+                        per_step.cost[node].to_bits(),
+                        "cost {src}->{node}"
+                    );
+                    assert_eq!(table.pred[node], per_step.pred[node], "pred {src}->{node}");
+                }
+                for dst in 0..4 {
+                    let a = route_from_table(&g, &per_step, src, dst, metric);
+                    let b = extract_time_route(&tx, &table, src, dst, metric, 0.0);
+                    match (a, b) {
+                        (Some(r), Some(t)) => {
+                            assert_eq!(t.route.nodes, r.nodes);
+                            assert_eq!(t.route.cost.to_bits(), r.cost.to_bits());
+                            assert_eq!(t.route.eta_product.to_bits(), r.eta_product.to_bits());
+                            assert_eq!(t.hold_eta, 1.0);
+                            assert_eq!(t.hold_steps, 0);
+                            assert_eq!(t.delivered_layer, 0);
+                        }
+                        (None, None) => {}
+                        (a, b) => panic!("{src}->{dst}: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn holding_bridges_non_simultaneous_passes() {
+        // Step 0: src 0 sees relay 1. Step 1: relay 1 sees dst 2. Only a
+        // hold at the relay (an entanglement swap across passes) connects
+        // 0 to 2.
+        let mut tx = TimeExpandedGraph::default();
+        tx.reset(3, 7);
+        tx.begin_layer();
+        tx.push_link(0, 1, 0.8);
+        tx.begin_layer();
+        tx.push_hold(0, 0.9);
+        tx.push_hold(1, 0.9);
+        tx.push_hold(2, 0.9);
+        tx.push_link(1, 2, 0.7);
+
+        let mut table = TimeTable::default();
+        time_sssp_into(&tx, 0, RouteMetric::NegLogEta, &mut table);
+        let r = extract_time_route(&tx, &table, 0, 2, RouteMetric::NegLogEta, 0.0).unwrap();
+        assert_eq!(r.route.nodes, vec![0, 1, 2]);
+        assert_eq!(r.link_etas, vec![0.8, 0.7]);
+        assert_eq!(r.hold_steps, 1);
+        assert_eq!(r.swaps, 1);
+        assert_eq!(r.delivered_layer, 1);
+        assert!((r.hold_eta - 0.9).abs() < 1e-12);
+        assert!((r.route.eta_product - 0.8 * 0.9 * 0.7).abs() < 1e-12);
+        // Without the hold there is no route at all.
+        let per_step_only = extract_time_route(&tx, &table, 0, 2, RouteMetric::NegLogEta, 0.51);
+        assert!(per_step_only.is_none(), "floor above 0.504 cuts the route");
+    }
+
+    #[test]
+    fn holds_never_travel_backwards() {
+        // dst visible only at layer 0, src connected only at layer 1: a
+        // legal classical graph would route "back in time"; ours must not.
+        let mut tx = TimeExpandedGraph::default();
+        tx.reset(3, 0);
+        tx.begin_layer();
+        tx.push_link(1, 2, 0.9);
+        tx.begin_layer();
+        tx.push_hold(0, 0.99);
+        tx.push_hold(1, 0.99);
+        tx.push_hold(2, 0.99);
+        tx.push_link(0, 1, 0.9);
+        let mut table = TimeTable::default();
+        time_sssp_into(&tx, 0, RouteMetric::NegLogEta, &mut table);
+        assert!(extract_time_route(&tx, &table, 0, 2, RouteMetric::NegLogEta, 0.0).is_none());
+    }
+
+    #[test]
+    fn earliest_layer_wins_cost_ties() {
+        // A static link present on both layers, lossless holds: the
+        // layer-1 delivery via a hold costs the same under NegLogEta
+        // (ln 1 = 0) — extraction must pick layer 0.
+        let mut g = Graph::with_nodes(2);
+        g.set_edge(0, 1, 0.9);
+        let tx = expand(&g, 2, &[1.0, 1.0]);
+        let mut table = TimeTable::default();
+        time_sssp_into(&tx, 0, RouteMetric::NegLogEta, &mut table);
+        let r = extract_time_route(&tx, &table, 0, 1, RouteMetric::NegLogEta, 0.0).unwrap();
+        assert_eq!(r.delivered_layer, 0);
+        assert_eq!(r.hold_steps, 0);
+    }
+
+    #[test]
+    fn fidelity_floor_cuts_low_eta_routes() {
+        let g = diamond();
+        let tx = expand(&g, 1, &[]);
+        let mut table = TimeTable::default();
+        time_sssp_into(&tx, 0, RouteMetric::PaperInverseEta, &mut table);
+        // The paper metric picks the weak 0.5 direct link 0-2.
+        let open = extract_time_route(&tx, &table, 0, 2, RouteMetric::PaperInverseEta, 0.0);
+        assert!(open.is_some());
+        let cut = extract_time_route(&tx, &table, 0, 2, RouteMetric::PaperInverseEta, 0.6);
+        assert!(cut.is_none());
+    }
+
+    #[test]
+    fn source_equals_dest_is_free() {
+        let g = diamond();
+        let tx = expand(&g, 3, &[0.9; 4]);
+        let mut table = TimeTable::default();
+        time_sssp_into(&tx, 2, RouteMetric::PaperInverseEta, &mut table);
+        let r = extract_time_route(&tx, &table, 2, 2, RouteMetric::PaperInverseEta, 0.0).unwrap();
+        assert_eq!(r.route.nodes, vec![2]);
+        assert_eq!(r.route.cost, 0.0);
+        assert_eq!(r.route.eta_product, 1.0);
+        assert_eq!(r.delivered_layer, 0);
+    }
+
+    #[test]
+    fn out_of_range_endpoints_return_none() {
+        let g = diamond();
+        let tx = expand(&g, 2, &[0.9; 4]);
+        let mut table = TimeTable::default();
+        time_sssp_into(&tx, 0, RouteMetric::PaperInverseEta, &mut table);
+        for (s, d) in [(0, 99), (99, 0), (usize::MAX, usize::MAX)] {
+            assert!(
+                extract_time_route(&tx, &table, s, d, RouteMetric::PaperInverseEta, 0.0).is_none()
+            );
+        }
+    }
+
+    #[test]
+    fn reset_reuses_storage_cleanly() {
+        let g = diamond();
+        let mut tx = expand(&g, 3, &[0.9; 4]);
+        let before = tx.edges().len();
+        assert!(before > 0);
+        tx.reset(2, 5);
+        assert_eq!(tx.layers(), 0);
+        assert_eq!(tx.edges().len(), 0);
+        assert_eq!(tx.base_step(), 5);
+        tx.begin_layer();
+        tx.push_link(0, 1, 0.5);
+        assert_eq!(tx.node_count(), 2);
+    }
+}

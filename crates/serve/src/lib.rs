@@ -24,17 +24,25 @@
 //!   for materialized outcomes ([`serve_full`]), streaming SLO aggregation
 //!   ([`serve_report`]) and checkpointed/cancellable resilient runs
 //!   ([`serve_resilient`]).
+//! - [`hold`] — the store-and-forward serving mode: attempts route over a
+//!   *time-expanded* graph within a bounded horizon, so nodes with
+//!   decohering quantum memories ([`qntn_quantum::memory`]) can hold a
+//!   Bell half for a better pass and swap across non-simultaneous links.
+//!   A [`HoldPolicy::disabled`] run reproduces [`serve`] bit-identically
+//!   (the zero-horizon differential contract).
 //! - [`admission`] — optional finite-capacity admission
 //!   ([`qntn_net::capacity::CapacityModel`]): a sequential, deterministic
 //!   timeline where same-step requests contend for per-link pair budgets
 //!   in (priority, queue order).
 
 pub mod admission;
+pub mod hold;
 pub mod request;
 pub mod serve;
 pub mod workload;
 
 pub use admission::{serve_with_admission, AdmissionOutcome};
+pub use hold::{serve_full_with_holds, serve_report_with_holds, HoldPolicy};
 pub use request::{ingest, RawRequest, RequestQueue, ServeError, PRIORITY_CLASSES};
 pub use serve::{
     report_from_aggs, report_from_run, serve_full, serve_report, serve_resilient, ClassSlo,

@@ -372,10 +372,14 @@ pub struct ServeReport {
     pub expired: u64,
     /// Requests rejected at the ingest boundary (never attempted).
     pub rejected: u64,
-    /// Median wait (steps from arrival to service) over served requests.
-    pub p50_wait_steps: u64,
-    /// 95th-percentile wait over served requests (nearest-rank).
-    pub p95_wait_steps: u64,
+    /// Median wait (steps from arrival to service) over served requests;
+    /// `None` when nothing was served (a run with zero served requests
+    /// has no waits to rank — it used to report a misleading `0`, which
+    /// is indistinguishable from "everything served instantly").
+    pub p50_wait_steps: Option<u64>,
+    /// 95th-percentile wait over served requests (nearest-rank); `None`
+    /// when nothing was served.
+    pub p95_wait_steps: Option<u64>,
     pub mean_fidelity: f64,
     pub mean_link_fidelity: f64,
     pub mean_eta: f64,
@@ -433,8 +437,8 @@ impl ServeReport {
             self.first_try_percent(),
             self.rescued_percent(),
             self.expired_percent(),
-            self.p50_wait_steps,
-            self.p95_wait_steps,
+            json_opt_u64(self.p50_wait_steps),
+            json_opt_u64(self.p95_wait_steps),
             self.mean_fidelity,
             self.mean_link_fidelity,
             self.mean_eta,
@@ -442,6 +446,14 @@ impl ServeReport {
             self.mean_attempts,
             classes.join(",")
         )
+    }
+}
+
+/// JSON rendering of an optional count: the number, or `null`.
+fn json_opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
     }
 }
 
@@ -453,20 +465,22 @@ fn percent(part: u64, whole: u64) -> f64 {
     }
 }
 
-/// Nearest-rank percentile over a wait histogram.
-fn percentile(hist: &[u64], total: u64, q: f64) -> u64 {
+/// Nearest-rank percentile over a wait histogram; `None` on an empty
+/// served set (there is no rank to take — reporting `0` would conflate
+/// "nothing served" with "everything served with zero wait").
+fn percentile(hist: &[u64], total: u64, q: f64) -> Option<u64> {
     if total == 0 {
-        return 0;
+        return None;
     }
     let rank = (q * total as f64).ceil().max(1.0) as u64;
     let mut seen = 0u64;
     for (w, &count) in hist.iter().enumerate() {
         seen += count;
         if seen >= rank {
-            return w as u64;
+            return Some(w as u64);
         }
     }
-    hist.len().saturating_sub(1) as u64
+    Some(hist.len().saturating_sub(1) as u64)
 }
 
 /// Fold per-group aggregates (in group order) into the final report.

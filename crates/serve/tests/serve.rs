@@ -23,8 +23,9 @@ use qntn_orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
 use qntn_routing::RouteMetric;
 use qntn_serve::serve::GroupAgg;
 use qntn_serve::{
-    generate, ingest, report_from_aggs, report_from_run, serve_full, serve_report, serve_resilient,
-    serve_with_admission, RawRequest, RequestQueue, WorkloadKind,
+    generate, ingest, report_from_aggs, report_from_run, serve_full, serve_full_with_holds,
+    serve_report, serve_report_with_holds, serve_resilient, serve_with_admission, HoldPolicy,
+    RawRequest, RequestQueue, WorkloadKind,
 };
 use std::sync::{Arc, OnceLock};
 
@@ -346,4 +347,135 @@ fn malformed_stream_is_rejected_per_request_and_the_rest_is_served() {
     );
     assert_eq!(report.attempted, 30);
     assert_eq!(report.rejected, 3);
+}
+
+#[test]
+fn empty_served_set_reports_explicit_null_percentiles() {
+    // Regression: nearest-rank p50/p95 on a run that served nothing used
+    // to report 0 — indistinguishable from "everything served with zero
+    // wait". The empty case is now explicit (`None` / JSON `null`).
+    let all_expired: Vec<RetryOutcome> = (0..4)
+        .map(|_| RetryOutcome::Expired { attempts: 2 })
+        .collect();
+    let classes = vec![0usize; 4];
+    let agg = GroupAgg::from_outcomes(&all_expired, &classes);
+    let report = report_from_aggs(&[agg], 1);
+    assert_eq!(report.served(), 0);
+    assert_eq!(report.p50_wait_steps, None);
+    assert_eq!(report.p95_wait_steps, None);
+    let json = report.to_json();
+    assert!(json.contains("\"p50_wait_steps\": null"), "{json}");
+    assert!(json.contains("\"p95_wait_steps\": null"), "{json}");
+
+    // No aggregates at all (a run with zero accepted requests) likewise.
+    let empty = report_from_aggs(&[], 0);
+    assert_eq!(empty.p50_wait_steps, None);
+    assert_eq!(empty.p95_wait_steps, None);
+
+    // And a run that did serve keeps reporting concrete numbers.
+    let queue = queue_from(WorkloadKind::Uniform, 80, 3);
+    let engine = SweepEngine::new(sim());
+    let served = serve_report(
+        &engine,
+        &queue,
+        RetryPolicy::standard(),
+        RouteMetric::PaperInverseEta,
+        0,
+    );
+    if served.served() > 0 {
+        let p50 = served.p50_wait_steps.expect("served set is non-empty");
+        let p95 = served.p95_wait_steps.expect("served set is non-empty");
+        assert!(p50 <= p95);
+        assert!(served
+            .to_json()
+            .contains(&format!("\"p95_wait_steps\": {p95}")));
+    }
+}
+
+#[test]
+fn disabled_hold_policy_is_bit_identical_to_per_step_serve() {
+    // The zero-horizon / zero-memory differential contract, clean and
+    // faulted: hold-aware serving with `HoldPolicy::disabled()` must run
+    // the per-step path's exact bits through its time-expanded machinery.
+    let queue = queue_from(WorkloadKind::Diurnal, 140, 41);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let disabled = HoldPolicy::disabled();
+
+    let clean = SweepEngine::new(sim());
+    assert_eq!(
+        serve_full(&clean, &queue, policy, metric),
+        serve_full_with_holds(&clean, &queue, policy, metric, &disabled)
+    );
+    assert_eq!(
+        serve_report(&clean, &queue, policy, metric, 2),
+        serve_report_with_holds(&clean, &queue, policy, metric, &disabled, 2)
+    );
+
+    let faults = Arc::new(FaultModel::standard(11).with_intensity(2.0).compile(sim()));
+    let faulted = SweepEngine::new(sim()).with_faults(faults);
+    assert_eq!(
+        serve_full(&faulted, &queue, policy, metric),
+        serve_full_with_holds(&faulted, &queue, policy, metric, &disabled)
+    );
+}
+
+#[test]
+fn hold_serving_with_zero_floor_never_serves_fewer() {
+    // A horizon-H graph contains every layer-0 edge, so any request the
+    // per-step path serves stays reachable: with no fidelity floor the
+    // served set can only grow.
+    let queue = queue_from(WorkloadKind::Hotspot, 120, 9);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let base = serve_report(&engine, &queue, policy, metric, 0);
+    for horizon in [1usize, 4, 10] {
+        let hold = HoldPolicy::with_horizon(horizon);
+        let held = serve_report_with_holds(&engine, &queue, policy, metric, &hold, 0);
+        assert!(
+            held.served() >= base.served(),
+            "horizon {horizon}: {} < {}",
+            held.served(),
+            base.served()
+        );
+    }
+}
+
+#[test]
+fn hold_serving_parallel_equals_sequential() {
+    let queue = queue_from(WorkloadKind::Poisson, 100, 13);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let hold = HoldPolicy::with_horizon(6);
+    let par = SweepEngine::new(sim());
+    let seq = SweepEngine::new(sim()).with_parallel(false);
+    assert_eq!(
+        serve_full_with_holds(&par, &queue, policy, metric, &hold),
+        serve_full_with_holds(&seq, &queue, policy, metric, &hold)
+    );
+    assert_eq!(
+        serve_report_with_holds(&par, &queue, policy, metric, &hold, 0),
+        serve_report_with_holds(&seq, &queue, policy, metric, &hold, 0)
+    );
+}
+
+#[test]
+fn fidelity_floor_cuts_deliveries_monotonically() {
+    let queue = queue_from(WorkloadKind::Uniform, 100, 27);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let mut prev_served = u64::MAX;
+    for floor in [0.0, 0.8, 0.9, 0.97, 1.1] {
+        let hold = HoldPolicy {
+            fidelity_floor: floor,
+            ..HoldPolicy::with_horizon(4)
+        };
+        let report = serve_report_with_holds(&engine, &queue, policy, metric, &hold, 0);
+        assert!(report.served() <= prev_served, "floor {floor}: served grew");
+        prev_served = report.served();
+    }
+    // A floor above 1.0 is unsatisfiable: nothing can be served.
+    assert_eq!(prev_served, 0);
 }

@@ -1,0 +1,182 @@
+//! Differential property tests for the store-and-forward serving mode.
+//!
+//! The hold-aware server (`qntn::serve::hold`) routes over time-expanded
+//! graphs; its correctness anchor is the zero-horizon contract: with
+//! [`HoldPolicy::disabled`] (horizon 0, zero memory, no floor) it must
+//! reproduce the per-step server **bit for bit** — clean and under
+//! arbitrary fault seeds — for *arbitrary* constellations and workloads,
+//! not just the hand-picked fixtures in the serve crate's unit tests.
+//! With memories enabled and no fidelity floor, the horizon-H graph
+//! contains every layer-0 edge, so holding may only add served requests.
+//!
+//! Case counts are small by default so `cargo test` stays fast; the
+//! nightly CI job sets `PROPTEST_CASES=2048` to deepen every block.
+
+use proptest::prelude::*;
+use qntn::geo::{Epoch, Geodetic};
+use qntn::net::faults::FaultModel;
+use qntn::net::{Host, QuantumNetworkSim, RetryOutcome, RetryPolicy, SimConfig, SweepEngine};
+use qntn::orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
+use qntn::routing::RouteMetric;
+use qntn::serve::{
+    generate, ingest, serve_full, serve_full_with_holds, serve_report, serve_report_with_holds,
+    HoldPolicy, RequestQueue, WorkloadKind,
+};
+use std::sync::Arc;
+
+/// `ProptestConfig` with `n` cases, overridable via `PROPTEST_CASES`
+/// (nightly CI runs this suite with `PROPTEST_CASES=2048`).
+fn cases_or(n: u32) -> ProptestConfig {
+    ProptestConfig::with_cases(proptest::test_runner::env_case_count().unwrap_or(n))
+}
+
+/// Three LANs of ground nodes plus an `n_sats` Walker shell — the smallest
+/// shape on which inter-LAN serving is non-trivial.
+fn sim_with(n_sats: usize, steps: usize) -> QuantumNetworkSim {
+    let mut hosts = vec![
+        Host::ground(
+            "TTU-0",
+            0,
+            Geodetic::from_deg(36.1757, -85.5066, 300.0),
+            1.2,
+        ),
+        Host::ground(
+            "TTU-1",
+            0,
+            Geodetic::from_deg(36.1751, -85.5067, 300.0),
+            1.2,
+        ),
+        Host::ground("ORNL-0", 1, Geodetic::from_deg(35.91, -84.3, 250.0), 1.2),
+        Host::ground(
+            "EPB-0",
+            2,
+            Geodetic::from_deg(35.04159, -85.2799, 200.0),
+            1.2,
+        ),
+    ];
+    let props: Vec<Propagator> = paper_constellation(n_sats)
+        .into_iter()
+        .map(|k| Propagator::new(k, Epoch::J2000, PerturbationModel::TwoBody))
+        .collect();
+    let ephs = Ephemeris::generate_many(&props, Epoch::J2000, 30.0, steps as f64 * 30.0);
+    for (i, eph) in ephs.into_iter().enumerate() {
+        hosts.push(Host::satellite(format!("SAT-{i:03}"), eph, 1.2));
+    }
+    QuantumNetworkSim::new(hosts, SimConfig::default(), steps, 30.0)
+}
+
+fn workload_kind(ix: usize) -> WorkloadKind {
+    [
+        WorkloadKind::Uniform,
+        WorkloadKind::Poisson,
+        WorkloadKind::Diurnal,
+        WorkloadKind::Hotspot,
+    ][ix % 4]
+}
+
+fn queue_for(sim: &QuantumNetworkSim, kind: WorkloadKind, n: usize, seed: u64) -> RequestQueue {
+    let stream = generate(sim, kind, n, seed);
+    let (queue, _rejected) = ingest(sim.hosts().len(), sim.steps(), &stream);
+    queue
+}
+
+fn served(outcomes: &[RetryOutcome]) -> usize {
+    outcomes
+        .iter()
+        .filter(|o| {
+            matches!(
+                o,
+                RetryOutcome::ServedFirstTry(_) | RetryOutcome::ServedAfterRetry { .. }
+            )
+        })
+        .count()
+}
+
+proptest! {
+    #![proptest_config(cases_or(12))]
+
+    /// The zero-horizon differential contract, clean pipeline: disabled
+    /// hold policy ≡ per-step serve, outcome for outcome and in the
+    /// aggregated report, for arbitrary constellations and workloads.
+    #[test]
+    fn zero_horizon_zero_memory_serving_is_bit_identical_to_per_step(
+        n_sats in 2usize..6,
+        steps in 24usize..48,
+        kind_ix in 0usize..4,
+        n_requests in 50usize..200,
+        seed in any::<u64>(),
+    ) {
+        let sim = sim_with(n_sats, steps);
+        let engine = SweepEngine::new(&sim);
+        let queue = queue_for(&sim, workload_kind(kind_ix), n_requests, seed);
+        let policy = RetryPolicy::standard();
+        let metric = RouteMetric::PaperInverseEta;
+        let per_step = serve_full(&engine, &queue, policy, metric);
+        let held = serve_full_with_holds(&engine, &queue, policy, metric, &HoldPolicy::disabled());
+        prop_assert_eq!(&per_step, &held);
+        let base_report = serve_report(&engine, &queue, policy, metric, 0);
+        let held_report =
+            serve_report_with_holds(&engine, &queue, policy, metric, &HoldPolicy::disabled(), 0);
+        prop_assert_eq!(base_report, held_report);
+    }
+
+    /// The same contract under arbitrary fault masks: the hold path must
+    /// consult the identical compiled fault schedule per layer.
+    #[test]
+    fn zero_horizon_contract_holds_under_arbitrary_faults(
+        n_sats in 2usize..6,
+        steps in 24usize..48,
+        n_requests in 50usize..150,
+        seed in any::<u64>(),
+        fault_seed in any::<u64>(),
+        intensity in 0.0..3.0f64,
+    ) {
+        let sim = sim_with(n_sats, steps);
+        let faults = Arc::new(
+            FaultModel::standard(fault_seed)
+                .with_intensity(intensity)
+                .compile(&sim),
+        );
+        let engine = SweepEngine::new(&sim).with_faults(faults);
+        let queue = queue_for(&sim, WorkloadKind::Uniform, n_requests, seed);
+        let policy = RetryPolicy::standard();
+        let metric = RouteMetric::PaperInverseEta;
+        let per_step = serve_full(&engine, &queue, policy, metric);
+        let held = serve_full_with_holds(&engine, &queue, policy, metric, &HoldPolicy::disabled());
+        prop_assert_eq!(per_step, held);
+    }
+
+    /// With memories and no floor, the horizon-H time-expanded graph is a
+    /// superset of every per-step graph it spans, so holding can only add
+    /// served requests — never lose one.
+    #[test]
+    fn holding_with_zero_floor_never_serves_fewer(
+        n_sats in 2usize..6,
+        steps in 24usize..40,
+        horizon in 1usize..8,
+        n_requests in 50usize..150,
+        seed in any::<u64>(),
+    ) {
+        let sim = sim_with(n_sats, steps);
+        let engine = SweepEngine::new(&sim);
+        let queue = queue_for(&sim, WorkloadKind::Poisson, n_requests, seed);
+        let policy = RetryPolicy::standard();
+        let metric = RouteMetric::PaperInverseEta;
+        let base = serve_full(&engine, &queue, policy, metric);
+        let held = serve_full_with_holds(
+            &engine,
+            &queue,
+            policy,
+            metric,
+            &HoldPolicy::with_horizon(horizon),
+        );
+        prop_assert_eq!(base.len(), held.len());
+        prop_assert!(
+            served(&held) >= served(&base),
+            "horizon {} lost served requests: {} < {}",
+            horizon,
+            served(&held),
+            served(&base)
+        );
+    }
+}
