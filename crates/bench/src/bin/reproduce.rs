@@ -50,6 +50,7 @@ use qntn_core::experiments::fig5::FidelityCurve;
 use qntn_core::experiments::fig6::CoverageSweep;
 use qntn_core::experiments::fig7::ServedSeries;
 use qntn_core::experiments::fig8::FidelitySeries;
+use qntn_core::experiments::overload::OverloadExperiment;
 use qntn_core::experiments::paper_constellation_sizes;
 use qntn_core::experiments::sweep::{ConstellationSweep, SweepSettings};
 use qntn_core::experiments::timeexp::TimeexpExperiment;
@@ -89,6 +90,10 @@ artifacts:
               same seeded workload served per-step and over time-expanded
               graphs at a ladder of quantum-memory horizons; writes
               out/timeexp.json atomically (--out to override)
+  overload    overload-control surface: flash-crowd loads x fault
+              intensities served under capacity admission with retry
+              budgets, load shedding and the degradation ladder; writes
+              out/overload.json atomically (--out to override)
   sweep       resilient full-day connectivity sweep: checkpointed,
               resumable, Ctrl-C-safe, panic-isolated; writes the per-step
               flags CSV atomically
@@ -134,7 +139,7 @@ sweep/serve runtime flags:
 
 serve flags:
   --requests N          batch size (default 1000000; 5000 with --quick)
-  --workload KIND       uniform | poisson | diurnal | hotspot
+  --workload KIND       uniform | poisson | diurnal | hotspot | flash_crowd
                         (default uniform)
   --seed N              workload generator seed (default 2024)
 
@@ -148,7 +153,7 @@ exit codes:
   1  any other error
 ";
 
-const ARTIFACTS: [&str; 17] = [
+const ARTIFACTS: [&str; 18] = [
     "all",
     "fig5",
     "fig6",
@@ -162,6 +167,7 @@ const ARTIFACTS: [&str; 17] = [
     "extensions",
     "faults",
     "timeexp",
+    "overload",
     "sweep",
     "serve",
     "bench",
@@ -304,7 +310,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--workload" => {
                 let raw = value(args, &mut i, a)?;
                 cli.serve.workload = WorkloadKind::parse(raw).ok_or_else(|| {
-                    format!("flag `--workload`: unknown kind `{raw}` (uniform | poisson | diurnal | hotspot)")
+                    format!("flag `--workload`: unknown kind `{raw}` (uniform | poisson | diurnal | hotspot | flash_crowd)")
                 })?;
             }
             _ if a.starts_with("--") => return Err(format!("unknown flag `{a}`")),
@@ -407,6 +413,9 @@ fn run(cli: &Cli) -> Result<Exit, QntnError> {
     }
     if wants("timeexp") {
         timeexp(&scenario, config, cli)?;
+    }
+    if wants("overload") {
+        overload(&scenario, config, cli)?;
     }
     if artifact == "sweep" {
         return sweep(&scenario, config, cli);
@@ -1412,6 +1421,49 @@ fn timeexp(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<(), QntnErro
         .unwrap_or_else(|| PathBuf::from("out/timeexp.json"));
     ensure_parent_dir(&out)?;
     atomic_write(&out, report::timeexp_json(&sweep).as_bytes())?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+/// The `overload` artifact: the overload-control surface. A flash-crowd
+/// workload at a ladder of offered loads is served under capacity
+/// admission and the standard overload policy (retry budgets, load
+/// shedding, the degradation ladder) against fault masks at a ladder of
+/// intensities. The JSON body is written atomically; with the policy
+/// disabled every cell reproduces the plain admission serve bit for bit
+/// (the zero-config differential contract, pinned in the serve and core
+/// test suites).
+fn overload(scenario: &Qntn, config: SimConfig, cli: &Cli) -> Result<(), QntnError> {
+    banner("Overload control - offered load x fault intensity surface");
+    let experiment = if cli.quick {
+        OverloadExperiment::quick()
+    } else {
+        OverloadExperiment::standard()
+    };
+    let surface = experiment.run(scenario, config);
+    print!("{}", report::overload_table(&surface));
+    println!(
+        "# flash-crowd workload (seed {}), capacity {:.1} pair-attempts/s per link;",
+        experiment.seed, experiment.capacity.attempt_rate_hz
+    );
+    println!("# shed_% counts requests dropped by the overload layer (inside expired_%);");
+    println!(
+        "# deg_steps counts steps on any degradation rung (of {} total)",
+        {
+            // The surface shares one day; every cell reports the same total.
+            surface
+                .points
+                .first()
+                .map_or(0, |p| p.degrade_mode_steps.iter().sum::<u64>())
+        }
+    );
+    let out = cli
+        .sweep
+        .out
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("out/overload.json"));
+    ensure_parent_dir(&out)?;
+    atomic_write(&out, report::overload_json(&surface).as_bytes())?;
     println!("wrote {}", out.display());
     Ok(())
 }

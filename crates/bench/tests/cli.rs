@@ -132,6 +132,29 @@ fn timeexp_writes_the_comparison_artifact() {
     std::fs::remove_file(&out_path).ok();
 }
 
+/// The `overload` artifact through the process boundary: a quick run
+/// exits 0, prints one row per (load, intensity) cell, and writes the
+/// JSON surface atomically at `--out`.
+#[test]
+fn overload_writes_the_surface_artifact() {
+    let out_path = temp_path("overload", "json");
+    let out = reproduce(&["overload", "--quick", "--out", out_path.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Overload control"), "{stdout}");
+    assert!(stdout.contains("shed_%"), "{stdout}");
+    let body = std::fs::read_to_string(&out_path).unwrap();
+    assert!(body.contains("\"experiment\": \"overload\""), "{body}");
+    assert!(body.contains("\"shed_percent\""), "{body}");
+    assert!(body.contains("\"degrade_mode_steps\""), "{body}");
+    std::fs::remove_file(&out_path).ok();
+}
+
 #[test]
 fn sweep_flag_without_value_is_rejected() {
     let out = reproduce(&["sweep", "--sats"]);
@@ -496,6 +519,71 @@ fn perf_gate_passes_within_tolerance_and_fails_beyond_it() {
     std::fs::remove_file(&baseline).ok();
     std::fs::remove_file(&within).ok();
     std::fs::remove_file(&beyond).ok();
+}
+
+/// A minimal `BENCH_serve.json`-shaped fixture (the serve kind keys on
+/// satellites x requests and gates the `serve` wall time).
+fn serve_bench_fixture(tag: &str, serve_ms: f64) -> PathBuf {
+    let path = temp_path(tag, "json");
+    let body = format!(
+        "{{\n  \"benchmark\": \"serve_day\",\n  \"satellites\": 108,\n  \"steps\": 2880,\n  \"requests\": 1000000,\n  \"workload\": \"uniform\",\n  \"seed\": 2024,\n  \"parallel\": true,\n  \"served_percent\": 97.6373,\n  \"wall_ms\": {{\n    \"engine_setup\": 31.6,\n    \"generate_ingest\": 363.9,\n    \"serve\": {serve_ms:.1}\n  }}\n}}\n"
+    );
+    // qntn-lint: allow(atomic-writes-only) -- throwaway test fixture, not a build artifact
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+#[test]
+fn perf_gate_gates_serve_baselines_and_rejects_kind_mixes() {
+    let baseline = serve_bench_fixture("gate_serve_base", 2600.0);
+    let within = serve_bench_fixture("gate_serve_within", 4900.0);
+    let beyond = serve_bench_fixture("gate_serve_beyond", 5300.0);
+
+    let ok = perf_gate(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        within.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        ok.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(
+        stdout.contains("108 sats x 1000000 req"),
+        "serve entries are keyed on satellites x requests: {stdout}"
+    );
+
+    let fail = perf_gate(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--fresh",
+        beyond.to_str().unwrap(),
+    ]);
+    assert_eq!(fail.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&fail.stdout).contains("REGRESSED"));
+
+    // A sweep baseline against a serve fresh run is a hard error, not a
+    // silent "no common size" skip.
+    let sweep = bench_fixture("gate_serve_mix", 1000.0, 3000.0);
+    let mixed = perf_gate(&[
+        "--baseline",
+        sweep.to_str().unwrap(),
+        "--fresh",
+        within.to_str().unwrap(),
+    ]);
+    assert_eq!(mixed.status.code(), Some(3));
+    let stderr = String::from_utf8_lossy(&mixed.stderr);
+    assert!(stderr.contains("sweep_day"), "{stderr}");
+    assert!(stderr.contains("serve_day"), "{stderr}");
+
+    std::fs::remove_file(&baseline).ok();
+    std::fs::remove_file(&within).ok();
+    std::fs::remove_file(&beyond).ok();
+    std::fs::remove_file(&sweep).ok();
 }
 
 #[test]

@@ -9,6 +9,7 @@
 //! | [`hybrid`] | the paper's future-work hybrid (HAP + constellation) |
 //! | [`faults`] | degradation vs. fault intensity (extension; intensity 0 = the paper) |
 //! | [`timeexp`] | store-and-forward serving vs. the memoryless baseline (extension) |
+//! | [`overload`] | overload-control surface: offered load × fault intensity (extension) |
 //!
 //! All experiments are deterministic for a fixed seed and parallel over
 //! their dominant axis (satellites or time steps).
@@ -24,6 +25,7 @@ pub mod fig8;
 pub mod fleet;
 pub mod hybrid;
 pub mod night;
+pub mod overload;
 pub mod purified_qkd;
 pub mod qkd;
 pub mod sensitivity;

@@ -4,6 +4,7 @@ use crate::compare::ComparisonReport;
 use crate::experiments::faults::FaultSweep;
 use crate::experiments::fig5::FidelityCurve;
 use crate::experiments::fig6::CoverageSweep;
+use crate::experiments::overload::{OverloadPoint, OverloadSurface};
 use crate::experiments::sweep::ConstellationSweep;
 use crate::experiments::timeexp::{TimeexpPoint, TimeexpSweep};
 use qntn_net::QuantumNetworkSim;
@@ -227,6 +228,73 @@ pub fn timeexp_json(sweep: &TimeexpSweep) -> String {
         sweep.satellites,
         sweep.fidelity_floor,
         timeexp_point_json(&sweep.baseline),
+        rows.join(",\n")
+    )
+}
+
+fn overload_row(p: &OverloadPoint) -> String {
+    format!(
+        "{:>8}  {:>9.1}  {:>8.2}  {:>11.2}  {:>6.2}  {:>9.2}  {:>9.4}  {:>10}  {:>10}  {:>9}\n",
+        p.requests,
+        p.intensity,
+        p.served_percent,
+        p.first_try_percent,
+        p.shed_percent,
+        p.expired_percent,
+        p.mean_fidelity,
+        p.congestion_deferrals,
+        p.budget_deferrals,
+        p.degraded_steps()
+    )
+}
+
+/// Render the overload-control surface as an aligned text table, one row
+/// per `(offered load, fault intensity)` cell.
+pub fn overload_table(surface: &OverloadSurface) -> String {
+    let mut out = String::from(
+        "requests  intensity  served_%  first_try_%  shed_%  expired_%  F_end2end  \
+         cong_defer  budg_defer  deg_steps\n",
+    );
+    for p in &surface.points {
+        out.push_str(&overload_row(p));
+    }
+    out
+}
+
+fn overload_point_json(p: &OverloadPoint) -> String {
+    let modes: Vec<String> = p.degrade_mode_steps.iter().map(|m| m.to_string()).collect();
+    format!(
+        "{{\"requests\": {}, \"intensity\": {:.2}, \"served_percent\": {:.4}, \
+         \"first_try_percent\": {:.4}, \"shed_percent\": {:.4}, \
+         \"expired_percent\": {:.4}, \"mean_fidelity\": {:.6}, \
+         \"congestion_deferrals\": {}, \"budget_deferrals\": {}, \
+         \"degrade_mode_steps\": [{}]}}",
+        p.requests,
+        p.intensity,
+        p.served_percent,
+        p.first_try_percent,
+        p.shed_percent,
+        p.expired_percent,
+        p.mean_fidelity,
+        p.congestion_deferrals,
+        p.budget_deferrals,
+        modes.join(", ")
+    )
+}
+
+/// Render the overload-control surface as JSON (the `reproduce overload`
+/// artifact body).
+pub fn overload_json(surface: &OverloadSurface) -> String {
+    let rows: Vec<String> = surface
+        .points
+        .iter()
+        .map(|p| format!("    {}", overload_point_json(p)))
+        .collect();
+    format!(
+        "{{\n  \"experiment\": \"overload\",\n  \"satellites\": {},\n  \
+         \"attempt_rate_hz\": {:.4},\n  \"points\": [\n{}\n  ]\n}}\n",
+        surface.satellites,
+        surface.attempt_rate_hz,
         rows.join(",\n")
     )
 }

@@ -41,6 +41,8 @@ const HOT_PATHS: &[&str] = &[
     "crates/serve/src/admission.rs",
     "crates/serve/src/request.rs",
     "crates/serve/src/hold.rs",
+    "crates/serve/src/overload.rs",
+    "crates/serve/src/workload.rs",
     "crates/routing/src/timexp.rs",
     "crates/quantum/src/memory.rs",
 ];

@@ -349,6 +349,26 @@ impl CompiledFaults {
         self.eta[step]
     }
 
+    /// Hosts in an outage window at `step`.
+    #[inline]
+    pub fn hosts_down_at(&self, step: usize) -> usize {
+        self.down[step * self.words..(step + 1) * self.words]
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// The per-step health signal in `[0, 1]`: the up-host fraction scaled
+    /// by the weather η factor (`1.0` = fully healthy). Because outage
+    /// windows and weather fronts nest across intensities (see the module
+    /// docs), health is monotone non-increasing in fault intensity at
+    /// every step — the property the serve layer's degradation ladder
+    /// leans on.
+    pub fn step_health(&self, step: usize) -> f64 {
+        let up = 1.0 - self.hosts_down_at(step) as f64 / self.n_hosts.max(1) as f64;
+        up * self.eta[step]
+    }
+
     /// Total (host, step) downtime cells — a load indicator for reports.
     pub fn host_down_steps(&self) -> usize {
         self.down.iter().map(|w| w.count_ones() as usize).sum()

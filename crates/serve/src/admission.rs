@@ -32,15 +32,30 @@ pub struct AdmissionOutcome {
     /// Number of attempts deferred because a link budget was exhausted
     /// (each deferral re-enters the backoff schedule).
     pub congestion_deferrals: u64,
+    /// Served count, cached at construction (the outcomes are immutable
+    /// once assembled, so one scan at build time replaces a scan per
+    /// call).
+    served: usize,
 }
 
 impl AdmissionOutcome {
-    /// Requests served by any attempt.
-    pub fn served_count(&self) -> usize {
-        self.outcomes
+    /// Assemble an outcome, caching the served count.
+    pub fn new(outcomes: Vec<RetryOutcome>, congestion_deferrals: u64) -> AdmissionOutcome {
+        let served = outcomes
             .iter()
             .filter(|o| o.distribution().is_some())
-            .count()
+            .count();
+        AdmissionOutcome {
+            outcomes,
+            congestion_deferrals,
+            served,
+        }
+    }
+
+    /// Requests served by any attempt (cached; equals the scan over
+    /// `outcomes`, pinned by a regression test).
+    pub fn served_count(&self) -> usize {
+        self.served
     }
 }
 
@@ -181,8 +196,8 @@ pub fn serve_with_admission(
         }
     }
 
-    AdmissionOutcome {
-        outcomes: outcomes
+    AdmissionOutcome::new(
+        outcomes
             .into_iter()
             .enumerate()
             .map(|(qi, o)| {
@@ -191,6 +206,6 @@ pub fn serve_with_admission(
                 })
             })
             .collect(),
-        congestion_deferrals: deferrals,
-    }
+        deferrals,
+    )
 }

@@ -34,18 +34,30 @@
 //!   ([`qntn_net::capacity::CapacityModel`]): a sequential, deterministic
 //!   timeline where same-step requests contend for per-link pair budgets
 //!   in (priority, queue order).
+//! - [`overload`] — overload control on top of the admission timeline:
+//!   retry budgets (token buckets over retry attempts), deterministic
+//!   utilization-threshold load shedding with per-request
+//!   [`ShedReason`]s, and a health-driven degradation ladder
+//!   ([`DegradePolicy`]). An [`OverloadPolicy::disabled`] run reproduces
+//!   the admission and hold paths bit-identically (the zero-config
+//!   differential contract).
 
 pub mod admission;
 pub mod hold;
+pub mod overload;
 pub mod request;
 pub mod serve;
 pub mod workload;
 
 pub use admission::{serve_with_admission, AdmissionOutcome};
 pub use hold::{serve_full_with_holds, serve_report_with_holds, HoldPolicy};
+pub use overload::{
+    overload_report, serve_overload, DegradeMode, DegradePolicy, OverloadOutcome, OverloadPolicy,
+    RetryBudget, ShedPolicy, ShedReason, DEGRADE_MODES,
+};
 pub use request::{ingest, RawRequest, RequestQueue, ServeError, PRIORITY_CLASSES};
 pub use serve::{
     report_from_aggs, report_from_run, serve_full, serve_report, serve_resilient, ClassSlo,
     GroupAgg, ServeReport,
 };
-pub use workload::{generate, WorkloadKind};
+pub use workload::{flash_crowd, generate, FlashCrowdConfig, WorkloadKind};

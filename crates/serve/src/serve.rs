@@ -385,6 +385,16 @@ pub struct ServeReport {
     pub mean_eta: f64,
     pub mean_hops: f64,
     pub mean_attempts: f64,
+    /// Requests shed by the overload layer (a subset of `expired`; zero
+    /// on the baseline serve paths). See [`crate::overload`].
+    pub shed: u64,
+    /// Retries deferred to a later backoff slot by the retry budget
+    /// (zero on the baseline serve paths).
+    pub deferred_by_budget: u64,
+    /// Steps spent on each degradation rung over the whole timeline,
+    /// indexed by [`crate::overload::DegradeMode`]; all-zero on the
+    /// baseline serve paths (which never evaluate the ladder).
+    pub degrade_mode_steps: [u64; crate::overload::DEGRADE_MODES],
     /// Per priority class, index = class.
     pub classes: Vec<ClassSlo>,
 }
@@ -429,8 +439,13 @@ impl ServeReport {
                 )
             })
             .collect();
+        let modes: Vec<String> = self
+            .degrade_mode_steps
+            .iter()
+            .map(|m| m.to_string())
+            .collect();
         format!(
-            "{{\n  \"attempted\": {},\n  \"rejected\": {},\n  \"served_percent\": {:.4},\n  \"first_try_percent\": {:.4},\n  \"rescued_percent\": {:.4},\n  \"expired_percent\": {:.4},\n  \"p50_wait_steps\": {},\n  \"p95_wait_steps\": {},\n  \"mean_fidelity\": {:.6},\n  \"mean_link_fidelity\": {:.6},\n  \"mean_eta\": {:.6},\n  \"mean_hops\": {:.4},\n  \"mean_attempts\": {:.4},\n  \"classes\": [{}]\n}}\n",
+            "{{\n  \"attempted\": {},\n  \"rejected\": {},\n  \"served_percent\": {:.4},\n  \"first_try_percent\": {:.4},\n  \"rescued_percent\": {:.4},\n  \"expired_percent\": {:.4},\n  \"p50_wait_steps\": {},\n  \"p95_wait_steps\": {},\n  \"mean_fidelity\": {:.6},\n  \"mean_link_fidelity\": {:.6},\n  \"mean_eta\": {:.6},\n  \"mean_hops\": {:.4},\n  \"mean_attempts\": {:.4},\n  \"shed\": {},\n  \"deferred_by_budget\": {},\n  \"degrade_mode_steps\": [{}],\n  \"classes\": [{}]\n}}\n",
             self.attempted,
             self.rejected,
             self.served_percent(),
@@ -444,6 +459,9 @@ impl ServeReport {
             self.mean_eta,
             self.mean_hops,
             self.mean_attempts,
+            self.shed,
+            self.deferred_by_budget,
+            modes.join(","),
             classes.join(",")
         )
     }
@@ -515,6 +533,9 @@ pub fn report_from_aggs(aggs: &[GroupAgg], rejected: u64) -> ServeReport {
         mean_eta: mean(total.eta_sum, served),
         mean_hops: mean(total.hops_sum, served),
         mean_attempts: mean(total.attempts_sum, total.attempted),
+        shed: 0,
+        deferred_by_budget: 0,
+        degrade_mode_steps: [0; crate::overload::DEGRADE_MODES],
         classes,
     }
 }

@@ -14,6 +14,10 @@
 //!   `rate(t) ∝ 1 − cos(2πt/steps)`, peaking mid-day (thinning sampler).
 //! - [`WorkloadKind::Hotspot`] — three quarters of the traffic pinned to
 //!   one LAN pair, the skew that stresses capacity admission.
+//! - [`WorkloadKind::FlashCrowd`] — a uniform baseline rate plus seeded
+//!   burst windows where the arrival density jumps by a configurable
+//!   amplitude ([`FlashCrowdConfig`]) — the overload layer's stress
+//!   scenario.
 //!
 //! Deadlines and priorities are drawn per request (10–39 steps, classes
 //! 0–3) so retry pruning and per-class reporting always have structure to
@@ -31,6 +35,9 @@ pub enum WorkloadKind {
     Poisson,
     Diurnal,
     Hotspot,
+    /// Uniform baseline plus seeded burst windows
+    /// ([`FlashCrowdConfig::default`]).
+    FlashCrowd,
 }
 
 impl WorkloadKind {
@@ -41,6 +48,7 @@ impl WorkloadKind {
             "poisson" => Some(WorkloadKind::Poisson),
             "diurnal" => Some(WorkloadKind::Diurnal),
             "hotspot" => Some(WorkloadKind::Hotspot),
+            "flash_crowd" => Some(WorkloadKind::FlashCrowd),
             _ => None,
         }
     }
@@ -52,6 +60,7 @@ impl WorkloadKind {
             WorkloadKind::Poisson => "poisson",
             WorkloadKind::Diurnal => "diurnal",
             WorkloadKind::Hotspot => "hotspot",
+            WorkloadKind::FlashCrowd => "flash_crowd",
         }
     }
 
@@ -62,6 +71,33 @@ impl WorkloadKind {
             WorkloadKind::Poisson => 1,
             WorkloadKind::Diurnal => 2,
             WorkloadKind::Hotspot => 3,
+            WorkloadKind::FlashCrowd => 4,
+        }
+    }
+}
+
+/// Shape of the flash-crowd bursts: `windows` intervals, each
+/// `window_frac` of the day, with arrival density `amplitude ×` the
+/// baseline inside them. Window starts are drawn from the stream seed,
+/// so the whole scenario stays a pure function of `(sim, n, seed)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowdConfig {
+    /// Number of burst windows over the day.
+    pub windows: usize,
+    /// Each window's length as a fraction of the day.
+    pub window_frac: f64,
+    /// Arrival-density multiplier inside a window.
+    pub amplitude: f64,
+}
+
+impl Default for FlashCrowdConfig {
+    /// Three windows of 3% of the day each at 32× the baseline density —
+    /// roughly three quarters of all arrivals land inside the bursts.
+    fn default() -> FlashCrowdConfig {
+        FlashCrowdConfig {
+            windows: 3,
+            window_frac: 0.03,
+            amplitude: 32.0,
         }
     }
 }
@@ -80,6 +116,27 @@ pub fn generate(
     n: usize,
     seed: u64,
 ) -> Vec<RawRequest> {
+    generate_with(sim, kind, n, seed, FlashCrowdConfig::default())
+}
+
+/// [`WorkloadKind::FlashCrowd`] with an explicit burst shape —
+/// [`generate`] uses [`FlashCrowdConfig::default`].
+pub fn flash_crowd(
+    sim: &QuantumNetworkSim,
+    n: usize,
+    seed: u64,
+    crowd: FlashCrowdConfig,
+) -> Vec<RawRequest> {
+    generate_with(sim, WorkloadKind::FlashCrowd, n, seed, crowd)
+}
+
+fn generate_with(
+    sim: &QuantumNetworkSim,
+    kind: WorkloadKind,
+    n: usize,
+    seed: u64,
+    crowd: FlashCrowdConfig,
+) -> Vec<RawRequest> {
     let lans: Vec<&[usize]> = (0..sim.lan_count())
         .map(|l| sim.lan_members(l))
         .filter(|m| !m.is_empty())
@@ -91,6 +148,40 @@ pub fn generate(
     let mut rng = StdRng::seed_from_u64(seed ^ kind.id().wrapping_mul(0x9e37_79b9_7f4a_7c15));
     let rate = n as f64 / steps as f64;
     let mut poisson_t = 0.0_f64;
+
+    // Flash-crowd burst windows, drawn up front from the stream RNG (the
+    // other kinds draw nothing here, so their streams are unchanged).
+    // Windows wrap around the day and may overlap; sampling is uniform
+    // over the covered/uncovered step sets, weighted so the density
+    // inside the bursts is `amplitude ×` the baseline.
+    let mut burst_steps: Vec<usize> = Vec::new();
+    let mut base_steps: Vec<usize> = Vec::new();
+    let mut p_burst = 0.0_f64;
+    if kind == WorkloadKind::FlashCrowd {
+        let win_len = ((steps as f64 * crowd.window_frac).round() as usize).clamp(1, steps);
+        let mut mask = vec![false; steps];
+        for _ in 0..crowd.windows {
+            let start = rng.random_range(0..steps);
+            for k in 0..win_len {
+                mask[(start + k) % steps] = true;
+            }
+        }
+        for (t, &in_burst) in mask.iter().enumerate() {
+            if in_burst {
+                burst_steps.push(t);
+            } else {
+                base_steps.push(t);
+            }
+        }
+        let covered = burst_steps.len() as f64;
+        let uncovered = base_steps.len() as f64;
+        let weighted = crowd.amplitude.max(0.0) * covered;
+        p_burst = if weighted + uncovered > 0.0 {
+            weighted / (weighted + uncovered)
+        } else {
+            0.0
+        };
+    }
 
     (0..n)
         .map(|_| {
@@ -112,6 +203,15 @@ pub fn generate(
                         break t;
                     }
                 },
+                WorkloadKind::FlashCrowd => {
+                    if !burst_steps.is_empty()
+                        && (base_steps.is_empty() || rng.random::<f64>() < p_burst)
+                    {
+                        burst_steps[rng.random_range(0..burst_steps.len())]
+                    } else {
+                        base_steps[rng.random_range(0..base_steps.len())]
+                    }
+                }
             };
             let (a, b) = match kind {
                 // Three quarters of hotspot traffic rides one LAN pair.

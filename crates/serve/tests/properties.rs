@@ -12,12 +12,16 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use qntn_geo::{Epoch, Geodetic};
 use qntn_net::capacity::CapacityModel;
+use qntn_net::faults::FaultModel;
 use qntn_net::requests::{RetryOutcome, RetryPolicy};
 use qntn_net::{Host, QuantumNetworkSim, SimConfig, SweepEngine};
 use qntn_orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
 use qntn_routing::RouteMetric;
-use qntn_serve::{ingest, serve_full, serve_report, serve_with_admission, RawRequest};
-use std::sync::OnceLock;
+use qntn_serve::{
+    ingest, serve_full, serve_full_with_holds, serve_overload, serve_report, serve_with_admission,
+    HoldPolicy, OverloadPolicy, RawRequest,
+};
+use std::sync::{Arc, OnceLock};
 
 /// Shared small fixture (see `tests/serve.rs`); 40 steps keeps the retry
 /// schedules short without losing the satellite links.
@@ -130,6 +134,61 @@ proptest! {
         for o in &admitted.outcomes {
             if let RetryOutcome::Expired { attempts } = o {
                 prop_assert!(*attempts <= policy.max_attempts.max(1));
+            }
+        }
+    }
+
+    /// The combined path — capacity admission, memory holds and a fault
+    /// mask at once — never panics on arbitrary request input, and serves
+    /// a per-request subset of the uncapacitated hold path: admission can
+    /// only deny attempts, never rescue one, and both runs walk the same
+    /// attempt schedule with identical routing.
+    #[test]
+    fn combined_admission_holds_faults_serve_a_subset_without_panicking(
+        stream in vec(raw_request(), 0..40),
+        horizon in 0usize..4,
+        intensity in 0.0..3.0f64,
+        fault_seed in any::<u64>(),
+        rate_ix in 0usize..3,
+    ) {
+        let (queue, _rejected) = ingest(sim().hosts().len(), sim().steps(), &stream);
+        let faults = Arc::new(
+            FaultModel::standard(fault_seed)
+                .with_intensity(intensity)
+                .compile(sim()),
+        );
+        let engine = SweepEngine::new(sim()).with_faults(faults);
+        let policy = RetryPolicy::standard();
+        let metric = RouteMetric::PaperInverseEta;
+        let hold = if horizon == 0 {
+            HoldPolicy::disabled()
+        } else {
+            HoldPolicy::with_horizon(horizon)
+        };
+        let model = CapacityModel {
+            attempt_rate_hz: [0.05, 0.5, 5.0][rate_ix],
+            window_s: 30.0,
+        };
+        let admitted = serve_overload(
+            &engine,
+            &queue,
+            policy,
+            metric,
+            Some(model),
+            &hold,
+            &OverloadPolicy::disabled(),
+        );
+        prop_assert_eq!(admitted.outcomes.len(), queue.len());
+        prop_assert_eq!(admitted.shed_count(), 0);
+        prop_assert_eq!(admitted.budget_deferrals, 0);
+        let unconstrained = serve_full_with_holds(&engine, &queue, policy, metric, &hold);
+        for (qi, free) in unconstrained.iter().enumerate() {
+            if admitted.outcomes[qi].distribution().is_some() {
+                prop_assert!(
+                    free.distribution().is_some(),
+                    "request {} served under admission but not uncapacitated",
+                    qi
+                );
             }
         }
     }

@@ -23,9 +23,10 @@ use qntn_orbit::{paper_constellation, Ephemeris, PerturbationModel, Propagator};
 use qntn_routing::RouteMetric;
 use qntn_serve::serve::GroupAgg;
 use qntn_serve::{
-    generate, ingest, report_from_aggs, report_from_run, serve_full, serve_full_with_holds,
-    serve_report, serve_report_with_holds, serve_resilient, serve_with_admission, HoldPolicy,
-    RawRequest, RequestQueue, WorkloadKind,
+    generate, ingest, overload_report, report_from_aggs, report_from_run, serve_full,
+    serve_full_with_holds, serve_overload, serve_report, serve_report_with_holds, serve_resilient,
+    serve_with_admission, DegradePolicy, FlashCrowdConfig, HoldPolicy, OverloadPolicy, RawRequest,
+    RequestQueue, RetryBudget, ShedPolicy, ShedReason, WorkloadKind,
 };
 use std::sync::{Arc, OnceLock};
 
@@ -278,6 +279,7 @@ fn workload_generators_emit_valid_deterministic_streams() {
         WorkloadKind::Poisson,
         WorkloadKind::Diurnal,
         WorkloadKind::Hotspot,
+        WorkloadKind::FlashCrowd,
     ] {
         let a = generate(sim(), kind, 200, 9);
         let b = generate(sim(), kind, 200, 9);
@@ -478,4 +480,449 @@ fn fidelity_floor_cuts_deliveries_monotonically() {
     }
     // A floor above 1.0 is unsatisfiable: nothing can be served.
     assert_eq!(prev_served, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Overload control (crate::overload)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disabled_overload_reproduces_admission_bitwise() {
+    // The zero-config differential contract, admission side: a disabled
+    // OverloadPolicy over a capacitated run must land on the admission
+    // path's exact bits — clean, faulted, ample and congested.
+    let queue = queue_from(WorkloadKind::Hotspot, 120, 77);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let disabled = OverloadPolicy::disabled();
+    let hold_off = HoldPolicy::disabled();
+    let faults = Arc::new(FaultModel::standard(5).with_intensity(2.0).compile(sim()));
+    for engine in [
+        SweepEngine::new(sim()),
+        SweepEngine::new(sim()).with_faults(faults),
+    ] {
+        for rate in [1e9, 0.5] {
+            let model = CapacityModel {
+                attempt_rate_hz: rate,
+                window_s: 30.0,
+            };
+            let base = serve_with_admission(&engine, &queue, policy, metric, model);
+            let over = serve_overload(
+                &engine,
+                &queue,
+                policy,
+                metric,
+                Some(model),
+                &hold_off,
+                &disabled,
+            );
+            assert_eq!(over.outcomes, base.outcomes, "rate {rate}");
+            assert_eq!(over.congestion_deferrals, base.congestion_deferrals);
+            assert_eq!(over.served_count(), base.served_count());
+            assert_eq!(over.shed_count(), 0);
+            assert_eq!(over.budget_deferrals, 0);
+            // Every step sits on the Normal rung when the ladder is off.
+            assert_eq!(over.degrade_mode_steps, [sim().steps() as u64, 0, 0, 0]);
+        }
+    }
+}
+
+#[test]
+fn disabled_overload_reproduces_the_hold_path_bitwise() {
+    // The zero-config differential contract, hold side: without a
+    // capacity model and with the overload layer off, the sequential
+    // agenda must visit exactly the per-group hold schedule — clean and
+    // faulted, with and without a horizon.
+    let queue = queue_from(WorkloadKind::Diurnal, 130, 19);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let disabled = OverloadPolicy::disabled();
+    let faults = Arc::new(FaultModel::standard(9).with_intensity(1.5).compile(sim()));
+    for engine in [
+        SweepEngine::new(sim()),
+        SweepEngine::new(sim()).with_faults(faults),
+    ] {
+        for hold in [HoldPolicy::disabled(), HoldPolicy::with_horizon(4)] {
+            let base = serve_full_with_holds(&engine, &queue, policy, metric, &hold);
+            let over = serve_overload(&engine, &queue, policy, metric, None, &hold, &disabled);
+            assert_eq!(over.outcomes, base, "horizon {}", hold.horizon_steps);
+            assert_eq!(over.shed_count(), 0);
+            assert_eq!(over.congestion_deferrals, 0);
+            assert_eq!(over.budget_deferrals, 0);
+        }
+    }
+}
+
+#[test]
+fn admission_served_count_cache_matches_the_scan() {
+    // Regression for the cached count: it must equal a fresh scan over
+    // the outcomes, served-something and served-nothing alike.
+    let queue = queue_from(WorkloadKind::Uniform, 90, 61);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    for rate in [1e9, 0.0] {
+        let model = CapacityModel {
+            attempt_rate_hz: rate,
+            window_s: 30.0,
+        };
+        let admitted = serve_with_admission(&engine, &queue, policy, metric, model);
+        let scan = admitted
+            .outcomes
+            .iter()
+            .filter(|o| o.distribution().is_some())
+            .count();
+        assert_eq!(admitted.served_count(), scan, "rate {rate}");
+    }
+}
+
+#[test]
+fn zero_utilization_sheds_every_attempt_deterministically() {
+    let queue = queue_from(WorkloadKind::Uniform, 60, 83);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let overload = OverloadPolicy {
+        shed: ShedPolicy {
+            utilization: 0.0,
+            seed: 7,
+        },
+        ..OverloadPolicy::disabled()
+    };
+    let out = serve_overload(
+        &engine,
+        &queue,
+        policy,
+        metric,
+        None,
+        &HoldPolicy::disabled(),
+        &overload,
+    );
+    assert_eq!(out.served_count(), 0);
+    assert_eq!(out.shed_count(), queue.len());
+    assert!(out.shed.iter().all(|s| *s == Some(ShedReason::Overload)));
+    // Shed before any attempt: zero attempts in every outcome.
+    assert!(out
+        .outcomes
+        .iter()
+        .all(|o| matches!(o, RetryOutcome::Expired { attempts: 0 })));
+    let again = serve_overload(
+        &engine,
+        &queue,
+        policy,
+        metric,
+        None,
+        &HoldPolicy::disabled(),
+        &overload,
+    );
+    assert_eq!(out, again);
+}
+
+#[test]
+fn utilization_shedding_takes_lowest_priority_first() {
+    // Under a tight utilization threshold the shed set must concentrate
+    // on the lower classes: no shed request may outrank a surviving
+    // same-step competitor.
+    let queue = queue_from(WorkloadKind::Hotspot, 200, 29);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    // Sweep thresholds until one sheds part of the load (which exists by
+    // the monotone staircase between shed-nothing at ∞ and shed-all at 0).
+    let mut checked = false;
+    for utilization in [0.05, 0.1, 0.2, 0.3, 0.5, 0.8] {
+        let overload = OverloadPolicy {
+            shed: ShedPolicy {
+                utilization,
+                seed: 11,
+            },
+            ..OverloadPolicy::disabled()
+        };
+        let out = serve_overload(
+            &engine,
+            &queue,
+            policy,
+            metric,
+            None,
+            &HoldPolicy::disabled(),
+            &overload,
+        );
+        // Aggregate fairness check at a partial shed: the mean priority
+        // of shed requests never exceeds the mean priority of survivors.
+        let (mut shed_sum, mut shed_n, mut kept_sum, mut kept_n) = (0u64, 0u64, 0u64, 0u64);
+        for qi in 0..queue.len() {
+            if out.shed[qi].is_some() {
+                shed_sum += queue.priority(qi) as u64;
+                shed_n += 1;
+            } else {
+                kept_sum += queue.priority(qi) as u64;
+                kept_n += 1;
+            }
+        }
+        if shed_n == 0 || kept_n == 0 {
+            continue;
+        }
+        checked = true;
+        assert!(
+            shed_sum * kept_n <= kept_sum * shed_n,
+            "at utilization {utilization} shed requests outrank survivors: \
+             shed mean {} vs kept mean {}",
+            shed_sum as f64 / shed_n as f64,
+            kept_sum as f64 / kept_n as f64
+        );
+    }
+    assert!(checked, "no utilization produced a partial shed");
+}
+
+#[test]
+fn exhausted_retry_budget_defers_then_sheds_retries() {
+    // A zero-refill budget denies every retry: the run still serves
+    // first attempts, but anything that needed a retry is deferred while
+    // slots remain and shed (RetryBudget) when they run out — so the
+    // served set can only shrink against the unbudgeted run. A congested
+    // admission model forces first attempts to fail, so retries exist.
+    let queue = queue_from(WorkloadKind::Hotspot, 300, 37);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let hold_off = HoldPolicy::disabled();
+    // ~1 pair per link per step: the hotspot pair contends every step.
+    let model = CapacityModel {
+        attempt_rate_hz: 0.05,
+        window_s: 30.0,
+    };
+    let unbudgeted = serve_overload(
+        &engine,
+        &queue,
+        policy,
+        metric,
+        Some(model),
+        &hold_off,
+        &OverloadPolicy::disabled(),
+    );
+    // The fixture must generate retries at all, or the budget is idle.
+    assert!(
+        unbudgeted.outcomes.iter().any(|o| matches!(
+            o,
+            RetryOutcome::ServedAfterRetry { .. } | RetryOutcome::Expired { attempts: 2.. }
+        )),
+        "fixture produced no retries"
+    );
+    let overload = OverloadPolicy {
+        budget: RetryBudget {
+            global_per_step: 0.0,
+            global_burst: 0.0,
+            class_per_step: [0.0; qntn_serve::PRIORITY_CLASSES],
+            class_burst: [0.0; qntn_serve::PRIORITY_CLASSES],
+        },
+        ..OverloadPolicy::disabled()
+    };
+    let budgeted = serve_overload(
+        &engine,
+        &queue,
+        policy,
+        metric,
+        Some(model),
+        &hold_off,
+        &overload,
+    );
+    // Denying retries never costs a first attempt: retries only consume
+    // link budget, so removing them from a step's admit set can only free
+    // budget for first attempts.
+    let first_tries = |o: &[RetryOutcome]| {
+        o.iter()
+            .filter(|r| matches!(r, RetryOutcome::ServedFirstTry(_)))
+            .count()
+    };
+    assert!(first_tries(&budgeted.outcomes) >= first_tries(&unbudgeted.outcomes));
+    // No retry ever ran: every served outcome is a first try, and every
+    // denied retry was deferred or shed.
+    assert!(budgeted
+        .outcomes
+        .iter()
+        .all(|o| !matches!(o, RetryOutcome::ServedAfterRetry { .. })));
+    assert!(
+        budgeted.budget_deferrals > 0 || budgeted.shed_count_for(ShedReason::RetryBudget) > 0,
+        "fixture produced no retries to deny"
+    );
+}
+
+#[test]
+fn degrade_ladder_sheds_classes_under_a_fault_storm() {
+    // Thresholds above 1.0 engage the deepest rung on every step: the
+    // whole timeline runs degraded and every request is shed before its
+    // first attempt.
+    let queue = queue_from(WorkloadKind::Uniform, 70, 53);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let overload = OverloadPolicy {
+        degrade: DegradePolicy {
+            no_holds_below: 1.1,
+            stretch_backoff_below: 1.1,
+            shed_class_below: [1.1; qntn_serve::PRIORITY_CLASSES],
+        },
+        ..OverloadPolicy::disabled()
+    };
+    let out = serve_overload(
+        &engine,
+        &queue,
+        policy,
+        metric,
+        None,
+        &HoldPolicy::disabled(),
+        &overload,
+    );
+    assert_eq!(out.shed_count(), queue.len());
+    assert!(out.shed.iter().all(|s| *s == Some(ShedReason::Degraded)));
+    assert_eq!(out.degrade_mode_steps, [0, 0, 0, sim().steps() as u64]);
+}
+
+#[test]
+fn overload_report_carries_the_new_counters() {
+    let queue = queue_from(WorkloadKind::Hotspot, 160, 71);
+    let policy = RetryPolicy::standard();
+    let metric = RouteMetric::PaperInverseEta;
+    let engine = SweepEngine::new(sim());
+    let overload = OverloadPolicy {
+        shed: ShedPolicy {
+            utilization: 0.05,
+            seed: 3,
+        },
+        ..OverloadPolicy::disabled()
+    };
+    let out = serve_overload(
+        &engine,
+        &queue,
+        policy,
+        metric,
+        None,
+        &HoldPolicy::disabled(),
+        &overload,
+    );
+    let report = overload_report(&out, &queue, 2);
+    assert_eq!(report.rejected, 2);
+    assert_eq!(report.shed, out.shed_count() as u64);
+    assert_eq!(report.deferred_by_budget, out.budget_deferrals);
+    assert_eq!(report.degrade_mode_steps, out.degrade_mode_steps);
+    // Shed requests are a subset of expired: the report still accounts
+    // for every request.
+    assert_eq!(report.attempted, report.served() + report.expired);
+    assert!(report.shed <= report.expired);
+    let json = report.to_json();
+    assert!(json.contains("\"shed\""), "{json}");
+    assert!(json.contains("\"deferred_by_budget\""), "{json}");
+    assert!(json.contains("\"degrade_mode_steps\""), "{json}");
+    // The baseline report carries the counters at zero.
+    let base = serve_report(&engine, &queue, policy, metric, 0);
+    assert_eq!(base.shed, 0);
+    assert_eq!(base.deferred_by_budget, 0);
+    assert_eq!(base.degrade_mode_steps, [0; qntn_serve::DEGRADE_MODES]);
+}
+
+#[test]
+fn shed_counts_are_monotone_in_offered_load_and_fault_intensity() {
+    // The by-construction monotonicity contract on the single-attempt
+    // path (no retry dynamics): prefix workloads only grow each step's
+    // bucket, fault schedules nest, so sheds only grow. The root
+    // proptests in tests/overload.rs randomize this; here we pin one
+    // deterministic staircase.
+    let single = RetryPolicy {
+        max_attempts: 1,
+        backoff_steps: 0,
+        deadline_steps: 20,
+    };
+    let metric = RouteMetric::PaperInverseEta;
+    let overload = OverloadPolicy {
+        shed: ShedPolicy {
+            utilization: 0.1,
+            seed: 13,
+        },
+        degrade: DegradePolicy::standard(),
+        ..OverloadPolicy::disabled()
+    };
+    let hold_off = HoldPolicy::disabled();
+    // Offered load: streams of one seed are prefixes of one another.
+    let mut prev = 0usize;
+    for n in [50usize, 150, 300] {
+        let queue = queue_from(WorkloadKind::Uniform, n, 101);
+        let engine = SweepEngine::new(sim());
+        let out = serve_overload(&engine, &queue, single, metric, None, &hold_off, &overload);
+        assert!(
+            out.shed_count() >= prev,
+            "shed fell from {prev} to {} at n={n}",
+            out.shed_count()
+        );
+        prev = out.shed_count();
+    }
+    // Fault intensity: masks nest, health only drops, budgets only shrink.
+    let queue = queue_from(WorkloadKind::Uniform, 200, 101);
+    let mut prev = 0usize;
+    for intensity in [0.0, 1.0, 2.5, 5.0] {
+        let faults = Arc::new(
+            FaultModel::standard(21)
+                .with_intensity(intensity)
+                .compile(sim()),
+        );
+        let engine = SweepEngine::new(sim()).with_faults(faults);
+        let out = serve_overload(&engine, &queue, single, metric, None, &hold_off, &overload);
+        assert!(
+            out.shed_count() >= prev,
+            "shed fell from {prev} to {} at intensity {intensity}",
+            out.shed_count()
+        );
+        prev = out.shed_count();
+    }
+}
+
+#[test]
+fn flash_crowd_bursts_dominate_and_are_seed_deterministic() {
+    let a = generate(sim(), WorkloadKind::FlashCrowd, 400, 19);
+    let b = generate(sim(), WorkloadKind::FlashCrowd, 400, 19);
+    assert_eq!(a, b, "flash crowd not deterministic");
+    let c = generate(sim(), WorkloadKind::FlashCrowd, 400, 20);
+    assert_ne!(a, c, "flash crowd ignores the seed");
+    let (_, rejected) = ingest(sim().hosts().len(), sim().steps(), &a);
+    assert!(rejected.is_empty());
+
+    // The default shape covers at most windows × window_frac of the day;
+    // the arrivals inside that sliver must still be the majority.
+    let crowd = FlashCrowdConfig::default();
+    let cover = ((sim().steps() as f64 * crowd.window_frac).round() as usize).max(1);
+    let mut per_step = vec![0usize; sim().steps()];
+    for r in &a {
+        per_step[r.arrival_step] += 1;
+    }
+    let mut counts: Vec<usize> = per_step.clone();
+    counts.sort_unstable_by(|x, y| y.cmp(x));
+    let burst_like: usize = counts.iter().take(crowd.windows * cover).sum();
+    assert!(
+        burst_like * 2 > a.len(),
+        "burst steps hold {burst_like}/{} arrivals — bursts do not dominate",
+        a.len()
+    );
+
+    // The explicit-config entry point honours the amplitude axis: a flat
+    // amplitude of 1 is statistically uniform (no dominating sliver).
+    let flat = qntn_serve::flash_crowd(
+        sim(),
+        400,
+        19,
+        FlashCrowdConfig {
+            amplitude: 1.0,
+            ..FlashCrowdConfig::default()
+        },
+    );
+    let mut flat_per_step = vec![0usize; sim().steps()];
+    for r in &flat {
+        flat_per_step[r.arrival_step] += 1;
+    }
+    let mut flat_counts: Vec<usize> = flat_per_step;
+    flat_counts.sort_unstable_by(|x, y| y.cmp(x));
+    let flat_top: usize = flat_counts.iter().take(crowd.windows * cover).sum();
+    assert!(
+        flat_top * 2 < flat.len(),
+        "amplitude 1 still bursts: {flat_top}/{}",
+        flat.len()
+    );
 }
