@@ -125,6 +125,7 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), QntnError> {
         {
             // Make the rename durable: fsync the containing directory.
             if let Ok(d) = fs::File::open(&dir) {
+                // qntn-lint: allow(result-swallow) -- directory fsync is best-effort durability hardening; the data fsync above already errored loudly
                 let _ = d.sync_all();
             }
         }
@@ -132,6 +133,7 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), QntnError> {
     })();
     if result.is_err() {
         // Best-effort cleanup; the error from the write path is what matters.
+        // qntn-lint: allow(result-swallow) -- temp-file cleanup on the error path must not mask the original write error
         let _ = fs::remove_file(&tmp);
     }
     result

@@ -1,0 +1,14 @@
+//! Fixture: dB values leaking into linear-eta expressions.
+//! `unit-safety` must flag all four mixing sites in `mix`.
+
+pub fn couple(eta: f64) -> f64 {
+    eta
+}
+
+pub fn mix(loss_db: f64, eta: f64) -> f64 {
+    let bad_product = loss_db * eta;
+    let eta_total = linear_to_db(eta);
+    let span_db = eta;
+    let coupled = couple(loss_db);
+    bad_product + eta_total + span_db + coupled
+}

@@ -1,0 +1,14 @@
+//! Fixture: silently discarded Result-returning calls.
+//! `result-swallow` must flag all three discards in `sloppy`.
+
+use std::fs::remove_file;
+
+pub fn cleanup(path: &std::path::Path) -> std::io::Result<()> {
+    remove_file(path)
+}
+
+pub fn sloppy(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = remove_file(path);
+    cleanup(path);
+}

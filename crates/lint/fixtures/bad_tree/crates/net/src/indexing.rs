@@ -1,0 +1,13 @@
+//! Fixture: typed index families crossing without an `.index()` cast.
+//! `typed-index` must flag both indexing sites.
+
+use qntn_common::{SatId, StepId};
+
+pub fn pick(hosts: &[f64], sat: SatId) -> f64 {
+    hosts[sat]
+}
+
+pub fn window(host_windows: &[u32]) -> u32 {
+    let step = StepId(3);
+    host_windows[step]
+}

@@ -1,0 +1,16 @@
+//! Fixture: par_* closures capturing forbidden outer state.
+//! `rayon-capture` must flag the `&mut` capture and the RefCell capture.
+
+use std::cell::RefCell;
+
+pub fn bad_accumulate(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    xs.par_iter().for_each(|x| add(&mut acc, *x));
+    acc
+}
+
+pub fn bad_census(xs: &[f64]) -> usize {
+    let hits = RefCell::new(0usize);
+    xs.par_iter().for_each(|_x| bump(&hits));
+    *hits.borrow()
+}

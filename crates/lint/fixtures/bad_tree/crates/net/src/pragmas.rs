@@ -3,3 +3,5 @@
 // qntn-lint: allow(no-such-rule) -- the rule id does not exist
 // qntn-lint: allow(determinism)
 pub fn noop() {}
+
+// qntn-lint: allow(unit-safty) -- typo of a semantic rule id

@@ -10,3 +10,7 @@ pub fn sweep() -> f64 {
     let s: f64 = m.values().sum();
     s + t.elapsed().as_secs_f64()
 }
+
+pub fn par_total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x + 1.0).sum::<f64>()
+}

@@ -1,0 +1,12 @@
+//! Fixture: legal dB <-> eta crossings through the conversion helpers.
+//! `unit-safety` must stay quiet on every line below.
+
+pub fn couple(eta: f64) -> f64 {
+    eta
+}
+
+pub fn convert(loss_db: f64) -> f64 {
+    let eta = db_to_linear(-loss_db);
+    let total_db = linear_to_db(eta);
+    couple(eta) + total_db
+}

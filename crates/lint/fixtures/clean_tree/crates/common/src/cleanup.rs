@@ -1,0 +1,14 @@
+//! Fixture: Result values handled, propagated or explicitly waved off.
+//! `result-swallow` must stay quiet on every call below.
+
+use std::fs::remove_file;
+
+pub fn cleanup(path: &std::path::Path) -> std::io::Result<()> {
+    remove_file(path)
+}
+
+pub fn tidy(path: &std::path::Path) -> std::io::Result<()> {
+    cleanup(path)?;
+    remove_file(path).ok();
+    Ok(())
+}

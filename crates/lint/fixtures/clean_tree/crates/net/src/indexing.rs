@@ -1,0 +1,12 @@
+//! Fixture: typed indexing done right — same family, or an explicit cast.
+//! `typed-index` must stay quiet on both sites.
+
+use qntn_common::{HostId, SatId};
+
+pub fn same_family(hosts: &[f64], h: HostId) -> f64 {
+    hosts[h]
+}
+
+pub fn explicit_cast(host_windows: &[u32], sat: SatId) -> u32 {
+    host_windows[sat.index()]
+}

@@ -11,3 +11,8 @@ pub fn build_time_expanded_into(t: &mut qntn_routing::TimeExpandedGraph) {
     t.push_link(0, 1, 0.5);
     t.push_hold(0, 0.9);
 }
+
+pub fn stamp_setup() -> f64 {
+    let t = std::time::Instant::now(); // qntn-lint: allow(determinism) -- setup timing is reported separately, never folded into sweep results
+    t.elapsed().as_secs_f64()
+}

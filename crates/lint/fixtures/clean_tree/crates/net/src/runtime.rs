@@ -1,0 +1,7 @@
+#![allow(dead_code)]
+// qntn-lint: allow-file(determinism) -- fixture: census maps are analysis-side, not part of the bit-deterministic sweep output
+use std::collections::HashMap;
+
+pub fn census() -> HashMap<u32, u32> {
+    HashMap::new()
+}

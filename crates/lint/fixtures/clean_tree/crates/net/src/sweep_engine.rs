@@ -17,3 +17,21 @@ mod tests {
         let _ = HashMap::<u32, u32>::new();
     }
 }
+
+pub fn map_steps(chunks: &[Vec<u32>]) -> Vec<Vec<f64>> {
+    chunks
+        .par_iter()
+        .map(|chunk| {
+            let mut scratch = 0.0;
+            chunk.iter().map(|&step| eval(&mut scratch, step)).collect()
+        })
+        .collect()
+}
+
+pub fn par_total(chunks: &[Vec<f64>]) -> f64 {
+    let partials: Vec<f64> = chunks
+        .par_iter()
+        .map(|chunk| chunk.iter().map(|&x| x * 2.0).sum::<f64>())
+        .collect();
+    partials.iter().sum()
+}

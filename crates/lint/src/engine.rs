@@ -13,8 +13,10 @@
 
 use crate::diag::Diagnostic;
 use crate::lexer::{self, Scan, TokenView};
+use crate::parse::{self, Closure, FnSig, Tree, UseImport};
 use crate::pragma::Pragmas;
 use crate::rules;
+use crate::symbols::SymbolTable;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -31,6 +33,16 @@ pub struct FileCtx<'a> {
     pub tokens: &'a TokenView<'a>,
     /// `line_is_test[line - 1]`: is the line inside a `#[cfg(test)]` item?
     pub line_is_test: &'a [bool],
+    /// The delimiter-nesting tree ([`crate::parse`]).
+    pub tree: &'a Tree,
+    /// Every `fn` signature in the file.
+    pub fns: &'a [FnSig],
+    /// Every closure expression in the file.
+    pub closures: &'a [Closure],
+    /// Every `use`-imported name in the file.
+    pub uses: &'a [UseImport],
+    /// The scoped symbol table ([`crate::symbols`]).
+    pub symbols: &'a SymbolTable,
 }
 
 impl FileCtx<'_> {
@@ -140,28 +152,60 @@ pub fn test_lines(scan: &Scan, tv: &TokenView<'_>) -> Vec<bool> {
     flags
 }
 
-/// Lint one source file (pragmas applied, diagnostics sorted).
-pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+/// One lint pass's result: surviving diagnostics plus how many were
+/// pragma-suppressed (reported in the JSON output).
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Diagnostics that survived pragma filtering, sorted.
+    pub diags: Vec<Diagnostic>,
+    /// Violations excused by a reasoned `allow` pragma.
+    pub suppressed: usize,
+}
+
+/// Lint one source file (pragmas applied, diagnostics sorted), with the
+/// pragma-suppressed count.
+pub fn lint_source_outcome(rel: &str, src: &str) -> LintOutcome {
     let scan = lexer::scan(src);
     let tv = TokenView::new(&scan);
     let line_is_test = test_lines(&scan, &tv);
     let pragmas = Pragmas::parse(&scan.comments, rules::RULE_IDS);
+    let tree = Tree::build(&tv);
+    let fns = parse::parse_fns(&tv, &tree);
+    let closures = parse::parse_closures(&tv, &tree);
+    let uses = parse::parse_uses(&tv, &tree);
+    let symbols = SymbolTable::collect(&tv, &tree, &fns);
     let ctx = FileCtx {
         rel,
         src,
         scan: &scan,
         tokens: &tv,
         line_is_test: &line_is_test,
+        tree: &tree,
+        fns: &fns,
+        closures: &closures,
+        uses: &uses,
+        symbols: &symbols,
     };
 
-    let mut diags = pragmas.error_diagnostics(rel, src);
+    let mut out = LintOutcome {
+        diags: pragmas.error_diagnostics(rel, src),
+        suppressed: 0,
+    };
     for d in rules::check_source(&ctx) {
-        if !pragmas.allows(d.rule, d.line) {
-            diags.push(d);
+        if pragmas.allows(d.rule, d.line) {
+            out.suppressed += 1;
+        } else {
+            out.diags.push(d);
         }
     }
-    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    diags
+    out.diags
+        .sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Lint one source file (pragmas applied, diagnostics sorted).
+pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
+    lint_source_outcome(rel, src).diags
 }
 
 /// Directories never descended into.
@@ -217,17 +261,29 @@ fn relative(root: &Path, path: &Path) -> String {
 }
 
 /// Lint the whole workspace rooted at `root`: every source rule over every
-/// `.rs` file, plus the layering rule over the crate manifests.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+/// `.rs` file, plus the layering rule over the crate manifests. The
+/// combined diagnostics are globally sorted by (file, line, col, rule) so
+/// output order never depends on walk or rule iteration order.
+pub fn lint_workspace_outcome(root: &Path) -> io::Result<LintOutcome> {
     let (sources, manifests) = discover(root)?;
-    let mut diags = Vec::new();
+    let mut out = LintOutcome::default();
     for path in &sources {
         let rel = relative(root, path);
         let src = fs::read_to_string(path)?;
-        diags.extend(lint_source(&rel, &src));
+        let one = lint_source_outcome(&rel, &src);
+        out.diags.extend(one.diags);
+        out.suppressed += one.suppressed;
     }
-    diags.extend(rules::layering::check_manifests(root, &manifests)?);
-    Ok(diags)
+    out.diags
+        .extend(rules::layering::check_manifests(root, &manifests)?);
+    out.diags
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(out)
+}
+
+/// Lint the whole workspace rooted at `root` (diagnostics only).
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    Ok(lint_workspace_outcome(root)?.diags)
 }
 
 #[cfg(test)]

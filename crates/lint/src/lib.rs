@@ -17,6 +17,19 @@
 //!   common → geo/quantum → orbit → channel/routing → net → core → bench
 //!   stack.
 //!
+//! On top of the pattern rules sits a lightweight *semantic* layer: a
+//! brace-tree parser ([`parse`]) recovering delimiter nesting, `fn`
+//! signatures, `use` imports and closures from the masked token stream,
+//! and a scoped symbol table ([`symbols`]) resolving identifier uses to
+//! binding sites. Five semantic rules walk that structure:
+//!
+//! - [`rules::unit_safety`] — dB values never mix with linear η;
+//! - [`rules::typed_index`] — `HostId`/`SatId`/`StepId` never cross-index;
+//! - [`rules::float_reduction`] — no order-sensitive f64 reductions on
+//!   parallel chains in the hot paths;
+//! - [`rules::rayon_capture`] — `par_*` closures own their mutable state;
+//! - [`rules::result_swallow`] — library code never drops a `Result`.
+//!
 //! Pattern rules never fire inside comments or string/char/raw-string
 //! literals: [`lexer`] masks those before any matching happens, and the
 //! property suite in `tests/` hammers exactly that boundary. Intentional
@@ -26,14 +39,16 @@
 //!
 //! The crate has zero runtime dependencies on purpose: it must build in
 //! the offline vendored workspace, and a CI gate should be trivially
-//! auditable. See DESIGN.md §11 for the full rule contract and how to add
-//! a rule.
+//! auditable. See DESIGN.md §11 and §16 for the full rule contract and
+//! how to add a rule.
 
 pub mod diag;
 pub mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod pragma;
 pub mod rules;
+pub mod symbols;
 
 pub use diag::Diagnostic;
-pub use engine::{lint_source, lint_workspace};
+pub use engine::{lint_source, lint_workspace, lint_workspace_outcome, LintOutcome};

@@ -47,7 +47,8 @@ const HOT_PATHS: &[&str] = &[
     "crates/quantum/src/memory.rs",
 ];
 
-fn in_scope(rel: &str) -> bool {
+/// Hot-path scope shared with the `float-reduction` rule.
+pub(crate) fn in_scope(rel: &str) -> bool {
     HOT_PATHS.contains(&rel) || rel.starts_with("crates/core/src/experiments/")
 }
 

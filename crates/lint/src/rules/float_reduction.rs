@@ -1,0 +1,92 @@
+//! `float-reduction` — no order-sensitive f64 reductions on parallel chains.
+//!
+//! Float addition does not associate, so `par_iter().map(…).sum::<f64>()`
+//! produces different bits depending on how rayon splits the work — which
+//! breaks the workspace's sequential/parallel bit-identity contract
+//! (`tests/pipeline_goldens.rs`). The blessed shape is the one
+//! `SweepEngine::map_steps` uses: parallelism over *chunks*, with a
+//! strictly sequential reduction inside each chunk closure, merged in
+//! deterministic chunk order.
+//!
+//! The rule scans the determinism hot-path list for a `par_*` adapter and
+//! flags any `.sum()` / `.fold()` / `.reduce()` **on the same chain level**
+//! when `f64` evidence appears in the statement. A reduction *inside* a
+//! worker closure sits in a deeper brace/paren node than the parallel
+//! chain itself, so the blessed per-chunk shape is structurally exempt —
+//! that nesting distinction is exactly what the brace tree buys over the
+//! old pattern engine.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub const ID: &str = "float-reduction";
+
+const MESSAGE: &str = "f64 reductions on a parallel chain are order-sensitive and \
+     break sweep bit-identity: reduce sequentially per chunk (the \
+     SweepEngine::map_steps shape) and merge in chunk order";
+
+/// The rayon adapters that make a chain parallel.
+const PAR_ADAPTERS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+];
+
+/// The order-sensitive terminal reductions.
+const REDUCTIONS: &[&str] = &["sum", "fold", "reduce"];
+
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !super::determinism::in_scope(ctx.rel) || ctx.is_test_file() {
+        return Vec::new();
+    }
+    let tv = ctx.tokens;
+    let n = tv.toks().len();
+    let mut flagged: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    for p in 0..n {
+        if !tv.toks()[p].is_ident || !PAR_ADAPTERS.contains(&tv.text(p)) {
+            continue;
+        }
+        let node = ctx.tree.enclosing(p);
+        let (_, stmt_end) = ctx.tree.stmt_range(tv, p);
+        for m in p + 1..stmt_end {
+            if !tv.toks()[m].is_ident
+                || !REDUCTIONS.contains(&tv.text(m))
+                || m == 0
+                || tv.text(m - 1) != "."
+            {
+                continue;
+            }
+            // Same chain level as the par adapter: a reduction nested in a
+            // worker closure lives in a deeper node and is the blessed
+            // sequential-per-chunk shape.
+            if ctx.tree.enclosing(m) != node {
+                continue;
+            }
+            // f64 evidence anywhere in the statement (`::<f64>`, a
+            // `Vec<f64>` annotation, an `f64::` accumulator, …).
+            let (stmt_start, _) = ctx.tree.stmt_range(tv, m);
+            let has_f64 = (stmt_start..stmt_end).any(|k| tv.text(k) == "f64");
+            if !has_f64 || flagged.contains(&m) {
+                continue;
+            }
+            flagged.push(m);
+            let (line, col) = ctx.scan.position(tv.toks()[m].start);
+            if ctx.is_test_line(line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: ctx.rel.to_string(),
+                line,
+                col,
+                rule: ID,
+                message: format!("{MESSAGE} (`.{}()` after `{}`)", tv.text(m), tv.text(p)),
+                snippet: ctx.scan.line_text(ctx.src, line).trim().to_string(),
+            });
+        }
+    }
+    out
+}

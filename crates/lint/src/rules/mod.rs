@@ -1,5 +1,7 @@
 //! The enforced invariants, one module per rule.
 //!
+//! Pattern rules (masked-token matching, PR 5):
+//!
 //! | rule id | invariant |
 //! |---|---|
 //! | `single-materializer` | per-step topology graphs are built only by `qntn_net::pipeline::build_topology_into` |
@@ -9,20 +11,80 @@
 //! | `layering` | crate dependency edges respect common → geo/quantum → orbit → channel/routing → net → core → bench |
 //! | `bad-pragma` | (meta) every `qntn-lint:` pragma parses, names a real rule, and carries a reason |
 //!
+//! Semantic rules (brace tree + symbol table, this PR):
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `unit-safety` | dB values never flow into η-named locals/params without an explicit conversion |
+//! | `typed-index` | `HostId`/`SatId`/`StepId` values only index their own family's containers |
+//! | `float-reduction` | hot paths never run order-sensitive f64 reductions on a parallel chain |
+//! | `rayon-capture` | `par_*` closures capture no `&mut` outer binding and no `RefCell`/`Cell` |
+//! | `result-swallow` | library code never silently discards a `Result`-returning call |
+//!
 //! Adding a rule: create a module with an `ID` and a `check(&FileCtx)`
-//! (or a manifest pass), register the id in [`RULE_IDS`] and the call in
+//! (or a manifest pass), register it in [`RULES`] and the call in
 //! [`check_source`], and add positive/negative fixtures under
-//! `crates/lint/fixtures/` (see `tests/fixtures.rs`). DESIGN.md §11
-//! documents the contract.
+//! `crates/lint/fixtures/` (see `tests/fixtures.rs`). DESIGN.md §11 and
+//! §16 document the contract.
 
 use crate::diag::Diagnostic;
 use crate::engine::FileCtx;
 
 pub mod atomic_writes;
 pub mod determinism;
+pub mod float_reduction;
 pub mod layering;
 pub mod no_panic_bins;
+pub mod rayon_capture;
+pub mod result_swallow;
 pub mod single_materializer;
+pub mod typed_index;
+pub mod unit_safety;
+
+/// Every rule with its one-line description, in display order
+/// (pattern rules first, then the semantic rules).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        single_materializer::ID,
+        "per-step topology graphs are built only by qntn_net::pipeline::build_topology_into",
+    ),
+    (
+        atomic_writes::ID,
+        "artifact bytes reach disk only through qntn_common::atomic_write",
+    ),
+    (
+        no_panic_bins::ID,
+        "workspace binaries are panic-free (QntnError + exit-code contract)",
+    ),
+    (
+        determinism::ID,
+        "sweep/pipeline hot paths read no wall clock and iterate no unordered maps",
+    ),
+    (
+        layering::ID,
+        "crate dependency edges respect the common -> ... -> bench layering",
+    ),
+    (
+        unit_safety::ID,
+        "dB values never flow into eta-named locals/params without explicit conversion",
+    ),
+    (
+        typed_index::ID,
+        "HostId/SatId/StepId values only index their own family's containers",
+    ),
+    (
+        float_reduction::ID,
+        "hot paths never run order-sensitive f64 reductions on a parallel chain",
+    ),
+    (
+        rayon_capture::ID,
+        "par_* closures capture no &mut outer binding and no RefCell/Cell",
+    ),
+    (
+        result_swallow::ID,
+        "library code never silently discards a Result-returning call",
+    ),
+];
 
 /// Every rule id a pragma may name.
 pub const RULE_IDS: &[&str] = &[
@@ -31,6 +93,11 @@ pub const RULE_IDS: &[&str] = &[
     no_panic_bins::ID,
     determinism::ID,
     layering::ID,
+    unit_safety::ID,
+    typed_index::ID,
+    float_reduction::ID,
+    rayon_capture::ID,
+    result_swallow::ID,
 ];
 
 /// Run every source-level rule on one file.
@@ -40,5 +107,10 @@ pub fn check_source(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
     out.extend(atomic_writes::check(ctx));
     out.extend(no_panic_bins::check(ctx));
     out.extend(determinism::check(ctx));
+    out.extend(unit_safety::check(ctx));
+    out.extend(typed_index::check(ctx));
+    out.extend(float_reduction::check(ctx));
+    out.extend(rayon_capture::check(ctx));
+    out.extend(result_swallow::check(ctx));
     out
 }

@@ -1,0 +1,154 @@
+//! `rayon-capture` — worker closures own their mutable state.
+//!
+//! A closure handed to a `par_*` adapter runs concurrently. Capturing a
+//! `&mut` to an outer binding in one either fails to compile (rayon wants
+//! `Fn`/`Sync`) or — with interior mutability via `RefCell`/`Cell` —
+//! compiles and then panics or races at runtime, nondeterministically.
+//! Both patterns have shown up in review on the serve/overload hot paths;
+//! this rule rejects them before a human has to.
+//!
+//! Candidates are exactly the closures passed *directly* in the parallel
+//! call's argument list: the closure's enclosing paren must hang off the
+//! same node as the `par_*` token itself. That structural restriction is
+//! what exempts the blessed `map_steps` shape — its inner per-chunk
+//! closure takes `&mut scratch` of a binding created *inside* the outer
+//! worker closure, which is per-worker state and perfectly safe. Two
+//! checks fire on a candidate body:
+//!
+//! - `&mut name` where `name` resolves to a binding declared outside the
+//!   closure (and is not a closure parameter);
+//! - a use of an outer binding whose type or constructor ends in `Cell`
+//!   (`RefCell`, `Cell`, `OnceCell`, `UnsafeCell`).
+//!
+//! Unresolvable names never fire, and per-(closure, name) deduplication
+//! keeps one diagnostic per offending capture.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::parse::{Closure, DelimKind};
+
+pub const ID: &str = "rayon-capture";
+
+const MESSAGE: &str = "closures passed to par_* must not capture &mut of an outer \
+     binding or a RefCell/Cell: give each worker its own state (bind the \
+     scratch inside the worker closure) or reduce with map/collect";
+
+/// The rayon adapters whose closure arguments run concurrently.
+const PAR_ADAPTERS: &[&str] = &[
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_chunks",
+    "par_chunks_mut",
+    "par_bridge",
+];
+
+/// Does the binding's type annotation or initializer name an interior-
+/// mutability cell (`RefCell`, `Cell`, `OnceCell`, `UnsafeCell`)?
+fn is_cell_binding(b: &crate::symbols::Binding, tv: &crate::lexer::TokenView<'_>) -> bool {
+    b.mentions(tv, |t| t.ends_with("Cell"))
+}
+
+/// Names bound *inside* the closure: its parameters, bindings whose site
+/// is in the body range, and any nested closure's parameters.
+fn inner_names(ctx: &FileCtx<'_>, c: &Closure) -> Vec<String> {
+    let mut names: Vec<String> = c.params.clone();
+    for b in ctx.symbols.bindings() {
+        if c.contains(b.tok) {
+            names.push(b.name.clone());
+        }
+    }
+    for other in ctx.closures {
+        if other.start != c.start && c.contains(other.start) {
+            names.extend(other.params.iter().cloned());
+        }
+    }
+    names
+}
+
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if ctx.is_test_file() {
+        return Vec::new();
+    }
+    let tv = ctx.tokens;
+    let n = tv.toks().len();
+    let mut out = Vec::new();
+    for p in 0..n {
+        if !tv.toks()[p].is_ident || !PAR_ADAPTERS.contains(&tv.text(p)) {
+            continue;
+        }
+        let chain_node = ctx.tree.enclosing(p);
+        let (_, stmt_end) = ctx.tree.stmt_range(tv, p);
+        for c in ctx.closures {
+            if c.start <= p || c.start >= stmt_end {
+                continue;
+            }
+            // Passed directly in the parallel chain: the closure's paren
+            // hangs off the chain's own node. Nested worker-internal
+            // closures hang deeper and are exempt.
+            let paren = ctx.tree.node(c.node);
+            if paren.kind != DelimKind::Paren || paren.parent != chain_node {
+                continue;
+            }
+            check_closure(ctx, c, &mut out);
+        }
+    }
+    out.sort_by_key(|d| (d.line, d.col));
+    out.dedup();
+    out
+}
+
+fn check_closure(ctx: &FileCtx<'_>, c: &Closure, out: &mut Vec<Diagnostic>) {
+    let tv = ctx.tokens;
+    let inner = inner_names(ctx, c);
+    let mut seen: Vec<&str> = Vec::new();
+    let flag = |tok: usize, detail: String, out: &mut Vec<Diagnostic>| {
+        let (line, col) = ctx.scan.position(tv.toks()[tok].start);
+        if ctx.is_test_line(line) {
+            return;
+        }
+        out.push(Diagnostic {
+            file: ctx.rel.to_string(),
+            line,
+            col,
+            rule: ID,
+            message: format!("{MESSAGE} ({detail})"),
+            snippet: ctx.scan.line_text(ctx.src, line).trim().to_string(),
+        });
+    };
+    for m in c.body.0..c.body.1.min(tv.toks().len()) {
+        if !tv.toks()[m].is_ident {
+            continue;
+        }
+        let name = tv.text(m);
+        if inner.iter().any(|i| i == name) || seen.contains(&name) {
+            continue;
+        }
+        // A field access or path segment is not a capture of `name`.
+        if m > 0 && matches!(tv.text(m - 1), "." | ":") {
+            continue;
+        }
+        let Some(b) = ctx
+            .symbols
+            .resolve(ctx.tree, name, m, ctx.tree.enclosing(m))
+        else {
+            continue;
+        };
+        // Outer = bound before the closure starts, outside its body.
+        if c.contains(b.tok) {
+            continue;
+        }
+        let is_mut_ref = m >= 2 && tv.text(m - 1) == "mut" && tv.text(m - 2) == "&";
+        if is_mut_ref {
+            seen.push(name);
+            flag(m, format!("`&mut {name}` captures an outer binding"), out);
+        } else if is_cell_binding(b, tv) {
+            seen.push(name);
+            flag(
+                m,
+                format!("`{name}` is a RefCell/Cell captured from outside"),
+                out,
+            );
+        }
+    }
+}

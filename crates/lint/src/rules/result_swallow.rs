@@ -1,0 +1,174 @@
+//! `result-swallow` — library code never silently discards a `Result`.
+//!
+//! `let _ = file.sync_all();` compiles without a warning and turns a
+//! durability failure into silence — the exact failure mode the
+//! atomic-write contract exists to prevent. This rule flags two discard
+//! shapes in non-test *library* code (binaries own the exit-code contract
+//! and are covered by `no-panic-bins`):
+//!
+//! - `let _ = call(…);` where the trailing call is known to return
+//!   `Result`;
+//! - a bare `call(…);` statement for a same-file `fn` that declares a
+//!   `Result` return.
+//!
+//! "Known to return `Result`" is deliberately under-approximate, so a
+//! false positive is structurally impossible: a same-file `fn` whose
+//! parsed signature mentions `Result`, an allowlisted std method
+//! (`sync_all`, `write_all`, `flush`, …), or an allowlisted `std::fs`
+//! path function (directly or through a parsed `use` import). Anything
+//! else — unknown methods, cross-crate calls — is presumed innocent.
+//!
+//! The escape hatch is to *handle* the value, even minimally: `?`,
+//! `.ok()`, a match, or logging all change the trailing token shape and
+//! are not discards. A truly best-effort call keeps the reasoned pragma.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::parse::DelimKind;
+
+pub const ID: &str = "result-swallow";
+
+const MESSAGE: &str = "a Result-returning call must not be silently discarded: \
+     propagate with `?`, handle the error, or make the intent explicit \
+     with `.ok()` / a reasoned pragma";
+
+/// Std methods that return `Result` and are worth never dropping.
+const KNOWN_METHODS: &[&str] = &["sync_all", "sync_data", "write_all", "flush", "set_len"];
+
+/// Std path functions that return `Result` (matched by `::`-path suffix).
+const KNOWN_FNS: &[&str] = &[
+    "fs::remove_file",
+    "fs::rename",
+    "fs::create_dir_all",
+    "fs::hard_link",
+    "fs::copy",
+    "fs::set_permissions",
+];
+
+fn path_is_known(path: &str) -> bool {
+    KNOWN_FNS.iter().any(|k| {
+        path == *k || path.ends_with(&format!("::{k}")) || k.ends_with(&format!("::{path}"))
+    })
+}
+
+/// Is the file in scope — non-test library code (binaries are excluded)?
+fn in_scope(rel: &str) -> bool {
+    !rel.contains("/src/bin/") && !rel.ends_with("src/main.rs")
+}
+
+/// Classify the call whose closing paren is at `close_tok`: does it return
+/// `Result` by one of the under-approximate evidence sources?
+fn call_returns_result(ctx: &FileCtx<'_>, close_tok: usize) -> Option<String> {
+    let tv = ctx.tokens;
+    let pnode = ctx.tree.enclosing(close_tok);
+    let node = ctx.tree.node(pnode);
+    if node.kind != DelimKind::Paren || node.close != close_tok || node.open == 0 {
+        return None;
+    }
+    let callee = node.open - 1;
+    if !tv.toks()[callee].is_ident {
+        return None;
+    }
+    let name = tv.text(callee);
+    let is_method = callee >= 1 && tv.text(callee - 1) == ".";
+    if is_method {
+        return KNOWN_METHODS.contains(&name).then(|| format!(".{name}()"));
+    }
+    // Path call: walk `seg :: seg :: name` backwards.
+    let mut segs = vec![name.to_string()];
+    let mut k = callee;
+    while k >= 3 && tv.text(k - 1) == ":" && tv.text(k - 2) == ":" && tv.toks()[k - 3].is_ident {
+        segs.push(tv.text(k - 3).to_string());
+        k -= 3;
+    }
+    if segs.len() > 1 {
+        segs.reverse();
+        let joined = segs.join("::");
+        return path_is_known(&joined).then_some(joined);
+    }
+    // Bare call: a same-file fn declaring Result, or a `use`-imported
+    // known std fn.
+    if ctx
+        .fns
+        .iter()
+        .any(|f| f.name == name && f.returns("Result"))
+    {
+        return Some(format!("{name}() [same-file fn returning Result]"));
+    }
+    if ctx
+        .uses
+        .iter()
+        .any(|u| u.leaf == name && path_is_known(&u.joined()))
+    {
+        return Some(format!("{name}() [imported std fs call]"));
+    }
+    None
+}
+
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !in_scope(ctx.rel) || ctx.is_test_file() {
+        return Vec::new();
+    }
+    let tv = ctx.tokens;
+    let n = tv.toks().len();
+    let mut out = Vec::new();
+    let mut flag = |tok: usize, detail: String| {
+        let (line, col) = ctx.scan.position(tv.toks()[tok].start);
+        if ctx.is_test_line(line) {
+            return;
+        }
+        out.push(Diagnostic {
+            file: ctx.rel.to_string(),
+            line,
+            col,
+            rule: ID,
+            message: format!("{MESSAGE} ({detail})"),
+            snippet: ctx.scan.line_text(ctx.src, line).trim().to_string(),
+        });
+    };
+
+    // Form A: `let _ = <expr ending in a known call>;`
+    for i in 0..n {
+        if !tv.matches_at(i, &["let", "_", "="]) {
+            continue;
+        }
+        let node = ctx.tree.enclosing(i);
+        let Some(semi) = (i + 3..ctx.tree.node(node).close.min(n))
+            .find(|&m| ctx.tree.enclosing(m) == node && tv.text(m) == ";")
+        else {
+            continue;
+        };
+        // The discard is only a discard when the *last* thing before `;`
+        // is a call — `.ok()`, `?` and plain moves change this shape.
+        if semi == 0 || tv.text(semi - 1) != ")" {
+            continue;
+        }
+        if let Some(what) = call_returns_result(ctx, semi - 1) {
+            flag(i, format!("`let _ =` discards `{what}`"));
+        }
+    }
+
+    // Form B: a bare `call(…);` statement for a same-file Result fn.
+    for f in ctx.fns {
+        if !f.returns("Result") {
+            continue;
+        }
+        for m in 1..n.saturating_sub(1) {
+            if !tv.toks()[m].is_ident || tv.text(m) != f.name || tv.text(m + 1) != "(" {
+                continue;
+            }
+            // Statement-leading position: the previous token closes a
+            // statement or opens a block (so `return f();`, `let x = f();`
+            // and `f()?;` are all out).
+            if !matches!(tv.text(m - 1), ";" | "{" | "}") {
+                continue;
+            }
+            let pnode = ctx.tree.enclosing(m + 1);
+            let close = ctx.tree.node(pnode).close;
+            if close + 1 < n && tv.text(close + 1) == ";" {
+                flag(m, format!("bare `{}();` drops a same-file Result", f.name));
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,141 @@
+//! `typed-index` — `HostId`/`SatId`/`StepId` families never cross-index.
+//!
+//! `qntn_common` wraps raw indices in transparent newtypes precisely so a
+//! satellite index cannot land in a host-keyed slice. The type system
+//! enforces that for typed containers — but the hot paths store flat
+//! `Vec`s and index them with `h.index()`, at which point everything is
+//! `usize` again and the compiler is out of the loop.
+//!
+//! This rule puts the families back: a binding is assigned a family from
+//! its type annotation or constructor (`HostId`, `SatId`, `StepId`, or a
+//! `Family::from(...)` / `Family(...)` initializer), a container is
+//! assigned a family from its name (`host*`/`sat*`/`step*` segments), and
+//! an indexing expression `container[ident]` where the two families
+//! disagree is a violation.
+//!
+//! The escape hatch is the one the issue names: an explicit `.index()`
+//! call in the bracket (`hosts[sat.index()]`) is a visible, reviewable
+//! cast and is never flagged. Unknown names and unannotated bindings have
+//! no family, and no-family never fires.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+
+pub const ID: &str = "typed-index";
+
+const MESSAGE: &str = "typed index families must not cross: a HostId/SatId/StepId \
+     value may only index its own family's container (write an explicit \
+     `.index()` at the use site to cast on purpose)";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Family {
+    Host,
+    Sat,
+    Step,
+}
+
+impl Family {
+    fn of_type(name: &str) -> Option<Family> {
+        match name {
+            "HostId" => Some(Family::Host),
+            "SatId" => Some(Family::Sat),
+            "StepId" => Some(Family::Step),
+            _ => None,
+        }
+    }
+
+    fn of_container(name: &str) -> Option<Family> {
+        // A container is keyed by the family its name leads with:
+        // `host_windows`, `sat_states`, `steps`, …
+        let first = name.split('_').next().unwrap_or(name);
+        match first {
+            "host" | "hosts" => Some(Family::Host),
+            "sat" | "sats" => Some(Family::Sat),
+            "step" | "steps" => Some(Family::Step),
+            _ => None,
+        }
+    }
+}
+
+/// The family of the identifier at `tok`, from the binding it resolves to
+/// (type annotation or `Family::from(...)` / `Family(...)` initializer).
+fn ident_family(ctx: &FileCtx<'_>, tok: usize) -> Option<Family> {
+    let tv = ctx.tokens;
+    let b = ctx
+        .symbols
+        .resolve(ctx.tree, tv.text(tok), tok, ctx.tree.enclosing(tok))?;
+    if let Some(fam) = b.ty.iter().find_map(|t| Family::of_type(t)) {
+        return Some(fam);
+    }
+    // Initializer starting `Family (` or `Family :: from` etc.
+    if b.init.1 > b.init.0 {
+        if let Some(fam) = Family::of_type(tv.text(b.init.0)) {
+            return Some(fam);
+        }
+    }
+    None
+}
+
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if ctx.is_test_file() {
+        return Vec::new();
+    }
+    let tv = ctx.tokens;
+    let n = tv.toks().len();
+    let mut out = Vec::new();
+    for m in 1..n {
+        if tv.text(m) != "[" {
+            continue;
+        }
+        // `container [` — the token before the bracket names the container.
+        let cont = m - 1;
+        if !tv.toks()[cont].is_ident {
+            continue;
+        }
+        let Some(cont_fam) = Family::of_container(tv.text(cont)) else {
+            continue;
+        };
+        let bnode = ctx.tree.enclosing(m);
+        if ctx.tree.node(bnode).open != m {
+            continue;
+        }
+        let close = ctx.tree.node(bnode).close.min(n);
+        // The escape hatch: any `.index()` inside the bracket is an
+        // explicit cast, never flagged.
+        let has_cast =
+            (m + 1..close).any(|k| tv.text(k) == "." && k + 1 < close && tv.text(k + 1) == "index");
+        if has_cast {
+            continue;
+        }
+        // The index expression must lead with a bare identifier whose
+        // binding carries a family.
+        let first = m + 1;
+        if first >= close || !tv.toks()[first].is_ident {
+            continue;
+        }
+        let Some(idx_fam) = ident_family(ctx, first) else {
+            continue;
+        };
+        if idx_fam != cont_fam {
+            let (line, col) = ctx.scan.position(tv.toks()[first].start);
+            if ctx.is_test_line(line) {
+                continue;
+            }
+            out.push(Diagnostic {
+                file: ctx.rel.to_string(),
+                line,
+                col,
+                rule: ID,
+                message: format!(
+                    "{MESSAGE} (`{}` is {:?}-keyed but `{}` is a {:?} index)",
+                    tv.text(cont),
+                    cont_fam,
+                    tv.text(first),
+                    idx_fam
+                ),
+                snippet: ctx.scan.line_text(ctx.src, line).trim().to_string(),
+            });
+        }
+    }
+    out
+}

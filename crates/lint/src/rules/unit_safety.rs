@@ -1,0 +1,223 @@
+//! `unit-safety` — dB values and linear η never mix silently.
+//!
+//! The link budget lives in two representations: logarithmic dB (losses,
+//! `qntn_channel::units::linear_to_db`, `*_db` accessors) and linear
+//! transmittance η ∈ [0, 1] (everything the routing metric multiplies).
+//! Multiplying a dB figure into an η product, or handing a dB value to an
+//! η-named parameter, is the classic silent unit bug: the code compiles,
+//! the sweep runs, and every SLO report is wrong by orders of magnitude.
+//!
+//! The rule tracks, per function, which locals are **dB-tainted** (bound
+//! from a `*_db` call, or themselves `*_db`-named) and flags three flows:
+//!
+//! - a dB value multiplied with an η-named identifier (either side);
+//! - a dB value passed bare as an argument whose same-file parameter is
+//!   η-named (and the reverse: an η identifier into a `*_db`/`db` param);
+//! - an η-named binding initialized from a dB call or dB-tainted local.
+//!
+//! The conversion functions are the escape hatch: anything inside a
+//! `db_to_linear(…)` argument list is a legitimate crossing and is never
+//! flagged. η-naming means a whole `eta` word segment (`eta`, `eta_up`,
+//! `mean_eta` — not `beta` or `meta`), so the rule cannot fire on
+//! unrelated Greek.
+
+use crate::diag::Diagnostic;
+use crate::engine::FileCtx;
+use crate::parse::DelimKind;
+
+pub const ID: &str = "unit-safety";
+
+const MESSAGE: &str = "dB and linear-eta values must not mix: convert with \
+     qntn_channel::units::db_to_linear / linear_to_db at the boundary \
+     instead of letting a dB figure flow into an eta expression";
+
+/// Does the name carry a whole `eta` segment?
+pub(crate) fn is_eta_name(name: &str) -> bool {
+    name.split('_').any(|seg| seg == "eta")
+}
+
+/// Is the name dB-flavored (`loss_db`, `linear_to_db`, bare `db`)?
+pub(crate) fn is_db_name(name: &str) -> bool {
+    name == "db" || name.ends_with("_db")
+}
+
+/// Is `tok` inside the argument list of a `db_to_linear(...)` call (the
+/// blessed dB → η conversion point)?
+fn in_conversion(ctx: &FileCtx<'_>, tok: usize) -> bool {
+    let mut node = ctx.tree.enclosing(tok);
+    loop {
+        let n = ctx.tree.node(node);
+        if n.kind == DelimKind::Paren && n.open > 0 && ctx.tokens.text(n.open - 1) == "db_to_linear"
+        {
+            return true;
+        }
+        if n.parent == node {
+            return false;
+        }
+        node = n.parent;
+    }
+}
+
+/// Is the identifier at `tok` dB-valued — by name, or by resolving to a
+/// binding whose initializer contains a `*_db` call outside a conversion?
+fn is_db_value(ctx: &FileCtx<'_>, tok: usize) -> bool {
+    let name = ctx.tokens.text(tok);
+    if is_db_name(name) {
+        return true;
+    }
+    let Some(b) = ctx
+        .symbols
+        .resolve(ctx.tree, name, tok, ctx.tree.enclosing(tok))
+    else {
+        return false;
+    };
+    init_has_db_source(ctx, b.init)
+}
+
+/// Does the token range contain a `*_db` call (or a dB-named identifier)
+/// outside a `db_to_linear` conversion?
+fn init_has_db_source(ctx: &FileCtx<'_>, range: (usize, usize)) -> bool {
+    (range.0..range.1).any(|m| {
+        ctx.tokens.toks().get(m).is_some_and(|t| t.is_ident)
+            && is_db_name(ctx.tokens.text(m))
+            && !in_conversion(ctx, m)
+    })
+}
+
+pub fn check(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if ctx.is_test_file() {
+        return Vec::new();
+    }
+    let tv = ctx.tokens;
+    let n = tv.toks().len();
+    let mut out = Vec::new();
+    let mut flag = |tok: usize, detail: String| {
+        let (line, col) = ctx.scan.position(tv.toks()[tok].start);
+        out.push(Diagnostic {
+            file: ctx.rel.to_string(),
+            line,
+            col,
+            rule: ID,
+            message: format!("{MESSAGE} ({detail})"),
+            snippet: ctx.scan.line_text(ctx.src, line).trim().to_string(),
+        });
+    };
+
+    // Multiplication mixing: `a * b` with one dB side and one η side.
+    for m in 1..n.saturating_sub(1) {
+        if tv.text(m) != "*" || tv.text(m + 1) == "=" {
+            continue;
+        }
+        let (l, r) = (m - 1, m + 1);
+        if !tv.toks()[l].is_ident || !tv.toks()[r].is_ident {
+            continue;
+        }
+        let (lt, rt) = (tv.text(l), tv.text(r));
+        let db_side = if is_db_value(ctx, l) && is_eta_name(rt) {
+            Some((l, lt, rt))
+        } else if is_db_value(ctx, r) && is_eta_name(lt) {
+            Some((r, rt, lt))
+        } else {
+            None
+        };
+        if let Some((tok, db, eta)) = db_side {
+            if !in_conversion(ctx, tok) {
+                flag(tok, format!("dB value `{db}` multiplied with eta `{eta}`"));
+            }
+        }
+    }
+
+    // Argument mixing against same-file signatures: a dB identifier into
+    // an η-named parameter, or an η identifier into a dB-named parameter.
+    for f in ctx.fns {
+        for call_tok in find_calls(ctx, &f.name) {
+            let pnode = ctx.tree.enclosing(call_tok + 1);
+            for (k, arg_tok) in bare_ident_args(ctx, pnode) {
+                let Some(param) = f.params.get(k) else {
+                    continue;
+                };
+                let arg = tv.text(arg_tok);
+                if is_eta_name(&param.name) && is_db_value(ctx, arg_tok) && !is_eta_name(arg) {
+                    flag(
+                        arg_tok,
+                        format!("dB value `{arg}` passed to eta parameter `{}`", param.name),
+                    );
+                } else if is_db_name(&param.name) && is_eta_name(arg) {
+                    flag(
+                        arg_tok,
+                        format!("eta value `{arg}` passed to dB parameter `{}`", param.name),
+                    );
+                }
+            }
+        }
+    }
+
+    // Binding mixing: an η-named binding fed from a dB source, or a
+    // dB-named binding aliasing an η identifier.
+    for b in ctx.symbols.bindings() {
+        if b.init.1 <= b.init.0 {
+            continue;
+        }
+        if is_eta_name(&b.name) && init_has_db_source(ctx, b.init) {
+            flag(
+                b.tok,
+                format!("eta binding `{}` initialized from a dB source", b.name),
+            );
+        } else if is_db_name(&b.name)
+            && b.init.1 - b.init.0 == 1
+            && tv.toks()[b.init.0].is_ident
+            && is_eta_name(tv.text(b.init.0))
+        {
+            flag(
+                b.tok,
+                format!("dB binding `{}` aliases an eta value", b.name),
+            );
+        }
+    }
+
+    out.sort_by_key(|d| (d.line, d.col));
+    out.dedup();
+    out.retain(|d| !ctx.is_test_line(d.line));
+    out
+}
+
+/// Token indices of every call site `name(` in the file.
+fn find_calls(ctx: &FileCtx<'_>, name: &str) -> Vec<usize> {
+    let tv = ctx.tokens;
+    (0..tv.toks().len().saturating_sub(1))
+        .filter(|&m| tv.toks()[m].is_ident && tv.text(m) == name && tv.text(m + 1) == "(")
+        .collect()
+}
+
+/// `(position, token)` of every top-level argument that is a single bare
+/// identifier (multi-token arguments are skipped — only a direct flow is
+/// judged).
+fn bare_ident_args(ctx: &FileCtx<'_>, pnode: usize) -> Vec<(usize, usize)> {
+    let tv = ctx.tokens;
+    let node = ctx.tree.node(pnode);
+    if node.kind != DelimKind::Paren {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    let mut seg: Vec<usize> = Vec::new();
+    for m in node.open + 1..node.close.min(tv.toks().len()) {
+        if ctx.tree.enclosing(m) == pnode && tv.text(m) == "," {
+            if let [only] = seg[..] {
+                if tv.toks()[only].is_ident {
+                    out.push((pos, only));
+                }
+            }
+            pos += 1;
+            seg.clear();
+        } else {
+            seg.push(m);
+        }
+    }
+    if let [only] = seg[..] {
+        if tv.toks()[only].is_ident {
+            out.push((pos, only));
+        }
+    }
+    out
+}

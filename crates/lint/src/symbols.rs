@@ -1,0 +1,338 @@
+//! The per-file symbol table: scoped bindings over the brace tree.
+//!
+//! Semantic rules reason about *where a value came from*, which means
+//! resolving an identifier use to the binding that introduced it. This
+//! module collects every binding site the rules care about —
+//!
+//! - `let` statements (including `if let` / `while let` patterns),
+//! - `for` loop patterns,
+//! - `fn` parameters (scoped to the function body),
+//!
+//! — each with its scope node, mutability, type-annotation tokens and
+//! initializer token range. Resolution is lexical: the nearest earlier
+//! binding whose scope node encloses the use site wins. A name that does
+//! not resolve stays unknown, and every rule treats unknown as innocent —
+//! the analysis is deliberately under-approximate, never guessing.
+//!
+//! No cross-file resolution exists on purpose: the rules that need
+//! signatures (unit-safety's parameter check, result-swallow's return
+//! types) only trust same-file `fn` items plus an explicit allowlist of
+//! well-known std APIs, which keeps false positives structurally
+//! impossible rather than merely unlikely.
+
+use crate::lexer::TokenView;
+use crate::parse::{parse_closures, FnSig, Tree};
+
+/// One binding site.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// The bound name.
+    pub name: String,
+    /// Token index of the name at the binding site.
+    pub tok: usize,
+    /// Scope: the node the binding is visible in (and below).
+    pub node: usize,
+    /// Was the binding declared `mut`?
+    pub is_mut: bool,
+    /// Type-annotation token texts (empty when unannotated).
+    pub ty: Vec<String>,
+    /// Initializer token range `[from, to)` (empty when there is none).
+    pub init: (usize, usize),
+}
+
+impl Binding {
+    /// Does the annotation or initializer mention `pred`-matching tokens?
+    pub fn mentions(&self, tv: &TokenView<'_>, pred: impl Fn(&str) -> bool) -> bool {
+        self.ty.iter().any(|t| pred(t)) || (self.init.0..self.init.1).any(|m| pred(tv.text(m)))
+    }
+}
+
+/// All bindings of one file, in source order.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    bindings: Vec<Binding>,
+}
+
+impl SymbolTable {
+    /// Collect bindings from `let`/`for` statements, function parameters
+    /// and closure parameters.
+    pub fn collect(tv: &TokenView<'_>, tree: &Tree, fns: &[FnSig]) -> SymbolTable {
+        let mut bindings = Vec::new();
+        collect_lets(tv, tree, &mut bindings);
+        collect_fors(tv, tree, &mut bindings);
+        for f in fns {
+            if let Some(body) = f.body {
+                for p in &f.params {
+                    bindings.push(Binding {
+                        name: p.name.clone(),
+                        tok: p.tok,
+                        node: body,
+                        is_mut: p.ty.first().is_some_and(|t| t == "mut"),
+                        ty: p.ty.clone(),
+                        init: (0, 0),
+                    });
+                }
+            }
+        }
+        // Closure parameters bind inside the closure body; recording them
+        // with the body's start as scope start keeps resolution lexical.
+        for c in parse_closures(tv, tree) {
+            let node = tree.enclosing(c.body.0);
+            for name in &c.params {
+                bindings.push(Binding {
+                    name: name.clone(),
+                    tok: c.start,
+                    node,
+                    is_mut: false,
+                    ty: Vec::new(),
+                    init: (0, 0),
+                });
+            }
+        }
+        bindings.sort_by_key(|b| b.tok);
+        SymbolTable { bindings }
+    }
+
+    /// Every binding, in source order.
+    pub fn bindings(&self) -> &[Binding] {
+        &self.bindings
+    }
+
+    /// Resolve a use of `name` at token `at` (inside node `at_node`) to
+    /// the nearest earlier binding whose scope encloses the use site.
+    pub fn resolve(&self, tree: &Tree, name: &str, at: usize, at_node: usize) -> Option<&Binding> {
+        self.bindings
+            .iter()
+            .filter(|b| b.name == name && b.tok < at && tree.is_within(at_node, b.node))
+            .max_by_key(|b| b.tok)
+    }
+}
+
+/// Scan for `let` bindings (plain, `if let`, `while let`, `let … else`).
+fn collect_lets(tv: &TokenView<'_>, tree: &Tree, out: &mut Vec<Binding>) {
+    let n = tv.toks().len();
+    for i in 0..n {
+        if tv.text(i) != "let" || !tv.toks()[i].is_ident {
+            continue;
+        }
+        let node = tree.enclosing(i);
+        let mut j = i + 1;
+        let is_mut = j < n && tv.text(j) == "mut";
+        if is_mut {
+            j += 1;
+        }
+        // Pattern: identifiers until a top-level `:`, `=` or `;`.
+        // (Destructuring groups open child nodes, so their internal
+        // punctuation never terminates the scan.)
+        let mut names: Vec<usize> = Vec::new();
+        let mut ty_start = None;
+        let mut eq = None;
+        while j < n {
+            let e = tree.enclosing(j);
+            let t = tv.text(j);
+            if e == node && (t == ";" || t == "=") {
+                if t == "=" && tv.text((j + 1).min(n - 1)) != "=" {
+                    eq = Some(j);
+                }
+                break;
+            }
+            if e == node && t == ":" && tv.text((j + 1).min(n - 1)) != ":" {
+                ty_start = Some(j + 1);
+                break;
+            }
+            if tv.toks()[j].is_ident && !matches!(t, "mut" | "ref") {
+                names.push(j);
+            }
+            j += 1;
+        }
+        // Type annotation: up to the `=` / `;`.
+        let mut ty = Vec::new();
+        if let Some(ts) = ty_start {
+            j = ts;
+            while j < n {
+                let e = tree.enclosing(j);
+                let t = tv.text(j);
+                if e == node && (t == ";" || (t == "=" && tv.text((j + 1).min(n - 1)) != "=")) {
+                    if t == "=" {
+                        eq = Some(j);
+                    }
+                    break;
+                }
+                ty.push(t.to_string());
+                j += 1;
+            }
+        }
+        // Initializer: from `=` to the statement's `;` (or, for
+        // `if let` / `while let`, to the block the condition opens).
+        let init = match eq {
+            Some(eq) => {
+                let from = eq + 1;
+                let close = tree.node(node).close.min(n);
+                let mut to = close;
+                for m in from..close {
+                    let e = tree.enclosing(m);
+                    if e == node && tv.text(m) == ";" {
+                        to = m;
+                        break;
+                    }
+                    // A block brace directly at this level ends an
+                    // `if let` / `while let` condition.
+                    if tv.text(m) == "{"
+                        && tree.node(e).open == m
+                        && tree.node(e).parent == node
+                        && i > 0
+                        && matches!(tv.text(i - 1), "if" | "while")
+                    {
+                        to = m;
+                        break;
+                    }
+                }
+                (from, to)
+            }
+            None => (0, 0),
+        };
+        for &name_tok in &names {
+            out.push(Binding {
+                name: tv.text(name_tok).to_string(),
+                tok: name_tok,
+                node,
+                is_mut,
+                ty: ty.clone(),
+                init,
+            });
+        }
+    }
+}
+
+/// Scan for `for <pattern> in …` loop bindings.
+fn collect_fors(tv: &TokenView<'_>, tree: &Tree, out: &mut Vec<Binding>) {
+    let n = tv.toks().len();
+    for i in 0..n {
+        if tv.text(i) != "for" || !tv.toks()[i].is_ident {
+            continue;
+        }
+        let node = tree.enclosing(i);
+        let mut j = i + 1;
+        while j < n {
+            let t = tv.text(j);
+            if tree.enclosing(j) == node && (t == "in" || t == "{" || t == ";") {
+                break;
+            }
+            if tv.toks()[j].is_ident && !matches!(t, "mut" | "ref") {
+                out.push(Binding {
+                    name: t.to_string(),
+                    tok: j,
+                    node,
+                    is_mut: false,
+                    ty: Vec::new(),
+                    init: (0, 0),
+                });
+            }
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::parse::parse_fns;
+
+    fn table(src: &str) -> (crate::lexer::Scan, SymbolTable) {
+        let s = scan(src);
+        let tv = TokenView::new(&s);
+        let tree = Tree::build(&tv);
+        let fns = parse_fns(&tv, &tree);
+        let t = SymbolTable::collect(&tv, &tree, &fns);
+        (s, t)
+    }
+
+    fn names(t: &SymbolTable) -> Vec<&str> {
+        t.bindings().iter().map(|b| b.name.as_str()).collect()
+    }
+
+    #[test]
+    fn let_bindings_with_annotation_and_init() {
+        let (_, t) = table("fn f() { let mut x: f64 = a(); let y = x; }");
+        let b = &t.bindings()[1]; // params sort first? none here: x then y
+        let x = t.bindings().iter().find(|b| b.name == "x").unwrap();
+        assert!(x.is_mut);
+        assert_eq!(x.ty, ["f64"]);
+        assert!(x.init.1 > x.init.0);
+        assert_eq!(b.name, "y");
+    }
+
+    #[test]
+    fn destructuring_binds_every_identifier() {
+        let (_, t) = table("fn f() { let (a, b) = pair(); }");
+        assert!(names(&t).contains(&"a"));
+        assert!(names(&t).contains(&"b"));
+    }
+
+    #[test]
+    fn fn_params_bind_into_the_body() {
+        let src = "fn f(eta: f64) -> f64 { eta * 2.0 }";
+        let s = scan(src);
+        let tv = TokenView::new(&s);
+        let tree = Tree::build(&tv);
+        let fns = parse_fns(&tv, &tree);
+        let t = SymbolTable::collect(&tv, &tree, &fns);
+        let use_site = (0..tv.toks().len())
+            .rfind(|&m| tv.text(m) == "eta")
+            .unwrap();
+        let b = t
+            .resolve(&tree, "eta", use_site, tree.enclosing(use_site))
+            .unwrap();
+        assert_eq!(b.ty, ["f64"]);
+    }
+
+    #[test]
+    fn resolution_is_lexical_nearest_wins() {
+        let src = "fn f() { let x = 1; { let x = 2; use_it(x); } }";
+        let s = scan(src);
+        let tv = TokenView::new(&s);
+        let tree = Tree::build(&tv);
+        let t = SymbolTable::collect(&tv, &tree, &parse_fns(&tv, &tree));
+        let use_site = (0..tv.toks().len()).rfind(|&m| tv.text(m) == "x").unwrap();
+        let b = t
+            .resolve(&tree, "x", use_site, tree.enclosing(use_site))
+            .unwrap();
+        // The inner binding (init `2`) is the one that resolves.
+        assert_eq!(tv.text(b.init.0), "2");
+    }
+
+    #[test]
+    fn inner_binding_does_not_leak_out() {
+        let src = "fn f() { { let z = 1; } use_it(z); }";
+        let s = scan(src);
+        let tv = TokenView::new(&s);
+        let tree = Tree::build(&tv);
+        let t = SymbolTable::collect(&tv, &tree, &parse_fns(&tv, &tree));
+        let use_site = (0..tv.toks().len()).rfind(|&m| tv.text(m) == "z").unwrap();
+        assert!(t
+            .resolve(&tree, "z", use_site, tree.enclosing(use_site))
+            .is_none());
+    }
+
+    #[test]
+    fn if_let_init_stops_at_the_block() {
+        let (_, t) = table("fn f() { if let Some(v) = find() { v.go(); } }");
+        let v = t.bindings().iter().find(|b| b.name == "v").unwrap();
+        // The initializer is `find ( )` — not the block that follows.
+        assert!(v.init.1 - v.init.0 <= 4, "{:?}", v.init);
+    }
+
+    #[test]
+    fn for_pattern_binds() {
+        let (_, t) = table("fn f(xs: &[u32]) { for (k, v) in xs.iter().enumerate() { } }");
+        assert!(names(&t).contains(&"k"));
+        assert!(names(&t).contains(&"v"));
+    }
+
+    #[test]
+    fn closure_params_bind() {
+        let (_, t) = table("fn f(xs: &[u32]) { xs.iter().map(|q| q + 1).count(); }");
+        assert!(names(&t).contains(&"q"));
+    }
+}

@@ -56,6 +56,11 @@ fn bad_tree_exits_one_with_machine_readable_diagnostics() {
         "[determinism]",
         "[layering]",
         "[bad-pragma]",
+        "[unit-safety]",
+        "[typed-index]",
+        "[float-reduction]",
+        "[rayon-capture]",
+        "[result-swallow]",
     ] {
         assert!(stdout.contains(rule), "missing {rule} in:\n{stdout}");
     }
@@ -75,7 +80,7 @@ fn real_workspace_exits_zero() {
 }
 
 #[test]
-fn list_rules_prints_all_five_ids() {
+fn list_rules_prints_all_ten_ids_with_descriptions() {
     let out = qntn_lint(&["--list-rules"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -85,12 +90,22 @@ fn list_rules_prints_all_five_ids() {
         "no-panic-bins",
         "determinism",
         "layering",
+        "unit-safety",
+        "typed-index",
+        "float-reduction",
+        "rayon-capture",
+        "result-swallow",
     ] {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(&format!("{rule}  ")))
+            .unwrap_or_else(|| panic!("missing {rule}: {stdout}"));
         assert!(
-            stdout.lines().any(|l| l == rule),
-            "missing {rule}: {stdout}"
+            line.len() > rule.len() + 2,
+            "{rule} has no description: {line}"
         );
     }
+    assert_eq!(stdout.lines().count(), 10, "{stdout}");
 }
 
 #[test]
@@ -98,9 +113,77 @@ fn help_documents_flags_and_pragma() {
     let out = qntn_lint(&["--help"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    for needle in ["--root", "--list-rules", "qntn-lint: allow("] {
+    for needle in [
+        "--root",
+        "--list-rules",
+        "--format",
+        "--out",
+        "qntn-lint: allow(",
+        "unit-safety",
+        "typed-index",
+        "float-reduction",
+        "rayon-capture",
+        "result-swallow",
+    ] {
         assert!(stdout.contains(needle), "help lacks `{needle}`: {stdout}");
     }
+}
+
+#[test]
+fn json_format_is_byte_stable_across_runs() {
+    let root = fixture("bad_tree");
+    let one = qntn_lint(&["--root", &root, "--format", "json"]);
+    let two = qntn_lint(&["--root", &root, "--format", "json"]);
+    assert_eq!(one.status.code(), Some(1));
+    assert_eq!(
+        one.stdout, two.stdout,
+        "JSON output must be byte-identical across consecutive runs"
+    );
+    let text = String::from_utf8_lossy(&one.stdout);
+    assert!(text.contains("\"tool\": \"qntn-lint\""), "{text}");
+    assert!(text.contains("\"rule_count\": 10"), "{text}");
+    assert!(text.contains("\"violation_count\": 30"), "{text}");
+    assert!(text.contains("\"rule\": \"unit-safety\""), "{text}");
+}
+
+#[test]
+fn json_reports_pragma_suppressed_count() {
+    let out = qntn_lint(&["--root", &fixture("clean_tree"), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"violation_count\": 0"), "{text}");
+    assert!(text.contains("\"suppressed\": 6"), "{text}");
+    assert!(text.contains("\"violations\": []"), "{text}");
+}
+
+#[test]
+fn out_flag_writes_the_report_to_disk() {
+    let dir = std::env::temp_dir().join(format!("qntn-lint-out-{}", std::process::id()));
+    let path = dir.join("lint.json");
+    let out = qntn_lint(&[
+        "--root",
+        &fixture("clean_tree"),
+        "--format",
+        "json",
+        "--out",
+        path.to_str().expect("utf-8 tmp path"),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let written = std::fs::read(&path).expect("--out file written");
+    assert_eq!(
+        written, out.stdout,
+        "file contents match the printed report"
+    );
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir(&dir);
+}
+
+#[test]
+fn bad_format_value_exits_two() {
+    let out = qntn_lint(&["--format", "xml"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown format"), "{stderr}");
 }
 
 #[test]

@@ -5,7 +5,7 @@
 //! and comes back clean). A final test holds the real workspace itself to
 //! the lint-clean bar.
 
-use qntn_lint::{lint_workspace, Diagnostic};
+use qntn_lint::{lint_source, lint_workspace, Diagnostic};
 use std::path::{Path, PathBuf};
 
 fn fixture(tree: &str) -> PathBuf {
@@ -86,15 +86,104 @@ fn bad_tree_trips_layering() {
 fn bad_tree_reports_malformed_pragmas() {
     let diags = lint_fixture("bad_tree");
     let hits = rule_hits(&diags, "bad-pragma");
-    assert_eq!(hits.len(), 2, "{diags:#?}");
+    assert_eq!(hits.len(), 3, "{diags:#?}");
     assert!(hits.iter().all(|d| d.file == "crates/net/src/pragmas.rs"));
     assert!(hits.iter().any(|d| d.message.contains("no-such-rule")));
+    // An unknown rule from the semantic set (a typo of `unit-safety`)
+    // surfaces instead of silently disarming nothing.
+    assert!(hits.iter().any(|d| d.message.contains("unit-safty")));
+}
+
+#[test]
+fn bad_tree_trips_unit_safety_on_every_mixing_shape() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "unit-safety");
+    assert_eq!(hits.len(), 4, "{diags:#?}");
+    assert!(hits
+        .iter()
+        .all(|d| d.file == "crates/channel/src/budget.rs"));
+    let lines: Vec<usize> = hits.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![9, 10, 11, 12]);
+    assert!(hits[0].message.contains("multiplied with eta"));
+    assert!(hits[1].message.contains("initialized from a dB source"));
+    assert!(hits[2].message.contains("aliases an eta value"));
+    assert!(hits[3].message.contains("passed to eta parameter"));
+}
+
+#[test]
+fn bad_tree_trips_typed_index_across_families() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "typed-index");
+    assert_eq!(hits.len(), 2, "{diags:#?}");
+    assert!(hits.iter().all(|d| d.file == "crates/net/src/indexing.rs"));
+    let lines: Vec<usize> = hits.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![7, 12]);
+    assert!(hits[0].message.contains("`hosts` is Host-keyed"));
+    assert!(hits[1].message.contains("`step` is a Step index"));
+}
+
+#[test]
+fn bad_tree_trips_float_reduction_on_the_parallel_chain() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "float-reduction");
+    assert_eq!(hits.len(), 1, "{diags:#?}");
+    assert_eq!(hits[0].file, "crates/net/src/sweep_engine.rs");
+    assert_eq!(hits[0].line, 15);
+    assert!(hits[0].message.contains("`.sum()` after `par_iter`"));
+}
+
+#[test]
+fn bad_tree_trips_rayon_capture_on_both_shapes() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "rayon-capture");
+    assert_eq!(hits.len(), 2, "{diags:#?}");
+    assert!(hits.iter().all(|d| d.file == "crates/net/src/parallel.rs"));
+    let lines: Vec<usize> = hits.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![8, 14]);
+    assert!(hits[0]
+        .message
+        .contains("`&mut acc` captures an outer binding"));
+    assert!(hits[1].message.contains("`hits` is a RefCell/Cell"));
+}
+
+#[test]
+fn bad_tree_trips_result_swallow_on_every_discard_shape() {
+    let diags = lint_fixture("bad_tree");
+    let hits = rule_hits(&diags, "result-swallow");
+    assert_eq!(hits.len(), 3, "{diags:#?}");
+    assert!(hits
+        .iter()
+        .all(|d| d.file == "crates/common/src/cleanup.rs"));
+    let lines: Vec<usize> = hits.iter().map(|d| d.line).collect();
+    assert_eq!(lines, vec![11, 12, 13]);
+    assert!(hits[0].message.contains("std::fs::remove_file"));
+    assert!(hits[1].message.contains("imported std fs call"));
+    assert!(hits[2].message.contains("same-file Result"));
 }
 
 #[test]
 fn bad_tree_total_is_every_expected_violation_and_nothing_else() {
     let diags = lint_fixture("bad_tree");
-    assert_eq!(diags.len(), 17, "{diags:#?}");
+    assert_eq!(diags.len(), 30, "{diags:#?}");
+}
+
+#[test]
+fn diagnostics_are_globally_sorted_by_file_line_col_rule() {
+    let diags = lint_fixture("bad_tree");
+    let keys: Vec<(&str, usize, usize, &str)> = diags
+        .iter()
+        .map(|d| (d.file.as_str(), d.line, d.col, d.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "output order must be (file, line, col, rule)");
+    // Spot-pin the cross-file order: bench < channel < common < geo < net.
+    let files: Vec<&str> = diags.iter().map(|d| d.file.as_str()).collect();
+    let first_of = |prefix: &str| files.iter().position(|f| f.starts_with(prefix)).unwrap();
+    assert!(first_of("crates/bench/") < first_of("crates/channel/"));
+    assert!(first_of("crates/channel/") < first_of("crates/common/"));
+    assert!(first_of("crates/common/") < first_of("crates/geo/"));
+    assert!(first_of("crates/geo/") < first_of("crates/net/"));
 }
 
 #[test]
@@ -104,6 +193,58 @@ fn clean_tree_is_clean() {
         diags.is_empty(),
         "clean fixture tree must produce no diagnostics: {diags:#?}"
     );
+}
+
+#[test]
+fn clean_tree_counts_its_pragma_suppressions_exactly() {
+    let outcome =
+        qntn_lint::lint_workspace_outcome(&fixture("clean_tree")).expect("fixture tree readable");
+    assert!(outcome.diags.is_empty());
+    // 3 HashMap tokens behind the runtime.rs allow-file, 1 Instant::now
+    // behind the pipeline.rs trailing pragma, 1 fs::write in other.rs,
+    // 1 panic! in the tool.rs bin — nothing silently ignored.
+    assert_eq!(outcome.suppressed, 6);
+}
+
+#[test]
+fn file_scope_pragma_works_after_an_attribute_header() {
+    // The runtime.rs fixture opens with `#![allow(dead_code)]` before the
+    // `allow-file` pragma; the pragma must still disarm the whole file.
+    let src = std::fs::read_to_string(fixture("clean_tree").join("crates/net/src/runtime.rs"))
+        .expect("fixture file");
+    assert!(
+        src.starts_with("#!["),
+        "fixture must open with an attribute"
+    );
+    let diags = lint_source("crates/net/src/runtime.rs", &src);
+    assert!(diags.is_empty(), "{diags:#?}");
+    // Without the pragma line, the same file trips `determinism` on all
+    // three HashMap tokens.
+    let stripped: String = src
+        .lines()
+        .filter(|l| !l.contains("qntn-lint:"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let diags = lint_source("crates/net/src/runtime.rs", &stripped);
+    assert_eq!(diags.len(), 3, "{diags:#?}");
+}
+
+#[test]
+fn same_line_pragma_suppresses_the_violation_on_its_own_line() {
+    let rel = "crates/net/src/pipeline.rs";
+    let bad = "pub fn f() -> f64 {\n    let t = std::time::Instant::now();\n    t.elapsed().as_secs_f64()\n}\n";
+    assert_eq!(lint_source(rel, bad).len(), 1);
+    let ok = "pub fn f() -> f64 {\n    let t = std::time::Instant::now(); // qntn-lint: allow(determinism) -- timing reported, not folded in\n    t.elapsed().as_secs_f64()\n}\n";
+    assert!(lint_source(rel, ok).is_empty());
+}
+
+#[test]
+fn semantic_rules_accept_pragma_suppression() {
+    let rel = "crates/channel/src/budget.rs";
+    let bad = "pub fn f(loss_db: f64, eta: f64) -> f64 {\n    loss_db * eta\n}\n";
+    assert_eq!(lint_source(rel, bad).len(), 1);
+    let ok = "pub fn f(loss_db: f64, eta: f64) -> f64 {\n    // qntn-lint: allow(unit-safety) -- fixture: deliberate raw product\n    loss_db * eta\n}\n";
+    assert!(lint_source(rel, ok).is_empty());
 }
 
 /// The acceptance bar of this PR: the real workspace itself is lint-clean.

@@ -377,8 +377,8 @@ pub fn serve_overload(
         global_tokens =
             (global_tokens + overload.budget.global_per_step).min(overload.budget.global_burst);
         for (c, tokens) in class_tokens.iter_mut().enumerate() {
-            *tokens = (*tokens + overload.budget.class_per_step[c])
-                .min(overload.budget.class_burst[c]);
+            *tokens =
+                (*tokens + overload.budget.class_per_step[c]).min(overload.budget.class_burst[c]);
         }
 
         if agenda[t].is_empty() {
